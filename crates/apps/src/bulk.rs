@@ -1,0 +1,160 @@
+//! Bulk-transfer applications (Table 4 compatibility, Fig. 7 loss, and
+//! Fig. 13 incast).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use tas_netsim::app::{App, AppEvent, SockId, StackApi};
+use tas_sim::{impl_as_any, SimTime};
+
+/// Streams data on `conns` connections for the whole run (or until
+/// `bytes_per_conn` when nonzero).
+pub struct BulkSender {
+    server: Ipv4Addr,
+    port: u16,
+    n_conns: u32,
+    /// Per-connection byte budget (0 = unlimited).
+    pub bytes_per_conn: u64,
+    /// Write chunk size.
+    pub chunk: usize,
+    sent: HashMap<SockId, u64>,
+    /// Total payload bytes accepted by the stack.
+    pub total_sent: u64,
+}
+
+impl BulkSender {
+    /// Creates a sender with unlimited per-connection budget.
+    pub fn new(server: Ipv4Addr, port: u16, conns: u32) -> Self {
+        BulkSender {
+            server,
+            port,
+            n_conns: conns,
+            bytes_per_conn: 0,
+            chunk: 8192,
+            sent: HashMap::new(),
+            total_sent: 0,
+        }
+    }
+
+    fn pump(&mut self, sock: SockId, api: &mut dyn StackApi) {
+        loop {
+            let already = *self.sent.get(&sock).unwrap_or(&0);
+            let mut want = self.chunk;
+            if self.bytes_per_conn > 0 {
+                let left = self.bytes_per_conn.saturating_sub(already);
+                if left == 0 {
+                    api.close(sock);
+                    return;
+                }
+                want = want.min(left as usize);
+            }
+            let n = api.send(sock, &vec![0x6b; want]);
+            *self.sent.entry(sock).or_insert(0) += n as u64;
+            self.total_sent += n as u64;
+            if n < want {
+                break;
+            }
+        }
+    }
+}
+
+impl App for BulkSender {
+    fn on_start(&mut self, api: &mut dyn StackApi) {
+        for _ in 0..self.n_conns {
+            api.connect(self.server, self.port);
+        }
+    }
+
+    fn on_event(&mut self, ev: AppEvent, api: &mut dyn StackApi) {
+        match ev {
+            AppEvent::Connected { sock } | AppEvent::Writable { sock } => self.pump(sock, api),
+            _ => {}
+        }
+    }
+
+    impl_as_any!();
+}
+
+/// Receives bulk data; tracks per-connection byte counts per sampling
+/// interval (the Fig. 13 incast measurement: bytes per connection per
+/// 100 ms).
+pub struct BulkReceiver {
+    /// Listening port.
+    pub port: u16,
+    /// Total payload bytes received.
+    pub total: u64,
+    /// Per-socket byte count within the current sampling interval.
+    pub window_bytes: HashMap<SockId, u64>,
+    /// Completed interval samples: bytes each connection received in one
+    /// interval (across all connections and intervals).
+    pub interval_samples: Vec<u64>,
+    /// Sampling interval (0 disables; Fig. 13 uses 100 ms).
+    pub sample_every: SimTime,
+    /// Measurement gate.
+    pub measure_from: SimTime,
+    sockets: Vec<SockId>,
+    armed: bool,
+}
+
+impl BulkReceiver {
+    /// Creates a receiver without interval sampling.
+    pub fn new(port: u16) -> Self {
+        BulkReceiver {
+            port,
+            total: 0,
+            window_bytes: HashMap::new(),
+            interval_samples: Vec::new(),
+            sample_every: SimTime::ZERO,
+            measure_from: SimTime::ZERO,
+            sockets: Vec::new(),
+            armed: false,
+        }
+    }
+
+    /// Enables Fig. 13-style per-interval per-connection sampling.
+    pub fn sampling(mut self, every: SimTime, from: SimTime) -> Self {
+        self.sample_every = every;
+        self.measure_from = from;
+        self
+    }
+}
+
+impl App for BulkReceiver {
+    fn on_start(&mut self, api: &mut dyn StackApi) {
+        api.listen(self.port);
+        if self.sample_every > SimTime::ZERO {
+            self.armed = true;
+            api.set_app_timer(self.sample_every, 1);
+        }
+    }
+
+    fn on_event(&mut self, ev: AppEvent, api: &mut dyn StackApi) {
+        match ev {
+            AppEvent::Accepted { sock, .. } => {
+                self.sockets.push(sock);
+                self.window_bytes.insert(sock, 0);
+            }
+            AppEvent::Readable { sock } => {
+                let n = api.recv(sock, usize::MAX).len() as u64;
+                self.total += n;
+                *self.window_bytes.entry(sock).or_insert(0) += n;
+            }
+            AppEvent::Timer { .. } => {
+                let now = api.now();
+                if now >= self.measure_from {
+                    for &s in &self.sockets {
+                        self.interval_samples
+                            .push(*self.window_bytes.get(&s).unwrap_or(&0));
+                    }
+                }
+                for v in self.window_bytes.values_mut() {
+                    *v = 0;
+                }
+                api.set_app_timer(self.sample_every, 1);
+            }
+            AppEvent::Closed { sock } => api.close(sock),
+            _ => {}
+        }
+    }
+
+    impl_as_any!();
+}

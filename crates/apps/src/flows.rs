@@ -1,0 +1,239 @@
+//! Dynamic flow workload for the congestion-control experiments
+//! (Fig. 11: single bottleneck, Fig. 12: FatTree).
+//!
+//! A [`FlowGen`] opens a new connection per flow (Poisson arrivals,
+//! Pareto-ish sizes chosen by the harness), streams the flow's bytes, and
+//! closes. The first 16 payload bytes carry the flow's start time and
+//! size, so the [`FlowSink`] can compute the flow completion time the way
+//! ns-3 scripts do (arrival of the last byte minus flow start).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use tas_netsim::app::{App, AppEvent, SockId, StackApi};
+use tas_sim::{impl_as_any, Histogram, Rng, SimTime};
+
+/// Flow header: start time (ps) and flow size (bytes).
+pub const FLOW_HDR: usize = 16;
+
+/// Sizes in packets for the short/long split of Fig. 12 (50 packets).
+pub const SHORT_FLOW_PKTS: u64 = 50;
+
+/// Generates flows toward a set of destinations.
+pub struct FlowGen {
+    /// Destination choices (ip, port).
+    pub dests: Vec<(Ipv4Addr, u16)>,
+    /// Mean inter-arrival time.
+    pub mean_gap: SimTime,
+    /// Flow size sampler parameters (bounded Pareto).
+    pub size_min: f64,
+    /// Maximum flow size.
+    pub size_max: f64,
+    /// Pareto shape.
+    pub size_alpha: f64,
+    /// Stop generating new flows after this time (0 = never).
+    pub stop_at: SimTime,
+    rng: Rng,
+    active: HashMap<SockId, (u64, u64)>, // (size, sent).
+    /// Flows started.
+    pub started: u64,
+    /// Flows whose bytes were fully accepted by the stack.
+    pub finished_sending: u64,
+    start_of: HashMap<SockId, SimTime>,
+}
+
+impl FlowGen {
+    /// Creates a generator; `mean_size`/`alpha` define the Pareto sizes.
+    pub fn new(dests: Vec<(Ipv4Addr, u16)>, mean_gap: SimTime, seed: u64) -> Self {
+        FlowGen {
+            dests,
+            mean_gap,
+            size_min: 2.0 * 1448.0,
+            size_max: 500.0 * 1448.0,
+            size_alpha: 1.2,
+            stop_at: SimTime::ZERO,
+            rng: Rng::new(seed),
+            active: HashMap::new(),
+            started: 0,
+            finished_sending: 0,
+            start_of: HashMap::new(),
+        }
+    }
+
+    fn schedule_next(&mut self, api: &mut dyn StackApi) {
+        let gap =
+            tas_sim::dist::Exponential::new(self.mean_gap.as_ps() as f64).sample(&mut self.rng);
+        api.set_app_timer(SimTime::from_ps(gap.max(1.0) as u64), 0);
+    }
+
+    fn start_flow(&mut self, api: &mut dyn StackApi) {
+        let (ip, port) = *self.rng.choose(&self.dests);
+        let size = tas_sim::dist::BoundedPareto::new(self.size_min, self.size_max, self.size_alpha)
+            .sample(&mut self.rng)
+            .round() as u64;
+        let size = size.max(FLOW_HDR as u64);
+        let sock = api.connect(ip, port);
+        self.active.insert(sock, (size, 0));
+        self.start_of.insert(sock, api.now());
+        self.started += 1;
+    }
+
+    fn pump(&mut self, sock: SockId, api: &mut dyn StackApi) {
+        let Some(&(size, sent)) = self.active.get(&sock) else {
+            return;
+        };
+        let mut sent = sent;
+        loop {
+            let left = size - sent;
+            if left == 0 {
+                break;
+            }
+            let chunk = left.min(8192) as usize;
+            let mut buf = vec![0x33u8; chunk];
+            if sent == 0 {
+                // Stamp the header into the first bytes.
+                let start = self.start_of[&sock].as_ps();
+                buf[..8].copy_from_slice(&start.to_be_bytes());
+                buf[8..16].copy_from_slice(&size.to_be_bytes());
+            }
+            let n = api.send(sock, &buf) as u64;
+            sent += n;
+            if n < chunk as u64 {
+                break;
+            }
+        }
+        self.active.insert(sock, (size, sent));
+        if sent == size {
+            self.active.remove(&sock);
+            self.finished_sending += 1;
+            api.close(sock);
+        }
+    }
+}
+
+impl App for FlowGen {
+    fn on_start(&mut self, api: &mut dyn StackApi) {
+        self.schedule_next(api);
+    }
+
+    fn on_event(&mut self, ev: AppEvent, api: &mut dyn StackApi) {
+        match ev {
+            AppEvent::Timer { .. }
+                if (self.stop_at == SimTime::ZERO || api.now() < self.stop_at) =>
+            {
+                self.start_flow(api);
+                self.schedule_next(api);
+            }
+            AppEvent::Connected { sock } | AppEvent::Writable { sock } => self.pump(sock, api),
+            AppEvent::Closed { sock } => {
+                self.active.remove(&sock);
+                self.start_of.remove(&sock);
+            }
+            _ => {}
+        }
+    }
+
+    impl_as_any!();
+}
+
+/// Receives flows and records completion times.
+pub struct FlowSink {
+    /// Listening port.
+    pub port: u16,
+    conns: HashMap<SockId, SinkConn>,
+    /// FCTs (ns) of flows at most [`SHORT_FLOW_PKTS`] packets.
+    pub fct_short: Histogram,
+    /// FCTs (ns) of longer flows.
+    pub fct_long: Histogram,
+    /// All FCTs (ns).
+    pub fct_all: Histogram,
+    /// Completed flows.
+    pub completed: u64,
+    /// Measurement gate (flows *starting* before this are not recorded).
+    pub measure_from: SimTime,
+}
+
+struct SinkConn {
+    hdr: Vec<u8>,
+    size: u64,
+    start_ps: u64,
+    got: u64,
+}
+
+impl FlowSink {
+    /// Creates a sink.
+    pub fn new(port: u16) -> Self {
+        FlowSink {
+            port,
+            conns: HashMap::new(),
+            fct_short: Histogram::new(),
+            fct_long: Histogram::new(),
+            fct_all: Histogram::new(),
+            completed: 0,
+            measure_from: SimTime::ZERO,
+        }
+    }
+}
+
+impl App for FlowSink {
+    fn on_start(&mut self, api: &mut dyn StackApi) {
+        api.listen(self.port);
+    }
+
+    fn on_event(&mut self, ev: AppEvent, api: &mut dyn StackApi) {
+        match ev {
+            AppEvent::Accepted { sock, .. } => {
+                self.conns.insert(
+                    sock,
+                    SinkConn {
+                        hdr: Vec::new(),
+                        size: 0,
+                        start_ps: 0,
+                        got: 0,
+                    },
+                );
+            }
+            AppEvent::Readable { sock } => {
+                let data = api.recv(sock, usize::MAX);
+                let now = api.now();
+                let Some(c) = self.conns.get_mut(&sock) else {
+                    return;
+                };
+                let mut data = &data[..];
+                if c.hdr.len() < FLOW_HDR {
+                    let need = FLOW_HDR - c.hdr.len();
+                    let take = need.min(data.len());
+                    c.hdr.extend_from_slice(&data[..take]);
+                    c.got += take as u64;
+                    data = &data[take..];
+                    if c.hdr.len() == FLOW_HDR {
+                        c.start_ps = u64::from_be_bytes(c.hdr[..8].try_into().expect("sized"));
+                        c.size = u64::from_be_bytes(c.hdr[8..16].try_into().expect("sized"));
+                    }
+                }
+                c.got += data.len() as u64;
+                if c.size > 0 && c.got >= c.size {
+                    let start = SimTime::from_ps(c.start_ps);
+                    let fct = now.saturating_sub(start);
+                    let size = c.size;
+                    self.conns.remove(&sock);
+                    self.completed += 1;
+                    if start >= self.measure_from {
+                        self.fct_all.record_time(fct);
+                        if size <= SHORT_FLOW_PKTS * 1448 {
+                            self.fct_short.record_time(fct);
+                        } else {
+                            self.fct_long.record_time(fct);
+                        }
+                    }
+                }
+            }
+            AppEvent::Closed { sock } => {
+                self.conns.remove(&sock);
+                api.close(sock);
+            }
+            _ => {}
+        }
+    }
+
+    impl_as_any!();
+}

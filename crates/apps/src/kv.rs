@@ -1,0 +1,440 @@
+//! Memcached-like key-value store and memslap-like clients (§5.3).
+//!
+//! Binary protocol over TCP (fixed-size fields, no pipelining ambiguity):
+//!
+//! ```text
+//! request:  [op: 1B (0=GET, 1=SET)] [key_id: 4B] [val_len: 2B] [value]
+//! response: [status: 1B] [val_len: 2B] [value]
+//! ```
+//!
+//! The paper's workload: 100,000 pairs, 32-byte keys / 64-byte values,
+//! zipf(s = 0.9) popularity, 90% GET / 10% SET. The 32-byte key is
+//! represented by its 4-byte id plus accounted (not transmitted) padding —
+//! wire sizes match the paper's (request ≈ 39B + pad = 64B framing is the
+//! paper's "small requests").
+
+use crate::util::SendBuf;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use tas_netsim::app::{App, AppEvent, SockId, StackApi};
+use tas_sim::dist::Zipf;
+use tas_sim::{impl_as_any, Histogram, Rng, SimTime};
+
+/// Request header bytes: op + key id + val_len + key padding to 32B.
+pub const REQ_HDR: usize = 1 + 4 + 2 + 28;
+/// Response header bytes: status + val_len.
+pub const RESP_HDR: usize = 1 + 2;
+/// Value size (paper: 64-byte values).
+pub const VAL_SIZE: usize = 64;
+
+/// GET opcode.
+pub const OP_GET: u8 = 0;
+/// SET opcode.
+pub const OP_SET: u8 = 1;
+
+fn req_len() -> usize {
+    REQ_HDR + VAL_SIZE // SETs carry a value; GETs carry zero-padding so
+                       // both directions have fixed sizes (keeps framing
+                       // trivial and matches the paper's ~100B requests).
+}
+
+fn resp_len() -> usize {
+    RESP_HDR + VAL_SIZE
+}
+
+/// The key-value store server.
+pub struct KvServer {
+    /// Listening port.
+    pub port: u16,
+    store: HashMap<u32, Vec<u8>>,
+    /// Base application cycles per GET (hash + lookup + response build).
+    pub get_cycles: u64,
+    /// Base application cycles per SET.
+    pub set_cycles: u64,
+    /// Extra cycles per operation per *additional* app core, modeling the
+    /// lock serializing updates of a contended key (Table 7's
+    /// non-scalable workload); 0 for the scalable workload.
+    pub lock_contention_cycles: u64,
+    /// App cores serving requests (for the contention charge).
+    pub app_cores: u32,
+    /// GET operations served.
+    pub gets: u64,
+    /// SET operations served.
+    pub sets: u64,
+    partial: HashMap<SockId, Vec<u8>>,
+    out: SendBuf,
+}
+
+impl KvServer {
+    /// Creates a server with the paper's cost calibration (~0.68 kc of
+    /// application work per request).
+    pub fn new(port: u16) -> Self {
+        KvServer {
+            port,
+            store: HashMap::new(),
+            get_cycles: 650,
+            set_cycles: 900,
+            lock_contention_cycles: 0,
+            app_cores: 1,
+            gets: 0,
+            sets: 0,
+            partial: HashMap::new(),
+            out: SendBuf::default(),
+        }
+    }
+
+    /// Configures the Table 7 non-scalable variant: every operation takes
+    /// the same lock.
+    pub fn non_scalable(mut self, app_cores: u32, contention_cycles: u64) -> Self {
+        self.app_cores = app_cores;
+        self.lock_contention_cycles = contention_cycles;
+        self
+    }
+
+    fn serve(&mut self, sock: SockId, api: &mut dyn StackApi) {
+        let data = api.recv(sock, usize::MAX);
+        let buf = self.partial.entry(sock).or_default();
+        buf.extend_from_slice(&data);
+        let rl = req_len();
+        let mut responses: Vec<u8> = Vec::new();
+        while buf.len() >= rl {
+            let req: Vec<u8> = buf.drain(..rl).collect();
+            let op = req[0];
+            let key = u32::from_be_bytes([req[1], req[2], req[3], req[4]]);
+            let mut cost = if op == OP_SET {
+                self.set_cycles
+            } else {
+                self.get_cycles
+            };
+            if self.lock_contention_cycles > 0 && self.app_cores > 1 {
+                cost += self.lock_contention_cycles * (self.app_cores as u64 - 1);
+            }
+            api.charge_app_cycles(cost);
+            let mut resp = vec![0u8; resp_len()];
+            match op {
+                OP_SET => {
+                    self.sets += 1;
+                    self.store.insert(key, req[REQ_HDR..].to_vec());
+                    resp[0] = 0;
+                }
+                _ => {
+                    self.gets += 1;
+                    match self.store.get(&key) {
+                        Some(v) => {
+                            resp[0] = 0;
+                            let n = v.len().min(VAL_SIZE);
+                            resp[RESP_HDR..RESP_HDR + n].copy_from_slice(&v[..n]);
+                        }
+                        None => resp[0] = 1, // Miss.
+                    }
+                }
+            }
+            resp[1..3].copy_from_slice(&(VAL_SIZE as u16).to_be_bytes());
+            responses.extend_from_slice(&resp);
+        }
+        if !responses.is_empty() {
+            self.out.send(api, sock, &responses);
+        }
+    }
+}
+
+impl App for KvServer {
+    fn on_start(&mut self, api: &mut dyn StackApi) {
+        api.listen(self.port);
+    }
+
+    fn on_event(&mut self, ev: AppEvent, api: &mut dyn StackApi) {
+        match ev {
+            AppEvent::Readable { sock } => self.serve(sock, api),
+            AppEvent::Writable { sock } => {
+                self.out.on_writable(api, sock);
+            }
+            AppEvent::Closed { sock } => {
+                self.partial.remove(&sock);
+                self.out.clear(sock);
+                api.close(sock);
+            }
+            _ => {}
+        }
+    }
+
+    impl_as_any!();
+}
+
+/// Load pattern of the [`KvClient`].
+#[derive(Clone, Copy, Debug)]
+pub enum KvLoad {
+    /// Closed loop: one outstanding request per connection, immediately
+    /// replaced (throughput experiments).
+    Closed,
+    /// Open loop at a fixed aggregate rate in requests/second spread over
+    /// the connections (latency experiments at 15% utilization).
+    OpenRate {
+        /// Aggregate request rate.
+        per_sec: u64,
+    },
+}
+
+struct KvConn {
+    sock: SockId,
+    pending: Vec<u8>,
+    sent_at: Vec<SimTime>,
+    connected: bool,
+}
+
+/// memslap-like workload client.
+pub struct KvClient {
+    server: Ipv4Addr,
+    port: u16,
+    n_conns: u32,
+    keys: usize,
+    zipf: Zipf,
+    rng: Rng,
+    load: KvLoad,
+    /// Fraction of SETs (paper: 0.1).
+    pub set_fraction: f64,
+    conns: Vec<KvConn>,
+    sock_index: HashMap<SockId, usize>,
+    /// Completed requests.
+    pub done: u64,
+    /// Issued requests.
+    pub sent: u64,
+    /// Latency histogram in nanoseconds.
+    pub latency: Histogram,
+    /// Warmup gate.
+    pub measure_from: SimTime,
+    /// Diagnostic: completions slower than this are logged (ns).
+    pub slow_log_over_ns: u64,
+    /// Diagnostic log of (completion time, latency ns, sock).
+    pub slow_log: Vec<(SimTime, u64, SockId)>,
+    next_conn_rr: usize,
+    preloaded: bool,
+    out: SendBuf,
+}
+
+impl KvClient {
+    /// Creates a client: `conns` connections, zipf(0.9) over `keys` keys.
+    pub fn new(
+        server: Ipv4Addr,
+        port: u16,
+        conns: u32,
+        keys: usize,
+        load: KvLoad,
+        seed: u64,
+    ) -> Self {
+        KvClient {
+            server,
+            port,
+            n_conns: conns,
+            keys,
+            zipf: Zipf::new(keys, 0.9),
+            rng: Rng::new(seed),
+            load,
+            set_fraction: 0.1,
+            conns: Vec::new(),
+            sock_index: HashMap::new(),
+            done: 0,
+            sent: 0,
+            latency: Histogram::new(),
+            measure_from: SimTime::ZERO,
+            slow_log_over_ns: u64::MAX,
+            slow_log: Vec::new(),
+            next_conn_rr: 0,
+            preloaded: false,
+            out: SendBuf::default(),
+        }
+    }
+
+    /// Uses a single hot key (Table 7's contended workload).
+    pub fn single_key(mut self) -> Self {
+        self.zipf = Zipf::new(1, 0.9);
+        self.keys = 1;
+        self
+    }
+
+    fn build_request(&mut self) -> Vec<u8> {
+        let key = self.zipf.sample(&mut self.rng) as u32;
+        let op = if self.rng.chance(self.set_fraction) {
+            OP_SET
+        } else {
+            OP_GET
+        };
+        let mut req = vec![0u8; req_len()];
+        req[0] = op;
+        req[1..5].copy_from_slice(&key.to_be_bytes());
+        req[5..7].copy_from_slice(&(VAL_SIZE as u16).to_be_bytes());
+        if op == OP_SET {
+            for (i, b) in req[REQ_HDR..].iter_mut().enumerate() {
+                *b = (key as usize + i) as u8;
+            }
+        }
+        req
+    }
+
+    fn fire_on(&mut self, idx: usize, api: &mut dyn StackApi) {
+        if !self.conns[idx].connected {
+            return;
+        }
+        let req = self.build_request();
+        let now = api.now();
+        let sock = self.conns[idx].sock;
+        if self.out.pending(sock) > 4 * req.len() {
+            return; // Backed off: the socket is badly backlogged.
+        }
+        self.out.send(api, sock, &req);
+        self.conns[idx].sent_at.push(now);
+        self.sent += 1;
+    }
+
+    fn schedule_next_open(&mut self, api: &mut dyn StackApi) {
+        if let KvLoad::OpenRate { per_sec } = self.load {
+            // Exponential inter-arrival around the configured rate.
+            let mean_ns = 1e9 / per_sec as f64;
+            let gap = tas_sim::dist::Exponential::new(mean_ns).sample(&mut self.rng);
+            api.set_app_timer(SimTime::from_ns(gap.max(1.0) as u64), 1);
+        }
+    }
+}
+
+impl App for KvClient {
+    fn on_start(&mut self, api: &mut dyn StackApi) {
+        for _ in 0..self.n_conns {
+            let sock = api.connect(self.server, self.port);
+            let idx = self.conns.len();
+            self.conns.push(KvConn {
+                sock,
+                pending: Vec::new(),
+                sent_at: Vec::new(),
+                connected: false,
+            });
+            self.sock_index.insert(sock, idx);
+        }
+    }
+
+    fn on_event(&mut self, ev: AppEvent, api: &mut dyn StackApi) {
+        match ev {
+            AppEvent::Connected { sock } => {
+                let Some(&idx) = self.sock_index.get(&sock) else {
+                    return;
+                };
+                self.conns[idx].connected = true;
+                if !self.preloaded {
+                    self.preloaded = true;
+                    // Preload a few hot keys so early GETs hit.
+                    for k in 0..self.keys.min(64) as u32 {
+                        let mut req = vec![0u8; req_len()];
+                        req[0] = OP_SET;
+                        req[1..5].copy_from_slice(&k.to_be_bytes());
+                        req[5..7].copy_from_slice(&(VAL_SIZE as u16).to_be_bytes());
+                        self.out.send(api, sock, &req);
+                        self.conns[idx].sent_at.push(api.now());
+                        self.sent += 1;
+                    }
+                    if let KvLoad::OpenRate { .. } = self.load {
+                        self.schedule_next_open(api);
+                    }
+                    return;
+                }
+                match self.load {
+                    KvLoad::Closed => self.fire_on(idx, api),
+                    KvLoad::OpenRate { .. } => {}
+                }
+            }
+            AppEvent::Writable { sock } => {
+                self.out.on_writable(api, sock);
+            }
+            AppEvent::Timer { .. } => {
+                // Open-loop arrival: pick the next connection round-robin.
+                if !self.conns.is_empty() {
+                    let idx = self.next_conn_rr % self.conns.len();
+                    self.next_conn_rr += 1;
+                    self.fire_on(idx, api);
+                }
+                self.schedule_next_open(api);
+            }
+            AppEvent::Readable { sock } => {
+                let Some(&idx) = self.sock_index.get(&sock) else {
+                    return;
+                };
+                let data = api.recv(sock, usize::MAX);
+                let now = api.now();
+                let rl = resp_len();
+                self.conns[idx].pending.extend_from_slice(&data);
+                while self.conns[idx].pending.len() >= rl {
+                    self.conns[idx].pending.drain(..rl);
+                    self.done += 1;
+                    let c = &mut self.conns[idx];
+                    if !c.sent_at.is_empty() {
+                        let t0 = c.sent_at.remove(0);
+                        if now >= self.measure_from {
+                            self.latency.record_time(now - t0);
+                            let ns = (now - t0).as_nanos();
+                            if ns > self.slow_log_over_ns && self.slow_log.len() < 64 {
+                                self.slow_log.push((now, ns, sock));
+                            }
+                        }
+                    }
+                    if matches!(self.load, KvLoad::Closed) {
+                        self.fire_on(idx, api);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sizes_are_paper_scale() {
+        // ~100-byte requests (32B key + 64B value + header).
+        assert_eq!(req_len(), 99);
+        assert_eq!(resp_len(), 67);
+    }
+
+    #[test]
+    fn request_encoding_round_trips() {
+        let mut c = KvClient::new(Ipv4Addr::new(10, 0, 0, 1), 11211, 1, 100, KvLoad::Closed, 7);
+        let req = c.build_request();
+        assert_eq!(req.len(), req_len());
+        assert!(req[0] == OP_GET || req[0] == OP_SET);
+        let key = u32::from_be_bytes([req[1], req[2], req[3], req[4]]);
+        assert!((key as usize) < 100);
+    }
+
+    #[test]
+    fn zipf_prefers_low_keys() {
+        let mut c = KvClient::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            11211,
+            1,
+            1000,
+            KvLoad::Closed,
+            7,
+        );
+        let mut low = 0;
+        for _ in 0..1000 {
+            let req = c.build_request();
+            let key = u32::from_be_bytes([req[1], req[2], req[3], req[4]]);
+            if key < 100 {
+                low += 1;
+            }
+        }
+        assert!(
+            low > 300,
+            "zipf(0.9) should concentrate: {low}/1000 in top 10%"
+        );
+    }
+
+    #[test]
+    fn contention_cost_scales_with_cores() {
+        let s = KvServer::new(1).non_scalable(4, 500);
+        assert_eq!(s.lock_contention_cycles, 500);
+        assert_eq!(s.app_cores, 4);
+    }
+}

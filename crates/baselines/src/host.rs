@@ -1,0 +1,986 @@
+//! A host running one of the baseline stacks.
+//!
+//! [`StackHost`] pairs the complete `tas-tcp` connection engine with a
+//! [`StackProfile`] and a [`ThreadModel`]:
+//!
+//! * [`ThreadModel::InKernel`] (Linux): stack processing runs on the same
+//!   cores as the application; per-connection state is shared machine-wide
+//!   (cache + contention charges); the app pays per-syscall costs.
+//! * [`ThreadModel::RunToCompletion`] (IX): per-core partitioned stacks,
+//!   run-to-completion into the app's event handler, libevent-style API.
+//! * [`ThreadModel::SplitBatched`] (mTCP): dedicated stack cores; events
+//!   cross to app cores in batches (flushed on size or timeout), buying
+//!   throughput at a latency cost.
+
+use crate::profiles::StackProfile;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use tas_cpusim::{CacheModel, CorePool, CycleAccount, Module};
+use tas_netsim::app::{App, AppEvent, SockId, StackApi};
+use tas_netsim::rss::hash_tuple;
+use tas_netsim::{HostNic, NetMsg, NicConfig};
+use tas_proto::{FlowKey, MacAddr, Segment, TcpFlags};
+use tas_sim::{impl_as_any, Agent, Ctx, Event, SimTime};
+use tas_tcp::{EndpointInfo, TcpConfig, TcpConn, TcpEvent};
+
+/// Threading/batching architecture of the stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadModel {
+    /// Monolithic in-kernel (Linux): stack on app cores, shared state.
+    InKernel,
+    /// Per-core run-to-completion (IX).
+    RunToCompletion,
+    /// Dedicated stack cores with batched app queues (mTCP).
+    SplitBatched {
+        /// Cores reserved for the stack (out of the host total).
+        stack_cores: usize,
+        /// Events per batch before an eager flush.
+        batch: usize,
+        /// Maximum time events wait before a flush.
+        flush: SimTime,
+    },
+}
+
+/// Configuration of a baseline host.
+#[derive(Clone, Debug)]
+pub struct StackHostConfig {
+    /// Core clock.
+    pub freq_hz: u64,
+    /// Total cores.
+    pub cores: usize,
+    /// Threading model.
+    pub model: ThreadModel,
+    /// TCP parameters (congestion control, buffers, recovery mode).
+    pub tcp: TcpConfig,
+    /// Effective cache available for connection state: machine-wide for
+    /// shared-state stacks, divided per core for partitioned ones.
+    pub cache_bytes: u64,
+    /// RX-ring bound: packets arriving when the owning core is further
+    /// behind than this are dropped.
+    pub max_core_backlog: SimTime,
+}
+
+impl StackHostConfig {
+    /// A Linux-model host with `cores` cores (paper server: 2.1 GHz,
+    /// 33 MB aggregate cache).
+    pub fn linux(cores: usize) -> Self {
+        StackHostConfig {
+            freq_hz: 2_100_000_000,
+            cores,
+            model: ThreadModel::InKernel,
+            tcp: TcpConfig {
+                // Effective Linux tail-recovery timescale: stock RTO_MIN
+                // is 200 ms but tail-loss probes (on by default since 3.10)
+                // retransmit after ~2 SRTT; 10 ms approximates the
+                // combined behaviour without modelling TLP explicitly.
+                rto_min: SimTime::from_ms(10),
+                rto_max: SimTime::from_secs(2),
+                ..TcpConfig::default()
+            },
+            cache_bytes: 33 << 20,
+            max_core_backlog: SimTime::from_us(500),
+        }
+    }
+
+    /// An IX-model host.
+    pub fn ix(cores: usize) -> Self {
+        let mut cfg = StackHostConfig::linux(cores);
+        cfg.model = ThreadModel::RunToCompletion;
+        cfg.tcp.rto_min = SimTime::from_ms(10);
+        cfg
+    }
+
+    /// An mTCP-model host with `stack_cores` of the total dedicated to the
+    /// stack.
+    pub fn mtcp(cores: usize, stack_cores: usize) -> Self {
+        let mut cfg = StackHostConfig::linux(cores);
+        cfg.model = ThreadModel::SplitBatched {
+            stack_cores,
+            batch: 32,
+            flush: SimTime::from_us(100),
+        };
+        cfg.tcp.rto_min = SimTime::from_ms(10);
+        cfg
+    }
+}
+
+/// Timer kinds.
+pub mod timers {
+    /// Host init.
+    pub const INIT: u32 = 0;
+    /// Per-connection TCP timer; data = (slot << 32) | generation.
+    pub const CONN: u32 = 1;
+    /// mTCP batch flush; data = app core index.
+    pub const BATCH: u32 = 2;
+    /// Application timer; data = (context << 48) | token.
+    pub const APP: u32 = 3;
+    /// Deferred app-event delivery; data = core index.
+    pub const APP_RUN: u32 = 4;
+    /// Deferred connection command (API send/recv/connect follow-ups).
+    pub const CONN_CMD: u32 = 5;
+}
+
+/// Diagnostic snapshot row from [`StackHost::dump_conns`]; see
+/// [`TcpConn::debug_state`](tas_tcp::TcpConn::debug_state) for fields.
+pub type ConnDebug = (u64, u64, u64, u32, u64, bool, u32, u64, usize, usize);
+
+/// Host counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HostStats {
+    /// Packets dropped at the RX-ring bound.
+    pub drop_backlog: u64,
+    /// Connections established.
+    pub established: u64,
+    /// Connections closed.
+    pub closed: u64,
+    /// Batches flushed (mTCP model).
+    pub batches: u64,
+}
+
+struct Slot {
+    conn: TcpConn,
+    accepted: bool,
+    want_write: bool,
+    connected_sent: bool,
+    closed_sent: bool,
+    /// A Readable event is outstanding (epoll level-trigger coalescing:
+    /// one wakeup drains a whole backlog with one recv, instead of one
+    /// syscall per segment).
+    rx_notified: bool,
+    armed: SimTime,
+    gen: u32,
+}
+
+enum ApiOp {
+    Touch(u32),
+    Connect { slot: u32 },
+    Timer { delay: SimTime, token: u64 },
+    Post { context: u16, token: u64 },
+}
+
+enum ConnCmd {
+    Touch(u32),
+    Connect(u32),
+}
+
+#[derive(Default)]
+struct Frame {
+    core: usize,
+    now: SimTime,
+    api_cycles: u64,
+    app_cycles: u64,
+    ops: Vec<ApiOp>,
+}
+
+struct Inner {
+    profile: StackProfile,
+    cfg: StackHostConfig,
+    ip: Ipv4Addr,
+    mac: MacAddr,
+    nic: HostNic,
+    cores: CorePool,
+    slots: Vec<Option<Slot>>,
+    free: Vec<u32>,
+    by_key: HashMap<FlowKey, u32>,
+    listeners: HashMap<u16, ()>,
+    next_port: u16,
+    acct: CycleAccount,
+    /// Per-app-core pending event batches (mTCP model).
+    batches: Vec<Vec<(SockId, AppEvent)>>,
+    batch_armed: Vec<bool>,
+    /// Deferred app events per core: every cross-component hop is queued
+    /// and woken by a timer at its ready time — executing it inline at a
+    /// future timestamp would reserve the core ahead of interim arrivals.
+    app_q: Vec<std::collections::VecDeque<AppEvent>>,
+    /// Deferred connection commands (drained by CONN_CMD timers).
+    cmd_q: std::collections::VecDeque<ConnCmd>,
+    started: bool,
+    /// Counters.
+    stats: HostStats,
+    frame: Frame,
+}
+
+/// A baseline-stack host agent.
+pub struct StackHost {
+    inner: Inner,
+    app: Option<Box<dyn App>>,
+}
+
+impl StackHost {
+    /// Creates a host; inject a [`timers::INIT`] timer to start it.
+    pub fn new(
+        ip: Ipv4Addr,
+        mac: MacAddr,
+        mut nic_cfg: NicConfig,
+        profile: StackProfile,
+        cfg: StackHostConfig,
+        uplink: tas_sim::AgentId,
+        app: Box<dyn App>,
+    ) -> Self {
+        assert!(cfg.cores >= 1, "need at least one core");
+        if let ThreadModel::SplitBatched { stack_cores, .. } = cfg.model {
+            assert!(
+                stack_cores >= 1 && stack_cores < cfg.cores,
+                "mTCP model needs 1..cores stack cores"
+            );
+        }
+        nic_cfg.rx_queues = cfg.cores;
+        let nic = HostNic::new(mac, nic_cfg, uplink);
+        let cores = CorePool::new(cfg.cores, cfg.freq_hz);
+        let app_core_count = cfg.cores;
+        StackHost {
+            inner: Inner {
+                profile,
+                cfg,
+                ip,
+                mac,
+                nic,
+                cores,
+                slots: Vec::new(),
+                free: Vec::new(),
+                by_key: HashMap::new(),
+                listeners: HashMap::new(),
+                next_port: 40_000,
+                acct: CycleAccount::new(),
+                batches: (0..app_core_count).map(|_| Vec::new()).collect(),
+                batch_armed: vec![false; app_core_count],
+                app_q: (0..app_core_count)
+                    .map(|_| std::collections::VecDeque::new())
+                    .collect(),
+                cmd_q: std::collections::VecDeque::new(),
+                started: false,
+                stats: HostStats::default(),
+                frame: Frame::default(),
+            },
+            app: Some(app),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors.
+
+    /// The host's IP.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.inner.ip
+    }
+
+    /// The stack profile name.
+    pub fn stack_name(&self) -> &'static str {
+        self.inner.profile.name
+    }
+
+    /// Cycle accounting (Tables 1–2).
+    pub fn account(&self) -> &CycleAccount {
+        &self.inner.acct
+    }
+
+    /// Mutable account access.
+    pub fn account_mut(&mut self) -> &mut CycleAccount {
+        &mut self.inner.acct
+    }
+
+    /// Host counters.
+    pub fn host_stats(&self) -> HostStats {
+        self.inner.stats
+    }
+
+    /// Live connection count.
+    pub fn conn_count(&self) -> usize {
+        self.inner.by_key.len()
+    }
+
+    /// Aggregated TCP stats over live connections.
+    pub fn tcp_stats(&self) -> tas_tcp::ConnStats {
+        let mut total = tas_tcp::ConnStats::default();
+        for s in self.inner.slots.iter().flatten() {
+            let st = s.conn.stats;
+            total.segs_out += st.segs_out;
+            total.segs_in += st.segs_in;
+            total.bytes_sent += st.bytes_sent;
+            total.bytes_received += st.bytes_received;
+            total.retransmits += st.retransmits;
+            total.fast_retransmits += st.fast_retransmits;
+            total.timeouts += st.timeouts;
+            total.dupacks_in += st.dupacks_in;
+            total.ece_in += st.ece_in;
+        }
+        total
+    }
+
+    /// Diagnostic: per-connection debug snapshots.
+    pub fn dump_conns(&self, n: usize) -> Vec<ConnDebug> {
+        self.inner
+            .slots
+            .iter()
+            .flatten()
+            .take(n)
+            .map(|s| s.conn.debug_state())
+            .collect()
+    }
+
+    /// Downcasts the application if it is a `T`.
+    pub fn try_app<T: 'static>(&self) -> Option<&T> {
+        self.app
+            .as_ref()
+            .and_then(|a| a.as_any().downcast_ref::<T>())
+    }
+
+    /// Downcasts the application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the app is not a `T`.
+    pub fn app_as<T: 'static>(&self) -> &T {
+        self.app
+            .as_ref()
+            .expect("app present")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("app type mismatch")
+    }
+
+    /// Mutable downcast of the application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the app is not a `T`.
+    pub fn app_as_mut<T: 'static>(&mut self) -> &mut T {
+        self.app
+            .as_mut()
+            .expect("app present")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("app type mismatch")
+    }
+
+    // ------------------------------------------------------------------
+    // Core assignment.
+
+    fn stack_core_count(inner: &Inner) -> usize {
+        match inner.cfg.model {
+            ThreadModel::SplitBatched { stack_cores, .. } => stack_cores,
+            _ => inner.cfg.cores,
+        }
+    }
+
+    fn app_core_of(inner: &Inner, slot: u32) -> usize {
+        match inner.cfg.model {
+            ThreadModel::SplitBatched { stack_cores, .. } => {
+                stack_cores + (slot as usize % (inner.cfg.cores - stack_cores))
+            }
+            _ => Self::stack_core_of(inner, slot),
+        }
+    }
+
+    fn stack_core_of(inner: &Inner, slot: u32) -> usize {
+        let Some(s) = inner.slots.get(slot as usize).and_then(Option::as_ref) else {
+            return 0;
+        };
+        let k = s.conn.remote();
+        let l = s.conn.local();
+        let h = hash_tuple(k.ip, l.ip, k.port, l.port);
+        h as usize % Self::stack_core_count(inner)
+    }
+
+    // ------------------------------------------------------------------
+    // Stack-side processing.
+
+    fn cache_and_contention(inner: &Inner) -> u64 {
+        let p = &inner.profile;
+        let conns = inner.by_key.len() as u64;
+        if conns == 0 {
+            return 0;
+        }
+        let (cache, conns_in_set) = if p.partitioned_state {
+            let n = Self::stack_core_count(inner) as u64;
+            (inner.cfg.cache_bytes / n.max(1), conns / n.max(1))
+        } else {
+            (inner.cfg.cache_bytes, conns)
+        };
+        let model = CacheModel::new(cache.max(1), p.lines_per_req, p.miss_penalty);
+        let stall = model.stall_cycles(p.conn_state_bytes, conns_in_set) as u64;
+        let contention = p.contention.stall_cycles(inner.cfg.cores) as u64;
+        stall + contention
+    }
+
+    /// Runs a connection interaction on its stack core at `t`: `f` drives
+    /// the engine, then staged segments are cost-charged and transmitted
+    /// and events delivered. `base_cost` is the packet-type processing
+    /// cost.
+    fn run_conn(
+        &mut self,
+        slot: u32,
+        t: SimTime,
+        base_cost: u64,
+        extra: u64,
+        ctx: &mut Ctx<'_, NetMsg>,
+        f: impl FnOnce(&mut TcpConn, SimTime),
+    ) {
+        let core_idx = Self::stack_core_of(&self.inner, slot);
+        let start = t.max(self.inner.cores.core_ref(core_idx).busy_until());
+        let (out, events, tx_cost) = {
+            let inner = &mut self.inner;
+            let Some(s) = inner.slots.get_mut(slot as usize).and_then(Option::as_mut) else {
+                return;
+            };
+            f(&mut s.conn, start);
+            s.conn.poll(start);
+            let out = s.conn.take_outgoing();
+            let events = s.conn.take_events();
+            // Charge transmit costs per staged segment.
+            let mut tx_cost = 0;
+            for seg in &out {
+                let c = if seg.payload.is_empty() {
+                    inner.profile.tx_ack
+                } else {
+                    inner.profile.tx_data
+                };
+                c.charge(&mut inner.acct, inner.profile.ipc_times_100);
+                tx_cost += c.total();
+            }
+            (out, events, tx_cost)
+        };
+        let total = base_cost + extra + tx_cost;
+        if extra > 0 {
+            // Cache/contention stalls: backend-bound cycles, no retired
+            // instructions.
+            self.inner.acct.charge(Module::Tcp, extra, 0);
+        }
+        let (_, end) = self.inner.cores.core(core_idx).run(t, total);
+        for seg in out {
+            self.inner.nic.tx(end, seg, ctx);
+        }
+        self.handle_conn_events(slot, events, end, ctx);
+        self.rearm_conn_timer(slot, ctx);
+    }
+
+    fn rearm_conn_timer(&mut self, slot: u32, ctx: &mut Ctx<'_, NetMsg>) {
+        let Some(s) = self
+            .inner
+            .slots
+            .get_mut(slot as usize)
+            .and_then(Option::as_mut)
+        else {
+            return;
+        };
+        if s.conn.is_closed() {
+            // Drop the connection state.
+            let key = FlowKey::new(
+                s.conn.local().ip,
+                s.conn.local().port,
+                s.conn.remote().ip,
+                s.conn.remote().port,
+            );
+            self.inner.by_key.remove(&key);
+            self.inner.slots[slot as usize] = None;
+            self.inner.free.push(slot);
+            self.inner.stats.closed += 1;
+            return;
+        }
+        let Some(next) = s.conn.next_timer() else {
+            s.armed = SimTime::MAX;
+            return;
+        };
+        if next < s.armed {
+            s.gen = s.gen.wrapping_add(1);
+            s.armed = next;
+            let data = ((slot as u64) << 32) | s.gen as u64;
+            ctx.timer_at(next, timers::CONN, data);
+        }
+    }
+
+    fn handle_conn_events(
+        &mut self,
+        slot: u32,
+        events: Vec<TcpEvent>,
+        t: SimTime,
+        ctx: &mut Ctx<'_, NetMsg>,
+    ) {
+        for ev in events {
+            let app_ev = {
+                let Some(s) = self
+                    .inner
+                    .slots
+                    .get_mut(slot as usize)
+                    .and_then(Option::as_mut)
+                else {
+                    return;
+                };
+                match ev {
+                    TcpEvent::Connected => {
+                        if s.connected_sent {
+                            None
+                        } else {
+                            s.connected_sent = true;
+                            self.inner.stats.established += 1;
+                            if s.accepted {
+                                Some(AppEvent::Accepted {
+                                    sock: slot,
+                                    port: s.conn.local().port,
+                                })
+                            } else {
+                                Some(AppEvent::Connected { sock: slot })
+                            }
+                        }
+                    }
+                    TcpEvent::DataAvailable => {
+                        if s.rx_notified {
+                            None
+                        } else {
+                            s.rx_notified = true;
+                            Some(AppEvent::Readable { sock: slot })
+                        }
+                    }
+                    TcpEvent::SendSpaceAvailable => {
+                        // EPOLLOUT-style coalescing: wake the writer once a
+                        // useful chunk of buffer space is available, not on
+                        // every freed segment.
+                        let threshold = (inner_send_buf(s) / 4).max(8 * 1024);
+                        if s.want_write && s.conn.send_space() >= threshold {
+                            s.want_write = false;
+                            Some(AppEvent::Writable { sock: slot })
+                        } else {
+                            None
+                        }
+                    }
+                    TcpEvent::PeerFin | TcpEvent::Reset | TcpEvent::Closed => {
+                        if s.closed_sent {
+                            None
+                        } else {
+                            s.closed_sent = true;
+                            Some(AppEvent::Closed { sock: slot })
+                        }
+                    }
+                }
+            };
+            if let Some(app_ev) = app_ev {
+                self.route_app_event(slot, app_ev, t, ctx);
+            }
+        }
+    }
+
+    fn route_app_event(&mut self, slot: u32, ev: AppEvent, t: SimTime, ctx: &mut Ctx<'_, NetMsg>) {
+        match self.inner.cfg.model {
+            ThreadModel::SplitBatched { batch, flush, .. } => {
+                let app_core = Self::app_core_of(&self.inner, slot);
+                self.inner.batches[app_core].push((slot, ev));
+                if self.inner.batches[app_core].len() >= batch {
+                    self.flush_batch(app_core, t, ctx);
+                } else if !self.inner.batch_armed[app_core] {
+                    self.inner.batch_armed[app_core] = true;
+                    ctx.timer_at(t + flush, timers::BATCH, app_core as u64);
+                }
+            }
+            _ => {
+                let core = Self::app_core_of(&self.inner, slot);
+                self.defer_app(t, core, ev, ctx);
+            }
+        }
+    }
+
+    /// Queues an app event for delivery at `t` on `core`.
+    fn defer_app(&mut self, t: SimTime, core: usize, ev: AppEvent, ctx: &mut Ctx<'_, NetMsg>) {
+        self.inner.app_q[core].push_back(ev);
+        ctx.timer_at(t, timers::APP_RUN, core as u64);
+    }
+
+    fn flush_batch(&mut self, app_core: usize, t: SimTime, ctx: &mut Ctx<'_, NetMsg>) {
+        self.inner.batch_armed[app_core] = false;
+        let evs = std::mem::take(&mut self.inner.batches[app_core]);
+        if evs.is_empty() {
+            return;
+        }
+        self.inner.stats.batches += 1;
+        for (_slot, ev) in evs {
+            self.deliver_app(t, app_core, ev, ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Application delivery (same frame pattern as the TAS host).
+
+    fn deliver_app(&mut self, t: SimTime, core: usize, ev: AppEvent, ctx: &mut Ctx<'_, NetMsg>) {
+        self.inner.frame = Frame {
+            core,
+            now: t,
+            api_cycles: self.inner.profile.api_poll,
+            app_cycles: 0,
+            ops: Vec::new(),
+        };
+        let mut app = self.app.take().expect("app present (no nested delivery)");
+        {
+            let mut api = Api {
+                inner: &mut self.inner,
+                ctx,
+            };
+            app.on_event(ev, &mut api);
+        }
+        self.app = Some(app);
+        self.finish_frame(t, ctx);
+    }
+
+    fn finish_frame(&mut self, t: SimTime, ctx: &mut Ctx<'_, NetMsg>) {
+        let frame = std::mem::take(&mut self.inner.frame);
+        let ipc = self.inner.profile.ipc_times_100;
+        self.inner
+            .acct
+            .charge(Module::Api, frame.api_cycles, frame.api_cycles * ipc / 100);
+        self.inner
+            .acct
+            .charge(Module::App, frame.app_cycles, frame.app_cycles * 120 / 100);
+        let total = frame.api_cycles + frame.app_cycles;
+        let (_, end) = self.inner.cores.core(frame.core).run(t, total);
+        for op in frame.ops {
+            match op {
+                ApiOp::Touch(slot) => {
+                    self.inner.cmd_q.push_back(ConnCmd::Touch(slot));
+                    ctx.timer_at(end, timers::CONN_CMD, 0);
+                }
+                ApiOp::Connect { slot } => {
+                    self.inner.cmd_q.push_back(ConnCmd::Connect(slot));
+                    ctx.timer_at(end, timers::CONN_CMD, 0);
+                }
+                ApiOp::Timer { delay, token } => {
+                    let data = ((frame.core as u64) << 48) | (token & 0xFFFF_FFFF_FFFF);
+                    ctx.timer_at(end + delay, timers::APP, data);
+                }
+                ApiOp::Post { context, token } => {
+                    let data = ((context as u64) << 48) | (token & 0xFFFF_FFFF_FFFF);
+                    ctx.timer_at(end, timers::APP, data);
+                }
+            }
+        }
+    }
+
+    fn ensure_started(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        if self.inner.started {
+            return;
+        }
+        self.inner.started = true;
+        let t = ctx.now();
+        self.inner.frame = Frame {
+            core: 0,
+            now: t,
+            api_cycles: 0,
+            app_cycles: 0,
+            ops: Vec::new(),
+        };
+        let mut app = self.app.take().expect("app present");
+        {
+            let mut api = Api {
+                inner: &mut self.inner,
+                ctx,
+            };
+            app.on_start(&mut api);
+        }
+        self.app = Some(app);
+        self.finish_frame(t, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Packet receive.
+
+    fn on_packet(&mut self, seg: Segment, ctx: &mut Ctx<'_, NetMsg>) {
+        let now = ctx.now();
+        let q = self.inner.nic.rx_enqueue(seg);
+        let seg = self.inner.nic.rx_dequeue(q).expect("just enqueued");
+        let key = seg.flow_key();
+        let is_data = !seg.payload.is_empty();
+        if let Some(&slot) = self.inner.by_key.get(&key) {
+            let core_idx = Self::stack_core_of(&self.inner, slot);
+            let backlog = self
+                .inner
+                .cores
+                .core_ref(core_idx)
+                .busy_until()
+                .saturating_sub(now);
+            if backlog > self.inner.cfg.max_core_backlog {
+                self.inner.stats.drop_backlog += 1;
+                return;
+            }
+            let cost = if is_data {
+                self.inner.profile.rx_data
+            } else {
+                self.inner.profile.rx_ack
+            };
+            cost.charge(&mut self.inner.acct, self.inner.profile.ipc_times_100);
+            let extra = Self::cache_and_contention(&self.inner);
+            self.run_conn(slot, now, cost.total(), extra, ctx, |conn, t| {
+                conn.on_segment(t, seg);
+            });
+            return;
+        }
+        // New inbound connection?
+        if seg.tcp.flags.contains(TcpFlags::SYN)
+            && !seg.tcp.flags.contains(TcpFlags::ACK)
+            && self.inner.listeners.contains_key(&key.local_port)
+        {
+            let iss = ctx.rng().next_u32();
+            let inner = &mut self.inner;
+            let local = EndpointInfo {
+                ip: inner.ip,
+                port: key.local_port,
+                mac: inner.mac,
+            };
+            let remote = EndpointInfo {
+                ip: key.remote_ip,
+                port: key.remote_port,
+                mac: seg.eth.src,
+            };
+            let conn = TcpConn::accept(now, inner.cfg.tcp.clone(), local, remote, &seg, iss);
+            let slot = Self::install(inner, key, conn, true);
+            // Kernel-side accept processing.
+            let cost = inner.profile.api_conn / 2 + inner.profile.rx_data.total();
+            inner
+                .acct
+                .charge(Module::Tcp, cost, cost * inner.profile.ipc_times_100 / 100);
+            self.run_conn(slot, now, cost, 0, ctx, |_c, _t| {});
+        }
+        // Else: no matching state — drop (a RST generator is not needed
+        // for the experiments).
+    }
+
+    fn install(inner: &mut Inner, key: FlowKey, conn: TcpConn, accepted: bool) -> u32 {
+        let slot = Slot {
+            conn,
+            accepted,
+            want_write: false,
+            connected_sent: false,
+            closed_sent: false,
+            rx_notified: false,
+            armed: SimTime::MAX,
+            gen: 0,
+        };
+        let id = match inner.free.pop() {
+            Some(id) => {
+                inner.slots[id as usize] = Some(slot);
+                id
+            }
+            None => {
+                inner.slots.push(Some(slot));
+                (inner.slots.len() - 1) as u32
+            }
+        };
+        inner.by_key.insert(key, id);
+        id
+    }
+}
+
+fn inner_send_buf(s: &Slot) -> usize {
+    s.conn.send_space() + s.conn.in_flight() as usize
+}
+
+/// Resolves the deterministic MAC for a simulated host IP.
+fn mac_for_ip(ip: Ipv4Addr) -> MacAddr {
+    let o = ip.octets();
+    MacAddr::for_host(u32::from_be_bytes([0, o[1], o[2], o[3]]))
+}
+
+// ----------------------------------------------------------------------
+// Application API.
+
+struct Api<'a, 'b> {
+    inner: &'a mut Inner,
+    ctx: &'a mut Ctx<'b, NetMsg>,
+}
+
+impl StackApi for Api<'_, '_> {
+    fn now(&self) -> SimTime {
+        self.inner.frame.now
+    }
+
+    fn listen(&mut self, port: u16) {
+        self.inner.frame.api_cycles += self.inner.profile.api_conn;
+        self.inner.listeners.insert(port, ());
+    }
+
+    fn connect(&mut self, ip: Ipv4Addr, port: u16) -> SockId {
+        self.inner.frame.api_cycles += self.inner.profile.api_conn;
+        let local_port = self.inner.next_port;
+        self.inner.next_port = self.inner.next_port.checked_add(1).unwrap_or(40_000);
+        let local = EndpointInfo {
+            ip: self.inner.ip,
+            port: local_port,
+            mac: self.inner.mac,
+        };
+        let remote = EndpointInfo {
+            ip,
+            port,
+            mac: mac_for_ip(ip),
+        };
+        let iss = self.ctx.rng().next_u32();
+        let conn = TcpConn::connect(
+            self.inner.frame.now,
+            self.inner.cfg.tcp.clone(),
+            local,
+            remote,
+            iss,
+        );
+        let key = FlowKey::new(self.inner.ip, local_port, ip, port);
+        let slot = StackHost::install(self.inner, key, conn, false);
+        self.inner.frame.ops.push(ApiOp::Connect { slot });
+        slot
+    }
+
+    fn send(&mut self, sock: SockId, data: &[u8]) -> usize {
+        self.inner.frame.api_cycles += self.inner.profile.api_send;
+        let Some(s) = self
+            .inner
+            .slots
+            .get_mut(sock as usize)
+            .and_then(Option::as_mut)
+        else {
+            return 0;
+        };
+        let n = s.conn.send(data);
+        if n < data.len() {
+            s.want_write = true;
+        }
+        if n > 0 {
+            self.inner.frame.ops.push(ApiOp::Touch(sock));
+        }
+        n
+    }
+
+    fn recv(&mut self, sock: SockId, max: usize) -> Vec<u8> {
+        self.inner.frame.api_cycles += self.inner.profile.api_recv;
+        let Some(s) = self
+            .inner
+            .slots
+            .get_mut(sock as usize)
+            .and_then(Option::as_mut)
+        else {
+            return Vec::new();
+        };
+        let out = s.conn.recv(max);
+        s.rx_notified = false;
+        if !out.is_empty() {
+            self.inner.frame.ops.push(ApiOp::Touch(sock));
+        }
+        out
+    }
+
+    fn readable(&self, sock: SockId) -> usize {
+        self.inner
+            .slots
+            .get(sock as usize)
+            .and_then(Option::as_ref)
+            .map(|s| s.conn.readable())
+            .unwrap_or(0)
+    }
+
+    fn close(&mut self, sock: SockId) {
+        self.inner.frame.api_cycles += self.inner.profile.api_conn;
+        if let Some(s) = self
+            .inner
+            .slots
+            .get_mut(sock as usize)
+            .and_then(Option::as_mut)
+        {
+            s.conn.close();
+            self.inner.frame.ops.push(ApiOp::Touch(sock));
+        }
+    }
+
+    fn charge_app_cycles(&mut self, cycles: u64) {
+        self.inner.frame.app_cycles += cycles;
+    }
+
+    fn set_app_timer(&mut self, delay: SimTime, token: u64) {
+        self.inner.frame.ops.push(ApiOp::Timer { delay, token });
+    }
+
+    fn post(&mut self, context: u16, token: u64) {
+        // Inter-thread queue hop (pthread queue + wakeup).
+        self.inner.frame.api_cycles += 180;
+        let context = (context as usize % self.inner.cfg.cores) as u16;
+        self.inner.frame.ops.push(ApiOp::Post { context, token });
+    }
+}
+
+// ----------------------------------------------------------------------
+// Agent implementation.
+
+impl Agent<NetMsg> for StackHost {
+    fn on_event(&mut self, ev: Event<NetMsg>, ctx: &mut Ctx<'_, NetMsg>) {
+        self.ensure_started(ctx);
+        match ev {
+            Event::Msg {
+                msg: NetMsg::Packet(seg),
+                ..
+            } => self.on_packet(seg, ctx),
+            Event::Msg {
+                msg: NetMsg::Ctl { kind, a, b },
+                ..
+            } => {
+                let now = ctx.now();
+                self.deliver_app(now, 0, AppEvent::Ctl { kind, a, b }, ctx);
+            }
+            Event::Timer { kind, data } => {
+                let now = ctx.now();
+                match kind {
+                    timers::INIT => {}
+                    timers::CONN => {
+                        let slot = (data >> 32) as u32;
+                        let gen = data as u32;
+                        let stale = self
+                            .inner
+                            .slots
+                            .get_mut(slot as usize)
+                            .and_then(Option::as_mut)
+                            .map(|s| {
+                                if s.gen == gen {
+                                    s.armed = SimTime::MAX;
+                                    false
+                                } else {
+                                    true
+                                }
+                            })
+                            .unwrap_or(true);
+                        if !stale {
+                            // Timeout processing costs roughly a data-path
+                            // traversal.
+                            let cost = self.inner.profile.rx_ack.total();
+                            self.run_conn(slot, now, cost, 0, ctx, |conn, t| {
+                                conn.on_timer(t);
+                            });
+                        }
+                    }
+                    timers::BATCH => {
+                        let core = data as usize;
+                        self.flush_batch(core, now, ctx);
+                    }
+                    timers::APP => {
+                        let core = (data >> 48) as usize;
+                        let token = data & 0xFFFF_FFFF_FFFF;
+                        self.deliver_app(now, core, AppEvent::Timer { token }, ctx);
+                    }
+                    timers::APP_RUN => {
+                        let core = data as usize;
+                        if let Some(ev) = self.inner.app_q[core].pop_front() {
+                            self.deliver_app(now, core, ev, ctx);
+                        }
+                    }
+                    timers::CONN_CMD => {
+                        if let Some(cmd) = self.inner.cmd_q.pop_front() {
+                            match cmd {
+                                ConnCmd::Touch(slot) => {
+                                    // Poll the connection for output the API
+                                    // call produced (sends, window updates).
+                                    self.run_conn(slot, now, 0, 0, ctx, |_c, _t| {});
+                                }
+                                ConnCmd::Connect(slot) => {
+                                    let cost = self.inner.profile.api_conn;
+                                    self.run_conn(slot, now, cost, 0, ctx, |_c, _t| {});
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    impl_as_any!();
+}

@@ -1,0 +1,29 @@
+//! Baseline network stacks the paper compares TAS against.
+//!
+//! Three host models share the complete `tas-tcp` protocol engine and
+//! differ — exactly as the real systems do — in *architecture* and *cost*:
+//!
+//! * **Linux model** ([`profiles::linux`]): monolithic in-kernel stack.
+//!   Stack work runs on the same cores as the application with per-syscall
+//!   costs, connection state is large, scattered, and shared across all
+//!   cores (cache + coherence penalties from `tas-cpusim`), and the
+//!   receiver keeps all out-of-order data (SACK-style recovery).
+//! * **IX model** ([`profiles::ix`]): protected kernel bypass. Per-core
+//!   run-to-completion with partitioned connection state, a libevent-like
+//!   API instead of sockets, much smaller per-packet costs — but still a
+//!   full TCP state machine per packet with sizeable per-connection state.
+//! * **mTCP model** ([`profiles::mtcp`]): user-level stack on dedicated
+//!   stack cores, exchanging *batched* event queues with application
+//!   cores; batching amortizes per-event cost at a latency price (the
+//!   effect behind Fig. 6, Fig. 10 and Table 8).
+//!
+//! All three run the same [`App`](tas_netsim::app::App) implementations as
+//! TAS, and the per-module cycle costs are calibrated against the paper's
+//! Tables 1–2 (the *shape* of every scaling curve then comes from the
+//! cache/contention models, not from curve fitting).
+
+pub mod host;
+pub mod profiles;
+
+pub use host::{StackHost, StackHostConfig, ThreadModel};
+pub use profiles::{PktCost, StackProfile};

@@ -1,0 +1,78 @@
+//! Figure 8 + Table 6: key-value store throughput scalability with server
+//! cores, for TAS LL, TAS SO, IX, and Linux.
+//!
+//! Paper: 32k connections; TAS LL up to 9.6× Linux and 1.9× IX; TAS SO up
+//! to 7.0× Linux and 1.3× IX. Table 6 gives the app/TAS core split used
+//! at each total core count.
+
+use tas_bench::{fmt_mops, full_scale, scaled, section, Kind, RpcScenario};
+use tas_sim::SimTime;
+
+/// Table 6 core splits (app, TAS) per total core count.
+fn split(kind: Kind, total: usize) -> (usize, usize) {
+    // Paper Table 6: Sockets — app 1/2/5/7/9, TAS 1/2/3/5/7 at 2/4/8/12/16.
+    // Lowlevel — even split. We map (fp, app) = (TAS, app).
+    let so_app = [(2, 1), (4, 2), (8, 5), (12, 7), (16, 9)];
+    match kind {
+        Kind::TasSockets => {
+            let app = so_app
+                .iter()
+                .find(|(t, _)| *t == total)
+                .map(|(_, a)| *a)
+                .unwrap_or(total / 2);
+            (total - app, app)
+        }
+        Kind::TasLowLevel => (total / 2, total - total / 2),
+        // Baselines use all cores as one pool.
+        _ => (total / 2, total - total / 2),
+    }
+}
+
+fn main() {
+    section(
+        "Figure 8 + Table 6: KV-store throughput vs. total server cores",
+        "TAS LL up to 9.6x Linux / 1.9x IX; TAS SO 7.0x / 1.3x (32k conns)",
+    );
+    let conns = scaled(4_000, 32_000);
+    let totals: Vec<usize> = scaled(vec![2, 4, 8, 16], vec![2, 4, 8, 12, 16]);
+    println!("(connections: {conns})");
+    println!(
+        "{:<7} {:>9} {:>9} {:>9} {:>9}",
+        "cores", "TAS LL", "TAS SO", "IX", "Linux"
+    );
+    let mut at_max = [0.0f64; 4];
+    for &total in &totals {
+        let mut row = format!("{total:<7}");
+        for (i, kind) in [Kind::TasLowLevel, Kind::TasSockets, Kind::Ix, Kind::Linux]
+            .into_iter()
+            .enumerate()
+        {
+            let cores = split(kind, total);
+            let mut sc = RpcScenario::kv(kind, cores, conns);
+            sc.warmup = scaled(SimTime::from_ms(15), SimTime::from_ms(60));
+            sc.measure = scaled(SimTime::from_ms(10), SimTime::from_ms(50));
+            sc.seed = 7 + total as u64;
+            let r = tas_bench::run_rpc(&sc);
+            row += &format!(" {:>8}", fmt_mops(r.mops));
+            at_max[i] = r.mops;
+        }
+        println!("{row}");
+    }
+    println!();
+    println!("Table 6 core splits used (app/TAS):");
+    for &total in &totals {
+        let (fp, app) = split(Kind::TasSockets, total);
+        let (fpl, appl) = split(Kind::TasLowLevel, total);
+        println!("  {total} cores: sockets {app}/{fp}, lowlevel {appl}/{fpl}");
+    }
+    println!();
+    println!(
+        "at max cores: TAS LL/Linux = {:.1}x, TAS LL/IX = {:.1}x, TAS SO/Linux = {:.1}x, TAS SO/IX = {:.1}x",
+        at_max[0] / at_max[3],
+        at_max[0] / at_max[2],
+        at_max[1] / at_max[3],
+        at_max[1] / at_max[2],
+    );
+    println!("paper: 9.6x, 1.9x, 7.0x, 1.3x");
+    let _ = full_scale();
+}

@@ -1,0 +1,60 @@
+//! Table 1: CPU cycles per request by network stack module.
+//!
+//! Paper setup: key-value store on 8 server cores, 32K connections, small
+//! requests. Reported: kilocycles per request for Driver / IP / TCP /
+//! Sockets / Other / App, per stack.
+//!
+//! Paper values (kc): Linux 0.73/1.53/3.92/8.00/1.50/1.07 = 16.75;
+//! IX 0.05/0.12/1.05/0.76/0/0.76 = 2.73; TAS 0.09/0/0.81/0.62/0/0.68 = 2.57.
+
+use tas_bench::{scaled, section, Kind, RpcScenario};
+use tas_cpusim::Module;
+use tas_sim::SimTime;
+
+fn main() {
+    section(
+        "Table 1: cycles per request by module (KV store)",
+        "Linux 16.75 kc, IX 2.73 kc, TAS 2.57 kc per request",
+    );
+    let conns = scaled(2_000, 32_000);
+    println!("(connections: {conns}, 8 server cores)");
+    println!();
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>12} {:>8} {:>8} {:>8}",
+        "Stack", "Driver", "IP", "TCP", "Sockets/API", "Other", "App", "Total"
+    );
+    for kind in [Kind::Linux, Kind::Ix, Kind::TasSockets] {
+        let cores = match kind {
+            // 8 total cores; TAS splits 4 fast-path + 4 app.
+            Kind::TasSockets => (4, 4),
+            _ => (4, 4),
+        };
+        let mut sc = RpcScenario::kv(kind, cores, conns);
+        sc.warmup = scaled(SimTime::from_ms(20), SimTime::from_ms(100));
+        sc.measure = scaled(SimTime::from_ms(15), SimTime::from_ms(100));
+        let r = tas_bench::run_rpc(&sc);
+        let p = &r.per_request;
+        let kc = |m: Module| p.cycles[m as usize] / 1000.0;
+        println!(
+            "{:<10} {:>8.2} {:>8.2} {:>8.2} {:>12.2} {:>8.2} {:>8.2} {:>8.2}",
+            kind.label(),
+            kc(Module::Driver),
+            kc(Module::Ip),
+            kc(Module::Tcp),
+            kc(Module::Api),
+            kc(Module::Other),
+            kc(Module::App),
+            p.total_cycles() / 1000.0,
+        );
+        assert!(
+            p.requests > 100,
+            "{}: too few requests measured",
+            kind.label()
+        );
+    }
+    println!();
+    println!("paper reference (kc/request):");
+    println!("Linux       0.73     1.53     3.92         8.00     1.50     1.07    16.75");
+    println!("IX          0.05     0.12     1.05         0.76     0.00     0.76     2.73");
+    println!("TAS         0.09     0.00     0.81         0.62     0.00     0.68     2.57");
+}

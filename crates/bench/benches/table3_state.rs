@@ -1,0 +1,41 @@
+//! Table 3: required per-flow fast path state (102 bytes).
+
+use tas::FLOW_STATE_BYTES;
+
+fn main() {
+    tas_bench::section(
+        "Table 3: per-flow fast-path state",
+        "Table 3 sums field widths to 102 bytes; >20k flows fit 2MB/core",
+    );
+    println!("field                     bits");
+    for (name, bits) in [
+        ("opaque", 64),
+        ("context", 16),
+        ("bucket", 24),
+        ("rx|tx_start", 128),
+        ("rx|tx_size", 64),
+        ("rx|tx_head|tail", 128),
+        ("tx_sent", 32),
+        ("seq", 32),
+        ("ack", 32),
+        ("window", 16),
+        ("dupack_cnt", 4),
+        ("local_port", 16),
+        ("peer_ip|port|mac", 96),
+        ("ooo_start|len", 64),
+        ("cnt_ackb|ecnb", 64),
+        ("cnt_frexmits", 8),
+        ("rtt_est", 32),
+    ] {
+        println!("{name:<25} {bits}");
+    }
+    println!("total                     {FLOW_STATE_BYTES} bytes");
+    let per_core_cache: u64 = 2 << 20;
+    println!(
+        "flows per 2MB core cache  {} (paper: \"more than 20,000\")",
+        per_core_cache / FLOW_STATE_BYTES
+    );
+    assert_eq!(FLOW_STATE_BYTES, 102);
+    assert!(per_core_cache / FLOW_STATE_BYTES > 20_000);
+    println!("OK");
+}

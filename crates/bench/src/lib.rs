@@ -1,0 +1,525 @@
+//! Shared experiment infrastructure for the paper-reproduction benches.
+//!
+//! Every table and figure of the paper's evaluation has a `harness = false`
+//! bench target in `benches/`; this library provides the common scenario
+//! builders: a server of any stack kind behind a bank of client machines,
+//! warmup/measure windows, and table-formatted output.
+//!
+//! Scale: by default every experiment runs a reduced-but-faithful
+//! configuration sized to finish in seconds; setting `TAS_FULL=1` selects
+//! the paper-scale parameters (more connections, longer windows).
+
+use tas::{ApiKind, CcAlgo, TasConfig, TasHost};
+use tas_apps::echo::{EchoServer, ServerMode};
+use tas_apps::kv::KvServer;
+use tas_apps::loadgen::{LoadGenConfig, LoadGenHost};
+use tas_baselines::{profiles, StackHost, StackHostConfig};
+use tas_cpusim::{CycleAccount, Module, MODULE_COUNT};
+use tas_netsim::app::App;
+use tas_netsim::topo::{build_star, host_ip, HostSpec};
+use tas_netsim::{NetMsg, NicConfig, PortConfig};
+use tas_sim::{AgentId, Sim, SimTime};
+
+pub use tas_sim::Histogram;
+
+/// True when `TAS_FULL=1` requests paper-scale runs.
+pub fn full_scale() -> bool {
+    std::env::var("TAS_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Picks `quick` or `full` by [`full_scale`].
+pub fn scaled<T>(quick: T, full: T) -> T {
+    if full_scale() {
+        full
+    } else {
+        quick
+    }
+}
+
+/// Prints an experiment header.
+pub fn section(title: &str, paper_ref: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!("paper: {paper_ref}");
+}
+
+/// The server stack under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// TAS with POSIX sockets (TAS SO).
+    TasSockets,
+    /// TAS with the low-level API (TAS LL).
+    TasLowLevel,
+    /// Linux in-kernel model.
+    Linux,
+    /// IX model.
+    Ix,
+    /// mTCP model.
+    Mtcp,
+}
+
+impl Kind {
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Kind::TasSockets => "TAS SO",
+            Kind::TasLowLevel => "TAS LL",
+            Kind::Linux => "Linux",
+            Kind::Ix => "IX",
+            Kind::Mtcp => "mTCP",
+        }
+    }
+}
+
+/// Per-flow buffer sizing for server scenarios (small for RPC echo, larger
+/// for KV / bulk workloads).
+#[derive(Clone, Copy, Debug)]
+pub struct Bufs {
+    /// Receive buffer bytes per connection.
+    pub rx: usize,
+    /// Transmit buffer bytes per connection.
+    pub tx: usize,
+}
+
+impl Bufs {
+    /// Small buffers for 64-byte echo at huge connection counts.
+    pub fn tiny() -> Bufs {
+        Bufs { rx: 1024, tx: 1024 }
+    }
+
+    /// Medium buffers for KV-sized messages.
+    pub fn small() -> Bufs {
+        Bufs { rx: 4096, tx: 4096 }
+    }
+}
+
+/// Optional TAS configuration overrides for ablation studies. `None`
+/// fields keep the [`make_server`] defaults, so the overridden run is
+/// comparable to the corresponding paper experiment.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TasOverrides {
+    /// Cache lines of flow state touched per request (ablates the
+    /// 102-byte compact state of Table 3).
+    pub cache_lines_per_req: Option<u64>,
+    /// Congestion-control policy (ablates fast-path rate enforcement).
+    pub cc: Option<CcAlgo>,
+    /// Stalled control intervals before a slow-path retransmission.
+    pub stall_intervals_for_rexmit: Option<u32>,
+    /// Control-loop interval τ.
+    pub control_interval: Option<SimTime>,
+}
+
+impl TasOverrides {
+    fn apply(&self, cfg: &mut TasConfig) {
+        if let Some(v) = self.cache_lines_per_req {
+            cfg.cache_lines_per_req = v;
+        }
+        if let Some(v) = self.cc {
+            cfg.cc = v;
+        }
+        if let Some(v) = self.stall_intervals_for_rexmit {
+            cfg.stall_intervals_for_rexmit = v;
+        }
+        if let Some(v) = self.control_interval {
+            cfg.control_interval = v;
+        }
+    }
+}
+
+/// Builds a server host of the given kind.
+///
+/// `cores` means: for TAS kinds `(fast-path cores, app cores)`; for the
+/// baselines the total core count (mTCP reserves ceil(total/3) of them for
+/// its stack threads).
+pub fn make_server(
+    sim: &mut Sim<NetMsg>,
+    spec: HostSpec,
+    kind: Kind,
+    cores: (usize, usize),
+    bufs: Bufs,
+    app: Box<dyn App>,
+) -> AgentId {
+    make_server_with(sim, spec, kind, cores, bufs, app, TasOverrides::default())
+}
+
+/// [`make_server`] with TAS ablation overrides (ignored for baselines).
+#[allow(clippy::too_many_arguments)]
+pub fn make_server_with(
+    sim: &mut Sim<NetMsg>,
+    spec: HostSpec,
+    kind: Kind,
+    cores: (usize, usize),
+    bufs: Bufs,
+    app: Box<dyn App>,
+    overrides: TasOverrides,
+) -> AgentId {
+    match kind {
+        Kind::TasSockets | Kind::TasLowLevel => {
+            let mut cfg = TasConfig::rpc_bench(cores.0, cores.1);
+            cfg.api = if kind == Kind::TasLowLevel {
+                ApiKind::LowLevel
+            } else {
+                ApiKind::Sockets
+            };
+            cfg.rx_buf = bufs.rx;
+            cfg.tx_buf = bufs.tx;
+            // The paper's testbed runs DCTCP everywhere; without
+            // congestion control, bulk/pipelined scenarios collapse the
+            // shared switch queue.
+            cfg.cc = CcAlgo::DctcpRate;
+            cfg.initial_rate_bps = 1_000_000_000;
+            cfg.control_interval = SimTime::from_us(200);
+            // Closed-loop macrobenchmarks keep up to one request per
+            // connection outstanding; deep rings absorb them (the paper's
+            // clients "wait in a closed loop" with up to 96k in flight).
+            cfg.max_core_backlog = SimTime::from_ms(50);
+            overrides.apply(&mut cfg);
+            sim.add_agent(Box::new(TasHost::new(
+                spec.ip,
+                spec.mac,
+                spec.nic,
+                cfg,
+                spec.uplink,
+                app,
+            )))
+        }
+        Kind::Linux | Kind::Ix | Kind::Mtcp => {
+            let total = cores.0 + cores.1;
+            let (profile, mut cfg) = match kind {
+                Kind::Linux => (profiles::linux(), StackHostConfig::linux(total)),
+                Kind::Ix => (profiles::ix(), StackHostConfig::ix(total)),
+                Kind::Mtcp => {
+                    let stack = (total / 3).max(1).min(total.saturating_sub(1)).max(1);
+                    (profiles::mtcp(), StackHostConfig::mtcp(total.max(2), stack))
+                }
+                _ => unreachable!(),
+            };
+            cfg.tcp.recv_buf = bufs.rx;
+            cfg.tcp.send_buf = bufs.tx;
+            cfg.max_core_backlog = SimTime::from_ms(50);
+            sim.add_agent(Box::new(StackHost::new(
+                spec.ip,
+                spec.mac,
+                spec.nic,
+                profile,
+                cfg,
+                spec.uplink,
+                app,
+            )))
+        }
+    }
+}
+
+/// An RPC-echo throughput scenario: one server, a bank of load-generator
+/// clients, closed loop with one request in flight per connection.
+#[derive(Clone, Debug)]
+pub struct RpcScenario {
+    /// Server stack.
+    pub kind: Kind,
+    /// Server cores (see [`make_server`]).
+    pub cores: (usize, usize),
+    /// Total client connections.
+    pub conns: u32,
+    /// Client machines to spread them over.
+    pub client_hosts: usize,
+    /// Request/response payload bytes.
+    pub req_size: usize,
+    /// Response size (defaults to `req_size` when `None` — echo).
+    pub resp_size: Option<usize>,
+    /// Per-request server app cycles.
+    pub app_cycles: u64,
+    /// Warmup before measurement.
+    pub warmup: SimTime,
+    /// Measurement window.
+    pub measure: SimTime,
+    /// Request template (None = echo filler).
+    pub req_template: Option<Vec<u8>>,
+    /// Buffers.
+    pub bufs: Bufs,
+    /// Which server application runs.
+    pub server_app: ServerApp,
+    /// Extra lock-contention cycles per op per extra app core (Table 7's
+    /// non-scalable KV workload); 0 normally.
+    pub kv_contention: u64,
+    /// TAS ablation overrides (no effect on baseline kinds).
+    pub tas_overrides: TasOverrides,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Server application selection for [`RpcScenario`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerApp {
+    /// Byte echo.
+    Echo,
+    /// The key-value store with the paper's GET-heavy workload.
+    Kv,
+}
+
+impl RpcScenario {
+    /// A default echo scenario.
+    pub fn echo(kind: Kind, cores: (usize, usize), conns: u32) -> RpcScenario {
+        RpcScenario {
+            kind,
+            cores,
+            conns,
+            client_hosts: 6,
+            req_size: 64,
+            resp_size: None,
+            app_cycles: 300,
+            warmup: SimTime::from_ms(30),
+            measure: SimTime::from_ms(20),
+            req_template: None,
+            bufs: Bufs::tiny(),
+            server_app: ServerApp::Echo,
+            kv_contention: 0,
+            tas_overrides: TasOverrides::default(),
+            seed: 42,
+        }
+    }
+
+    /// A key-value store scenario: GET requests via the load generators.
+    pub fn kv(kind: Kind, cores: (usize, usize), conns: u32) -> RpcScenario {
+        let mut template = vec![0u8; tas_apps::kv::REQ_HDR + tas_apps::kv::VAL_SIZE];
+        template[0] = tas_apps::kv::OP_GET;
+        template[1..5].copy_from_slice(&1u32.to_be_bytes());
+        template[5..7].copy_from_slice(&(tas_apps::kv::VAL_SIZE as u16).to_be_bytes());
+        RpcScenario {
+            req_size: template.len(),
+            resp_size: Some(tas_apps::kv::RESP_HDR + tas_apps::kv::VAL_SIZE),
+            req_template: Some(template),
+            server_app: ServerApp::Kv,
+            bufs: Bufs::small(),
+            ..RpcScenario::echo(kind, cores, conns)
+        }
+    }
+}
+
+/// Per-request cycle/instruction breakdown measured over a window
+/// (Tables 1–2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PerRequest {
+    /// Cycles per module per request.
+    pub cycles: [f64; MODULE_COUNT],
+    /// Instructions per module per request.
+    pub instr: [f64; MODULE_COUNT],
+    /// Requests measured.
+    pub requests: u64,
+}
+
+impl PerRequest {
+    /// Total cycles per request.
+    pub fn total_cycles(&self) -> f64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Total instructions per request.
+    pub fn total_instr(&self) -> f64 {
+        self.instr.iter().sum()
+    }
+
+    /// Stack cycles (everything but App).
+    pub fn stack_cycles(&self) -> f64 {
+        self.total_cycles() - self.cycles[Module::App as usize]
+    }
+
+    /// CPI over everything.
+    pub fn cpi(&self) -> f64 {
+        let i = self.total_instr();
+        if i == 0.0 {
+            0.0
+        } else {
+            self.total_cycles() / i
+        }
+    }
+}
+
+fn per_request(before: &CycleAccount, after: &CycleAccount, requests: u64) -> PerRequest {
+    let mut out = PerRequest {
+        requests,
+        ..PerRequest::default()
+    };
+    if requests == 0 {
+        return out;
+    }
+    for m in Module::ALL {
+        let i = m as usize;
+        out.cycles[i] = (after.cycles(m) - before.cycles(m)) as f64 / requests as f64;
+        out.instr[i] = (after.instructions(m) - before.instructions(m)) as f64 / requests as f64;
+    }
+    out
+}
+
+/// Result of an RPC scenario run.
+#[derive(Clone, Debug)]
+pub struct RpcResult {
+    /// Server-side completed messages per second (millions of ops/s).
+    pub mops: f64,
+    /// Client-observed RPC latency (ns histogram).
+    pub latency: Histogram,
+    /// Connections established.
+    pub established: u64,
+    /// Backlog drops at the server NIC.
+    pub drops: u64,
+    /// Per-request module breakdown over the measurement window.
+    pub per_request: PerRequest,
+}
+
+/// Runs an RPC scenario and returns throughput/latency.
+pub fn run_rpc(sc: &RpcScenario) -> RpcResult {
+    let mut sim: Sim<NetMsg> = Sim::new(sc.seed);
+    let server_ip = host_ip(0);
+    let resp = sc.resp_size.unwrap_or(sc.req_size);
+    let per_client = sc.conns / sc.client_hosts as u32;
+    let remainder = sc.conns % sc.client_hosts as u32;
+    let sc2 = sc.clone();
+    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
+        if spec.index == 0 {
+            let app: Box<dyn App> = match sc2.server_app {
+                ServerApp::Echo => Box::new(EchoServer::new(
+                    7,
+                    sc2.req_size,
+                    ServerMode::Echo,
+                    sc2.app_cycles,
+                )),
+                ServerApp::Kv => {
+                    let mut kv = KvServer::new(7);
+                    if sc2.kv_contention > 0 {
+                        kv = kv.non_scalable(sc2.cores.1.max(1) as u32, sc2.kv_contention);
+                    }
+                    Box::new(kv)
+                }
+            };
+            make_server_with(
+                sim,
+                spec,
+                sc2.kind,
+                sc2.cores,
+                sc2.bufs,
+                app,
+                sc2.tas_overrides,
+            )
+        } else {
+            let mut cfg = LoadGenConfig {
+                server: server_ip,
+                port: 7,
+                conns: per_client + u32::from(spec.index <= remainder),
+                req_size: sc2.req_size,
+                resp_size: resp,
+                connects_per_ms: 400,
+                ..LoadGenConfig::default()
+            };
+            cfg.req_template = sc2.req_template.clone();
+            sim.add_agent(Box::new(LoadGenHost::new(
+                spec.ip,
+                spec.mac,
+                spec.nic,
+                spec.uplink,
+                cfg,
+            )))
+        }
+    };
+    let topo = build_star(
+        &mut sim,
+        1 + sc.client_hosts,
+        |i| {
+            if i == 0 {
+                PortConfig::fortygig()
+            } else {
+                PortConfig::tengig()
+            }
+        },
+        |i| {
+            if i == 0 {
+                NicConfig::server_40g(1)
+            } else {
+                NicConfig::client_10g(1)
+            }
+        },
+        &mut factory,
+    );
+    for &h in &topo.hosts {
+        sim.inject_timer(SimTime::ZERO, h, 0, 0); // INIT for all host types.
+    }
+    // Ramp-up: connections plus warmup.
+    let ramp = SimTime::from_ms((sc.conns as u64 / 400).max(1) + 2);
+    let t0 = ramp + sc.warmup;
+    sim.run_until(t0);
+    // Snapshot counters, gate latency recording.
+    let (messages_t0, established) = server_messages(&sim, topo.hosts[0], sc.kind);
+    let acct0 = server_account(&sim, topo.hosts[0], sc.kind);
+    for &h in &topo.hosts[1..] {
+        sim.agent_mut::<LoadGenHost>(h).measure_from = t0;
+    }
+    sim.run_until(t0 + sc.measure);
+    let (messages_t1, _) = server_messages(&sim, topo.hosts[0], sc.kind);
+    let acct1 = server_account(&sim, topo.hosts[0], sc.kind);
+    let mut latency = Histogram::new();
+    for &h in &topo.hosts[1..] {
+        latency.merge(&sim.agent::<LoadGenHost>(h).latency);
+    }
+    let drops = match sc.kind {
+        Kind::TasSockets | Kind::TasLowLevel => {
+            sim.agent::<TasHost>(topo.hosts[0])
+                .host_stats()
+                .drop_backlog
+        }
+        _ => {
+            sim.agent::<StackHost>(topo.hosts[0])
+                .host_stats()
+                .drop_backlog
+        }
+    };
+    RpcResult {
+        mops: (messages_t1 - messages_t0) as f64 / sc.measure.as_secs_f64() / 1e6,
+        latency,
+        established,
+        drops,
+        per_request: per_request(&acct0, &acct1, messages_t1 - messages_t0),
+    }
+}
+
+fn server_account(sim: &Sim<NetMsg>, server: AgentId, kind: Kind) -> CycleAccount {
+    match kind {
+        Kind::TasSockets | Kind::TasLowLevel => sim.agent::<TasHost>(server).account().clone(),
+        _ => sim.agent::<StackHost>(server).account().clone(),
+    }
+}
+
+fn server_messages(sim: &Sim<NetMsg>, server: AgentId, kind: Kind) -> (u64, u64) {
+    match kind {
+        Kind::TasSockets | Kind::TasLowLevel => {
+            let h = sim.agent::<TasHost>(server);
+            // Try both app types (echo and KV servers).
+            let m = if let Some(e) = h.try_app::<EchoServer>() {
+                e.messages
+            } else if let Some(k) = h.try_app::<KvServer>() {
+                k.gets + k.sets
+            } else {
+                0
+            };
+            (m, h.sp_stats().established)
+        }
+        _ => {
+            let h = sim.agent::<StackHost>(server);
+            let m = if let Some(e) = h.try_app::<EchoServer>() {
+                e.messages
+            } else if let Some(k) = h.try_app::<KvServer>() {
+                k.gets + k.sets
+            } else {
+                0
+            };
+            (m, h.host_stats().established)
+        }
+    }
+}
+
+/// Formats ops/s as the paper does (mOps).
+pub fn fmt_mops(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a throughput in Gbit/s.
+pub fn fmt_gbps(bits_per_sec: f64) -> String {
+    format!("{:.2}", bits_per_sec / 1e9)
+}

@@ -1,0 +1,160 @@
+//! Cache-footprint and contention models.
+//!
+//! Paper §2.2 attributes the baselines' inefficiency to (a) large,
+//! scattered per-connection state overflowing caches as connections grow,
+//! and (b) state shared across cores causing coherence and lock stalls.
+//! These two models turn those mechanisms into per-request stall cycles.
+
+/// Working-set cache model.
+///
+/// Connection state of `state_bytes` per connection across `connections`
+/// live connections forms a working set; accesses hit a cache of
+/// `cache_bytes` with probability `min(1, cache / footprint)` (uniform
+/// random touch within the working set — a good approximation for the
+/// paper's uniformly-driven 32k/64k-connection experiments). Each request
+/// touches `lines_per_request` distinct cache lines of connection state;
+/// every miss stalls for `miss_penalty_cycles`.
+///
+/// TAS's fast path keeps 102 bytes/flow (2 lines) and partitions flows per
+/// core; the Linux model touches dozens of scattered lines (tcp_sock, skb,
+/// socket, epoll item…) in a cache shared with the application. Figure 4's
+/// divergence is this model's output.
+///
+/// # Examples
+///
+/// ```
+/// use tas_cpusim::CacheModel;
+/// let m = CacheModel::new(2 << 20, 2, 120.0);
+/// // Working set fits: no stalls.
+/// assert_eq!(m.stall_cycles(128, 1_000), 0.0);
+/// // Working set 4x the cache: 75% miss on 2 lines.
+/// let stalls = m.stall_cycles(128, 65_536);
+/// assert!((stalls - 2.0 * 0.75 * 120.0).abs() < 1.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct CacheModel {
+    cache_bytes: u64,
+    lines_per_request: u64,
+    miss_penalty_cycles: f64,
+}
+
+impl CacheModel {
+    /// Creates a cache model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_bytes` is zero.
+    pub fn new(cache_bytes: u64, lines_per_request: u64, miss_penalty_cycles: f64) -> Self {
+        assert!(cache_bytes > 0, "cache size must be positive");
+        CacheModel {
+            cache_bytes,
+            lines_per_request,
+            miss_penalty_cycles,
+        }
+    }
+
+    /// Cache capacity in bytes.
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache_bytes
+    }
+
+    /// Expected stall cycles added to one request when `connections` live
+    /// connections each hold `state_bytes` of stack state.
+    pub fn stall_cycles(&self, state_bytes: u64, connections: u64) -> f64 {
+        let footprint = state_bytes as f64 * connections as f64;
+        if footprint <= self.cache_bytes as f64 {
+            return 0.0;
+        }
+        let miss = 1.0 - self.cache_bytes as f64 / footprint;
+        self.lines_per_request as f64 * miss * self.miss_penalty_cycles
+    }
+
+    /// The largest connection count whose working set still fits. The paper
+    /// quotes "more than 20,000 active flows per core" for TAS's 102-byte
+    /// state in ~2 MB of cache; this is that computation.
+    pub fn capacity_connections(&self, state_bytes: u64) -> u64 {
+        self.cache_bytes
+            .checked_div(state_bytes)
+            .unwrap_or(u64::MAX)
+    }
+}
+
+/// Coherence and lock-contention model for stacks sharing connection state
+/// across cores.
+///
+/// Per request, a sharing stack pays `base_cycles` of atomic/lock overhead
+/// plus `per_core_cycles × (cores − 1)` of cross-core coherence traffic
+/// (line bouncing grows with the number of writers). Partitioned stacks
+/// (IX per-core, TAS fast path) construct this with zeroes.
+#[derive(Clone, Copy, Debug)]
+pub struct ContentionModel {
+    base_cycles: f64,
+    per_core_cycles: f64,
+}
+
+impl ContentionModel {
+    /// Creates a contention model.
+    pub fn new(base_cycles: f64, per_core_cycles: f64) -> Self {
+        ContentionModel {
+            base_cycles,
+            per_core_cycles,
+        }
+    }
+
+    /// No sharing: zero cost at any core count.
+    pub fn none() -> Self {
+        ContentionModel::new(0.0, 0.0)
+    }
+
+    /// Stall cycles per request when `cores` cores share the state.
+    pub fn stall_cycles(&self, cores: usize) -> f64 {
+        if cores <= 1 {
+            // A single core still pays the atomic-instruction base cost.
+            return self.base_cycles;
+        }
+        self.base_cycles + self.per_core_cycles * (cores as f64 - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_stalls_when_fitting() {
+        let m = CacheModel::new(1 << 21, 2, 100.0);
+        assert_eq!(m.stall_cycles(102, 20_000), 0.0);
+    }
+
+    #[test]
+    fn stalls_grow_monotonically_with_connections() {
+        let m = CacheModel::new(1 << 21, 8, 150.0);
+        let mut prev = -1.0;
+        for conns in [1_000u64, 10_000, 50_000, 100_000, 500_000] {
+            let s = m.stall_cycles(1024, conns);
+            assert!(s >= prev, "stalls must not decrease");
+            prev = s;
+        }
+        // Asymptote: all lines miss.
+        let s = m.stall_cycles(1024, 100_000_000);
+        assert!((s - 8.0 * 150.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn paper_quote_20k_flows_per_core() {
+        // "Current commodity server CPUs supply about 2MB of L2/3 data
+        // cache per core … more than 20,000 active flows per core" with
+        // 102-byte state.
+        let m = CacheModel::new(2 << 20, 2, 100.0);
+        assert!(m.capacity_connections(102) > 20_000);
+    }
+
+    #[test]
+    fn contention_scales_with_cores() {
+        let c = ContentionModel::new(50.0, 30.0);
+        assert_eq!(c.stall_cycles(1), 50.0);
+        assert_eq!(c.stall_cycles(4), 50.0 + 90.0);
+        let n = ContentionModel::none();
+        assert_eq!(n.stall_cycles(16), 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Processor cores as busy-until timelines.
+
+use tas_sim::SimTime;
+
+/// A simulated processor core.
+///
+/// Work items serialize on the core: an item submitted at `now` with cost
+/// `c` cycles starts at `max(now, busy_until)` and finishes `c / freq`
+/// later. Throughput saturation and queueing delay fall out of this
+/// accounting; nothing else in the system enforces capacity.
+///
+/// # Examples
+///
+/// ```
+/// use tas_cpusim::Core;
+/// use tas_sim::SimTime;
+/// let mut core = Core::new(2_100_000_000); // 2.1 GHz, as the paper's server.
+/// let (_start, end) = core.run(SimTime::ZERO, 2_100);
+/// assert_eq!(end, SimTime::from_us(1)); // 2100 cycles at 2.1 GHz = 1us.
+/// ```
+#[derive(Clone, Debug)]
+pub struct Core {
+    freq_hz: u64,
+    busy_until: SimTime,
+    busy_total: SimTime,
+    last_work: SimTime,
+}
+
+impl Core {
+    /// Creates a core with the given clock frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is zero.
+    pub fn new(freq_hz: u64) -> Self {
+        assert!(freq_hz > 0, "core frequency must be positive");
+        Core {
+            freq_hz,
+            busy_until: SimTime::ZERO,
+            busy_total: SimTime::ZERO,
+            last_work: SimTime::ZERO,
+        }
+    }
+
+    /// Clock frequency in Hz.
+    pub fn freq_hz(&self) -> u64 {
+        self.freq_hz
+    }
+
+    /// Converts a cycle count to wall time on this core.
+    pub fn cycles_to_time(&self, cycles: u64) -> SimTime {
+        // ps = cycles * 1e12 / freq, in u128 to avoid overflow.
+        SimTime::from_ps(((cycles as u128 * 1_000_000_000_000) / self.freq_hz as u128) as u64)
+    }
+
+    /// Converts wall time to cycles on this core.
+    pub fn time_to_cycles(&self, t: SimTime) -> u64 {
+        ((t.as_ps() as u128 * self.freq_hz as u128) / 1_000_000_000_000) as u64
+    }
+
+    /// Schedules `cycles` of work arriving at `now`; returns the start and
+    /// completion instants.
+    pub fn run(&mut self, now: SimTime, cycles: u64) -> (SimTime, SimTime) {
+        let start = now.max(self.busy_until);
+        let dur = self.cycles_to_time(cycles);
+        let end = start + dur;
+        self.busy_until = end;
+        self.busy_total += dur;
+        self.last_work = end;
+        (start, end)
+    }
+
+    /// Schedules fractional-cycle work (cost models frequently produce
+    /// non-integral cycle counts); rounds to the nearest cycle.
+    pub fn run_f64(&mut self, now: SimTime, cycles: f64) -> (SimTime, SimTime) {
+        self.run(now, cycles.max(0.0).round() as u64)
+    }
+
+    /// The instant this core next becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// True when the core has no scheduled work at `now`.
+    pub fn is_idle(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Completion time of the most recent work item (used for the 10 ms
+    /// blocking policy of fast-path threads).
+    pub fn last_work_end(&self) -> SimTime {
+        self.last_work
+    }
+
+    /// Total busy time accumulated since creation.
+    pub fn busy_total(&self) -> SimTime {
+        self.busy_total
+    }
+}
+
+/// A set of cores with utilization sampling, as the slow path's workload-
+/// proportionality monitor sees them (§3.4).
+#[derive(Clone, Debug)]
+pub struct CorePool {
+    cores: Vec<Core>,
+    last_sample_busy: Vec<SimTime>,
+    last_sample_at: SimTime,
+}
+
+impl CorePool {
+    /// Creates `n` cores at `freq_hz`.
+    pub fn new(n: usize, freq_hz: u64) -> Self {
+        CorePool {
+            cores: (0..n).map(|_| Core::new(freq_hz)).collect(),
+            last_sample_busy: vec![SimTime::ZERO; n],
+            last_sample_at: SimTime::ZERO,
+        }
+    }
+
+    /// Number of cores.
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// Access a core.
+    pub fn core(&mut self, i: usize) -> &mut Core {
+        &mut self.cores[i]
+    }
+
+    /// Immutable access to a core.
+    pub fn core_ref(&self, i: usize) -> &Core {
+        &self.cores[i]
+    }
+
+    /// Per-core utilization (fraction of wall time busy) since the previous
+    /// sample, then resets the sampling window. Utilization can slightly
+    /// exceed 1.0 when queued work extends past the sample instant.
+    pub fn sample_utilization(&mut self, now: SimTime) -> Vec<f64> {
+        let window = now.saturating_sub(self.last_sample_at);
+        let out = if window == SimTime::ZERO {
+            vec![0.0; self.cores.len()]
+        } else {
+            self.cores
+                .iter()
+                .zip(&self.last_sample_busy)
+                .map(|(c, &prev)| {
+                    c.busy_total().saturating_sub(prev).as_ps() as f64 / window.as_ps() as f64
+                })
+                .collect()
+        };
+        for (slot, c) in self.last_sample_busy.iter_mut().zip(&self.cores) {
+            *slot = c.busy_total();
+        }
+        self.last_sample_at = now;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_serializes_on_core() {
+        let mut c = Core::new(1_000_000_000); // 1 GHz: 1 cycle = 1 ns.
+        let (s1, e1) = c.run(SimTime::ZERO, 100);
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(e1, SimTime::from_ns(100));
+        // Arrives while busy: queues behind.
+        let (s2, e2) = c.run(SimTime::from_ns(50), 100);
+        assert_eq!(s2, SimTime::from_ns(100));
+        assert_eq!(e2, SimTime::from_ns(200));
+        // Arrives after idle gap: starts immediately.
+        let (s3, _) = c.run(SimTime::from_ns(500), 10);
+        assert_eq!(s3, SimTime::from_ns(500));
+    }
+
+    #[test]
+    fn cycle_time_conversions_invert() {
+        let c = Core::new(2_100_000_000);
+        for cycles in [1u64, 100, 2_100, 1_000_000] {
+            let t = c.cycles_to_time(cycles);
+            let back = c.time_to_cycles(t);
+            assert!(back.abs_diff(cycles) <= 1, "{cycles} -> {t} -> {back}");
+        }
+    }
+
+    #[test]
+    fn idle_detection() {
+        let mut c = Core::new(1_000_000_000);
+        assert!(c.is_idle(SimTime::ZERO));
+        c.run(SimTime::ZERO, 1000);
+        assert!(!c.is_idle(SimTime::from_ns(500)));
+        assert!(c.is_idle(SimTime::from_us(1)));
+        assert_eq!(c.last_work_end(), SimTime::from_us(1));
+    }
+
+    #[test]
+    fn utilization_sampling() {
+        let mut p = CorePool::new(2, 1_000_000_000);
+        // Core 0 busy 600ns of a 1000ns window; core 1 idle.
+        p.core(0).run(SimTime::ZERO, 600);
+        let u = p.sample_utilization(SimTime::from_ns(1000));
+        assert!((u[0] - 0.6).abs() < 1e-9, "{u:?}");
+        assert_eq!(u[1], 0.0);
+        // Next window: nothing happened.
+        let u2 = p.sample_utilization(SimTime::from_ns(2000));
+        assert_eq!(u2, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_window_sample_is_zero() {
+        let mut p = CorePool::new(1, 1_000_000_000);
+        assert_eq!(p.sample_utilization(SimTime::ZERO), vec![0.0]);
+    }
+
+    #[test]
+    fn run_f64_rounds() {
+        let mut c = Core::new(1_000_000_000);
+        let (_, e) = c.run_f64(SimTime::ZERO, 99.6);
+        assert_eq!(e, SimTime::from_ns(100));
+        let (_, e2) = c.run_f64(e, -5.0);
+        assert_eq!(e2, e, "negative cost clamps to zero");
+    }
+}

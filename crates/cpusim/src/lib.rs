@@ -1,0 +1,30 @@
+//! CPU cost model for the TAS reproduction.
+//!
+//! The paper's throughput and scalability results are CPU-efficiency
+//! results: cycles per request, instruction counts, cache behaviour as
+//! connection state grows, and contention on shared state (paper §2.2,
+//! Tables 1–2). This crate models the testbed's processors:
+//!
+//! * [`Core`] — a processor core as a busy-until timeline: work items
+//!   serialize on a core and each charges a cycle cost, so saturation,
+//!   queueing, and pipeline parallelism emerge from accounting.
+//! * [`CycleAccount`] — per-module (driver/IP/TCP/API/other/app) cycle and
+//!   instruction counters; the Table 1 and Table 2 harnesses print directly
+//!   from these.
+//! * [`CacheModel`] — working-set model translating (per-connection state ×
+//!   connections vs. effective cache) into per-request stall cycles; this is
+//!   what produces Figure 4's divergence between TAS's 102-byte flow state
+//!   and the baselines' scattered kilobyte state.
+//! * [`ContentionModel`] — coherence/locking penalty for stacks that share
+//!   connection state across cores (the monolithic in-kernel design).
+//!
+//! Cost *constants* for each stack live with that stack's implementation;
+//! this crate provides the machinery.
+
+mod account;
+mod cache;
+mod core_model;
+
+pub use account::{CycleAccount, Module, MODULE_COUNT};
+pub use cache::{CacheModel, ContentionModel};
+pub use core_model::{Core, CorePool};

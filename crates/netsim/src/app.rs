@@ -1,0 +1,129 @@
+//! Stack-agnostic application interface.
+//!
+//! The paper runs the *same* applications (RPC echo, key-value store,
+//! FlexStorm) over Linux, IX, mTCP, and TAS. To reproduce that, apps are
+//! written against this small event-driven sockets interface and host
+//! agents (one per stack) drive them: the POSIX-style epoll loop, IX's
+//! libevent-like API, and TAS's libTAS all reduce to this shape — the
+//! per-stack API *costs* are charged by the host, not by the app.
+
+use tas_sim::SimTime;
+
+/// An application-level socket handle (stack-assigned).
+pub type SockId = u32;
+
+/// Events delivered to an application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AppEvent {
+    /// An outbound connection completed.
+    Connected {
+        /// The socket.
+        sock: SockId,
+    },
+    /// An inbound connection was accepted on a listening port.
+    Accepted {
+        /// The new connection's socket.
+        sock: SockId,
+        /// The listening port it arrived on.
+        port: u16,
+    },
+    /// Data is available to read.
+    Readable {
+        /// The socket.
+        sock: SockId,
+    },
+    /// Send-buffer space opened up after an earlier short write.
+    Writable {
+        /// The socket.
+        sock: SockId,
+    },
+    /// The peer closed (or the connection reset/finished closing).
+    Closed {
+        /// The socket.
+        sock: SockId,
+    },
+    /// A timer set via [`StackApi::set_app_timer`] fired.
+    Timer {
+        /// Caller-chosen identifier.
+        token: u64,
+    },
+    /// Harness-injected control message (e.g. "start issuing load").
+    Ctl {
+        /// Discriminator (receiver-defined).
+        kind: u32,
+        /// Payload word.
+        a: u64,
+        /// Payload word.
+        b: u64,
+    },
+}
+
+/// The socket operations a host exposes to its application.
+///
+/// Every call may charge stack-specific CPU cost to the calling app
+/// thread's core; apps charge their *own* compute via
+/// [`StackApi::charge_app_cycles`].
+pub trait StackApi {
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+
+    /// Starts listening on a TCP port.
+    fn listen(&mut self, port: u16);
+
+    /// Opens a connection; completion is reported via
+    /// [`AppEvent::Connected`]. Returns the socket id.
+    fn connect(&mut self, ip: std::net::Ipv4Addr, port: u16) -> SockId;
+
+    /// Sends bytes; returns how many were accepted into the send buffer.
+    fn send(&mut self, sock: SockId, data: &[u8]) -> usize;
+
+    /// Receives up to `max` bytes.
+    fn recv(&mut self, sock: SockId, max: usize) -> Vec<u8>;
+
+    /// Bytes currently readable on a socket.
+    fn readable(&self, sock: SockId) -> usize;
+
+    /// Closes a socket (graceful).
+    fn close(&mut self, sock: SockId);
+
+    /// Charges application compute to the current app core (e.g. the
+    /// key-value store's hash lookup).
+    fn charge_app_cycles(&mut self, cycles: u64);
+
+    /// Sets a one-shot application timer delivering
+    /// [`AppEvent::Timer`] after `delay`.
+    fn set_app_timer(&mut self, delay: SimTime, token: u64);
+
+    /// Posts `token` to another application thread's context — an
+    /// inter-thread queue hop, delivered as [`AppEvent::Timer`] on that
+    /// context's core (FlexStorm's demux → worker → mux handoffs).
+    fn post(&mut self, context: u16, token: u64);
+}
+
+/// An event-driven application running on a host.
+///
+/// Implementations must be `'static` (hosts box them) and downcastable so
+/// experiment harnesses can read their measurements after a run; the
+/// [`tas_sim::impl_as_any!`] macro writes the two upcast methods.
+pub trait App: 'static {
+    /// Called once when the host starts.
+    fn on_start(&mut self, api: &mut dyn StackApi);
+
+    /// Called for every event.
+    fn on_event(&mut self, ev: AppEvent, api: &mut dyn StackApi);
+
+    /// Upcast for harness-side downcasting.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable upcast for harness-side downcasting.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// A no-op application (for hosts that only forward traffic).
+pub struct NullApp;
+
+impl App for NullApp {
+    fn on_start(&mut self, _api: &mut dyn StackApi) {}
+    fn on_event(&mut self, _ev: AppEvent, _api: &mut dyn StackApi) {}
+    tas_sim::impl_as_any!();
+}

@@ -1,0 +1,305 @@
+//! Host NIC model: multi-queue receive with RSS, serialized transmit.
+
+use crate::rss::{hash_tuple, RssTable};
+use crate::NetMsg;
+use std::collections::VecDeque;
+use tas_proto::{MacAddr, Segment};
+use tas_sim::time::transmission_time;
+use tas_sim::{AgentId, Ctx, SimTime};
+
+/// Static configuration of a host NIC and its uplink.
+#[derive(Clone, Debug)]
+pub struct NicConfig {
+    /// Link rate in bits/second (paper server: 40 Gbps; clients: 10 Gbps).
+    pub rate_bps: u64,
+    /// One-way propagation delay to the first-hop device.
+    pub prop_delay: SimTime,
+    /// Number of receive queues (= maximum fast-path cores).
+    pub rx_queues: usize,
+    /// Independent per-packet loss probability on transmit (Fig. 7's
+    /// induced loss); 0 for lossless runs.
+    pub tx_loss: f64,
+}
+
+impl NicConfig {
+    /// A 40 Gbps server NIC with `rx_queues` queues and 1 µs of wire delay.
+    pub fn server_40g(rx_queues: usize) -> Self {
+        NicConfig {
+            rate_bps: 40_000_000_000,
+            prop_delay: SimTime::from_us(1),
+            rx_queues,
+            tx_loss: 0.0,
+        }
+    }
+
+    /// A 10 Gbps client NIC.
+    pub fn client_10g(rx_queues: usize) -> Self {
+        NicConfig {
+            rate_bps: 10_000_000_000,
+            prop_delay: SimTime::from_us(1),
+            rx_queues,
+            tx_loss: 0.0,
+        }
+    }
+}
+
+/// A multi-queue NIC owned by a host agent.
+///
+/// Receive: [`HostNic::rx_enqueue`] hashes the 4-tuple, consults the RSS
+/// redirection table, and appends to the selected queue; the host's stack
+/// drains queues from its (fast-path) cores. Transmit: [`HostNic::tx`]
+/// serializes packets onto the uplink — departure times respect the link
+/// rate, so host-side output queueing emerges when the stack produces
+/// faster than the wire drains.
+#[derive(Debug)]
+pub struct HostNic {
+    /// This NIC's MAC address.
+    pub mac: MacAddr,
+    cfg: NicConfig,
+    uplink: AgentId,
+    rss: RssTable,
+    rx_queues: Vec<VecDeque<Segment>>,
+    tx_busy_until: SimTime,
+    /// Packets dropped by loss injection.
+    pub tx_dropped: u64,
+    /// Packets transmitted.
+    pub tx_count: u64,
+    /// Bytes transmitted (wire bytes).
+    pub tx_bytes: u64,
+    /// Packets received into queues.
+    pub rx_count: u64,
+}
+
+impl HostNic {
+    /// Creates a NIC attached to the agent `uplink` (its first-hop switch
+    /// or peer host).
+    pub fn new(mac: MacAddr, cfg: NicConfig, uplink: AgentId) -> Self {
+        let rss = RssTable::new(cfg.rx_queues);
+        let rx_queues = (0..cfg.rx_queues).map(|_| VecDeque::new()).collect();
+        HostNic {
+            mac,
+            cfg,
+            uplink,
+            rss,
+            rx_queues,
+            tx_busy_until: SimTime::ZERO,
+            tx_dropped: 0,
+            tx_count: 0,
+            tx_bytes: 0,
+            rx_count: 0,
+        }
+    }
+
+    /// The NIC configuration.
+    pub fn config(&self) -> &NicConfig {
+        &self.cfg
+    }
+
+    /// Number of receive queues.
+    pub fn rx_queue_count(&self) -> usize {
+        self.rx_queues.len()
+    }
+
+    /// Read access to the RSS redirection table.
+    pub fn rss(&self) -> &RssTable {
+        &self.rss
+    }
+
+    /// Mutable access to the redirection table (TAS's proportionality
+    /// controller rewrites it on core add/remove).
+    pub fn rss_mut(&mut self) -> &mut RssTable {
+        &mut self.rss
+    }
+
+    /// Enqueues an arriving packet, returning the receive queue chosen by
+    /// RSS.
+    pub fn rx_enqueue(&mut self, seg: Segment) -> usize {
+        let q = self.rss.queue_for_hash(hash_tuple(
+            seg.ip.src,
+            seg.ip.dst,
+            seg.tcp.src_port,
+            seg.tcp.dst_port,
+        ));
+        self.rx_count += 1;
+        self.rx_queues[q].push_back(seg);
+        q
+    }
+
+    /// Dequeues the next packet from receive queue `q`.
+    pub fn rx_dequeue(&mut self, q: usize) -> Option<Segment> {
+        self.rx_queues[q].pop_front()
+    }
+
+    /// Occupancy of receive queue `q`.
+    pub fn rx_depth(&self, q: usize) -> usize {
+        self.rx_queues[q].len()
+    }
+
+    /// Total packets waiting across all receive queues.
+    pub fn rx_pending(&self) -> usize {
+        self.rx_queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Transmits a packet onto the uplink no earlier than `ready` (when the
+    /// producing core finished building it). Returns the departure time.
+    ///
+    /// Loss injection drops the packet *after* charging wire time, like a
+    /// corrupted-on-the-wire packet.
+    pub fn tx(&mut self, ready: SimTime, seg: Segment, ctx: &mut Ctx<'_, NetMsg>) -> SimTime {
+        let start = ready.max(self.tx_busy_until);
+        let depart = start + transmission_time(seg.wire_len() as u64, self.cfg.rate_bps);
+        self.tx_busy_until = depart;
+        self.tx_count += 1;
+        self.tx_bytes += seg.wire_len() as u64;
+        if self.cfg.tx_loss > 0.0 && ctx.rng().chance(self.cfg.tx_loss) {
+            self.tx_dropped += 1;
+            return depart;
+        }
+        let arrival = depart + self.cfg.prop_delay;
+        ctx.send_at(self.uplink, arrival, NetMsg::Packet(seg));
+        depart
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use tas_proto::{TcpFlags, TcpHeader};
+    use tas_sim::{impl_as_any, Agent, Event, Sim};
+
+    fn seg(sport: u16) -> Segment {
+        Segment::tcp(
+            MacAddr::for_host(1),
+            MacAddr::for_host(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            TcpHeader::new(sport, 80, 0, 0, TcpFlags::ACK),
+            vec![0; 64],
+            true,
+        )
+    }
+
+    #[test]
+    fn rss_steers_flows_stably() {
+        let mut nic = HostNic::new(MacAddr::for_host(2), NicConfig::server_40g(4), 0);
+        let q1 = nic.rx_enqueue(seg(1000));
+        let q2 = nic.rx_enqueue(seg(1000));
+        assert_eq!(q1, q2, "same flow must hit the same queue");
+        // Many flows spread across queues.
+        let mut used = std::collections::BTreeSet::new();
+        for p in 0..64 {
+            used.insert(nic.rx_enqueue(seg(2000 + p)));
+        }
+        assert!(used.len() >= 3, "flows should spread: {used:?}");
+        assert_eq!(nic.rx_pending(), 66);
+    }
+
+    #[test]
+    fn rx_queues_are_fifo() {
+        let mut nic = HostNic::new(MacAddr::for_host(2), NicConfig::server_40g(1), 0);
+        let mut a = seg(1);
+        a.tcp.seq = 111;
+        let mut b = seg(1);
+        b.tcp.seq = 222;
+        nic.rx_enqueue(a);
+        nic.rx_enqueue(b);
+        assert_eq!(nic.rx_dequeue(0).unwrap().tcp.seq, 111);
+        assert_eq!(nic.rx_dequeue(0).unwrap().tcp.seq, 222);
+        assert!(nic.rx_dequeue(0).is_none());
+    }
+
+    /// A sink agent recording packet arrival times.
+    struct Sink {
+        arrivals: Vec<SimTime>,
+    }
+    impl Agent<NetMsg> for Sink {
+        fn on_event(&mut self, ev: Event<NetMsg>, ctx: &mut tas_sim::Ctx<'_, NetMsg>) {
+            if let Event::Msg {
+                msg: NetMsg::Packet(_),
+                ..
+            } = ev
+            {
+                self.arrivals.push(ctx.now());
+            }
+        }
+        impl_as_any!();
+    }
+
+    /// A driver agent that transmits two packets back-to-back at t=0.
+    struct Driver {
+        nic: HostNic,
+    }
+    impl Agent<NetMsg> for Driver {
+        fn on_event(&mut self, ev: Event<NetMsg>, ctx: &mut tas_sim::Ctx<'_, NetMsg>) {
+            if let Event::Timer { .. } = ev {
+                self.nic.tx(ctx.now(), seg(7), ctx);
+                self.nic.tx(ctx.now(), seg(7), ctx);
+            }
+        }
+        impl_as_any!();
+    }
+
+    #[test]
+    fn tx_serializes_on_link_rate() {
+        let mut sim: Sim<NetMsg> = Sim::new(1);
+        let sink = sim.add_agent(Box::new(Sink {
+            arrivals: Vec::new(),
+        }));
+        // 10 Gbps, 1us propagation; wire len = 14+20+20+64 = 118B -> 94.4ns.
+        let cfg = NicConfig {
+            rate_bps: 10_000_000_000,
+            prop_delay: SimTime::from_us(1),
+            rx_queues: 1,
+            tx_loss: 0.0,
+        };
+        let nic = HostNic::new(MacAddr::for_host(1), cfg, sink);
+        let driver = sim.add_agent(Box::new(Driver { nic }));
+        sim.inject_timer(SimTime::ZERO, driver, 0, 0);
+        sim.run_until(SimTime::from_ms(1));
+        let arr = &sim.agent::<Sink>(sink).arrivals;
+        assert_eq!(arr.len(), 2);
+        let wire = SimTime::from_ps(94_400);
+        assert_eq!(arr[0], SimTime::from_us(1) + wire);
+        assert_eq!(
+            arr[1],
+            SimTime::from_us(1) + wire * 2,
+            "second packet queues behind first"
+        );
+    }
+
+    #[test]
+    fn loss_injection_drops_proportionally() {
+        struct Blaster {
+            nic: HostNic,
+        }
+        impl Agent<NetMsg> for Blaster {
+            fn on_event(&mut self, ev: Event<NetMsg>, ctx: &mut tas_sim::Ctx<'_, NetMsg>) {
+                if let Event::Timer { .. } = ev {
+                    for _ in 0..10_000 {
+                        self.nic.tx(ctx.now(), seg(9), ctx);
+                    }
+                }
+            }
+            impl_as_any!();
+        }
+        let mut sim: Sim<NetMsg> = Sim::new(2);
+        let sink = sim.add_agent(Box::new(Sink {
+            arrivals: Vec::new(),
+        }));
+        let cfg = NicConfig {
+            rate_bps: 40_000_000_000,
+            prop_delay: SimTime::from_us(1),
+            rx_queues: 1,
+            tx_loss: 0.05,
+        };
+        let nic = HostNic::new(MacAddr::for_host(1), cfg, sink);
+        let blaster = sim.add_agent(Box::new(Blaster { nic }));
+        sim.inject_timer(SimTime::ZERO, blaster, 0, 0);
+        sim.run_until(SimTime::from_secs(1));
+        let delivered = sim.agent::<Sink>(sink).arrivals.len();
+        let dropped = sim.agent::<Blaster>(blaster).nic.tx_dropped;
+        assert_eq!(delivered as u64 + dropped, 10_000);
+        assert!((400..600).contains(&dropped), "~5% of 10k, got {dropped}");
+    }
+}

@@ -1,0 +1,488 @@
+//! Topology builders: star, dumbbell, and k-ary FatTree.
+//!
+//! Builders create and wire [`Switch`] agents, compute routes, and call a
+//! host-factory closure for every host slot — hosts themselves are agents
+//! defined by the stack crates (`tas`, `tas-baselines`), so the builders
+//! stay stack-agnostic.
+
+use crate::nic::NicConfig;
+use crate::switch::{PortConfig, Switch};
+use crate::NetMsg;
+use std::net::Ipv4Addr;
+use tas_proto::{Ipv4Header, MacAddr};
+use tas_sim::{AgentId, Sim, SimTime};
+
+/// Everything a host factory needs to construct one host agent.
+#[derive(Clone, Debug)]
+pub struct HostSpec {
+    /// Host index within the topology (0-based).
+    pub index: u32,
+    /// The host's IP address.
+    pub ip: Ipv4Addr,
+    /// The host's MAC address.
+    pub mac: MacAddr,
+    /// Agent id of the first-hop device.
+    pub uplink: AgentId,
+    /// NIC configuration for the host's uplink.
+    pub nic: NicConfig,
+}
+
+/// A host factory: builds a host agent for a [`HostSpec`].
+pub type HostFactory<'a> = dyn FnMut(&mut Sim<NetMsg>, HostSpec) -> AgentId + 'a;
+
+/// Deterministic IP for topology host `index`.
+pub fn host_ip(index: u32) -> Ipv4Addr {
+    Ipv4Header::host_addr(index + 1)
+}
+
+/// Deterministic MAC for topology host `index`.
+pub fn host_mac(index: u32) -> MacAddr {
+    MacAddr::for_host(index + 1)
+}
+
+/// A single-switch (star) topology: every host hangs off one switch.
+#[derive(Debug)]
+pub struct StarTopo {
+    /// The switch agent.
+    pub switch: AgentId,
+    /// Host agents in index order.
+    pub hosts: Vec<AgentId>,
+    /// Host IPs in index order.
+    pub ips: Vec<Ipv4Addr>,
+}
+
+/// Builds a star of `n` hosts. `port_cfg_for(i)` gives the switch port
+/// configuration toward host `i` (the paper's testbed has 10G client ports
+/// and a 40G server port on one switch), `nic_for(i)` the host NIC.
+pub fn build_star(
+    sim: &mut Sim<NetMsg>,
+    n: usize,
+    mut port_cfg_for: impl FnMut(u32) -> PortConfig,
+    mut nic_for: impl FnMut(u32) -> NicConfig,
+    make_host: &mut HostFactory<'_>,
+) -> StarTopo {
+    let switch = sim.add_agent(Box::new(Switch::new("star")));
+    let mut hosts = Vec::with_capacity(n);
+    let mut ips = Vec::with_capacity(n);
+    for i in 0..n as u32 {
+        let ip = host_ip(i);
+        let spec = HostSpec {
+            index: i,
+            ip,
+            mac: host_mac(i),
+            uplink: switch,
+            nic: nic_for(i),
+        };
+        let host = make_host(sim, spec);
+        let sw = sim.agent_mut::<Switch>(switch);
+        let port = sw.add_port(host, port_cfg_for(i));
+        sw.set_route(ip, vec![port]);
+        hosts.push(host);
+        ips.push(ip);
+    }
+    StarTopo { switch, hosts, ips }
+}
+
+/// A dumbbell: two switches joined by one bottleneck link, hosts split
+/// between the left and right sides.
+#[derive(Debug)]
+pub struct DumbbellTopo {
+    /// Left-side switch.
+    pub left: AgentId,
+    /// Right-side switch.
+    pub right: AgentId,
+    /// Left-side host agents.
+    pub left_hosts: Vec<AgentId>,
+    /// Right-side host agents.
+    pub right_hosts: Vec<AgentId>,
+    /// All host IPs, left side first.
+    pub ips: Vec<Ipv4Addr>,
+    /// Port index of the bottleneck on the left switch (for monitoring).
+    pub bottleneck_port: usize,
+}
+
+/// Builds a dumbbell with `n_left` and `n_right` hosts and a bottleneck of
+/// `bottleneck` configuration between the switches (left → right direction
+/// carries the monitored queue).
+pub fn build_dumbbell(
+    sim: &mut Sim<NetMsg>,
+    n_left: usize,
+    n_right: usize,
+    host_port: PortConfig,
+    host_nic: NicConfig,
+    bottleneck: PortConfig,
+    make_host: &mut HostFactory<'_>,
+) -> DumbbellTopo {
+    let left = sim.add_agent(Box::new(Switch::new("left")));
+    let right = sim.add_agent(Box::new(Switch::new("right")));
+    let mut ips = Vec::new();
+    let mut left_hosts = Vec::new();
+    let mut right_hosts = Vec::new();
+    for i in 0..(n_left + n_right) as u32 {
+        let ip = host_ip(i);
+        let side = if (i as usize) < n_left { left } else { right };
+        let spec = HostSpec {
+            index: i,
+            ip,
+            mac: host_mac(i),
+            uplink: side,
+            nic: host_nic.clone(),
+        };
+        let host = make_host(sim, spec);
+        let sw = sim.agent_mut::<Switch>(side);
+        let port = sw.add_port(host, host_port);
+        sw.set_route(ip, vec![port]);
+        if (i as usize) < n_left {
+            left_hosts.push(host);
+        } else {
+            right_hosts.push(host);
+        }
+        ips.push(ip);
+    }
+    // Inter-switch links; unmatched destinations go across.
+    let l2r = sim.agent_mut::<Switch>(left).add_port(right, bottleneck);
+    sim.agent_mut::<Switch>(left).set_default_route(vec![l2r]);
+    let r2l = sim.agent_mut::<Switch>(right).add_port(left, bottleneck);
+    sim.agent_mut::<Switch>(right).set_default_route(vec![r2l]);
+    DumbbellTopo {
+        left,
+        right,
+        left_hosts,
+        right_hosts,
+        ips,
+        bottleneck_port: l2r,
+    }
+}
+
+/// Link-rate configuration of a FatTree (allows modelling the paper's 1:4
+/// oversubscription by reducing `agg_core_rate`).
+#[derive(Clone, Copy, Debug)]
+pub struct FatTreeConfig {
+    /// Tree arity `k` (hosts = k³/4). Must be even and ≥ 2.
+    pub k: usize,
+    /// Host ↔ edge link rate (bps).
+    pub host_rate: u64,
+    /// Edge ↔ aggregation link rate (bps).
+    pub edge_agg_rate: u64,
+    /// Aggregation ↔ core link rate (bps); reduce for oversubscription.
+    pub agg_core_rate: u64,
+    /// Per-hop propagation delay.
+    pub prop_delay: SimTime,
+    /// Queue capacity per port in packets.
+    pub queue_cap_pkts: usize,
+    /// ECN threshold in packets.
+    pub ecn_threshold_pkts: Option<usize>,
+}
+
+impl FatTreeConfig {
+    /// The scaled-down stand-in for the paper's 2560-host cluster: k = 8
+    /// (128 hosts, 80 switches), 10G host links, 1:4 oversubscribed core.
+    pub fn paper_scaled() -> FatTreeConfig {
+        FatTreeConfig {
+            k: 8,
+            host_rate: 10_000_000_000,
+            edge_agg_rate: 10_000_000_000,
+            agg_core_rate: 10_000_000_000 / 4,
+            prop_delay: SimTime::from_us(2),
+            queue_cap_pkts: 256,
+            ecn_threshold_pkts: Some(65),
+        }
+    }
+}
+
+/// A k-ary FatTree.
+#[derive(Debug)]
+pub struct FatTreeTopo {
+    /// Host agents, grouped by pod then edge switch.
+    pub hosts: Vec<AgentId>,
+    /// Host IPs in the same order.
+    pub ips: Vec<Ipv4Addr>,
+    /// Edge switches (k/2 per pod).
+    pub edges: Vec<AgentId>,
+    /// Aggregation switches (k/2 per pod).
+    pub aggs: Vec<AgentId>,
+    /// Core switches ((k/2)² total).
+    pub cores: Vec<AgentId>,
+}
+
+/// Builds a k-ary FatTree with standard two-level ECMP routing:
+/// edge → all aggs (up-default), agg → all cores (up-default), and exact
+/// down-routes for every host IP.
+pub fn build_fattree(
+    sim: &mut Sim<NetMsg>,
+    cfg: FatTreeConfig,
+    make_host: &mut HostFactory<'_>,
+) -> FatTreeTopo {
+    assert!(
+        cfg.k >= 2 && cfg.k.is_multiple_of(2),
+        "k must be even and >= 2"
+    );
+    let k = cfg.k;
+    let half = k / 2;
+    let n_hosts = k * k * k / 4;
+    let port = |rate: u64| PortConfig {
+        rate_bps: rate,
+        prop_delay: cfg.prop_delay,
+        queue_cap_pkts: cfg.queue_cap_pkts,
+        ecn_threshold_pkts: cfg.ecn_threshold_pkts,
+        loss: 0.0,
+    };
+
+    // Create switch agents first so hosts can reference their edge uplink.
+    let mut edges = Vec::with_capacity(k * half);
+    let mut aggs = Vec::with_capacity(k * half);
+    for pod in 0..k {
+        for i in 0..half {
+            edges.push(sim.add_agent(Box::new(Switch::new(format!("edge{pod}.{i}")))));
+        }
+        for i in 0..half {
+            aggs.push(sim.add_agent(Box::new(Switch::new(format!("agg{pod}.{i}")))));
+        }
+    }
+    let cores: Vec<AgentId> = (0..half * half)
+        .map(|i| sim.add_agent(Box::new(Switch::new(format!("core{i}")))))
+        .collect();
+
+    // Hosts + edge down-ports.
+    let mut hosts = Vec::with_capacity(n_hosts);
+    let mut ips = Vec::with_capacity(n_hosts);
+    for idx in 0..n_hosts as u32 {
+        let pod = idx as usize / (half * half);
+        let edge_in_pod = (idx as usize / half) % half;
+        let edge = edges[pod * half + edge_in_pod];
+        let ip = host_ip(idx);
+        let spec = HostSpec {
+            index: idx,
+            ip,
+            mac: host_mac(idx),
+            uplink: edge,
+            nic: NicConfig {
+                rate_bps: cfg.host_rate,
+                prop_delay: cfg.prop_delay,
+                rx_queues: 1,
+                tx_loss: 0.0,
+            },
+        };
+        let host = make_host(sim, spec);
+        let sw = sim.agent_mut::<Switch>(edge);
+        let p = sw.add_port(host, port(cfg.host_rate));
+        sw.set_route(ip, vec![p]);
+        hosts.push(host);
+        ips.push(ip);
+    }
+
+    // Edge ↔ agg wiring within each pod (full bipartite).
+    for pod in 0..k {
+        for e in 0..half {
+            let edge = edges[pod * half + e];
+            let mut up = Vec::new();
+            for a in 0..half {
+                let agg = aggs[pod * half + a];
+                let pe = sim
+                    .agent_mut::<Switch>(edge)
+                    .add_port(agg, port(cfg.edge_agg_rate));
+                up.push(pe);
+                let pa = sim
+                    .agent_mut::<Switch>(agg)
+                    .add_port(edge, port(cfg.edge_agg_rate));
+                // Agg's down-routes: all hosts under this edge.
+                for h in 0..half {
+                    let idx = pod * half * half + e * half + h;
+                    sim.agent_mut::<Switch>(agg).set_route(ips[idx], vec![pa]);
+                }
+            }
+            sim.agent_mut::<Switch>(edge).set_default_route(up);
+        }
+    }
+
+    // Agg ↔ core wiring: agg `a` of each pod connects to cores
+    // a*half..(a+1)*half.
+    for pod in 0..k {
+        for a in 0..half {
+            let agg = aggs[pod * half + a];
+            let mut up = Vec::new();
+            for c in 0..half {
+                let core = cores[a * half + c];
+                let pa = sim
+                    .agent_mut::<Switch>(agg)
+                    .add_port(core, port(cfg.agg_core_rate));
+                up.push(pa);
+                let pc = sim
+                    .agent_mut::<Switch>(core)
+                    .add_port(agg, port(cfg.agg_core_rate));
+                // Core's down-routes: every host in this pod via this agg.
+                for ip in &ips[pod * half * half..(pod + 1) * half * half] {
+                    sim.agent_mut::<Switch>(core).set_route(*ip, vec![pc]);
+                }
+            }
+            sim.agent_mut::<Switch>(agg).set_default_route(up);
+        }
+    }
+
+    FatTreeTopo {
+        hosts,
+        ips,
+        edges,
+        aggs,
+        cores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tas_sim::{impl_as_any, Agent, Ctx, Event, SimTime};
+
+    /// Minimal host: replies to any packet by bouncing it back to the
+    /// sender through its NIC, and records arrivals.
+    struct EchoHost {
+        nic: crate::HostNic,
+        ip: Ipv4Addr,
+        got: Vec<tas_proto::Segment>,
+    }
+    impl Agent<NetMsg> for EchoHost {
+        fn on_event(&mut self, ev: Event<NetMsg>, ctx: &mut Ctx<'_, NetMsg>) {
+            if let Event::Msg {
+                msg: NetMsg::Packet(seg),
+                ..
+            } = ev
+            {
+                if seg.ip.dst == self.ip && seg.payload == b"ping" {
+                    let mut reply = seg.clone();
+                    std::mem::swap(&mut reply.ip.src, &mut reply.ip.dst);
+                    std::mem::swap(&mut reply.tcp.src_port, &mut reply.tcp.dst_port);
+                    std::mem::swap(&mut reply.eth.src, &mut reply.eth.dst);
+                    reply.payload = b"pong".to_vec();
+                    self.nic.tx(ctx.now(), reply, ctx);
+                }
+                self.got.push(seg);
+            }
+        }
+        impl_as_any!();
+    }
+
+    fn echo_factory() -> impl FnMut(&mut Sim<NetMsg>, HostSpec) -> AgentId {
+        |sim: &mut Sim<NetMsg>, spec: HostSpec| {
+            let nic = crate::HostNic::new(spec.mac, spec.nic.clone(), spec.uplink);
+            sim.add_agent(Box::new(EchoHost {
+                nic,
+                ip: spec.ip,
+                got: Vec::new(),
+            }))
+        }
+    }
+
+    fn ping(from_ip: Ipv4Addr, to_ip: Ipv4Addr, sport: u16) -> tas_proto::Segment {
+        tas_proto::Segment::tcp(
+            MacAddr::for_host(0),
+            MacAddr::for_host(0),
+            from_ip,
+            to_ip,
+            tas_proto::TcpHeader::new(sport, 7, 0, 0, tas_proto::TcpFlags::ACK),
+            b"ping".to_vec(),
+            true,
+        )
+    }
+
+    #[test]
+    fn star_round_trip() {
+        let mut sim: Sim<NetMsg> = Sim::new(1);
+        let mut f = echo_factory();
+        let topo = build_star(
+            &mut sim,
+            4,
+            |_| PortConfig::tengig(),
+            |_| NicConfig::client_10g(1),
+            &mut f,
+        );
+        // Host 0 pings host 3 "from the wire": inject at host 0's NIC agent
+        // by sending from host 0 through the switch.
+        let seg = ping(topo.ips[0], topo.ips[3], 999);
+        sim.inject_msg(
+            SimTime::ZERO,
+            topo.hosts[0],
+            topo.switch,
+            NetMsg::Packet(seg),
+        );
+        sim.run_until(SimTime::from_ms(2));
+        // Host 3 got the ping, host 0 got the pong.
+        assert_eq!(sim.agent::<EchoHost>(topo.hosts[3]).got.len(), 1);
+        let h0 = sim.agent::<EchoHost>(topo.hosts[0]);
+        assert_eq!(h0.got.len(), 1);
+        assert_eq!(h0.got[0].payload, b"pong");
+    }
+
+    #[test]
+    fn dumbbell_crosses_bottleneck() {
+        let mut sim: Sim<NetMsg> = Sim::new(2);
+        let mut f = echo_factory();
+        let topo = build_dumbbell(
+            &mut sim,
+            2,
+            2,
+            PortConfig::tengig(),
+            NicConfig::client_10g(1),
+            PortConfig::tengig(),
+            &mut f,
+        );
+        let seg = ping(topo.ips[0], topo.ips[3], 5);
+        sim.inject_msg(
+            SimTime::ZERO,
+            topo.left_hosts[0],
+            topo.left,
+            NetMsg::Packet(seg),
+        );
+        sim.run_until(SimTime::from_ms(2));
+        assert_eq!(sim.agent::<EchoHost>(topo.right_hosts[1]).got.len(), 1);
+        assert_eq!(sim.agent::<EchoHost>(topo.left_hosts[0]).got.len(), 1);
+    }
+
+    #[test]
+    fn fattree_k4_all_pairs_reachable() {
+        let mut sim: Sim<NetMsg> = Sim::new(3);
+        let mut f = echo_factory();
+        let cfg = FatTreeConfig {
+            k: 4,
+            ..FatTreeConfig::paper_scaled()
+        };
+        let topo = build_fattree(&mut sim, cfg, &mut f);
+        assert_eq!(topo.hosts.len(), 16);
+        assert_eq!(topo.edges.len(), 8);
+        assert_eq!(topo.aggs.len(), 8);
+        assert_eq!(topo.cores.len(), 4);
+        // Every host pings host (i + 5) % 16 — mix of intra-pod and
+        // inter-pod paths.
+        for i in 0..16u32 {
+            let j = (i + 5) % 16;
+            let seg = ping(topo.ips[i as usize], topo.ips[j as usize], 1000 + i as u16);
+            let edge = topo.edges[i as usize / 2 / 2 * 2 + (i as usize / 2) % 2];
+            sim.inject_msg(
+                SimTime::ZERO,
+                topo.hosts[i as usize],
+                edge,
+                NetMsg::Packet(seg),
+            );
+        }
+        sim.run_until(SimTime::from_ms(5));
+        for i in 0..16usize {
+            let h = sim.agent::<EchoHost>(topo.hosts[i]);
+            let pings = h.got.iter().filter(|s| s.payload == b"ping").count();
+            let pongs = h.got.iter().filter(|s| s.payload == b"pong").count();
+            assert_eq!(pings, 1, "host {i} should receive exactly one ping");
+            assert_eq!(pongs, 1, "host {i} should receive exactly one pong");
+        }
+        // No switch dropped for lack of a route.
+        for sw in topo.edges.iter().chain(&topo.aggs).chain(&topo.cores) {
+            assert_eq!(sim.agent::<Switch>(*sw).unroutable, 0);
+        }
+    }
+
+    #[test]
+    fn fattree_k8_scaled_sizes_match_design() {
+        let mut sim: Sim<NetMsg> = Sim::new(4);
+        let mut f = echo_factory();
+        let topo = build_fattree(&mut sim, FatTreeConfig::paper_scaled(), &mut f);
+        assert_eq!(topo.hosts.len(), 128);
+        assert_eq!(topo.edges.len() + topo.aggs.len() + topo.cores.len(), 80);
+    }
+}

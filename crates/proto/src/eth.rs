@@ -1,0 +1,120 @@
+//! Ethernet II framing.
+
+/// A 48-bit MAC address.
+///
+/// # Examples
+///
+/// ```
+/// use tas_proto::MacAddr;
+/// let m = MacAddr([0x02, 0, 0, 0, 0, 0x2a]);
+/// assert_eq!(format!("{m}"), "02:00:00:00:00:2a");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Deterministic locally-administered address for simulated host `n`.
+    ///
+    /// Hosts in the simulator derive their MAC from their index; the `0x02`
+    /// prefix marks the address locally administered.
+    pub fn for_host(n: u32) -> MacAddr {
+        let b = n.to_be_bytes();
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// EtherType of the encapsulated protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806) — used by the slow path's neighbor handling.
+    Arp,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The numeric EtherType value.
+    pub fn value(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Classifies a numeric EtherType.
+    pub fn from_value(v: u16) -> EtherType {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// An Ethernet II header (no VLAN tag; datacenter fabric in the paper's
+/// testbed is untagged at the host).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EthHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Encapsulated protocol.
+    pub ethertype: EtherType,
+}
+
+impl EthHeader {
+    /// Wire length of the header in bytes.
+    pub const LEN: usize = 14;
+
+    /// Creates an IPv4-carrying header.
+    pub fn ipv4(src: MacAddr, dst: MacAddr) -> Self {
+        EthHeader {
+            dst,
+            src,
+            ethertype: EtherType::Ipv4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethertype_round_trip() {
+        for et in [EtherType::Ipv4, EtherType::Arp, EtherType::Other(0x86dd)] {
+            assert_eq!(EtherType::from_value(et.value()), et);
+        }
+    }
+
+    #[test]
+    fn host_macs_unique_and_local() {
+        let a = MacAddr::for_host(1);
+        let b = MacAddr::for_host(2);
+        assert_ne!(a, b);
+        assert_eq!(a.0[0] & 0x02, 0x02, "locally administered bit");
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", MacAddr::BROADCAST), "ff:ff:ff:ff:ff:ff");
+    }
+}

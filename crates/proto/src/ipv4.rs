@@ -1,0 +1,166 @@
+//! IPv4 header model.
+//!
+//! TAS's fast path assumes datacenter conditions: no IP fragmentation
+//! (fragments are slow-path exceptions and dropped by the prototype) and
+//! DCTCP-style ECN. The [`Ecn`] codepoints are first-class because switch
+//! marking and receiver echo drive the congestion-control experiments.
+
+use std::net::Ipv4Addr;
+
+/// Explicit Congestion Notification codepoint (RFC 3168).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Ecn {
+    /// Not ECN-capable transport.
+    #[default]
+    NotEct,
+    /// ECN-capable transport, codepoint ECT(1).
+    Ect1,
+    /// ECN-capable transport, codepoint ECT(0) — what DCTCP senders set.
+    Ect0,
+    /// Congestion experienced — set by switches above the marking threshold.
+    Ce,
+}
+
+impl Ecn {
+    /// Two-bit field value.
+    pub fn bits(self) -> u8 {
+        match self {
+            Ecn::NotEct => 0b00,
+            Ecn::Ect1 => 0b01,
+            Ecn::Ect0 => 0b10,
+            Ecn::Ce => 0b11,
+        }
+    }
+
+    /// Decodes the two-bit field.
+    pub fn from_bits(b: u8) -> Ecn {
+        match b & 0b11 {
+            0b00 => Ecn::NotEct,
+            0b01 => Ecn::Ect1,
+            0b10 => Ecn::Ect0,
+            _ => Ecn::Ce,
+        }
+    }
+
+    /// Whether a switch may mark (rather than drop) this packet.
+    pub fn is_capable(self) -> bool {
+        !matches!(self, Ecn::NotEct)
+    }
+}
+
+/// An IPv4 header. Options are not modeled (packets carrying IP options are
+/// fast-path exceptions in TAS; the simulator never generates them).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Differentiated services codepoint (6 bits).
+    pub dscp: u8,
+    /// ECN codepoint.
+    pub ecn: Ecn,
+    /// Identification field.
+    pub ident: u16,
+    /// Don't-fragment flag. Always set by datacenter TCP senders.
+    pub dont_fragment: bool,
+    /// More-fragments flag; a set flag makes the packet a fast-path
+    /// exception.
+    pub more_fragments: bool,
+    /// Fragment offset in 8-byte units; nonzero is a fast-path exception.
+    pub frag_offset: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol number (6 = TCP).
+    pub protocol: u8,
+    /// Total length (header + payload) in bytes.
+    pub total_len: u16,
+}
+
+impl Ipv4Header {
+    /// Wire length of the (optionless) header.
+    pub const LEN: usize = 20;
+    /// Protocol number for TCP.
+    pub const PROTO_TCP: u8 = 6;
+
+    /// Creates a TCP-carrying datacenter header: DF set, TTL 64, ECT(0)
+    /// when `ecn_capable`.
+    pub fn tcp(src: Ipv4Addr, dst: Ipv4Addr, payload_len: u16, ecn_capable: bool) -> Self {
+        Ipv4Header {
+            src,
+            dst,
+            dscp: 0,
+            ecn: if ecn_capable { Ecn::Ect0 } else { Ecn::NotEct },
+            ident: 0,
+            dont_fragment: true,
+            more_fragments: false,
+            frag_offset: 0,
+            ttl: 64,
+            protocol: Self::PROTO_TCP,
+            total_len: Self::LEN as u16 + payload_len,
+        }
+    }
+
+    /// True when this packet is a fragment (offset or MF set) — a fast-path
+    /// exception per §4.1 of the paper.
+    pub fn is_fragment(&self) -> bool {
+        self.more_fragments || self.frag_offset != 0
+    }
+
+    /// Deterministic address for simulated host `n`: `10.x.y.z`.
+    pub fn host_addr(n: u32) -> Ipv4Addr {
+        let b = n.to_be_bytes();
+        Ipv4Addr::new(10, b[1], b[2], b[3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecn_bits_round_trip() {
+        for e in [Ecn::NotEct, Ecn::Ect1, Ecn::Ect0, Ecn::Ce] {
+            assert_eq!(Ecn::from_bits(e.bits()), e);
+        }
+    }
+
+    #[test]
+    fn ecn_capability() {
+        assert!(!Ecn::NotEct.is_capable());
+        assert!(Ecn::Ect0.is_capable());
+        assert!(Ecn::Ce.is_capable());
+    }
+
+    #[test]
+    fn tcp_header_defaults() {
+        let h = Ipv4Header::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            100,
+            true,
+        );
+        assert_eq!(h.total_len, 120);
+        assert!(h.dont_fragment);
+        assert!(!h.is_fragment());
+        assert_eq!(h.ecn, Ecn::Ect0);
+        assert_eq!(h.protocol, Ipv4Header::PROTO_TCP);
+    }
+
+    #[test]
+    fn fragment_detection() {
+        let mut h = Ipv4Header::tcp(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED, 0, false);
+        assert!(!h.is_fragment());
+        h.frag_offset = 8;
+        assert!(h.is_fragment());
+        h.frag_offset = 0;
+        h.more_fragments = true;
+        assert!(h.is_fragment());
+    }
+
+    #[test]
+    fn host_addrs_unique() {
+        assert_ne!(Ipv4Header::host_addr(1), Ipv4Header::host_addr(2));
+        assert_eq!(Ipv4Header::host_addr(1), Ipv4Addr::new(10, 0, 0, 1));
+    }
+}

@@ -1,0 +1,228 @@
+//! TCP header model: flags, options, and sequence-number arithmetic.
+
+/// TCP flag bits.
+///
+/// # Examples
+///
+/// ```
+/// use tas_proto::TcpFlags;
+/// let f = TcpFlags::SYN | TcpFlags::ACK;
+/// assert!(f.contains(TcpFlags::SYN));
+/// assert!(!f.contains(TcpFlags::FIN));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// No flags.
+    pub const EMPTY: TcpFlags = TcpFlags(0);
+    /// FIN: sender is done sending.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN: synchronize sequence numbers.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST: reset the connection.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH: push buffered data to the application.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK: the acknowledgment field is valid.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// URG: the urgent pointer is valid (a fast-path exception).
+    pub const URG: TcpFlags = TcpFlags(0x20);
+    /// ECE: ECN echo — receiver saw CE (or SYN-time ECN negotiation).
+    pub const ECE: TcpFlags = TcpFlags(0x40);
+    /// CWR: congestion window reduced (sender response to ECE).
+    pub const CWR: TcpFlags = TcpFlags(0x80);
+
+    /// True when all bits of `other` are set in `self`.
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True when any bit of `other` is set in `self`.
+    pub fn intersects(self, other: TcpFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+}
+
+impl std::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for TcpFlags {
+    fn bitor_assign(&mut self, rhs: TcpFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+/// The TCP options TAS negotiates and uses (§3.1–3.2 of the paper: MSS,
+/// timestamps for RTT estimation, window scaling).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct TcpOptions {
+    /// Maximum segment size (SYN-only).
+    pub mss: Option<u16>,
+    /// Window scale shift count (SYN-only).
+    pub wscale: Option<u8>,
+    /// Timestamp value and echo reply (TSval, TSecr).
+    pub timestamp: Option<(u32, u32)>,
+    /// SACK-permitted (SYN-only); TAS itself does not send SACK blocks but
+    /// the Linux baseline model negotiates this.
+    pub sack_permitted: bool,
+    /// First SACK block (left, right edge), when the receiver holds
+    /// out-of-order data (kind 5; one block suffices for the models here).
+    pub sack_block: Option<(u32, u32)>,
+}
+
+impl TcpOptions {
+    /// Wire length the options occupy, padded to a multiple of 4.
+    pub fn wire_len(&self) -> usize {
+        let mut n = 0;
+        if self.mss.is_some() {
+            n += 4;
+        }
+        if self.wscale.is_some() {
+            n += 3;
+        }
+        if self.timestamp.is_some() {
+            n += 10;
+        }
+        if self.sack_permitted {
+            n += 2;
+        }
+        if self.sack_block.is_some() {
+            n += 10;
+        }
+        (n + 3) & !3
+    }
+}
+
+/// A TCP header in structured form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte.
+    pub seq: u32,
+    /// Acknowledgment number (next expected byte), valid with ACK.
+    pub ack: u32,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// Receive window (unscaled wire value).
+    pub window: u16,
+    /// Urgent pointer (always 0 in the simulator; URG is an exception).
+    pub urgent: u16,
+    /// Options.
+    pub options: TcpOptions,
+}
+
+impl TcpHeader {
+    /// Wire length of the header without options.
+    pub const BASE_LEN: usize = 20;
+
+    /// Total wire length including padded options.
+    pub fn wire_len(&self) -> usize {
+        Self::BASE_LEN + self.options.wire_len()
+    }
+
+    /// A bare data/ACK header with the given endpoints.
+    pub fn new(src_port: u16, dst_port: u16, seq: u32, ack: u32, flags: TcpFlags) -> Self {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window: 0,
+            urgent: 0,
+            options: TcpOptions::default(),
+        }
+    }
+}
+
+/// Sequence-number arithmetic (RFC 793 §3.3: all comparisons mod 2^32).
+pub mod seq {
+    /// True when `a < b` in sequence space.
+    pub fn lt(a: u32, b: u32) -> bool {
+        (a.wrapping_sub(b) as i32) < 0
+    }
+
+    /// True when `a <= b` in sequence space.
+    pub fn le(a: u32, b: u32) -> bool {
+        a == b || lt(a, b)
+    }
+
+    /// True when `a > b` in sequence space.
+    pub fn gt(a: u32, b: u32) -> bool {
+        lt(b, a)
+    }
+
+    /// True when `a >= b` in sequence space.
+    pub fn ge(a: u32, b: u32) -> bool {
+        le(b, a)
+    }
+
+    /// `a - b` in sequence space, as a (possibly huge) forward distance.
+    pub fn sub(a: u32, b: u32) -> u32 {
+        a.wrapping_sub(b)
+    }
+
+    /// True when `x` lies in the half-open window `[lo, lo+len)`.
+    pub fn in_window(x: u32, lo: u32, len: u32) -> bool {
+        sub(x, lo) < len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_ops() {
+        let f = TcpFlags::SYN | TcpFlags::ECE | TcpFlags::CWR;
+        assert!(f.contains(TcpFlags::SYN | TcpFlags::ECE));
+        assert!(f.intersects(TcpFlags::CWR));
+        assert!(!f.contains(TcpFlags::ACK));
+        let mut g = TcpFlags::EMPTY;
+        g |= TcpFlags::FIN;
+        assert!(g.contains(TcpFlags::FIN));
+    }
+
+    #[test]
+    fn option_lengths_are_padded() {
+        let mut o = TcpOptions::default();
+        assert_eq!(o.wire_len(), 0);
+        o.mss = Some(1460);
+        assert_eq!(o.wire_len(), 4);
+        o.wscale = Some(7);
+        assert_eq!(o.wire_len(), 8); // 4 + 3 padded to 8.
+        o.timestamp = Some((1, 2));
+        assert_eq!(o.wire_len(), 20); // 4 + 3 + 10 = 17 padded to 20.
+        o.sack_permitted = true;
+        assert_eq!(o.wire_len(), 20); // 19 padded to 20.
+    }
+
+    #[test]
+    fn header_wire_len() {
+        let mut h = TcpHeader::new(1, 2, 0, 0, TcpFlags::SYN);
+        assert_eq!(h.wire_len(), 20);
+        h.options.mss = Some(1460);
+        assert_eq!(h.wire_len(), 24);
+    }
+
+    #[test]
+    fn seq_arithmetic_wraps() {
+        use super::seq::*;
+        assert!(lt(u32::MAX, 0));
+        assert!(gt(0, u32::MAX));
+        assert!(le(5, 5));
+        assert!(ge(5, 5));
+        assert_eq!(sub(2, u32::MAX), 3);
+        assert!(in_window(u32::MAX, u32::MAX - 1, 4));
+        assert!(in_window(1, u32::MAX - 1, 4));
+        assert!(!in_window(3, u32::MAX - 1, 4));
+    }
+}

@@ -1,0 +1,296 @@
+//! Circular payload buffer addressed by absolute stream offsets.
+
+/// Errors returned by [`ByteRing`] operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RingError {
+    /// The operation would exceed the ring's capacity.
+    Full,
+    /// The requested range is not inside the valid window.
+    OutOfRange,
+}
+
+impl std::fmt::Display for RingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RingError::Full => f.write_str("ring full"),
+            RingError::OutOfRange => f.write_str("range outside ring window"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+/// A fixed-capacity circular byte buffer over an absolute (u64) stream.
+///
+/// Three offsets partition the stream:
+///
+/// ```text
+///   start                end                      start + capacity
+///     |---- valid data ----|---- writable ahead ----|
+/// ```
+///
+/// * `start..end` holds committed bytes (readable, e.g. in-order received
+///   payload, or sent-but-unacked TX data).
+/// * `end..start+capacity` is space where data may be staged out of order
+///   ([`write_at`](ByteRing::write_at)) before being committed by
+///   [`advance_end`](ByteRing::advance_end).
+///
+/// Used as TAS's per-flow RX buffer (`rx_start|size`, `rx_head|tail` in the
+/// paper's Table 3) and TX buffer (`tx_head|tail`, `tx_sent`).
+///
+/// # Examples
+///
+/// ```
+/// use tas_shm::ByteRing;
+/// let mut r = ByteRing::new(8);
+/// r.append(b"abc").unwrap();
+/// assert_eq!(r.copy_out(0, 3).unwrap(), b"abc");
+/// r.consume(3).unwrap();
+/// assert_eq!(r.len(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ByteRing {
+    buf: Box<[u8]>,
+    start: u64,
+    end: u64,
+}
+
+impl ByteRing {
+    /// Creates a ring with the given capacity in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        ByteRing {
+            buf: vec![0u8; capacity].into_boxed_slice(),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Committed bytes currently stored (`end - start`).
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// True when no committed bytes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Free space after the committed region.
+    pub fn free(&self) -> usize {
+        self.capacity() - self.len()
+    }
+
+    /// Absolute offset of the oldest committed byte.
+    pub fn start_offset(&self) -> u64 {
+        self.start
+    }
+
+    /// Absolute offset one past the newest committed byte.
+    pub fn end_offset(&self) -> u64 {
+        self.end
+    }
+
+    fn slot(&self, pos: u64) -> usize {
+        (pos % self.buf.len() as u64) as usize
+    }
+
+    fn copy_in(&mut self, pos: u64, data: &[u8]) {
+        let cap = self.buf.len();
+        let s = self.slot(pos);
+        let first = (cap - s).min(data.len());
+        self.buf[s..s + first].copy_from_slice(&data[..first]);
+        if first < data.len() {
+            self.buf[..data.len() - first].copy_from_slice(&data[first..]);
+        }
+    }
+
+    /// Appends committed data at `end`, failing (without partial writes)
+    /// if it does not fit.
+    pub fn append(&mut self, data: &[u8]) -> Result<(), RingError> {
+        if data.len() > self.free() {
+            return Err(RingError::Full);
+        }
+        self.copy_in(self.end, data);
+        self.end += data.len() as u64;
+        Ok(())
+    }
+
+    /// Appends as much of `data` as fits, returning the byte count written.
+    pub fn append_partial(&mut self, data: &[u8]) -> usize {
+        let n = data.len().min(self.free());
+        self.copy_in(self.end, &data[..n]);
+        self.end += n as u64;
+        n
+    }
+
+    /// Writes `data` at absolute offset `pos`, which may lie beyond `end`
+    /// (out-of-order staging) but must fit within `start + capacity`.
+    /// Does not move `end`.
+    pub fn write_at(&mut self, pos: u64, data: &[u8]) -> Result<(), RingError> {
+        if pos < self.start || pos + data.len() as u64 > self.start + self.capacity() as u64 {
+            return Err(RingError::OutOfRange);
+        }
+        self.copy_in(pos, data);
+        Ok(())
+    }
+
+    /// Commits `n` bytes past `end` (e.g. after an out-of-order interval
+    /// has been filled in).
+    pub fn advance_end(&mut self, n: u64) -> Result<(), RingError> {
+        if self.len() + n as usize > self.capacity() {
+            return Err(RingError::Full);
+        }
+        self.end += n;
+        Ok(())
+    }
+
+    /// Copies `len` bytes starting at absolute offset `pos` out of the
+    /// committed region.
+    pub fn copy_out(&mut self, pos: u64, len: usize) -> Result<Vec<u8>, RingError> {
+        if pos < self.start || pos + len as u64 > self.end {
+            return Err(RingError::OutOfRange);
+        }
+        let cap = self.buf.len();
+        let s = self.slot(pos);
+        let mut out = Vec::with_capacity(len);
+        let first = (cap - s).min(len);
+        out.extend_from_slice(&self.buf[s..s + first]);
+        if first < len {
+            out.extend_from_slice(&self.buf[..len - first]);
+        }
+        Ok(out)
+    }
+
+    /// Reads and consumes up to `max` bytes from the front of the committed
+    /// region (the application's `recv()` path).
+    pub fn pop(&mut self, max: usize) -> Vec<u8> {
+        let n = max.min(self.len());
+        let out = self
+            .copy_out(self.start, n)
+            .expect("front of committed region is always valid");
+        self.start += n as u64;
+        out
+    }
+
+    /// Frees `n` bytes from the front (TX-side: acknowledged data).
+    pub fn consume(&mut self, n: u64) -> Result<(), RingError> {
+        if n as usize > self.len() {
+            return Err(RingError::OutOfRange);
+        }
+        self.start += n;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_read_consume_cycle() {
+        let mut r = ByteRing::new(16);
+        r.append(b"hello").unwrap();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.free(), 11);
+        assert_eq!(r.copy_out(0, 5).unwrap(), b"hello");
+        r.consume(2).unwrap();
+        assert_eq!(r.copy_out(2, 3).unwrap(), b"llo");
+        assert_eq!(r.copy_out(1, 2), Err(RingError::OutOfRange));
+    }
+
+    #[test]
+    fn wraps_around_capacity() {
+        let mut r = ByteRing::new(8);
+        r.append(b"abcdef").unwrap();
+        r.consume(6).unwrap();
+        // Next append wraps around the physical end.
+        r.append(b"ghijkl").unwrap();
+        assert_eq!(r.copy_out(6, 6).unwrap(), b"ghijkl");
+    }
+
+    #[test]
+    fn append_full_is_atomic() {
+        let mut r = ByteRing::new(4);
+        r.append(b"abc").unwrap();
+        assert_eq!(r.append(b"de"), Err(RingError::Full));
+        assert_eq!(r.len(), 3);
+        r.append(b"d").unwrap();
+        assert_eq!(r.free(), 0);
+    }
+
+    #[test]
+    fn append_partial_fills_exactly() {
+        let mut r = ByteRing::new(4);
+        assert_eq!(r.append_partial(b"abcdef"), 4);
+        assert_eq!(r.copy_out(0, 4).unwrap(), b"abcd");
+        assert_eq!(r.append_partial(b"x"), 0);
+    }
+
+    #[test]
+    fn out_of_order_staging_then_commit() {
+        // Model TAS's RX out-of-order interval: bytes 5..8 arrive before
+        // 0..5; the ring stages them, then the gap fills and both commit.
+        let mut r = ByteRing::new(16);
+        r.write_at(5, b"XYZ").unwrap();
+        assert_eq!(r.len(), 0, "staged data is not committed");
+        r.append(b"abcde").unwrap();
+        r.advance_end(3).unwrap();
+        assert_eq!(r.copy_out(0, 8).unwrap(), b"abcdeXYZ");
+    }
+
+    #[test]
+    fn write_at_bounds_checked() {
+        let mut r = ByteRing::new(8);
+        r.append(b"ab").unwrap();
+        r.consume(2).unwrap();
+        // Window is now [2, 10).
+        assert_eq!(r.write_at(1, b"z"), Err(RingError::OutOfRange));
+        assert_eq!(r.write_at(9, b"zz"), Err(RingError::OutOfRange));
+        r.write_at(9, b"z").unwrap();
+    }
+
+    #[test]
+    fn pop_limits_to_available() {
+        let mut r = ByteRing::new(8);
+        r.append(b"abc").unwrap();
+        assert_eq!(r.pop(10), b"abc");
+        assert!(r.pop(10).is_empty());
+    }
+
+    #[test]
+    fn advance_end_respects_capacity() {
+        let mut r = ByteRing::new(4);
+        r.append(b"abc").unwrap();
+        assert_eq!(r.advance_end(2), Err(RingError::Full));
+        r.advance_end(1).unwrap();
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn long_stream_offsets_stay_consistent() {
+        // Push/pop far past several wrap points; offsets are absolute.
+        let mut r = ByteRing::new(7);
+        let mut next = 0u64;
+        for round in 0..100u64 {
+            let chunk: Vec<u8> = (0..5).map(|i| ((round * 5 + i) % 251) as u8).collect();
+            r.append(&chunk).unwrap();
+            let got = r.pop(5);
+            for (i, b) in got.iter().enumerate() {
+                assert_eq!(*b, ((next + i as u64) % 251) as u8);
+            }
+            next += 5;
+        }
+        assert_eq!(r.start_offset(), 500);
+        assert_eq!(r.end_offset(), 500);
+    }
+}

@@ -1,0 +1,457 @@
+//! The agent-based simulation engine.
+//!
+//! A simulation is a set of [`Agent`]s (hosts, switches, load generators)
+//! that exchange typed messages and set timers through a [`Ctx`] handle. The
+//! engine is single-threaded and deterministic: all effects requested while
+//! handling an event are queued and applied afterwards, and ties on
+//! timestamps dispatch in insertion order.
+
+use crate::queue::EventQueue;
+use crate::rng::Rng;
+use crate::time::SimTime;
+use std::any::Any;
+
+/// Identifier of an agent within a [`Sim`].
+pub type AgentId = u32;
+
+/// An event delivered to an agent.
+#[derive(Debug)]
+pub enum Event<M> {
+    /// A timer previously set by this agent (or injected by the harness).
+    /// `kind` discriminates timer uses within the agent; `data` is an
+    /// agent-defined payload (e.g. a flow id or a generation counter used
+    /// to ignore stale timers).
+    Timer {
+        /// Agent-defined timer class.
+        kind: u32,
+        /// Agent-defined payload.
+        data: u64,
+    },
+    /// A message from another agent (or from the harness).
+    Msg {
+        /// The sending agent.
+        from: AgentId,
+        /// The message body.
+        msg: M,
+    },
+}
+
+/// A simulation participant.
+///
+/// Implementors must also provide `as_any`/`as_any_mut` so harnesses can
+/// downcast agents after a run to read out results; the
+/// [`impl_as_any!`](crate::impl_as_any) macro writes those two methods.
+pub trait Agent<M>: 'static {
+    /// Handles one event at the current simulated time.
+    fn on_event(&mut self, ev: Event<M>, ctx: &mut Ctx<'_, M>);
+
+    /// Upcast for downcasting concrete agent types after a run.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for downcasting concrete agent types after a run.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Expands to the `as_any`/`as_any_mut` boilerplate of [`Agent`].
+#[macro_export]
+macro_rules! impl_as_any {
+    () => {
+        fn as_any(&self) -> &dyn ::std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn ::std::any::Any {
+            self
+        }
+    };
+}
+
+struct Scheduled<M> {
+    to: AgentId,
+    ev: Event<M>,
+}
+
+/// Handle through which an agent interacts with the engine while handling
+/// an event: read the clock, draw randomness, send messages, set timers,
+/// or stop the run.
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    self_id: AgentId,
+    rng: &'a mut Rng,
+    pending: &'a mut Vec<(SimTime, Scheduled<M>)>,
+    stop: &'a mut bool,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The handling agent's own id.
+    pub fn id(&self) -> AgentId {
+        self.self_id
+    }
+
+    /// The simulation's PRNG.
+    pub fn rng(&mut self) -> &mut Rng {
+        self.rng
+    }
+
+    /// Sends `msg` to agent `to`, arriving `delay` after now.
+    pub fn send(&mut self, to: AgentId, delay: SimTime, msg: M) {
+        self.send_at(to, self.now + delay, msg);
+    }
+
+    /// Sends `msg` to agent `to`, arriving at absolute time `at`.
+    ///
+    /// `at` earlier than now is clamped to now.
+    pub fn send_at(&mut self, to: AgentId, at: SimTime, msg: M) {
+        let from = self.self_id;
+        self.pending.push((
+            at.max(self.now),
+            Scheduled {
+                to,
+                ev: Event::Msg { from, msg },
+            },
+        ));
+    }
+
+    /// Sets a timer on the handling agent, firing `delay` after now.
+    pub fn timer(&mut self, delay: SimTime, kind: u32, data: u64) {
+        self.timer_at(self.now + delay, kind, data);
+    }
+
+    /// Sets a timer on the handling agent at absolute time `at`.
+    pub fn timer_at(&mut self, at: SimTime, kind: u32, data: u64) {
+        let to = self.self_id;
+        self.pending.push((
+            at.max(self.now),
+            Scheduled {
+                to,
+                ev: Event::Timer { kind, data },
+            },
+        ));
+    }
+
+    /// Requests the run to stop after this event completes.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// The simulation: agents, clock, event queue, and PRNG.
+///
+/// # Examples
+///
+/// ```
+/// use tas_sim::{impl_as_any, Agent, Ctx, Event, Sim, SimTime};
+///
+/// struct Pinger {
+///     got: u32,
+/// }
+/// impl Agent<u32> for Pinger {
+///     fn on_event(&mut self, ev: Event<u32>, ctx: &mut Ctx<'_, u32>) {
+///         if let Event::Msg { msg, .. } = ev {
+///             self.got += msg;
+///         }
+///     }
+///     impl_as_any!();
+/// }
+///
+/// let mut sim = Sim::new(42);
+/// let id = sim.add_agent(Box::new(Pinger { got: 0 }));
+/// sim.inject_msg(SimTime::from_us(1), id, id, 7);
+/// sim.run_until(SimTime::from_us(2));
+/// assert_eq!(sim.agent::<Pinger>(id).got, 7);
+/// ```
+pub struct Sim<M> {
+    now: SimTime,
+    queue: EventQueue<Scheduled<M>>,
+    agents: Vec<Option<Box<dyn Agent<M>>>>,
+    rng: Rng,
+    scratch: Vec<(SimTime, Scheduled<M>)>,
+    events_processed: u64,
+    stopped: bool,
+}
+
+impl<M: 'static> Sim<M> {
+    /// Creates a simulation seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            agents: Vec::new(),
+            rng: Rng::new(seed),
+            scratch: Vec::new(),
+            events_processed: 0,
+            stopped: false,
+        }
+    }
+
+    /// Registers an agent, returning its id.
+    pub fn add_agent(&mut self, agent: Box<dyn Agent<M>>) -> AgentId {
+        let id = self.agents.len() as AgentId;
+        self.agents.push(Some(agent));
+        id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of registered agents.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// The simulation PRNG (for harness-side draws between runs).
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// Injects a message from `from` to `to` at absolute time `at`.
+    pub fn inject_msg(&mut self, at: SimTime, from: AgentId, to: AgentId, msg: M) {
+        self.queue.push(
+            at,
+            Scheduled {
+                to,
+                ev: Event::Msg { from, msg },
+            },
+        );
+    }
+
+    /// Injects a timer event on agent `to` at absolute time `at`.
+    pub fn inject_timer(&mut self, at: SimTime, to: AgentId, kind: u32, data: u64) {
+        self.queue.push(
+            at,
+            Scheduled {
+                to,
+                ev: Event::Timer { kind, data },
+            },
+        );
+    }
+
+    /// Immutable access to a concrete agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the agent is not a `T`.
+    pub fn agent<T: 'static>(&self, id: AgentId) -> &T {
+        self.agents[id as usize]
+            .as_ref()
+            .expect("agent checked out")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("agent type mismatch")
+    }
+
+    /// Mutable access to a concrete agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the agent is not a `T`.
+    pub fn agent_mut<T: 'static>(&mut self, id: AgentId) -> &mut T {
+        self.agents[id as usize]
+            .as_mut()
+            .expect("agent checked out")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("agent type mismatch")
+    }
+
+    /// Dispatches the next event. Returns `false` when the queue is empty
+    /// or an agent requested a stop.
+    pub fn step(&mut self) -> bool {
+        if self.stopped {
+            return false;
+        }
+        let Some((t, sch)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(t >= self.now, "time must be monotonic");
+        self.now = t;
+        self.events_processed += 1;
+        let idx = sch.to as usize;
+        let Some(mut agent) = self.agents.get_mut(idx).and_then(Option::take) else {
+            // Unknown/checked-out target: drop the event.
+            return true;
+        };
+        let mut pending = std::mem::take(&mut self.scratch);
+        let mut stop = false;
+        {
+            let mut ctx = Ctx {
+                now: t,
+                self_id: sch.to,
+                rng: &mut self.rng,
+                pending: &mut pending,
+                stop: &mut stop,
+            };
+            agent.on_event(sch.ev, &mut ctx);
+        }
+        self.agents[idx] = Some(agent);
+        for (at, s) in pending.drain(..) {
+            self.queue.push(at, s);
+        }
+        self.scratch = pending;
+        if stop {
+            self.stopped = true;
+        }
+        !self.stopped
+    }
+
+    /// Runs until the queue is exhausted, `deadline` is reached, or an
+    /// agent stops the run. Returns the number of events dispatched.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let start = self.events_processed;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline || self.stopped {
+                break;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+        if self.now < deadline && !self.stopped {
+            self.now = deadline;
+        }
+        self.events_processed - start
+    }
+
+    /// Runs for `dur` of simulated time from now.
+    pub fn run_for(&mut self, dur: SimTime) -> u64 {
+        let deadline = self.now + dur;
+        self.run_until(deadline)
+    }
+
+    /// Runs until the event queue drains or `max_events` are dispatched.
+    pub fn run_to_completion(&mut self, max_events: u64) -> u64 {
+        let start = self.events_processed;
+        while self.events_processed - start < max_events {
+            if !self.step() {
+                break;
+            }
+        }
+        self.events_processed - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Msg {
+        Ping(u64),
+        Pong(u64),
+    }
+
+    struct Ping {
+        peer: AgentId,
+        pongs: Vec<(SimTime, u64)>,
+    }
+    impl Agent<Msg> for Ping {
+        fn on_event(&mut self, ev: Event<Msg>, ctx: &mut Ctx<'_, Msg>) {
+            match ev {
+                Event::Timer { data, .. } => {
+                    ctx.send(self.peer, SimTime::from_us(10), Msg::Ping(data));
+                }
+                Event::Msg {
+                    msg: Msg::Pong(v), ..
+                } => {
+                    self.pongs.push((ctx.now(), v));
+                }
+                _ => {}
+            }
+        }
+        impl_as_any!();
+    }
+
+    struct Pong;
+    impl Agent<Msg> for Pong {
+        fn on_event(&mut self, ev: Event<Msg>, ctx: &mut Ctx<'_, Msg>) {
+            if let Event::Msg {
+                from,
+                msg: Msg::Ping(v),
+            } = ev
+            {
+                ctx.send(from, SimTime::from_us(10), Msg::Pong(v + 1));
+            }
+        }
+        impl_as_any!();
+    }
+
+    fn build() -> (Sim<Msg>, AgentId) {
+        let mut sim = Sim::new(1);
+        let pong = sim.add_agent(Box::new(Pong));
+        let ping = sim.add_agent(Box::new(Ping {
+            peer: pong,
+            pongs: Vec::new(),
+        }));
+        (sim, ping)
+    }
+
+    #[test]
+    fn round_trip_delivers_with_latency() {
+        let (mut sim, ping) = build();
+        sim.inject_timer(SimTime::from_us(5), ping, 0, 41);
+        sim.run_until(SimTime::from_ms(1));
+        let p = sim.agent::<Ping>(ping);
+        assert_eq!(p.pongs, vec![(SimTime::from_us(25), 42)]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let (mut sim, ping) = build();
+        sim.inject_timer(SimTime::from_us(5), ping, 0, 0);
+        // Deadline before the pong (t=25us) arrives.
+        sim.run_until(SimTime::from_us(20));
+        assert!(sim.agent::<Ping>(ping).pongs.is_empty());
+        assert_eq!(sim.now(), SimTime::from_us(20));
+        // Resume; the pong arrives.
+        sim.run_until(SimTime::from_us(30));
+        assert_eq!(sim.agent::<Ping>(ping).pongs.len(), 1);
+    }
+
+    #[test]
+    fn stop_halts_immediately() {
+        struct Stopper;
+        impl Agent<Msg> for Stopper {
+            fn on_event(&mut self, _ev: Event<Msg>, ctx: &mut Ctx<'_, Msg>) {
+                ctx.stop();
+            }
+            impl_as_any!();
+        }
+        let mut sim: Sim<Msg> = Sim::new(2);
+        let s = sim.add_agent(Box::new(Stopper));
+        sim.inject_timer(SimTime::from_us(1), s, 0, 0);
+        sim.inject_timer(SimTime::from_us(2), s, 0, 0);
+        let n = sim.run_until(SimTime::from_ms(1));
+        assert_eq!(n, 1, "second event must not dispatch after stop");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let (mut sim, ping) = build();
+            for i in 0..50 {
+                sim.inject_timer(SimTime::from_us(i), ping, 0, i);
+            }
+            sim.run_to_completion(u64::MAX);
+            sim.agent::<Ping>(ping).pongs.clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn events_to_unknown_agents_are_dropped() {
+        let mut sim: Sim<Msg> = Sim::new(3);
+        sim.inject_msg(SimTime::from_us(1), 0, 99, Msg::Ping(1));
+        assert_eq!(sim.run_to_completion(10), 1);
+    }
+}

@@ -1,0 +1,408 @@
+//! Metric recorders used by the experiment harnesses.
+//!
+//! The paper reports medians, high percentiles (90th/99th/max), means, and
+//! time series (e.g. cores and throughput over time in Fig. 14). This module
+//! provides an HDR-style log-linear histogram with bounded relative error,
+//! a Welford mean/variance accumulator, a monotonic counter, and a sampled
+//! time series.
+
+use crate::time::SimTime;
+
+/// Log-linear histogram over `u64` values with ~1.5% relative error.
+///
+/// Values are bucketed by (exponent, 64 linear sub-buckets), like
+/// HdrHistogram with 6 significant bits. Memory is a flat `Vec<u64>`.
+///
+/// # Examples
+///
+/// ```
+/// use tas_sim::Histogram;
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.quantile(0.5);
+/// assert!((490..=510).contains(&p50));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+const SUB_BITS: u32 = 6;
+const SUB: u64 = 1 << SUB_BITS;
+
+fn bucket_of(v: u64) -> usize {
+    // Values below SUB map to their own buckets; above, log-linear.
+    if v < SUB {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+    let sub = (v >> (exp - SUB_BITS)) - SUB; // in [0, SUB)
+    ((exp - SUB_BITS + 1) as u64 * SUB + sub) as usize
+}
+
+fn bucket_high(i: usize) -> u64 {
+    // Upper bound (inclusive) of bucket i; inverse of bucket_of.
+    let i = i as u64;
+    if i < SUB {
+        return i;
+    }
+    let exp = (i / SUB - 1) + SUB_BITS as u64;
+    let sub = i % SUB;
+    ((SUB + sub + 1) << (exp - SUB_BITS as u64)) - 1
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: Vec::new(),
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let b = bucket_of(v);
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records a [`SimTime`] in nanoseconds (the latency unit the paper
+    /// tables use is microseconds; harnesses convert on output).
+    pub fn record_time(&mut self, t: SimTime) {
+        self.record(t.as_nanos());
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (bucket upper bound, so error is
+    /// bounded by the bucket width). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Evaluates the CDF at a list of points, returning `(point, fraction)`
+    /// pairs — convenient for printing figure series.
+    pub fn cdf_points(&self, points: &[u64]) -> Vec<(u64, f64)> {
+        points
+            .iter()
+            .map(|&p| {
+                let mut below = 0u64;
+                for (i, &c) in self.counts.iter().enumerate() {
+                    if bucket_high(i) <= p {
+                        below += c;
+                    } else {
+                        break;
+                    }
+                }
+                (p, below as f64 / self.total.max(1) as f64)
+            })
+            .collect()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Welford online mean/variance accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MeanVar {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl MeanVar {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// A monotonically increasing event counter with a rate helper.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Count divided by a time window, as events/second.
+    pub fn rate(&self, window: SimTime) -> f64 {
+        if window == SimTime::ZERO {
+            0.0
+        } else {
+            self.0 as f64 / window.as_secs_f64()
+        }
+    }
+}
+
+/// A time series of `(time, value)` samples.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        self.samples.push((t, v));
+    }
+
+    /// All samples in insertion order.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean value over samples in `[from, to)`.
+    pub fn mean_between(&self, from: SimTime, to: SimTime) -> f64 {
+        let mut mv = MeanVar::new();
+        for &(t, v) in &self.samples {
+            if t >= from && t < to {
+                mv.add(v);
+            }
+        }
+        mv.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucketing_is_monotone_and_bounded() {
+        let mut prev = 0;
+        for v in [0u64, 1, 63, 64, 65, 127, 128, 1000, 65_536, u64::MAX / 2] {
+            let b = bucket_of(v);
+            assert!(b >= prev || v < 64, "buckets must not decrease");
+            prev = b;
+            assert!(bucket_high(b) >= v, "bucket_high({b}) must cover {v}");
+            // Relative error of the bucket bound is < 1/32.
+            if v >= 64 {
+                let err = (bucket_high(b) - v) as f64 / v as f64;
+                assert!(err < 0.04, "err {err} for v {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_accurate() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+        for (q, want) in [(0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q) as f64;
+            assert!(
+                (got - want).abs() / want < 0.04,
+                "q{q}: got {got}, want {want}"
+            );
+        }
+        assert!((h.mean() - 5000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=500 {
+            a.record(v);
+        }
+        for v in 501..=1000 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 1000);
+        let p50 = a.quantile(0.5) as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.05);
+    }
+
+    #[test]
+    fn histogram_cdf_points() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        let pts = h.cdf_points(&[50, 200]);
+        assert!((pts[0].1 - 0.5).abs() < 0.05);
+        assert!((pts[1].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meanvar_matches_closed_form() {
+        let mut mv = MeanVar::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            mv.add(x);
+        }
+        assert!((mv.mean() - 5.0).abs() < 1e-12);
+        assert!((mv.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_rate() {
+        let mut c = Counter::default();
+        c.add(1000);
+        assert_eq!(c.get(), 1000);
+        assert!((c.rate(SimTime::from_ms(100)) - 10_000.0).abs() < 1e-6);
+        assert_eq!(c.rate(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn timeseries_window_mean() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10 {
+            ts.push(SimTime::from_us(i), i as f64);
+        }
+        let m = ts.mean_between(SimTime::from_us(2), SimTime::from_us(5));
+        assert!((m - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,272 @@
+//! Simulated time.
+//!
+//! Time is a `u64` count of picoseconds. Picosecond resolution lets the CPU
+//! cost model express single cycles at multi-GHz clock rates exactly
+//! (1 cycle at 2.1 GHz ≈ 476 ps) while still covering ~213 days of simulated
+//! time, far beyond any experiment in the paper.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant or duration in simulated time, in picoseconds.
+///
+/// The same type serves as both instant and duration; experiment code reads
+/// naturally either way (`now + SimTime::from_us(100)`).
+///
+/// # Examples
+///
+/// ```
+/// use tas_sim::SimTime;
+/// let rtt = SimTime::from_us(100);
+/// assert_eq!(rtt.as_nanos(), 100_000);
+/// assert_eq!(rtt * 2, SimTime::from_us(200));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The zero instant (simulation start).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable instant; used as "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000)
+    }
+
+    /// Creates a time from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000_000)
+    }
+
+    /// Creates a time from a floating-point second count (e.g. `1.5e-6`).
+    ///
+    /// Negative inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime((s.max(0.0) * 1e12).round() as u64)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Time in whole nanoseconds (truncating).
+    pub const fn as_nanos(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Time in whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Time in whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// Time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Time as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction; returns zero instead of wrapping.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow (relevant around [`SimTime::MAX`]).
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// The later of two instants.
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Multiplies a duration by a floating point factor (used by jittered
+    /// timers and rate computations). Result saturates at [`SimTime::MAX`].
+    pub fn mul_f64(self, f: f64) -> SimTime {
+        let v = self.0 as f64 * f;
+        if v >= u64::MAX as f64 {
+            SimTime::MAX
+        } else {
+            SimTime(v.max(0.0) as u64)
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == u64::MAX {
+            write!(f, "never")
+        } else if ps >= 1_000_000_000_000 {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        } else if ps >= 1_000_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ps >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0 as f64 / 1e3)
+        }
+    }
+}
+
+/// Converts a transfer size and link rate into serialization time.
+///
+/// # Examples
+///
+/// ```
+/// use tas_sim::time::{transmission_time, SimTime};
+/// // 1250 bytes at 10 Gbps = 1 microsecond.
+/// assert_eq!(transmission_time(1250, 10_000_000_000), SimTime::from_us(1));
+/// ```
+pub fn transmission_time(bytes: u64, bits_per_sec: u64) -> SimTime {
+    debug_assert!(bits_per_sec > 0, "link rate must be positive");
+    // ps = bits * 1e12 / bps, computed in u128 to avoid overflow.
+    let ps = (bytes as u128 * 8 * 1_000_000_000_000) / bits_per_sec as u128;
+    SimTime(ps as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_ns(5).as_ps(), 5_000);
+        assert_eq!(SimTime::from_us(5).as_nanos(), 5_000);
+        assert_eq!(SimTime::from_ms(5).as_micros(), 5_000);
+        assert_eq!(SimTime::from_secs(5).as_millis(), 5_000);
+        assert!((SimTime::from_secs_f64(1.5).as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_us(10);
+        let b = SimTime::from_us(4);
+        assert_eq!(a + b, SimTime::from_us(14));
+        assert_eq!(a - b, SimTime::from_us(6));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a * 3, SimTime::from_us(30));
+        assert_eq!(a / 2, SimTime::from_us(5));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn mul_f64_saturates() {
+        assert_eq!(SimTime::MAX.mul_f64(2.0), SimTime::MAX);
+        assert_eq!(SimTime::from_us(10).mul_f64(0.5), SimTime::from_us(5));
+        assert_eq!(SimTime::from_us(10).mul_f64(-1.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn transmission_times() {
+        // 64B at 40 Gbps = 12.8 ns.
+        assert_eq!(transmission_time(64, 40_000_000_000).as_ps(), 12_800);
+        // 1500B at 10 Gbps = 1.2 us.
+        assert_eq!(transmission_time(1500, 10_000_000_000).as_nanos(), 1_200);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", SimTime::from_ns(12)), "12ns");
+        assert_eq!(format!("{}", SimTime::from_us(3)), "3.000us");
+        assert_eq!(format!("{}", SimTime::MAX), "never");
+    }
+
+    #[test]
+    fn checked_add_overflow() {
+        assert_eq!(SimTime::MAX.checked_add(SimTime(1)), None);
+        assert_eq!(SimTime(1).checked_add(SimTime(2)), Some(SimTime(3)));
+    }
+}

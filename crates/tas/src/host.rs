@@ -1,0 +1,1003 @@
+//! A TAS host: NIC + fast-path cores + slow path + libTAS + application.
+//!
+//! [`TasHost`] is one simulation agent representing a machine running TAS
+//! as its OS network service. It wires together:
+//!
+//! * the NIC (RSS-steered multi-queue receive, serialized transmit),
+//! * a pool of fast-path cores (one RX queue each; idle cores block after
+//!   10 ms and wake with a kernel-notification penalty),
+//! * the slow-path thread on its own (partially used) core,
+//! * application cores, one context queue each, running the [`App`]
+//!   against either the POSIX-sockets or low-level libTAS API,
+//! * the workload-proportionality controller (§3.4): utilization
+//!   monitoring, core add/remove, eager RSS redirection-table rewrites.
+//!
+//! Timing model: work is charged to the owning core's busy-until timeline
+//! (see `tas-cpusim`); effects — packets, context-queue notices, app
+//! handler invocations — materialize when the charging core finishes them.
+
+use crate::config::{ApiKind, TasConfig};
+use crate::fastpath::{FastPath, RxNotice};
+use crate::slowpath::{SlowPath, SpAppEvent};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use tas_cpusim::{Core, CorePool, CycleAccount, Module};
+use tas_netsim::app::{App, AppEvent, SockId, StackApi};
+use tas_netsim::rss::hash_tuple;
+use tas_netsim::{HostNic, NetMsg, NicConfig};
+use tas_proto::{MacAddr, Segment, TcpFlags};
+use tas_shm::ByteRing;
+use tas_sim::{impl_as_any, Agent, Ctx, Event, SimTime, TimeSeries};
+
+/// Timer kinds used by [`TasHost`].
+pub mod timers {
+    /// Host initialization (inject once at start).
+    pub const INIT: u32 = 0;
+    /// Fast-path pacing timer; `data` = flow id.
+    pub const FP_TX: u32 = 1;
+    /// Slow-path control loop.
+    pub const SP_CTRL: u32 = 2;
+    /// Proportionality monitor.
+    pub const PROP: u32 = 3;
+    /// Application timer; `data` = (context << 48) | token.
+    pub const APP: u32 = 4;
+    /// Deferred application event delivery; `data` = context.
+    pub const APP_RUN: u32 = 5;
+    /// Deferred fast-path command execution.
+    pub const FP_CMD: u32 = 6;
+    /// Deferred slow-path work execution.
+    pub const SP_RUN: u32 = 7;
+}
+
+/// Latency for waking a blocked fast-path core (eventfd + schedule).
+const FP_WAKE_LATENCY: SimTime = SimTime::from_us(3);
+/// App cores idle longer than this sleep in epoll and pay a wake.
+const APP_IDLE_SLEEP: SimTime = SimTime::from_us(100);
+/// Latency for waking a sleeping app thread.
+const APP_WAKE_LATENCY: SimTime = SimTime::from_us(2);
+
+#[derive(Debug, Default)]
+struct SockState {
+    fid: Option<u32>,
+    context: u16,
+    peer_closed: bool,
+    closed_evt_sent: bool,
+    want_write: bool,
+    /// Unread data handed back when the flow detached.
+    spill: Option<ByteRing>,
+}
+
+/// Host-level counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HostStats {
+    /// Packets dropped because the owning fast-path core's backlog
+    /// exceeded the RX-ring bound.
+    pub drop_backlog: u64,
+    /// Fast-path core wakes from the blocked state.
+    pub fp_wakes: u64,
+    /// Core-count changes made by the proportionality controller.
+    pub scale_events: u64,
+}
+
+enum FpCmd {
+    Tx(u32),
+    RxBump(u32),
+}
+
+enum SpCmd {
+    Connect {
+        sock: SockId,
+        ip: Ipv4Addr,
+        port: u16,
+    },
+    Close {
+        sock: SockId,
+    },
+}
+
+/// Deferred work collected while an app handler runs.
+#[derive(Default)]
+struct Frame {
+    context: u16,
+    now: SimTime,
+    api_cycles: u64,
+    app_cycles: u64,
+    fp_cmds: Vec<FpCmd>,
+    sp_cmds: Vec<SpCmd>,
+    timers: Vec<(SimTime, u64)>,
+    posts: Vec<(u16, u64)>,
+}
+
+struct Inner {
+    cfg: TasConfig,
+    ip: Ipv4Addr,
+    nic: HostNic,
+    fp: FastPath,
+    sp: SlowPath,
+    fp_cores: CorePool,
+    active_fp: usize,
+    sp_core: Core,
+    app_cores: CorePool,
+    socks: Vec<SockState>,
+    fid_to_sock: HashMap<u32, SockId>,
+    next_context: u16,
+    acct: CycleAccount,
+    started: bool,
+    stats: HostStats,
+    core_series: TimeSeries,
+    frame: Frame,
+    /// Deferred app events per context (drained by APP_RUN timers). A
+    /// cross-component hop must not execute at a future timestamp — that
+    /// would reserve a core ahead of time and block earlier arrivals — so
+    /// every hop is queued here and woken by a timer at its ready time.
+    app_q: Vec<std::collections::VecDeque<AppEvent>>,
+    /// Deferred fast-path commands (drained by FP_CMD timers).
+    fp_q: std::collections::VecDeque<FpCmd>,
+    /// Deferred slow-path work (drained by SP_RUN timers).
+    sp_q: std::collections::VecDeque<SpWork>,
+}
+
+enum SpWork {
+    Exception(Segment),
+    Connect {
+        sock: SockId,
+        ip: Ipv4Addr,
+        port: u16,
+    },
+    Close {
+        sock: SockId,
+    },
+}
+
+/// A host running TAS (one simulation agent).
+pub struct TasHost {
+    inner: Inner,
+    app: Option<Box<dyn App>>,
+}
+
+impl TasHost {
+    /// Creates a TAS host. The harness must inject a [`timers::INIT`]
+    /// timer at start time so the application's `on_start` runs and the
+    /// control loops arm.
+    pub fn new(
+        ip: Ipv4Addr,
+        mac: MacAddr,
+        mut nic_cfg: NicConfig,
+        cfg: TasConfig,
+        uplink: tas_sim::AgentId,
+        app: Box<dyn App>,
+    ) -> Self {
+        assert!(cfg.app_cores >= 1, "a TAS host needs at least one app core");
+        assert!(
+            cfg.max_fp_cores >= 1,
+            "a TAS host needs at least one fast-path core"
+        );
+        nic_cfg.rx_queues = cfg.max_fp_cores;
+        let nic = HostNic::new(mac, nic_cfg, uplink);
+        let mut fp = FastPath::new(ip, mac, cfg.mss, cfg.costs);
+        fp.ooo_rx = cfg.ooo_rx;
+        let sp = SlowPath::new(ip, mac, &cfg);
+        let fp_cores = CorePool::new(cfg.max_fp_cores, cfg.freq_hz);
+        let app_cores = CorePool::new(cfg.app_cores, cfg.freq_hz);
+        let sp_core = Core::new(cfg.freq_hz);
+        let active_fp = cfg.initial_fp_cores.clamp(1, cfg.max_fp_cores);
+        let cfg_app_cores = cfg.app_cores;
+        TasHost {
+            inner: Inner {
+                cfg,
+                ip,
+                nic,
+                fp,
+                sp,
+                fp_cores,
+                active_fp,
+                sp_core,
+                app_cores,
+                socks: Vec::new(),
+                fid_to_sock: HashMap::new(),
+                next_context: 0,
+                acct: CycleAccount::new(),
+                started: false,
+                stats: HostStats::default(),
+                core_series: TimeSeries::new(),
+                frame: Frame::default(),
+                app_q: (0..cfg_app_cores)
+                    .map(|_| std::collections::VecDeque::new())
+                    .collect(),
+                fp_q: std::collections::VecDeque::new(),
+                sp_q: std::collections::VecDeque::new(),
+            },
+            app: Some(app),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Harness accessors.
+
+    /// The host's IP address.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.inner.ip
+    }
+
+    /// Cycle/instruction account (Tables 1–2).
+    pub fn account(&self) -> &CycleAccount {
+        &self.inner.acct
+    }
+
+    /// Mutable account access (harnesses reset between warmup/measure).
+    pub fn account_mut(&mut self) -> &mut CycleAccount {
+        &mut self.inner.acct
+    }
+
+    /// Fast-path counters.
+    pub fn fp_stats(&self) -> crate::fastpath::FpStats {
+        self.inner.fp.stats
+    }
+
+    /// Slow-path counters.
+    pub fn sp_stats(&self) -> crate::slowpath::SpStats {
+        self.inner.sp.stats
+    }
+
+    /// Host counters.
+    pub fn host_stats(&self) -> HostStats {
+        self.inner.stats
+    }
+
+    /// Currently active fast-path cores.
+    pub fn active_fp_cores(&self) -> usize {
+        self.inner.active_fp
+    }
+
+    /// Time series of (time, active fast-path cores) from the
+    /// proportionality monitor (Fig. 14).
+    pub fn core_series(&self) -> &TimeSeries {
+        &self.inner.core_series
+    }
+
+    /// Number of installed fast-path flows.
+    pub fn flow_count(&self) -> usize {
+        self.inner.fp.flows.len()
+    }
+
+    /// Dumps per-flow diagnostic tuples (diagnostics).
+    pub fn dump_flows(&self, n: usize) -> Vec<(u32, u64, u64, u64, u64, u32, u64)> {
+        let mut out = Vec::new();
+        for id in 0..65_535u32 {
+            if out.len() >= n {
+                break;
+            }
+            if let Some(f) = self.inner.fp.flows.get(id) {
+                out.push((
+                    id,
+                    f.tx.len() as u64,
+                    f.tx_sent,
+                    f.bucket.rate_bps.saturating_mul(8),
+                    f.snd_wnd,
+                    f.rtt_est_us,
+                    f.stall_intervals as u64,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Sampled flow RTT estimates in microseconds (diagnostics).
+    pub fn sample_rtts(&self, n: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        for id in 0..10_000u32 {
+            if out.len() >= n {
+                break;
+            }
+            if let Some(f) = self.inner.fp.flows.get(id) {
+                out.push(f.rtt_est_us);
+            }
+        }
+        out
+    }
+
+    /// Busy time accumulated per fast-path core (diagnostics).
+    pub fn fp_busy(&self) -> Vec<tas_sim::SimTime> {
+        (0..self.inner.fp_cores.len())
+            .map(|i| self.inner.fp_cores.core_ref(i).busy_total())
+            .collect()
+    }
+
+    /// Busy time accumulated per app core (diagnostics).
+    pub fn app_busy(&self) -> Vec<tas_sim::SimTime> {
+        (0..self.inner.app_cores.len())
+            .map(|i| self.inner.app_cores.core_ref(i).busy_total())
+            .collect()
+    }
+
+    /// Downcasts the application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the app is not a `T`.
+    pub fn app_as<T: 'static>(&self) -> &T {
+        self.app
+            .as_ref()
+            .expect("app present")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("app type mismatch")
+    }
+
+    /// Downcasts the application if it is a `T`.
+    pub fn try_app<T: 'static>(&self) -> Option<&T> {
+        self.app
+            .as_ref()
+            .and_then(|a| a.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable downcast of the application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the app is not a `T`.
+    pub fn app_as_mut<T: 'static>(&mut self) -> &mut T {
+        self.app
+            .as_mut()
+            .expect("app present")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("app type mismatch")
+    }
+
+    // ------------------------------------------------------------------
+    // Fast-path execution.
+
+    fn fp_core_for(inner: &Inner, fid: u32) -> usize {
+        let Some(flow) = inner.fp.flows.get(fid) else {
+            return 0;
+        };
+        // Hash exactly as the NIC would hash the *incoming* direction of
+        // this flow, so RX and TX of a connection share a core.
+        let k = flow.key;
+        let h = hash_tuple(k.remote_ip, k.local_ip, k.remote_port, k.local_port);
+        inner.nic.rss().queue_for_hash(h)
+    }
+
+    /// Runs fast-path work on core `core_idx` arriving at `t`; flushes
+    /// staged effects at the completion time.
+    fn run_fp(
+        &mut self,
+        core_idx: usize,
+        t: SimTime,
+        ctx: &mut Ctx<'_, NetMsg>,
+        extra_cycles: u64,
+        f: impl FnOnce(&mut FastPath, SimTime, &mut CycleAccount) -> u64,
+    ) {
+        let inner = &mut self.inner;
+        let core_idx = core_idx.min(inner.active_fp.saturating_sub(1));
+        let mut t_eff = t;
+        let mut wake_extra = 0;
+        {
+            let core = inner.fp_cores.core(core_idx);
+            // Blocked-core wake (§3.4): no packets for `block_after`.
+            if core.is_idle(t) && t.saturating_sub(core.last_work_end()) > inner.cfg.block_after {
+                t_eff = t + FP_WAKE_LATENCY;
+                wake_extra = inner.cfg.costs.wake_cycles;
+                inner.stats.fp_wakes += 1;
+            }
+        }
+        let start = t_eff.max(inner.fp_cores.core_ref(core_idx).busy_until());
+        let mut cycles = f(&mut inner.fp, start, &mut inner.acct);
+        cycles += extra_cycles + wake_extra;
+        if wake_extra > 0 {
+            inner.acct.charge(Module::Other, wake_extra, wake_extra / 2);
+        }
+        let (_, end) = inner.fp_cores.core(core_idx).run(t_eff, cycles);
+        self.flush_fp(end, ctx);
+    }
+
+    /// Per-packet stall cycles from the flow-state cache model.
+    fn cache_stall(inner: &Inner) -> u64 {
+        let flows = inner.fp.flows.len() as u64;
+        if flows == 0 {
+            return 0;
+        }
+        let per_core = flows / inner.active_fp.max(1) as u64;
+        let model = tas_cpusim::CacheModel::new(
+            inner.cfg.cache_per_core,
+            inner.cfg.cache_lines_per_req,
+            inner.cfg.cache_miss_penalty,
+        );
+        // Footprint per flow = the lines the fast path touches (default 2
+        // lines = the 102-byte state rounded up; ablations inflate it).
+        model.stall_cycles(64 * inner.cfg.cache_lines_per_req, per_core) as u64
+    }
+
+    fn flush_fp(&mut self, end: SimTime, ctx: &mut Ctx<'_, NetMsg>) {
+        let packets = std::mem::take(&mut self.inner.fp.out.packets);
+        let notices = std::mem::take(&mut self.inner.fp.out.notices);
+        let exceptions = std::mem::take(&mut self.inner.fp.out.exceptions);
+        let tx_timers = std::mem::take(&mut self.inner.fp.out.tx_timers);
+        for pkt in packets {
+            self.inner.nic.tx(end, pkt, ctx);
+        }
+        for (fid, at) in tx_timers {
+            ctx.timer_at(at.max(end), timers::FP_TX, fid as u64);
+        }
+        for (context, notice) in notices {
+            self.deliver_notice(end, context, notice, ctx);
+        }
+        for seg in exceptions {
+            self.defer_sp(end, SpWork::Exception(seg), ctx);
+        }
+    }
+
+    /// Queues app-event delivery at `t` (deferred so interim work on the
+    /// target core is served in time order).
+    fn defer_app(&mut self, t: SimTime, context: u16, ev: AppEvent, ctx: &mut Ctx<'_, NetMsg>) {
+        let context = (context as usize % self.inner.app_q.len().max(1)) as u16;
+        self.inner.app_q[context as usize].push_back(ev);
+        ctx.timer_at(t, timers::APP_RUN, context as u64);
+    }
+
+    fn defer_sp(&mut self, t: SimTime, work: SpWork, ctx: &mut Ctx<'_, NetMsg>) {
+        self.inner.sp_q.push_back(work);
+        ctx.timer_at(t, timers::SP_RUN, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Slow-path execution.
+
+    fn run_sp_exception(&mut self, t: SimTime, seg: Segment, ctx: &mut Ctx<'_, NetMsg>) {
+        // Pre-create a socket for a potential incoming connection.
+        let is_syn =
+            seg.tcp.flags.contains(TcpFlags::SYN) && !seg.tcp.flags.contains(TcpFlags::ACK);
+        let (fresh_opaque, accept_ctx) = if is_syn {
+            let ctx_id = self.inner.next_context % self.inner.cfg.app_cores.max(1) as u16;
+            self.inner.next_context = self.inner.next_context.wrapping_add(1);
+            let sock = self.alloc_sock(ctx_id);
+            (sock as u64, ctx_id)
+        } else {
+            (0, 0)
+        };
+        let iss = ctx.rng().next_u32();
+        let start = t.max(self.inner.sp_core.busy_until());
+        let inner = &mut self.inner;
+        let cycles = inner.sp.on_exception(
+            start,
+            seg,
+            &mut inner.fp,
+            iss,
+            fresh_opaque,
+            accept_ctx,
+            &mut inner.acct,
+        );
+        let (_, end) = inner.sp_core.run(t, cycles);
+        // Pending incoming connections: the application's accept path runs
+        // on its app core, then the slow path answers with SYN-ACK.
+        if inner.sp.has_pending_accepts() {
+            let app_cost = inner.cfg.costs.so_conn_op + inner.cfg.costs.so_poll;
+            let (_, app_end) = inner.app_cores.core(accept_ctx as usize).run(end, app_cost);
+            inner.acct.charge(Module::Api, app_cost, app_cost);
+            let start2 = app_end.max(inner.sp_core.busy_until());
+            inner.sp.accept_pending(start2, &mut inner.acct);
+            let cost2 = inner.cfg.costs.sp_conn_op;
+            inner.sp_core.run(app_end, cost2);
+        }
+        self.flush_sp(end, ctx);
+    }
+
+    fn run_sp<T>(
+        &mut self,
+        t: SimTime,
+        ctx: &mut Ctx<'_, NetMsg>,
+        f: impl FnOnce(&mut SlowPath, &mut FastPath, SimTime, &mut CycleAccount) -> (u64, T),
+    ) -> T {
+        let start = t.max(self.inner.sp_core.busy_until());
+        let inner = &mut self.inner;
+        let (cycles, ret) = f(&mut inner.sp, &mut inner.fp, start, &mut inner.acct);
+        let (_, end) = inner.sp_core.run(t, cycles);
+        self.flush_sp(end, ctx);
+        ret
+    }
+
+    fn flush_sp(&mut self, end: SimTime, ctx: &mut Ctx<'_, NetMsg>) {
+        let packets = std::mem::take(&mut self.inner.sp.out.packets);
+        let events = std::mem::take(&mut self.inner.sp.out.events);
+        for pkt in packets {
+            self.inner.nic.tx(end, pkt, ctx);
+        }
+        for ev in events {
+            match ev {
+                SpAppEvent::ConnectDone { opaque, fid } => {
+                    let sock = opaque as SockId;
+                    self.inner.socks[sock as usize].fid = Some(fid);
+                    self.inner.fid_to_sock.insert(fid, sock);
+                    let c = self.inner.socks[sock as usize].context;
+                    self.defer_app(end, c, AppEvent::Connected { sock }, ctx);
+                }
+                SpAppEvent::ConnectFailed { opaque } => {
+                    let sock = opaque as SockId;
+                    let c = self.inner.socks[sock as usize].context;
+                    self.mark_closed(sock);
+                    self.defer_app(end, c, AppEvent::Closed { sock }, ctx);
+                }
+                SpAppEvent::AcceptDone {
+                    opaque, fid, port, ..
+                } => {
+                    let sock = opaque as SockId;
+                    self.inner.socks[sock as usize].fid = Some(fid);
+                    self.inner.fid_to_sock.insert(fid, sock);
+                    let c = self.inner.socks[sock as usize].context;
+                    self.defer_app(end, c, AppEvent::Accepted { sock, port }, ctx);
+                }
+                SpAppEvent::PeerClosed { fid } => {
+                    if let Some(&sock) = self.inner.fid_to_sock.get(&fid) {
+                        self.inner.socks[sock as usize].peer_closed = true;
+                        let c = self.inner.socks[sock as usize].context;
+                        self.mark_closed(sock);
+                        self.defer_app(end, c, AppEvent::Closed { sock }, ctx);
+                    }
+                }
+                SpAppEvent::CloseDone { opaque } => {
+                    let sock = opaque as SockId;
+                    if (sock as usize) < self.inner.socks.len() {
+                        let c = self.inner.socks[sock as usize].context;
+                        if !self.inner.socks[sock as usize].closed_evt_sent {
+                            self.mark_closed(sock);
+                            self.defer_app(end, c, AppEvent::Closed { sock }, ctx);
+                        }
+                    }
+                }
+                SpAppEvent::Detached { opaque, fid } => {
+                    self.inner.fid_to_sock.remove(&fid);
+                    let sock = opaque as SockId;
+                    if (sock as usize) < self.inner.socks.len() {
+                        self.inner.socks[sock as usize].fid = None;
+                    }
+                }
+            }
+        }
+        // Slow-path work may have staged fast-path output (rate updates
+        // triggering transmissions).
+        if !self.inner.fp.out.packets.is_empty()
+            || !self.inner.fp.out.notices.is_empty()
+            || !self.inner.fp.out.tx_timers.is_empty()
+            || !self.inner.fp.out.exceptions.is_empty()
+        {
+            self.flush_fp(end, ctx);
+        }
+    }
+
+    fn mark_closed(&mut self, sock: SockId) {
+        let s = &mut self.inner.socks[sock as usize];
+        s.closed_evt_sent = true;
+    }
+
+    fn alloc_sock(&mut self, context: u16) -> SockId {
+        let id = self.inner.socks.len() as SockId;
+        self.inner.socks.push(SockState {
+            context,
+            ..SockState::default()
+        });
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Application delivery.
+
+    fn deliver_notice(
+        &mut self,
+        t: SimTime,
+        context: u16,
+        notice: RxNotice,
+        ctx: &mut Ctx<'_, NetMsg>,
+    ) {
+        let sock = notice.opaque as SockId;
+        if (sock as usize) >= self.inner.socks.len() {
+            return;
+        }
+        if notice.rx_bytes > 0 {
+            self.defer_app(t, context, AppEvent::Readable { sock }, ctx);
+        }
+        if notice.tx_acked > 0 && self.inner.socks[sock as usize].want_write {
+            // Wake the writer once useful buffer space exists (libTAS's
+            // epoll emulation coalesces exactly like kernel EPOLLOUT).
+            let space = self.inner.socks[sock as usize]
+                .fid
+                .and_then(|fid| self.inner.fp.flows.get(fid))
+                .map(|f| (f.tx.free(), f.tx.capacity()))
+                .unwrap_or((usize::MAX, 0));
+            if space.0 >= (space.1 / 4).max(8 * 1024).min(space.1) {
+                self.inner.socks[sock as usize].want_write = false;
+                self.defer_app(t, context, AppEvent::Writable { sock }, ctx);
+            }
+        }
+    }
+
+    /// Invokes the app handler on its context's core at `t`, charging the
+    /// API poll cost, the API call costs it makes, and its own cycles.
+    fn deliver_app(&mut self, t: SimTime, context: u16, ev: AppEvent, ctx: &mut Ctx<'_, NetMsg>) {
+        let context = (context as usize % self.inner.app_cores.len().max(1)) as u16;
+        let mut t_eff = t;
+        {
+            let core = self.inner.app_cores.core(context as usize);
+            if core.is_idle(t) && t.saturating_sub(core.last_work_end()) > APP_IDLE_SLEEP {
+                t_eff = t + APP_WAKE_LATENCY;
+            }
+        }
+        let poll_cost = match self.inner.cfg.api {
+            ApiKind::Sockets => self.inner.cfg.costs.so_poll,
+            ApiKind::LowLevel => self.inner.cfg.costs.ll_op,
+        };
+        // Prepare the frame, run the handler.
+        self.inner.frame = Frame {
+            context,
+            now: t_eff,
+            api_cycles: poll_cost,
+            app_cycles: 0,
+            fp_cmds: Vec::new(),
+            sp_cmds: Vec::new(),
+            timers: Vec::new(),
+            posts: Vec::new(),
+        };
+        let mut app = self.app.take().expect("app present (no nested delivery)");
+        {
+            let mut api = Api {
+                inner: &mut self.inner,
+            };
+            app.on_event(ev, &mut api);
+        }
+        self.app = Some(app);
+        self.finish_frame(t_eff, ctx);
+    }
+
+    fn finish_frame(&mut self, t_eff: SimTime, ctx: &mut Ctx<'_, NetMsg>) {
+        let frame = std::mem::take(&mut self.inner.frame);
+        let total = frame.api_cycles + frame.app_cycles;
+        let ipc = self.inner.cfg.costs.ipc_times_100;
+        self.inner
+            .acct
+            .charge(Module::Api, frame.api_cycles, frame.api_cycles * ipc / 100);
+        self.inner
+            .acct
+            .charge(Module::App, frame.app_cycles, frame.app_cycles * 120 / 100);
+        let (_, end) = self
+            .inner
+            .app_cores
+            .core(frame.context as usize)
+            .run(t_eff, total);
+        // App timers.
+        for (delay, token) in frame.timers {
+            let data = ((frame.context as u64) << 48) | (token & 0xFFFF_FFFF_FFFF);
+            ctx.timer_at(end + delay, timers::APP, data);
+        }
+        // Cross-thread posts: delivered on the target context at `end`.
+        for (context, token) in frame.posts {
+            let data = ((context as u64) << 48) | (token & 0xFFFF_FFFF_FFFF);
+            ctx.timer_at(end, timers::APP, data);
+        }
+        // Fast-path and slow-path commands issued by the handler become
+        // events at `end` (the cores must serve interim work first).
+        for cmd in frame.fp_cmds {
+            self.inner.fp_q.push_back(cmd);
+            ctx.timer_at(end, timers::FP_CMD, 0);
+        }
+        for cmd in frame.sp_cmds {
+            let work = match cmd {
+                SpCmd::Connect { sock, ip, port } => SpWork::Connect { sock, ip, port },
+                SpCmd::Close { sock } => SpWork::Close { sock },
+            };
+            self.defer_sp(end, work, ctx);
+        }
+    }
+
+    fn run_sp_work(&mut self, work: SpWork, now: SimTime, ctx: &mut Ctx<'_, NetMsg>) {
+        match work {
+            SpWork::Exception(seg) => self.run_sp_exception(now, seg, ctx),
+            SpWork::Connect { sock, ip, port } => {
+                let iss = ctx.rng().next_u32();
+                let context = self.inner.socks[sock as usize].context;
+                let peer_mac = mac_for_ip(ip);
+                self.run_sp(now, ctx, |sp, _fp, t, acct| {
+                    (
+                        sp.connect(t, ip, port, peer_mac, sock as u64, context, iss, acct),
+                        (),
+                    )
+                });
+            }
+            SpWork::Close { sock } => {
+                if let Some(fid) = self.inner.socks[sock as usize].fid {
+                    self.run_sp(now, ctx, |sp, fp, t, acct| (sp.close(t, fid, fp, acct), ()));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Proportionality controller (§3.4).
+
+    fn prop_tick(&mut self, now: SimTime) {
+        let inner = &mut self.inner;
+        let utils = inner.fp_cores.sample_utilization(now);
+        let active = inner.active_fp;
+        let idle: f64 = utils.iter().take(active).map(|u| (1.0 - u).max(0.0)).sum();
+        let mut changed = false;
+        if idle < inner.cfg.idle_add_threshold && active < inner.cfg.max_fp_cores {
+            inner.active_fp = active + 1;
+            changed = true;
+        } else if idle > inner.cfg.idle_remove_threshold && active > 1 {
+            inner.active_fp = active - 1;
+            changed = true;
+        }
+        if changed {
+            inner.stats.scale_events += 1;
+            // Eager RSS redirection-table rewrite.
+            inner.nic.rss_mut().rebalance(inner.active_fp);
+        }
+        inner.core_series.push(now, inner.active_fp as f64);
+    }
+
+    fn ensure_started(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
+        if self.inner.started {
+            return;
+        }
+        self.inner.started = true;
+        self.inner.nic.rss_mut().rebalance(self.inner.active_fp);
+        let interval = self.inner.cfg.control_interval;
+        ctx.timer(interval, timers::SP_CTRL, 0);
+        if self.inner.cfg.proportional {
+            ctx.timer(SimTime::from_ms(1), timers::PROP, 0);
+        }
+        // Run the app's on_start through the same frame machinery.
+        let t = ctx.now();
+        self.inner.frame = Frame {
+            context: 0,
+            now: t,
+            api_cycles: 0,
+            app_cycles: 0,
+            fp_cmds: Vec::new(),
+            sp_cmds: Vec::new(),
+            timers: Vec::new(),
+            posts: Vec::new(),
+        };
+        let mut app = self.app.take().expect("app present");
+        {
+            let mut api = Api {
+                inner: &mut self.inner,
+            };
+            app.on_start(&mut api);
+        }
+        self.app = Some(app);
+        self.finish_frame(t, ctx);
+    }
+}
+
+/// Resolves the deterministic MAC for a simulated host IP (the slow
+/// path's "ARP table": addressing in the simulator is 1:1).
+pub fn mac_for_ip(ip: Ipv4Addr) -> MacAddr {
+    let o = ip.octets();
+    let n = u32::from_be_bytes([0, o[1], o[2], o[3]]);
+    MacAddr::for_host(n)
+}
+
+// ----------------------------------------------------------------------
+// The libTAS application API.
+
+struct Api<'a> {
+    inner: &'a mut Inner,
+}
+
+impl Api<'_> {
+    fn call_cost(&mut self, sockets_cost: u64) {
+        let c = match self.inner.cfg.api {
+            ApiKind::Sockets => sockets_cost,
+            ApiKind::LowLevel => self.inner.cfg.costs.ll_op,
+        };
+        self.inner.frame.api_cycles += c;
+    }
+}
+
+impl StackApi for Api<'_> {
+    fn now(&self) -> SimTime {
+        self.inner.frame.now
+    }
+
+    fn listen(&mut self, port: u16) {
+        self.call_cost(self.inner.cfg.costs.so_conn_op);
+        self.inner.sp.listen(port);
+    }
+
+    fn connect(&mut self, ip: Ipv4Addr, port: u16) -> SockId {
+        self.call_cost(self.inner.cfg.costs.so_conn_op);
+        let context = self.inner.next_context % self.inner.cfg.app_cores.max(1) as u16;
+        self.inner.next_context = self.inner.next_context.wrapping_add(1);
+        let id = self.inner.socks.len() as SockId;
+        self.inner.socks.push(SockState {
+            context,
+            ..SockState::default()
+        });
+        self.inner
+            .frame
+            .sp_cmds
+            .push(SpCmd::Connect { sock: id, ip, port });
+        id
+    }
+
+    fn send(&mut self, sock: SockId, data: &[u8]) -> usize {
+        self.call_cost(self.inner.cfg.costs.so_send);
+        let s = &mut self.inner.socks[sock as usize];
+        let Some(fid) = s.fid else {
+            return 0;
+        };
+        let Some(flow) = self.inner.fp.flows.get_mut(fid) else {
+            return 0;
+        };
+        // libTAS writes payload directly into the user-space TX ring.
+        let n = flow.tx.append_partial(data);
+        if n < data.len() {
+            s.want_write = true;
+        }
+        if n > 0 {
+            self.inner.frame.fp_cmds.push(FpCmd::Tx(fid));
+        }
+        n
+    }
+
+    fn recv(&mut self, sock: SockId, max: usize) -> Vec<u8> {
+        self.call_cost(self.inner.cfg.costs.so_recv);
+        let s = &mut self.inner.socks[sock as usize];
+        if let Some(spill) = &mut s.spill {
+            let out = spill.pop(max);
+            if !out.is_empty() {
+                return out;
+            }
+        }
+        let Some(fid) = s.fid else {
+            return Vec::new();
+        };
+        let Some(flow) = self.inner.fp.flows.get_mut(fid) else {
+            return Vec::new();
+        };
+        let out = flow.rx.pop(max);
+        if !out.is_empty() {
+            self.inner.frame.fp_cmds.push(FpCmd::RxBump(fid));
+        }
+        out
+    }
+
+    fn readable(&self, sock: SockId) -> usize {
+        let s = &self.inner.socks[sock as usize];
+        let mut n = s.spill.as_ref().map(|r| r.len()).unwrap_or(0);
+        if let Some(fid) = s.fid {
+            if let Some(flow) = self.inner.fp.flows.get(fid) {
+                n += flow.rx.len();
+            }
+        }
+        n
+    }
+
+    fn close(&mut self, sock: SockId) {
+        self.call_cost(self.inner.cfg.costs.so_conn_op);
+        self.inner.frame.sp_cmds.push(SpCmd::Close { sock });
+    }
+
+    fn charge_app_cycles(&mut self, cycles: u64) {
+        self.inner.frame.app_cycles += cycles;
+    }
+
+    fn set_app_timer(&mut self, delay: SimTime, token: u64) {
+        self.inner.frame.timers.push((delay, token));
+    }
+
+    fn post(&mut self, context: u16, token: u64) {
+        // A context-queue hop costs roughly one low-level queue operation.
+        self.inner.frame.api_cycles += self.inner.cfg.costs.ll_op;
+        self.inner.frame.posts.push((context, token));
+    }
+}
+
+// ----------------------------------------------------------------------
+// Agent implementation.
+
+impl Agent<NetMsg> for TasHost {
+    fn on_event(&mut self, ev: Event<NetMsg>, ctx: &mut Ctx<'_, NetMsg>) {
+        self.ensure_started(ctx);
+        match ev {
+            Event::Msg {
+                msg: NetMsg::Packet(seg),
+                ..
+            } => {
+                let now = ctx.now();
+                let q = self.inner.nic.rx_enqueue(seg);
+                let seg = self.inner.nic.rx_dequeue(q).expect("just enqueued");
+                let core_idx = q.min(self.inner.active_fp - 1);
+                // Finite RX ring: drop when the core is too far behind.
+                let backlog = self
+                    .inner
+                    .fp_cores
+                    .core_ref(core_idx)
+                    .busy_until()
+                    .saturating_sub(now);
+                if backlog > self.inner.cfg.max_core_backlog {
+                    self.inner.stats.drop_backlog += 1;
+                    return;
+                }
+                let stall = Self::cache_stall(&self.inner);
+                self.run_fp(core_idx, now, ctx, stall, |fp, t, acct| {
+                    let c = fp.rx_segment(t, seg, acct);
+                    if stall > 0 {
+                        acct.charge(Module::Tcp, stall, 0);
+                    }
+                    c
+                });
+            }
+            Event::Msg {
+                msg: NetMsg::Ctl { kind, a, b },
+                ..
+            } => {
+                let now = ctx.now();
+                self.deliver_app(now, 0, AppEvent::Ctl { kind, a, b }, ctx);
+            }
+            Event::Timer { kind, data } => {
+                let now = ctx.now();
+                match kind {
+                    timers::INIT => {}
+                    timers::FP_TX => {
+                        let fid = data as u32;
+                        let core = Self::fp_core_for(&self.inner, fid);
+                        self.run_fp(core, now, ctx, 0, |fp, t, acct| fp.tx_poll(t, fid, acct));
+                    }
+                    timers::SP_CTRL => {
+                        self.run_sp(now, ctx, |sp, fp, t, acct| {
+                            (sp.control_loop(t, fp, acct), ())
+                        });
+                        // Self-pacing: the next iteration starts when this
+                        // one finishes or after the nominal interval,
+                        // whichever is later.
+                        let next = (now + self.inner.cfg.control_interval)
+                            .max(self.inner.sp_core.busy_until());
+                        ctx.timer_at(next, timers::SP_CTRL, 0);
+                    }
+                    timers::PROP => {
+                        self.prop_tick(now);
+                        ctx.timer(SimTime::from_ms(1), timers::PROP, 0);
+                    }
+                    timers::APP => {
+                        let context = (data >> 48) as u16;
+                        let token = data & 0xFFFF_FFFF_FFFF;
+                        self.deliver_app(now, context, AppEvent::Timer { token }, ctx);
+                    }
+                    timers::APP_RUN => {
+                        let context = data as u16;
+                        if let Some(ev) = self.inner.app_q[context as usize].pop_front() {
+                            self.deliver_app(now, context, ev, ctx);
+                        }
+                    }
+                    timers::FP_CMD => {
+                        if let Some(cmd) = self.inner.fp_q.pop_front() {
+                            match cmd {
+                                FpCmd::Tx(fid) => {
+                                    let core = Self::fp_core_for(&self.inner, fid);
+                                    self.run_fp(core, now, ctx, 0, |fp, t, acct| {
+                                        fp.tx_command(t, fid, acct)
+                                    });
+                                }
+                                FpCmd::RxBump(fid) => {
+                                    let core = Self::fp_core_for(&self.inner, fid);
+                                    self.run_fp(core, now, ctx, 0, |fp, t, acct| {
+                                        fp.rx_bump(t, fid, acct)
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    timers::SP_RUN => {
+                        if let Some(work) = self.inner.sp_q.pop_front() {
+                            self.run_sp_work(work, now, ctx);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    impl_as_any!();
+}

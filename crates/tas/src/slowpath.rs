@@ -1,0 +1,909 @@
+//! The TAS slow path (paper §3.2).
+//!
+//! Everything with non-constant per-packet cost or policy content lives
+//! here: connection control (port allocation, handshakes, teardown, with
+//! retry), the congestion-control control loop (rate-based DCTCP or
+//! TIMELY, one iteration per flow per control interval), and detection of
+//! retransmission timeouts (a flow whose left window edge has not moved
+//! for multiple control intervals is told to go-back-N).
+//!
+//! Like the fast path, the slow path is sans-IO: it stages packets and
+//! application events into [`SpOut`]; the host charges the returned cycle
+//! costs to the slow-path core and moves staged items.
+
+use crate::cc::{dctcp_rate_iteration, timely_iteration, DctcpRateParams, TimelyParams};
+use crate::config::{CcAlgo, TasConfig};
+use crate::fastpath::{FastPath, TAS_WSCALE};
+use crate::flow::{FlowState, RateBucket};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use tas_cpusim::{CycleAccount, Module};
+use tas_proto::tcp::seq;
+use tas_proto::{FlowKey, MacAddr, Segment, TcpFlags, TcpHeader};
+use tas_shm::ByteRing;
+use tas_sim::SimTime;
+
+/// Application-facing events produced by the slow path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpAppEvent {
+    /// An outgoing connection completed; the flow is installed.
+    ConnectDone {
+        /// The opaque value given at `connect` (the socket id).
+        opaque: u64,
+        /// Fast-path flow id.
+        fid: u32,
+    },
+    /// An outgoing connection failed (retries exhausted or RST).
+    ConnectFailed {
+        /// The opaque value given at `connect`.
+        opaque: u64,
+    },
+    /// An incoming connection completed on a listening port.
+    AcceptDone {
+        /// The opaque value the host assigned at SYN time.
+        opaque: u64,
+        /// Fast-path flow id.
+        fid: u32,
+        /// The listening port.
+        port: u16,
+        /// The connection 4-tuple.
+        key: FlowKey,
+    },
+    /// The peer closed a connection (FIN received).
+    PeerClosed {
+        /// Flow id (still installed until the app closes).
+        fid: u32,
+    },
+    /// A locally-initiated close finished; all state is gone.
+    CloseDone {
+        /// The opaque of the closed connection.
+        opaque: u64,
+    },
+    /// A flow was removed from the fast path (teardown started); the host
+    /// must drop its fid mapping before the id is reused.
+    Detached {
+        /// The opaque of the detaching connection.
+        opaque: u64,
+        /// The (now invalid) fast-path flow id.
+        fid: u32,
+    },
+}
+
+/// Staged slow-path effects.
+#[derive(Debug, Default)]
+pub struct SpOut {
+    /// Packets to transmit.
+    pub packets: Vec<Segment>,
+    /// Application events.
+    pub events: Vec<SpAppEvent>,
+}
+
+/// Slow-path counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpStats {
+    /// Connections fully established (either direction).
+    pub established: u64,
+    /// Connections fully closed.
+    pub closed: u64,
+    /// Handshake segment retransmissions.
+    pub handshake_rexmits: u64,
+    /// Retransmissions triggered by the stall detector.
+    pub timeout_rexmits: u64,
+    /// Exception packets processed.
+    pub exceptions: u64,
+    /// Exceptions dropped as unmatchable.
+    pub dropped: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(clippy::enum_variant_names)] // TCP state names are canonical.
+enum HsState {
+    /// SYN sent, awaiting SYN-ACK (local connect).
+    SynSent,
+    /// SYN received; waiting for the application's accept decision
+    /// (modelled as the app-core charge before `accept` is called).
+    SynPending,
+    /// SYN-ACK sent, awaiting the final ACK (remote connect).
+    SynAckSent,
+}
+
+/// A connection the slow path is establishing.
+#[derive(Clone, Debug)]
+struct Handshake {
+    state: HsState,
+    key: FlowKey,
+    peer_mac: MacAddr,
+    opaque: u64,
+    context: u16,
+    iss: u32,
+    irs: u32,
+    peer_wscale: u8,
+    peer_win: u64,
+    ts_recent: u32,
+    listen_port: u16,
+    deadline: SimTime,
+    attempts: u32,
+}
+
+/// A connection the slow path is tearing down (already removed from the
+/// fast path, or peer-initiated).
+#[derive(Clone, Debug)]
+struct Teardown {
+    key: FlowKey,
+    peer_mac: MacAddr,
+    opaque: u64,
+    /// Sequence of our FIN (== snd_nxt at close time).
+    fin_seq: u32,
+    /// What we acknowledge (peer's nxt, +1 once their FIN is in).
+    rcv_ack: u32,
+    ts_recent: u32,
+    fin_acked: bool,
+    peer_fin: bool,
+    deadline: SimTime,
+    attempts: u32,
+}
+
+/// The slow path.
+#[derive(Debug)]
+pub struct SlowPath {
+    local_ip: Ipv4Addr,
+    local_mac: MacAddr,
+    mss: u32,
+    rx_buf: usize,
+    tx_buf: usize,
+    cc: CcAlgo,
+    dctcp: DctcpRateParams,
+    timely: TimelyParams,
+    control_interval: SimTime,
+    stall_intervals_for_rexmit: u32,
+    initial_rate_bps: u64,
+    listeners: HashMap<u16, ()>,
+    handshakes: HashMap<FlowKey, Handshake>,
+    teardowns: HashMap<FlowKey, Teardown>,
+    next_port: u16,
+    /// Completion time of the previous control-loop iteration (the loop
+    /// self-paces: with many flows an iteration takes longer than the
+    /// nominal interval, exactly like the real slow-path thread).
+    last_loop: SimTime,
+    /// Staged effects.
+    pub out: SpOut,
+    /// Counters.
+    pub stats: SpStats,
+}
+
+/// Handshake/teardown retry interval (datacenter-scale: a dropped SYN
+/// costs a couple of RTT-magnitudes, not a WAN timeout).
+const RETRY_AFTER: SimTime = SimTime::from_ms(2);
+/// Retry attempts before giving up.
+const MAX_ATTEMPTS: u32 = 8;
+
+impl SlowPath {
+    /// Creates a slow path for a host.
+    pub fn new(local_ip: Ipv4Addr, local_mac: MacAddr, cfg: &TasConfig) -> Self {
+        SlowPath {
+            local_ip,
+            local_mac,
+            mss: cfg.mss,
+            rx_buf: cfg.rx_buf,
+            tx_buf: cfg.tx_buf,
+            cc: cfg.cc,
+            dctcp: DctcpRateParams {
+                ai_bps: cfg.ai_rate_bps,
+                ..DctcpRateParams::default()
+            },
+            timely: TimelyParams::default(),
+            control_interval: cfg.control_interval,
+            stall_intervals_for_rexmit: cfg.stall_intervals_for_rexmit,
+            initial_rate_bps: cfg.initial_rate_bps,
+            listeners: HashMap::new(),
+            handshakes: HashMap::new(),
+            teardowns: HashMap::new(),
+            next_port: 32_768,
+            last_loop: SimTime::ZERO,
+            out: SpOut::default(),
+            stats: SpStats::default(),
+        }
+    }
+
+    fn charge(&self, acct: &mut CycleAccount, cycles: u64) -> u64 {
+        // Slow-path work bills as "Other" stack cycles (it runs on its own
+        // partially-used core; Table 6 counts it there).
+        acct.charge(Module::Other, cycles, cycles);
+        cycles
+    }
+
+    /// Registers a listening port.
+    pub fn listen(&mut self, port: u16) {
+        self.listeners.insert(port, ());
+    }
+
+    /// Allocates an ephemeral local port.
+    pub fn alloc_port(&mut self) -> u16 {
+        let p = self.next_port;
+        self.next_port = self.next_port.checked_add(1).unwrap_or(32_768);
+        p
+    }
+
+    // ------------------------------------------------------------------
+    // Application commands.
+
+    /// Starts an outgoing connection; stages a SYN. `opaque` identifies
+    /// the socket; `context` is the app context for the future flow.
+    #[allow(clippy::too_many_arguments)] // The handshake tuple is irreducible.
+    pub fn connect(
+        &mut self,
+        now: SimTime,
+        peer_ip: Ipv4Addr,
+        peer_port: u16,
+        peer_mac: MacAddr,
+        opaque: u64,
+        context: u16,
+        iss: u32,
+        acct: &mut CycleAccount,
+    ) -> u64 {
+        let cycles = self.charge(acct, 900);
+        let local_port = self.alloc_port();
+        let key = FlowKey::new(self.local_ip, local_port, peer_ip, peer_port);
+        let hs = Handshake {
+            state: HsState::SynSent,
+            key,
+            peer_mac,
+            opaque,
+            context,
+            iss,
+            irs: 0,
+            peer_wscale: 0,
+            peer_win: 0,
+            ts_recent: 0,
+            listen_port: 0,
+            deadline: now + RETRY_AFTER,
+            attempts: 0,
+        };
+        self.send_syn(now, &hs);
+        self.handshakes.insert(key, hs);
+        cycles
+    }
+
+    fn send_syn(&mut self, now: SimTime, hs: &Handshake) {
+        let mut h = TcpHeader::new(
+            hs.key.local_port,
+            hs.key.remote_port,
+            hs.iss,
+            0,
+            TcpFlags::SYN,
+        );
+        // ECN negotiation (TAS runs DCTCP).
+        h.flags |= TcpFlags::ECE | TcpFlags::CWR;
+        h.options.mss = Some(self.mss.min(u16::MAX as u32) as u16);
+        h.options.wscale = Some(TAS_WSCALE);
+        h.options.timestamp = Some((now.as_micros() as u32, 0));
+        h.window = self.rx_buf.min(u16::MAX as usize) as u16;
+        self.out.packets.push(Segment::tcp(
+            self.local_mac,
+            hs.peer_mac,
+            self.local_ip,
+            hs.key.remote_ip,
+            h,
+            Vec::new(),
+            false,
+        ));
+    }
+
+    fn send_synack(&mut self, now: SimTime, hs: &Handshake) {
+        let mut h = TcpHeader::new(
+            hs.key.local_port,
+            hs.key.remote_port,
+            hs.iss,
+            hs.irs.wrapping_add(1),
+            TcpFlags::SYN | TcpFlags::ACK,
+        );
+        h.flags |= TcpFlags::ECE; // Accept ECN.
+        h.options.mss = Some(self.mss.min(u16::MAX as u32) as u16);
+        h.options.wscale = Some(TAS_WSCALE);
+        h.options.timestamp = Some((now.as_micros() as u32, hs.ts_recent));
+        h.window = self.rx_buf.min(u16::MAX as usize) as u16;
+        self.out.packets.push(Segment::tcp(
+            self.local_mac,
+            hs.peer_mac,
+            self.local_ip,
+            hs.key.remote_ip,
+            h,
+            Vec::new(),
+            false,
+        ));
+    }
+
+    /// Builds the established flow state and installs it in the fast path.
+    fn install(&mut self, fp: &mut FastPath, hs: &Handshake, now: SimTime) -> u32 {
+        let bucket = match self.cc {
+            CcAlgo::None => RateBucket::unlimited(),
+            _ => RateBucket::limited(
+                self.initial_rate_bps,
+                self.burst_for(self.initial_rate_bps),
+                now,
+            ),
+        };
+        let flow = FlowState {
+            opaque: hs.opaque,
+            context: hs.context,
+            bucket,
+            key: hs.key,
+            peer_mac: hs.peer_mac,
+            rx: ByteRing::new(self.rx_buf),
+            tx: ByteRing::new(self.tx_buf),
+            tx_sent: 0,
+            max_sent_off: 0,
+            iss: hs.iss,
+            irs: hs.irs,
+            snd_wnd: hs.peer_win,
+            peer_wscale: hs.peer_wscale,
+            dupack_cnt: 0,
+            ooo_start: 0,
+            ooo_len: 0,
+            cnt_ackb: 0,
+            cnt_ecnb: 0,
+            cnt_frexmits: 0,
+            rtt_est_us: 0,
+            ts_recent: hs.ts_recent,
+            cwnd: u64::MAX,
+            last_seg_ce: false,
+            tx_timer_armed: false,
+            win_closed: false,
+            last_una_off: 0,
+            stall_intervals: 0,
+            cc_alpha: 1.0,
+            cc_rate_ewma: 0.0,
+            cc_slow_start: true,
+            cc_prev_rtt_us: 0,
+            closing: false,
+        };
+        self.stats.established += 1;
+        fp.install_flow(flow)
+    }
+
+    fn burst_for(&self, rate_bps: u64) -> u64 {
+        // Credit for one control interval, at least 2 MSS.
+        let per_interval = (rate_bps as u128 * self.control_interval.as_ps() as u128
+            / 8
+            / 1_000_000_000_000) as u64;
+        per_interval.max(2 * self.mss as u64)
+    }
+
+    /// Application closes a connection. If the flow has drained, teardown
+    /// starts immediately; otherwise it is marked and the control loop
+    /// picks it up.
+    pub fn close(
+        &mut self,
+        now: SimTime,
+        fid: u32,
+        fp: &mut FastPath,
+        acct: &mut CycleAccount,
+    ) -> u64 {
+        let cycles = self.charge(acct, 700);
+        let drained = {
+            let Some(flow) = fp.flows.get_mut(fid) else {
+                return cycles;
+            };
+            flow.closing = true;
+            flow.tx.is_empty()
+        };
+        if drained {
+            self.start_teardown(now, fid, fp);
+        }
+        cycles
+    }
+
+    /// Removes the flow from the fast path and sends our FIN. Any unread
+    /// receive data is returned to the host (libTAS keeps the buffer).
+    fn start_teardown(&mut self, now: SimTime, fid: u32, fp: &mut FastPath) -> Option<ByteRing> {
+        let flow = fp.remove_flow(fid)?;
+        self.out.events.push(SpAppEvent::Detached {
+            opaque: flow.opaque,
+            fid,
+        });
+        // Existing peer-FIN state (remote closed first)?
+        let peer_fin = self
+            .teardowns
+            .get(&flow.key)
+            .map(|t| t.peer_fin)
+            .unwrap_or(false);
+        let fin_seq = flow.seq_of(flow.nxt_off());
+        let mut rcv_ack = flow.rcv_seq_of(flow.rx.end_offset());
+        if peer_fin {
+            rcv_ack = rcv_ack.wrapping_add(1);
+        }
+        let td = Teardown {
+            key: flow.key,
+            peer_mac: flow.peer_mac,
+            opaque: flow.opaque,
+            fin_seq,
+            rcv_ack,
+            ts_recent: flow.ts_recent,
+            fin_acked: false,
+            peer_fin,
+            deadline: now + RETRY_AFTER,
+            attempts: 0,
+        };
+        self.send_fin(now, &td);
+        self.teardowns.insert(flow.key, td);
+        Some(flow.rx)
+    }
+
+    fn send_fin(&mut self, now: SimTime, td: &Teardown) {
+        let mut h = TcpHeader::new(
+            td.key.local_port,
+            td.key.remote_port,
+            td.fin_seq,
+            td.rcv_ack,
+            TcpFlags::FIN | TcpFlags::ACK,
+        );
+        h.options.timestamp = Some((now.as_micros() as u32, td.ts_recent));
+        h.window = self.rx_buf.min(u16::MAX as usize) as u16;
+        self.out.packets.push(Segment::tcp(
+            self.local_mac,
+            td.peer_mac,
+            self.local_ip,
+            td.key.remote_ip,
+            h,
+            Vec::new(),
+            false,
+        ));
+    }
+
+    fn send_plain_ack(
+        &mut self,
+        now: SimTime,
+        key: FlowKey,
+        peer_mac: MacAddr,
+        seq_no: u32,
+        ack: u32,
+        ts: u32,
+    ) {
+        let mut h = TcpHeader::new(key.local_port, key.remote_port, seq_no, ack, TcpFlags::ACK);
+        h.options.timestamp = Some((now.as_micros() as u32, ts));
+        h.window = self.rx_buf.min(u16::MAX as usize) as u16;
+        self.out.packets.push(Segment::tcp(
+            self.local_mac,
+            peer_mac,
+            self.local_ip,
+            key.remote_ip,
+            h,
+            Vec::new(),
+            false,
+        ));
+    }
+
+    // ------------------------------------------------------------------
+    // Exception processing.
+
+    /// Processes one exception packet forwarded by the fast path.
+    /// `fresh_iss` seeds a new ISN when a connection must be created.
+    #[allow(clippy::too_many_arguments)] // The handshake tuple is irreducible.
+    pub fn on_exception(
+        &mut self,
+        now: SimTime,
+        seg: Segment,
+        fp: &mut FastPath,
+        fresh_iss: u32,
+        fresh_opaque: u64,
+        context_for_accept: u16,
+        acct: &mut CycleAccount,
+    ) -> u64 {
+        self.stats.exceptions += 1;
+        let cycles = self.charge(acct, 900);
+        let key = seg.flow_key();
+        let f = seg.tcp.flags;
+        let ts = seg.tcp.options.timestamp.map(|(v, _)| v).unwrap_or(0);
+        if f.contains(TcpFlags::RST) {
+            // Reset: drop all state for the tuple.
+            if let Some(hs) = self.handshakes.remove(&key) {
+                self.out
+                    .events
+                    .push(SpAppEvent::ConnectFailed { opaque: hs.opaque });
+            }
+            if let Some(fid) = fp.flows.lookup(&key) {
+                fp.remove_flow(fid);
+                self.out.events.push(SpAppEvent::PeerClosed { fid });
+            }
+            self.teardowns.remove(&key);
+            return cycles;
+        }
+        if f.contains(TcpFlags::SYN) && !f.contains(TcpFlags::ACK) {
+            // Incoming connection request.
+            if let Some(hs) = self.handshakes.get(&key) {
+                // Duplicate SYN: if we already answered, answer again.
+                if hs.state == HsState::SynAckSent {
+                    let copy = hs.clone();
+                    self.send_synack(now, &copy);
+                }
+                return cycles;
+            }
+            if !self.listeners.contains_key(&key.local_port) {
+                self.stats.dropped += 1;
+                return cycles;
+            }
+            let hs = Handshake {
+                state: HsState::SynPending,
+                key,
+                peer_mac: seg.eth.src,
+                opaque: fresh_opaque,
+                context: context_for_accept,
+                iss: fresh_iss,
+                irs: seg.tcp.seq,
+                peer_wscale: seg.tcp.options.wscale.unwrap_or(0),
+                peer_win: seg.tcp.window as u64,
+                ts_recent: ts,
+                listen_port: key.local_port,
+                deadline: now + RETRY_AFTER,
+                attempts: 0,
+            };
+            self.handshakes.insert(key, hs);
+            // The host relays the accept decision through `accept()`
+            // (charging the application's side of the handshake).
+            return cycles;
+        }
+        if f.contains(TcpFlags::SYN | TcpFlags::ACK) {
+            // SYN-ACK for one of our connects.
+            let Some(hs) = self.handshakes.get_mut(&key) else {
+                self.stats.dropped += 1;
+                return cycles;
+            };
+            if hs.state != HsState::SynSent || seg.tcp.ack != hs.iss.wrapping_add(1) {
+                return cycles;
+            }
+            hs.irs = seg.tcp.seq;
+            hs.peer_wscale = seg.tcp.options.wscale.unwrap_or(0);
+            hs.peer_win = seg.tcp.window as u64; // SYN windows unscaled.
+            hs.ts_recent = ts;
+            let hs = self.handshakes.remove(&key).expect("present");
+            // Final ACK of the handshake.
+            self.send_plain_ack(
+                now,
+                key,
+                hs.peer_mac,
+                hs.iss.wrapping_add(1),
+                hs.irs.wrapping_add(1),
+                hs.ts_recent,
+            );
+            let fid = self.install(fp, &hs, now);
+            self.out.events.push(SpAppEvent::ConnectDone {
+                opaque: hs.opaque,
+                fid,
+            });
+            return cycles;
+        }
+        if f.contains(TcpFlags::FIN) {
+            return cycles + self.on_fin(now, seg, fp, acct);
+        }
+        // Plain ACK exceptions: final handshake ACK or teardown ACK.
+        if f.contains(TcpFlags::ACK) {
+            if let Some(hs) = self.handshakes.get_mut(&key) {
+                if hs.state == HsState::SynAckSent && seg.tcp.ack == hs.iss.wrapping_add(1) {
+                    hs.ts_recent = ts;
+                    hs.peer_win = (seg.tcp.window as u64) << hs.peer_wscale;
+                    let hs = self.handshakes.remove(&key).expect("present");
+                    let fid = self.install(fp, &hs, now);
+                    self.out.events.push(SpAppEvent::AcceptDone {
+                        opaque: hs.opaque,
+                        fid,
+                        port: hs.listen_port,
+                        key,
+                    });
+                    // Data may ride on the handshake-completing ACK; now
+                    // that the flow is installed, the fast path takes it.
+                    if !seg.payload.is_empty() {
+                        fp.rx_segment(now, seg, acct);
+                    }
+                    return cycles;
+                }
+            }
+            if let Some(td) = self.teardowns.get_mut(&key) {
+                if seg.tcp.ack == td.fin_seq.wrapping_add(1) {
+                    td.fin_acked = true;
+                    if td.peer_fin {
+                        let td = self.teardowns.remove(&key).expect("present");
+                        self.stats.closed += 1;
+                        self.out
+                            .events
+                            .push(SpAppEvent::CloseDone { opaque: td.opaque });
+                    }
+                    return cycles;
+                }
+            }
+            self.stats.dropped += 1;
+            return cycles;
+        }
+        self.stats.dropped += 1;
+        cycles
+    }
+
+    fn on_fin(
+        &mut self,
+        now: SimTime,
+        seg: Segment,
+        fp: &mut FastPath,
+        _acct: &mut CycleAccount,
+    ) -> u64 {
+        let key = seg.flow_key();
+        let ts = seg.tcp.options.timestamp.map(|(v, _)| v).unwrap_or(0);
+        // Case 1: flow still installed — peer closed first.
+        if let Some(fid) = fp.flows.lookup(&key) {
+            let flow = fp.flows.get_mut(fid).expect("looked up");
+            let expected = flow.rcv_seq_of(flow.rx.end_offset());
+            // Deliver any payload carried with the FIN (rare; peers here
+            // send pure FINs, but be liberal).
+            let fin_seq = seg.tcp.seq.wrapping_add(seg.payload.len() as u32);
+            if seq::gt(fin_seq, expected) && !seg.payload.is_empty() && seg.tcp.seq == expected {
+                let take = seg.payload.len().min(flow.rx.free());
+                flow.rx.append(&seg.payload[..take]).expect("bounded");
+            }
+            let rcv_ack = flow.rcv_seq_of(flow.rx.end_offset()).wrapping_add(1);
+            let peer_mac = flow.peer_mac;
+            let seq_no = flow.seq_of(flow.nxt_off());
+            // Record the peer FIN so a later local close skips its wait.
+            let td = Teardown {
+                key,
+                peer_mac,
+                opaque: flow.opaque,
+                fin_seq: 0,
+                rcv_ack,
+                ts_recent: ts,
+                fin_acked: false,
+                peer_fin: true,
+                deadline: SimTime::MAX,
+                attempts: 0,
+            };
+            self.send_plain_ack(now, key, peer_mac, seq_no, rcv_ack, ts);
+            self.teardowns.insert(key, td);
+            self.out.events.push(SpAppEvent::PeerClosed { fid });
+            return 0;
+        }
+        // Case 2: we closed first; peer's FIN completes the teardown.
+        if let Some(td) = self.teardowns.get_mut(&key) {
+            td.peer_fin = true;
+            td.ts_recent = ts;
+            let ack = seg
+                .tcp
+                .seq
+                .wrapping_add(seg.payload.len() as u32)
+                .wrapping_add(1);
+            td.rcv_ack = ack;
+            let (peer_mac, fin_seq, fin_acked) = (td.peer_mac, td.fin_seq, td.fin_acked);
+            // ACK their FIN; our seq is past our FIN.
+            self.send_plain_ack(now, key, peer_mac, fin_seq.wrapping_add(1), ack, ts);
+            if fin_acked
+                || seg.tcp.flags.contains(TcpFlags::ACK) && seg.tcp.ack == fin_seq.wrapping_add(1)
+            {
+                let td = self.teardowns.remove(&key).expect("present");
+                self.stats.closed += 1;
+                self.out
+                    .events
+                    .push(SpAppEvent::CloseDone { opaque: td.opaque });
+            }
+            return 0;
+        }
+        // Stray FIN (state already gone): ACK it so the peer stops.
+        self.send_plain_ack(
+            now,
+            key,
+            seg.eth.src,
+            seg.tcp.ack,
+            seg.tcp
+                .seq
+                .wrapping_add(seg.payload.len() as u32)
+                .wrapping_add(1),
+            ts,
+        );
+        0
+    }
+
+    /// The host relays the application's accept for a pending incoming
+    /// connection (identified by listen port). Returns the number of
+    /// handshakes answered.
+    pub fn accept_pending(&mut self, now: SimTime, acct: &mut CycleAccount) -> usize {
+        self.charge(acct, 900);
+        let keys: Vec<FlowKey> = self
+            .handshakes
+            .iter()
+            .filter(|(_, h)| h.state == HsState::SynPending)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in &keys {
+            let hs = self.handshakes.get_mut(k).expect("present");
+            hs.state = HsState::SynAckSent;
+            hs.deadline = now + RETRY_AFTER;
+            let snapshot = self.handshakes.get(k).expect("present").clone();
+            self.send_synack(now, &snapshot);
+        }
+        keys.len()
+    }
+
+    /// True when incoming handshakes await an application accept.
+    pub fn has_pending_accepts(&self) -> bool {
+        self.handshakes
+            .values()
+            .any(|h| h.state == HsState::SynPending)
+    }
+
+    // ------------------------------------------------------------------
+    // Control loop.
+
+    /// One control-loop iteration over all flows: congestion control,
+    /// stall/retransmit detection, deferred closes, handshake retries.
+    /// Returns the cycle cost (proportional to flow count).
+    pub fn control_loop(
+        &mut self,
+        now: SimTime,
+        fp: &mut FastPath,
+        acct: &mut CycleAccount,
+    ) -> u64 {
+        // Effective interval since the previous iteration (self-pacing).
+        let effective = if self.last_loop == SimTime::ZERO {
+            self.control_interval
+        } else {
+            (now - self.last_loop).max(self.control_interval)
+        };
+        self.last_loop = now;
+        let interval_secs = effective.as_secs_f64();
+        let mut cycles = self.charge(acct, 300);
+        let mut rexmit: Vec<u32> = Vec::new();
+        let mut probe: Vec<u32> = Vec::new();
+        let mut to_close: Vec<u32> = Vec::new();
+        let mut rate_updates: Vec<(u32, u64)> = Vec::new();
+        for (fid, flow) in fp.flows.iter_mut() {
+            cycles += 60; // Per-flow control work.
+                          // Stall detection (paper: unacked data with constant sequence
+                          // number for 2 control intervals → retransmit).
+            if flow.tx_sent > 0 {
+                if flow.tx.start_offset() == flow.last_una_off {
+                    flow.stall_intervals += 1;
+                    // Retransmit after the configured number of intervals,
+                    // but never before several RTTs have elapsed (the flow's
+                    // own timescale; avoids spurious go-back-N when RTTs
+                    // inflate under load).
+                    let stalled_for = effective
+                        .as_ps()
+                        .saturating_mul(flow.stall_intervals as u64);
+                    let rtt_floor = (flow.rtt_est_us as u64)
+                        .saturating_mul(3_000_000) // 3 RTTs in ps.
+                        .max(effective.as_ps());
+                    if flow.stall_intervals >= self.stall_intervals_for_rexmit
+                        && stalled_for >= rtt_floor
+                    {
+                        flow.stall_intervals = 0;
+                        // Count as loss for the next CC iteration.
+                        flow.cnt_frexmits = flow.cnt_frexmits.saturating_add(1);
+                        rexmit.push(fid);
+                    }
+                } else {
+                    flow.stall_intervals = 0;
+                }
+            } else if flow.tx.len() > flow.tx_sent as usize && flow.snd_wnd < self.mss as u64 {
+                // Zero-window persist: pending data, nothing in flight,
+                // shut window — probe so a lost window update cannot
+                // deadlock the flow.
+                flow.stall_intervals += 1;
+                if flow.stall_intervals >= self.stall_intervals_for_rexmit {
+                    flow.stall_intervals = 0;
+                    probe.push(fid);
+                }
+            } else {
+                flow.stall_intervals = 0;
+            }
+            flow.last_una_off = flow.tx.start_offset();
+            // Congestion control.
+            match self.cc {
+                CcAlgo::None => {}
+                CcAlgo::DctcpRate => {
+                    let cur = flow.bucket.rate_bps.saturating_mul(8);
+                    let newr = dctcp_rate_iteration(flow, cur, interval_secs, &self.dctcp);
+                    if newr != cur {
+                        rate_updates.push((fid, newr));
+                    }
+                }
+                CcAlgo::Timely => {
+                    let cur = flow.bucket.rate_bps.saturating_mul(8);
+                    let newr = timely_iteration(flow, cur, &self.timely);
+                    if newr != cur {
+                        rate_updates.push((fid, newr));
+                    }
+                }
+            }
+            // Deferred close once drained.
+            if flow.closing && flow.tx.is_empty() {
+                to_close.push(fid);
+            }
+        }
+        for (fid, bps) in rate_updates {
+            let burst = self.burst_for(bps);
+            fp.set_rate(fid, bps, burst, now);
+            // A rate increase may unblock a paced flow immediately (the
+            // armed pacing timer, if any, remains valid).
+            cycles += fp.poke_tx(now, fid, acct);
+        }
+        for fid in rexmit {
+            self.stats.timeout_rexmits += 1;
+            cycles += fp.trigger_retransmit(now, fid, acct);
+        }
+        for fid in probe {
+            cycles += fp.window_probe(now, fid, acct);
+        }
+        for fid in to_close {
+            self.start_teardown(now, fid, fp);
+        }
+        // Handshake and teardown retries.
+        let mut give_up_hs: Vec<FlowKey> = Vec::new();
+        let mut resend_syn: Vec<FlowKey> = Vec::new();
+        let mut resend_synack: Vec<FlowKey> = Vec::new();
+        for (k, hs) in self.handshakes.iter_mut() {
+            if hs.state == HsState::SynPending || now < hs.deadline {
+                continue;
+            }
+            hs.attempts += 1;
+            if hs.attempts > MAX_ATTEMPTS {
+                give_up_hs.push(*k);
+                continue;
+            }
+            hs.deadline = now + RETRY_AFTER;
+            match hs.state {
+                HsState::SynSent => resend_syn.push(*k),
+                HsState::SynAckSent => resend_synack.push(*k),
+                HsState::SynPending => {}
+            }
+        }
+        for k in resend_syn {
+            self.stats.handshake_rexmits += 1;
+            let hs = self.snapshot_hs(&k);
+            self.send_syn(now, &hs);
+        }
+        for k in resend_synack {
+            self.stats.handshake_rexmits += 1;
+            let hs = self.snapshot_hs(&k);
+            self.send_synack(now, &hs);
+        }
+        for k in give_up_hs {
+            let hs = self.handshakes.remove(&k).expect("present");
+            if hs.state == HsState::SynSent {
+                self.out
+                    .events
+                    .push(SpAppEvent::ConnectFailed { opaque: hs.opaque });
+            }
+        }
+        let mut resend_fin: Vec<FlowKey> = Vec::new();
+        let mut drop_td: Vec<FlowKey> = Vec::new();
+        for (k, td) in self.teardowns.iter_mut() {
+            if td.fin_acked || td.deadline == SimTime::MAX || now < td.deadline {
+                continue;
+            }
+            td.attempts += 1;
+            if td.attempts > MAX_ATTEMPTS {
+                drop_td.push(*k);
+                continue;
+            }
+            td.deadline = now + RETRY_AFTER;
+            resend_fin.push(*k);
+        }
+        for k in resend_fin {
+            let snapshot = self.teardowns.get(&k).expect("present").clone();
+            self.send_fin(now, &snapshot);
+        }
+        for k in drop_td {
+            let td = self.teardowns.remove(&k).expect("present");
+            self.stats.closed += 1;
+            self.out
+                .events
+                .push(SpAppEvent::CloseDone { opaque: td.opaque });
+        }
+        self.charge(acct, cycles.saturating_sub(300));
+        cycles
+    }
+
+    fn snapshot_hs(&self, k: &FlowKey) -> Handshake {
+        self.handshakes.get(k).expect("present").clone()
+    }
+
+    /// The control-loop interval τ.
+    pub fn control_interval(&self) -> SimTime {
+        self.control_interval
+    }
+}

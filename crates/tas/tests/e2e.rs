@@ -1,0 +1,340 @@
+//! End-to-end TAS tests: two TAS hosts exchanging RPCs across a simulated
+//! switch, covering connection setup through the slow path, fast-path data
+//! exchange, rate control, loss recovery, and teardown.
+
+use std::net::Ipv4Addr;
+use tas::host::timers;
+use tas::{CcAlgo, TasConfig, TasHost};
+use tas_netsim::app::{App, AppEvent, SockId, StackApi};
+use tas_netsim::topo::{build_star, HostSpec};
+use tas_netsim::{NetMsg, NicConfig, PortConfig};
+use tas_sim::{impl_as_any, AgentId, Sim, SimTime};
+
+/// Echo server: echoes every byte it reads; closes when the peer closes.
+struct EchoServer {
+    port: u16,
+    echoed: u64,
+    accepted: u64,
+}
+
+impl App for EchoServer {
+    fn on_start(&mut self, api: &mut dyn StackApi) {
+        api.listen(self.port);
+    }
+
+    fn on_event(&mut self, ev: AppEvent, api: &mut dyn StackApi) {
+        match ev {
+            AppEvent::Accepted { .. } => self.accepted += 1,
+            AppEvent::Readable { sock } => {
+                let data = api.recv(sock, usize::MAX);
+                self.echoed += data.len() as u64;
+                api.charge_app_cycles(300);
+                api.send(sock, &data);
+            }
+            AppEvent::Closed { sock } => {
+                api.close(sock);
+            }
+            _ => {}
+        }
+    }
+
+    impl_as_any!();
+}
+
+/// Closed-loop RPC client: `pipeline` requests in flight, `total` requests,
+/// then closes.
+struct RpcClient {
+    server: Ipv4Addr,
+    port: u16,
+    req_size: usize,
+    total: u32,
+    sock: Option<SockId>,
+    sent: u32,
+    done: u32,
+    pending: Vec<u8>,
+    rtts_us: Vec<f64>,
+    inflight_since: SimTime,
+    finished: bool,
+}
+
+impl RpcClient {
+    fn new(server: Ipv4Addr, port: u16, req_size: usize, total: u32) -> Self {
+        RpcClient {
+            server,
+            port,
+            req_size,
+            total,
+            sock: None,
+            sent: 0,
+            done: 0,
+            pending: Vec::new(),
+            rtts_us: Vec::new(),
+            inflight_since: SimTime::ZERO,
+            finished: false,
+        }
+    }
+
+    fn fire(&mut self, api: &mut dyn StackApi) {
+        let sock = self.sock.expect("connected");
+        let req: Vec<u8> = (0..self.req_size)
+            .map(|i| ((self.sent as usize + i) % 251) as u8)
+            .collect();
+        self.inflight_since = api.now();
+        let n = api.send(sock, &req);
+        assert_eq!(n, req.len(), "request must fit the tx buffer");
+        self.sent += 1;
+    }
+}
+
+impl App for RpcClient {
+    fn on_start(&mut self, api: &mut dyn StackApi) {
+        self.sock = Some(api.connect(self.server, self.port));
+    }
+
+    fn on_event(&mut self, ev: AppEvent, api: &mut dyn StackApi) {
+        match ev {
+            AppEvent::Connected { .. } => self.fire(api),
+            AppEvent::Readable { sock } => {
+                let data = api.recv(sock, usize::MAX);
+                self.pending.extend_from_slice(&data);
+                while self.pending.len() >= self.req_size {
+                    let resp: Vec<u8> = self.pending.drain(..self.req_size).collect();
+                    // Verify the echo round-tripped intact.
+                    for (i, b) in resp.iter().enumerate() {
+                        assert_eq!(
+                            *b,
+                            ((self.done as usize + i) % 251) as u8,
+                            "payload corrupted"
+                        );
+                    }
+                    self.done += 1;
+                    self.rtts_us
+                        .push((api.now() - self.inflight_since).as_micros_f64());
+                    if self.done < self.total {
+                        self.fire(api);
+                    } else {
+                        api.close(sock);
+                    }
+                }
+            }
+            AppEvent::Closed { .. } => self.finished = true,
+            _ => {}
+        }
+    }
+
+    impl_as_any!();
+}
+
+/// Builds a star with a TAS echo server (host 0) and TAS clients.
+fn build(
+    n_clients: usize,
+    server_cfg: TasConfig,
+    client_cfg: TasConfig,
+    reqs: u32,
+    req_size: usize,
+    seed: u64,
+) -> (Sim<NetMsg>, Vec<AgentId>) {
+    let mut sim: Sim<NetMsg> = Sim::new(seed);
+    let server_ip = tas_netsim::topo::host_ip(0);
+    let mut factory = |sim: &mut Sim<NetMsg>, spec: HostSpec| {
+        let app: Box<dyn App> = if spec.index == 0 {
+            Box::new(EchoServer {
+                port: 7,
+                echoed: 0,
+                accepted: 0,
+            })
+        } else {
+            Box::new(RpcClient::new(server_ip, 7, req_size, reqs))
+        };
+        let cfg = if spec.index == 0 {
+            server_cfg.clone()
+        } else {
+            client_cfg.clone()
+        };
+        sim.add_agent(Box::new(TasHost::new(
+            spec.ip,
+            spec.mac,
+            spec.nic,
+            cfg,
+            spec.uplink,
+            app,
+        )))
+    };
+    let topo = build_star(
+        &mut sim,
+        1 + n_clients,
+        |_| PortConfig::tengig(),
+        |_| NicConfig::client_10g(1),
+        &mut factory,
+    );
+    for (i, &h) in topo.hosts.iter().enumerate() {
+        sim.inject_timer(SimTime::from_us(i as u64), h, timers::INIT, 0);
+    }
+    (sim, topo.hosts)
+}
+
+#[test]
+fn single_client_rpc_round_trips() {
+    let (mut sim, hosts) = build(
+        1,
+        TasConfig::rpc_bench(1, 1),
+        TasConfig::rpc_bench(1, 1),
+        100,
+        64,
+        1,
+    );
+    sim.run_until(SimTime::from_ms(200));
+    let client = sim.agent::<TasHost>(hosts[1]).app_as::<RpcClient>();
+    assert_eq!(client.done, 100, "all RPCs must complete");
+    assert!(client.finished, "close handshake must complete");
+    let server = sim.agent::<TasHost>(hosts[0]);
+    assert_eq!(server.app_as::<EchoServer>().echoed, 100 * 64);
+    assert_eq!(server.app_as::<EchoServer>().accepted, 1);
+    assert_eq!(server.sp_stats().established, 1);
+    assert!(
+        server.fp_stats().pkts_rx > 100,
+        "data flowed through the fast path"
+    );
+    // Flow state is gone after teardown on both sides.
+    assert_eq!(server.flow_count(), 0);
+    assert_eq!(sim.agent::<TasHost>(hosts[1]).flow_count(), 0);
+}
+
+#[test]
+fn rpc_latency_is_microseconds_scale() {
+    let (mut sim, hosts) = build(
+        1,
+        TasConfig::rpc_bench(1, 1),
+        TasConfig::rpc_bench(1, 1),
+        200,
+        64,
+        2,
+    );
+    sim.run_until(SimTime::from_ms(200));
+    let client = sim.agent::<TasHost>(hosts[1]).app_as::<RpcClient>();
+    assert_eq!(client.done, 200);
+    let mean = client.rtts_us.iter().sum::<f64>() / client.rtts_us.len() as f64;
+    // 2 wire hops each way (~1us each) + switch + processing: single-digit
+    // microseconds; far below 100.
+    assert!(mean > 3.0 && mean < 50.0, "RPC latency {mean}us");
+}
+
+#[test]
+fn many_clients_all_complete() {
+    let (mut sim, hosts) = build(
+        8,
+        TasConfig::rpc_bench(2, 2),
+        TasConfig::rpc_bench(1, 1),
+        50,
+        64,
+        3,
+    );
+    sim.run_until(SimTime::from_ms(500));
+    for h in &hosts[1..] {
+        let client = sim.agent::<TasHost>(*h).app_as::<RpcClient>();
+        assert_eq!(client.done, 50);
+        assert!(client.finished);
+    }
+    let server = sim.agent::<TasHost>(hosts[0]);
+    assert_eq!(server.sp_stats().established, 8);
+    assert_eq!(server.sp_stats().closed, 8);
+}
+
+#[test]
+fn rate_controlled_config_still_completes() {
+    // DCTCP-rate enforcement on both sides: the control loop, buckets, and
+    // pacing timers are all on the path.
+    let mut cfg = TasConfig::rpc_bench(1, 1);
+    cfg.cc = CcAlgo::DctcpRate;
+    cfg.initial_rate_bps = 100_000_000;
+    cfg.control_interval = SimTime::from_us(200);
+    let (mut sim, hosts) = build(2, cfg.clone(), cfg, 100, 512, 4);
+    sim.run_until(SimTime::from_ms(500));
+    for h in &hosts[1..] {
+        let client = sim.agent::<TasHost>(*h).app_as::<RpcClient>();
+        assert_eq!(client.done, 100, "rate-limited flows must still complete");
+    }
+}
+
+#[test]
+fn loss_recovery_via_slow_path_timeout() {
+    // 2% packet loss on the client NIC: lost requests/responses must be
+    // recovered by dupack fast-retransmit or the slow-path stall detector.
+    let mut sim: Sim<NetMsg> = Sim::new(5);
+    let server_ip = tas_netsim::topo::host_ip(0);
+    let mut cfg = TasConfig::rpc_bench(1, 1);
+    cfg.control_interval = SimTime::from_us(200);
+    let cfg2 = cfg.clone();
+    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| {
+        let app: Box<dyn App> = if spec.index == 0 {
+            Box::new(EchoServer {
+                port: 7,
+                echoed: 0,
+                accepted: 0,
+            })
+        } else {
+            Box::new(RpcClient::new(server_ip, 7, 64, 300))
+        };
+        let mut nic = spec.nic;
+        if spec.index == 1 {
+            nic.tx_loss = 0.02;
+        }
+        sim.add_agent(Box::new(TasHost::new(
+            spec.ip,
+            spec.mac,
+            nic,
+            cfg2.clone(),
+            spec.uplink,
+            app,
+        )))
+    };
+    let topo = build_star(
+        &mut sim,
+        2,
+        |_| PortConfig::tengig(),
+        |_| NicConfig::client_10g(1),
+        &mut factory,
+    );
+    for &h in &topo.hosts {
+        sim.inject_timer(SimTime::ZERO, h, timers::INIT, 0);
+    }
+    sim.run_until(SimTime::from_secs(5));
+    let client = sim.agent::<TasHost>(topo.hosts[1]).app_as::<RpcClient>();
+    assert_eq!(client.done, 300, "all RPCs must survive 2% loss");
+    let server = sim.agent::<TasHost>(topo.hosts[0]);
+    let srv_rexmits = server.sp_stats().timeout_rexmits + server.fp_stats().fast_rexmits;
+    let cli = sim.agent::<TasHost>(topo.hosts[1]);
+    let cli_rexmits = cli.sp_stats().timeout_rexmits + cli.fp_stats().fast_rexmits;
+    assert!(
+        srv_rexmits + cli_rexmits > 0,
+        "losses must have triggered recovery"
+    );
+}
+
+#[test]
+fn cycle_accounting_matches_table1_shape() {
+    let (mut sim, hosts) = build(
+        1,
+        TasConfig::rpc_bench(1, 1),
+        TasConfig::rpc_bench(1, 1),
+        1000,
+        64,
+        6,
+    );
+    sim.run_until(SimTime::from_secs(1));
+    let server = sim.agent::<TasHost>(hosts[0]);
+    let acct = server.account();
+    use tas_cpusim::Module;
+    let tcp = acct.cycles(Module::Tcp);
+    let driver = acct.cycles(Module::Driver);
+    let api = acct.cycles(Module::Api);
+    assert!(tcp > driver, "TCP dominates driver cycles (Table 1 shape)");
+    assert!(api > driver, "sockets exceed driver cycles (Table 1 shape)");
+    // Per request: roughly 0.8-1.3 kc of TCP per the calibration (the echo
+    // server sees 1 data RX + ack gen + tx cmd + tx seg + 1 ack RX).
+    let per_req = tcp as f64 / 1000.0;
+    assert!(
+        (600.0..1600.0).contains(&per_req),
+        "TCP cycles/request {per_req}"
+    );
+}

@@ -1,0 +1,194 @@
+//! Workload-proportionality tests (§3.4): the slow path grows the
+//! fast-path core set under load, shrinks it when load departs, and the
+//! RSS redirection table follows.
+
+use std::net::Ipv4Addr;
+use tas::host::timers;
+use tas::{ApiKind, CcAlgo, TasConfig, TasHost};
+use tas_netsim::app::{App, AppEvent, StackApi};
+use tas_netsim::topo::{build_star, host_ip, HostSpec};
+use tas_netsim::{NetMsg, NicConfig, PortConfig};
+use tas_sim::{impl_as_any, AgentId, Sim, SimTime};
+
+/// Echo app (local copy to keep the crate's dev-deps slim).
+struct Echo;
+impl App for Echo {
+    fn on_start(&mut self, api: &mut dyn StackApi) {
+        api.listen(7);
+    }
+    fn on_event(&mut self, ev: AppEvent, api: &mut dyn StackApi) {
+        match ev {
+            AppEvent::Readable { sock } => {
+                let d = api.recv(sock, usize::MAX);
+                api.charge_app_cycles(200);
+                api.send(sock, &d);
+            }
+            AppEvent::Closed { sock } => api.close(sock),
+            _ => {}
+        }
+    }
+    impl_as_any!();
+}
+
+/// Closed-loop pinger: `conns` sockets, fires immediately on response.
+struct Pinger {
+    server: Ipv4Addr,
+    conns: u32,
+    stop_at: SimTime,
+    done: u64,
+}
+impl App for Pinger {
+    fn on_start(&mut self, api: &mut dyn StackApi) {
+        for _ in 0..self.conns {
+            api.connect(self.server, 7);
+        }
+    }
+    fn on_event(&mut self, ev: AppEvent, api: &mut dyn StackApi) {
+        match ev {
+            AppEvent::Connected { sock } => {
+                api.send(sock, &[0u8; 64]);
+            }
+            AppEvent::Readable { sock } => {
+                let d = api.recv(sock, usize::MAX);
+                if d.len() >= 64 {
+                    self.done += 1;
+                    if self.stop_at == SimTime::ZERO || api.now() < self.stop_at {
+                        api.send(sock, &[0u8; 64]);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    impl_as_any!();
+}
+
+fn build(load_stop: SimTime) -> (Sim<NetMsg>, AgentId, AgentId) {
+    let mut sim: Sim<NetMsg> = Sim::new(5);
+    let server_ip = host_ip(0);
+    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
+        if spec.index == 0 {
+            let cfg = TasConfig {
+                // Slow clock: a few dozen closed-loop connections saturate
+                // multiple fast-path cores.
+                freq_hz: 50_000_000,
+                max_fp_cores: 6,
+                initial_fp_cores: 1,
+                app_cores: 4,
+                api: ApiKind::Sockets,
+                cc: CcAlgo::None,
+                rx_buf: 2048,
+                tx_buf: 2048,
+                proportional: true,
+                max_core_backlog: SimTime::from_ms(50),
+                ..TasConfig::default()
+            };
+            sim.add_agent(Box::new(TasHost::new(
+                spec.ip,
+                spec.mac,
+                spec.nic,
+                cfg,
+                spec.uplink,
+                Box::new(Echo),
+            )))
+        } else {
+            let cfg = TasConfig::rpc_bench(2, 2);
+            sim.add_agent(Box::new(TasHost::new(
+                spec.ip,
+                spec.mac,
+                spec.nic,
+                cfg,
+                spec.uplink,
+                Box::new(Pinger {
+                    server: server_ip,
+                    conns: 64,
+                    stop_at: load_stop,
+                    done: 0,
+                }),
+            )))
+        }
+    };
+    let topo = build_star(
+        &mut sim,
+        2,
+        |_| PortConfig::tengig(),
+        |_| NicConfig::client_10g(1),
+        &mut factory,
+    );
+    for &h in &topo.hosts {
+        sim.inject_timer(SimTime::ZERO, h, timers::INIT, 0);
+    }
+    (sim, topo.hosts[0], topo.hosts[1])
+}
+
+#[test]
+fn controller_scales_up_under_load() {
+    let (mut sim, server, client) = build(SimTime::ZERO);
+    sim.run_until(SimTime::from_ms(200));
+    let srv = sim.agent::<TasHost>(server);
+    assert!(
+        srv.active_fp_cores() >= 3,
+        "sustained overload must add cores, got {}",
+        srv.active_fp_cores()
+    );
+    assert!(srv.host_stats().scale_events >= 2);
+    // RSS follows the active set.
+    assert!(sim.agent::<TasHost>(client).app_as::<Pinger>().done > 1_000);
+}
+
+#[test]
+fn controller_scales_back_down_when_idle() {
+    let (mut sim, server, _client) = build(SimTime::from_ms(150));
+    sim.run_until(SimTime::from_ms(150));
+    let peak = sim.agent::<TasHost>(server).active_fp_cores();
+    assert!(peak >= 3, "ramped up first (got {peak})");
+    // Load stops at 150 ms; the monitor should shed cores.
+    sim.run_until(SimTime::from_ms(400));
+    let after = sim.agent::<TasHost>(server).active_fp_cores();
+    assert!(
+        after < peak,
+        "idle cores must be released: peak {peak}, after {after}"
+    );
+    assert_eq!(after, 1, "fully idle host returns to one core");
+}
+
+#[test]
+fn fixed_allocation_never_scales() {
+    // proportional = false (rpc_bench): core count must never change.
+    let mut sim: Sim<NetMsg> = Sim::new(6);
+    let server_ip = host_ip(0);
+    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
+        let app: Box<dyn App> = if spec.index == 0 {
+            Box::new(Echo)
+        } else {
+            Box::new(Pinger {
+                server: server_ip,
+                conns: 32,
+                stop_at: SimTime::ZERO,
+                done: 0,
+            })
+        };
+        sim.add_agent(Box::new(TasHost::new(
+            spec.ip,
+            spec.mac,
+            spec.nic,
+            TasConfig::rpc_bench(2, 2),
+            spec.uplink,
+            app,
+        )))
+    };
+    let topo = build_star(
+        &mut sim,
+        2,
+        |_| PortConfig::tengig(),
+        |_| NicConfig::client_10g(1),
+        &mut factory,
+    );
+    for &h in &topo.hosts {
+        sim.inject_timer(SimTime::ZERO, h, timers::INIT, 0);
+    }
+    sim.run_until(SimTime::from_ms(100));
+    let srv = sim.agent::<TasHost>(topo.hosts[0]);
+    assert_eq!(srv.active_fp_cores(), 2);
+    assert_eq!(srv.host_stats().scale_events, 0);
+}

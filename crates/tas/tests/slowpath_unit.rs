@@ -1,0 +1,295 @@
+//! Direct slow-path tests: handshakes, teardown, congestion-control
+//! iterations, and the stall detector, exercised without a network by
+//! feeding segments straight between a slow path/fast path pair.
+
+use std::net::Ipv4Addr;
+use tas::fastpath::FastPath;
+use tas::slowpath::{SlowPath, SpAppEvent};
+use tas::{CcAlgo, TasConfig, TasCosts};
+use tas_cpusim::CycleAccount;
+use tas_proto::{MacAddr, Segment, TcpFlags, TcpHeader};
+use tas_sim::SimTime;
+
+fn server_pair(cc: CcAlgo) -> (SlowPath, FastPath) {
+    let ip = Ipv4Addr::new(10, 0, 0, 1);
+    let mac = MacAddr::for_host(1);
+    let cfg = TasConfig {
+        cc,
+        ..TasConfig::rpc_bench(1, 1)
+    };
+    (
+        SlowPath::new(ip, mac, &cfg),
+        FastPath::new(ip, mac, cfg.mss, TasCosts::default()),
+    )
+}
+
+fn syn(sport: u16, iss: u32) -> Segment {
+    let mut h = TcpHeader::new(sport, 80, iss, 0, TcpFlags::SYN);
+    h.flags |= TcpFlags::ECE | TcpFlags::CWR;
+    h.options.mss = Some(1448);
+    h.options.wscale = Some(7);
+    h.options.timestamp = Some((10, 0));
+    h.window = 8192;
+    Segment::tcp(
+        MacAddr::for_host(2),
+        MacAddr::for_host(1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        Ipv4Addr::new(10, 0, 0, 1),
+        h,
+        Vec::new(),
+        false,
+    )
+}
+
+fn plain_ack(sport: u16, seq: u32, ack: u32) -> Segment {
+    let mut h = TcpHeader::new(sport, 80, seq, ack, TcpFlags::ACK);
+    h.options.timestamp = Some((11, 1));
+    h.window = 8192;
+    Segment::tcp(
+        MacAddr::for_host(2),
+        MacAddr::for_host(1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        Ipv4Addr::new(10, 0, 0, 1),
+        h,
+        Vec::new(),
+        false,
+    )
+}
+
+/// Walks a passive handshake through SYN → SYN-ACK → final ACK.
+fn establish(sp: &mut SlowPath, fp: &mut FastPath, sport: u16) -> u32 {
+    let mut acct = CycleAccount::new();
+    let t = SimTime::from_us(10);
+    sp.listen(80);
+    sp.on_exception(t, syn(sport, 5000), fp, 9000, 77, 0, &mut acct);
+    assert!(sp.has_pending_accepts());
+    sp.accept_pending(t, &mut acct);
+    let synack = sp.out.packets.pop().expect("SYN-ACK staged");
+    assert!(synack.tcp.flags.contains(TcpFlags::SYN | TcpFlags::ACK));
+    assert!(synack.tcp.flags.contains(TcpFlags::ECE), "ECN accepted");
+    assert_eq!(synack.tcp.ack, 5001);
+    // Final ACK completes the handshake and installs the flow.
+    sp.on_exception(
+        t + SimTime::from_us(50),
+        plain_ack(sport, 5001, synack.tcp.seq.wrapping_add(1)),
+        fp,
+        0,
+        0,
+        0,
+        &mut acct,
+    );
+    let fid = match sp.out.events.iter().find_map(|e| match e {
+        SpAppEvent::AcceptDone { fid, .. } => Some(*fid),
+        _ => None,
+    }) {
+        Some(f) => f,
+        None => panic!("AcceptDone expected, got {:?}", sp.out.events),
+    };
+    sp.out.events.clear();
+    fid
+}
+
+#[test]
+fn passive_handshake_installs_flow() {
+    let (mut sp, mut fp) = server_pair(CcAlgo::None);
+    let fid = establish(&mut sp, &mut fp, 4000);
+    let flow = fp.flows.get(fid).expect("installed");
+    assert_eq!(flow.irs, 5000);
+    assert_eq!(flow.opaque, 77);
+    assert_eq!(flow.peer_wscale, 7);
+    assert_eq!(sp.stats.established, 1);
+}
+
+#[test]
+fn duplicate_syn_reanswers_synack() {
+    let (mut sp, mut fp) = server_pair(CcAlgo::None);
+    let mut acct = CycleAccount::new();
+    let t = SimTime::from_us(10);
+    sp.listen(80);
+    sp.on_exception(t, syn(4000, 5000), fp_mut(&mut fp), 9000, 1, 0, &mut acct);
+    sp.accept_pending(t, &mut acct);
+    assert_eq!(sp.out.packets.len(), 1);
+    // The client's SYN retransmission must elicit another SYN-ACK.
+    sp.on_exception(
+        t + SimTime::from_ms(1),
+        syn(4000, 5000),
+        &mut fp,
+        0,
+        2,
+        0,
+        &mut acct,
+    );
+    assert_eq!(sp.out.packets.len(), 2);
+    assert!(sp.out.packets[1]
+        .tcp
+        .flags
+        .contains(TcpFlags::SYN | TcpFlags::ACK));
+}
+
+fn fp_mut(fp: &mut FastPath) -> &mut FastPath {
+    fp
+}
+
+#[test]
+fn syn_to_closed_port_is_dropped() {
+    let (mut sp, mut fp) = server_pair(CcAlgo::None);
+    let mut acct = CycleAccount::new();
+    sp.on_exception(
+        SimTime::from_us(1),
+        syn(4000, 5000),
+        &mut fp,
+        1,
+        1,
+        0,
+        &mut acct,
+    );
+    assert_eq!(sp.stats.dropped, 1);
+    assert!(sp.out.packets.is_empty());
+}
+
+#[test]
+fn rst_tears_down_installed_flow() {
+    let (mut sp, mut fp) = server_pair(CcAlgo::None);
+    let fid = establish(&mut sp, &mut fp, 4000);
+    let mut acct = CycleAccount::new();
+    let mut rst = plain_ack(4000, 5001, 1);
+    rst.tcp.flags = TcpFlags::RST;
+    sp.on_exception(SimTime::from_ms(1), rst, &mut fp, 0, 0, 0, &mut acct);
+    assert!(fp.flows.get(fid).is_none(), "flow removed on RST");
+    assert!(sp
+        .out
+        .events
+        .iter()
+        .any(|e| matches!(e, SpAppEvent::PeerClosed { .. })));
+}
+
+#[test]
+fn peer_fin_acks_and_notifies() {
+    let (mut sp, mut fp) = server_pair(CcAlgo::None);
+    let fid = establish(&mut sp, &mut fp, 4000);
+    let mut acct = CycleAccount::new();
+    let mut fin = plain_ack(4000, 5001, 1);
+    fin.tcp.flags = TcpFlags::FIN | TcpFlags::ACK;
+    // Patch the ACK to the server's actual sequence space.
+    let iss = fp.flows.get(fid).expect("flow").iss;
+    fin.tcp.ack = iss.wrapping_add(1);
+    sp.on_exception(SimTime::from_ms(1), fin, &mut fp, 0, 0, 0, &mut acct);
+    let ack = sp.out.packets.pop().expect("FIN must be ACKed");
+    assert_eq!(ack.tcp.ack, 5002, "FIN occupies one sequence number");
+    assert!(sp
+        .out
+        .events
+        .iter()
+        .any(|e| matches!(e, SpAppEvent::PeerClosed { fid: f } if *f == fid)));
+    // Flow stays installed until the app closes.
+    assert!(fp.flows.get(fid).is_some());
+    // App closes: teardown detaches the flow and sends our FIN.
+    sp.out.packets.clear();
+    sp.close(SimTime::from_ms(2), fid, &mut fp, &mut acct);
+    assert!(fp.flows.get(fid).is_none(), "flow detached");
+    let our_fin = sp.out.packets.pop().expect("our FIN staged");
+    assert!(our_fin.tcp.flags.contains(TcpFlags::FIN));
+    // Peer acks our FIN: teardown completes.
+    sp.out.events.clear();
+    sp.on_exception(
+        SimTime::from_ms(3),
+        plain_ack(4000, 5002, our_fin.tcp.seq.wrapping_add(1)),
+        &mut fp,
+        0,
+        0,
+        0,
+        &mut acct,
+    );
+    assert!(sp
+        .out
+        .events
+        .iter()
+        .any(|e| matches!(e, SpAppEvent::CloseDone { .. })));
+    assert_eq!(sp.stats.closed, 1);
+}
+
+#[test]
+fn control_loop_runs_rate_cc_and_updates_buckets() {
+    let (mut sp, mut fp) = server_pair(CcAlgo::DctcpRate);
+    let fid = establish(&mut sp, &mut fp, 4000);
+    let mut acct = CycleAccount::new();
+    // Pretend the fast path accumulated clean feedback.
+    {
+        let flow = fp.flows.get_mut(fid).expect("flow");
+        flow.cc_slow_start = false;
+        flow.cnt_ackb = 1_000_000;
+        flow.rtt_est_us = 50;
+    }
+    let before = fp.flows.get(fid).expect("flow").bucket.rate_bps;
+    sp.control_loop(SimTime::from_ms(1), &mut fp, &mut acct);
+    let after = fp.flows.get(fid).expect("flow").bucket.rate_bps;
+    assert!(
+        after > before,
+        "clean interval must raise the rate: {before} -> {after}"
+    );
+    // Feedback counters were consumed.
+    assert_eq!(fp.flows.get(fid).expect("flow").cnt_ackb, 0);
+}
+
+#[test]
+fn stall_detector_triggers_retransmit() {
+    let (mut sp, mut fp) = server_pair(CcAlgo::None);
+    let fid = establish(&mut sp, &mut fp, 4000);
+    let mut acct = CycleAccount::new();
+    // Unacked data with a frozen left edge.
+    {
+        let flow = fp.flows.get_mut(fid).expect("flow");
+        flow.tx.append(&[1u8; 1448]).expect("fits");
+        flow.tx_sent = 1448;
+        flow.max_sent_off = 1448;
+        flow.rtt_est_us = 50;
+    }
+    // Needs the configured number of stalled iterations.
+    let mut retransmitted = false;
+    for i in 1..=4 {
+        sp.control_loop(SimTime::from_ms(i), &mut fp, &mut acct);
+        if !fp.out.packets.is_empty() {
+            retransmitted = true;
+            break;
+        }
+    }
+    assert!(retransmitted, "stall detector must go-back-N");
+    assert!(sp.stats.timeout_rexmits >= 1);
+    let flow = fp.flows.get(fid).expect("flow");
+    assert_eq!(flow.cnt_frexmits, 1, "loss signalled to CC");
+}
+
+#[test]
+fn handshake_retry_and_give_up() {
+    let (mut sp, mut fp) = server_pair(CcAlgo::None);
+    let mut acct = CycleAccount::new();
+    // Active connect whose SYN is never answered.
+    sp.connect(
+        SimTime::from_us(1),
+        Ipv4Addr::new(10, 0, 0, 9),
+        80,
+        MacAddr::for_host(9),
+        55,
+        0,
+        1234,
+        &mut acct,
+    );
+    assert_eq!(sp.out.packets.len(), 1, "SYN staged");
+    let mut t = SimTime::from_ms(1);
+    let mut gave_up = false;
+    for _ in 0..200 {
+        t += SimTime::from_ms(11);
+        sp.control_loop(t, &mut fp, &mut acct);
+        if sp
+            .out
+            .events
+            .iter()
+            .any(|e| matches!(e, SpAppEvent::ConnectFailed { opaque: 55 }))
+        {
+            gave_up = true;
+            break;
+        }
+    }
+    assert!(gave_up, "retries must be bounded");
+    assert!(sp.stats.handshake_rexmits >= 3, "SYN retransmitted first");
+}

@@ -1,0 +1,118 @@
+//! End-to-end TIMELY: the RTT-gradient policy must keep bulk transfers
+//! flowing and keep the bottleneck queue (and therefore RTT) bounded.
+
+use std::net::Ipv4Addr;
+use tas::host::timers;
+use tas::{CcAlgo, TasConfig, TasHost};
+use tas_netsim::app::{App, AppEvent, StackApi};
+use tas_netsim::topo::{build_star, host_ip, HostSpec};
+use tas_netsim::{NetMsg, NicConfig, PortConfig};
+use tas_sim::{impl_as_any, AgentId, Sim, SimTime};
+
+struct Blaster {
+    server: Ipv4Addr,
+    conns: u32,
+    sent: u64,
+}
+impl App for Blaster {
+    fn on_start(&mut self, api: &mut dyn StackApi) {
+        for _ in 0..self.conns {
+            api.connect(self.server, 9);
+        }
+    }
+    fn on_event(&mut self, ev: AppEvent, api: &mut dyn StackApi) {
+        if let AppEvent::Connected { sock } | AppEvent::Writable { sock } = ev {
+            loop {
+                let n = api.send(sock, &[0x55; 4096]);
+                self.sent += n as u64;
+                if n < 4096 {
+                    break;
+                }
+            }
+        }
+    }
+    impl_as_any!();
+}
+
+struct Sink {
+    total: u64,
+}
+impl App for Sink {
+    fn on_start(&mut self, api: &mut dyn StackApi) {
+        api.listen(9);
+    }
+    fn on_event(&mut self, ev: AppEvent, api: &mut dyn StackApi) {
+        if let AppEvent::Readable { sock } = ev {
+            self.total += api.recv(sock, usize::MAX).len() as u64;
+        }
+    }
+    impl_as_any!();
+}
+
+#[test]
+fn timely_sustains_throughput_and_bounds_rtt() {
+    let mut sim: Sim<NetMsg> = Sim::new(3);
+    let recv_ip = host_ip(0);
+    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
+        let mut cfg = TasConfig::rpc_bench(2, 2);
+        cfg.cc = CcAlgo::Timely;
+        cfg.initial_rate_bps = 100_000_000;
+        cfg.control_interval = SimTime::from_us(200);
+        cfg.rx_buf = 128 * 1024;
+        cfg.tx_buf = 128 * 1024;
+        cfg.max_core_backlog = SimTime::from_ms(50);
+        let app: Box<dyn App> = if spec.index == 0 {
+            Box::new(Sink { total: 0 })
+        } else {
+            Box::new(Blaster {
+                server: recv_ip,
+                conns: 8,
+                sent: 0,
+            })
+        };
+        sim.add_agent(Box::new(TasHost::new(
+            spec.ip,
+            spec.mac,
+            spec.nic,
+            cfg,
+            spec.uplink,
+            app,
+        )))
+    };
+    // No ECN: TIMELY reacts to RTT only.
+    let mut port = PortConfig::tengig();
+    port.ecn_threshold_pkts = None;
+    let topo = build_star(
+        &mut sim,
+        3,
+        move |_| port,
+        |_| NicConfig::client_10g(1),
+        &mut factory,
+    );
+    for &h in &topo.hosts {
+        sim.inject_timer(SimTime::ZERO, h, timers::INIT, 0);
+    }
+    sim.run_until(SimTime::from_ms(40));
+    let b0 = sim.agent::<TasHost>(topo.hosts[0]).app_as::<Sink>().total;
+    sim.run_until(SimTime::from_ms(90));
+    let recv = sim.agent::<TasHost>(topo.hosts[0]);
+    let b1 = recv.app_as::<Sink>().total;
+    let gbps = (b1 - b0) as f64 * 8.0 / 0.05 / 1e9;
+    assert!(
+        gbps > 4.0,
+        "TIMELY must sustain throughput, got {gbps:.2} Gbps"
+    );
+    // RTT bounded: t_high is 500us; allow slack for control lag.
+    let rtts = sim.agent::<TasHost>(topo.hosts[1]).sample_rtts(8);
+    let max_rtt = rtts.iter().copied().max().unwrap_or(0);
+    assert!(
+        max_rtt < 2_000,
+        "TIMELY must bound RTT near t_high: sender RTTs {rtts:?} us"
+    );
+    // No drop-tail losses: pacing kept the queue under the 512-pkt cap.
+    let fr = sim.agent::<TasHost>(topo.hosts[1]).fp_stats().fast_rexmits;
+    assert!(
+        fr < 50,
+        "pacing should mostly avoid drops, got {fr} fast rexmits"
+    );
+}

@@ -1,0 +1,1100 @@
+//! The TCP connection state machine.
+
+use crate::cc::{make_cc, AckInfo, CcKind, CongestionControl};
+use crate::reasm::Reassembler;
+use crate::rtt::RttEstimator;
+use std::net::Ipv4Addr;
+use tas_proto::tcp::seq;
+use tas_proto::{Ecn, MacAddr, Segment, TcpFlags, TcpHeader};
+use tas_shm::ByteRing;
+use tas_sim::SimTime;
+
+/// TCP connection states (RFC 793), minus LISTEN which is a host-level
+/// table of pending accepts rather than a connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcpState {
+    /// SYN sent, awaiting SYN-ACK.
+    SynSent,
+    /// SYN received and SYN-ACK sent, awaiting ACK.
+    SynRcvd,
+    /// Data transfer.
+    Established,
+    /// We closed first; FIN sent, awaiting its ACK.
+    FinWait1,
+    /// Our FIN acknowledged, awaiting peer FIN.
+    FinWait2,
+    /// Peer closed first; awaiting our close.
+    CloseWait,
+    /// Both closed, our FIN outstanding after peer's FIN.
+    LastAck,
+    /// Simultaneous close: FIN crossed; awaiting ACK of our FIN.
+    Closing,
+    /// Draining the network before releasing state.
+    TimeWait,
+    /// Fully closed.
+    Closed,
+}
+
+/// Events a connection reports to its owner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcpEvent {
+    /// Handshake completed.
+    Connected,
+    /// New in-order data is readable.
+    DataAvailable,
+    /// Acknowledgements freed send-buffer space.
+    SendSpaceAvailable,
+    /// Peer sent FIN; no more data will arrive.
+    PeerFin,
+    /// The connection reached CLOSED.
+    Closed,
+    /// The connection was reset.
+    Reset,
+}
+
+/// Static per-connection configuration.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Maximum segment size (1448 = 1500 MTU − 40 TCP/IP − 12 timestamps).
+    pub mss: u32,
+    /// Send buffer capacity in bytes.
+    pub send_buf: usize,
+    /// Receive buffer capacity in bytes.
+    pub recv_buf: usize,
+    /// Negotiate and use ECN.
+    pub ecn: bool,
+    /// Use the timestamp option (RTT samples; always recommended).
+    pub timestamps: bool,
+    /// Our receive window scale shift.
+    pub window_scale: u8,
+    /// Congestion control algorithm.
+    pub cc: CcKind,
+    /// Minimum retransmission timeout (datacenter configs use 1–10 ms).
+    pub rto_min: SimTime,
+    /// Maximum retransmission timeout.
+    pub rto_max: SimTime,
+    /// TIME_WAIT duration (kept short; the simulator never reuses tuples).
+    pub time_wait: SimTime,
+    /// Keep out-of-order data at the receiver (SACK-style). When false the
+    /// receiver drops everything past a hole (pure go-back-N, the "TAS
+    /// simple recovery" line of Fig. 7 — TAS proper keeps one interval and
+    /// is implemented in the `tas` crate).
+    pub keep_ooo: bool,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1448,
+            send_buf: 128 * 1024,
+            recv_buf: 128 * 1024,
+            ecn: true,
+            timestamps: true,
+            window_scale: 7,
+            cc: CcKind::Dctcp,
+            rto_min: SimTime::from_ms(1),
+            rto_max: SimTime::from_secs(1),
+            time_wait: SimTime::from_ms(1),
+            keep_ooo: true,
+        }
+    }
+}
+
+/// One side's addressing.
+#[derive(Clone, Copy, Debug)]
+pub struct EndpointInfo {
+    /// IP address.
+    pub ip: Ipv4Addr,
+    /// TCP port.
+    pub port: u16,
+    /// MAC address (the slow path's ARP/neighbour entry).
+    pub mac: MacAddr,
+}
+
+/// Per-connection counters used by the experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConnStats {
+    /// Data segments sent (including retransmissions).
+    pub segs_out: u64,
+    /// Segments received.
+    pub segs_in: u64,
+    /// Payload bytes sent (first transmissions).
+    pub bytes_sent: u64,
+    /// Payload bytes received in order.
+    pub bytes_received: u64,
+    /// Retransmitted segments (all causes).
+    pub retransmits: u64,
+    /// Fast retransmits triggered.
+    pub fast_retransmits: u64,
+    /// Retransmission timeouts fired.
+    pub timeouts: u64,
+    /// Duplicate ACKs received.
+    pub dupacks_in: u64,
+    /// ACKs carrying ECN echo received.
+    pub ece_in: u64,
+}
+
+/// A sans-IO TCP connection.
+///
+/// The owner feeds it segments ([`TcpConn::on_segment`]) and time
+/// ([`TcpConn::on_timer`]), writes with [`TcpConn::send`]/[`TcpConn::close`]
+/// and reads with [`TcpConn::recv`]; staged output segments are drained
+/// with [`TcpConn::take_outgoing`] and application events with
+/// [`TcpConn::take_events`]. [`TcpConn::next_timer`] reports when
+/// `on_timer` next wants to run.
+#[derive(Debug)]
+pub struct TcpConn {
+    cfg: TcpConfig,
+    state: TcpState,
+    local: EndpointInfo,
+    remote: EndpointInfo,
+
+    // Send side. Stream offset 0 is the first payload byte; `una_off` is
+    // the offset corresponding to sequence `snd_una`.
+    iss: u32,
+    una_off: u64,
+    nxt_off: u64,
+    /// Highest offset ever transmitted; go-back-N rewinds `nxt_off`, but
+    /// cumulative ACKs up to this mark must still be accepted.
+    max_sent_off: u64,
+    tx: ByteRing,
+    snd_wnd: u64,
+    peer_wscale: u8,
+    peer_mss: u32,
+    fin_queued: bool,
+    fin_sent: bool,
+    fin_acked: bool,
+
+    // Receive side.
+    irs: u32,
+    rcv_off: u64,
+    rx: ByteRing,
+    reasm: Reassembler,
+    peer_fin_off: Option<u64>,
+    peer_fin_done: bool,
+
+    // Congestion control and recovery.
+    cc: Box<dyn CongestionControl>,
+    dupacks: u32,
+    in_recovery: bool,
+    recover_off: u64,
+    /// SACK-style recovery sweep: next offset to retransmit on further
+    /// duplicate ACKs (the receiver holds out-of-order data, so sweeping
+    /// the window fills holes without waiting for an RTO).
+    recovery_cursor: u64,
+
+    // RTT / timers.
+    rtt: RttEstimator,
+    rto_deadline: Option<SimTime>,
+    time_wait_deadline: Option<SimTime>,
+    ts_recent: u32,
+
+    // ECN.
+    ecn_active: bool,
+    /// RFC 3168 latched receiver echo (NewReno); cleared by sender CWR.
+    ece_latched: bool,
+    /// DCTCP-style per-packet echo: the last data segment was CE-marked.
+    last_seg_ce: bool,
+    /// Set CWR on the next outgoing data segment.
+    cwr_pending: bool,
+    /// NewReno ECE guard: ignore further ECE until `una_off` passes this
+    /// offset (at most one window reduction per RTT, RFC 3168 §6.1.2).
+    ece_guard_off: u64,
+
+    // Window-update bookkeeping.
+    last_adv_window: u64,
+
+    out: Vec<Segment>,
+    events: Vec<TcpEvent>,
+    /// Counters.
+    pub stats: ConnStats,
+}
+
+impl TcpConn {
+    /// Opens a connection: returns the connection in SYN_SENT with the SYN
+    /// staged for transmission.
+    pub fn connect(
+        now: SimTime,
+        cfg: TcpConfig,
+        local: EndpointInfo,
+        remote: EndpointInfo,
+        iss: u32,
+    ) -> TcpConn {
+        let mut conn = TcpConn::new_common(cfg, local, remote, iss);
+        conn.state = TcpState::SynSent;
+        let mut h = conn.header(TcpFlags::SYN, now);
+        h.seq = iss;
+        h.ack = 0;
+        if conn.cfg.ecn {
+            h.flags |= TcpFlags::ECE | TcpFlags::CWR;
+        }
+        conn.set_syn_options(&mut h);
+        conn.push_segment(h, Vec::new(), false);
+        conn.rto_deadline = Some(now + conn.rtt.rto());
+        conn
+    }
+
+    /// Accepts a connection from a received SYN: returns the connection in
+    /// SYN_RCVD with the SYN-ACK staged.
+    pub fn accept(
+        now: SimTime,
+        cfg: TcpConfig,
+        local: EndpointInfo,
+        remote: EndpointInfo,
+        syn: &Segment,
+        iss: u32,
+    ) -> TcpConn {
+        let mut conn = TcpConn::new_common(cfg, local, remote, iss);
+        conn.state = TcpState::SynRcvd;
+        conn.irs = syn.tcp.seq;
+        conn.rcv_off = 0;
+        conn.apply_syn_options(syn);
+        // ECN negotiation: peer requested with ECE|CWR on the SYN.
+        let peer_wants_ecn = syn.tcp.flags.contains(TcpFlags::ECE | TcpFlags::CWR);
+        conn.ecn_active = conn.cfg.ecn && peer_wants_ecn;
+        let mut h = conn.header(TcpFlags::SYN | TcpFlags::ACK, now);
+        h.seq = iss;
+        h.ack = syn.tcp.seq.wrapping_add(1);
+        if conn.ecn_active {
+            h.flags |= TcpFlags::ECE;
+        }
+        conn.set_syn_options(&mut h);
+        conn.push_segment(h, Vec::new(), false);
+        conn.rto_deadline = Some(now + conn.rtt.rto());
+        conn
+    }
+
+    fn new_common(cfg: TcpConfig, local: EndpointInfo, remote: EndpointInfo, iss: u32) -> TcpConn {
+        let tx = ByteRing::new(cfg.send_buf);
+        let rx = ByteRing::new(cfg.recv_buf);
+        let reasm = Reassembler::new(if cfg.keep_ooo { cfg.recv_buf } else { 0 });
+        let cc = make_cc(cfg.cc, cfg.mss);
+        let rtt = RttEstimator::new(cfg.rto_min, cfg.rto_max);
+        TcpConn {
+            state: TcpState::Closed,
+            local,
+            remote,
+            iss,
+            una_off: 0,
+            nxt_off: 0,
+            max_sent_off: 0,
+            tx,
+            snd_wnd: cfg.mss as u64 * 10,
+            peer_wscale: 0,
+            peer_mss: cfg.mss,
+            fin_queued: false,
+            fin_sent: false,
+            fin_acked: false,
+            irs: 0,
+            rcv_off: 0,
+            rx,
+            reasm,
+            peer_fin_off: None,
+            peer_fin_done: false,
+            cc,
+            dupacks: 0,
+            in_recovery: false,
+            recover_off: 0,
+            recovery_cursor: 0,
+            rtt,
+            rto_deadline: None,
+            time_wait_deadline: None,
+            ts_recent: 0,
+            ecn_active: false,
+            ece_latched: false,
+            last_seg_ce: false,
+            cwr_pending: false,
+            ece_guard_off: 0,
+            last_adv_window: cfg.recv_buf as u64,
+            out: Vec::new(),
+            events: Vec::new(),
+            stats: ConnStats::default(),
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors.
+
+    /// Current state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// Local endpoint.
+    pub fn local(&self) -> EndpointInfo {
+        self.local
+    }
+
+    /// Remote endpoint.
+    pub fn remote(&self) -> EndpointInfo {
+        self.remote
+    }
+
+    /// Whether ECN was negotiated.
+    pub fn ecn_active(&self) -> bool {
+        self.ecn_active
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u32 {
+        self.cc.cwnd()
+    }
+
+    /// Smoothed RTT, if measured.
+    pub fn srtt(&self) -> Option<SimTime> {
+        self.rtt.srtt()
+    }
+
+    /// Bytes readable by the application.
+    pub fn readable(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Free space in the send buffer.
+    pub fn send_space(&self) -> usize {
+        self.tx.free()
+    }
+
+    /// Unacknowledged payload bytes in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.nxt_off - self.una_off
+    }
+
+    /// The connection is fully closed and its state can be dropped.
+    pub fn is_closed(&self) -> bool {
+        self.state == TcpState::Closed
+    }
+
+    /// Diagnostic snapshot: (una_off, nxt_off, tx_end, cwnd, snd_wnd,
+    /// in_recovery, dupacks, rto_deadline_ps, readable, reasm_held).
+    #[allow(clippy::type_complexity)] // A flat diagnostic tuple.
+    pub fn debug_state(&self) -> (u64, u64, u64, u32, u64, bool, u32, u64, usize, usize) {
+        (
+            self.una_off,
+            self.nxt_off,
+            self.tx.end_offset(),
+            self.cc.cwnd(),
+            self.snd_wnd,
+            self.in_recovery,
+            self.dupacks,
+            self.rto_deadline.map(|t| t.as_ps()).unwrap_or(0),
+            self.rx.len(),
+            self.reasm.held(),
+        )
+    }
+
+    /// When [`TcpConn::on_timer`] next needs to run, if ever.
+    pub fn next_timer(&self) -> Option<SimTime> {
+        match (self.rto_deadline, self.time_wait_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        }
+    }
+
+    /// Drains staged outgoing segments.
+    pub fn take_outgoing(&mut self) -> Vec<Segment> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// True when output is staged (lets owners skip the Vec swap).
+    pub fn has_outgoing(&self) -> bool {
+        !self.out.is_empty()
+    }
+
+    /// Drains pending application events.
+    pub fn take_events(&mut self) -> Vec<TcpEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    // ------------------------------------------------------------------
+    // Application calls.
+
+    /// Buffers application data for transmission; returns bytes accepted
+    /// (bounded by send-buffer space). Call [`TcpConn::poll`] afterwards.
+    pub fn send(&mut self, data: &[u8]) -> usize {
+        if self.fin_queued || matches!(self.state, TcpState::Closed | TcpState::TimeWait) {
+            return 0;
+        }
+        self.tx.append_partial(data)
+    }
+
+    /// Reads up to `max` bytes of in-order received data.
+    pub fn recv(&mut self, max: usize) -> Vec<u8> {
+        self.rx.pop(max)
+    }
+
+    /// Initiates close: a FIN is sent once buffered data drains.
+    pub fn close(&mut self) {
+        if self.fin_queued {
+            return;
+        }
+        self.fin_queued = true;
+        match self.state {
+            TcpState::Established | TcpState::SynRcvd => self.state = TcpState::FinWait1,
+            TcpState::CloseWait => self.state = TcpState::LastAck,
+            _ => {}
+        }
+    }
+
+    /// Aborts: stages an RST and closes immediately.
+    pub fn abort(&mut self, now: SimTime) {
+        if !matches!(self.state, TcpState::Closed) {
+            let mut h = self.header(TcpFlags::RST | TcpFlags::ACK, now);
+            h.seq = self.seq_of(self.nxt_off);
+            h.ack = self.ack_value();
+            self.push_segment(h, Vec::new(), false);
+            self.enter_closed();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sequence/offset mapping.
+
+    fn seq_of(&self, off: u64) -> u32 {
+        self.iss.wrapping_add(1).wrapping_add(off as u32)
+    }
+
+    fn rcv_seq_of(&self, off: u64) -> u32 {
+        self.irs.wrapping_add(1).wrapping_add(off as u32)
+    }
+
+    fn ack_value(&self) -> u32 {
+        // ACK covers the peer FIN once all data before it is consumed.
+        let mut a = self.rcv_seq_of(self.rcv_off);
+        if let Some(fo) = self.peer_fin_off {
+            if self.rcv_off >= fo {
+                a = a.wrapping_add(1);
+            }
+        }
+        a
+    }
+
+    // ------------------------------------------------------------------
+    // Segment construction.
+
+    fn header(&self, flags: TcpFlags, now: SimTime) -> TcpHeader {
+        let mut h = TcpHeader::new(self.local.port, self.remote.port, 0, 0, flags);
+        if self.cfg.timestamps {
+            h.options.timestamp = Some((now.as_micros() as u32, self.ts_recent));
+        }
+        let adv = self.adv_window();
+        h.window = (adv >> self.cfg.window_scale).min(u16::MAX as u64) as u16;
+        h
+    }
+
+    fn adv_window(&self) -> u64 {
+        // Conservative: space that in-order data can always use.
+        self.rx.free().saturating_sub(self.reasm.held()) as u64
+    }
+
+    fn set_syn_options(&self, h: &mut TcpHeader) {
+        h.options.mss = Some(self.cfg.mss.min(u16::MAX as u32) as u16);
+        h.options.wscale = Some(self.cfg.window_scale);
+        h.options.sack_permitted = self.cfg.keep_ooo;
+        // SYN windows are never scaled.
+        h.window = self.adv_window().min(u16::MAX as u64) as u16;
+    }
+
+    fn apply_syn_options(&mut self, syn: &Segment) {
+        if let Some(m) = syn.tcp.options.mss {
+            self.peer_mss = m as u32;
+        }
+        self.peer_wscale = syn.tcp.options.wscale.unwrap_or(0);
+        if let Some((tsval, _)) = syn.tcp.options.timestamp {
+            self.ts_recent = tsval;
+        }
+        // SYN window is unscaled.
+        self.snd_wnd = syn.tcp.window as u64;
+    }
+
+    fn push_segment(&mut self, tcp: TcpHeader, payload: Vec<u8>, data_ect: bool) {
+        let mut seg = Segment::tcp(
+            self.local.mac,
+            self.remote.mac,
+            self.local.ip,
+            self.remote.ip,
+            tcp,
+            payload,
+            false,
+        );
+        // ECT(0) only on data segments of ECN connections.
+        if data_ect && self.ecn_active {
+            seg.ip.ecn = Ecn::Ect0;
+        }
+        self.stats.segs_out += 1;
+        self.out.push(seg);
+    }
+
+    /// Stages a pure ACK reflecting current receive state.
+    fn emit_ack(&mut self, now: SimTime) {
+        let mut h = self.header(TcpFlags::ACK, now);
+        h.seq = self.seq_of(self.nxt_off.min(self.fin_off_or_max()));
+        h.ack = self.ack_value();
+        if self.cfg.keep_ooo {
+            if let Some((off, len)) = self.reasm.first_range() {
+                h.options.sack_block = Some((self.rcv_seq_of(off), self.rcv_seq_of(off + len)));
+            }
+        }
+        if self.echo_ece() {
+            h.flags |= TcpFlags::ECE;
+        }
+        self.last_adv_window = self.adv_window();
+        self.push_segment(h, Vec::new(), false);
+    }
+
+    fn fin_off_or_max(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn echo_ece(&self) -> bool {
+        if !self.ecn_active {
+            return false;
+        }
+        match self.cfg.cc {
+            // DCTCP: accurate per-packet echo.
+            CcKind::Dctcp => self.last_seg_ce,
+            // Classic: latched until CWR.
+            CcKind::NewReno => self.ece_latched,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transmission.
+
+    /// Transmits whatever the congestion and flow-control windows allow;
+    /// also emits window updates after the application drained a full
+    /// receive buffer. Call after `send`, `recv`, `on_segment`, `on_timer`.
+    pub fn poll(&mut self, now: SimTime) {
+        if matches!(
+            self.state,
+            TcpState::SynSent | TcpState::SynRcvd | TcpState::Closed
+        ) {
+            return;
+        }
+        // Window update after the app freed a previously-tight window.
+        let adv = self.adv_window();
+        if self.last_adv_window < self.cfg.mss as u64 && adv >= 2 * self.cfg.mss as u64 {
+            self.emit_ack(now);
+        }
+        let mut wnd = self.snd_wnd.min(self.cc.cwnd() as u64);
+        if self.in_recovery {
+            // NewReno window inflation: each duplicate ACK signals a
+            // departed segment; sending new data keeps the ACK clock
+            // alive through recovery.
+            wnd = wnd.saturating_add(self.dupacks as u64 * self.cfg.mss as u64);
+        }
+        loop {
+            let avail = self.tx.end_offset().saturating_sub(self.nxt_off);
+            let in_flight = self.nxt_off - self.una_off;
+            let budget = wnd.saturating_sub(in_flight);
+            let n = avail
+                .min(budget)
+                .min(self.peer_mss.min(self.cfg.mss) as u64);
+            if n == 0 {
+                break;
+            }
+            let payload = self
+                .tx
+                .copy_out(self.nxt_off, n as usize)
+                .expect("nxt_off within tx ring");
+            let mut h = self.header(TcpFlags::ACK, now);
+            h.seq = self.seq_of(self.nxt_off);
+            h.ack = self.ack_value();
+            if avail == n {
+                h.flags |= TcpFlags::PSH;
+            }
+            if self.cwr_pending {
+                h.flags |= TcpFlags::CWR;
+                self.cwr_pending = false;
+            }
+            if self.echo_ece() {
+                h.flags |= TcpFlags::ECE;
+            }
+            self.nxt_off += n;
+            self.max_sent_off = self.max_sent_off.max(self.nxt_off);
+            self.stats.bytes_sent += n;
+            self.push_segment(h, payload, true);
+            if self.rto_deadline.is_none() {
+                self.rto_deadline = Some(now + self.rtt.rto());
+            }
+        }
+        // Zero-window persist: data is waiting but the advertised window
+        // is shut and nothing is in flight — without a probe, a lost
+        // window update deadlocks the connection. Arm the RTO as a
+        // persist timer; on_timer sends a probe segment.
+        if self.tx.end_offset() > self.nxt_off
+            && self.in_flight() == 0
+            && self.rto_deadline.is_none()
+        {
+            self.rto_deadline = Some(now + self.rtt.rto());
+        }
+        // FIN once everything buffered has been transmitted.
+        if self.fin_queued
+            && !self.fin_sent
+            && self.nxt_off == self.tx.end_offset()
+            && matches!(
+                self.state,
+                TcpState::FinWait1 | TcpState::LastAck | TcpState::Closing
+            )
+        {
+            let mut h = self.header(TcpFlags::FIN | TcpFlags::ACK, now);
+            h.seq = self.seq_of(self.nxt_off);
+            h.ack = self.ack_value();
+            self.fin_sent = true;
+            self.push_segment(h, Vec::new(), false);
+            if self.rto_deadline.is_none() {
+                self.rto_deadline = Some(now + self.rtt.rto());
+            }
+        }
+    }
+
+    /// Retransmits one MSS of payload starting at stream offset `off`.
+    fn retransmit_at(&mut self, now: SimTime, off: u64) {
+        let end = self.tx.end_offset();
+        if off >= end {
+            return;
+        }
+        let n = (end - off).min(self.peer_mss.min(self.cfg.mss) as u64);
+        let Ok(payload) = self.tx.copy_out(off, n as usize) else {
+            return;
+        };
+        let mut h = self.header(TcpFlags::ACK | TcpFlags::PSH, now);
+        h.seq = self.seq_of(off);
+        h.ack = self.ack_value();
+        self.stats.retransmits += 1;
+        self.push_segment(h, payload, true);
+    }
+
+    /// Retransmits one segment from the left window edge (fast retransmit
+    /// or RTO-driven go-back-N start).
+    fn retransmit_head(&mut self, now: SimTime) {
+        let avail = self.tx.end_offset().saturating_sub(self.una_off);
+        let n = avail.min(self.peer_mss.min(self.cfg.mss) as u64);
+        if n > 0 {
+            let payload = self
+                .tx
+                .copy_out(self.una_off, n as usize)
+                .expect("una_off within tx ring");
+            let mut h = self.header(TcpFlags::ACK | TcpFlags::PSH, now);
+            h.seq = self.seq_of(self.una_off);
+            h.ack = self.ack_value();
+            self.stats.retransmits += 1;
+            self.push_segment(h, payload, true);
+        } else if self.fin_sent && !self.fin_acked {
+            let mut h = self.header(TcpFlags::FIN | TcpFlags::ACK, now);
+            h.seq = self.seq_of(self.una_off);
+            h.ack = self.ack_value();
+            self.stats.retransmits += 1;
+            self.push_segment(h, Vec::new(), false);
+        }
+        if self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.rtt.rto());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers.
+
+    /// Processes timer expirations at `now`.
+    pub fn on_timer(&mut self, now: SimTime) {
+        if let Some(tw) = self.time_wait_deadline {
+            if now >= tw {
+                self.enter_closed();
+                return;
+            }
+        }
+        let Some(deadline) = self.rto_deadline else {
+            return;
+        };
+        if now < deadline {
+            return;
+        }
+        self.rto_deadline = None;
+        match self.state {
+            TcpState::SynSent | TcpState::SynRcvd => {
+                // Retransmit the handshake segment.
+                self.rtt.backoff();
+                self.stats.timeouts += 1;
+                let flags = if self.state == TcpState::SynSent {
+                    let mut f = TcpFlags::SYN;
+                    if self.cfg.ecn {
+                        f |= TcpFlags::ECE | TcpFlags::CWR;
+                    }
+                    f
+                } else {
+                    TcpFlags::SYN | TcpFlags::ACK
+                };
+                let mut h = self.header(flags, now);
+                h.seq = self.iss;
+                h.ack = if self.state == TcpState::SynRcvd {
+                    self.irs.wrapping_add(1)
+                } else {
+                    0
+                };
+                self.set_syn_options(&mut h);
+                self.stats.retransmits += 1;
+                self.push_segment(h, Vec::new(), false);
+                self.rto_deadline = Some(now + self.rtt.rto());
+            }
+            TcpState::Closed => {}
+            _ => {
+                let outstanding = self.in_flight() > 0
+                    || (self.fin_sent && !self.fin_acked)
+                    || self.tx.end_offset() > self.nxt_off;
+                if outstanding {
+                    // Go-back-N: rewind to the left edge.
+                    self.rtt.backoff();
+                    self.stats.timeouts += 1;
+                    self.cc.on_timeout();
+                    self.nxt_off = self.una_off;
+                    self.in_recovery = false;
+                    self.dupacks = 0;
+                    if self.fin_sent && self.nxt_off == self.tx.end_offset() {
+                        // Only the FIN is outstanding.
+                        self.fin_sent = true;
+                        self.retransmit_head(now);
+                    } else {
+                        self.fin_sent = false;
+                        self.retransmit_head(now);
+                    }
+                    self.rto_deadline = Some(now + self.rtt.rto());
+                    self.poll(now);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Segment processing.
+
+    /// Processes one received segment addressed to this connection.
+    pub fn on_segment(&mut self, now: SimTime, seg: Segment) {
+        self.stats.segs_in += 1;
+        if seg.tcp.flags.contains(TcpFlags::RST) {
+            self.events.push(TcpEvent::Reset);
+            self.enter_closed();
+            return;
+        }
+        if let Some((tsval, _)) = seg.tcp.options.timestamp {
+            // PAWS is not needed (no wrap within experiments); keep the
+            // most recent value for echo.
+            self.ts_recent = tsval;
+        }
+        match self.state {
+            TcpState::SynSent => self.on_segment_syn_sent(now, seg),
+            TcpState::SynRcvd => self.on_segment_syn_rcvd(now, seg),
+            TcpState::Closed => {}
+            _ => self.on_segment_established(now, seg),
+        }
+        self.poll(now);
+    }
+
+    fn on_segment_syn_sent(&mut self, now: SimTime, seg: Segment) {
+        let f = seg.tcp.flags;
+        if !f.contains(TcpFlags::SYN | TcpFlags::ACK) {
+            return;
+        }
+        if seg.tcp.ack != self.iss.wrapping_add(1) {
+            return;
+        }
+        self.irs = seg.tcp.seq;
+        self.rcv_off = 0;
+        self.apply_syn_options(&seg);
+        self.ecn_active = self.cfg.ecn && f.contains(TcpFlags::ECE);
+        self.state = TcpState::Established;
+        self.rto_deadline = None;
+        // RTT from the handshake echo.
+        if let Some((_, tsecr)) = seg.tcp.options.timestamp {
+            if tsecr != 0 {
+                let sample = now.as_micros().wrapping_sub(tsecr as u64);
+                self.rtt.update(SimTime::from_us(sample.max(1)));
+            }
+        }
+        self.events.push(TcpEvent::Connected);
+        self.emit_ack(now);
+    }
+
+    fn on_segment_syn_rcvd(&mut self, now: SimTime, seg: Segment) {
+        let f = seg.tcp.flags;
+        if f.contains(TcpFlags::SYN) {
+            // Duplicate SYN: retransmit SYN-ACK via timer path; ignore here.
+            return;
+        }
+        if f.contains(TcpFlags::ACK) && seg.tcp.ack == self.iss.wrapping_add(1) {
+            self.state = TcpState::Established;
+            self.rto_deadline = None;
+            self.snd_wnd = (seg.tcp.window as u64) << self.peer_wscale;
+            if let Some((_, tsecr)) = seg.tcp.options.timestamp {
+                if tsecr != 0 {
+                    let sample = now.as_micros().wrapping_sub(tsecr as u64);
+                    self.rtt.update(SimTime::from_us(sample.max(1)));
+                }
+            }
+            self.events.push(TcpEvent::Connected);
+            // The ACK may carry data; fall through.
+            if !seg.payload.is_empty() || f.contains(TcpFlags::FIN) {
+                self.on_segment_established(now, seg);
+            }
+        }
+    }
+
+    fn on_segment_established(&mut self, now: SimTime, seg: Segment) {
+        let f = seg.tcp.flags;
+        if f.contains(TcpFlags::ACK) {
+            self.process_ack(now, &seg);
+        }
+        if !seg.payload.is_empty() {
+            self.process_data(now, &seg);
+        }
+        if f.contains(TcpFlags::FIN) {
+            self.process_fin(now, &seg);
+        } else if seg.payload.is_empty() {
+            // Pure ACK: no response needed.
+        }
+    }
+
+    fn process_ack(&mut self, now: SimTime, seg: &Segment) {
+        let ack = seg.tcp.ack;
+        let una_seq = self.seq_of(self.una_off);
+        // Highest valid ack: the highest byte ever sent (+1 if FIN sent) —
+        // recovery may have rewound nxt below data the peer holds.
+        let mut max_seq = self.seq_of(self.max_sent_off.max(self.nxt_off));
+        if self.fin_sent {
+            max_seq = max_seq.wrapping_add(1);
+        }
+        let ece = self.ecn_active && seg.tcp.flags.contains(TcpFlags::ECE);
+        if ece {
+            self.stats.ece_in += 1;
+        }
+        if seq::gt(ack, una_seq) && seq::le(ack, max_seq) {
+            let mut newly = seq::sub(ack, una_seq) as u64;
+            // Does the ack cover our FIN?
+            if self.fin_sent && ack == max_seq {
+                self.fin_acked = true;
+                newly -= 1;
+            }
+            let payload_acked = newly.min(self.tx.len() as u64);
+            self.una_off += newly;
+            // The ACK may land beyond a rewound nxt: resume from there.
+            self.nxt_off = self.nxt_off.max(self.una_off);
+            if payload_acked > 0 {
+                self.tx
+                    .consume(payload_acked)
+                    .expect("acked bytes are in the ring");
+                self.events.push(TcpEvent::SendSpaceAvailable);
+            }
+            self.dupacks = 0;
+            // RTT sample from the timestamp echo.
+            if let Some((_, tsecr)) = seg.tcp.options.timestamp {
+                if tsecr != 0 {
+                    let sample = now.as_micros().wrapping_sub(tsecr as u64);
+                    self.rtt.update(SimTime::from_us(sample.max(1)));
+                }
+            }
+            // Congestion response. NewReno reduces at most once per window
+            // in flight; DCTCP consumes every echo for its mark fraction.
+            let cc_ece = match self.cfg.cc {
+                CcKind::Dctcp => ece,
+                CcKind::NewReno => {
+                    if ece && self.una_off >= self.ece_guard_off {
+                        self.cwr_pending = true;
+                        self.ece_guard_off = self.nxt_off;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            self.cc.on_ack(AckInfo {
+                acked: payload_acked as u32,
+                ece: cc_ece,
+                now,
+                srtt: self.rtt.srtt(),
+            });
+            // Recovery bookkeeping.
+            if self.in_recovery {
+                if self.una_off >= self.recover_off {
+                    self.in_recovery = false;
+                } else {
+                    // NewReno partial ack: retransmit the next hole.
+                    self.retransmit_head(now);
+                }
+            }
+            // Rearm or disarm the RTO.
+            let outstanding = self.in_flight() > 0 || (self.fin_sent && !self.fin_acked);
+            self.rto_deadline = if outstanding {
+                Some(now + self.rtt.rto())
+            } else {
+                None
+            };
+            self.advance_close_states(now);
+        } else if ack == una_seq
+            && seg.payload.is_empty()
+            && !seg.tcp.flags.contains(TcpFlags::FIN)
+            && self.in_flight() > 0
+            && (seg.tcp.window as u64) << self.peer_wscale <= self.snd_wnd
+        {
+            // Duplicate ACK.
+            self.stats.dupacks_in += 1;
+            self.dupacks += 1;
+            if ece {
+                self.cc.on_ack(AckInfo {
+                    acked: 0,
+                    ece,
+                    now,
+                    srtt: self.rtt.srtt(),
+                });
+            }
+            if self.dupacks == 3 && !self.in_recovery {
+                self.in_recovery = true;
+                self.recover_off = self.nxt_off;
+                self.recovery_cursor = self.una_off + self.cfg.mss as u64;
+                self.stats.fast_retransmits += 1;
+                self.cc.on_fast_retransmit();
+                self.retransmit_head(now);
+            } else if self.in_recovery && self.dupacks > 3 && self.cfg.keep_ooo {
+                // SACK-guided recovery: retransmit only the hole between
+                // the cumulative ACK and the receiver's first held block.
+                let hole_end = match seg.tcp.options.sack_block {
+                    Some((l, _)) => {
+                        let una = self.seq_of(self.una_off);
+                        self.una_off + seq::sub(l, una) as u64
+                    }
+                    None => self.recover_off,
+                };
+                self.recovery_cursor = self.recovery_cursor.max(self.una_off);
+                if self.recovery_cursor < hole_end.min(self.recover_off) {
+                    self.retransmit_at(now, self.recovery_cursor);
+                    self.recovery_cursor += self.cfg.mss as u64;
+                }
+            }
+        }
+        // Window update (simplified: latest segment wins).
+        self.snd_wnd = (seg.tcp.window as u64) << self.peer_wscale;
+    }
+
+    fn process_data(&mut self, now: SimTime, seg: &Segment) {
+        let rcv_nxt = self.rcv_seq_of(self.rcv_off);
+        let seg_seq = seg.tcp.seq;
+        self.last_seg_ce = seg.is_ce_marked();
+        if seg.is_ce_marked() {
+            self.ece_latched = true;
+        }
+        if seg.tcp.flags.contains(TcpFlags::CWR) {
+            self.ece_latched = false;
+        }
+        // Offset of the segment start relative to rcv_nxt.
+        let data = &seg.payload;
+        if seq::ge(rcv_nxt, seg_seq) {
+            // Starts at or before rcv_nxt: possibly old data.
+            let skip = seq::sub(rcv_nxt, seg_seq) as usize;
+            if skip >= data.len() {
+                // Entirely old: pure duplicate.
+                self.emit_ack(now);
+                return;
+            }
+            let fresh = &data[skip..];
+            let n = {
+                // In-order: commit to the rx ring.
+                let take = fresh.len().min(self.rx.free());
+                self.rx
+                    .append(&fresh[..take])
+                    .expect("take bounded by free space");
+                take
+            };
+            self.rcv_off += n as u64;
+            self.stats.bytes_received += n as u64;
+            // Pull any now-contiguous reassembled data.
+            if let Some(run) = self.reasm.pop_ready(self.rcv_off) {
+                let take = run.len().min(self.rx.free());
+                self.rx.append(&run[..take]).expect("bounded");
+                self.rcv_off += take as u64;
+                self.stats.bytes_received += take as u64;
+            }
+            if n > 0 {
+                self.events.push(TcpEvent::DataAvailable);
+            }
+        } else {
+            // Out of order: ahead of rcv_nxt.
+            let off = self.rcv_off + seq::sub(seg_seq, rcv_nxt) as u64;
+            if self.cfg.keep_ooo {
+                // Bound by the receive window horizon.
+                let horizon = self.rcv_off + self.rx.free() as u64;
+                if off < horizon {
+                    let room = (horizon - off) as usize;
+                    let mut d = data.clone();
+                    d.truncate(room);
+                    self.reasm.insert(off, d);
+                }
+            }
+            // Duplicate ACK to trigger peer fast retransmit.
+        }
+        self.emit_ack(now);
+    }
+
+    fn process_fin(&mut self, now: SimTime, seg: &Segment) {
+        let rcv_nxt = self.rcv_seq_of(self.rcv_off);
+        let fin_seq = seg.tcp.seq.wrapping_add(seg.payload.len() as u32);
+        let fin_off = self.rcv_off + seq::sub(fin_seq, rcv_nxt) as u64;
+        if seq::gt(fin_seq, rcv_nxt) {
+            // FIN beyond in-order data we hold: remember and ack what we
+            // have (the gap will be retransmitted).
+            self.peer_fin_off = Some(fin_off);
+            self.emit_ack(now);
+            return;
+        }
+        self.peer_fin_off = Some(self.rcv_off);
+        if !self.peer_fin_done {
+            self.peer_fin_done = true;
+            self.events.push(TcpEvent::PeerFin);
+            match self.state {
+                TcpState::Established | TcpState::SynRcvd => self.state = TcpState::CloseWait,
+                TcpState::FinWait1 => {
+                    self.state = if self.fin_acked {
+                        self.enter_time_wait(now);
+                        TcpState::TimeWait
+                    } else {
+                        TcpState::Closing
+                    }
+                }
+                TcpState::FinWait2 => {
+                    self.enter_time_wait(now);
+                    self.state = TcpState::TimeWait;
+                }
+                _ => {}
+            }
+        }
+        self.emit_ack(now);
+        self.advance_close_states(now);
+    }
+
+    fn advance_close_states(&mut self, now: SimTime) {
+        if self.fin_acked {
+            match self.state {
+                TcpState::FinWait1 => self.state = TcpState::FinWait2,
+                TcpState::Closing => {
+                    self.enter_time_wait(now);
+                    self.state = TcpState::TimeWait;
+                }
+                TcpState::LastAck => self.enter_closed(),
+                _ => {}
+            }
+        }
+    }
+
+    fn enter_time_wait(&mut self, now: SimTime) {
+        self.time_wait_deadline = Some(now + self.cfg.time_wait);
+        self.rto_deadline = None;
+    }
+
+    fn enter_closed(&mut self) {
+        if self.state != TcpState::Closed {
+            self.state = TcpState::Closed;
+            self.rto_deadline = None;
+            self.time_wait_deadline = None;
+            self.events.push(TcpEvent::Closed);
+        }
+    }
+}

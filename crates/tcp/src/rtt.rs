@@ -1,0 +1,156 @@
+//! RTT estimation and RTO computation (Jacobson/Karels, RFC 6298).
+
+use tas_sim::SimTime;
+
+/// Smoothed RTT estimator producing retransmission timeouts.
+///
+/// # Examples
+///
+/// ```
+/// use tas_tcp::RttEstimator;
+/// use tas_sim::SimTime;
+/// let mut est = RttEstimator::new(SimTime::from_ms(10), SimTime::from_secs(1));
+/// est.update(SimTime::from_us(100));
+/// assert_eq!(est.srtt(), Some(SimTime::from_us(100)));
+/// assert!(est.rto() >= SimTime::from_ms(10));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RttEstimator {
+    srtt: Option<SimTime>,
+    rttvar: SimTime,
+    rto: SimTime,
+    rto_min: SimTime,
+    rto_max: SimTime,
+    backoff: u32,
+}
+
+impl RttEstimator {
+    /// Creates an estimator with the given RTO clamp. Before any sample,
+    /// the RTO is `rto_max.min(1s)`-style conservative: we use `rto_min * 100`
+    /// clamped to the bounds (datacenter configs set `rto_min` in the
+    /// hundreds of microseconds to milliseconds).
+    pub fn new(rto_min: SimTime, rto_max: SimTime) -> Self {
+        let initial = (rto_min * 100).min(rto_max).max(rto_min);
+        RttEstimator {
+            srtt: None,
+            rttvar: SimTime::ZERO,
+            rto: initial,
+            rto_min,
+            rto_max,
+            backoff: 0,
+        }
+    }
+
+    /// Feeds one RTT sample.
+    pub fn update(&mut self, sample: SimTime) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2;
+            }
+            Some(srtt) => {
+                // RFC 6298: rttvar = 3/4 rttvar + 1/4 |srtt - sample|;
+                // srtt = 7/8 srtt + 1/8 sample.
+                let delta = if srtt > sample {
+                    srtt - sample
+                } else {
+                    sample - srtt
+                };
+                self.rttvar = SimTime::from_ps((self.rttvar.as_ps() * 3 + delta.as_ps()) / 4);
+                self.srtt = Some(SimTime::from_ps((srtt.as_ps() * 7 + sample.as_ps()) / 8));
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        let candidate = srtt + (self.rttvar * 4).max(SimTime::from_us(1));
+        self.rto = candidate.clamp_rto(self.rto_min, self.rto_max);
+        self.backoff = 0;
+    }
+
+    /// Current smoothed RTT, if any sample has been seen.
+    pub fn srtt(&self) -> Option<SimTime> {
+        self.srtt
+    }
+
+    /// Current RTO including backoff.
+    pub fn rto(&self) -> SimTime {
+        let mut r = self.rto;
+        for _ in 0..self.backoff.min(10) {
+            r = (r * 2).min(self.rto_max);
+        }
+        r
+    }
+
+    /// Doubles the RTO (called on retransmission timeout).
+    pub fn backoff(&mut self) {
+        self.backoff += 1;
+    }
+}
+
+trait ClampRto {
+    fn clamp_rto(self, lo: SimTime, hi: SimTime) -> SimTime;
+}
+
+impl ClampRto for SimTime {
+    fn clamp_rto(self, lo: SimTime, hi: SimTime) -> SimTime {
+        self.max(lo).min(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::new(SimTime::from_ms(1), SimTime::from_secs(4));
+        e.update(SimTime::from_us(200));
+        assert_eq!(e.srtt(), Some(SimTime::from_us(200)));
+        // RTO = srtt + 4*rttvar = 200 + 400 = 600us, clamped up to 1ms.
+        assert_eq!(e.rto(), SimTime::from_ms(1));
+    }
+
+    #[test]
+    fn smoothing_converges() {
+        let mut e = RttEstimator::new(SimTime::from_us(10), SimTime::from_secs(4));
+        for _ in 0..100 {
+            e.update(SimTime::from_us(150));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!(
+            (srtt.as_micros_f64() - 150.0).abs() < 1.0,
+            "srtt {srtt} should converge to 150us"
+        );
+        // Variance decays, so RTO approaches srtt (clamped by min).
+        assert!(e.rto() < SimTime::from_us(200));
+    }
+
+    #[test]
+    fn variance_widens_rto() {
+        let mut e = RttEstimator::new(SimTime::from_us(10), SimTime::from_secs(4));
+        for i in 0..50 {
+            let s = if i % 2 == 0 { 100 } else { 500 };
+            e.update(SimTime::from_us(s));
+        }
+        assert!(
+            e.rto() > SimTime::from_us(500),
+            "rto {} must exceed max sample",
+            e.rto()
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = RttEstimator::new(SimTime::from_ms(1), SimTime::from_ms(100));
+        e.update(SimTime::from_us(100));
+        let base = e.rto();
+        e.backoff();
+        assert_eq!(e.rto(), base * 2);
+        for _ in 0..20 {
+            e.backoff();
+        }
+        assert_eq!(e.rto(), SimTime::from_ms(100), "capped at rto_max");
+        // A fresh sample resets backoff.
+        e.update(SimTime::from_us(100));
+        assert_eq!(e.rto(), base);
+    }
+}

@@ -1,0 +1,138 @@
+//! Key-value store walkthrough: the same memcached-like server binary
+//! running over TAS and over the Linux-model stack, with throughput and
+//! latency side by side (the paper's §5.3 workload in miniature).
+//!
+//! Run with: `cargo run --release --example kv_store`
+
+use tas_repro::apps::kv::{KvClient, KvLoad, KvServer};
+use tas_repro::baselines::{profiles, StackHost, StackHostConfig};
+use tas_repro::netsim::app::App;
+use tas_repro::netsim::topo::{build_star, host_ip, HostSpec};
+use tas_repro::netsim::{NetMsg, NicConfig, PortConfig};
+use tas_repro::sim::{AgentId, Sim, SimTime};
+use tas_repro::tas::{TasConfig, TasHost};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Stack {
+    Tas,
+    Linux,
+}
+
+fn run(stack: Stack) -> (f64, f64, f64) {
+    let mut sim: Sim<NetMsg> = Sim::new(7);
+    let server_ip = host_ip(0);
+    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
+        if spec.index == 0 {
+            // The server: 100k keys, zipf(0.9), 90% GETs — once clients
+            // populate it.
+            let app: Box<dyn App> = Box::new(KvServer::new(11211));
+            match stack {
+                Stack::Tas => {
+                    let cfg = TasConfig::rpc_bench(2, 2);
+                    sim.add_agent(Box::new(TasHost::new(
+                        spec.ip,
+                        spec.mac,
+                        spec.nic,
+                        cfg,
+                        spec.uplink,
+                        app,
+                    )))
+                }
+                Stack::Linux => sim.add_agent(Box::new(StackHost::new(
+                    spec.ip,
+                    spec.mac,
+                    spec.nic,
+                    profiles::linux(),
+                    StackHostConfig::linux(4),
+                    spec.uplink,
+                    app,
+                ))),
+            }
+        } else {
+            // Clients always run on TAS (they are not under test).
+            let app: Box<dyn App> = Box::new(KvClient::new(
+                server_ip,
+                11211,
+                64,
+                100_000,
+                KvLoad::Closed,
+                spec.index as u64,
+            ));
+            let cfg = TasConfig::rpc_bench(2, 2);
+            sim.add_agent(Box::new(TasHost::new(
+                spec.ip,
+                spec.mac,
+                spec.nic,
+                cfg,
+                spec.uplink,
+                app,
+            )))
+        }
+    };
+    let topo = build_star(
+        &mut sim,
+        3,
+        |i| {
+            if i == 0 {
+                PortConfig::fortygig()
+            } else {
+                PortConfig::tengig()
+            }
+        },
+        |i| {
+            if i == 0 {
+                NicConfig::server_40g(1)
+            } else {
+                NicConfig::client_10g(1)
+            }
+        },
+        &mut factory,
+    );
+    for &h in &topo.hosts {
+        sim.inject_timer(SimTime::ZERO, h, 0, 0);
+    }
+    let warmup = SimTime::from_ms(20);
+    let window = SimTime::from_ms(30);
+    sim.run_until(warmup);
+    let done0: u64 = topo.hosts[1..]
+        .iter()
+        .map(|&h| sim.agent::<TasHost>(h).app_as::<KvClient>().done)
+        .sum();
+    for &h in &topo.hosts[1..] {
+        sim.agent_mut::<TasHost>(h)
+            .app_as_mut::<KvClient>()
+            .measure_from = warmup;
+    }
+    sim.run_until(warmup + window);
+    let mut hist = tas_repro::sim::Histogram::new();
+    let mut done1 = 0;
+    for &h in &topo.hosts[1..] {
+        let c = sim.agent::<TasHost>(h).app_as::<KvClient>();
+        done1 += c.done;
+        hist.merge(&c.latency);
+    }
+    let mops = (done1 - done0) as f64 / window.as_secs_f64() / 1e6;
+    (
+        mops,
+        hist.quantile(0.5) as f64 / 1000.0,
+        hist.quantile(0.99) as f64 / 1000.0,
+    )
+}
+
+fn main() {
+    println!("key-value store, 128 closed-loop connections, 2 client machines");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12}",
+        "stack", "mOps/s", "p50 [us]", "p99 [us]"
+    );
+    let (tm, tp50, tp99) = run(Stack::Tas);
+    println!("{:<8} {tm:>10.2} {tp50:>12.1} {tp99:>12.1}", "TAS");
+    let (lm, lp50, lp99) = run(Stack::Linux);
+    println!("{:<8} {lm:>10.2} {lp50:>12.1} {lp99:>12.1}", "Linux");
+    println!();
+    println!(
+        "TAS/Linux throughput: {:.1}x (paper §5.3: up to 7x with sockets)",
+        tm / lm
+    );
+    assert!(tm > lm, "TAS should outperform the Linux model");
+}

@@ -1,0 +1,157 @@
+//! Model-based property test of the TAS fast path receive side: feeding
+//! an arbitrary interleaving of in-order, out-of-order, duplicate, and
+//! loss-shaped segments must deliver exactly the original stream prefix,
+//! ack monotonically, and never get ahead of the data actually received.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use tas_repro::cpusim::CycleAccount;
+use tas_repro::proto::{FlowKey, MacAddr, Segment, TcpFlags, TcpHeader};
+use tas_repro::shm::ByteRing;
+use tas_repro::sim::SimTime;
+use tas_repro::tas::fastpath::FastPath;
+use tas_repro::tas::flow::{FlowState, RateBucket};
+use tas_repro::tas::{TasCosts, FLOW_STATE_BYTES};
+
+fn install(fp: &mut FastPath, rx_cap: usize) -> u32 {
+    fp.install_flow(FlowState {
+        opaque: 1,
+        context: 0,
+        bucket: RateBucket::unlimited(),
+        key: FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            80,
+            Ipv4Addr::new(10, 0, 0, 2),
+            7777,
+        ),
+        peer_mac: MacAddr::for_host(2),
+        rx: ByteRing::new(rx_cap),
+        tx: ByteRing::new(1024),
+        tx_sent: 0,
+        max_sent_off: 0,
+        iss: 100,
+        irs: 1_000,
+        snd_wnd: 65_535,
+        peer_wscale: 0,
+        dupack_cnt: 0,
+        ooo_start: 0,
+        ooo_len: 0,
+        cnt_ackb: 0,
+        cnt_ecnb: 0,
+        cnt_frexmits: 0,
+        rtt_est_us: 0,
+        ts_recent: 0,
+        cwnd: u64::MAX,
+        last_seg_ce: false,
+        tx_timer_armed: false,
+        win_closed: false,
+        last_una_off: 0,
+        stall_intervals: 0,
+        cc_alpha: 1.0,
+        cc_rate_ewma: 0.0,
+        cc_slow_start: true,
+        cc_prev_rtt_us: 0,
+        closing: false,
+    })
+}
+
+fn data_seg(offset: u64, payload: &[u8]) -> Segment {
+    let seq = 1_001u32.wrapping_add(offset as u32);
+    let mut h = TcpHeader::new(7777, 80, seq, 101, TcpFlags::ACK | TcpFlags::PSH);
+    h.window = 60_000;
+    h.options.timestamp = Some((1, 0));
+    Segment::tcp(
+        MacAddr::for_host(2),
+        MacAddr::for_host(1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        Ipv4Addr::new(10, 0, 0, 1),
+        h,
+        payload.to_vec(),
+        true,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Deliver an arbitrarily sliced stream in an arbitrary order with
+    /// duplicates; whatever the fast path commits must be a correct
+    /// prefix-closed portion of the stream, acks must be monotone, and a
+    /// final in-order sweep must deliver everything.
+    #[test]
+    fn fastpath_rx_is_prefix_correct(
+        stream in proptest::collection::vec(any::<u8>(), 32..400),
+        cuts in proptest::collection::vec(any::<prop::sample::Index>(), 1..8),
+        order_seed in any::<u64>(),
+    ) {
+        let mut fp = FastPath::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            MacAddr::for_host(1),
+            1448,
+            TasCosts::default(),
+        );
+        let fid = install(&mut fp, stream.len() + 64);
+        let mut acct = CycleAccount::new();
+
+        // Slice and shuffle.
+        let mut points: Vec<usize> = cuts.iter().map(|c| c.index(stream.len())).collect();
+        points.push(0);
+        points.push(stream.len());
+        points.sort_unstable();
+        points.dedup();
+        let mut segs: Vec<(u64, Vec<u8>)> = points
+            .windows(2)
+            .map(|w| (w[0] as u64, stream[w[0]..w[1]].to_vec()))
+            .filter(|(_, d)| !d.is_empty())
+            .collect();
+        let dup = segs[0].clone();
+        segs.push(dup); // One duplicate.
+        let mut rng = tas_repro::sim::Rng::new(order_seed);
+        rng.shuffle(&mut segs);
+
+        let mut last_ack = 0u32;
+        let mut t = 0u64;
+        for (off, data) in &segs {
+            t += 1;
+            fp.rx_segment(SimTime::from_us(t), data_seg(*off, data), &mut acct);
+            // Acks are cumulative and monotone.
+            for pkt in fp.out.packets.drain(..) {
+                let ack_off = pkt.tcp.ack.wrapping_sub(1_001);
+                prop_assert!(ack_off >= last_ack, "ack regressed");
+                last_ack = ack_off;
+                // Never acks data that was not sent.
+                prop_assert!(ack_off as usize <= stream.len());
+            }
+        }
+        // Whatever was committed must be a prefix of the stream.
+        {
+            let flow = fp.flows.get_mut(fid).expect("installed");
+            let n = flow.rx.len();
+            let got = flow.rx.copy_out(0, n).expect("committed prefix");
+            prop_assert_eq!(&got[..], &stream[..n], "committed data is a prefix");
+        }
+        // Final sweep: resend the whole stream in order (go-back-N after a
+        // retransmission); everything must be delivered exactly.
+        for (off, data) in points
+            .windows(2)
+            .map(|w| (w[0] as u64, &stream[w[0]..w[1]]))
+        {
+            if data.is_empty() {
+                continue;
+            }
+            t += 1;
+            fp.rx_segment(SimTime::from_us(t), data_seg(off, data), &mut acct);
+            fp.out.packets.clear();
+        }
+        let flow = fp.flows.get_mut(fid).expect("installed");
+        prop_assert_eq!(flow.rx.pop(usize::MAX - 1), stream);
+        prop_assert_eq!(flow.ooo_len, 0, "interval fully merged");
+    }
+
+    /// The architectural state constant matches the paper regardless of
+    /// how it is computed at runtime.
+    #[test]
+    fn flow_state_constant(_x in 0u8..1) {
+        prop_assert_eq!(FLOW_STATE_BYTES, 102);
+    }
+}

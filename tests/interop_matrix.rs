@@ -1,0 +1,144 @@
+//! Cross-stack interoperation matrix: every stack pair must complete the
+//! echo workload with intact payloads — the strong form of the paper's
+//! Table 4 claim ("TAS is fully compatible with existing TCP peers").
+
+use std::net::Ipv4Addr;
+use tas_repro::apps::echo::{EchoServer, Lifetime, RpcClient, ServerMode};
+use tas_repro::baselines::{profiles, StackHost, StackHostConfig};
+use tas_repro::netsim::app::App;
+use tas_repro::netsim::topo::{build_star, host_ip, HostSpec};
+use tas_repro::netsim::{NetMsg, NicConfig, PortConfig};
+use tas_repro::sim::{AgentId, Sim, SimTime};
+use tas_repro::tas::{TasConfig, TasHost};
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Kind {
+    Tas,
+    Linux,
+    Ix,
+    Mtcp,
+}
+
+const ALL: [Kind; 4] = [Kind::Tas, Kind::Linux, Kind::Ix, Kind::Mtcp];
+
+fn make(sim: &mut Sim<NetMsg>, spec: HostSpec, kind: Kind, app: Box<dyn App>) -> AgentId {
+    match kind {
+        Kind::Tas => sim.add_agent(Box::new(TasHost::new(
+            spec.ip,
+            spec.mac,
+            spec.nic,
+            TasConfig::rpc_bench(2, 2),
+            spec.uplink,
+            app,
+        ))),
+        Kind::Linux => sim.add_agent(Box::new(StackHost::new(
+            spec.ip,
+            spec.mac,
+            spec.nic,
+            profiles::linux(),
+            StackHostConfig::linux(2),
+            spec.uplink,
+            app,
+        ))),
+        Kind::Ix => sim.add_agent(Box::new(StackHost::new(
+            spec.ip,
+            spec.mac,
+            spec.nic,
+            profiles::ix(),
+            StackHostConfig::ix(2),
+            spec.uplink,
+            app,
+        ))),
+        Kind::Mtcp => sim.add_agent(Box::new(StackHost::new(
+            spec.ip,
+            spec.mac,
+            spec.nic,
+            profiles::mtcp(),
+            StackHostConfig::mtcp(3, 1),
+            spec.uplink,
+            app,
+        ))),
+    }
+}
+
+fn client_done(sim: &Sim<NetMsg>, id: AgentId, kind: Kind) -> u64 {
+    match kind {
+        Kind::Tas => sim.agent::<TasHost>(id).app_as::<RpcClient>().done,
+        _ => sim.agent::<StackHost>(id).app_as::<RpcClient>().done,
+    }
+}
+
+#[test]
+fn all_sixteen_stack_pairs_interoperate() {
+    for (si, server) in ALL.into_iter().enumerate() {
+        for (ci, client) in ALL.into_iter().enumerate() {
+            let seed = (si * 4 + ci) as u64 + 1;
+            let mut sim: Sim<NetMsg> = Sim::new(seed);
+            let server_ip: Ipv4Addr = host_ip(0);
+            let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
+                if spec.index == 0 {
+                    let app: Box<dyn App> =
+                        Box::new(EchoServer::new(7, 128, ServerMode::Echo, 200));
+                    make(sim, spec, server, app)
+                } else {
+                    let mut c = RpcClient::new(server_ip, 7, 2, 1, 128, Lifetime::Persistent);
+                    c.max_requests = 60;
+                    make(sim, spec, client, Box::new(c))
+                }
+            };
+            let topo = build_star(
+                &mut sim,
+                2,
+                |_| PortConfig::tengig(),
+                |_| NicConfig::client_10g(1),
+                &mut factory,
+            );
+            for &h in &topo.hosts {
+                sim.inject_timer(SimTime::ZERO, h, 0, 0);
+            }
+            sim.run_until(SimTime::from_secs(1));
+            assert_eq!(
+                client_done(&sim, topo.hosts[1], client),
+                60,
+                "{server:?} server with {client:?} client failed"
+            );
+        }
+    }
+}
+
+#[test]
+fn interop_survives_loss() {
+    // TAS server, Linux client, 1% loss on the client NIC: recovery paths
+    // of both stacks must cooperate.
+    let mut sim: Sim<NetMsg> = Sim::new(77);
+    let server_ip: Ipv4Addr = host_ip(0);
+    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
+        if spec.index == 0 {
+            let app: Box<dyn App> = Box::new(EchoServer::new(7, 64, ServerMode::Echo, 200));
+            make(sim, spec, Kind::Tas, app)
+        } else {
+            let mut c = RpcClient::new(server_ip, 7, 4, 1, 64, Lifetime::Persistent);
+            c.max_requests = 200;
+            let mut nic = spec.nic.clone();
+            nic.tx_loss = 0.01;
+            let spec = HostSpec { nic, ..spec };
+            make(sim, spec, Kind::Linux, Box::new(c))
+        }
+    };
+    let topo = build_star(
+        &mut sim,
+        2,
+        |_| PortConfig::tengig(),
+        |_| NicConfig::client_10g(1),
+        &mut factory,
+    );
+    for &h in &topo.hosts {
+        sim.inject_timer(SimTime::ZERO, h, 0, 0);
+    }
+    sim.run_until(SimTime::from_secs(10));
+    assert_eq!(
+        client_done(&sim, topo.hosts[1], Kind::Linux),
+        200,
+        "lossy interop must still complete all RPCs"
+    );
+}

@@ -1,0 +1,86 @@
+//! Property tests for RFC 793 sequence-number arithmetic.
+//!
+//! Every ACK-acceptance, window, and out-of-order decision in both stacks
+//! reduces to these five functions; a wraparound bug here corrupts
+//! connections only once per 4 GB of stream, which no example-based test
+//! reliably catches.
+
+use proptest::prelude::*;
+use tas_repro::proto::tcp::seq;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Moving forward by 1..2^31-1 is always "greater", regardless of
+    /// where the wrap falls.
+    #[test]
+    fn forward_step_is_greater(a in any::<u32>(), d in 1u32..0x8000_0000) {
+        let b = a.wrapping_add(d);
+        prop_assert!(seq::lt(a, b));
+        prop_assert!(seq::le(a, b));
+        prop_assert!(seq::gt(b, a));
+        prop_assert!(seq::ge(b, a));
+        prop_assert!(!seq::lt(b, a));
+    }
+
+    /// For distances below the 2^31 ambiguity point, exactly one ordering
+    /// holds (RFC 793 comparisons are undefined at exactly 2^31 apart —
+    /// both stacks keep windows far smaller, as TCP must).
+    #[test]
+    fn ordering_is_antisymmetric(a in any::<u32>(), d in 1u32..0x8000_0000) {
+        let b = a.wrapping_add(d);
+        prop_assert_ne!(seq::lt(a, b), seq::lt(b, a));
+        prop_assert!(!(seq::gt(a, b) && seq::gt(b, a)));
+    }
+
+    /// Equality is reflexive and excludes strict orderings.
+    #[test]
+    fn equality_cases(a in any::<u32>()) {
+        prop_assert!(seq::le(a, a));
+        prop_assert!(seq::ge(a, a));
+        prop_assert!(!seq::lt(a, a));
+        prop_assert!(!seq::gt(a, a));
+    }
+
+    /// `sub` inverts `wrapping_add` exactly, across the wrap.
+    #[test]
+    fn sub_inverts_add(a in any::<u32>(), d in any::<u32>()) {
+        prop_assert_eq!(seq::sub(a.wrapping_add(d), a), d);
+    }
+
+    /// `in_window(x, lo, len)` holds exactly for the `len` sequence
+    /// numbers starting at `lo`, wherever the window wraps.
+    #[test]
+    fn window_membership_is_exact(
+        lo in any::<u32>(),
+        len in 1u32..0x8000_0000,
+        probe in any::<u32>(),
+    ) {
+        // A point chosen inside is always in; the two boundary points
+        // behave half-open.
+        let inside = lo.wrapping_add(probe % len);
+        prop_assert!(seq::in_window(inside, lo, len));
+        prop_assert!(seq::in_window(lo, lo, len));
+        prop_assert!(!seq::in_window(lo.wrapping_add(len), lo, len));
+        // An arbitrary probe agrees with the distance definition.
+        let member = seq::sub(probe, lo) < len;
+        prop_assert_eq!(seq::in_window(probe, lo, len), member);
+    }
+
+    /// Transitivity within a window: if three points sit inside one
+    /// half-ring window, their pairwise ordering by offset matches `lt`.
+    #[test]
+    fn ordering_matches_offsets_within_window(
+        lo in any::<u32>(),
+        mut offs in proptest::collection::vec(0u32..0x4000_0000, 3),
+    ) {
+        offs.sort_unstable();
+        offs.dedup();
+        let pts: Vec<u32> = offs.iter().map(|&o| lo.wrapping_add(o)).collect();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                prop_assert!(seq::lt(pts[i], pts[j]), "offsets {offs:?} at base {lo}");
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests for the shared-memory substrate: the payload ring and
+//! the reassemblers behave like their obvious reference models under
+//! arbitrary operation sequences.
+
+use proptest::prelude::*;
+use tas_repro::shm::ByteRing;
+use tas_repro::tcp::Reassembler;
+
+#[derive(Debug, Clone)]
+enum RingOp {
+    Append(Vec<u8>),
+    Pop(usize),
+}
+
+fn arb_ring_ops() -> impl Strategy<Value = Vec<RingOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::collection::vec(any::<u8>(), 0..80).prop_map(RingOp::Append),
+            (0usize..100).prop_map(RingOp::Pop),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The ring delivers exactly the appended byte stream, in order,
+    /// across arbitrary append/pop interleavings and wrap-arounds.
+    #[test]
+    fn byte_ring_is_a_fifo_stream(ops in arb_ring_ops(), cap in 1usize..128) {
+        let mut ring = ByteRing::new(cap);
+        let mut model: std::collections::VecDeque<u8> = Default::default();
+        for op in ops {
+            match op {
+                RingOp::Append(data) => {
+                    let accepted = ring.append_partial(&data);
+                    prop_assert!(accepted <= data.len());
+                    model.extend(data[..accepted].iter());
+                    prop_assert_eq!(ring.len(), model.len());
+                }
+                RingOp::Pop(n) => {
+                    let got = ring.pop(n);
+                    let want: Vec<u8> = (0..got.len().min(model.len()))
+                        .map(|_| model.pop_front().expect("model has bytes"))
+                        .collect();
+                    prop_assert_eq!(&got, &want);
+                    prop_assert_eq!(got.len(), n.min(ring.len() + got.len()));
+                }
+            }
+            prop_assert!(ring.len() <= cap);
+            prop_assert_eq!(ring.free(), cap - ring.len());
+        }
+    }
+
+    /// Out-of-order staging: writing segments at arbitrary offsets within
+    /// the window and committing yields the right bytes.
+    #[test]
+    fn byte_ring_out_of_order_staging(
+        cap in 64usize..256,
+        head in proptest::collection::vec(any::<u8>(), 1..16),
+        tail in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        // Stage `tail` beyond a hole the size of `head`, then commit the
+        // head followed by the staged region.
+        let hole = head.len();
+        prop_assume!(hole + tail.len() <= cap);
+        let mut ring = ByteRing::new(cap);
+        ring.write_at(hole as u64, &tail).expect("fits");
+        prop_assert_eq!(ring.len(), 0);
+        ring.append(&head).expect("fits");
+        ring.advance_end(tail.len() as u64).expect("fits");
+        let all = ring.pop(cap);
+        prop_assert_eq!(&all[..hole], &head[..]);
+        prop_assert_eq!(&all[hole..], &tail[..]);
+    }
+
+    /// The reassembler reconstructs the original stream from arbitrarily
+    /// sliced, duplicated, and shuffled segments.
+    #[test]
+    fn reassembler_reconstructs_stream(
+        stream in proptest::collection::vec(any::<u8>(), 1..500),
+        cuts in proptest::collection::vec(any::<prop::sample::Index>(), 0..10),
+        order in any::<u64>(),
+        dupes in 0usize..3,
+    ) {
+        // Slice the stream at sorted cut points.
+        let mut points: Vec<usize> = cuts.iter().map(|c| c.index(stream.len())).collect();
+        points.push(0);
+        points.push(stream.len());
+        points.sort_unstable();
+        points.dedup();
+        let mut segments: Vec<(u64, Vec<u8>)> = points
+            .windows(2)
+            .map(|w| (w[0] as u64, stream[w[0]..w[1]].to_vec()))
+            .filter(|(_, d)| !d.is_empty())
+            .collect();
+        // Duplicate some segments and shuffle deterministically.
+        for d in 0..dupes.min(segments.len()) {
+            segments.push(segments[d].clone());
+        }
+        let mut rng = tas_repro::sim::Rng::new(order);
+        rng.shuffle(&mut segments);
+
+        let mut r = Reassembler::new(stream.len() + 64);
+        let mut out: Vec<u8> = Vec::new();
+        for (off, mut data) in segments {
+            // Like a TCP receiver: trim data already delivered (below
+            // rcv_nxt) before handing the rest to the reassembler.
+            let mut off = off;
+            let delivered = out.len() as u64;
+            if off < delivered {
+                let skip = (delivered - off) as usize;
+                if skip >= data.len() {
+                    continue;
+                }
+                data.drain(..skip);
+                off = delivered;
+            }
+            r.insert(off, data);
+            if let Some(run) = r.pop_ready(out.len() as u64) {
+                out.extend_from_slice(&run);
+            }
+        }
+        if let Some(run) = r.pop_ready(out.len() as u64) {
+            out.extend_from_slice(&run);
+        }
+        prop_assert_eq!(out, stream);
+        prop_assert_eq!(r.held(), 0, "nothing left buffered");
+    }
+
+    /// The log-linear histogram's quantiles stay within its error bound.
+    #[test]
+    fn histogram_quantile_error_bounded(values in proptest::collection::vec(1u64..1_000_000, 10..500)) {
+        let mut h = tas_repro::sim::Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let rank = (((q * sorted.len() as f64).ceil() as usize).max(1) - 1).min(sorted.len() - 1);
+            let exact = sorted[rank] as f64;
+            let got = h.quantile(q) as f64;
+            prop_assert!(
+                (got - exact).abs() <= exact * 0.04 + 1.0,
+                "q{q}: got {got}, exact {exact}"
+            );
+        }
+    }
+}
