@@ -284,6 +284,11 @@ impl StackHost {
         self.inner.stats
     }
 
+    /// The host's NIC (e.g. for fault-injection counters in tests).
+    pub fn nic(&self) -> &tas_netsim::HostNic {
+        &self.inner.nic
+    }
+
     /// Live connection count.
     pub fn conn_count(&self) -> usize {
         self.inner.by_key.len()

@@ -230,6 +230,75 @@ fn short_lived_connections_cycle_on_tas() {
 }
 
 #[test]
+fn fault_schedule_linux_tas_interop_with_auditors() {
+    // A Linux-model server (reference TcpConn engine) talking to a TAS
+    // client under a seeded drop+dup+reorder schedule in both directions.
+    // Both invariant auditors (tas::audit on the TAS host, tas_tcp::audit
+    // inside every TcpConn) are live; all RPCs must complete.
+    use tas_netsim::{FaultSpec, Switch};
+    assert!(tas_tcp::audit::enabled() && tas::audit::enabled());
+    let mut sim: Sim<NetMsg> = Sim::new(60);
+    let server_ip = host_ip(0);
+    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| {
+        let app: Box<dyn App> = if spec.index == 0 {
+            Box::new(EchoServer::new(7, 64, ServerMode::Echo, 300))
+        } else {
+            let mut c = RpcClient::new(server_ip, 7, 1, 1, 64, Lifetime::Persistent);
+            c.max_requests = 200;
+            Box::new(c)
+        };
+        let kind = if spec.index == 0 {
+            Kind::Linux
+        } else {
+            Kind::Tas
+        };
+        let mut spec = spec;
+        if spec.index == 1 {
+            spec.nic.tx_fault = FaultSpec::lossy(0.01, 0.01, 0.02, 61);
+        }
+        make_host(sim, spec, kind, app)
+    };
+    let topo = build_star(
+        &mut sim,
+        2,
+        |i| {
+            if i == 0 {
+                // Faults toward the server, so the reference TcpConn's
+                // reassembler sees drops, duplicates, and reordering.
+                PortConfig {
+                    fault: FaultSpec::lossy(0.01, 0.01, 0.02, 62),
+                    ..PortConfig::tengig()
+                }
+            } else {
+                PortConfig::tengig()
+            }
+        },
+        |_| NicConfig::client_10g(1),
+        &mut factory,
+    );
+    for &h in &topo.hosts {
+        sim.inject_timer(SimTime::ZERO, h, 0, 0);
+    }
+    let tcp_audits = tas_tcp::audit::checks_performed();
+    let tas_audits = tas::audit::checks_performed();
+    sim.run_until(SimTime::from_secs(10));
+    assert_eq!(
+        client_done(&sim, topo.hosts[1], Kind::Tas),
+        200,
+        "all RPCs must survive the fault schedule"
+    );
+    let nic_ctr = *sim
+        .agent::<TasHost>(topo.hosts[1])
+        .nic()
+        .tx_fault_counters();
+    assert!(nic_ctr.seen > 200 && nic_ctr.any_faults());
+    let port_ctr = *sim.agent::<Switch>(topo.switch).port_fault_counters(0);
+    assert!(port_ctr.seen > 200 && port_ctr.any_faults());
+    assert!(tas_tcp::audit::checks_performed() > tcp_audits);
+    assert!(tas::audit::checks_performed() > tas_audits);
+}
+
+#[test]
 fn loadgen_drives_tas_server() {
     use tas_apps::loadgen::{timers as lg_timers, LoadGenConfig, LoadGenHost};
     let mut sim: Sim<NetMsg> = Sim::new(50);

@@ -109,29 +109,18 @@ fn run(cc: Cc, seed: u64) -> (f64, f64) {
     };
     // RTT 100us: 25us one-way on the sink port, ~0 on sender links.
     let sink_port = PortConfig {
-        rate_bps: 10_000_000_000,
         prop_delay: SimTime::from_us(25),
-        queue_cap_pkts: 512,
-        ecn_threshold_pkts: Some(65),
-        loss: 0.0,
+        ..PortConfig::tengig()
     };
     let sender_port = PortConfig {
-        rate_bps: 10_000_000_000,
         prop_delay: SimTime::from_us(25),
-        queue_cap_pkts: 512,
-        ecn_threshold_pkts: Some(65),
-        loss: 0.0,
+        ..PortConfig::tengig()
     };
     let topo = build_star(
         &mut sim,
         1 + senders,
         move |i| if i == 0 { sink_port } else { sender_port },
-        |_| NicConfig {
-            rate_bps: 10_000_000_000,
-            prop_delay: SimTime::from_us(1),
-            rx_queues: 1,
-            tx_loss: 0.0,
-        },
+        |_| NicConfig::client_10g(1),
         &mut factory,
     );
     for &h in &topo.hosts {

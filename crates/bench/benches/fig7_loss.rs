@@ -12,7 +12,7 @@ use tas_baselines::{profiles, StackHost, StackHostConfig};
 use tas_bench::{scaled, section};
 use tas_netsim::app::App;
 use tas_netsim::topo::{build_star, host_ip, HostSpec};
-use tas_netsim::{NetMsg, NicConfig, PortConfig};
+use tas_netsim::{FaultSpec, NetMsg, NicConfig, PortConfig};
 use tas_sim::{AgentId, Sim, SimTime};
 
 #[derive(Clone, Copy, PartialEq)]
@@ -77,7 +77,11 @@ fn goodput(stack: Stack, loss: f64, seed: u64) -> f64 {
         }
     };
     let mut port = PortConfig::tengig();
-    port.loss = loss;
+    if loss > 0.0 {
+        // Seeded uniform drops via the fault injector (the `loss` field
+        // survives as a compat shim; the injector is the mechanism).
+        port.fault = FaultSpec::uniform_loss(loss, seed);
+    }
     let topo = build_star(
         &mut sim,
         2,

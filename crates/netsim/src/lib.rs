@@ -15,13 +15,18 @@
 //!   fabrics), and queue-length sampling for Figure 11b.
 //! * [`topo`] — topology builders (star, dumbbell, FatTree) with
 //!   shortest-path/ECMP route computation.
+//! * [`fault`] — deterministic per-direction fault injection (seeded
+//!   uniform/bursty drops, duplication, reordering, jitter, corruption)
+//!   that NIC uplinks and switch ports apply at their delivery points.
 
 pub mod app;
+pub mod fault;
 pub mod nic;
 pub mod rss;
 pub mod switch;
 pub mod topo;
 
+pub use fault::{DropModel, FaultCounters, FaultInjector, FaultSpec};
 pub use nic::{HostNic, NicConfig};
 pub use rss::{toeplitz_hash, RssTable, TOEPLITZ_KEY};
 pub use switch::{PortConfig, Switch};

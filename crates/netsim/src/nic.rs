@@ -1,5 +1,6 @@
 //! Host NIC model: multi-queue receive with RSS, serialized transmit.
 
+use crate::fault::{FaultCounters, FaultInjector, FaultSpec};
 use crate::rss::{hash_tuple, RssTable};
 use crate::NetMsg;
 use std::collections::VecDeque;
@@ -18,7 +19,12 @@ pub struct NicConfig {
     pub rx_queues: usize,
     /// Independent per-packet loss probability on transmit (Fig. 7's
     /// induced loss); 0 for lossless runs.
+    ///
+    /// Compat shim: folded into `tx_fault` as a uniform drop model at NIC
+    /// construction. New harnesses should set `tx_fault` directly.
     pub tx_loss: f64,
+    /// Fault schedule for the transmit (host → network) direction.
+    pub tx_fault: FaultSpec,
 }
 
 impl NicConfig {
@@ -29,6 +35,7 @@ impl NicConfig {
             prop_delay: SimTime::from_us(1),
             rx_queues,
             tx_loss: 0.0,
+            tx_fault: FaultSpec::none(),
         }
     }
 
@@ -39,7 +46,19 @@ impl NicConfig {
             prop_delay: SimTime::from_us(1),
             rx_queues,
             tx_loss: 0.0,
+            tx_fault: FaultSpec::none(),
         }
+    }
+
+    /// The effective transmit fault spec: `tx_fault`, with a non-zero
+    /// legacy `tx_loss` folded in as a uniform drop when the spec itself
+    /// has no drop model.
+    pub fn effective_tx_fault(&self) -> FaultSpec {
+        let mut spec = self.tx_fault;
+        if self.tx_loss > 0.0 && !spec.drop.is_active() {
+            spec.drop = crate::fault::DropModel::Uniform(self.tx_loss);
+        }
+        spec
     }
 }
 
@@ -60,6 +79,10 @@ pub struct HostNic {
     rss: RssTable,
     rx_queues: Vec<VecDeque<Segment>>,
     tx_busy_until: SimTime,
+    /// Transmit-direction fault injector (inert unless configured).
+    fault: FaultInjector,
+    /// Scratch buffer for injector output (avoids per-packet allocation).
+    fault_out: Vec<(SimTime, Segment)>,
     /// Packets dropped by loss injection.
     pub tx_dropped: u64,
     /// Packets transmitted.
@@ -76,6 +99,13 @@ impl HostNic {
     pub fn new(mac: MacAddr, cfg: NicConfig, uplink: AgentId) -> Self {
         let rss = RssTable::new(cfg.rx_queues);
         let rx_queues = (0..cfg.rx_queues).map(|_| VecDeque::new()).collect();
+        // Derive the default injector stream from the MAC so distinct
+        // NICs never share a fault schedule.
+        let mut dev = 0u64;
+        for b in mac.0 {
+            dev = dev << 8 | b as u64;
+        }
+        let fault = FaultInjector::new(cfg.effective_tx_fault(), dev);
         HostNic {
             mac,
             cfg,
@@ -83,6 +113,8 @@ impl HostNic {
             rss,
             rx_queues,
             tx_busy_until: SimTime::ZERO,
+            fault,
+            fault_out: Vec::new(),
             tx_dropped: 0,
             tx_count: 0,
             tx_bytes: 0,
@@ -143,21 +175,41 @@ impl HostNic {
     /// Transmits a packet onto the uplink no earlier than `ready` (when the
     /// producing core finished building it). Returns the departure time.
     ///
-    /// Loss injection drops the packet *after* charging wire time, like a
-    /// corrupted-on-the-wire packet.
+    /// Fault injection perturbs the packet *after* charging wire time:
+    /// a dropped packet models corruption on the wire, and a duplicate or
+    /// reordered copy costs no extra serialization.
     pub fn tx(&mut self, ready: SimTime, seg: Segment, ctx: &mut Ctx<'_, NetMsg>) -> SimTime {
         let start = ready.max(self.tx_busy_until);
         let depart = start + transmission_time(seg.wire_len() as u64, self.cfg.rate_bps);
         self.tx_busy_until = depart;
         self.tx_count += 1;
         self.tx_bytes += seg.wire_len() as u64;
-        if self.cfg.tx_loss > 0.0 && ctx.rng().chance(self.cfg.tx_loss) {
-            self.tx_dropped += 1;
-            return depart;
-        }
         let arrival = depart + self.cfg.prop_delay;
-        ctx.send_at(self.uplink, arrival, NetMsg::Packet(seg));
+        if self.fault.is_active() {
+            let before = self.fault.counters.dropped;
+            self.fault.apply(arrival, seg, &mut self.fault_out);
+            self.tx_dropped += self.fault.counters.dropped - before;
+            for (t, s) in self.fault_out.drain(..) {
+                ctx.send_at(self.uplink, t, NetMsg::Packet(s));
+            }
+        } else {
+            ctx.send_at(self.uplink, arrival, NetMsg::Packet(seg));
+        }
         depart
+    }
+
+    /// Transmit-direction fault counters.
+    pub fn tx_fault_counters(&self) -> &FaultCounters {
+        &self.fault.counters
+    }
+
+    /// Releases a packet the injector still holds for reordering (e2e
+    /// harness teardown).
+    pub fn flush_faults(&mut self, now: SimTime, ctx: &mut Ctx<'_, NetMsg>) {
+        self.fault.flush(now, &mut self.fault_out);
+        for (t, s) in self.fault_out.drain(..) {
+            ctx.send_at(self.uplink, t, NetMsg::Packet(s));
+        }
     }
 }
 
@@ -252,6 +304,7 @@ mod tests {
             prop_delay: SimTime::from_us(1),
             rx_queues: 1,
             tx_loss: 0.0,
+            tx_fault: FaultSpec::none(),
         };
         let nic = HostNic::new(MacAddr::for_host(1), cfg, sink);
         let driver = sim.add_agent(Box::new(Driver { nic }));
@@ -292,6 +345,7 @@ mod tests {
             prop_delay: SimTime::from_us(1),
             rx_queues: 1,
             tx_loss: 0.05,
+            tx_fault: FaultSpec::none(),
         };
         let nic = HostNic::new(MacAddr::for_host(1), cfg, sink);
         let blaster = sim.add_agent(Box::new(Blaster { nic }));

@@ -1,5 +1,6 @@
 //! Output-queued switch with drop-tail queues and DCTCP ECN marking.
 
+use crate::fault::{DropModel, FaultCounters, FaultInjector, FaultSpec};
 use crate::rss::hash_tuple;
 use crate::NetMsg;
 use std::collections::{HashMap, VecDeque};
@@ -21,7 +22,12 @@ pub struct PortConfig {
     /// at 65); `None` disables marking.
     pub ecn_threshold_pkts: Option<usize>,
     /// Independent per-packet loss probability (induced loss experiments).
+    ///
+    /// Compat shim: folded into `fault` as a uniform drop model when the
+    /// port is wired. New harnesses should set `fault` directly.
     pub loss: f64,
+    /// Fault schedule for this port's outgoing (switch → device) link.
+    pub fault: FaultSpec,
 }
 
 impl PortConfig {
@@ -33,6 +39,7 @@ impl PortConfig {
             queue_cap_pkts: 512,
             ecn_threshold_pkts: Some(65),
             loss: 0.0,
+            fault: FaultSpec::none(),
         }
     }
 
@@ -53,6 +60,8 @@ struct Port {
     /// Departure times of packets currently queued or in serialization;
     /// cleaned lazily. Length = instantaneous queue depth.
     departures: VecDeque<SimTime>,
+    /// Wire-fault injector for the outgoing link (inert unless configured).
+    fault: FaultInjector,
     /// Packets dropped at a full queue.
     pub drops: u64,
     /// Packets dropped by loss injection.
@@ -121,11 +130,20 @@ impl Switch {
 
     /// Adds an output port towards `peer`; returns the port index.
     pub fn add_port(&mut self, peer: AgentId, cfg: PortConfig) -> usize {
+        // Legacy `loss` folds into the injector as a uniform drop; the
+        // default stream is derived from the peer and port index so no
+        // two ports share a schedule.
+        let mut spec = cfg.fault;
+        if cfg.loss > 0.0 && !spec.drop.is_active() {
+            spec.drop = DropModel::Uniform(cfg.loss);
+        }
+        let dev = (peer as u64) << 16 | self.ports.len() as u64;
         self.ports.push(Port {
             cfg,
             peer,
             busy_until: SimTime::ZERO,
             departures: VecDeque::new(),
+            fault: FaultInjector::new(spec, dev),
             drops: 0,
             loss_drops: 0,
             marked: 0,
@@ -133,6 +151,11 @@ impl Switch {
             bytes: 0,
         });
         self.ports.len() - 1
+    }
+
+    /// Fault counters for a port's outgoing link.
+    pub fn port_fault_counters(&self, port: usize) -> &FaultCounters {
+        &self.ports[port].fault.counters
     }
 
     /// Number of ports.
@@ -226,17 +249,26 @@ impl Switch {
                 port.marked += 1;
             }
         }
-        if port.cfg.loss > 0.0 && ctx.rng().chance(port.cfg.loss) {
-            port.loss_drops += 1;
-            return;
-        }
         let start = now.max(port.busy_until);
         let depart = start + transmission_time(seg.wire_len() as u64, port.cfg.rate_bps);
         port.busy_until = depart;
         port.departures.push_back(depart);
         port.forwarded += 1;
         port.bytes += seg.wire_len() as u64;
-        ctx.send_at(port.peer, depart + port.cfg.prop_delay, NetMsg::Packet(seg));
+        let arrival = depart + port.cfg.prop_delay;
+        if port.fault.is_active() {
+            // Wire faults strike after serialization, like the NIC's: a
+            // dropped packet still occupied the queue and the wire.
+            let before = port.fault.counters.dropped;
+            let mut out = Vec::new();
+            port.fault.apply(arrival, seg, &mut out);
+            port.loss_drops += port.fault.counters.dropped - before;
+            for (t, s) in out {
+                ctx.send_at(port.peer, t, NetMsg::Packet(s));
+            }
+        } else {
+            ctx.send_at(port.peer, arrival, NetMsg::Packet(seg));
+        }
     }
 }
 

@@ -226,6 +226,7 @@ pub fn build_fattree(
         queue_cap_pkts: cfg.queue_cap_pkts,
         ecn_threshold_pkts: cfg.ecn_threshold_pkts,
         loss: 0.0,
+        fault: crate::fault::FaultSpec::none(),
     };
 
     // Create switch agents first so hosts can reference their edge uplink.
@@ -261,6 +262,7 @@ pub fn build_fattree(
                 prop_delay: cfg.prop_delay,
                 rx_queues: 1,
                 tx_loss: 0.0,
+                tx_fault: crate::fault::FaultSpec::none(),
             },
         };
         let host = make_host(sim, spec);

@@ -98,7 +98,7 @@ impl Segment {
 /// assert_eq!(k.reversed().local_port, 5000);
 /// assert_eq!(k.reversed().reversed(), k);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowKey {
     /// Local (this host's) address.
     pub local_ip: Ipv4Addr,

@@ -333,6 +333,14 @@ impl FlowTable {
     }
 
     /// Iterates over (id, flow) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &FlowState)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|f| (i as u32, f)))
+    }
+
+    /// Iterates over (id, flow) pairs, mutably.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (u32, &mut FlowState)> {
         self.slots
             .iter_mut()

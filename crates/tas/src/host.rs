@@ -260,6 +260,11 @@ impl TasHost {
         self.inner.fp.flows.len()
     }
 
+    /// The host's NIC (e.g. for fault-injection counters in tests).
+    pub fn nic(&self) -> &tas_netsim::HostNic {
+        &self.inner.nic
+    }
+
     /// Dumps per-flow diagnostic tuples (diagnostics).
     pub fn dump_flows(&self, n: usize) -> Vec<(u32, u64, u64, u64, u64, u32, u64)> {
         let mut out = Vec::new();
@@ -384,6 +389,8 @@ impl TasHost {
         }
         let start = t_eff.max(inner.fp_cores.core_ref(core_idx).busy_until());
         let mut cycles = f(&mut inner.fp, start, &mut inner.acct);
+        #[cfg(any(test, debug_assertions, feature = "audit"))]
+        crate::audit::check_fastpath(&inner.fp, start);
         cycles += extra_cycles + wake_extra;
         if wake_extra > 0 {
             inner.acct.charge(Module::Other, wake_extra, wake_extra / 2);
@@ -468,6 +475,8 @@ impl TasHost {
             accept_ctx,
             &mut inner.acct,
         );
+        #[cfg(any(test, debug_assertions, feature = "audit"))]
+        crate::audit::check_fastpath(&inner.fp, start);
         let (_, end) = inner.sp_core.run(t, cycles);
         // Pending incoming connections: the application's accept path runs
         // on its app core, then the slow path answers with SYN-ACK.
@@ -492,6 +501,8 @@ impl TasHost {
         let start = t.max(self.inner.sp_core.busy_until());
         let inner = &mut self.inner;
         let (cycles, ret) = f(&mut inner.sp, &mut inner.fp, start, &mut inner.acct);
+        #[cfg(any(test, debug_assertions, feature = "audit"))]
+        crate::audit::check_fastpath(&inner.fp, start);
         let (_, end) = inner.sp_core.run(t, cycles);
         self.flush_sp(end, ctx);
         ret

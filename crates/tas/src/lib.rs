@@ -24,6 +24,7 @@
 //! [`host::TasHost`] glues the three onto a simulated machine (NIC, fast
 //! path cores, app cores) as one network agent.
 
+pub mod audit;
 pub mod cc;
 pub mod config;
 pub mod fastpath;

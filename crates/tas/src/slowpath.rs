@@ -15,7 +15,7 @@ use crate::cc::{dctcp_rate_iteration, timely_iteration, DctcpRateParams, TimelyP
 use crate::config::{CcAlgo, TasConfig};
 use crate::fastpath::{FastPath, TAS_WSCALE};
 use crate::flow::{FlowState, RateBucket};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use tas_cpusim::{CycleAccount, Module};
 use tas_proto::tcp::seq;
@@ -157,9 +157,12 @@ pub struct SlowPath {
     control_interval: SimTime,
     stall_intervals_for_rexmit: u32,
     initial_rate_bps: u64,
-    listeners: HashMap<u16, ()>,
-    handshakes: HashMap<FlowKey, Handshake>,
-    teardowns: HashMap<FlowKey, Teardown>,
+    // BTreeMap, not HashMap: the control loop iterates these to build
+    // retry batches, and packet emission order must not depend on the
+    // process's hash seed (runs must reproduce bit-for-bit across runs).
+    listeners: BTreeMap<u16, ()>,
+    handshakes: BTreeMap<FlowKey, Handshake>,
+    teardowns: BTreeMap<FlowKey, Teardown>,
     next_port: u16,
     /// Completion time of the previous control-loop iteration (the loop
     /// self-paces: with many flows an iteration takes longer than the
@@ -195,9 +198,9 @@ impl SlowPath {
             control_interval: cfg.control_interval,
             stall_intervals_for_rexmit: cfg.stall_intervals_for_rexmit,
             initial_rate_bps: cfg.initial_rate_bps,
-            listeners: HashMap::new(),
-            handshakes: HashMap::new(),
-            teardowns: HashMap::new(),
+            listeners: BTreeMap::new(),
+            handshakes: BTreeMap::new(),
+            teardowns: BTreeMap::new(),
             next_port: 32_768,
             last_loop: SimTime::ZERO,
             out: SpOut::default(),

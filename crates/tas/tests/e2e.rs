@@ -312,6 +312,85 @@ fn loss_recovery_via_slow_path_timeout() {
 }
 
 #[test]
+fn fault_schedule_with_auditor_all_rpcs_complete() {
+    // Deterministic fault schedule on both directions — drops, duplicates,
+    // and reordering on the client NIC (client->network) and on the switch
+    // port toward the client (network->client) — with the per-flow
+    // invariant auditor live on every fast-/slow-path operation. All RPCs
+    // must still complete and round-trip intact.
+    use tas_netsim::{FaultSpec, Switch};
+    assert!(
+        tas::audit::enabled(),
+        "auditor must be compiled into test builds"
+    );
+    let mut sim: Sim<NetMsg> = Sim::new(7);
+    let server_ip = tas_netsim::topo::host_ip(0);
+    let mut cfg = TasConfig::rpc_bench(1, 1);
+    cfg.control_interval = SimTime::from_us(200);
+    let cfg2 = cfg.clone();
+    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| {
+        let app: Box<dyn App> = if spec.index == 0 {
+            Box::new(EchoServer {
+                port: 7,
+                echoed: 0,
+                accepted: 0,
+            })
+        } else {
+            Box::new(RpcClient::new(server_ip, 7, 64, 300))
+        };
+        let mut nic = spec.nic;
+        if spec.index == 1 {
+            nic.tx_fault = FaultSpec::lossy(0.01, 0.01, 0.02, 42);
+        }
+        sim.add_agent(Box::new(TasHost::new(
+            spec.ip,
+            spec.mac,
+            nic,
+            cfg2.clone(),
+            spec.uplink,
+            app,
+        )))
+    };
+    let topo = build_star(
+        &mut sim,
+        2,
+        |i| {
+            if i == 1 {
+                // Port 1 faces the client: faults on the return direction.
+                PortConfig {
+                    fault: FaultSpec::lossy(0.01, 0.01, 0.02, 43),
+                    ..PortConfig::tengig()
+                }
+            } else {
+                PortConfig::tengig()
+            }
+        },
+        |_| NicConfig::client_10g(1),
+        &mut factory,
+    );
+    for &h in &topo.hosts {
+        sim.inject_timer(SimTime::ZERO, h, timers::INIT, 0);
+    }
+    let audits_before = tas::audit::checks_performed();
+    sim.run_until(SimTime::from_secs(10));
+    let client = sim.agent::<TasHost>(topo.hosts[1]).app_as::<RpcClient>();
+    assert_eq!(client.done, 300, "all RPCs must survive the fault schedule");
+    assert!(client.finished, "close handshake must complete under faults");
+    // The injectors actually fired, in both directions.
+    let nic_ctr = *sim.agent::<TasHost>(topo.hosts[1]).nic().tx_fault_counters();
+    assert!(nic_ctr.seen > 300, "client NIC injector saw traffic");
+    assert!(nic_ctr.any_faults(), "client NIC injector injected faults");
+    let port_ctr = *sim.agent::<Switch>(topo.switch).port_fault_counters(1);
+    assert!(port_ctr.seen > 300, "switch port injector saw traffic");
+    assert!(port_ctr.any_faults(), "switch port injector injected faults");
+    // The auditor ran on the operations of this workload.
+    assert!(
+        tas::audit::checks_performed() > audits_before,
+        "auditor must have checked fast-/slow-path operations"
+    );
+}
+
+#[test]
 fn cycle_accounting_matches_table1_shape() {
     let (mut sim, hosts) = build(
         1,

@@ -100,7 +100,10 @@ proptest! {
     }
 
     /// Changing the rate mid-flight preserves accumulated credit and
-    /// respects the new rate from that instant on.
+    /// respects the new rate from that instant on. The recorded seed in
+    /// `flow_props.proptest-regressions` shrank into this property; the
+    /// exact shrunk case is replayed by
+    /// [`regression_rate_change_seed_8000_53112_7394`] below.
     #[test]
     fn bucket_rate_change_preserves_credit(
         rate1 in 8_000u64..1_000_000_000,
@@ -122,5 +125,74 @@ proptest! {
             ((rate2 as u128 / 8) * (t2 - t1).as_ps() as u128 / 1_000_000_000_000) as u64;
         prop_assert!(b.tokens + 2 >= before + earned2, "new rate under-credits");
         prop_assert!(b.tokens <= before + earned2 + 2, "new rate over-credits");
+    }
+}
+
+/// Replays the shrunk case recorded in `flow_props.proptest-regressions`
+/// (`cc 3201b3e5… # shrinks to rate1 = 8000, rate2 = 53112, idle_us =
+/// 7394`) against `bucket_rate_change_preserves_credit`'s assertions.
+///
+/// The failure class was the `set_rate_bps` credit-rescaling path: the
+/// sub-byte time remainder accruing at the old rate must be re-priced so
+/// its byte value carries over across the rate change (at 8 kbit/s one
+/// byte takes a full millisecond, so a dropped or re-priced fraction is
+/// a visible whole-byte error at the new rate). The current
+/// implementation rescales the remainder explicitly; this test pins the
+/// recorded counterexample so the path can never regress silently.
+#[test]
+fn regression_rate_change_seed_8000_53112_7394() {
+    let (rate1, rate2, idle_us) = (8_000u64, 53_112u64, 7_394u64);
+    let t0 = SimTime::ZERO;
+    let mut b = RateBucket::limited(rate1, u64::MAX / 2, t0);
+    b.tokens = 0;
+    let t1 = t0 + SimTime::from_us(idle_us);
+    b.set_rate_bps(rate2, t1);
+    let earned1 = ((rate1 as u128 / 8) * t1.as_ps() as u128 / 1_000_000_000_000) as u64;
+    assert!(
+        b.tokens + 1 >= earned1,
+        "rate change dropped earned credit: have {} of {earned1}",
+        b.tokens
+    );
+    let t2 = t1 + SimTime::from_ms(10);
+    let before = b.tokens;
+    b.refill(t2);
+    let earned2 = ((rate2 as u128 / 8) * (t2 - t1).as_ps() as u128 / 1_000_000_000_000) as u64;
+    assert!(
+        b.tokens + 2 >= before + earned2,
+        "new rate under-credits: {} + 2 < {before} + {earned2}",
+        b.tokens
+    );
+    assert!(
+        b.tokens <= before + earned2 + 2,
+        "new rate over-credits: {} > {before} + {earned2} + 2",
+        b.tokens
+    );
+}
+
+/// The same seed values swept across every poll cadence from 1 µs to
+/// 1 ms: however often the fast path polls between the rate change and
+/// the measurement, the carried remainder stays within one byte.
+#[test]
+fn regression_rate_change_seed_is_poll_schedule_independent() {
+    for poll_us in [1u64, 7, 100, 1_000] {
+        let t0 = SimTime::ZERO;
+        let mut b = RateBucket::limited(8_000, u64::MAX / 2, t0);
+        b.tokens = 0;
+        let t1 = t0 + SimTime::from_us(7_394);
+        b.set_rate_bps(53_112, t1);
+        let after_change = b.tokens;
+        let t2 = t1 + SimTime::from_ms(10);
+        let mut now = t1;
+        while now < t2 {
+            now = (now + SimTime::from_us(poll_us)).min(t2);
+            b.refill(now);
+        }
+        let earned2 = ((53_112u128 / 8) * (t2 - t1).as_ps() as u128 / 1_000_000_000_000) as u64;
+        assert!(
+            b.tokens + 2 >= after_change + earned2 && b.tokens <= after_change + earned2 + 2,
+            "poll cadence {poll_us}us perturbed credit: {} vs {} + {earned2}",
+            b.tokens,
+            after_change
+        );
     }
 }

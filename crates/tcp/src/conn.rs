@@ -560,6 +560,25 @@ impl TcpConn {
         }
     }
 
+    /// Re-checks structural invariants (see [`crate::audit`]); compiled
+    /// out of plain release builds.
+    #[cfg(any(test, debug_assertions, feature = "audit"))]
+    fn audit_invariants(&self) {
+        crate::audit::check_conn(&crate::audit::ConnView {
+            una_off: self.una_off,
+            nxt_off: self.nxt_off,
+            max_sent_off: self.max_sent_off,
+            tx: &self.tx,
+            rcv_off: self.rcv_off,
+            rx: &self.rx,
+            reasm: &self.reasm,
+        });
+    }
+
+    #[cfg(not(any(test, debug_assertions, feature = "audit")))]
+    #[inline(always)]
+    fn audit_invariants(&self) {}
+
     // ------------------------------------------------------------------
     // Transmission.
 
@@ -648,6 +667,7 @@ impl TcpConn {
                 self.rto_deadline = Some(now + self.rtt.rto());
             }
         }
+        self.audit_invariants();
     }
 
     /// Retransmits one MSS of payload starting at stream offset `off`.
@@ -764,6 +784,7 @@ impl TcpConn {
                 }
             }
         }
+        self.audit_invariants();
     }
 
     // ------------------------------------------------------------------
@@ -789,6 +810,7 @@ impl TcpConn {
             _ => self.on_segment_established(now, seg),
         }
         self.poll(now);
+        self.audit_invariants();
     }
 
     fn on_segment_syn_sent(&mut self, now: SimTime, seg: Segment) {

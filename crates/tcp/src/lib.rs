@@ -21,6 +21,7 @@
 //! with the same ACK policy, and TAS's fast path also ACKs per packet), no
 //! Nagle (datacenter stacks disable it), no urgent data, short TIME_WAIT.
 
+pub mod audit;
 pub mod cc;
 pub mod conn;
 pub mod reasm;

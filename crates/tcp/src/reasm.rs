@@ -24,12 +24,18 @@ use std::collections::BTreeMap;
 #[derive(Clone, Debug, Default)]
 pub struct Reassembler {
     /// Out-of-order chunks keyed by absolute stream offset. Invariant:
-    /// entries never overlap.
+    /// entries never overlap, and none start below `delivered`.
     chunks: BTreeMap<u64, Vec<u8>>,
     /// Total bytes held.
     held: usize,
     /// Maximum bytes held (receive-buffer bound).
     limit: usize,
+    /// Delivered frontier: the highest offset ever handed out through
+    /// [`Reassembler::pop_ready`]. Duplicates of already-delivered data
+    /// (a retransmission racing the original under loss) are trimmed
+    /// against it on insert, so they can never strand bytes below the
+    /// frontier where no `pop_ready` cursor will ever reach them.
+    delivered: u64,
 }
 
 impl Reassembler {
@@ -39,6 +45,7 @@ impl Reassembler {
             chunks: BTreeMap::new(),
             held: 0,
             limit,
+            delivered: 0,
         }
     }
 
@@ -52,14 +59,31 @@ impl Reassembler {
         self.chunks.len()
     }
 
-    /// Inserts a segment at absolute stream offset `offset`. Overlapping
-    /// bytes already held are trimmed; data beyond the buffer limit is
-    /// dropped. Returns the number of new bytes stored.
+    /// The delivered frontier: offset just past the last byte returned
+    /// by [`Reassembler::pop_ready`].
+    pub fn delivered_frontier(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Inserts a segment at absolute stream offset `offset`. Bytes below
+    /// the delivered frontier and overlapping bytes already held are
+    /// trimmed; data beyond the buffer limit is dropped. Returns the
+    /// number of new bytes stored.
     pub fn insert(&mut self, offset: u64, mut data: Vec<u8>) -> usize {
         if data.is_empty() {
             return 0;
         }
         let mut offset = offset;
+        // Trim against data already delivered: a duplicate of a popped
+        // segment must leave no residue (held() stays 0).
+        if offset < self.delivered {
+            let stale = (self.delivered - offset) as usize;
+            if stale >= data.len() {
+                return 0; // Entirely old data.
+            }
+            data.drain(..stale);
+            offset = self.delivered;
+        }
         // Trim against the predecessor chunk.
         if let Some((&po, pdata)) = self.chunks.range(..=offset).next_back() {
             let pend = po + pdata.len() as u64;
@@ -132,6 +156,7 @@ impl Reassembler {
             cursor += d.len() as u64;
             out.extend_from_slice(&d);
         }
+        self.delivered = self.delivered.max(cursor);
         if out.is_empty() {
             None
         } else {

@@ -129,7 +129,47 @@ proptest! {
         prop_assert_eq!(r.held(), 0, "nothing left buffered");
     }
 
+    /// Duplicates delivered *without* the receiver-side trim above: the
+    /// reassembler's own delivered-frontier tracking must absorb them.
+    /// Generalizes the recorded `proptest_shm.proptest-regressions` seed.
+    #[test]
+    fn reassembler_absorbs_raw_duplicates(
+        stream in proptest::collection::vec(any::<u8>(), 1..300),
+        cuts in proptest::collection::vec(any::<prop::sample::Index>(), 0..8),
+        order in any::<u64>(),
+    ) {
+        let mut points: Vec<usize> = cuts.iter().map(|c| c.index(stream.len())).collect();
+        points.push(0);
+        points.push(stream.len());
+        points.sort_unstable();
+        points.dedup();
+        let mut segments: Vec<(u64, Vec<u8>)> = points
+            .windows(2)
+            .map(|w| (w[0] as u64, stream[w[0]..w[1]].to_vec()))
+            .filter(|(_, d)| !d.is_empty())
+            .collect();
+        // Every segment twice, shuffled — no trimming by the caller.
+        let dupes: Vec<(u64, Vec<u8>)> = segments.clone();
+        segments.extend(dupes);
+        let mut rng = tas_repro::sim::Rng::new(order);
+        rng.shuffle(&mut segments);
+
+        let mut r = Reassembler::new(stream.len() + 64);
+        let mut out: Vec<u8> = Vec::new();
+        for (off, data) in segments {
+            r.insert(off, data);
+            if let Some(run) = r.pop_ready(out.len() as u64) {
+                out.extend_from_slice(&run);
+            }
+        }
+        prop_assert_eq!(out, stream);
+        prop_assert_eq!(r.held(), 0, "duplicates left residue below the frontier");
+    }
+
     /// The log-linear histogram's quantiles stay within its error bound.
+    ///
+    /// (Named regression replays of the recorded
+    /// `proptest_shm.proptest-regressions` seed live below this block.)
     #[test]
     fn histogram_quantile_error_bounded(values in proptest::collection::vec(1u64..1_000_000, 10..500)) {
         let mut h = tas_repro::sim::Histogram::new();
@@ -148,4 +188,55 @@ proptest! {
             );
         }
     }
+}
+
+/// Replays the shrunk case recorded in `proptest_shm.proptest-regressions`
+/// (`cc 14b78ff7… # shrinks to stream = [0], cuts = [], order = 0,
+/// dupes = 1`) against `reassembler_reconstructs_stream`: a one-byte
+/// stream whose single segment arrives twice.
+#[test]
+fn regression_duplicate_of_delivered_segment_seed() {
+    let stream = vec![0u8];
+    let mut r = Reassembler::new(stream.len() + 64);
+    let mut out: Vec<u8> = Vec::new();
+    for (off, mut data) in [(0u64, stream.clone()), (0u64, stream.clone())] {
+        let mut off = off;
+        let delivered = out.len() as u64;
+        if off < delivered {
+            let skip = (delivered - off) as usize;
+            if skip >= data.len() {
+                continue;
+            }
+            data.drain(..skip);
+            off = delivered;
+        }
+        r.insert(off, data);
+        if let Some(run) = r.pop_ready(out.len() as u64) {
+            out.extend_from_slice(&run);
+        }
+    }
+    assert_eq!(out, stream);
+    assert_eq!(r.held(), 0, "duplicate left residue");
+}
+
+/// The underlying bug class, hit directly: without any caller-side
+/// trimming, a duplicate of an already-delivered segment must leave
+/// `held() == 0` — the reassembler's delivered frontier absorbs it.
+#[test]
+fn regression_duplicate_below_frontier_is_absorbed() {
+    let mut r = Reassembler::new(100);
+    assert_eq!(r.insert(0, b"hello".to_vec()), 5);
+    assert_eq!(r.pop_ready(0).unwrap(), b"hello");
+    assert_eq!(r.delivered_frontier(), 5);
+    // Exact duplicate, a stale retransmission, and a partial overlap
+    // spanning the frontier.
+    assert_eq!(r.insert(0, b"hello".to_vec()), 0);
+    assert_eq!(r.held(), 0, "exact duplicate stranded bytes");
+    assert_eq!(r.insert(2, b"llo".to_vec()), 0);
+    assert_eq!(r.held(), 0, "stale retransmission stranded bytes");
+    assert_eq!(r.insert(3, b"loWORLD".to_vec()), 5);
+    assert_eq!(r.held(), 5, "fresh tail past the frontier kept");
+    assert_eq!(r.pop_ready(5).unwrap(), b"WORLD");
+    assert_eq!(r.held(), 0);
+    assert_eq!(r.delivered_frontier(), 10);
 }

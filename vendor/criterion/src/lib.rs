@@ -1,0 +1,122 @@
+//! Offline shim of the [criterion](https://docs.rs/criterion) API used
+//! by `tas-bench`'s microbenchmarks.
+//!
+//! Runs each benchmark closure for the configured measurement time and
+//! reports mean wall-clock nanoseconds per iteration — no statistical
+//! machinery, plots, or baselines. Enough to keep `cargo bench` and
+//! `cargo clippy --all-targets` working without network access.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores sample counts.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Times `f` and prints mean ns/iter.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            budget: self.warm_up,
+        };
+        f(&mut b); // Warm-up pass, discarded.
+        b.iters = 0;
+        b.elapsed = Duration::ZERO;
+        b.budget = self.measurement;
+        f(&mut b);
+        let per_iter = if b.iters > 0 {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        } else {
+            f64::NAN
+        };
+        println!("{name:40} {per_iter:12.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the routine repeatedly
+/// until the time budget is spent.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Repeatedly invokes `routine`, accumulating timing.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        loop {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Re-export matching criterion's convenience.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group as a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,145 @@
+//! Offline shim of the [proptest](https://docs.rs/proptest) API.
+//!
+//! The build environment has no network access and no vendored crate
+//! registry, so this workspace carries a small, self-contained
+//! re-implementation of exactly the proptest surface the test suite
+//! uses: the [`Strategy`] trait with `prop_map`, integer-range / tuple /
+//! collection / option / union strategies, [`any`] over the common
+//! `Arbitrary` types, `sample::Index`, and the `proptest!` /
+//! `prop_assert*` / `prop_oneof!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case prints the generated inputs and
+//!   re-panics; it is not minimized.
+//! * **Deterministic generation.** Case `i` of a test derives its RNG
+//!   seed from the test's module path and `i`, so runs are bit-for-bit
+//!   reproducible without a persistence file.
+//! * **Regression files are not consumed.** The checked-in
+//!   `*.proptest-regressions` seeds are instead replayed by named unit
+//!   tests next to the properties they shrank from (the recorded shrunk
+//!   values are part of those files).
+
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// item expands to a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $cfg:expr;) => {};
+    (config = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __test = concat!(module_path!(), "::", stringify!($name));
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::case_rng(__test, __case);
+                let mut __inputs = String::new();
+                $(
+                    let __value = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    __inputs.push_str(stringify!($arg));
+                    __inputs.push_str(" = ");
+                    __inputs.push_str(&format!("{:?}, ", &__value));
+                    let $arg = __value;
+                )+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let Err(__panic) = __outcome {
+                    eprintln!(
+                        "proptest shim: {} failed at case {}/{} with inputs: {}",
+                        __test, __case, __cfg.cases, __inputs
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ..)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with an optional message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// `prop_assert_ne!(a, b)` with an optional message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// `prop_assume!(cond)`: silently skips the current case when false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// `prop_oneof![a, b, c]`: picks one of the strategies uniformly per
+/// generated value. All arms must share a `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

@@ -1,0 +1,41 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `None` about a quarter of the time, `Some(inner)` otherwise
+/// (matching real proptest's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn of_produces_both_variants() {
+        let mut rng = case_rng("option::of", 0);
+        let s = of(0u32..100);
+        let vals: Vec<Option<u32>> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.iter().any(|v| v.is_none()));
+        assert!(vals.iter().any(|v| v.is_some()));
+    }
+}

@@ -1,0 +1,46 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::strategy::ArbitraryValue;
+use crate::test_runner::TestRng;
+
+/// A position into a collection whose length is only known at use time:
+/// `index(len)` maps the drawn raw value uniformly into `0..len`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// The in-bounds index this value selects for a collection of
+    /// `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.0 % len
+    }
+}
+
+impl ArbitraryValue for Index {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{any, Strategy};
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn index_is_always_in_bounds() {
+        let mut rng = case_rng("sample::index", 0);
+        for len in [1usize, 2, 7, 1000] {
+            for _ in 0..50 {
+                let idx = any::<Index>().generate(&mut rng);
+                assert!(idx.index(len) < len);
+            }
+        }
+    }
+}

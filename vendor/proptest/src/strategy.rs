@@ -1,0 +1,290 @@
+//! The [`Strategy`] trait and the primitive strategy types.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree: a strategy simply draws
+/// a fresh value from the RNG (no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value with `self`, then generates from the strategy
+    /// `f` returns for it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erases the strategy type (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between same-valued strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; `arms` must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy ([`any`]).
+pub trait ArbitraryValue {
+    /// Draws an unconstrained value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// `any::<T>()`: the full-range strategy for `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),+) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for u128 {
+    fn arbitrary_value(rng: &mut TestRng) -> u128 {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl<T: ArbitraryValue, const N: usize> ArbitraryValue for [T; N] {
+    fn arbitrary_value(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary_value(rng))
+    }
+}
+
+macro_rules! arbitrary_tuples {
+    ($($name:ident),+) => {
+        impl<$($name: ArbitraryValue),+> ArbitraryValue for ($($name,)+) {
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary_value(rng),)+)
+            }
+        }
+    };
+}
+arbitrary_tuples!(A);
+arbitrary_tuples!(A, B);
+arbitrary_tuples!(A, B, C);
+arbitrary_tuples!(A, B, C, D);
+arbitrary_tuples!(A, B, C, D, E);
+arbitrary_tuples!(A, B, C, D, E, F);
+
+// Integer ranges double as strategies, exactly as in real proptest.
+macro_rules! range_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )+};
+}
+range_strategies!(u8, u16, u32, u64, usize);
+
+macro_rules! strategy_tuples {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+strategy_tuples!(A: 0);
+strategy_tuples!(A: 0, B: 1);
+strategy_tuples!(A: 0, B: 1, C: 2);
+strategy_tuples!(A: 0, B: 1, C: 2, D: 3);
+strategy_tuples!(A: 0, B: 1, C: 2, D: 3, E: 4);
+strategy_tuples!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+strategy_tuples!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+strategy_tuples!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+strategy_tuples!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+strategy_tuples!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = case_rng("strategy::ranges", 0);
+        for _ in 0..1000 {
+            let v = (5u32..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let w = (3u8..=9).generate(&mut rng);
+            assert!((3..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn full_inclusive_range_does_not_overflow() {
+        let mut rng = case_rng("strategy::full", 0);
+        for _ in 0..100 {
+            let _ = (0u64..=u64::MAX).generate(&mut rng);
+            let _ = (0u8..=0xff).generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn map_and_union_compose() {
+        let mut rng = case_rng("strategy::compose", 0);
+        let s = crate::prop_oneof![
+            (0u32..10).prop_map(|v| v * 2),
+            Just(1u32),
+        ];
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v == 1 || (v % 2 == 0 && v < 20));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let s = crate::collection::vec(0u64..1_000_000, 1..50);
+        let a = s.generate(&mut case_rng("strategy::det", 7));
+        let b = s.generate(&mut case_rng("strategy::det", 7));
+        let c = s.generate(&mut case_rng("strategy::det", 8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

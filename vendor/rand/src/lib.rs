@@ -1,0 +1,57 @@
+//! Offline shim of the [rand](https://docs.rs/rand) crate.
+//!
+//! The workspace's simulation code deliberately uses its own
+//! deterministic generator (`tas_sim::Rng`); this crate exists only so
+//! the dependency graph resolves without network access. It provides a
+//! minimal `Rng` trait and a seedable [`SmallRng`] for any ad-hoc use.
+
+/// Minimal subset of rand's `Rng` interface.
+pub trait Rng {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value in `[0, bound)`.
+    fn gen_range_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift; bias is negligible for the shim's uses.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// SplitMix64: tiny, seedable, and good enough for non-cryptographic use.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        assert_eq!(a.next_u64(), b.next_u64());
+        for _ in 0..100 {
+            assert!(a.gen_range_u64(13) < 13);
+        }
+    }
+}
