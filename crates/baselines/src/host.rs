@@ -20,7 +20,7 @@ use tas_netsim::app::{App, AppEvent, SockId, StackApi};
 use tas_netsim::rss::hash_tuple;
 use tas_netsim::{HostNic, NetMsg, NicConfig};
 use tas_proto::{FlowKey, MacAddr, Segment, TcpFlags};
-use tas_sim::{impl_as_any, Agent, Ctx, Event, SimTime};
+use tas_sim::{impl_as_any, Agent, CounterId, Ctx, Event, Registry, Scope, SimTime};
 use tas_tcp::{EndpointInfo, TcpConfig, TcpConn, TcpEvent};
 
 /// Threading/batching architecture of the stack.
@@ -124,7 +124,8 @@ pub mod timers {
 /// [`TcpConn::debug_state`](tas_tcp::TcpConn::debug_state) for fields.
 pub type ConnDebug = (u64, u64, u64, u32, u64, bool, u32, u64, usize, usize);
 
-/// Host counters.
+/// Host counters (compat view over the metric registry; built by
+/// [`StackHost::host_stats`]).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct HostStats {
     /// Packets dropped at the RX-ring bound.
@@ -195,8 +196,17 @@ struct Inner {
     /// Deferred connection commands (drained by CONN_CMD timers).
     cmd_q: std::collections::VecDeque<ConnCmd>,
     started: bool,
-    /// Counters.
-    stats: HostStats,
+    /// Host-level metric registry (replaces the old ad-hoc `HostStats`
+    /// struct storage; [`StackHost::host_stats`] rebuilds the compat view).
+    reg: Registry,
+    c_drop_backlog: CounterId,
+    c_established: CounterId,
+    c_closed: CounterId,
+    c_batches: CounterId,
+    c_app_bytes: CounterId,
+    /// TCP counters folded in from connections whose slots were dropped
+    /// (so telemetry keeps the full-run totals, not just live conns).
+    tcp_cum: tas_tcp::ConnStats,
     frame: Frame,
 }
 
@@ -228,6 +238,12 @@ impl StackHost {
         let nic = HostNic::new(mac, nic_cfg, uplink);
         let cores = CorePool::new(cfg.cores, cfg.freq_hz);
         let app_core_count = cfg.cores;
+        let mut reg = Registry::new();
+        let c_drop_backlog = reg.counter("host.drop_backlog", Scope::Global);
+        let c_established = reg.counter("host.established", Scope::Global);
+        let c_closed = reg.counter("host.closed", Scope::Global);
+        let c_batches = reg.counter("host.batches", Scope::Global);
+        let c_app_bytes = reg.counter("app.bytes_delivered", Scope::Global);
         StackHost {
             inner: Inner {
                 profile,
@@ -249,7 +265,13 @@ impl StackHost {
                     .collect(),
                 cmd_q: std::collections::VecDeque::new(),
                 started: false,
-                stats: HostStats::default(),
+                reg,
+                c_drop_backlog,
+                c_established,
+                c_closed,
+                c_batches,
+                c_app_bytes,
+                tcp_cum: tas_tcp::ConnStats::default(),
                 frame: Frame::default(),
             },
             app: Some(app),
@@ -279,9 +301,42 @@ impl StackHost {
         &mut self.inner.acct
     }
 
-    /// Host counters.
+    /// Host counters (compat view rebuilt from the metric registry).
     pub fn host_stats(&self) -> HostStats {
-        self.inner.stats
+        HostStats {
+            drop_backlog: self.inner.reg.get(self.inner.c_drop_backlog),
+            established: self.inner.reg.get(self.inner.c_established),
+            closed: self.inner.reg.get(self.inner.c_closed),
+            batches: self.inner.reg.get(self.inner.c_batches),
+        }
+    }
+
+    /// The host's metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.reg
+    }
+
+    /// A deterministic, ordered snapshot of every counter the host can
+    /// see: registry, cumulative TCP counters (live connections plus
+    /// everything folded in when slots were dropped), NIC fault-injector
+    /// counters, and live-state gauges.
+    pub fn telemetry_snapshot(&self) -> tas_sim::Snapshot {
+        let mut snap = self.inner.reg.snapshot();
+        let t = self.tcp_stats();
+        snap.insert_counter("tcp.segs_out", Scope::Global, t.segs_out);
+        snap.insert_counter("tcp.segs_in", Scope::Global, t.segs_in);
+        snap.insert_counter("tcp.bytes_sent", Scope::Global, t.bytes_sent);
+        snap.insert_counter("tcp.bytes_received", Scope::Global, t.bytes_received);
+        snap.insert_counter("tcp.retransmits", Scope::Global, t.retransmits);
+        snap.insert_counter("tcp.fast_retransmits", Scope::Global, t.fast_retransmits);
+        snap.insert_counter("tcp.timeouts", Scope::Global, t.timeouts);
+        snap.insert_counter("tcp.dupacks_in", Scope::Global, t.dupacks_in);
+        snap.insert_counter("tcp.ece_in", Scope::Global, t.ece_in);
+        for (k, v) in self.inner.nic.tx_fault_snapshot().iter() {
+            snap.insert(k.name, k.scope, *v);
+        }
+        snap.insert_gauge("conns.live", Scope::Global, self.inner.by_key.len() as i64);
+        snap
     }
 
     /// The host's NIC (e.g. for fault-injection counters in tests).
@@ -294,9 +349,11 @@ impl StackHost {
         self.inner.by_key.len()
     }
 
-    /// Aggregated TCP stats over live connections.
+    /// Aggregated TCP stats: live connections plus counters folded in
+    /// from connections whose slots were already dropped, so the totals
+    /// cover the whole run.
     pub fn tcp_stats(&self) -> tas_tcp::ConnStats {
-        let mut total = tas_tcp::ConnStats::default();
+        let mut total = self.inner.tcp_cum;
         for s in self.inner.slots.iter().flatten() {
             let st = s.conn.stats;
             total.segs_out += st.segs_out;
@@ -469,17 +526,30 @@ impl StackHost {
             return;
         };
         if s.conn.is_closed() {
-            // Drop the connection state.
+            // Drop the connection state, folding its counters into the
+            // cumulative totals first.
             let key = FlowKey::new(
                 s.conn.local().ip,
                 s.conn.local().port,
                 s.conn.remote().ip,
                 s.conn.remote().port,
             );
+            let st = s.conn.stats;
+            let cum = &mut self.inner.tcp_cum;
+            cum.segs_out += st.segs_out;
+            cum.segs_in += st.segs_in;
+            cum.bytes_sent += st.bytes_sent;
+            cum.bytes_received += st.bytes_received;
+            cum.retransmits += st.retransmits;
+            cum.fast_retransmits += st.fast_retransmits;
+            cum.timeouts += st.timeouts;
+            cum.dupacks_in += st.dupacks_in;
+            cum.ece_in += st.ece_in;
             self.inner.by_key.remove(&key);
             self.inner.slots[slot as usize] = None;
             self.inner.free.push(slot);
-            self.inner.stats.closed += 1;
+            let id = self.inner.c_closed;
+            self.inner.reg.inc(id);
             return;
         }
         let Some(next) = s.conn.next_timer() else {
@@ -517,7 +587,7 @@ impl StackHost {
                             None
                         } else {
                             s.connected_sent = true;
-                            self.inner.stats.established += 1;
+                            self.inner.reg.inc(self.inner.c_established);
                             if s.accepted {
                                 Some(AppEvent::Accepted {
                                     sock: slot,
@@ -595,7 +665,8 @@ impl StackHost {
         if evs.is_empty() {
             return;
         }
-        self.inner.stats.batches += 1;
+        let id = self.inner.c_batches;
+        self.inner.reg.inc(id);
         for (_slot, ev) in evs {
             self.deliver_app(t, app_core, ev, ctx);
         }
@@ -700,7 +771,13 @@ impl StackHost {
                 .busy_until()
                 .saturating_sub(now);
             if backlog > self.inner.cfg.max_core_backlog {
-                self.inner.stats.drop_backlog += 1;
+                let id = self.inner.c_drop_backlog;
+                self.inner.reg.inc(id);
+                let per_core = self
+                    .inner
+                    .reg
+                    .counter("host.drop_backlog", Scope::Core(core_idx as u32));
+                self.inner.reg.inc(per_core);
                 return;
             }
             let cost = if is_data {
@@ -860,6 +937,7 @@ impl StackApi for Api<'_, '_> {
         let out = s.conn.recv(max);
         s.rx_notified = false;
         if !out.is_empty() {
+            self.inner.reg.add(self.inner.c_app_bytes, out.len() as u64);
             self.inner.frame.ops.push(ApiOp::Touch(sock));
         }
         out

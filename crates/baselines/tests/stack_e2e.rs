@@ -287,12 +287,12 @@ fn fault_schedule_linux_tas_interop_with_auditors() {
         200,
         "all RPCs must survive the fault schedule"
     );
-    let nic_ctr = *sim
+    let nic_ctr = sim
         .agent::<TasHost>(topo.hosts[1])
         .nic()
         .tx_fault_counters();
     assert!(nic_ctr.seen > 200 && nic_ctr.any_faults());
-    let port_ctr = *sim.agent::<Switch>(topo.switch).port_fault_counters(0);
+    let port_ctr = sim.agent::<Switch>(topo.switch).port_fault_counters(0);
     assert!(port_ctr.seen > 200 && port_ctr.any_faults());
     assert!(tas_tcp::audit::checks_performed() > tcp_audits);
     assert!(tas::audit::checks_performed() > tas_audits);

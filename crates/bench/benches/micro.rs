@@ -95,6 +95,37 @@ fn bench_byte_ring(c: &mut Criterion) {
     });
 }
 
+/// The ring transfer of [`bench_byte_ring`] with a flight-recorder emit
+/// site in the loop, exactly as the production fast path places them.
+/// Without the `trace` feature the hook is compiled out and this is the
+/// same loop as `byte_ring_append_pop_1448` — the pair is the smoke
+/// check that a trace-off release build carries zero telemetry overhead.
+/// With `trace` on (recorder not started) it prices the disabled-
+/// recorder branch instead.
+fn bench_ring_transfer_trace_hook(c: &mut Criterion) {
+    let mut ring = ByteRing::new(16 * 1024);
+    let chunk = vec![0x42u8; 1448];
+    #[cfg(feature = "trace")]
+    let key = FlowKey::new(
+        Ipv4Addr::new(10, 0, 0, 1),
+        80,
+        Ipv4Addr::new(10, 0, 0, 2),
+        5000,
+    );
+    c.bench_function("ring_transfer_trace_hook_1448", |b| {
+        b.iter(|| {
+            ring.append(&chunk).expect("fits");
+            #[cfg(feature = "trace")]
+            tas_telemetry::emit(|| tas_telemetry::TraceRecord {
+                t: SimTime::ZERO,
+                site: "bench",
+                ev: tas_telemetry::TraceEvent::CcRate { flow: key, rate: 0 },
+            });
+            black_box(ring.pop(1448));
+        })
+    });
+}
+
 fn bench_desc_queue(c: &mut Criterion) {
     let mut q: DescQueue<u64> = DescQueue::new(1024);
     c.bench_function("context_queue_push_pop", |b| {
@@ -160,6 +191,7 @@ criterion_group!(
     targets =
     bench_flow_table,
     bench_byte_ring,
+    bench_ring_transfer_trace_hook,
     bench_desc_queue,
     bench_toeplitz,
     bench_wire_codec,

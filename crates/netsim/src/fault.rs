@@ -18,7 +18,7 @@
 //! model at construction.
 
 use tas_proto::{Segment, TcpFlags};
-use tas_sim::{Rng, SimTime};
+use tas_sim::{CounterId, Registry, Rng, Scope, SimTime};
 
 /// Packet-drop model.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -135,6 +135,11 @@ impl FaultSpec {
 }
 
 /// Per-injector event counters.
+///
+/// Compat view over the injector's registry-backed metrics: constructed
+/// on demand by [`FaultInjector::counters`], so existing harness code
+/// keeps its plain-struct reads while the source of truth is the
+/// [`Registry`] exposed through [`FaultInjector::snapshot`].
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FaultCounters {
     /// Packets offered to the injector.
@@ -175,8 +180,18 @@ pub struct FaultInjector {
     in_bad: bool,
     /// A packet held for reordering: (segment, deliveries still to pass).
     held: Option<(Segment, u32)>,
-    /// Counters.
-    pub counters: FaultCounters,
+    /// Owning device identity (NIC MAC bits / switch port), reported in
+    /// trace events.
+    device_id: u64,
+    /// Registry-backed counters (source of truth).
+    reg: Registry,
+    c_seen: CounterId,
+    c_delivered: CounterId,
+    c_dropped: CounterId,
+    c_duplicated: CounterId,
+    c_reordered: CounterId,
+    c_jittered: CounterId,
+    c_corrupted: CounterId,
 }
 
 impl FaultInjector {
@@ -189,12 +204,28 @@ impl FaultInjector {
             // Golden-ratio mix keeps device 0 off the trivial zero seed.
             device_id ^ 0x9E37_79B9_7F4A_7C15
         };
+        let mut reg = Registry::new();
+        let c_seen = reg.counter("fault.seen", Scope::Global);
+        let c_delivered = reg.counter("fault.delivered", Scope::Global);
+        let c_dropped = reg.counter("fault.dropped", Scope::Global);
+        let c_duplicated = reg.counter("fault.duplicated", Scope::Global);
+        let c_reordered = reg.counter("fault.reordered", Scope::Global);
+        let c_jittered = reg.counter("fault.jittered", Scope::Global);
+        let c_corrupted = reg.counter("fault.corrupted", Scope::Global);
         FaultInjector {
             spec,
             rng: Rng::new(seed),
             in_bad: false,
             held: None,
-            counters: FaultCounters::default(),
+            device_id,
+            reg,
+            c_seen,
+            c_delivered,
+            c_dropped,
+            c_duplicated,
+            c_reordered,
+            c_jittered,
+            c_corrupted,
         }
     }
 
@@ -203,9 +234,56 @@ impl FaultInjector {
         &self.spec
     }
 
+    /// Compat view of the registry-backed counters.
+    pub fn counters(&self) -> FaultCounters {
+        FaultCounters {
+            seen: self.reg.get(self.c_seen),
+            delivered: self.reg.get(self.c_delivered),
+            dropped: self.reg.get(self.c_dropped),
+            duplicated: self.reg.get(self.c_duplicated),
+            reordered: self.reg.get(self.c_reordered),
+            jittered: self.reg.get(self.c_jittered),
+            corrupted: self.reg.get(self.c_corrupted),
+        }
+    }
+
+    /// Packets dropped so far (hot-path read for owner accounting).
+    pub fn dropped(&self) -> u64 {
+        self.reg.get(self.c_dropped)
+    }
+
+    /// Deterministic ordered dump of the injector's metrics.
+    pub fn snapshot(&self) -> tas_sim::Snapshot {
+        self.reg.snapshot()
+    }
+
+    #[cfg(feature = "trace")]
+    fn trace_verdict(&self, verdict: &'static str, when: SimTime, seg: &Segment) {
+        let (flow, seq, dev) = (seg.flow_key(), seg.tcp.seq, self.device_id);
+        tas_telemetry::emit(|| tas_telemetry::TraceRecord {
+            t: when,
+            site: "fault",
+            ev: tas_telemetry::TraceEvent::Fault {
+                verdict,
+                flow,
+                seq,
+                dev,
+            },
+        });
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn trace_verdict(&self, _verdict: &'static str, _when: SimTime, _seg: &Segment) {}
+
     /// True when the injector can perturb traffic at all.
     pub fn is_active(&self) -> bool {
         self.spec.is_active()
+    }
+
+    /// The owning device identity this injector reports in trace events.
+    pub fn device_id(&self) -> u64 {
+        self.device_id
     }
 
     fn should_drop(&mut self) -> bool {
@@ -254,22 +332,25 @@ impl FaultInjector {
     /// packet is released just after the delivery that completes its
     /// window, preserving its eventual arrival.
     pub fn apply(&mut self, arrival: SimTime, mut seg: Segment, out: &mut Vec<(SimTime, Segment)>) {
-        self.counters.seen += 1;
+        self.reg.inc(self.c_seen);
         if self.should_drop() {
-            self.counters.dropped += 1;
+            self.reg.inc(self.c_dropped);
+            self.trace_verdict("drop", arrival, &seg);
             // Dropped packets do not advance the reorder window: held
             // packets reorder relative to traffic actually on the wire.
             return;
         }
         if self.spec.corrupt_prob > 0.0 && self.rng.chance(self.spec.corrupt_prob) {
             self.corrupt(&mut seg);
-            self.counters.corrupted += 1;
+            self.reg.inc(self.c_corrupted);
+            self.trace_verdict("corrupt", arrival, &seg);
         }
         let mut when = arrival;
         if self.spec.jitter > SimTime::ZERO {
             let extra = SimTime::from_ps(self.rng.below(self.spec.jitter.as_ps() + 1));
             if extra > SimTime::ZERO {
-                self.counters.jittered += 1;
+                self.reg.inc(self.c_jittered);
+                self.trace_verdict("jitter", arrival + extra, &seg);
             }
             when += extra;
         }
@@ -281,18 +362,20 @@ impl FaultInjector {
             let window = self.spec.reorder_window.max(1);
             if duplicate {
                 // The copy travels normally; the original waits.
-                self.counters.duplicated += 1;
-                self.counters.delivered += 1;
+                self.reg.inc(self.c_duplicated);
+                self.reg.inc(self.c_delivered);
+                self.trace_verdict("dup", when + SimTime::from_ns(1), &seg);
                 out.push((when + SimTime::from_ns(1), seg.clone()));
                 self.release_after(1, when, out);
             }
             self.held = Some((seg, window));
             return;
         }
-        self.counters.delivered += 1;
+        self.reg.inc(self.c_delivered);
         if duplicate {
-            self.counters.duplicated += 1;
-            self.counters.delivered += 1;
+            self.reg.inc(self.c_duplicated);
+            self.reg.inc(self.c_delivered);
+            self.trace_verdict("dup", when + SimTime::from_ns(1), &seg);
             out.push((when + SimTime::from_ns(1), seg.clone()));
         }
         let passed = if duplicate { 2 } else { 1 };
@@ -307,8 +390,9 @@ impl FaultInjector {
             *remaining = remaining.saturating_sub(passed);
             if *remaining == 0 {
                 let (seg, _) = self.held.take().expect("checked above");
-                self.counters.reordered += 1;
-                self.counters.delivered += 1;
+                self.reg.inc(self.c_reordered);
+                self.reg.inc(self.c_delivered);
+                self.trace_verdict("reorder", last_arrival + SimTime::from_ns(1), &seg);
                 out.push((last_arrival + SimTime::from_ns(1), seg));
             }
         }
@@ -319,8 +403,9 @@ impl FaultInjector {
     /// peer's retransmission instead).
     pub fn flush(&mut self, now: SimTime, out: &mut Vec<(SimTime, Segment)>) {
         if let Some((seg, _)) = self.held.take() {
-            self.counters.reordered += 1;
-            self.counters.delivered += 1;
+            self.reg.inc(self.c_reordered);
+            self.reg.inc(self.c_delivered);
+            self.trace_verdict("reorder", now, &seg);
             out.push((now, seg));
         }
     }
@@ -355,7 +440,7 @@ mod tests {
         inj.flush(SimTime::from_us(n as u64), &mut out);
         (
             out.into_iter().map(|(t, s)| (t, s.tcp.seq)).collect(),
-            inj.counters,
+            inj.counters(),
         )
     }
 
@@ -405,9 +490,9 @@ mod tests {
             let mut out = Vec::new();
             let (mut runs, mut cur) = (Vec::new(), 0u64);
             for i in 0..20_000 {
-                let before = inj.counters.dropped;
+                let before = inj.dropped();
                 inj.apply(SimTime::from_us(i), seg(i as u32), &mut out);
-                if inj.counters.dropped > before {
+                if inj.dropped() > before {
                     cur += 1;
                 } else if cur > 0 {
                     runs.push(cur);
@@ -502,7 +587,7 @@ mod tests {
         for i in 0..100 {
             inj.apply(SimTime::from_us(i), seg(i as u32), &mut out);
         }
-        assert_eq!(inj.counters.corrupted, 100);
+        assert_eq!(inj.counters().corrupted, 100);
         let mut changed = 0;
         for (i, (_, s)) in out.iter().enumerate() {
             assert_eq!(s.payload, vec![i as u8; 32], "payload must be intact");
@@ -565,7 +650,7 @@ mod tests {
         inj.flush(SimTime::from_us(9), &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, SimTime::from_us(9));
-        assert_eq!(inj.counters.reordered, 1);
+        assert_eq!(inj.counters().reordered, 1);
     }
 
     #[test]
@@ -581,7 +666,7 @@ mod tests {
             for i in 0..64 {
                 inj.apply(SimTime::from_us(i), seg(i as u32), &mut out);
             }
-            inj.counters.dropped
+            inj.dropped()
         };
         // Two devices with the same inert seed should not march in
         // lockstep (64 Bernoulli draws colliding exactly is ~2^-64).

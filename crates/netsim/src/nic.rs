@@ -186,21 +186,47 @@ impl HostNic {
         self.tx_bytes += seg.wire_len() as u64;
         let arrival = depart + self.cfg.prop_delay;
         if self.fault.is_active() {
-            let before = self.fault.counters.dropped;
+            let before = self.fault.dropped();
             self.fault.apply(arrival, seg, &mut self.fault_out);
-            self.tx_dropped += self.fault.counters.dropped - before;
+            self.tx_dropped += self.fault.dropped() - before;
             for (t, s) in self.fault_out.drain(..) {
+                Self::trace_tx(t, &s);
                 ctx.send_at(self.uplink, t, NetMsg::Packet(s));
             }
         } else {
+            Self::trace_tx(arrival, &seg);
             ctx.send_at(self.uplink, arrival, NetMsg::Packet(seg));
         }
         depart
     }
 
-    /// Transmit-direction fault counters.
-    pub fn tx_fault_counters(&self) -> &FaultCounters {
-        &self.fault.counters
+    /// Records a wire transmission in the flight recorder. Site `"nic"`
+    /// is the canonical on-the-wire capture point: post-fault, so the
+    /// trace (and a pcap built from it) shows what actually went out.
+    #[cfg(feature = "trace")]
+    fn trace_tx(when: SimTime, seg: &Segment) {
+        tas_telemetry::emit(|| tas_telemetry::TraceRecord {
+            t: when,
+            site: "nic",
+            ev: tas_telemetry::TraceEvent::SegTx {
+                seg: Box::new(seg.clone()),
+            },
+        });
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn trace_tx(_when: SimTime, _seg: &Segment) {}
+
+    /// Transmit-direction fault counters (compat view over the injector's
+    /// registry).
+    pub fn tx_fault_counters(&self) -> FaultCounters {
+        self.fault.counters()
+    }
+
+    /// Deterministic ordered dump of the transmit injector's metrics.
+    pub fn tx_fault_snapshot(&self) -> tas_sim::Snapshot {
+        self.fault.snapshot()
     }
 
     /// Releases a packet the injector still holds for reordering (e2e
@@ -208,6 +234,7 @@ impl HostNic {
     pub fn flush_faults(&mut self, now: SimTime, ctx: &mut Ctx<'_, NetMsg>) {
         self.fault.flush(now, &mut self.fault_out);
         for (t, s) in self.fault_out.drain(..) {
+            Self::trace_tx(t, &s);
             ctx.send_at(self.uplink, t, NetMsg::Packet(s));
         }
     }

@@ -153,9 +153,15 @@ impl Switch {
         self.ports.len() - 1
     }
 
-    /// Fault counters for a port's outgoing link.
-    pub fn port_fault_counters(&self, port: usize) -> &FaultCounters {
-        &self.ports[port].fault.counters
+    /// Fault counters for a port's outgoing link (compat view over the
+    /// injector's registry).
+    pub fn port_fault_counters(&self, port: usize) -> FaultCounters {
+        self.ports[port].fault.counters()
+    }
+
+    /// Deterministic ordered dump of a port injector's metrics.
+    pub fn port_fault_snapshot(&self, port: usize) -> tas_sim::Snapshot {
+        self.ports[port].fault.snapshot()
     }
 
     /// Number of ports.
@@ -247,6 +253,15 @@ impl Switch {
             if depth >= k && seg.ip.ecn.is_capable() {
                 seg.ip.ecn = Ecn::Ce;
                 port.marked += 1;
+                #[cfg(feature = "trace")]
+                {
+                    let (flow, seq) = (seg.flow_key(), seg.tcp.seq);
+                    tas_telemetry::emit(|| tas_telemetry::TraceRecord {
+                        t: now,
+                        site: "switch",
+                        ev: tas_telemetry::TraceEvent::EcnMark { flow, seq },
+                    });
+                }
             }
         }
         let start = now.max(port.busy_until);
@@ -259,10 +274,10 @@ impl Switch {
         if port.fault.is_active() {
             // Wire faults strike after serialization, like the NIC's: a
             // dropped packet still occupied the queue and the wire.
-            let before = port.fault.counters.dropped;
+            let before = port.fault.dropped();
             let mut out = Vec::new();
             port.fault.apply(arrival, seg, &mut out);
-            port.loss_drops += port.fault.counters.dropped - before;
+            port.loss_drops += port.fault.dropped() - before;
             for (t, s) in out {
                 ctx.send_at(port.peer, t, NetMsg::Packet(s));
             }

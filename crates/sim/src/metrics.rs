@@ -7,6 +7,8 @@
 //! time series.
 
 use crate::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// Log-linear histogram over `u64` values with ~1.5% relative error.
 ///
@@ -302,6 +304,383 @@ impl TimeSeries {
     }
 }
 
+// ----------------------------------------------------------------------
+// Metric registry.
+
+/// Scope of a registered metric: machine-wide, per-core, or per-flow.
+///
+/// Scopes order after their name in the registry's deterministic dump, so
+/// `fp.pkts_rx`, `fp.pkts_rx{core=0}`, `fp.pkts_rx{core=1}` always render
+/// adjacent and in the same order regardless of registration order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scope {
+    /// One value for the whole host/device.
+    Global,
+    /// One value per core index.
+    Core(u32),
+    /// One value per flow identifier (fast-path flow id or connection
+    /// slot; the owner defines the id space).
+    Flow(u64),
+}
+
+impl std::fmt::Display for Scope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scope::Global => Ok(()),
+            Scope::Core(c) => write!(f, "{{core={c}}}"),
+            Scope::Flow(id) => write!(f, "{{flow={id}}}"),
+        }
+    }
+}
+
+/// Identity of a registered metric: static name plus scope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Static metric name, dotted by convention (`fp.pkts_rx`).
+    pub name: &'static str,
+    /// Metric scope.
+    pub scope: Scope,
+}
+
+impl std::fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}", self.name, self.scope)
+    }
+}
+
+/// A metric value as captured by [`Registry::snapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Instantaneous level (may go down).
+    Gauge(i64),
+    /// Histogram summary (count/min/p50/p99/max) — the digest the paper's
+    /// tables report; full distributions stay with the owning harness.
+    Histogram {
+        /// Recorded samples.
+        count: u64,
+        /// Smallest sample.
+        min: u64,
+        /// Median.
+        p50: u64,
+        /// 99th percentile.
+        p99: u64,
+        /// Largest sample.
+        max: u64,
+    },
+}
+
+impl MetricValue {
+    /// The counter value, or 0 for non-counters (convenient in asserts).
+    pub fn as_counter(&self) -> u64 {
+        match *self {
+            MetricValue::Counter(v) => v,
+            _ => 0,
+        }
+    }
+}
+
+/// Handle to a registered counter (O(1) increments after registration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistId(usize);
+
+#[derive(Clone, Copy, Debug)]
+enum MetricSlot {
+    Counter(usize),
+    Gauge(usize),
+    Hist(usize),
+}
+
+/// A registry of named counters, gauges, and histograms with per-core and
+/// per-flow scoping and a deterministic, ordered [`Registry::snapshot`].
+///
+/// Registration is get-or-create and returns a stable handle; updates
+/// through a handle are an array index, so hot paths pay no map lookup.
+/// The snapshot iterates a `BTreeMap`, never a hash map, so two same-seed
+/// runs render byte-identical dumps (the determinism the flight-recorder
+/// tests pin).
+///
+/// # Examples
+///
+/// ```
+/// use tas_sim::metrics::{Registry, Scope};
+/// let mut r = Registry::new();
+/// let c = r.counter("fp.pkts_rx", Scope::Core(0));
+/// r.inc(c);
+/// r.add(c, 2);
+/// assert_eq!(r.counter_value("fp.pkts_rx", Scope::Core(0)), 3);
+/// let dump = r.snapshot().render_text();
+/// assert_eq!(dump, "fp.pkts_rx{core=0} 3\n");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    index: BTreeMap<MetricKey, MetricSlot>,
+    counters: Vec<u64>,
+    gauges: Vec<i64>,
+    hists: Vec<Histogram>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or finds) a counter, returning its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different kind.
+    pub fn counter(&mut self, name: &'static str, scope: Scope) -> CounterId {
+        let key = MetricKey { name, scope };
+        match self.index.get(&key) {
+            Some(MetricSlot::Counter(i)) => CounterId(*i),
+            Some(_) => panic!("metric {key} already registered as a non-counter"),
+            None => {
+                let i = self.counters.len();
+                self.counters.push(0);
+                self.index.insert(key, MetricSlot::Counter(i));
+                CounterId(i)
+            }
+        }
+    }
+
+    /// Registers (or finds) a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different kind.
+    pub fn gauge(&mut self, name: &'static str, scope: Scope) -> GaugeId {
+        let key = MetricKey { name, scope };
+        match self.index.get(&key) {
+            Some(MetricSlot::Gauge(i)) => GaugeId(*i),
+            Some(_) => panic!("metric {key} already registered as a non-gauge"),
+            None => {
+                let i = self.gauges.len();
+                self.gauges.push(0);
+                self.index.insert(key, MetricSlot::Gauge(i));
+                GaugeId(i)
+            }
+        }
+    }
+
+    /// Registers (or finds) a histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different kind.
+    pub fn histogram(&mut self, name: &'static str, scope: Scope) -> HistId {
+        let key = MetricKey { name, scope };
+        match self.index.get(&key) {
+            Some(MetricSlot::Hist(i)) => HistId(*i),
+            Some(_) => panic!("metric {key} already registered as a non-histogram"),
+            None => {
+                let i = self.hists.len();
+                self.hists.push(Histogram::new());
+                self.index.insert(key, MetricSlot::Hist(i));
+                HistId(i)
+            }
+        }
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0] += 1;
+    }
+
+    /// Increments a counter by `n`.
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0] += n;
+    }
+
+    /// Current value of a counter handle.
+    pub fn get(&self, id: CounterId) -> u64 {
+        self.counters[id.0]
+    }
+
+    /// Sets a gauge.
+    pub fn set(&mut self, id: GaugeId, v: i64) {
+        self.gauges[id.0] = v;
+    }
+
+    /// Adjusts a gauge by a signed delta.
+    pub fn adjust(&mut self, id: GaugeId, d: i64) {
+        self.gauges[id.0] += d;
+    }
+
+    /// Current value of a gauge handle.
+    pub fn gauge_value_of(&self, id: GaugeId) -> i64 {
+        self.gauges[id.0]
+    }
+
+    /// Records a histogram sample.
+    pub fn record(&mut self, id: HistId, v: u64) {
+        self.hists[id.0].record(v);
+    }
+
+    /// Value of a counter by key (0 when absent — asserts read naturally).
+    pub fn counter_value(&self, name: &'static str, scope: Scope) -> u64 {
+        match self.index.get(&MetricKey { name, scope }) {
+            Some(MetricSlot::Counter(i)) => self.counters[*i],
+            _ => 0,
+        }
+    }
+
+    /// Value of a gauge by key (0 when absent).
+    pub fn gauge_value(&self, name: &'static str, scope: Scope) -> i64 {
+        match self.index.get(&MetricKey { name, scope }) {
+            Some(MetricSlot::Gauge(i)) => self.gauges[*i],
+            _ => 0,
+        }
+    }
+
+    /// Borrow of a histogram by key.
+    pub fn histogram_ref(&self, name: &'static str, scope: Scope) -> Option<&Histogram> {
+        match self.index.get(&MetricKey { name, scope }) {
+            Some(MetricSlot::Hist(i)) => Some(&self.hists[*i]),
+            _ => None,
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Captures a deterministic, ordered dump of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for (key, slot) in &self.index {
+            let v = match *slot {
+                MetricSlot::Counter(i) => MetricValue::Counter(self.counters[i]),
+                MetricSlot::Gauge(i) => MetricValue::Gauge(self.gauges[i]),
+                MetricSlot::Hist(i) => {
+                    let h = &self.hists[i];
+                    MetricValue::Histogram {
+                        count: h.count(),
+                        min: h.min(),
+                        p50: h.quantile(0.5),
+                        p99: h.quantile(0.99),
+                        max: h.max(),
+                    }
+                }
+            };
+            snap.entries.insert(*key, v);
+        }
+        snap
+    }
+}
+
+/// An ordered, immutable dump of a [`Registry`] (plus any derived entries
+/// the owner inserts), comparable across runs byte-for-byte.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    entries: BTreeMap<MetricKey, MetricValue>,
+}
+
+impl Snapshot {
+    /// Inserts (or overwrites) an entry — used by hosts to fold legacy
+    /// stats structs and derived values into one ordered dump.
+    pub fn insert(&mut self, name: &'static str, scope: Scope, v: MetricValue) {
+        self.entries.insert(MetricKey { name, scope }, v);
+    }
+
+    /// Shorthand for inserting a counter entry.
+    pub fn insert_counter(&mut self, name: &'static str, scope: Scope, v: u64) {
+        self.insert(name, scope, MetricValue::Counter(v));
+    }
+
+    /// Shorthand for inserting a gauge entry.
+    pub fn insert_gauge(&mut self, name: &'static str, scope: Scope, v: i64) {
+        self.insert(name, scope, MetricValue::Gauge(v));
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, name: &'static str, scope: Scope) -> Option<MetricValue> {
+        self.entries.get(&MetricKey { name, scope }).copied()
+    }
+
+    /// Counter value by key (0 when absent).
+    pub fn counter(&self, name: &'static str, scope: Scope) -> u64 {
+        match self.get(name, scope) {
+            Some(MetricValue::Counter(v)) => v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value by key (0 when absent).
+    pub fn gauge(&self, name: &'static str, scope: Scope) -> i64 {
+        match self.get(name, scope) {
+            Some(MetricValue::Gauge(v)) => v,
+            _ => 0,
+        }
+    }
+
+    /// Iterates entries in deterministic (name, scope) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &MetricValue)> {
+        self.entries.iter()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when every counter in `earlier` exists here with a value that
+    /// has not decreased — the monotonicity the property tests pin.
+    pub fn counters_monotone_since(&self, earlier: &Snapshot) -> bool {
+        earlier.iter().all(|(k, v)| match v {
+            MetricValue::Counter(old) => {
+                matches!(self.entries.get(k), Some(MetricValue::Counter(new)) if new >= old)
+            }
+            _ => true,
+        })
+    }
+
+    /// Renders the dump as text, one `key value` line per metric, in
+    /// deterministic order.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (key, v) in &self.entries {
+            match v {
+                MetricValue::Counter(c) => writeln!(out, "{key} {c}").expect("string write"),
+                MetricValue::Gauge(g) => writeln!(out, "{key} {g}").expect("string write"),
+                MetricValue::Histogram {
+                    count,
+                    min,
+                    p50,
+                    p99,
+                    max,
+                } => writeln!(
+                    out,
+                    "{key} count={count} min={min} p50={p50} p99={p99} max={max}"
+                )
+                .expect("string write"),
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,5 +783,97 @@ mod tests {
         }
         let m = ts.mean_between(SimTime::from_us(2), SimTime::from_us(5));
         assert!((m - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_get_or_create_returns_same_handle() {
+        let mut r = Registry::new();
+        let a = r.counter("x", Scope::Global);
+        let b = r.counter("x", Scope::Global);
+        assert_eq!(a, b);
+        r.inc(a);
+        r.inc(b);
+        assert_eq!(r.get(a), 2);
+        // Distinct scopes are distinct metrics.
+        let c = r.counter("x", Scope::Core(1));
+        assert_ne!(a, c);
+        assert_eq!(r.counter_value("x", Scope::Core(1)), 0);
+    }
+
+    #[test]
+    fn registry_snapshot_order_is_registration_independent() {
+        let mut a = Registry::new();
+        a.counter("b.second", Scope::Global);
+        let ca = a.counter("a.first", Scope::Core(1));
+        a.counter("a.first", Scope::Core(0));
+        a.inc(ca);
+        let mut b = Registry::new();
+        let cb = b.counter("a.first", Scope::Core(1));
+        b.counter("a.first", Scope::Core(0));
+        b.counter("b.second", Scope::Global);
+        b.inc(cb);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(
+            a.snapshot().render_text(),
+            "a.first{core=0} 0\na.first{core=1} 1\nb.second 0\n"
+        );
+    }
+
+    #[test]
+    fn registry_gauges_and_histograms() {
+        let mut r = Registry::new();
+        let g = r.gauge("cores.active", Scope::Global);
+        r.set(g, 4);
+        r.adjust(g, -1);
+        assert_eq!(r.gauge_value("cores.active", Scope::Global), 3);
+        let h = r.histogram("rtt_ns", Scope::Flow(7));
+        for v in 1..=100 {
+            r.record(h, v);
+        }
+        let snap = r.snapshot();
+        match snap.get("rtt_ns", Scope::Flow(7)) {
+            Some(MetricValue::Histogram { count, min, max, .. }) => {
+                assert_eq!((count, min, max), (100, 1, 100));
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        assert_eq!(snap.gauge("cores.active", Scope::Global), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_kind_conflict_panics() {
+        let mut r = Registry::new();
+        r.counter("x", Scope::Global);
+        r.gauge("x", Scope::Global);
+    }
+
+    #[test]
+    fn snapshot_monotonicity_check() {
+        let mut r = Registry::new();
+        let c = r.counter("n", Scope::Global);
+        r.inc(c);
+        let early = r.snapshot();
+        r.inc(c);
+        let late = r.snapshot();
+        assert!(late.counters_monotone_since(&early));
+        assert!(!early.counters_monotone_since(&late));
+        // Gauges may move either way without violating monotonicity.
+        let mut r2 = Registry::new();
+        let g = r2.gauge("lvl", Scope::Global);
+        r2.set(g, 5);
+        let e2 = r2.snapshot();
+        r2.set(g, 1);
+        assert!(r2.snapshot().counters_monotone_since(&e2));
+    }
+
+    #[test]
+    fn snapshot_insert_and_render() {
+        let mut s = Snapshot::default();
+        s.insert_counter("z", Scope::Global, 9);
+        s.insert_gauge("a", Scope::Flow(2), -3);
+        assert_eq!(s.render_text(), "a{flow=2} -3\nz 9\n");
+        assert_eq!(s.counter("z", Scope::Global), 9);
+        assert_eq!(s.len(), 2);
     }
 }

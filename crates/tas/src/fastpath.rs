@@ -23,6 +23,12 @@ use tas_sim::SimTime;
 /// TAS's receive window scale shift (negotiated by the slow path).
 pub const TAS_WSCALE: u8 = 7;
 
+/// Emits a flight-recorder record at site `"fp"`.
+#[cfg(feature = "trace")]
+fn trace_fp(t: SimTime, ev: tas_telemetry::TraceEvent) {
+    tas_telemetry::emit(|| tas_telemetry::TraceRecord { t, site: "fp", ev });
+}
+
 /// A descriptor posted to an application's RX context queue.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RxNotice {
@@ -219,6 +225,15 @@ impl FastPath {
                     flow.tx_sent = 0;
                     flow.cnt_frexmits = flow.cnt_frexmits.saturating_add(1);
                     self.stats.fast_rexmits += 1;
+                    #[cfg(feature = "trace")]
+                    trace_fp(
+                        now,
+                        tas_telemetry::TraceEvent::Retransmit {
+                            flow: flow.key,
+                            kind: "fast",
+                            seq: flow.seq_of(flow.tx.start_offset()),
+                        },
+                    );
                     want_tx = true;
                 }
             } else if !wnd_unchanged {
@@ -309,15 +324,42 @@ impl FastPath {
                     flow.rx.write_at(off, data).expect("fits by horizon check");
                     flow.ooo_start = off;
                     flow.ooo_len = data.len() as u32;
+                    #[cfg(feature = "trace")]
+                    trace_fp(
+                        now,
+                        tas_telemetry::TraceEvent::OooPlace {
+                            flow: flow.key,
+                            start: flow.ooo_start,
+                            len: flow.ooo_len as u64,
+                        },
+                    );
                 } else if off >= flow.ooo_start && off + data.len() as u64 <= int_end {
                     // Duplicate of data already staged.
                 } else if off == int_end {
                     flow.rx.write_at(off, data).expect("fits by horizon check");
                     flow.ooo_len += data.len() as u32;
+                    #[cfg(feature = "trace")]
+                    trace_fp(
+                        now,
+                        tas_telemetry::TraceEvent::OooPlace {
+                            flow: flow.key,
+                            start: flow.ooo_start,
+                            len: flow.ooo_len as u64,
+                        },
+                    );
                 } else if off + data.len() as u64 == flow.ooo_start {
                     flow.rx.write_at(off, data).expect("fits by horizon check");
                     flow.ooo_start = off;
                     flow.ooo_len += data.len() as u32;
+                    #[cfg(feature = "trace")]
+                    trace_fp(
+                        now,
+                        tas_telemetry::TraceEvent::OooPlace {
+                            flow: flow.key,
+                            start: flow.ooo_start,
+                            len: flow.ooo_len as u64,
+                        },
+                    );
                 } else {
                     // Not mergeable with the single interval: drop; the
                     // ACK below triggers fast retransmission at the peer.
@@ -586,6 +628,15 @@ impl FastPath {
     /// and retransmit from the left window edge.
     pub fn trigger_retransmit(&mut self, now: SimTime, fid: u32, acct: &mut CycleAccount) -> u64 {
         if let Some(flow) = self.flows.get_mut(fid) {
+            #[cfg(feature = "trace")]
+            trace_fp(
+                now,
+                tas_telemetry::TraceEvent::Retransmit {
+                    flow: flow.key,
+                    kind: "timeout",
+                    seq: flow.seq_of(flow.tx.start_offset()),
+                },
+            );
             flow.tx_sent = 0;
             flow.dupack_cnt = 0;
             self.try_tx(now, fid, acct)

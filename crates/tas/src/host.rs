@@ -27,7 +27,7 @@ use tas_netsim::rss::hash_tuple;
 use tas_netsim::{HostNic, NetMsg, NicConfig};
 use tas_proto::{MacAddr, Segment, TcpFlags};
 use tas_shm::ByteRing;
-use tas_sim::{impl_as_any, Agent, Ctx, Event, SimTime, TimeSeries};
+use tas_sim::{impl_as_any, Agent, CounterId, Ctx, Event, Registry, Scope, SimTime, TimeSeries};
 
 /// Timer kinds used by [`TasHost`].
 pub mod timers {
@@ -67,7 +67,8 @@ struct SockState {
     spill: Option<ByteRing>,
 }
 
-/// Host-level counters.
+/// Host-level counters (compat view over the metric registry; built by
+/// [`TasHost::host_stats`]).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct HostStats {
     /// Packets dropped because the owning fast-path core's backlog
@@ -77,6 +78,12 @@ pub struct HostStats {
     pub fp_wakes: u64,
     /// Core-count changes made by the proportionality controller.
     pub scale_events: u64,
+}
+
+/// Emits a flight-recorder record.
+#[cfg(feature = "trace")]
+fn trace_host(site: &'static str, t: SimTime, ev: tas_telemetry::TraceEvent) {
+    tas_telemetry::emit(|| tas_telemetry::TraceRecord { t, site, ev });
 }
 
 enum FpCmd {
@@ -123,7 +130,13 @@ struct Inner {
     next_context: u16,
     acct: CycleAccount,
     started: bool,
-    stats: HostStats,
+    /// Host-level metric registry (replaces the old ad-hoc `HostStats`
+    /// struct storage; [`TasHost::host_stats`] rebuilds the compat view).
+    reg: Registry,
+    c_drop_backlog: CounterId,
+    c_fp_wakes: CounterId,
+    c_scale_events: CounterId,
+    c_app_bytes: CounterId,
     core_series: TimeSeries,
     frame: Frame,
     /// Deferred app events per context (drained by APP_RUN timers). A
@@ -182,6 +195,11 @@ impl TasHost {
         let sp_core = Core::new(cfg.freq_hz);
         let active_fp = cfg.initial_fp_cores.clamp(1, cfg.max_fp_cores);
         let cfg_app_cores = cfg.app_cores;
+        let mut reg = Registry::new();
+        let c_drop_backlog = reg.counter("host.drop_backlog", Scope::Global);
+        let c_fp_wakes = reg.counter("host.fp_wakes", Scope::Global);
+        let c_scale_events = reg.counter("host.scale_events", Scope::Global);
+        let c_app_bytes = reg.counter("app.bytes_delivered", Scope::Global);
         TasHost {
             inner: Inner {
                 cfg,
@@ -198,7 +216,11 @@ impl TasHost {
                 next_context: 0,
                 acct: CycleAccount::new(),
                 started: false,
-                stats: HostStats::default(),
+                reg,
+                c_drop_backlog,
+                c_fp_wakes,
+                c_scale_events,
+                c_app_bytes,
                 core_series: TimeSeries::new(),
                 frame: Frame::default(),
                 app_q: (0..cfg_app_cores)
@@ -239,9 +261,55 @@ impl TasHost {
         self.inner.sp.stats
     }
 
-    /// Host counters.
+    /// Host counters (compat view rebuilt from the metric registry).
     pub fn host_stats(&self) -> HostStats {
-        self.inner.stats
+        HostStats {
+            drop_backlog: self.inner.reg.get(self.inner.c_drop_backlog),
+            fp_wakes: self.inner.reg.get(self.inner.c_fp_wakes),
+            scale_events: self.inner.reg.get(self.inner.c_scale_events),
+        }
+    }
+
+    /// The host's metric registry (registry-backed host counters plus
+    /// whatever per-core/per-flow series the run accumulated).
+    pub fn registry(&self) -> &Registry {
+        &self.inner.reg
+    }
+
+    /// A deterministic, ordered snapshot of every counter the host can
+    /// see: the registry, the fast-/slow-path stat blocks, the NIC's
+    /// fault-injector counters, and live-state gauges. Two same-seed runs
+    /// produce byte-identical [`tas_sim::Snapshot::render_text`] output.
+    pub fn telemetry_snapshot(&self) -> tas_sim::Snapshot {
+        let mut snap = self.inner.reg.snapshot();
+        let fp = &self.inner.fp.stats;
+        snap.insert_counter("fp.pkts_rx", Scope::Global, fp.pkts_rx);
+        snap.insert_counter("fp.segs_tx", Scope::Global, fp.segs_tx);
+        snap.insert_counter("fp.acks_tx", Scope::Global, fp.acks_tx);
+        snap.insert_counter("fp.exceptions", Scope::Global, fp.exceptions);
+        snap.insert_counter("fp.drop_buf_full", Scope::Global, fp.drop_buf_full);
+        snap.insert_counter("fp.drop_ooo", Scope::Global, fp.drop_ooo);
+        snap.insert_counter("fp.bytes_rx", Scope::Global, fp.bytes_rx);
+        snap.insert_counter("fp.fast_rexmits", Scope::Global, fp.fast_rexmits);
+        snap.insert_counter("fp.timers_armed", Scope::Global, fp.timers_armed);
+        snap.insert_counter("fp.tx_polls", Scope::Global, fp.tx_polls);
+        let sp = &self.inner.sp.stats;
+        snap.insert_counter("sp.established", Scope::Global, sp.established);
+        snap.insert_counter("sp.closed", Scope::Global, sp.closed);
+        snap.insert_counter("sp.handshake_rexmits", Scope::Global, sp.handshake_rexmits);
+        snap.insert_counter("sp.timeout_rexmits", Scope::Global, sp.timeout_rexmits);
+        snap.insert_counter("sp.exceptions", Scope::Global, sp.exceptions);
+        snap.insert_counter("sp.dropped", Scope::Global, sp.dropped);
+        for (k, v) in self.inner.nic.tx_fault_snapshot().iter() {
+            snap.insert(k.name, k.scope, *v);
+        }
+        snap.insert_gauge("flows.live", Scope::Global, self.inner.fp.flows.len() as i64);
+        snap.insert_gauge(
+            "cores.active_fp",
+            Scope::Global,
+            self.inner.active_fp as i64,
+        );
+        snap
     }
 
     /// Currently active fast-path cores.
@@ -384,7 +452,11 @@ impl TasHost {
             if core.is_idle(t) && t.saturating_sub(core.last_work_end()) > inner.cfg.block_after {
                 t_eff = t + FP_WAKE_LATENCY;
                 wake_extra = inner.cfg.costs.wake_cycles;
-                inner.stats.fp_wakes += 1;
+                inner.reg.inc(inner.c_fp_wakes);
+                let per_core = inner
+                    .reg
+                    .counter("host.fp_wakes", Scope::Core(core_idx as u32));
+                inner.reg.inc(per_core);
             }
         }
         let start = t_eff.max(inner.fp_cores.core_ref(core_idx).busy_until());
@@ -422,6 +494,14 @@ impl TasHost {
         let exceptions = std::mem::take(&mut self.inner.fp.out.exceptions);
         let tx_timers = std::mem::take(&mut self.inner.fp.out.tx_timers);
         for pkt in packets {
+            #[cfg(feature = "trace")]
+            tas_telemetry::emit(|| tas_telemetry::TraceRecord {
+                t: end,
+                site: "fp",
+                ev: tas_telemetry::TraceEvent::SegTx {
+                    seg: Box::new(pkt.clone()),
+                },
+            });
             self.inner.nic.tx(end, pkt, ctx);
         }
         for (fid, at) in tx_timers {
@@ -512,6 +592,14 @@ impl TasHost {
         let packets = std::mem::take(&mut self.inner.sp.out.packets);
         let events = std::mem::take(&mut self.inner.sp.out.events);
         for pkt in packets {
+            #[cfg(feature = "trace")]
+            tas_telemetry::emit(|| tas_telemetry::TraceRecord {
+                t: end,
+                site: "sp",
+                ev: tas_telemetry::TraceEvent::SegTx {
+                    seg: Box::new(pkt.clone()),
+                },
+            });
             self.inner.nic.tx(end, pkt, ctx);
         }
         for ev in events {
@@ -738,7 +826,16 @@ impl TasHost {
             changed = true;
         }
         if changed {
-            inner.stats.scale_events += 1;
+            inner.reg.inc(inner.c_scale_events);
+            #[cfg(feature = "trace")]
+            trace_host(
+                "host",
+                now,
+                tas_telemetry::TraceEvent::CoreScale {
+                    active: inner.active_fp as u32,
+                    delta: inner.active_fp as i32 - active as i32,
+                },
+            );
             // Eager RSS redirection-table rewrite.
             inner.nic.rss_mut().rebalance(inner.active_fp);
         }
@@ -857,6 +954,7 @@ impl StackApi for Api<'_> {
         if let Some(spill) = &mut s.spill {
             let out = spill.pop(max);
             if !out.is_empty() {
+                self.inner.reg.add(self.inner.c_app_bytes, out.len() as u64);
                 return out;
             }
         }
@@ -868,6 +966,7 @@ impl StackApi for Api<'_> {
         };
         let out = flow.rx.pop(max);
         if !out.is_empty() {
+            self.inner.reg.add(self.inner.c_app_bytes, out.len() as u64);
             self.inner.frame.fp_cmds.push(FpCmd::RxBump(fid));
         }
         out
@@ -918,6 +1017,14 @@ impl Agent<NetMsg> for TasHost {
                 let now = ctx.now();
                 let q = self.inner.nic.rx_enqueue(seg);
                 let seg = self.inner.nic.rx_dequeue(q).expect("just enqueued");
+                #[cfg(feature = "trace")]
+                tas_telemetry::emit(|| tas_telemetry::TraceRecord {
+                    t: now,
+                    site: "host",
+                    ev: tas_telemetry::TraceEvent::SegRx {
+                        seg: Box::new(seg.clone()),
+                    },
+                });
                 let core_idx = q.min(self.inner.active_fp - 1);
                 // Finite RX ring: drop when the core is too far behind.
                 let backlog = self
@@ -927,7 +1034,13 @@ impl Agent<NetMsg> for TasHost {
                     .busy_until()
                     .saturating_sub(now);
                 if backlog > self.inner.cfg.max_core_backlog {
-                    self.inner.stats.drop_backlog += 1;
+                    let id = self.inner.c_drop_backlog;
+                    self.inner.reg.inc(id);
+                    let per_core = self
+                        .inner
+                        .reg
+                        .counter("host.drop_backlog", Scope::Core(core_idx as u32));
+                    self.inner.reg.inc(per_core);
                     return;
                 }
                 let stall = Self::cache_stall(&self.inner);

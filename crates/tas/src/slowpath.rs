@@ -174,6 +174,12 @@ pub struct SlowPath {
     pub stats: SpStats,
 }
 
+/// Emits a flight-recorder record at site `"sp"`.
+#[cfg(feature = "trace")]
+fn trace_sp(t: SimTime, ev: tas_telemetry::TraceEvent) {
+    tas_telemetry::emit(|| tas_telemetry::TraceRecord { t, site: "sp", ev });
+}
+
 /// Handshake/teardown retry interval (datacenter-scale: a dropped SYN
 /// costs a couple of RTT-magnitudes, not a WAN timeout).
 const RETRY_AFTER: SimTime = SimTime::from_ms(2);
@@ -361,6 +367,18 @@ impl SlowPath {
             closing: false,
         };
         self.stats.established += 1;
+        #[cfg(feature = "trace")]
+        trace_sp(
+            now,
+            tas_telemetry::TraceEvent::State {
+                flow: hs.key,
+                from: match hs.state {
+                    HsState::SynSent => "syn_sent",
+                    _ => "syn_rcvd",
+                },
+                to: "established",
+            },
+        );
         fp.install_flow(flow)
     }
 
@@ -606,6 +624,15 @@ impl SlowPath {
                     if td.peer_fin {
                         let td = self.teardowns.remove(&key).expect("present");
                         self.stats.closed += 1;
+                        #[cfg(feature = "trace")]
+                        trace_sp(
+                            now,
+                            tas_telemetry::TraceEvent::State {
+                                flow: key,
+                                from: "closing",
+                                to: "closed",
+                            },
+                        );
                         self.out
                             .events
                             .push(SpAppEvent::CloseDone { opaque: td.opaque });
@@ -679,6 +706,15 @@ impl SlowPath {
             {
                 let td = self.teardowns.remove(&key).expect("present");
                 self.stats.closed += 1;
+                #[cfg(feature = "trace")]
+                trace_sp(
+                    now,
+                    tas_telemetry::TraceEvent::State {
+                        flow: key,
+                        from: "closing",
+                        to: "closed",
+                    },
+                );
                 self.out
                     .events
                     .push(SpAppEvent::CloseDone { opaque: td.opaque });
@@ -819,6 +855,16 @@ impl SlowPath {
         }
         for (fid, bps) in rate_updates {
             let burst = self.burst_for(bps);
+            #[cfg(feature = "trace")]
+            if let Some(flow) = fp.flows.get(fid) {
+                trace_sp(
+                    now,
+                    tas_telemetry::TraceEvent::CcRate {
+                        flow: flow.key,
+                        rate: bps,
+                    },
+                );
+            }
             fp.set_rate(fid, bps, burst, now);
             // A rate increase may unblock a paced flow immediately (the
             // armed pacing timer, if any, remains valid).
@@ -857,11 +903,29 @@ impl SlowPath {
         for k in resend_syn {
             self.stats.handshake_rexmits += 1;
             let hs = self.snapshot_hs(&k);
+            #[cfg(feature = "trace")]
+            trace_sp(
+                now,
+                tas_telemetry::TraceEvent::Retransmit {
+                    flow: k,
+                    kind: "handshake",
+                    seq: hs.iss,
+                },
+            );
             self.send_syn(now, &hs);
         }
         for k in resend_synack {
             self.stats.handshake_rexmits += 1;
             let hs = self.snapshot_hs(&k);
+            #[cfg(feature = "trace")]
+            trace_sp(
+                now,
+                tas_telemetry::TraceEvent::Retransmit {
+                    flow: k,
+                    kind: "handshake",
+                    seq: hs.iss,
+                },
+            );
             self.send_synack(now, &hs);
         }
         for k in give_up_hs {
@@ -893,6 +957,15 @@ impl SlowPath {
         for k in drop_td {
             let td = self.teardowns.remove(&k).expect("present");
             self.stats.closed += 1;
+            #[cfg(feature = "trace")]
+            trace_sp(
+                now,
+                tas_telemetry::TraceEvent::State {
+                    flow: k,
+                    from: "closing",
+                    to: "closed",
+                },
+            );
             self.out
                 .events
                 .push(SpAppEvent::CloseDone { opaque: td.opaque });

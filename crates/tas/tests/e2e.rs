@@ -377,10 +377,10 @@ fn fault_schedule_with_auditor_all_rpcs_complete() {
     assert_eq!(client.done, 300, "all RPCs must survive the fault schedule");
     assert!(client.finished, "close handshake must complete under faults");
     // The injectors actually fired, in both directions.
-    let nic_ctr = *sim.agent::<TasHost>(topo.hosts[1]).nic().tx_fault_counters();
+    let nic_ctr = sim.agent::<TasHost>(topo.hosts[1]).nic().tx_fault_counters();
     assert!(nic_ctr.seen > 300, "client NIC injector saw traffic");
     assert!(nic_ctr.any_faults(), "client NIC injector injected faults");
-    let port_ctr = *sim.agent::<Switch>(topo.switch).port_fault_counters(1);
+    let port_ctr = sim.agent::<Switch>(topo.switch).port_fault_counters(1);
     assert!(port_ctr.seen > 300, "switch port injector saw traffic");
     assert!(port_ctr.any_faults(), "switch port injector injected faults");
     // The auditor ran on the operations of this workload.

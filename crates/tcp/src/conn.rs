@@ -5,7 +5,7 @@ use crate::reasm::Reassembler;
 use crate::rtt::RttEstimator;
 use std::net::Ipv4Addr;
 use tas_proto::tcp::seq;
-use tas_proto::{Ecn, MacAddr, Segment, TcpFlags, TcpHeader};
+use tas_proto::{Ecn, FlowKey, MacAddr, Segment, TcpFlags, TcpHeader};
 use tas_shm::ByteRing;
 use tas_sim::SimTime;
 
@@ -33,6 +33,24 @@ pub enum TcpState {
     TimeWait,
     /// Fully closed.
     Closed,
+}
+
+impl TcpState {
+    /// Stable lowercase name, used in traces and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            TcpState::SynSent => "syn_sent",
+            TcpState::SynRcvd => "syn_rcvd",
+            TcpState::Established => "established",
+            TcpState::FinWait1 => "fin_wait1",
+            TcpState::FinWait2 => "fin_wait2",
+            TcpState::CloseWait => "close_wait",
+            TcpState::LastAck => "last_ack",
+            TcpState::Closing => "closing",
+            TcpState::TimeWait => "time_wait",
+            TcpState::Closed => "closed",
+        }
+    }
 }
 
 /// Events a connection reports to its owner.
@@ -208,6 +226,17 @@ pub struct TcpConn {
     events: Vec<TcpEvent>,
     /// Counters.
     pub stats: ConnStats,
+
+    /// Flight-recorder clock: the time of the entry point currently being
+    /// processed, so segment construction deep in the call tree can stamp
+    /// trace records without threading `now` everywhere.
+    #[cfg(feature = "trace")]
+    trace_now: SimTime,
+    /// Last state reported to the flight recorder; transitions are
+    /// emitted by diffing at entry-point boundaries (a `close()` between
+    /// events is reported at the next poll).
+    #[cfg(feature = "trace")]
+    traced_state: TcpState,
 }
 
 impl TcpConn {
@@ -221,6 +250,7 @@ impl TcpConn {
         iss: u32,
     ) -> TcpConn {
         let mut conn = TcpConn::new_common(cfg, local, remote, iss);
+        conn.trace_mark(now);
         conn.state = TcpState::SynSent;
         let mut h = conn.header(TcpFlags::SYN, now);
         h.seq = iss;
@@ -229,6 +259,7 @@ impl TcpConn {
             h.flags |= TcpFlags::ECE | TcpFlags::CWR;
         }
         conn.set_syn_options(&mut h);
+        conn.trace_state_sync();
         conn.push_segment(h, Vec::new(), false);
         conn.rto_deadline = Some(now + conn.rtt.rto());
         conn
@@ -245,6 +276,8 @@ impl TcpConn {
         iss: u32,
     ) -> TcpConn {
         let mut conn = TcpConn::new_common(cfg, local, remote, iss);
+        conn.trace_mark(now);
+        conn.trace_seg(true, syn);
         conn.state = TcpState::SynRcvd;
         conn.irs = syn.tcp.seq;
         conn.rcv_off = 0;
@@ -259,6 +292,7 @@ impl TcpConn {
             h.flags |= TcpFlags::ECE;
         }
         conn.set_syn_options(&mut h);
+        conn.trace_state_sync();
         conn.push_segment(h, Vec::new(), false);
         conn.rto_deadline = Some(now + conn.rtt.rto());
         conn
@@ -309,9 +343,102 @@ impl TcpConn {
             out: Vec::new(),
             events: Vec::new(),
             stats: ConnStats::default(),
+            #[cfg(feature = "trace")]
+            trace_now: SimTime::ZERO,
+            #[cfg(feature = "trace")]
+            traced_state: TcpState::Closed,
             cfg,
         }
     }
+
+    // ------------------------------------------------------------------
+    // Flight recorder (all no-ops unless the `trace` feature is on).
+
+    /// The connection's flow key (local perspective).
+    pub fn flow_key(&self) -> FlowKey {
+        FlowKey::new(self.local.ip, self.local.port, self.remote.ip, self.remote.port)
+    }
+
+    #[cfg(feature = "trace")]
+    fn trace_mark(&mut self, now: SimTime) {
+        self.trace_now = now;
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn trace_mark(&mut self, _now: SimTime) {}
+
+    /// Emits one State record if the state changed since last sync.
+    #[cfg(feature = "trace")]
+    fn trace_state_sync(&mut self) {
+        if self.traced_state != self.state {
+            let (t, flow) = (self.trace_now, self.flow_key());
+            let (from, to) = (self.traced_state.name(), self.state.name());
+            tas_telemetry::emit(|| tas_telemetry::TraceRecord {
+                t,
+                site: "conn",
+                ev: tas_telemetry::TraceEvent::State { flow, from, to },
+            });
+            self.traced_state = self.state;
+        }
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn trace_state_sync(&mut self) {}
+
+    #[cfg(feature = "trace")]
+    fn trace_seg(&self, rx: bool, seg: &Segment) {
+        let t = self.trace_now;
+        tas_telemetry::emit(|| {
+            let seg = Box::new(seg.clone());
+            tas_telemetry::TraceRecord {
+                t,
+                site: "conn",
+                ev: if rx {
+                    tas_telemetry::TraceEvent::SegRx { seg }
+                } else {
+                    tas_telemetry::TraceEvent::SegTx { seg }
+                },
+            }
+        });
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn trace_seg(&self, _rx: bool, _seg: &Segment) {}
+
+    #[cfg(feature = "trace")]
+    fn trace_rexmit(&self, kind: &'static str, seq_no: u32) {
+        let (t, flow) = (self.trace_now, self.flow_key());
+        tas_telemetry::emit(|| tas_telemetry::TraceRecord {
+            t,
+            site: "conn",
+            ev: tas_telemetry::TraceEvent::Retransmit {
+                flow,
+                kind,
+                seq: seq_no,
+            },
+        });
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn trace_rexmit(&self, _kind: &'static str, _seq_no: u32) {}
+
+    #[cfg(feature = "trace")]
+    fn trace_ooo(&self, start: u64, len: u64) {
+        let (t, flow) = (self.trace_now, self.flow_key());
+        tas_telemetry::emit(|| tas_telemetry::TraceRecord {
+            t,
+            site: "conn",
+            ev: tas_telemetry::TraceEvent::OooPlace { flow, start, len },
+        });
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn trace_ooo(&self, _start: u64, _len: u64) {}
 
     // ------------------------------------------------------------------
     // Accessors.
@@ -440,12 +567,14 @@ impl TcpConn {
 
     /// Aborts: stages an RST and closes immediately.
     pub fn abort(&mut self, now: SimTime) {
+        self.trace_mark(now);
         if !matches!(self.state, TcpState::Closed) {
             let mut h = self.header(TcpFlags::RST | TcpFlags::ACK, now);
             h.seq = self.seq_of(self.nxt_off);
             h.ack = self.ack_value();
             self.push_segment(h, Vec::new(), false);
             self.enter_closed();
+            self.trace_state_sync();
         }
     }
 
@@ -524,6 +653,7 @@ impl TcpConn {
             seg.ip.ecn = Ecn::Ect0;
         }
         self.stats.segs_out += 1;
+        self.trace_seg(false, &seg);
         self.out.push(seg);
     }
 
@@ -586,6 +716,8 @@ impl TcpConn {
     /// also emits window updates after the application drained a full
     /// receive buffer. Call after `send`, `recv`, `on_segment`, `on_timer`.
     pub fn poll(&mut self, now: SimTime) {
+        self.trace_mark(now);
+        self.trace_state_sync();
         if matches!(
             self.state,
             TcpState::SynSent | TcpState::SynRcvd | TcpState::Closed
@@ -667,6 +799,7 @@ impl TcpConn {
                 self.rto_deadline = Some(now + self.rtt.rto());
             }
         }
+        self.trace_state_sync();
         self.audit_invariants();
     }
 
@@ -719,9 +852,11 @@ impl TcpConn {
 
     /// Processes timer expirations at `now`.
     pub fn on_timer(&mut self, now: SimTime) {
+        self.trace_mark(now);
         if let Some(tw) = self.time_wait_deadline {
             if now >= tw {
                 self.enter_closed();
+                self.trace_state_sync();
                 return;
             }
         }
@@ -755,6 +890,7 @@ impl TcpConn {
                 };
                 self.set_syn_options(&mut h);
                 self.stats.retransmits += 1;
+                self.trace_rexmit("handshake", self.iss);
                 self.push_segment(h, Vec::new(), false);
                 self.rto_deadline = Some(now + self.rtt.rto());
             }
@@ -767,6 +903,7 @@ impl TcpConn {
                     // Go-back-N: rewind to the left edge.
                     self.rtt.backoff();
                     self.stats.timeouts += 1;
+                    self.trace_rexmit("timeout", self.seq_of(self.una_off));
                     self.cc.on_timeout();
                     self.nxt_off = self.una_off;
                     self.in_recovery = false;
@@ -784,6 +921,7 @@ impl TcpConn {
                 }
             }
         }
+        self.trace_state_sync();
         self.audit_invariants();
     }
 
@@ -792,10 +930,13 @@ impl TcpConn {
 
     /// Processes one received segment addressed to this connection.
     pub fn on_segment(&mut self, now: SimTime, seg: Segment) {
+        self.trace_mark(now);
+        self.trace_seg(true, &seg);
         self.stats.segs_in += 1;
         if seg.tcp.flags.contains(TcpFlags::RST) {
             self.events.push(TcpEvent::Reset);
             self.enter_closed();
+            self.trace_state_sync();
             return;
         }
         if let Some((tsval, _)) = seg.tcp.options.timestamp {
@@ -974,6 +1115,7 @@ impl TcpConn {
                 self.recover_off = self.nxt_off;
                 self.recovery_cursor = self.una_off + self.cfg.mss as u64;
                 self.stats.fast_retransmits += 1;
+                self.trace_rexmit("fast", self.seq_of(self.una_off));
                 self.cc.on_fast_retransmit();
                 self.retransmit_head(now);
             } else if self.in_recovery && self.dupacks > 3 && self.cfg.keep_ooo {
@@ -988,6 +1130,7 @@ impl TcpConn {
                 };
                 self.recovery_cursor = self.recovery_cursor.max(self.una_off);
                 if self.recovery_cursor < hole_end.min(self.recover_off) {
+                    self.trace_rexmit("fast", self.seq_of(self.recovery_cursor));
                     self.retransmit_at(now, self.recovery_cursor);
                     self.recovery_cursor += self.cfg.mss as u64;
                 }
@@ -1048,6 +1191,7 @@ impl TcpConn {
                     let room = (horizon - off) as usize;
                     let mut d = data.clone();
                     d.truncate(room);
+                    self.trace_ooo(off, d.len() as u64);
                     self.reasm.insert(off, d);
                 }
             }

@@ -1,0 +1,572 @@
+//! Flight-recorder telemetry for the TAS reproduction.
+//!
+//! The paper's evaluation is built on per-core cycle attribution and
+//! per-flow event visibility. This crate is the runtime half of that
+//! observability layer (the counter/gauge/histogram registry lives in
+//! [`tas_sim::metrics`]): a bounded ring of structured flow events —
+//! segment rx/tx, state transitions, congestion-control rate updates,
+//! retransmits, out-of-order placements, controller core add/remove, and
+//! fault-injector verdicts — plus deterministic text and JSONL renderers
+//! and a pcap exporter that replays traced segments through
+//! [`tas_proto::wire`] into a standard capture Wireshark opens directly.
+//!
+//! # Zero cost when disabled
+//!
+//! Emit sites across the stack are compiled behind each crate's `trace`
+//! feature; a default build contains no tracing code at all. With the
+//! feature on, every emit first checks a thread-local enabled flag, and
+//! the tracer never draws from any simulation RNG nor reorders events, so
+//! enabling it cannot perturb a run — a property the telemetry property
+//! tests pin by comparing fingerprints with tracing on and off.
+//!
+//! # Examples
+//!
+//! ```
+//! use tas_telemetry as tel;
+//! use tas_sim::SimTime;
+//! tel::start(1024);
+//! tel::emit(|| tel::TraceRecord {
+//!     t: SimTime::from_us(3),
+//!     site: "fp",
+//!     ev: tel::TraceEvent::CoreScale { active: 2, delta: 1 },
+//! });
+//! let records = tel::take();
+//! tel::stop();
+//! assert_eq!(records.len(), 1);
+//! assert!(tel::render_jsonl(&records).starts_with("{\"t_ns\":3000,"));
+//! ```
+
+pub mod pcap;
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use tas_proto::{FlowKey, Segment, TcpFlags};
+use tas_sim::SimTime;
+
+/// One structured flow event.
+///
+/// Segment events carry the full packet (boxed — records stay small for
+/// the common header-only events) so the pcap exporter can replay exact
+/// wire bytes; renderers print the header summary.
+#[derive(Clone, Debug)]
+pub enum TraceEvent {
+    /// A segment arrived at the recording site.
+    SegRx {
+        /// The received packet.
+        seg: Box<Segment>,
+    },
+    /// A segment was transmitted (or staged for transmission) at the
+    /// recording site.
+    SegTx {
+        /// The transmitted packet.
+        seg: Box<Segment>,
+    },
+    /// A connection state transition.
+    State {
+        /// The flow, from the recording host's perspective.
+        flow: FlowKey,
+        /// State left.
+        from: &'static str,
+        /// State entered.
+        to: &'static str,
+    },
+    /// A congestion-control rate update.
+    CcRate {
+        /// The flow, from the recording host's perspective.
+        flow: FlowKey,
+        /// New rate in bytes/second (the slow path's per-flow pacing rate).
+        rate: u64,
+    },
+    /// A retransmission was triggered.
+    Retransmit {
+        /// The flow, from the recording host's perspective.
+        flow: FlowKey,
+        /// Trigger: `"fast"` (dup-ACK), `"timeout"` (stall/RTO), or
+        /// `"handshake"` (SYN/SYN-ACK/FIN retry).
+        kind: &'static str,
+        /// First sequence number retransmitted.
+        seq: u32,
+    },
+    /// The receiver placed data out of order (the fast path's single
+    /// tracked OOO interval).
+    OooPlace {
+        /// The flow, from the recording host's perspective.
+        flow: FlowKey,
+        /// Stream offset of the tracked interval.
+        start: u64,
+        /// Interval length in bytes after this placement.
+        len: u64,
+    },
+    /// The proportionality controller changed the active core count.
+    CoreScale {
+        /// Active fast-path cores after the change.
+        active: u32,
+        /// +1 (core added) or -1 (core removed).
+        delta: i32,
+    },
+    /// A fault injector perturbed (or dropped) a packet.
+    Fault {
+        /// Verdict: `"drop"`, `"dup"`, `"reorder"`, `"jitter"`, or
+        /// `"corrupt"`.
+        verdict: &'static str,
+        /// The flow, from the far end's perspective.
+        flow: FlowKey,
+        /// Sequence number of the affected packet.
+        seq: u32,
+        /// Identity of the injecting device (NIC MAC low bits or switch
+        /// port index).
+        dev: u64,
+    },
+    /// A switch marked a packet congestion-experienced (DCTCP).
+    EcnMark {
+        /// The flow, from the receiver's perspective.
+        flow: FlowKey,
+        /// Sequence number of the marked packet.
+        seq: u32,
+    },
+}
+
+/// A timestamped trace-ring entry.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// Simulated time of the event.
+    pub t: SimTime,
+    /// Recording site: `"fp"`, `"sp"`, `"host"`, `"conn"`, `"nic"`,
+    /// `"switch"`, or `"fault"`.
+    pub site: &'static str,
+    /// The event.
+    pub ev: TraceEvent,
+}
+
+struct Tracer {
+    enabled: bool,
+    cap: usize,
+    ring: VecDeque<TraceRecord>,
+    /// Oldest records evicted when the bounded ring wrapped.
+    evicted: u64,
+    filter: Option<FlowKey>,
+}
+
+impl Tracer {
+    const fn new() -> Tracer {
+        Tracer {
+            enabled: false,
+            cap: 0,
+            ring: VecDeque::new(),
+            evicted: 0,
+            filter: None,
+        }
+    }
+}
+
+thread_local! {
+    static TRACER: RefCell<Tracer> = const { RefCell::new(Tracer::new()) };
+}
+
+/// Starts recording into a fresh bounded ring of `cap` records. When the
+/// ring is full the oldest record is evicted (flight-recorder semantics);
+/// [`evicted`] reports how many were lost.
+pub fn start(cap: usize) {
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        t.enabled = true;
+        t.cap = cap.max(1);
+        t.ring.clear();
+        t.evicted = 0;
+        t.filter = None;
+    });
+}
+
+/// Stops recording (the ring's contents stay until [`take`] or [`start`]).
+pub fn stop() {
+    TRACER.with(|t| t.borrow_mut().enabled = false);
+}
+
+/// True while recording.
+pub fn is_enabled() -> bool {
+    TRACER.with(|t| t.borrow().enabled)
+}
+
+/// Restricts recording to one flow (matched in either orientation), or
+/// clears the restriction with `None`. Non-flow events (core scaling) are
+/// always kept.
+pub fn set_flow_filter(flow: Option<FlowKey>) {
+    TRACER.with(|t| t.borrow_mut().filter = flow);
+}
+
+/// Number of records evicted since [`start`] because the ring was full.
+pub fn evicted() -> u64 {
+    TRACER.with(|t| t.borrow().evicted)
+}
+
+/// Drains and returns the recorded events in emission order.
+pub fn take() -> Vec<TraceRecord> {
+    TRACER.with(|t| t.borrow_mut().ring.drain(..).collect())
+}
+
+/// The flow a record pertains to, if any.
+pub fn flow_of(rec: &TraceRecord) -> Option<FlowKey> {
+    match &rec.ev {
+        TraceEvent::SegRx { seg } | TraceEvent::SegTx { seg } => Some(seg.flow_key()),
+        TraceEvent::State { flow, .. }
+        | TraceEvent::CcRate { flow, .. }
+        | TraceEvent::Retransmit { flow, .. }
+        | TraceEvent::OooPlace { flow, .. }
+        | TraceEvent::Fault { flow, .. }
+        | TraceEvent::EcnMark { flow, .. } => Some(*flow),
+        TraceEvent::CoreScale { .. } => None,
+    }
+}
+
+/// Records an event. The closure runs only while recording is enabled, so
+/// disabled-but-compiled-in sites pay one thread-local flag check and
+/// construct nothing.
+pub fn emit(f: impl FnOnce() -> TraceRecord) {
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        if !t.enabled {
+            return;
+        }
+        let rec = f();
+        if let (Some(want), Some(flow)) = (t.filter, flow_of(&rec)) {
+            if flow != want && flow != want.reversed() {
+                return;
+            }
+        }
+        if t.ring.len() == t.cap {
+            t.ring.pop_front();
+            t.evicted += 1;
+        }
+        t.ring.push_back(rec);
+    });
+}
+
+// ----------------------------------------------------------------------
+// Renderers.
+
+fn flags_str(f: TcpFlags) -> String {
+    let mut s = String::new();
+    for (bit, c) in [
+        (TcpFlags::SYN, 'S'),
+        (TcpFlags::FIN, 'F'),
+        (TcpFlags::RST, 'R'),
+        (TcpFlags::PSH, 'P'),
+        (TcpFlags::ACK, 'A'),
+        (TcpFlags::URG, 'U'),
+        (TcpFlags::ECE, 'E'),
+        (TcpFlags::CWR, 'C'),
+    ] {
+        if f.contains(bit) {
+            s.push(c);
+        }
+    }
+    if s.is_empty() {
+        s.push('.');
+    }
+    s
+}
+
+fn seg_fields(seg: &Segment) -> String {
+    format!(
+        "{}:{}>{}:{} flags={} seq={} ack={} len={} ecn={}",
+        seg.ip.src,
+        seg.tcp.src_port,
+        seg.ip.dst,
+        seg.tcp.dst_port,
+        flags_str(seg.tcp.flags),
+        seg.tcp.seq,
+        seg.tcp.ack,
+        seg.payload.len(),
+        seg.ip.ecn.bits(),
+    )
+}
+
+fn flow_str(flow: &FlowKey) -> String {
+    format!(
+        "{}:{}<>{}:{}",
+        flow.local_ip, flow.local_port, flow.remote_ip, flow.remote_port
+    )
+}
+
+/// Renders records as human-readable text, one event per line.
+pub fn render_text(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let _ = write!(out, "[{:>12}ns] {:<6} ", r.t.as_nanos(), r.site);
+        let _ = match &r.ev {
+            TraceEvent::SegRx { seg } => writeln!(out, "seg_rx {}", seg_fields(seg)),
+            TraceEvent::SegTx { seg } => writeln!(out, "seg_tx {}", seg_fields(seg)),
+            TraceEvent::State { flow, from, to } => {
+                writeln!(out, "state {} {from}->{to}", flow_str(flow))
+            }
+            TraceEvent::CcRate { flow, rate } => {
+                writeln!(out, "cc_rate {} rate={rate}", flow_str(flow))
+            }
+            TraceEvent::Retransmit { flow, kind, seq } => {
+                writeln!(out, "rexmit {} kind={kind} seq={seq}", flow_str(flow))
+            }
+            TraceEvent::OooPlace { flow, start, len } => {
+                writeln!(out, "ooo_place {} start={start} len={len}", flow_str(flow))
+            }
+            TraceEvent::CoreScale { active, delta } => {
+                writeln!(out, "core_scale active={active} delta={delta:+}")
+            }
+            TraceEvent::Fault {
+                verdict,
+                flow,
+                seq,
+                dev,
+            } => writeln!(
+                out,
+                "fault {} verdict={verdict} seq={seq} dev={dev}",
+                flow_str(flow)
+            ),
+            TraceEvent::EcnMark { flow, seq } => {
+                writeln!(out, "ecn_mark {} seq={seq}", flow_str(flow))
+            }
+        };
+    }
+    out
+}
+
+/// Renders records as JSONL — one JSON object per line, fixed key order,
+/// no floats — so two same-seed runs produce byte-identical output and
+/// golden traces diff line-by-line.
+pub fn render_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let _ = write!(out, "{{\"t_ns\":{},\"site\":\"{}\"", r.t.as_nanos(), r.site);
+        let _ = match &r.ev {
+            TraceEvent::SegRx { seg } => write!(out, ",\"ev\":\"seg_rx\",{}", seg_json(seg)),
+            TraceEvent::SegTx { seg } => write!(out, ",\"ev\":\"seg_tx\",{}", seg_json(seg)),
+            TraceEvent::State { flow, from, to } => write!(
+                out,
+                ",\"ev\":\"state\",\"flow\":\"{}\",\"from\":\"{from}\",\"to\":\"{to}\"",
+                flow_str(flow)
+            ),
+            TraceEvent::CcRate { flow, rate } => write!(
+                out,
+                ",\"ev\":\"cc_rate\",\"flow\":\"{}\",\"rate\":{rate}",
+                flow_str(flow)
+            ),
+            TraceEvent::Retransmit { flow, kind, seq } => write!(
+                out,
+                ",\"ev\":\"rexmit\",\"flow\":\"{}\",\"kind\":\"{kind}\",\"seq\":{seq}",
+                flow_str(flow)
+            ),
+            TraceEvent::OooPlace { flow, start, len } => write!(
+                out,
+                ",\"ev\":\"ooo_place\",\"flow\":\"{}\",\"start\":{start},\"len\":{len}",
+                flow_str(flow)
+            ),
+            TraceEvent::CoreScale { active, delta } => write!(
+                out,
+                ",\"ev\":\"core_scale\",\"active\":{active},\"delta\":{delta}"
+            ),
+            TraceEvent::Fault {
+                verdict,
+                flow,
+                seq,
+                dev,
+            } => write!(
+                out,
+                ",\"ev\":\"fault\",\"verdict\":\"{verdict}\",\"flow\":\"{}\",\"seq\":{seq},\"dev\":{dev}",
+                flow_str(flow)
+            ),
+            TraceEvent::EcnMark { flow, seq } => write!(
+                out,
+                ",\"ev\":\"ecn_mark\",\"flow\":\"{}\",\"seq\":{seq}",
+                flow_str(flow)
+            ),
+        };
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn seg_json(seg: &Segment) -> String {
+    format!(
+        "\"src\":\"{}:{}\",\"dst\":\"{}:{}\",\"flags\":\"{}\",\"seq\":{},\"ack\":{},\"len\":{},\"ecn\":{}",
+        seg.ip.src,
+        seg.tcp.src_port,
+        seg.ip.dst,
+        seg.tcp.dst_port,
+        flags_str(seg.tcp.flags),
+        seg.tcp.seq,
+        seg.tcp.ack,
+        seg.payload.len(),
+        seg.ip.ecn.bits(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use tas_proto::{MacAddr, TcpHeader};
+
+    fn seg(seq: u32, len: usize) -> Box<Segment> {
+        Box::new(Segment::tcp(
+            MacAddr::for_host(1),
+            MacAddr::for_host(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            TcpHeader::new(5000, 80, seq, 9, TcpFlags::ACK | TcpFlags::PSH),
+            vec![0xab; len],
+            true,
+        ))
+    }
+
+    fn rx(t_us: u64, seq: u32) -> TraceRecord {
+        TraceRecord {
+            t: SimTime::from_us(t_us),
+            site: "fp",
+            ev: TraceEvent::SegRx { seg: seg(seq, 8) },
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_evictions() {
+        start(4);
+        for i in 0..10 {
+            emit(|| rx(i, i as u32));
+        }
+        assert_eq!(evicted(), 6);
+        let recs = take();
+        assert_eq!(recs.len(), 4);
+        // Oldest evicted: the survivors are 6..10.
+        match &recs[0].ev {
+            TraceEvent::SegRx { seg } => assert_eq!(seg.tcp.seq, 6),
+            _ => panic!("wrong event"),
+        }
+        stop();
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        stop();
+        let mut ran = false;
+        emit(|| {
+            ran = true;
+            rx(0, 0)
+        });
+        assert!(!ran, "closure must not run while disabled");
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn flow_filter_matches_both_orientations() {
+        start(64);
+        let keep = seg(1, 8).flow_key();
+        set_flow_filter(Some(keep));
+        emit(|| rx(1, 1)); // Matches (receiver perspective).
+        emit(|| TraceRecord {
+            t: SimTime::from_us(2),
+            site: "conn",
+            ev: TraceEvent::State {
+                flow: keep.reversed(),
+                from: "syn_sent",
+                to: "established",
+            },
+        }); // Matches reversed.
+        emit(|| TraceRecord {
+            t: SimTime::from_us(3),
+            site: "sp",
+            ev: TraceEvent::CcRate {
+                flow: FlowKey::new(Ipv4Addr::new(9, 9, 9, 9), 1, Ipv4Addr::new(8, 8, 8, 8), 2),
+                rate: 100,
+            },
+        }); // Different flow: filtered out.
+        emit(|| TraceRecord {
+            t: SimTime::from_us(4),
+            site: "host",
+            ev: TraceEvent::CoreScale {
+                active: 2,
+                delta: 1,
+            },
+        }); // Flow-less: kept.
+        let recs = take();
+        assert_eq!(recs.len(), 3);
+        stop();
+    }
+
+    #[test]
+    fn renderers_are_deterministic_and_cover_all_events() {
+        let flow = FlowKey::new(Ipv4Addr::new(10, 0, 0, 2), 80, Ipv4Addr::new(10, 0, 0, 1), 5000);
+        let records = vec![
+            rx(1, 42),
+            TraceRecord {
+                t: SimTime::from_us(2),
+                site: "conn",
+                ev: TraceEvent::SegTx { seg: seg(43, 0) },
+            },
+            TraceRecord {
+                t: SimTime::from_us(3),
+                site: "conn",
+                ev: TraceEvent::State {
+                    flow,
+                    from: "established",
+                    to: "fin_wait1",
+                },
+            },
+            TraceRecord {
+                t: SimTime::from_us(4),
+                site: "sp",
+                ev: TraceEvent::CcRate { flow, rate: 12_500_000 },
+            },
+            TraceRecord {
+                t: SimTime::from_us(5),
+                site: "fp",
+                ev: TraceEvent::Retransmit {
+                    flow,
+                    kind: "fast",
+                    seq: 99,
+                },
+            },
+            TraceRecord {
+                t: SimTime::from_us(6),
+                site: "fp",
+                ev: TraceEvent::OooPlace {
+                    flow,
+                    start: 1448,
+                    len: 1448,
+                },
+            },
+            TraceRecord {
+                t: SimTime::from_us(7),
+                site: "host",
+                ev: TraceEvent::CoreScale {
+                    active: 3,
+                    delta: -1,
+                },
+            },
+            TraceRecord {
+                t: SimTime::from_us(8),
+                site: "fault",
+                ev: TraceEvent::Fault {
+                    verdict: "drop",
+                    flow,
+                    seq: 7,
+                    dev: 1,
+                },
+            },
+            TraceRecord {
+                t: SimTime::from_us(9),
+                site: "switch",
+                ev: TraceEvent::EcnMark { flow, seq: 8 },
+            },
+        ];
+        let a = render_jsonl(&records);
+        let b = render_jsonl(&records);
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), records.len());
+        for line in a.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        let text = render_text(&records);
+        assert_eq!(text.lines().count(), records.len());
+        assert!(text.contains("state 10.0.0.2:80<>10.0.0.1:5000 established->fin_wait1"));
+        assert!(a.contains("\"ev\":\"ecn_mark\""));
+    }
+}

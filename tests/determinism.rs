@@ -138,8 +138,8 @@ fn faulty_fingerprint(sim_seed: u64, fault_seed: u64) -> Vec<u64> {
     }
     sim.run_until(SimTime::from_secs(2));
     let client = sim.agent::<TasHost>(topo.hosts[1]);
-    let nic_ctr = *client.nic().tx_fault_counters();
-    let port_ctr = *sim.agent::<Switch>(topo.switch).port_fault_counters(1);
+    let nic_ctr = client.nic().tx_fault_counters();
+    let port_ctr = sim.agent::<Switch>(topo.switch).port_fault_counters(1);
     let server = sim.agent::<TasHost>(topo.hosts[0]);
     vec![
         sim.events_processed(),

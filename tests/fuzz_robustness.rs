@@ -220,7 +220,7 @@ proptest! {
         sim.run_until(SimTime::from_ms(100));
         // Survival is the property; also confirm the injector was live and
         // the hosts are still coherent enough to report state.
-        let nic_ctr = *sim.agent::<StackHost>(topo.hosts[1]).nic().tx_fault_counters();
+        let nic_ctr = sim.agent::<StackHost>(topo.hosts[1]).nic().tx_fault_counters();
         prop_assert!(nic_ctr.seen > 0, "injector must have seen traffic");
         let _ = sim.agent::<StackHost>(topo.hosts[0]).host_stats();
         let _ = sim.agent::<StackHost>(topo.hosts[1]).host_stats();

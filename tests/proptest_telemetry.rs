@@ -1,0 +1,219 @@
+//! Property-based tests for the telemetry layer: counters only ever go
+//! up, snapshots are deterministic functions of the run (same seed ⇒
+//! byte-identical render), registry output is independent of increment
+//! interleaving, and — when the `trace` feature is on — enabling the
+//! flight recorder never perturbs the simulation it observes.
+
+use proptest::prelude::*;
+use tas_repro::apps::echo::{EchoServer, Lifetime, RpcClient, ServerMode};
+use tas_repro::baselines::{profiles, StackHost, StackHostConfig};
+use tas_repro::netsim::app::App;
+use tas_repro::netsim::topo::{build_star, host_ip, HostSpec};
+use tas_repro::netsim::{FaultSpec, NetMsg, NicConfig, PortConfig};
+use tas_repro::sim::{AgentId, Registry, Scope, Sim, SimTime};
+use tas_repro::tas::{TasConfig, TasHost};
+
+const REQ_SIZE: usize = 64;
+
+/// Builds the standard two-host echo topology on TAS hosts, optionally
+/// with a lossy client NIC, and returns (sim, server, client).
+fn build_tas_pair(seed: u64, faulty: bool) -> (Sim<NetMsg>, AgentId, AgentId) {
+    let mut sim: Sim<NetMsg> = Sim::new(seed);
+    let server_ip = host_ip(0);
+    let nic_fault = if faulty {
+        FaultSpec::lossy(0.02, 0.01, 0.02, seed ^ 0x5EED)
+    } else {
+        FaultSpec::none()
+    };
+    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
+        let app: Box<dyn App> = if spec.index == 0 {
+            Box::new(EchoServer::new(7, REQ_SIZE, ServerMode::Echo, 300))
+        } else {
+            let mut c = RpcClient::new(server_ip, 7, 1, 1, REQ_SIZE, Lifetime::Persistent);
+            c.max_requests = 200;
+            Box::new(c)
+        };
+        let mut nic = spec.nic;
+        if spec.index == 1 {
+            nic.tx_fault = nic_fault;
+        }
+        sim.add_agent(Box::new(TasHost::new(
+            spec.ip,
+            spec.mac,
+            nic,
+            TasConfig::rpc_bench(1, 1),
+            spec.uplink,
+            app,
+        )))
+    };
+    let topo = build_star(
+        &mut sim,
+        2,
+        |_| PortConfig::tengig(),
+        |_| NicConfig::client_10g(1),
+        &mut factory,
+    );
+    for &h in &topo.hosts {
+        sim.inject_timer(SimTime::ZERO, h, 0, 0);
+    }
+    (sim, topo.hosts[0], topo.hosts[1])
+}
+
+/// Same workload on the reference Linux-model stack.
+fn build_reference_pair(seed: u64) -> (Sim<NetMsg>, AgentId, AgentId) {
+    let mut sim: Sim<NetMsg> = Sim::new(seed);
+    let server_ip = host_ip(0);
+    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
+        let app: Box<dyn App> = if spec.index == 0 {
+            Box::new(EchoServer::new(7, REQ_SIZE, ServerMode::Echo, 300))
+        } else {
+            let mut c = RpcClient::new(server_ip, 7, 1, 1, REQ_SIZE, Lifetime::Persistent);
+            c.max_requests = 200;
+            Box::new(c)
+        };
+        sim.add_agent(Box::new(StackHost::new(
+            spec.ip,
+            spec.mac,
+            spec.nic,
+            profiles::linux(),
+            StackHostConfig::linux(2),
+            spec.uplink,
+            app,
+        )))
+    };
+    let topo = build_star(
+        &mut sim,
+        2,
+        |_| PortConfig::tengig(),
+        |_| NicConfig::client_10g(1),
+        &mut factory,
+    );
+    for &h in &topo.hosts {
+        sim.inject_timer(SimTime::ZERO, h, 0, 0);
+    }
+    (sim, topo.hosts[0], topo.hosts[1])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every counter in every scope is monotone over simulated time, on
+    /// both hosts, clean or lossy — pausing the sim mid-run and
+    /// snapshotting twice must never show a counter go backwards.
+    #[test]
+    fn counters_are_monotone_over_time(seed in 1u64..10_000, faulty in any::<bool>()) {
+        let (mut sim, server, client) = build_tas_pair(seed, faulty);
+        let mut prev_s = sim.agent::<TasHost>(server).telemetry_snapshot();
+        let mut prev_c = sim.agent::<TasHost>(client).telemetry_snapshot();
+        for ms in [5u64, 20, 60, 150] {
+            sim.run_until(SimTime::from_ms(ms));
+            let cur_s = sim.agent::<TasHost>(server).telemetry_snapshot();
+            let cur_c = sim.agent::<TasHost>(client).telemetry_snapshot();
+            prop_assert!(
+                cur_s.counters_monotone_since(&prev_s),
+                "server counter went backwards between {ms}ms snapshots"
+            );
+            prop_assert!(
+                cur_c.counters_monotone_since(&prev_c),
+                "client counter went backwards between {ms}ms snapshots"
+            );
+            prev_s = cur_s;
+            prev_c = cur_c;
+        }
+    }
+
+    /// The rendered snapshot is a pure function of the seed: two runs of
+    /// the same seeded workload produce byte-identical `render_text`
+    /// output, on the TAS stack and on the reference stack.
+    #[test]
+    fn same_seed_snapshots_are_byte_identical(seed in 1u64..10_000) {
+        let run_tas = |seed: u64| {
+            let (mut sim, server, client) = build_tas_pair(seed, true);
+            sim.run_until(SimTime::from_ms(150));
+            let s = sim.agent::<TasHost>(server).telemetry_snapshot();
+            let c = sim.agent::<TasHost>(client).telemetry_snapshot();
+            format!("{}\n{}", s.render_text(), c.render_text())
+        };
+        let run_reference = |seed: u64| {
+            let (mut sim, server, client) = build_reference_pair(seed);
+            sim.run_until(SimTime::from_ms(150));
+            let s = sim.agent::<StackHost>(server).telemetry_snapshot();
+            let c = sim.agent::<StackHost>(client).telemetry_snapshot();
+            format!("{}\n{}", s.render_text(), c.render_text())
+        };
+        prop_assert_eq!(run_tas(seed), run_tas(seed));
+        prop_assert_eq!(run_reference(seed), run_reference(seed));
+    }
+
+    /// Registry snapshots are independent of increment interleaving:
+    /// applying the same multiset of (counter, delta) updates in any
+    /// order yields the same rendered snapshot.
+    #[test]
+    fn registry_order_independent(
+        mut updates in proptest::collection::vec(
+            (0usize..4, 0u32..3, 1u64..1_000), 1..40),
+        rotate in 0usize..40,
+    ) {
+        const NAMES: [&str; 4] = ["a.pkts", "b.bytes", "c.drops", "d.acks"];
+        let apply = |ups: &[(usize, u32, u64)]| {
+            let mut reg = Registry::new();
+            for &(name, core, delta) in ups {
+                let id = reg.counter(NAMES[name], Scope::Core(core));
+                reg.add(id, delta);
+            }
+            reg.snapshot().render_text()
+        };
+        let baseline = apply(&updates);
+        let r = rotate % updates.len();
+        updates.rotate_left(r);
+        prop_assert_eq!(apply(&updates), baseline);
+    }
+}
+
+/// Enabling the flight recorder must be invisible to the simulation:
+/// the traced and untraced runs of the same seed agree on every
+/// observable (event count, all counters), and the trace itself is
+/// reproducible.
+#[cfg(feature = "trace")]
+mod trace_transparency {
+    use super::*;
+    use tas_repro::telemetry;
+
+    fn fingerprint(seed: u64, traced: bool) -> (u64, String, usize) {
+        if traced {
+            telemetry::start(65_536);
+        }
+        let (mut sim, server, client) = build_tas_pair(seed, true);
+        sim.run_until(SimTime::from_ms(150));
+        let snap = format!(
+            "{}\n{}",
+            sim.agent::<TasHost>(server).telemetry_snapshot().render_text(),
+            sim.agent::<TasHost>(client).telemetry_snapshot().render_text()
+        );
+        let events = sim.events_processed();
+        let trace_len = if traced {
+            let n = telemetry::take().len();
+            telemetry::stop();
+            n
+        } else {
+            0
+        };
+        (events, snap, trace_len)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        #[test]
+        fn tracing_never_perturbs_the_simulation(seed in 1u64..10_000) {
+            let (ev_off, snap_off, _) = fingerprint(seed, false);
+            let (ev_on, snap_on, trace_len) = fingerprint(seed, true);
+            prop_assert_eq!(ev_off, ev_on, "tracing changed the event count");
+            prop_assert_eq!(snap_off, snap_on, "tracing changed a counter");
+            prop_assert!(trace_len > 0, "the recorder saw the run");
+            // And the trace itself reproduces.
+            let (_, _, again) = fingerprint(seed, true);
+            prop_assert_eq!(trace_len, again);
+        }
+    }
+}
