@@ -20,7 +20,7 @@ use tas_netsim::app::{App, AppEvent, SockId, StackApi};
 use tas_netsim::rss::hash_tuple;
 use tas_netsim::{HostNic, NetMsg, NicConfig};
 use tas_proto::{FlowKey, MacAddr, Segment, TcpFlags};
-use tas_sim::{impl_as_any, Agent, CounterId, Ctx, Event, Registry, Scope, SimTime};
+use tas_sim::{impl_as_any, Agent, CounterId, Ctx, Event, Registry, Scope, SeriesRecorder, SimTime};
 use tas_tcp::{EndpointInfo, TcpConfig, TcpConn, TcpEvent};
 
 /// Threading/batching architecture of the stack.
@@ -126,6 +126,11 @@ pub type ConnDebug = (u64, u64, u64, u32, u64, bool, u32, u64, usize, usize);
 
 /// Host counters (compat view over the metric registry; built by
 /// [`StackHost::host_stats`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "read `registry().counter_value(\"host.*\", Scope::Global)` or \
+            `telemetry_snapshot()` instead"
+)]
 #[derive(Clone, Copy, Debug, Default)]
 pub struct HostStats {
     /// Packets dropped at the RX-ring bound.
@@ -207,6 +212,10 @@ struct Inner {
     /// TCP counters folded in from connections whose slots were dropped
     /// (so telemetry keeps the full-run totals, not just live conns).
     tcp_cum: tas_tcp::ConnStats,
+    /// Fixed-cadence queue-depth/occupancy sampler (sim-clock grid); the
+    /// same recorder the TAS host carries, so determinism tests can
+    /// compare both stacks' series byte-for-byte.
+    series: SeriesRecorder,
     frame: Frame,
 }
 
@@ -272,6 +281,7 @@ impl StackHost {
                 c_batches,
                 c_app_bytes,
                 tcp_cum: tas_tcp::ConnStats::default(),
+                series: SeriesRecorder::new(SimTime::from_ms(1)),
                 frame: Frame::default(),
             },
             app: Some(app),
@@ -302,6 +312,12 @@ impl StackHost {
     }
 
     /// Host counters (compat view rebuilt from the metric registry).
+    #[deprecated(
+        since = "0.1.0",
+        note = "read `registry().counter_value(\"host.*\", Scope::Global)` or \
+                `telemetry_snapshot()` instead"
+    )]
+    #[allow(deprecated)]
     pub fn host_stats(&self) -> HostStats {
         HostStats {
             drop_backlog: self.inner.reg.get(self.inner.c_drop_backlog),
@@ -756,8 +772,38 @@ impl StackHost {
     // ------------------------------------------------------------------
     // Packet receive.
 
+    /// Samples the queue-depth gauges onto the fixed sim-clock grid (the
+    /// recorder dedupes re-entries within one interval).
+    fn sample_series(&mut self, now: SimTime) {
+        let inner = &mut self.inner;
+        if !inner.series.begin(now) {
+            return;
+        }
+        inner
+            .series
+            .record("nic.rx_pending", inner.nic.rx_pending() as f64);
+        inner
+            .series
+            .record("conns.live", inner.by_key.len() as f64);
+        let (mut tx_buf, mut rx_ready) = (0u64, 0u64);
+        for slot in inner.slots.iter().flatten() {
+            tx_buf += slot.conn.send_buffered() as u64;
+            rx_ready += slot.conn.readable() as u64;
+        }
+        inner.series.record("tcp.tx_buffered", tx_buf as f64);
+        inner.series.record("tcp.rx_readable", rx_ready as f64);
+        let batched: usize = inner.batches.iter().map(Vec::len).sum();
+        inner.series.record("app.batched_events", batched as f64);
+    }
+
+    /// Fixed-cadence queue-depth/occupancy time series for this host.
+    pub fn queue_series(&self) -> &SeriesRecorder {
+        &self.inner.series
+    }
+
     fn on_packet(&mut self, seg: Segment, ctx: &mut Ctx<'_, NetMsg>) {
         let now = ctx.now();
+        self.sample_series(now);
         let q = self.inner.nic.rx_enqueue(seg);
         let seg = self.inner.nic.rx_dequeue(q).expect("just enqueued");
         let key = seg.flow_key();
@@ -1030,6 +1076,7 @@ impl Agent<NetMsg> for StackHost {
                         }
                     }
                     timers::BATCH => {
+                        self.sample_series(now);
                         let core = data as usize;
                         self.flush_batch(core, now, ctx);
                     }

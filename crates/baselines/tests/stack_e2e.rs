@@ -114,7 +114,12 @@ fn linux_echo_round_trips() {
     assert_eq!(client_done(&sim, hosts[1], Kind::Linux), 200);
     let server = sim.agent::<StackHost>(hosts[0]);
     assert_eq!(server.app_as::<EchoServer>().messages, 200);
-    assert_eq!(server.host_stats().established, 1);
+    assert_eq!(
+        server
+            .registry()
+            .counter_value("host.established", tas_sim::Scope::Global),
+        1
+    );
 }
 
 #[test]
@@ -130,7 +135,13 @@ fn mtcp_echo_round_trips() {
     sim.run_until(SimTime::from_secs(2));
     assert_eq!(client_done(&sim, hosts[1], Kind::Mtcp), 200);
     let server = sim.agent::<StackHost>(hosts[0]);
-    assert!(server.host_stats().batches > 0, "mTCP model must batch");
+    assert!(
+        server
+            .registry()
+            .counter_value("host.batches", tas_sim::Scope::Global)
+            > 0,
+        "mTCP model must batch"
+    );
 }
 
 #[test]
@@ -287,13 +298,23 @@ fn fault_schedule_linux_tas_interop_with_auditors() {
         200,
         "all RPCs must survive the fault schedule"
     );
-    let nic_ctr = sim
-        .agent::<TasHost>(topo.hosts[1])
-        .nic()
-        .tx_fault_counters();
-    assert!(nic_ctr.seen > 200 && nic_ctr.any_faults());
-    let port_ctr = sim.agent::<Switch>(topo.switch).port_fault_counters(0);
-    assert!(port_ctr.seen > 200 && port_ctr.any_faults());
+    let fired = |s: &tas_sim::Snapshot| {
+        [
+            "fault.dropped",
+            "fault.duplicated",
+            "fault.reordered",
+            "fault.jittered",
+            "fault.corrupted",
+        ]
+        .iter()
+        .map(|&n| s.counter(n, tas_sim::Scope::Global))
+        .sum::<u64>()
+            > 0
+    };
+    let nic_snap = sim.agent::<TasHost>(topo.hosts[1]).nic().tx_fault_snapshot();
+    assert!(nic_snap.counter("fault.seen", tas_sim::Scope::Global) > 200 && fired(&nic_snap));
+    let port_snap = sim.agent::<Switch>(topo.switch).port_fault_snapshot(0);
+    assert!(port_snap.counter("fault.seen", tas_sim::Scope::Global) > 200 && fired(&port_snap));
     assert!(tas_tcp::audit::checks_performed() > tcp_audits);
     assert!(tas::audit::checks_performed() > tas_audits);
 }

@@ -15,14 +15,15 @@
 
 use tas::{CcAlgo, TasConfig, TasHost};
 use tas_apps::bulk::{BulkReceiver, BulkSender};
+use tas_bench::report::{Metric, Report};
 use tas_bench::{fmt_mops, scaled, section, Kind, RpcScenario, TasOverrides};
 use tas_netsim::app::App;
 use tas_netsim::topo::{build_star, host_ip, HostSpec};
-use tas_netsim::{NetMsg, NicConfig, PortConfig};
+use tas_netsim::{FaultSpec, NetMsg, NicConfig, PortConfig};
 use tas_sim::{AgentId, Sim, SimTime};
 
 /// Ablation A: echo throughput vs. per-flow state footprint.
-fn ablate_state_footprint() {
+fn ablate_state_footprint(rep: &mut Report) {
     section(
         "Ablation A: per-flow state footprint (lines touched per request)",
         "design choice: 102 B compact state (Table 3); fat state thrashes the cache",
@@ -61,6 +62,9 @@ fn ablate_state_footprint() {
         100.0 * (1.0 - at_max[1] / at_max[0]),
         100.0 * (1.0 - at_max[2] / at_max[0]),
     );
+    for (i, name) in ["state_102b", "state_512b", "state_1900b"].iter().enumerate() {
+        rep.push(Metric::value(name, "mops", at_max[i]));
+    }
 }
 
 /// Outcome of one bulk fan-in run.
@@ -100,7 +104,11 @@ fn bulk_fan_in(cc: CcAlgo, stall_intervals: u32, loss: f64, senders: usize, seed
         )))
     };
     let mut port = PortConfig::tengig();
-    port.loss = loss;
+    if loss > 0.0 {
+        // Seeded drops via the fault injector (the deprecated `loss`
+        // shim would also work, but the injector is the mechanism).
+        port.fault = FaultSpec::uniform_loss(loss, seed);
+    }
     let topo = build_star(
         &mut sim,
         1 + senders,
@@ -138,7 +146,7 @@ fn bulk_fan_in(cc: CcAlgo, stall_intervals: u32, loss: f64, senders: usize, seed
 }
 
 /// Ablation B: fast-path rate enforcement on/off under fan-in.
-fn ablate_rate_enforcement() {
+fn ablate_rate_enforcement(rep: &mut Report) {
     section(
         "Ablation B: fast-path per-flow rate enforcement (4x25 bulk flows -> one 10G port)",
         "design choice: slow-path CC enforced by fast-path rate limiters; off = queue collapse",
@@ -168,10 +176,17 @@ fn ablate_rate_enforcement() {
             format!("inf ({} vs 0", off.fast_rexmits + off.timeout_rexmits) + ")"
         }
     );
+    for (name, r) in [("enforced", &on), ("unenforced", &off)] {
+        rep.push(
+            Metric::value(&format!("{name}_gbps"), "gbps", r.gbps)
+                .with_component("fast_rexmits", r.fast_rexmits as f64)
+                .with_component("timeout_rexmits", r.timeout_rexmits as f64),
+        );
+    }
 }
 
 /// Ablation C: slow-path stall-detector threshold under loss.
-fn ablate_stall_threshold() {
+fn ablate_stall_threshold(rep: &mut Report) {
     section(
         "Ablation C: stall-detector retransmit threshold (1% loss, 25 bulk flows)",
         "design choice: retransmit after 2 stalled control intervals (paper §3.2)",
@@ -186,6 +201,11 @@ fn ablate_stall_threshold() {
             "{intervals:<12} {:>10.2} {:>14} {:>16}",
             r.gbps, r.fast_rexmits, r.timeout_rexmits
         );
+        rep.push(
+            Metric::value(&format!("stall_{intervals}_gbps"), "gbps", r.gbps)
+                .with_component("fast_rexmits", r.fast_rexmits as f64)
+                .with_component("timeout_rexmits", r.timeout_rexmits as f64),
+        );
     }
     println!();
     println!(
@@ -195,7 +215,10 @@ fn ablate_stall_threshold() {
 }
 
 fn main() {
-    ablate_state_footprint();
-    ablate_rate_enforcement();
-    ablate_stall_threshold();
+    let mut rep = Report::new("ablations", "Design-choice ablations", 300);
+    ablate_state_footprint(&mut rep);
+    ablate_rate_enforcement(&mut rep);
+    ablate_stall_threshold(&mut rep);
+    let path = rep.write().expect("write BENCH_ablations.json");
+    println!("report: {}", path.display());
 }

@@ -127,4 +127,22 @@ fn main() {
         "tuple wire size {} B; paper reference: Linux 6.96us/0.37us/20ms; mTCP 4ms/0.33us/14ms; TAS 7.47us/0.36us/8ms",
         TUPLE_SIZE
     );
+    let mut rep =
+        tas_bench::report::Report::new("fig10", "FlexStorm throughput and tuple latency", 1);
+    rep.param("spout_rate", rate).param("nodes", 3);
+    for (kind, mtps, st) in &results {
+        let name = match kind {
+            Kind::Linux => "linux",
+            Kind::Mtcp => "mtcp",
+            _ => "tas",
+        };
+        rep.push(
+            tas_bench::report::Metric::value(&format!("{name}_mtps"), "mops", *mtps)
+                .with_component("input_us", st.input_us)
+                .with_component("proc_us", st.proc_us)
+                .with_component("output_ms", st.output_ms),
+        );
+    }
+    let path = rep.write().expect("write BENCH_fig10.json");
+    println!("report: {}", path.display());
 }

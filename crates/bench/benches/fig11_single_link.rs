@@ -181,9 +181,11 @@ fn main() {
         vec![50, 100, 400, 1000],
         vec![25, 50, 100, 200, 400, 600, 800, 1000],
     );
+    let mut tas_rows = Vec::new();
     for &tau in &taus {
         let (fct, q) = run(Cc::TasRate { tau_us: tau }, 13 + tau);
         println!("{tau:<10} {fct:>12.2} {q:>14.1}");
+        tas_rows.push((tau, fct, q));
     }
     println!();
     let (timely_fct, timely_q) = run(Cc::TasTimely, 29);
@@ -195,4 +197,28 @@ fn main() {
     println!(
         "paper shape: TAS FCT ~= DCTCP's for tau > RTT; TCP's queue is much larger than DCTCP/TAS"
     );
+    let mut rep = tas_bench::report::Report::new(
+        "fig11",
+        "Single-link CC fidelity: FCT and bottleneck queue",
+        11,
+    );
+    rep.param("load", "0.75").param("senders", 8);
+    let fct_us = |ms: f64| ms * 1000.0;
+    rep.push(tas_bench::report::Metric::value("tcp_fct", "us", fct_us(tcp_fct)).with_tol(0.20));
+    rep.push(tas_bench::report::Metric::value("dctcp_fct", "us", fct_us(dctcp_fct)).with_tol(0.20));
+    rep.push(tas_bench::report::Metric::value("tcp_queue_pkts", "pkts", tcp_q));
+    rep.push(tas_bench::report::Metric::value("dctcp_queue_pkts", "pkts", dctcp_q));
+    for &(tau, fct, q) in &tas_rows {
+        rep.push(
+            tas_bench::report::Metric::value(&format!("tas_tau{tau}_fct"), "us", fct_us(fct))
+                .with_tol(0.20),
+        );
+        rep.push(tas_bench::report::Metric::value(
+            &format!("tas_tau{tau}_queue_pkts"),
+            "pkts",
+            q,
+        ));
+    }
+    let path = rep.write().expect("write BENCH_fig11.json");
+    println!("report: {}", path.display());
 }

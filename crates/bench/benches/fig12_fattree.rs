@@ -183,4 +183,19 @@ fn main() {
     }
     println!();
     println!("paper shape: TAS's distribution tracks DCTCP's; TCP has the heavier tail");
+    let mut rep = tas_bench::report::Report::new("fig12", "FatTree flow completion times", 21);
+    rep.param("k", scaled(4, 8)).param("hosts", scaled(16, 128));
+    for (name, s, l) in &results {
+        let tag = name.to_lowercase();
+        rep.push(
+            tas_bench::report::Metric::quantiles(&format!("{tag}_short_fct"), "ns", s)
+                .with_tol(0.20),
+        );
+        rep.push(
+            tas_bench::report::Metric::quantiles(&format!("{tag}_long_fct"), "ns", l)
+                .with_tol(0.20),
+        );
+    }
+    let path = rep.write().expect("write BENCH_fig12.json");
+    println!("report: {}", path.display());
 }

@@ -112,6 +112,7 @@ fn main() {
         "{:<8} {:>14} {:>14} {:>10} {:>14} {:>10}",
         "conns", "TAS med [B]", "TAS p99 [B]", "p99/med", "Linux med [B]", "med/fair"
     );
+    let mut rows = Vec::new();
     for &n in &conn_counts {
         let (tm, tp, fair) = run(Stack::Tas, n, 31);
         let (lm, _lp, _) = run(Stack::Linux, n, 32);
@@ -120,10 +121,27 @@ fn main() {
             if tm > 0.0 { tp / tm } else { 0.0 },
             if fair > 0.0 { lm / fair } else { 0.0 },
         );
-        let _ = fair;
+        rows.push((n, tm, tp, lm, fair));
     }
     println!();
     println!(
         "paper: TAS median ~= fair share with tight spread; Linux medians swing widely across runs"
     );
+    let mut rep =
+        tas_bench::report::Report::new("fig13", "Incast per-connection fairness (4 -> 1)", 31);
+    rep.param("senders", 4);
+    for &(n, tm, tp, lm, fair) in &rows {
+        rep.push(
+            tas_bench::report::Metric::value(&format!("tas_{n}c_median"), "bytes", tm)
+                .with_component("p99", tp)
+                .with_component("fair_share", fair),
+        );
+        rep.push(tas_bench::report::Metric::value(
+            &format!("linux_{n}c_median"),
+            "bytes",
+            lm,
+        ));
+    }
+    let path = rep.write().expect("write BENCH_fig13.json");
+    println!("report: {}", path.display());
 }

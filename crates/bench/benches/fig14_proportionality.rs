@@ -9,148 +9,42 @@
 //! so a handful of load-generator clients saturate multiple fast-path
 //! cores; thresholds and the controller are the paper's (add below 0.2
 //! aggregate idle cores, remove above 1.25, 1 ms monitor).
+//!
+//! The runner lives in `tas_bench::scenarios::fig14` so this harness and
+//! the `bench-report` regression gate measure the exact same scenario.
 
-use tas::host::timers as tas_timers;
-use tas::{ApiKind, CcAlgo, TasConfig, TasHost};
-use tas_apps::kv::KvServer;
-use tas_apps::loadgen::{timers as lg_timers, LoadGenConfig, LoadGenHost};
-use tas_bench::{scaled, section};
-use tas_netsim::app::App;
-use tas_netsim::topo::{build_star, host_ip, HostSpec};
-use tas_netsim::{NetMsg, NicConfig, PortConfig};
-use tas_sim::{AgentId, Sim, SimTime};
-
-/// Builds the proportionality scenario; returns (sim, server, clients).
-pub fn build(seed: u64, step: SimTime, clients: usize) -> (Sim<NetMsg>, AgentId, Vec<AgentId>) {
-    let mut sim: Sim<NetMsg> = Sim::new(seed);
-    let server_ip = host_ip(0);
-    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
-        if spec.index == 0 {
-            // Reduced clock so modest load exercises many cores.
-            let cfg = TasConfig {
-                freq_hz: 50_000_000,
-                max_fp_cores: 10,
-                initial_fp_cores: 1,
-                app_cores: 10,
-                api: ApiKind::Sockets,
-                cc: CcAlgo::None,
-                rx_buf: 4096,
-                tx_buf: 4096,
-                proportional: true,
-                max_core_backlog: SimTime::from_ms(50),
-                ..TasConfig::default()
-            };
-            let app: Box<dyn App> = Box::new(KvServer::new(7));
-            sim.add_agent(Box::new(TasHost::new(
-                spec.ip,
-                spec.mac,
-                spec.nic,
-                cfg,
-                spec.uplink,
-                app,
-            )))
-        } else {
-            let mut template = vec![0u8; tas_apps::kv::REQ_HDR + tas_apps::kv::VAL_SIZE];
-            template[0] = tas_apps::kv::OP_GET;
-            template[1..5].copy_from_slice(&1u32.to_be_bytes());
-            let cfg = LoadGenConfig {
-                server: server_ip,
-                port: 7,
-                conns: 80,
-                think: SimTime::from_ms(1),
-                req_size: template.len(),
-                resp_size: tas_apps::kv::RESP_HDR + tas_apps::kv::VAL_SIZE,
-                req_template: Some(template),
-                // Each client stops issuing when its down-step arrives.
-                stop_at: SimTime::ZERO,
-                ..LoadGenConfig::default()
-            };
-            sim.add_agent(Box::new(LoadGenHost::new(
-                spec.ip,
-                spec.mac,
-                spec.nic,
-                spec.uplink,
-                cfg,
-            )))
-        }
-    };
-    let topo = build_star(
-        &mut sim,
-        1 + clients,
-        |i| {
-            if i == 0 {
-                PortConfig::fortygig()
-            } else {
-                PortConfig::tengig()
-            }
-        },
-        |i| {
-            if i == 0 {
-                NicConfig::server_40g(1)
-            } else {
-                NicConfig::client_10g(1)
-            }
-        },
-        &mut factory,
-    );
-    sim.inject_timer(SimTime::ZERO, topo.hosts[0], tas_timers::INIT, 0);
-    // Staggered starts; mirrored stops.
-    let total = step * (2 * clients as u64 + 1);
-    for (i, &h) in topo.hosts[1..].iter().enumerate() {
-        let start = step * i as u64;
-        let stop = total - step * (i as u64 + 1);
-        sim.inject_timer(start, h, lg_timers::INIT, 0);
-        sim.agent_mut::<LoadGenHost>(h).set_stop_at(stop);
-    }
-    (sim, topo.hosts[0], topo.hosts[1..].to_vec())
-}
+use tas_bench::scenarios::fig14;
+use tas_bench::section;
 
 fn main() {
     section(
         "Figure 14: fast-path cores and throughput under stepped load",
         "cores ramp 1 -> ~9 -> 1 as clients come and go; throughput tracks",
     );
-    let clients = 5usize;
-    let step = scaled(SimTime::from_ms(400), SimTime::from_secs(2));
-    let (mut sim, server, client_ids) = build(42, step, clients);
-    let total = step * (2 * clients as u64 + 1);
-    let sample = SimTime::from_ms(scaled(100, 500));
+    let (step, sample) = fig14::canonical_params();
+    let outcome = fig14::run(42, step, 5, sample);
     println!(
         "{:<10} {:>7} {:>14} {:>10}",
         "t [ms]", "cores", "kOps/s", "clients"
     );
-    let mut t = SimTime::ZERO;
-    let mut prev_done = 0u64;
-    let mut max_cores = 0usize;
-    while t < total {
-        t += sample;
-        sim.run_until(t);
-        let done: u64 = client_ids
-            .iter()
-            .map(|&c| sim.agent::<LoadGenHost>(c).done)
-            .sum();
-        let server_h = sim.agent::<TasHost>(server);
-        let cores = server_h.active_fp_cores();
-        max_cores = max_cores.max(cores);
-        let kops = (done - prev_done) as f64 / sample.as_secs_f64() / 1e3;
-        let active = client_ids
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| {
-                let start = step * *i as u64;
-                let stop = total - step * (*i as u64 + 1);
-                t > start && t < stop
-            })
-            .count();
-        println!("{:<10} {cores:>7} {kops:>14.1} {active:>10}", t.as_millis(),);
-        prev_done = done;
+    for row in &outcome.rows {
+        println!(
+            "{:<10} {:>7} {:>14.1} {:>10}",
+            row.t_ms, row.cores, row.kops, row.active_clients
+        );
     }
-    let stats = sim.agent::<TasHost>(server).host_stats();
     println!();
     println!(
-        "core-scaling events: {}; peak cores {max_cores}; final cores {}",
-        stats.scale_events,
-        sim.agent::<TasHost>(server).active_fp_cores()
+        "core-scaling events: {}; peak cores {}; final cores {}",
+        outcome.scale_events, outcome.max_cores, outcome.final_cores
+    );
+    println!(
+        "queue-depth recorder: {} samples; mean core utilization {:.2}",
+        outcome.series_samples, outcome.mean_util
     );
     println!("paper: cores ramp 1 -> 9 -> 1 following the load staircase");
+    let path = fig14::report_from(&outcome, step)
+        .write()
+        .expect("write BENCH_fig14.json");
+    println!("report: {}", path.display());
 }

@@ -3,133 +3,39 @@
 //!
 //! Paper: during the core-count adjustment, latency spikes by ~15 µs
 //! (~30%) and quickly returns to the previous level.
+//!
+//! The runner lives in `tas_bench::scenarios::fig15` so this harness and
+//! the `bench-report` regression gate measure the exact same scenario.
 
-use tas::host::timers as tas_timers;
-use tas::{ApiKind, CcAlgo, TasConfig, TasHost};
-use tas_apps::kv::KvServer;
-use tas_apps::loadgen::{timers as lg_timers, LoadGenConfig, LoadGenHost};
-use tas_bench::{scaled, section};
-use tas_netsim::app::App;
-use tas_netsim::topo::{build_star, host_ip, HostSpec};
-use tas_netsim::{NetMsg, NicConfig, PortConfig};
-use tas_sim::{AgentId, Sim, SimTime};
+use tas_bench::scenarios::fig15;
+use tas_bench::section;
+use tas_sim::SimTime;
 
 fn main() {
     section(
         "Figure 15: request latency across a fast-path core addition",
         "latency spikes ~30% (~15us) during the adjustment, then recovers",
     );
-    let mut sim: Sim<NetMsg> = Sim::new(7);
-    let server_ip = host_ip(0);
-    let clients = 3usize;
-    let step = SimTime::from_ms(300);
-    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
-        if spec.index == 0 {
-            // Reduced clock so modest load exercises many cores.
-            let cfg = TasConfig {
-                freq_hz: 50_000_000,
-                max_fp_cores: 10,
-                initial_fp_cores: 1,
-                app_cores: 10,
-                api: ApiKind::Sockets,
-                cc: CcAlgo::None,
-                rx_buf: 4096,
-                tx_buf: 4096,
-                proportional: true,
-                max_core_backlog: SimTime::from_ms(50),
-                ..TasConfig::default()
-            };
-            let app: Box<dyn App> = Box::new(KvServer::new(7));
-            sim.add_agent(Box::new(TasHost::new(
-                spec.ip,
-                spec.mac,
-                spec.nic,
-                cfg,
-                spec.uplink,
-                app,
-            )))
-        } else {
-            let mut template = vec![0u8; tas_apps::kv::REQ_HDR + tas_apps::kv::VAL_SIZE];
-            template[0] = tas_apps::kv::OP_GET;
-            template[1..5].copy_from_slice(&1u32.to_be_bytes());
-            let cfg = LoadGenConfig {
-                server: server_ip,
-                port: 7,
-                conns: 80,
-                think: SimTime::from_ms(1),
-                req_size: template.len(),
-                resp_size: tas_apps::kv::RESP_HDR + tas_apps::kv::VAL_SIZE,
-                req_template: Some(template),
-                ..LoadGenConfig::default()
-            };
-            sim.add_agent(Box::new(LoadGenHost::new(
-                spec.ip,
-                spec.mac,
-                spec.nic,
-                spec.uplink,
-                cfg,
-            )))
-        }
-    };
-    let topo = build_star(
-        &mut sim,
-        1 + clients,
-        |i| {
-            if i == 0 {
-                PortConfig::fortygig()
-            } else {
-                PortConfig::tengig()
-            }
-        },
-        |i| {
-            if i == 0 {
-                NicConfig::server_40g(1)
-            } else {
-                NicConfig::client_10g(1)
-            }
-        },
-        &mut factory,
-    );
-    sim.inject_timer(SimTime::ZERO, topo.hosts[0], tas_timers::INIT, 0);
-    for (i, &h) in topo.hosts[1..].iter().enumerate() {
-        sim.inject_timer(step * i as u64, h, lg_timers::INIT, 0);
-    }
-    // Sample windowed latency and core count at fine granularity around
-    // the client-arrival steps.
-    let sample = SimTime::from_ms(scaled(10, 5));
-    let total = step * (clients as u64 + 1);
+    let outcome = fig15::run(7, 3, SimTime::from_ms(300), fig15::canonical_sample());
     println!("{:<10} {:>7} {:>14}", "t [ms]", "cores", "mean lat [us]");
-    let mut t = SimTime::ZERO;
-    let mut spikes = 0;
-    let mut prev_lat = 0.0f64;
-    while t < total {
-        t += sample;
-        sim.run_until(t);
-        let mut lat = 0.0;
-        let mut n = 0u64;
-        for &c in &topo.hosts[1..] {
-            let lg = sim.agent_mut::<LoadGenHost>(c);
-            if lg.window_lat_us.count() > 0 {
-                lat += lg.window_lat_us.mean() * lg.window_lat_us.count() as f64;
-                n += lg.window_lat_us.count();
-            }
-            lg.reset_window();
-        }
-        let mean = if n > 0 { lat / n as f64 } else { 0.0 };
-        let cores = sim.agent::<TasHost>(topo.hosts[0]).active_fp_cores();
-        println!("{:<10} {cores:>7} {mean:>14.1}", t.as_millis());
-        if prev_lat > 0.0 && mean > prev_lat * 1.25 {
-            spikes += 1;
-        }
-        if mean > 0.0 {
-            prev_lat = mean;
-        }
+    for row in &outcome.rows {
+        println!(
+            "{:<10} {:>7} {:>14.1}",
+            row.t_ms, row.cores, row.mean_lat_us
+        );
     }
     println!();
-    let st = sim.agent::<TasHost>(topo.hosts[0]).host_stats();
     println!(
-        "scaling events: {}, transient latency spikes (>25% jump): {spikes}",
-        st.scale_events
+        "scaling events: {}, transient latency spikes (>25% jump): {}",
+        outcome.scale_events, outcome.spikes
+    );
+    println!(
+        "steady-state latency {:.1} us, worst sampled mean {:.1} us",
+        outcome.steady_lat_us, outcome.peak_lat_us
     );
     println!("paper: ~15us (~30%) spike during each adjustment, quick recovery");
+    let path = fig15::report_from(&outcome)
+        .write()
+        .expect("write BENCH_fig15.json");
+    println!("report: {}", path.display());
 }

@@ -4,9 +4,12 @@
 //! Paper: with 1k connections TAS ≈ 5.1× Linux and 0.95× IX; past
 //! saturation Linux degrades up to 40% and IX up to 60% with rising
 //! connection counts, while TAS degrades ≤7% (minimal fast-path state).
+//!
+//! The runner lives in `tas_bench::scenarios::fig4` so this harness and
+//! the `bench-report` regression gate measure the exact same scenario.
 
-use tas_bench::{fmt_mops, full_scale, scaled, section, Kind, RpcScenario};
-use tas_sim::SimTime;
+use tas_bench::scenarios::fig4;
+use tas_bench::{fmt_mops, full_scale, section, Kind};
 
 fn main() {
     section(
@@ -31,15 +34,10 @@ fn main() {
             .into_iter()
             .enumerate()
         {
-            let cores = (10, 10); // 20 total for every stack.
-            let mut sc = RpcScenario::echo(kind, cores, conns);
-            sc.warmup = scaled(SimTime::from_ms(15), SimTime::from_ms(50));
-            sc.measure = scaled(SimTime::from_ms(10), SimTime::from_ms(50));
-            sc.seed = 42 + conns as u64;
-            let r = tas_bench::run_rpc(&sc);
-            row += &format!("{:>10}", fmt_mops(r.mops));
-            peak[i] = peak[i].max(r.mops);
-            last[i] = r.mops;
+            let mops = fig4::measure(kind, conns);
+            row += &format!("{:>10}", fmt_mops(mops));
+            peak[i] = peak[i].max(mops);
+            last[i] = mops;
         }
         println!("{row}");
     }
@@ -53,4 +51,6 @@ fn main() {
         );
     }
     println!("paper: TAS degrades ~7%, IX up to 60%, Linux ~40%");
+    let path = fig4::report().write().expect("write BENCH_fig4.json");
+    println!("report: {}", path.display());
 }

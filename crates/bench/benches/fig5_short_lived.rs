@@ -118,4 +118,25 @@ fn main() {
         last.1 / last.2
     );
     println!("paper: TAS outperforms Linux with >=4 RPCs/conn; 95% utilization at 256");
+    let mut rep = tas_bench::report::Report::new("fig5", "Short-lived connection throughput", 7);
+    rep.param("conns", conns);
+    for &(m, t, l) in &tas_results {
+        rep.push(tas_bench::report::Metric::value(
+            &format!("tas_{m}mpc"),
+            "mops",
+            t,
+        ));
+        rep.push(tas_bench::report::Metric::value(
+            &format!("linux_{m}mpc"),
+            "mops",
+            l,
+        ));
+    }
+    rep.push(tas_bench::report::Metric::value(
+        "tas_persistent",
+        "mops",
+        t_inf,
+    ));
+    let path = rep.write().expect("write BENCH_fig5.json");
+    println!("report: {}", path.display());
 }

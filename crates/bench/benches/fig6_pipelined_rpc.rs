@@ -5,117 +5,12 @@
 //! Paper: RX small RPCs: TAS up to 4.5× Linux, line rate at 2KB for 250
 //! cycles; TX small RPCs: TAS up to 12.4× Linux and 1.5× mTCP; at 1000
 //! cycles the gap narrows (TAS ~2.5× Linux) regardless of size.
+//!
+//! The runner lives in `tas_bench::scenarios::fig6` so this harness and
+//! the `bench-report` regression gate measure the exact same scenario.
 
-use tas_apps::echo::{EchoServer, RpcClient, ServerMode, SinkClient};
-use tas_bench::{make_server, scaled, section, Bufs, Kind};
-use tas_netsim::app::App;
-use tas_netsim::topo::{build_star, host_ip, HostSpec};
-use tas_netsim::{NetMsg, NicConfig, PortConfig};
-use tas_sim::{AgentId, Sim, SimTime};
-
-#[derive(Clone, Copy, PartialEq)]
-enum Dir {
-    Rx,
-    Tx,
-}
-
-/// Returns server-side goodput in Gbps.
-fn run(kind: Kind, dir: Dir, size: usize, delay_cycles: u64, seed: u64) -> f64 {
-    let mut sim: Sim<NetMsg> = Sim::new(seed);
-    let server_ip = host_ip(0);
-    let clients = 4usize;
-    let conns_per_client = 25u32; // 100 connections total, as the paper.
-    let bufs = Bufs {
-        rx: (size * 16).max(8192),
-        tx: (size * 16).max(8192),
-    };
-    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
-        if spec.index == 0 {
-            let mode = match dir {
-                Dir::Rx => ServerMode::Consume,
-                Dir::Tx => ServerMode::Stream { size },
-            };
-            let app: Box<dyn App> = Box::new(EchoServer::new(7, size, mode, delay_cycles));
-            // Single-threaded server: exactly one application core. TAS
-            // adds fast-path cores beside it; mTCP adds a dedicated stack
-            // core (as the paper observes it must); Linux runs stack and
-            // app on the single core.
-            let cores = match kind {
-                Kind::TasSockets | Kind::TasLowLevel => (2, 1),
-                Kind::Mtcp => (1, 1), // 2 total: 1 stack + 1 app.
-                _ => (1, 0),          // 1 total.
-            };
-            make_server(sim, spec, kind, cores, bufs, app)
-        } else {
-            let app: Box<dyn App> = match dir {
-                Dir::Rx => {
-                    let mut c = RpcClient::new(
-                        server_ip,
-                        7,
-                        conns_per_client,
-                        16,
-                        size,
-                        tas_apps::echo::Lifetime::Persistent,
-                    );
-                    c.expect_reply = false; // Stream requests at the server.
-                    Box::new(c)
-                }
-                Dir::Tx => Box::new(SinkClient::new(server_ip, 7, conns_per_client)),
-            };
-            // Clients always run on TAS (never the bottleneck).
-            make_server(sim, spec, Kind::TasSockets, (2, 2), bufs, app)
-        }
-    };
-    let topo = build_star(
-        &mut sim,
-        1 + clients,
-        |i| {
-            if i == 0 {
-                PortConfig::fortygig()
-            } else {
-                PortConfig::tengig()
-            }
-        },
-        |i| {
-            if i == 0 {
-                NicConfig::server_40g(1)
-            } else {
-                NicConfig::client_10g(1)
-            }
-        },
-        &mut factory,
-    );
-    for &h in &topo.hosts {
-        sim.inject_timer(SimTime::ZERO, h, 0, 0);
-    }
-    let warmup = SimTime::from_ms(20);
-    let window = scaled(SimTime::from_ms(15), SimTime::from_ms(60));
-    sim.run_until(warmup);
-    let b0 = server_bytes(&sim, topo.hosts[0], kind, dir);
-    sim.run_until(warmup + window);
-    let b1 = server_bytes(&sim, topo.hosts[0], kind, dir);
-    (b1 - b0) as f64 * 8.0 / window.as_secs_f64() / 1e9
-}
-
-fn server_bytes(sim: &Sim<NetMsg>, id: AgentId, kind: Kind, dir: Dir) -> u64 {
-    let (bin, bout) = match kind {
-        Kind::TasSockets | Kind::TasLowLevel => {
-            let a = sim.agent::<tas::TasHost>(id).app_as::<EchoServer>();
-            (a.bytes_in, a.bytes_out)
-        }
-        _ => {
-            let a = sim
-                .agent::<tas_baselines::StackHost>(id)
-                .app_as::<EchoServer>();
-            (a.bytes_in, a.bytes_out)
-        }
-    };
-    if dir == Dir::Rx {
-        bin
-    } else {
-        bout
-    }
-}
+use tas_bench::scenarios::fig6::{self, Dir};
+use tas_bench::{scaled, section, Kind};
 
 fn main() {
     section(
@@ -130,9 +25,9 @@ fn main() {
             println!("{d} throughput [Gbps], {delay} cycles/message:");
             println!("{:<8} {:>8} {:>8} {:>8}", "size", "TAS", "mTCP", "Linux");
             for &size in &sizes {
-                let t = run(Kind::TasSockets, dir, size, delay, 1);
-                let m = run(Kind::Mtcp, dir, size, delay, 2);
-                let l = run(Kind::Linux, dir, size, delay, 3);
+                let t = fig6::run(Kind::TasSockets, dir, size, delay, 1);
+                let m = fig6::run(Kind::Mtcp, dir, size, delay, 2);
+                let l = fig6::run(Kind::Linux, dir, size, delay, 3);
                 println!("{size:<8} {t:>8.2} {m:>8.2} {l:>8.2}");
             }
         }
@@ -141,4 +36,6 @@ fn main() {
     println!(
         "paper shape: TAS >> Linux at small sizes; TAS ~ mTCP at TX; gaps shrink at 1000 cycles"
     );
+    let path = fig6::report().write().expect("write BENCH_fig6.json");
+    println!("report: {}", path.display());
 }

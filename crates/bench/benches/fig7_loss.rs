@@ -5,108 +5,12 @@
 //! Paper: TAS loses ≤1.5% up to 1% loss and 13% at 5%; roughly 2× the
 //! Linux penalty; without the out-of-order interval the penalty roughly
 //! triples.
+//!
+//! The runner lives in `tas_bench::scenarios::fig7` so this harness and
+//! the `bench-report` regression gate measure the exact same scenario.
 
-use tas::{CcAlgo, TasConfig, TasHost};
-use tas_apps::bulk::{BulkReceiver, BulkSender};
-use tas_baselines::{profiles, StackHost, StackHostConfig};
+use tas_bench::scenarios::fig7::{self, Stack};
 use tas_bench::{scaled, section};
-use tas_netsim::app::App;
-use tas_netsim::topo::{build_star, host_ip, HostSpec};
-use tas_netsim::{FaultSpec, NetMsg, NicConfig, PortConfig};
-use tas_sim::{AgentId, Sim, SimTime};
-
-#[derive(Clone, Copy, PartialEq)]
-enum Stack {
-    Linux,
-    Tas { ooo: bool },
-}
-
-/// Returns receiver goodput in bits/s with the given loss rate applied to
-/// both directions of the link.
-fn goodput(stack: Stack, loss: f64, seed: u64) -> f64 {
-    let mut sim: Sim<NetMsg> = Sim::new(seed);
-    let recv_ip = host_ip(0);
-    let flows = 100; // The paper's flow count (loss dynamics depend on it).
-    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
-        let is_recv = spec.index == 0;
-        match stack {
-            Stack::Tas { ooo } => {
-                let mut cfg = TasConfig::rpc_bench(2, 2);
-                cfg.rx_buf = 128 * 1024;
-                cfg.tx_buf = 128 * 1024;
-                cfg.ooo_rx = ooo;
-                cfg.cc = CcAlgo::DctcpRate; // The paper's testbed runs DCTCP.
-                cfg.initial_rate_bps = 500_000_000;
-                cfg.control_interval = SimTime::from_us(200);
-                cfg.max_core_backlog = SimTime::from_ms(50);
-                let app: Box<dyn App> = if is_recv {
-                    Box::new(BulkReceiver::new(9))
-                } else {
-                    Box::new(BulkSender::new(recv_ip, 9, flows))
-                };
-                sim.add_agent(Box::new(TasHost::new(
-                    spec.ip,
-                    spec.mac,
-                    spec.nic,
-                    cfg,
-                    spec.uplink,
-                    app,
-                )))
-            }
-            Stack::Linux => {
-                let mut cfg = StackHostConfig::linux(4);
-                cfg.tcp.recv_buf = 128 * 1024;
-                cfg.tcp.send_buf = 128 * 1024;
-                cfg.tcp.rto_min = SimTime::from_ms(2);
-                cfg.max_core_backlog = SimTime::from_ms(50);
-                let app: Box<dyn App> = if is_recv {
-                    Box::new(BulkReceiver::new(9))
-                } else {
-                    Box::new(BulkSender::new(recv_ip, 9, flows))
-                };
-                sim.add_agent(Box::new(StackHost::new(
-                    spec.ip,
-                    spec.mac,
-                    spec.nic,
-                    profiles::linux(),
-                    cfg,
-                    spec.uplink,
-                    app,
-                )))
-            }
-        }
-    };
-    let mut port = PortConfig::tengig();
-    if loss > 0.0 {
-        // Seeded uniform drops via the fault injector (the `loss` field
-        // survives as a compat shim; the injector is the mechanism).
-        port.fault = FaultSpec::uniform_loss(loss, seed);
-    }
-    let topo = build_star(
-        &mut sim,
-        2,
-        move |_| port,
-        |_| NicConfig::client_10g(1),
-        &mut factory,
-    );
-    for &h in &topo.hosts {
-        sim.inject_timer(SimTime::ZERO, h, 0, 0);
-    }
-    let warmup = SimTime::from_ms(50);
-    let window = scaled(SimTime::from_ms(100), SimTime::from_ms(300));
-    sim.run_until(warmup);
-    let b0 = bytes(&sim, topo.hosts[0], stack);
-    sim.run_until(warmup + window);
-    let b1 = bytes(&sim, topo.hosts[0], stack);
-    (b1 - b0) as f64 * 8.0 / window.as_secs_f64()
-}
-
-fn bytes(sim: &Sim<NetMsg>, id: AgentId, stack: Stack) -> u64 {
-    match stack {
-        Stack::Tas { .. } => sim.agent::<TasHost>(id).app_as::<BulkReceiver>().total,
-        Stack::Linux => sim.agent::<StackHost>(id).app_as::<BulkReceiver>().total,
-    }
-}
 
 fn main() {
     section(
@@ -122,15 +26,15 @@ fn main() {
         "loss", "Linux %", "TAS %", "TAS simple %"
     );
     // Baselines without loss, same seeds as the loss runs.
-    let base_linux = goodput(Stack::Linux, 0.0, 100);
-    let base_tas = goodput(Stack::Tas { ooo: true }, 0.0, 101);
-    let base_simple = goodput(Stack::Tas { ooo: false }, 0.0, 102);
+    let base_linux = fig7::goodput(Stack::Linux, 0.0, 100);
+    let base_tas = fig7::goodput(Stack::Tas { ooo: true }, 0.0, 101);
+    let base_simple = fig7::goodput(Stack::Tas { ooo: false }, 0.0, 102);
     let mut last = (0.0, 0.0, 0.0);
     for &loss in &rates {
         let p = |base: f64, g: f64| 100.0 * (1.0 - g / base).max(0.0);
-        let l = p(base_linux, goodput(Stack::Linux, loss, 100));
-        let t = p(base_tas, goodput(Stack::Tas { ooo: true }, loss, 101));
-        let s = p(base_simple, goodput(Stack::Tas { ooo: false }, loss, 102));
+        let l = p(base_linux, fig7::goodput(Stack::Linux, loss, 100));
+        let t = p(base_tas, fig7::goodput(Stack::Tas { ooo: true }, loss, 101));
+        let s = p(base_simple, fig7::goodput(Stack::Tas { ooo: false }, loss, 102));
         println!(
             "{:<10} {l:>10.1} {t:>10.1} {s:>14.1}",
             format!("{:.1}%", loss * 100.0)
@@ -142,4 +46,6 @@ fn main() {
     println!(
         "at max loss: Linux {l:.1}%, TAS {t:.1}%, TAS-simple {s:.1}% (paper order: Linux < TAS < simple)"
     );
+    let path = fig7::report().write().expect("write BENCH_fig7.json");
+    println!("report: {}", path.display());
 }

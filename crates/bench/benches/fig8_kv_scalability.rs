@@ -75,4 +75,12 @@ fn main() {
     );
     println!("paper: 9.6x, 1.9x, 7.0x, 1.3x");
     let _ = full_scale();
+    let mut rep =
+        tas_bench::report::Report::new("fig8", "KV throughput scalability at max cores", 7);
+    rep.param("conns", conns).param("cores", *totals.last().expect("totals"));
+    for (i, name) in ["tas_ll", "tas_so", "ix", "linux"].iter().enumerate() {
+        rep.push(tas_bench::report::Metric::value(name, "mops", at_max[i]));
+    }
+    let path = rep.write().expect("write BENCH_fig8.json");
+    println!("report: {}", path.display());
 }

@@ -4,103 +4,12 @@
 //! Paper (TAS clients): Linux median 97 µs / 99th 177 µs / max 1319 µs;
 //! IX 20 / 30 / 280; TAS 17 / 30 / 122. TAS beats Linux ~5.6× at the
 //! median and both kernel-bypass designs crush Linux's tail.
+//!
+//! The runner lives in `tas_bench::scenarios::fig9` so this harness and
+//! the `bench-report` regression gate measure the exact same scenario.
 
-use tas_apps::kv::{KvClient, KvLoad, KvServer};
-use tas_bench::{make_server, scaled, section, Bufs, Kind};
-use tas_netsim::app::App;
-use tas_netsim::topo::{build_star, host_ip, HostSpec};
-use tas_netsim::{NetMsg, NicConfig, PortConfig};
-use tas_sim::{AgentId, Histogram, Sim, SimTime};
-
-fn run(server: Kind, client: Kind, seed: u64) -> Histogram {
-    let mut sim: Sim<NetMsg> = Sim::new(seed);
-    let server_ip = host_ip(0);
-    let clients = 2usize;
-    // 15% of the ~1.5 mOps single-app-core capacity.
-    let rate_per_client = scaled(60_000, 110_000);
-    let conns_per_client = scaled(32, 128);
-    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
-        if spec.index == 0 {
-            let app: Box<dyn App> = Box::new(KvServer::new(7));
-            make_server(sim, spec, server, (1, 1), Bufs::small(), app)
-        } else {
-            let app: Box<dyn App> = Box::new(KvClient::new(
-                server_ip,
-                7,
-                conns_per_client,
-                100_000,
-                KvLoad::OpenRate {
-                    per_sec: rate_per_client,
-                },
-                seed + spec.index as u64,
-            ));
-            make_server(sim, spec, client, (2, 2), Bufs::small(), app)
-        }
-    };
-    let topo = build_star(
-        &mut sim,
-        1 + clients,
-        |i| {
-            if i == 0 {
-                PortConfig::fortygig()
-            } else {
-                PortConfig::tengig()
-            }
-        },
-        |i| {
-            if i == 0 {
-                NicConfig::server_40g(1)
-            } else {
-                NicConfig::client_10g(1)
-            }
-        },
-        &mut factory,
-    );
-    for &h in &topo.hosts {
-        sim.inject_timer(SimTime::ZERO, h, 0, 0);
-    }
-    let warmup = SimTime::from_ms(20);
-    let window = scaled(SimTime::from_ms(60), SimTime::from_ms(300));
-    sim.run_until(warmup);
-    for &h in &topo.hosts[1..] {
-        set_gate(&mut sim, h, client, warmup);
-    }
-    sim.run_until(warmup + window);
-    let mut hist = Histogram::new();
-    for &h in &topo.hosts[1..] {
-        hist.merge(client_hist(&sim, h, client));
-    }
-    hist
-}
-
-fn set_gate(sim: &mut Sim<NetMsg>, id: AgentId, kind: Kind, t: SimTime) {
-    match kind {
-        Kind::TasSockets | Kind::TasLowLevel => {
-            sim.agent_mut::<tas::TasHost>(id)
-                .app_as_mut::<KvClient>()
-                .measure_from = t;
-        }
-        _ => {
-            // StackHost has no app_as_mut; reach through the agent.
-            sim.agent_mut::<tas_baselines::StackHost>(id)
-                .app_as_mut::<KvClient>()
-                .measure_from = t;
-        }
-    }
-}
-
-fn client_hist(sim: &Sim<NetMsg>, id: AgentId, kind: Kind) -> &Histogram {
-    match kind {
-        Kind::TasSockets | Kind::TasLowLevel => {
-            &sim.agent::<tas::TasHost>(id).app_as::<KvClient>().latency
-        }
-        _ => {
-            &sim.agent::<tas_baselines::StackHost>(id)
-                .app_as::<KvClient>()
-                .latency
-        }
-    }
-}
+use tas_bench::scenarios::fig9;
+use tas_bench::{section, Kind};
 
 fn main() {
     section(
@@ -118,9 +27,8 @@ fn main() {
         (Kind::TasSockets, Kind::Linux, 4),
         (Kind::Linux, Kind::Linux, 5),
     ];
-    let mut medians = Vec::new();
     for (s, c, seed) in combos {
-        let h = run(s, c, seed);
+        let h = fig9::run(s, c, seed);
         let us = |q: f64| h.quantile(q) as f64 / 1000.0;
         println!(
             "{:<16} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8}",
@@ -131,12 +39,11 @@ fn main() {
             h.max() as f64 / 1000.0,
             h.count()
         );
-        medians.push((s, us(0.5)));
     }
     println!();
     // CDF points for the figure (TAS/TAS and Linux/TAS).
-    let tas = run(Kind::TasSockets, Kind::TasSockets, 1);
-    let linux = run(Kind::Linux, Kind::TasSockets, 3);
+    let tas = fig9::run(Kind::TasSockets, Kind::TasSockets, 1);
+    let linux = fig9::run(Kind::Linux, Kind::TasSockets, 3);
     println!("CDF [latency us -> fraction]  (TAS/TAS vs Linux/TAS)");
     let pts: Vec<u64> = vec![5, 10, 15, 20, 30, 50, 75, 100, 150, 200, 400]
         .into_iter()
@@ -148,4 +55,6 @@ fn main() {
     }
     println!();
     println!("paper shape: TAS median ~5.6x better than Linux; TAS max ~2.3x better than IX");
+    let path = fig9::report().write().expect("write BENCH_fig9.json");
+    println!("report: {}", path.display());
 }

@@ -6,10 +6,13 @@
 //!
 //! Paper values (kc): Linux 0.73/1.53/3.92/8.00/1.50/1.07 = 16.75;
 //! IX 0.05/0.12/1.05/0.76/0/0.76 = 2.73; TAS 0.09/0/0.81/0.62/0/0.68 = 2.57.
+//!
+//! The runner lives in `tas_bench::scenarios::table1` so this harness and
+//! the `bench-report` regression gate measure the exact same scenario.
 
-use tas_bench::{scaled, section, Kind, RpcScenario};
+use tas_bench::scenarios::table1;
+use tas_bench::{scaled, section, Kind};
 use tas_cpusim::Module;
-use tas_sim::SimTime;
 
 fn main() {
     section(
@@ -24,15 +27,7 @@ fn main() {
         "Stack", "Driver", "IP", "TCP", "Sockets/API", "Other", "App", "Total"
     );
     for kind in [Kind::Linux, Kind::Ix, Kind::TasSockets] {
-        let cores = match kind {
-            // 8 total cores; TAS splits 4 fast-path + 4 app.
-            Kind::TasSockets => (4, 4),
-            _ => (4, 4),
-        };
-        let mut sc = RpcScenario::kv(kind, cores, conns);
-        sc.warmup = scaled(SimTime::from_ms(20), SimTime::from_ms(100));
-        sc.measure = scaled(SimTime::from_ms(15), SimTime::from_ms(100));
-        let r = tas_bench::run_rpc(&sc);
+        let r = table1::measure(kind);
         let p = &r.per_request;
         let kc = |m: Module| p.cycles[m as usize] / 1000.0;
         println!(
@@ -57,4 +52,6 @@ fn main() {
     println!("Linux       0.73     1.53     3.92         8.00     1.50     1.07    16.75");
     println!("IX          0.05     0.12     1.05         0.76     0.00     0.76     2.73");
     println!("TAS         0.09     0.00     0.81         0.62     0.00     0.68     2.57");
+    let path = table1::report().write().expect("write BENCH_table1.json");
+    println!("report: {}", path.display());
 }

@@ -22,6 +22,9 @@ fn main() {
         "{:<10} {:>14} {:>10} {:>6} {:>14}",
         "Stack", "cyc app/stack", "instr", "CPI", "backend-ish"
     );
+    let mut rep =
+        tas_bench::report::Report::new("table2", "Per-request cycles, instructions, CPI", 0);
+    rep.param("conns", conns);
     for kind in [Kind::Linux, Kind::Ix, Kind::TasSockets] {
         let mut sc = RpcScenario::kv(kind, (4, 4), conns);
         sc.warmup = scaled(SimTime::from_ms(20), SimTime::from_ms(100));
@@ -42,10 +45,19 @@ fn main() {
             p.cpi(),
             backend.max(0.0),
         );
+        let tag = kind.label().to_lowercase().replace(' ', "_");
+        rep.push(
+            tas_bench::report::Metric::value(&format!("stack_cycles_{tag}"), "cycles", stack_c)
+                .with_component("app_cycles", app_c)
+                .with_component("instr", p.total_instr())
+                .with_component("cpi", p.cpi()),
+        );
     }
     println!();
     println!("paper reference:");
     println!("Linux         1100/15700      12700   1.32  (backend 388/9046)");
     println!("IX             800/1900        3300   0.82  (backend 402/1005)");
     println!("TAS            700/1900        3900   0.66  (backend 353/684)");
+    let path = rep.write().expect("write BENCH_table2.json");
+    println!("report: {}", path.display());
 }

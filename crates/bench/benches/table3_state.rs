@@ -37,5 +37,9 @@ fn main() {
     );
     assert_eq!(FLOW_STATE_BYTES, 102);
     assert!(per_core_cache / FLOW_STATE_BYTES > 20_000);
+    let path = tas_bench::scenarios::table3::report()
+        .write()
+        .expect("write BENCH_table3.json");
+    println!("report: {}", path.display());
     println!("OK");
 }

@@ -100,6 +100,9 @@ fn main() {
     );
     println!("{:<22} {:>12}", "sender -> receiver", "goodput Gbps");
     let mut all_ok = true;
+    let mut rep =
+        tas_bench::report::Report::new("table4", "Linux/TAS sender-receiver compatibility", 1);
+    rep.param("flows", scaled(50, 100));
     for (s, r, seed) in [
         (Kind::Linux, Kind::Linux, 1u64),
         (Kind::Linux, Kind::TasSockets, 2),
@@ -117,7 +120,16 @@ fn main() {
         if g < 8.5e9 {
             all_ok = false;
         }
+        let sn = if s == Kind::Linux { "linux" } else { "tas" };
+        let rn = if r == Kind::Linux { "linux" } else { "tas" };
+        rep.push(tas_bench::report::Metric::value(
+            &format!("{sn}_to_{rn}"),
+            "gbps",
+            g / 1e9,
+        ));
     }
+    let path = rep.write().expect("write BENCH_table4.json");
+    println!("report: {}", path.display());
     println!();
     println!(
         "{}",

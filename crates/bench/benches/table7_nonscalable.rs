@@ -55,4 +55,12 @@ fn main() {
         last[0] / last[2],
         last[0] / last[3]
     );
+    let mut rep =
+        tas_bench::report::Report::new("table7", "Non-scalable KV workload at 4 cores", 99);
+    rep.param("conns", 256).param("cores", 4);
+    for (i, name) in ["tas_ll", "tas_so", "ix", "linux"].iter().enumerate() {
+        rep.push(tas_bench::report::Metric::value(name, "mops", last[i]));
+    }
+    let path = rep.write().expect("write BENCH_table7.json");
+    println!("report: {}", path.display());
 }

@@ -22,6 +22,9 @@ use tas_sim::{AgentId, Sim, SimTime};
 
 pub use tas_sim::Histogram;
 
+pub mod report;
+pub mod scenarios;
+
 /// True when `TAS_FULL=1` requests paper-scale runs.
 pub fn full_scale() -> bool {
     std::env::var("TAS_FULL").map(|v| v == "1").unwrap_or(false)
@@ -459,16 +462,14 @@ pub fn run_rpc(sc: &RpcScenario) -> RpcResult {
         latency.merge(&sim.agent::<LoadGenHost>(h).latency);
     }
     let drops = match sc.kind {
-        Kind::TasSockets | Kind::TasLowLevel => {
-            sim.agent::<TasHost>(topo.hosts[0])
-                .host_stats()
-                .drop_backlog
-        }
-        _ => {
-            sim.agent::<StackHost>(topo.hosts[0])
-                .host_stats()
-                .drop_backlog
-        }
+        Kind::TasSockets | Kind::TasLowLevel => sim
+            .agent::<TasHost>(topo.hosts[0])
+            .registry()
+            .counter_value("host.drop_backlog", tas_sim::Scope::Global),
+        _ => sim
+            .agent::<StackHost>(topo.hosts[0])
+            .registry()
+            .counter_value("host.drop_backlog", tas_sim::Scope::Global),
     };
     RpcResult {
         mops: (messages_t1 - messages_t0) as f64 / sc.measure.as_secs_f64() / 1e6,
@@ -509,7 +510,11 @@ fn server_messages(sim: &Sim<NetMsg>, server: AgentId, kind: Kind) -> (u64, u64)
             } else {
                 0
             };
-            (m, h.host_stats().established)
+            (
+                m,
+                h.registry()
+                    .counter_value("host.established", tas_sim::Scope::Global),
+            )
         }
     }
 }

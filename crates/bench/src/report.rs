@@ -1,0 +1,801 @@
+//! Machine-readable bench reports and the regression comparator.
+//!
+//! Every figure/table harness (and the `bench-report` binary) writes its
+//! headline numbers as `BENCH_<fig>.json` at the repo root using the
+//! shared schema below, so the perf trajectory is tracked in data rather
+//! than hand-copied tables:
+//!
+//! ```json
+//! {
+//!   "schema": "tas-bench-report-v1",
+//!   "fig": "fig9",
+//!   "title": "...",
+//!   "seed": 1,
+//!   "scale": "quick",
+//!   "params": {"conns": "64"},
+//!   "metrics": [
+//!     {"name": "latency_tas_tas", "unit": "ns",
+//!      "p50": 17000, "p90": 20000, "p99": 30000, "max": 122000},
+//!     {"name": "goodput_tas", "unit": "gbps", "value": 12.340000},
+//!     {"name": "cycles_tas", "unit": "cycles", "value": 2570.000000,
+//!      "breakdown": {"tcp": 810.000000, "api": 620.000000}}
+//!   ]
+//! }
+//! ```
+//!
+//! Rendering is deterministic: fixed key order, fixed float formatting
+//! (`{:.6}`), no timestamps — two same-seed runs produce byte-identical
+//! files, which `tests/determinism.rs` pins.
+//!
+//! The comparator diffs a generated report against the checked-in
+//! baseline in `crates/bench/baselines/` with per-metric tolerances and
+//! is direction-aware per unit: for latency-like units (ns/us/cycles) a
+//! *higher* current value regresses; for throughput-like units
+//! (mops/kops/gbps) a *lower* one does. Counting units (count, cores,
+//! bytes) are informational and never gate. `UPDATE_BASELINE=1` re-pins.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Schema identifier written into (and required from) every report.
+pub const SCHEMA: &str = "tas-bench-report-v1";
+
+/// Default relative tolerance when a baseline metric carries none.
+pub const DEFAULT_TOL: f64 = 0.10;
+
+/// Latency/throughput distribution digest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Quantiles {
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest observed sample.
+    pub max: u64,
+}
+
+impl Quantiles {
+    /// Digests a histogram (zeros when empty).
+    pub fn of(h: &tas_sim::Histogram) -> Quantiles {
+        Quantiles {
+            p50: h.p50(),
+            p90: h.p90(),
+            p99: h.p99(),
+            max: h.max(),
+        }
+    }
+}
+
+/// The value payload of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricData {
+    /// A distribution (latency CDF digest).
+    Quantiles(Quantiles),
+    /// A scalar (throughput, cycle count, event count).
+    Value(f64),
+}
+
+/// One named, unit-tagged measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    /// Stable metric name (snake_case; part of the baseline contract).
+    pub name: String,
+    /// Unit tag driving the comparator's direction: `ns`/`us`/`cycles`
+    /// regress upward, `mops`/`kops`/`gbps`/`ops` regress downward,
+    /// anything else is informational.
+    pub unit: String,
+    /// The measurement.
+    pub data: MetricData,
+    /// Optional relative tolerance overriding [`DEFAULT_TOL`] when this
+    /// metric is used as a baseline.
+    pub tol: Option<f64>,
+    /// Optional named components (per-module cycles, per-stage latency).
+    pub breakdown: Vec<(String, f64)>,
+}
+
+impl Metric {
+    /// A scalar metric.
+    pub fn value(name: &str, unit: &str, v: f64) -> Metric {
+        Metric {
+            name: name.to_string(),
+            unit: unit.to_string(),
+            data: MetricData::Value(v),
+            tol: None,
+            breakdown: Vec::new(),
+        }
+    }
+
+    /// A distribution metric from a histogram.
+    pub fn quantiles(name: &str, unit: &str, h: &tas_sim::Histogram) -> Metric {
+        Metric {
+            name: name.to_string(),
+            unit: unit.to_string(),
+            data: MetricData::Quantiles(Quantiles::of(h)),
+            tol: None,
+            breakdown: Vec::new(),
+        }
+    }
+
+    /// Sets the per-metric tolerance (builder style).
+    pub fn with_tol(mut self, tol: f64) -> Metric {
+        self.tol = Some(tol);
+        self
+    }
+
+    /// Attaches a breakdown component (builder style).
+    pub fn with_component(mut self, name: &str, v: f64) -> Metric {
+        self.breakdown.push((name.to_string(), v));
+        self
+    }
+}
+
+/// A full per-figure report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// Figure/table tag (`fig9`, `table1`); names the output file.
+    pub fig: String,
+    /// Human title.
+    pub title: String,
+    /// RNG seed the run used.
+    pub seed: u64,
+    /// `quick` or `full` (reports only compare within the same scale).
+    pub scale: String,
+    /// Scenario parameters, for provenance.
+    pub params: Vec<(String, String)>,
+    /// The measurements.
+    pub metrics: Vec<Metric>,
+}
+
+impl Report {
+    /// Starts a report for `fig` under the current scale mode.
+    pub fn new(fig: &str, title: &str, seed: u64) -> Report {
+        Report {
+            fig: fig.to_string(),
+            title: title.to_string(),
+            seed,
+            scale: if crate::full_scale() { "full" } else { "quick" }.to_string(),
+            params: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Records a scenario parameter.
+    pub fn param(&mut self, k: &str, v: impl ToString) -> &mut Self {
+        self.params.push((k.to_string(), v.to_string()));
+        self
+    }
+
+    /// Adds a metric.
+    pub fn push(&mut self, m: Metric) -> &mut Self {
+        self.metrics.push(m);
+        self
+    }
+
+    /// Renders the canonical JSON (fixed key order, `{:.6}` floats).
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(1024);
+        o.push_str("{\n");
+        let _ = writeln!(o, "  \"schema\": {},", json_str(SCHEMA));
+        let _ = writeln!(o, "  \"fig\": {},", json_str(&self.fig));
+        let _ = writeln!(o, "  \"title\": {},", json_str(&self.title));
+        let _ = writeln!(o, "  \"seed\": {},", self.seed);
+        let _ = writeln!(o, "  \"scale\": {},", json_str(&self.scale));
+        o.push_str("  \"params\": {");
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                o.push_str(", ");
+            }
+            let _ = write!(o, "{}: {}", json_str(k), json_str(v));
+        }
+        o.push_str("},\n");
+        o.push_str("  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let _ = write!(
+                o,
+                "    {{\"name\": {}, \"unit\": {}",
+                json_str(&m.name),
+                json_str(&m.unit)
+            );
+            match &m.data {
+                MetricData::Quantiles(q) => {
+                    let _ = write!(
+                        o,
+                        ", \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}",
+                        q.p50, q.p90, q.p99, q.max
+                    );
+                }
+                MetricData::Value(v) => {
+                    let _ = write!(o, ", \"value\": {}", json_f64(*v));
+                }
+            }
+            if let Some(t) = m.tol {
+                let _ = write!(o, ", \"tol\": {}", json_f64(t));
+            }
+            if !m.breakdown.is_empty() {
+                o.push_str(", \"breakdown\": {");
+                for (j, (k, v)) in m.breakdown.iter().enumerate() {
+                    if j > 0 {
+                        o.push_str(", ");
+                    }
+                    let _ = write!(o, "{}: {}", json_str(k), json_f64(*v));
+                }
+                o.push('}');
+            }
+            o.push('}');
+            if i + 1 < self.metrics.len() {
+                o.push(',');
+            }
+            o.push('\n');
+        }
+        o.push_str("  ]\n}\n");
+        o
+    }
+
+    /// Writes `BENCH_<fig>.json` at the repo root; returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = repo_root().join(format!("BENCH_{}.json", self.fig));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Parses a report back from its canonical (or any equivalent) JSON.
+    pub fn from_json(s: &str) -> Result<Report, String> {
+        let v = Json::parse(s)?;
+        let obj = v.as_obj().ok_or("report: not an object")?;
+        let schema = get_str(obj, "schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unknown schema {schema:?} (want {SCHEMA:?})"));
+        }
+        let mut r = Report {
+            fig: get_str(obj, "fig")?.to_string(),
+            title: get_str(obj, "title")?.to_string(),
+            seed: get_num(obj, "seed")? as u64,
+            scale: get_str(obj, "scale")?.to_string(),
+            params: Vec::new(),
+            metrics: Vec::new(),
+        };
+        if let Some(Json::Obj(p)) = obj.get("params") {
+            for (k, v) in p {
+                r.params.push((
+                    k.clone(),
+                    v.as_str().ok_or("param value must be a string")?.to_string(),
+                ));
+            }
+        }
+        let metrics = match obj.get("metrics") {
+            Some(Json::Arr(a)) => a,
+            _ => return Err("report: missing metrics array".into()),
+        };
+        for m in metrics {
+            let mo = m.as_obj().ok_or("metric: not an object")?;
+            let data = if mo.contains_key("value") {
+                MetricData::Value(get_num(mo, "value")?)
+            } else {
+                MetricData::Quantiles(Quantiles {
+                    p50: get_num(mo, "p50")? as u64,
+                    p90: get_num(mo, "p90")? as u64,
+                    p99: get_num(mo, "p99")? as u64,
+                    max: get_num(mo, "max")? as u64,
+                })
+            };
+            let mut breakdown = Vec::new();
+            if let Some(Json::Obj(b)) = mo.get("breakdown") {
+                for (k, v) in b {
+                    breakdown.push((k.clone(), v.as_num().ok_or("breakdown value")?));
+                }
+            }
+            r.metrics.push(Metric {
+                name: get_str(mo, "name")?.to_string(),
+                unit: get_str(mo, "unit")?.to_string(),
+                data,
+                tol: mo.get("tol").and_then(Json::as_num),
+                breakdown,
+            });
+        }
+        if r.metrics.is_empty() {
+            return Err(format!("report {}: no metrics", r.fig));
+        }
+        Ok(r)
+    }
+}
+
+/// Validates a JSON string against the report schema (parse + shape).
+pub fn validate(s: &str) -> Result<(), String> {
+    Report::from_json(s).map(|_| ())
+}
+
+/// Repo root (two levels above this crate's manifest).
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+/// Directory of checked-in baseline reports.
+pub fn baselines_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines")
+}
+
+fn json_str(s: &str) -> String {
+    let mut o = String::with_capacity(s.len() + 2);
+    o.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => o.push_str("\\\""),
+            '\\' => o.push_str("\\\\"),
+            '\n' => o.push_str("\\n"),
+            '\t' => o.push_str("\\t"),
+            '\r' => o.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(o, "\\u{:04x}", c as u32);
+            }
+            c => o.push(c),
+        }
+    }
+    o.push('"');
+    o
+}
+
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0.000000".into();
+    }
+    format!("{v:.6}")
+}
+
+// ----------------------------------------------------------------------
+// Minimal JSON reader (only what the report schema needs; no external
+// dependencies permitted in this tree).
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// Any number (as f64 — report fields all fit exactly).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (sorted keys; duplicate keys keep the last value).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a complete JSON document.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: s.as_bytes(),
+            i: 0,
+        };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing garbage at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn get_str<'a>(o: &'a BTreeMap<String, Json>, k: &str) -> Result<&'a str, String> {
+    o.get(k)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing string field {k:?}"))
+}
+
+fn get_num(o: &BTreeMap<String, Json>, k: &str) -> Result<f64, String> {
+    o.get(k)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing numeric field {k:?}"))
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.b.get(self.i) {
+            Some(b'{') => self.obj(),
+            Some(b'[') => self.arr(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(_) => self.num(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn num(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        debug_assert_eq!(self.b[self.i], b'"');
+        self.i += 1;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let c = *self.b.get(self.i).ok_or("bad escape")?;
+                    self.i += 1;
+                    match c {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            self.i += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape \\{}", c as char)),
+                    }
+                }
+                Some(&c) => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let s = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| "invalid utf-8")?;
+                    let ch = s.chars().next().ok_or("unterminated string")?;
+                    let _ = c;
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn obj(&mut self) -> Result<Json, String> {
+        self.i += 1; // '{'
+        let mut m = BTreeMap::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(m));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.ws();
+            if self.b.get(self.i) != Some(&b':') {
+                return Err(format!("expected ':' at byte {}", self.i));
+            }
+            self.i += 1;
+            self.ws();
+            let v = self.value()?;
+            m.insert(k, v);
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(m));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn arr(&mut self) -> Result<Json, String> {
+        self.i += 1; // '['
+        let mut a = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Json::Arr(a));
+        }
+        loop {
+            self.ws();
+            a.push(self.value()?);
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(a));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Regression comparator.
+
+/// Whether a unit regresses when the current value moves up (`Some(true)`),
+/// down (`Some(false)`), or never gates (`None`).
+pub fn higher_is_worse(unit: &str) -> Option<bool> {
+    match unit {
+        "ns" | "us" | "ms" | "cycles" | "kc" | "percent_penalty" => Some(true),
+        "mops" | "kops" | "ops" | "gbps" | "mbps" => Some(false),
+        _ => None,
+    }
+}
+
+/// One tolerance violation found by [`compare`].
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// Figure tag.
+    pub fig: String,
+    /// Metric name.
+    pub metric: String,
+    /// Which field regressed (`value`, `p50`, `p90`, `p99`).
+    pub field: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Relative tolerance that was applied.
+    pub tol: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} {}: baseline {:.3} -> current {:.3} (tol {:.0}%)",
+            self.fig,
+            self.metric,
+            self.field,
+            self.baseline,
+            self.current,
+            self.tol * 100.0
+        )
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_field(
+    out: &mut Vec<Regression>,
+    fig: &str,
+    metric: &str,
+    field: &'static str,
+    base: f64,
+    cur: f64,
+    tol: f64,
+    up_is_worse: bool,
+) {
+    let bad = if up_is_worse {
+        cur > base * (1.0 + tol) && cur - base > 1.0
+    } else {
+        cur < base * (1.0 - tol)
+    };
+    if bad {
+        out.push(Regression {
+            fig: fig.to_string(),
+            metric: metric.to_string(),
+            field,
+            baseline: base,
+            current: cur,
+            tol,
+        });
+    }
+}
+
+/// Diffs `current` against `baseline`. A metric present in the baseline
+/// but missing from the current run is itself a regression (reported with
+/// `field = "missing"`). Metrics whose unit never gates are skipped; `max`
+/// quantiles are informational (too noisy to gate). Returns every
+/// violation, empty when the gate passes. Reports from different scale
+/// modes are never compared (returns a single `scale` pseudo-regression).
+pub fn compare(current: &Report, baseline: &Report) -> Vec<Regression> {
+    let mut out = Vec::new();
+    if current.scale != baseline.scale {
+        out.push(Regression {
+            fig: baseline.fig.clone(),
+            metric: "<report>".into(),
+            field: "scale",
+            baseline: 0.0,
+            current: 0.0,
+            tol: 0.0,
+        });
+        return out;
+    }
+    for bm in &baseline.metrics {
+        let Some(cm) = current.metrics.iter().find(|m| m.name == bm.name) else {
+            out.push(Regression {
+                fig: baseline.fig.clone(),
+                metric: bm.name.clone(),
+                field: "missing",
+                baseline: 0.0,
+                current: 0.0,
+                tol: 0.0,
+            });
+            continue;
+        };
+        let Some(up) = higher_is_worse(&bm.unit) else {
+            continue;
+        };
+        let tol = bm.tol.unwrap_or(DEFAULT_TOL);
+        match (&bm.data, &cm.data) {
+            (MetricData::Value(b), MetricData::Value(c)) => {
+                check_field(&mut out, &baseline.fig, &bm.name, "value", *b, *c, tol, up);
+            }
+            (MetricData::Quantiles(b), MetricData::Quantiles(c)) => {
+                for (field, bv, cv) in [
+                    ("p50", b.p50, c.p50),
+                    ("p90", b.p90, c.p90),
+                    ("p99", b.p99, c.p99),
+                ] {
+                    check_field(
+                        &mut out,
+                        &baseline.fig,
+                        &bm.name,
+                        field,
+                        bv as f64,
+                        cv as f64,
+                        tol,
+                        up,
+                    );
+                }
+            }
+            _ => out.push(Regression {
+                fig: baseline.fig.clone(),
+                metric: bm.name.clone(),
+                field: "shape",
+                baseline: 0.0,
+                current: 0.0,
+                tol: 0.0,
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("figx", "sample \"quoted\" title", 42);
+        r.param("conns", 64).param("window_ms", 20);
+        r.push(Metric {
+            name: "latency".into(),
+            unit: "ns".into(),
+            data: MetricData::Quantiles(Quantiles {
+                p50: 17_000,
+                p90: 20_000,
+                p99: 30_000,
+                max: 122_000,
+            }),
+            tol: Some(0.15),
+            breakdown: vec![("fp_rx".into(), 1200.0)],
+        });
+        r.push(Metric::value("mops", "mops", 1.234567));
+        r
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let j = r.to_json();
+        validate(&j).expect("schema-valid");
+        let back = Report::from_json(&j).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn comparator_passes_identical_and_catches_p99_regression() {
+        let base = sample();
+        assert!(compare(&base, &base).is_empty(), "self-compare must pass");
+        // Inject a 20% p99 regression: must trip the gate.
+        let mut cur = sample();
+        if let MetricData::Quantiles(q) = &mut cur.metrics[0].data {
+            q.p99 = (q.p99 as f64 * 1.20) as u64;
+        }
+        let regs = compare(&cur, &base);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].field, "p99");
+        // And a throughput *increase* is fine, a decrease is not.
+        let mut faster = sample();
+        faster.metrics[1].data = MetricData::Value(2.0);
+        assert!(compare(&faster, &base).is_empty());
+        let mut slower = sample();
+        slower.metrics[1].data = MetricData::Value(1.0);
+        assert_eq!(compare(&slower, &base).len(), 1);
+    }
+
+    #[test]
+    fn comparator_flags_missing_metric_and_scale_mismatch() {
+        let base = sample();
+        let mut cur = sample();
+        cur.metrics.remove(0);
+        let regs = compare(&cur, &base);
+        assert!(regs.iter().any(|r| r.field == "missing"));
+        let mut full = sample();
+        full.scale = "full".into();
+        assert_eq!(compare(&full, &base)[0].field, "scale");
+    }
+
+    #[test]
+    fn latency_within_tolerance_passes() {
+        let base = sample();
+        let mut cur = sample();
+        if let MetricData::Quantiles(q) = &mut cur.metrics[0].data {
+            q.p99 = (q.p99 as f64 * 1.10) as u64; // within the 0.15 tol
+        }
+        assert!(compare(&cur, &base).is_empty());
+    }
+}

@@ -1,0 +1,913 @@
+//! Canonical scenario runners shared by the bench harnesses and the
+//! `bench-report` binary.
+//!
+//! Each paper figure that participates in the CI regression gate has its
+//! runner lifted here so the human-readable harness and the
+//! machine-readable report are produced by the *same* code with the same
+//! parameters and seeds: a baseline pinned from `bench-report pin` stays
+//! valid for the harness run and vice versa. Figures outside the gate
+//! keep their logic in `benches/` and only write an inline report.
+
+use crate::report::{Metric, Report};
+use crate::{make_server, scaled, Bufs, Kind, RpcScenario};
+use tas_netsim::app::App;
+use tas_netsim::topo::{build_star, host_ip, HostSpec};
+use tas_netsim::{NetMsg, NicConfig, PortConfig};
+use tas_sim::{AgentId, Histogram, Sim, SimTime};
+
+/// Figure 6: pipelined RPC throughput for a single-threaded server.
+pub mod fig6 {
+    use super::*;
+    use tas_apps::echo::{EchoServer, RpcClient, ServerMode, SinkClient};
+
+    /// Data direction at the server.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Dir {
+        /// Clients stream requests at the server (receive-bound).
+        Rx,
+        /// The server streams responses at sink clients (transmit-bound).
+        Tx,
+    }
+
+    /// Builds the fig6 star: one single-threaded server, 4 client hosts
+    /// with 25 connections each.
+    fn build(
+        kind: Kind,
+        dir: Dir,
+        size: usize,
+        delay_cycles: u64,
+        seed: u64,
+    ) -> (Sim<NetMsg>, Vec<AgentId>) {
+        let mut sim: Sim<NetMsg> = Sim::new(seed);
+        let server_ip = host_ip(0);
+        let clients = 4usize;
+        let conns_per_client = 25u32; // 100 connections total, as the paper.
+        let bufs = Bufs {
+            rx: (size * 16).max(8192),
+            tx: (size * 16).max(8192),
+        };
+        let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
+            if spec.index == 0 {
+                let mode = match dir {
+                    Dir::Rx => ServerMode::Consume,
+                    Dir::Tx => ServerMode::Stream { size },
+                };
+                let app: Box<dyn App> = Box::new(EchoServer::new(7, size, mode, delay_cycles));
+                // Single-threaded server: exactly one application core. TAS
+                // adds fast-path cores beside it; mTCP adds a dedicated stack
+                // core (as the paper observes it must); Linux runs stack and
+                // app on the single core.
+                let cores = match kind {
+                    Kind::TasSockets | Kind::TasLowLevel => (2, 1),
+                    Kind::Mtcp => (1, 1), // 2 total: 1 stack + 1 app.
+                    _ => (1, 0),          // 1 total.
+                };
+                make_server(sim, spec, kind, cores, bufs, app)
+            } else {
+                let app: Box<dyn App> = match dir {
+                    Dir::Rx => {
+                        let mut c = RpcClient::new(
+                            server_ip,
+                            7,
+                            conns_per_client,
+                            16,
+                            size,
+                            tas_apps::echo::Lifetime::Persistent,
+                        );
+                        c.expect_reply = false; // Stream requests at the server.
+                        Box::new(c)
+                    }
+                    Dir::Tx => Box::new(SinkClient::new(server_ip, 7, conns_per_client)),
+                };
+                // Clients always run on TAS (never the bottleneck).
+                make_server(sim, spec, Kind::TasSockets, (2, 2), bufs, app)
+            }
+        };
+        let topo = build_star(
+            &mut sim,
+            1 + clients,
+            |i| {
+                if i == 0 {
+                    PortConfig::fortygig()
+                } else {
+                    PortConfig::tengig()
+                }
+            },
+            |i| {
+                if i == 0 {
+                    NicConfig::server_40g(1)
+                } else {
+                    NicConfig::client_10g(1)
+                }
+            },
+            &mut factory,
+        );
+        for &h in &topo.hosts {
+            sim.inject_timer(SimTime::ZERO, h, 0, 0);
+        }
+        (sim, topo.hosts)
+    }
+
+    fn server_bytes(sim: &Sim<NetMsg>, id: AgentId, kind: Kind, dir: Dir) -> u64 {
+        let (bin, bout) = match kind {
+            Kind::TasSockets | Kind::TasLowLevel => {
+                let a = sim.agent::<tas::TasHost>(id).app_as::<EchoServer>();
+                (a.bytes_in, a.bytes_out)
+            }
+            _ => {
+                let a = sim
+                    .agent::<tas_baselines::StackHost>(id)
+                    .app_as::<EchoServer>();
+                (a.bytes_in, a.bytes_out)
+            }
+        };
+        if dir == Dir::Rx {
+            bin
+        } else {
+            bout
+        }
+    }
+
+    /// Runs the scenario; returns server-side goodput in Gbps.
+    pub fn run(kind: Kind, dir: Dir, size: usize, delay_cycles: u64, seed: u64) -> f64 {
+        let (mut sim, hosts) = build(kind, dir, size, delay_cycles, seed);
+        let warmup = SimTime::from_ms(20);
+        let window = scaled(SimTime::from_ms(15), SimTime::from_ms(60));
+        sim.run_until(warmup);
+        let b0 = server_bytes(&sim, hosts[0], kind, dir);
+        sim.run_until(warmup + window);
+        let b1 = server_bytes(&sim, hosts[0], kind, dir);
+        (b1 - b0) as f64 * 8.0 / window.as_secs_f64() / 1e9
+    }
+
+    /// The gated report: TAS vs Linux goodput for the small- and
+    /// large-message corners at 250 cycles/message.
+    pub fn report() -> Report {
+        let mut r = Report::new(
+            "fig6",
+            "Pipelined RPC throughput, single-threaded server",
+            1,
+        );
+        r.param("clients", 4).param("conns", 100).param("delay_cycles", 250);
+        for (dir, dname) in [(Dir::Rx, "rx"), (Dir::Tx, "tx")] {
+            for size in [64usize, 2048] {
+                let t = run(Kind::TasSockets, dir, size, 250, 1);
+                let l = run(Kind::Linux, dir, size, 250, 3);
+                r.push(Metric::value(&format!("{dname}_{size}b_tas"), "gbps", t));
+                r.push(Metric::value(&format!("{dname}_{size}b_linux"), "gbps", l));
+            }
+        }
+        r
+    }
+
+    /// The per-stage latency observatory on the canonical fig6 RX run
+    /// (TAS server, 64 B messages, 250 cycles, seed 1): traces a 5 ms
+    /// steady-state slice after warmup and assembles app-to-app spans.
+    #[cfg(feature = "trace")]
+    pub fn span_analysis(cap: usize) -> SpanAnalysis {
+        let (mut sim, _hosts) = build(Kind::TasSockets, Dir::Rx, 64, 250, 1);
+        sim.run_until(SimTime::from_ms(20));
+        tas_telemetry::start(cap);
+        sim.run_until(SimTime::from_ms(25));
+        tas_telemetry::stop();
+        let evicted = tas_telemetry::evicted();
+        let records = tas_telemetry::take();
+        let spans = tas_telemetry::spans::assemble(&records, evicted);
+        let breakdown = tas_telemetry::spans::breakdown(&spans);
+        SpanAnalysis { spans, breakdown }
+    }
+
+    /// The assembled span population for the canonical run.
+    #[cfg(feature = "trace")]
+    pub struct SpanAnalysis {
+        /// The assembled spans.
+        pub spans: Vec<tas_telemetry::spans::Span>,
+        /// Per-stage histograms over the complete spans.
+        pub breakdown: tas_telemetry::spans::Breakdown,
+    }
+
+    /// Span-profile report (trace builds only): e2e quantiles plus p50
+    /// and p99 critical-path stage breakdowns with queueing/processing
+    /// shares.
+    #[cfg(feature = "trace")]
+    pub fn spans_report() -> Report {
+        let a = span_analysis(1 << 20);
+        let b = &a.breakdown;
+        let mut r = Report::new("fig6spans", "Per-stage latency spans, fig6 RX canonical run", 1);
+        r.param("dir", "rx").param("size", 64).param("window_ms", 5);
+        r.push(Metric::value("spans_complete", "count", b.complete as f64));
+        r.push(Metric::value("spans_truncated", "count", b.truncated as f64));
+        r.push(Metric::quantiles("e2e", "ns", &b.e2e));
+        for q in [0.5f64, 0.99] {
+            if let Some(cp) = tas_telemetry::spans::critical_path(&a.spans, q) {
+                let tag = if q == 0.5 { "p50" } else { "p99" };
+                let mut m = Metric::value(&format!("critical_path_{tag}"), "ns", cp.e2e_ns as f64);
+                for d in &cp.stages {
+                    m = m
+                        .with_component(&format!("{}_queue", d.stage.name()), d.queue_ns as f64)
+                        .with_component(&format!("{}_proc", d.stage.name()), d.proc_ns as f64);
+                }
+                m = m.with_component("queue_share", cp.queue_share());
+                r.push(m);
+            }
+        }
+        r
+    }
+}
+
+/// Figure 7: throughput penalty under induced packet loss.
+pub mod fig7 {
+    use super::*;
+    use tas::{CcAlgo, TasConfig, TasHost};
+    use tas_apps::bulk::{BulkReceiver, BulkSender};
+    use tas_baselines::{profiles, StackHost, StackHostConfig};
+    use tas_netsim::FaultSpec;
+
+    /// The stack under loss.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Stack {
+        /// Linux model (full SACK-style out-of-order buffering).
+        Linux,
+        /// TAS; `ooo: false` selects simple go-back-N recovery.
+        Tas {
+            /// Whether the single out-of-order interval is enabled.
+            ooo: bool,
+        },
+    }
+
+    /// Runs 100 bulk flows over a lossy 10G link; returns receiver
+    /// goodput in bits/s.
+    pub fn goodput(stack: Stack, loss: f64, seed: u64) -> f64 {
+        let mut sim: Sim<NetMsg> = Sim::new(seed);
+        let recv_ip = host_ip(0);
+        let flows = 100; // The paper's flow count (loss dynamics depend on it).
+        let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
+            let is_recv = spec.index == 0;
+            match stack {
+                Stack::Tas { ooo } => {
+                    let mut cfg = TasConfig::rpc_bench(2, 2);
+                    cfg.rx_buf = 128 * 1024;
+                    cfg.tx_buf = 128 * 1024;
+                    cfg.ooo_rx = ooo;
+                    cfg.cc = CcAlgo::DctcpRate; // The paper's testbed runs DCTCP.
+                    cfg.initial_rate_bps = 500_000_000;
+                    cfg.control_interval = SimTime::from_us(200);
+                    cfg.max_core_backlog = SimTime::from_ms(50);
+                    let app: Box<dyn App> = if is_recv {
+                        Box::new(BulkReceiver::new(9))
+                    } else {
+                        Box::new(BulkSender::new(recv_ip, 9, flows))
+                    };
+                    sim.add_agent(Box::new(TasHost::new(
+                        spec.ip,
+                        spec.mac,
+                        spec.nic,
+                        cfg,
+                        spec.uplink,
+                        app,
+                    )))
+                }
+                Stack::Linux => {
+                    let mut cfg = StackHostConfig::linux(4);
+                    cfg.tcp.recv_buf = 128 * 1024;
+                    cfg.tcp.send_buf = 128 * 1024;
+                    cfg.tcp.rto_min = SimTime::from_ms(2);
+                    cfg.max_core_backlog = SimTime::from_ms(50);
+                    let app: Box<dyn App> = if is_recv {
+                        Box::new(BulkReceiver::new(9))
+                    } else {
+                        Box::new(BulkSender::new(recv_ip, 9, flows))
+                    };
+                    sim.add_agent(Box::new(StackHost::new(
+                        spec.ip,
+                        spec.mac,
+                        spec.nic,
+                        profiles::linux(),
+                        cfg,
+                        spec.uplink,
+                        app,
+                    )))
+                }
+            }
+        };
+        let mut port = PortConfig::tengig();
+        if loss > 0.0 {
+            // Seeded uniform drops via the fault injector (the `loss` field
+            // survives as a compat shim; the injector is the mechanism).
+            port.fault = FaultSpec::uniform_loss(loss, seed);
+        }
+        let topo = build_star(
+            &mut sim,
+            2,
+            move |_| port,
+            |_| NicConfig::client_10g(1),
+            &mut factory,
+        );
+        for &h in &topo.hosts {
+            sim.inject_timer(SimTime::ZERO, h, 0, 0);
+        }
+        let warmup = SimTime::from_ms(50);
+        let window = scaled(SimTime::from_ms(100), SimTime::from_ms(300));
+        sim.run_until(warmup);
+        let b0 = bytes(&sim, topo.hosts[0], stack);
+        sim.run_until(warmup + window);
+        let b1 = bytes(&sim, topo.hosts[0], stack);
+        (b1 - b0) as f64 * 8.0 / window.as_secs_f64()
+    }
+
+    fn bytes(sim: &Sim<NetMsg>, id: AgentId, stack: Stack) -> u64 {
+        match stack {
+            Stack::Tas { .. } => sim.agent::<TasHost>(id).app_as::<BulkReceiver>().total,
+            Stack::Linux => sim.agent::<StackHost>(id).app_as::<BulkReceiver>().total,
+        }
+    }
+
+    /// The gated report: lossless goodput plus the throughput penalty at
+    /// 1% loss, for Linux and both TAS recovery modes.
+    pub fn report() -> Report {
+        let mut r = Report::new("fig7", "Throughput penalty under 1% packet loss", 100);
+        r.param("flows", 100).param("loss", "0.01");
+        let runs = [
+            ("linux", Stack::Linux, 100u64),
+            ("tas", Stack::Tas { ooo: true }, 101),
+            ("tas_simple", Stack::Tas { ooo: false }, 102),
+        ];
+        for (name, stack, seed) in runs {
+            let base = goodput(stack, 0.0, seed);
+            let lossy = goodput(stack, 0.01, seed);
+            let penalty = 100.0 * (1.0 - lossy / base).max(0.0);
+            r.push(Metric::value(&format!("goodput_{name}"), "gbps", base / 1e9));
+            r.push(
+                Metric::value(&format!("penalty_{name}"), "percent_penalty", penalty)
+                    // Loss penalties are small percentages; allow slack in
+                    // absolute terms via a generous relative tolerance.
+                    .with_tol(0.50),
+            );
+        }
+        r
+    }
+}
+
+/// Figure 9 + Table 5: key-value request latency distributions.
+pub mod fig9 {
+    use super::*;
+    use tas_apps::kv::{KvClient, KvLoad, KvServer};
+
+    /// Runs the KV latency scenario; returns the merged client latency
+    /// histogram (ns).
+    pub fn run(server: Kind, client: Kind, seed: u64) -> Histogram {
+        let mut sim: Sim<NetMsg> = Sim::new(seed);
+        let server_ip = host_ip(0);
+        let clients = 2usize;
+        // 15% of the ~1.5 mOps single-app-core capacity.
+        let rate_per_client = scaled(60_000, 110_000);
+        let conns_per_client = scaled(32, 128);
+        let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
+            if spec.index == 0 {
+                let app: Box<dyn App> = Box::new(KvServer::new(7));
+                make_server(sim, spec, server, (1, 1), Bufs::small(), app)
+            } else {
+                let app: Box<dyn App> = Box::new(KvClient::new(
+                    server_ip,
+                    7,
+                    conns_per_client,
+                    100_000,
+                    KvLoad::OpenRate {
+                        per_sec: rate_per_client,
+                    },
+                    seed + spec.index as u64,
+                ));
+                make_server(sim, spec, client, (2, 2), Bufs::small(), app)
+            }
+        };
+        let topo = build_star(
+            &mut sim,
+            1 + clients,
+            |i| {
+                if i == 0 {
+                    PortConfig::fortygig()
+                } else {
+                    PortConfig::tengig()
+                }
+            },
+            |i| {
+                if i == 0 {
+                    NicConfig::server_40g(1)
+                } else {
+                    NicConfig::client_10g(1)
+                }
+            },
+            &mut factory,
+        );
+        for &h in &topo.hosts {
+            sim.inject_timer(SimTime::ZERO, h, 0, 0);
+        }
+        let warmup = SimTime::from_ms(20);
+        let window = scaled(SimTime::from_ms(60), SimTime::from_ms(300));
+        sim.run_until(warmup);
+        for &h in &topo.hosts[1..] {
+            set_gate(&mut sim, h, client, warmup);
+        }
+        sim.run_until(warmup + window);
+        let mut hist = Histogram::new();
+        for &h in &topo.hosts[1..] {
+            hist.merge(client_hist(&sim, h, client));
+        }
+        hist
+    }
+
+    /// Starts latency measurement at `t` on a client host.
+    pub fn set_gate(sim: &mut Sim<NetMsg>, id: AgentId, kind: Kind, t: SimTime) {
+        match kind {
+            Kind::TasSockets | Kind::TasLowLevel => {
+                sim.agent_mut::<tas::TasHost>(id)
+                    .app_as_mut::<KvClient>()
+                    .measure_from = t;
+            }
+            _ => {
+                // StackHost has no app_as_mut; reach through the agent.
+                sim.agent_mut::<tas_baselines::StackHost>(id)
+                    .app_as_mut::<KvClient>()
+                    .measure_from = t;
+            }
+        }
+    }
+
+    /// A client host's measured request-latency histogram.
+    pub fn client_hist(sim: &Sim<NetMsg>, id: AgentId, kind: Kind) -> &Histogram {
+        match kind {
+            Kind::TasSockets | Kind::TasLowLevel => {
+                &sim.agent::<tas::TasHost>(id).app_as::<KvClient>().latency
+            }
+            _ => {
+                &sim.agent::<tas_baselines::StackHost>(id)
+                    .app_as::<KvClient>()
+                    .latency
+            }
+        }
+    }
+
+    /// The gated report: latency quantiles for TAS/TAS and Linux/TAS.
+    pub fn report() -> Report {
+        let mut r = Report::new("fig9", "KV request latency, 15% utilization", 1);
+        r.param("clients", 2);
+        let tas = run(Kind::TasSockets, Kind::TasSockets, 1);
+        let linux = run(Kind::Linux, Kind::TasSockets, 3);
+        r.push(Metric::quantiles("latency_tas_tas", "ns", &tas));
+        r.push(Metric::quantiles("latency_linux_tas", "ns", &linux));
+        r.push(Metric::value("requests_tas_tas", "count", tas.count() as f64));
+        r
+    }
+}
+
+/// Figure 14: workload proportionality under stepped load.
+pub mod fig14 {
+    use super::*;
+    use tas::host::timers as tas_timers;
+    use tas::{ApiKind, CcAlgo, TasConfig, TasHost};
+    use tas_apps::kv::KvServer;
+    use tas_apps::loadgen::{timers as lg_timers, LoadGenConfig, LoadGenHost};
+
+    /// Builds the proportionality scenario; returns (sim, server, clients).
+    pub fn build(seed: u64, step: SimTime, clients: usize) -> (Sim<NetMsg>, AgentId, Vec<AgentId>) {
+        let mut sim: Sim<NetMsg> = Sim::new(seed);
+        let server_ip = host_ip(0);
+        let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
+            if spec.index == 0 {
+                // Reduced clock so modest load exercises many cores.
+                let cfg = TasConfig {
+                    freq_hz: 50_000_000,
+                    max_fp_cores: 10,
+                    initial_fp_cores: 1,
+                    app_cores: 10,
+                    api: ApiKind::Sockets,
+                    cc: CcAlgo::None,
+                    rx_buf: 4096,
+                    tx_buf: 4096,
+                    proportional: true,
+                    max_core_backlog: SimTime::from_ms(50),
+                    ..TasConfig::default()
+                };
+                let app: Box<dyn App> = Box::new(KvServer::new(7));
+                sim.add_agent(Box::new(TasHost::new(
+                    spec.ip,
+                    spec.mac,
+                    spec.nic,
+                    cfg,
+                    spec.uplink,
+                    app,
+                )))
+            } else {
+                let mut template = vec![0u8; tas_apps::kv::REQ_HDR + tas_apps::kv::VAL_SIZE];
+                template[0] = tas_apps::kv::OP_GET;
+                template[1..5].copy_from_slice(&1u32.to_be_bytes());
+                let cfg = LoadGenConfig {
+                    server: server_ip,
+                    port: 7,
+                    conns: 80,
+                    think: SimTime::from_ms(1),
+                    req_size: template.len(),
+                    resp_size: tas_apps::kv::RESP_HDR + tas_apps::kv::VAL_SIZE,
+                    req_template: Some(template),
+                    // Each client stops issuing when its down-step arrives.
+                    stop_at: SimTime::ZERO,
+                    ..LoadGenConfig::default()
+                };
+                sim.add_agent(Box::new(LoadGenHost::new(
+                    spec.ip,
+                    spec.mac,
+                    spec.nic,
+                    spec.uplink,
+                    cfg,
+                )))
+            }
+        };
+        let topo = build_star(
+            &mut sim,
+            1 + clients,
+            |i| {
+                if i == 0 {
+                    PortConfig::fortygig()
+                } else {
+                    PortConfig::tengig()
+                }
+            },
+            |i| {
+                if i == 0 {
+                    NicConfig::server_40g(1)
+                } else {
+                    NicConfig::client_10g(1)
+                }
+            },
+            &mut factory,
+        );
+        sim.inject_timer(SimTime::ZERO, topo.hosts[0], tas_timers::INIT, 0);
+        // Staggered starts; mirrored stops.
+        let total = step * (2 * clients as u64 + 1);
+        for (i, &h) in topo.hosts[1..].iter().enumerate() {
+            let start = step * i as u64;
+            let stop = total - step * (i as u64 + 1);
+            sim.inject_timer(start, h, lg_timers::INIT, 0);
+            sim.agent_mut::<LoadGenHost>(h).set_stop_at(stop);
+        }
+        (sim, topo.hosts[0], topo.hosts[1..].to_vec())
+    }
+
+    /// One sampled row of the load staircase.
+    pub struct Row {
+        /// Sample time, ms.
+        pub t_ms: u64,
+        /// Active fast-path cores.
+        pub cores: usize,
+        /// Completed requests per second over the sample, in thousands.
+        pub kops: f64,
+        /// Clients currently issuing load.
+        pub active_clients: usize,
+    }
+
+    /// The full staircase run's observables.
+    pub struct Outcome {
+        /// Per-sample rows.
+        pub rows: Vec<Row>,
+        /// Peak concurrent fast-path cores.
+        pub max_cores: usize,
+        /// Fast-path cores after the last down-step.
+        pub final_cores: usize,
+        /// Controller add/remove events.
+        pub scale_events: u64,
+        /// Mean of the controller's sampled per-core utilization series.
+        pub mean_util: f64,
+        /// Samples captured by the host's queue-depth recorder.
+        pub series_samples: usize,
+    }
+
+    /// Runs the canonical staircase (seed 42, 5 clients) and samples
+    /// cores/throughput each `sample` interval.
+    pub fn run(seed: u64, step: SimTime, clients: usize, sample: SimTime) -> Outcome {
+        let (mut sim, server, client_ids) = build(seed, step, clients);
+        let total = step * (2 * clients as u64 + 1);
+        let mut rows = Vec::new();
+        let mut t = SimTime::ZERO;
+        let mut prev_done = 0u64;
+        let mut max_cores = 0usize;
+        while t < total {
+            t += sample;
+            sim.run_until(t);
+            let done: u64 = client_ids
+                .iter()
+                .map(|&c| sim.agent::<LoadGenHost>(c).done)
+                .sum();
+            let cores = sim.agent::<TasHost>(server).active_fp_cores();
+            max_cores = max_cores.max(cores);
+            let kops = (done - prev_done) as f64 / sample.as_secs_f64() / 1e3;
+            let active_clients = client_ids
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| {
+                    let start = step * *i as u64;
+                    let stop = total - step * (*i as u64 + 1);
+                    t > start && t < stop
+                })
+                .count();
+            rows.push(Row {
+                t_ms: t.as_millis(),
+                cores,
+                kops,
+                active_clients,
+            });
+            prev_done = done;
+        }
+        let host = sim.agent::<TasHost>(server);
+        let utils = host.util_series();
+        let mean_util = if utils.is_empty() {
+            0.0
+        } else {
+            utils.samples().iter().map(|&(_, v)| v).sum::<f64>() / utils.len() as f64
+        };
+        let series_samples = host
+            .queue_series()
+            .series("cores.active_fp")
+            .map(|s| s.len())
+            .unwrap_or(0);
+        Outcome {
+            rows,
+            max_cores,
+            final_cores: host.active_fp_cores(),
+            scale_events: host
+                .registry()
+                .counter_value("host.scale_events", tas_sim::Scope::Global),
+            mean_util,
+            series_samples,
+        }
+    }
+
+    /// The canonical staircase parameters: (step, sample interval).
+    pub fn canonical_params() -> (SimTime, SimTime) {
+        (
+            scaled(SimTime::from_ms(400), SimTime::from_secs(2)),
+            SimTime::from_ms(scaled(100, 500)),
+        )
+    }
+
+    /// The gated report for the canonical staircase.
+    pub fn report() -> Report {
+        let (step, sample) = canonical_params();
+        report_from(&run(42, step, 5, sample), step)
+    }
+
+    /// Builds the report from an already-computed canonical run.
+    pub fn report_from(o: &Outcome, step: SimTime) -> Report {
+        let peak_kops = o.rows.iter().map(|r| r.kops).fold(0.0f64, f64::max);
+        let mut r = Report::new("fig14", "Workload proportionality: cores track stepped load", 42);
+        r.param("clients", 5).param("step_ms", step.as_millis());
+        r.push(Metric::value("peak_kops", "kops", peak_kops));
+        r.push(Metric::value("peak_cores", "cores", o.max_cores as f64));
+        r.push(Metric::value("final_cores", "cores", o.final_cores as f64));
+        r.push(Metric::value("scale_events", "count", o.scale_events as f64));
+        r.push(Metric::value("mean_core_util", "fraction", o.mean_util));
+        r.push(Metric::value("series_samples", "count", o.series_samples as f64));
+        r
+    }
+}
+
+/// Figure 15: request latency across fast-path core additions.
+pub mod fig15 {
+    use super::*;
+    use tas::TasHost;
+    use tas_apps::loadgen::LoadGenHost;
+
+    /// One latency/core sample.
+    pub struct Row {
+        /// Sample time, ms.
+        pub t_ms: u64,
+        /// Active fast-path cores.
+        pub cores: usize,
+        /// Mean request latency over the sample window, µs (0 when idle).
+        pub mean_lat_us: f64,
+    }
+
+    /// The scaling-latency run's observables.
+    pub struct Outcome {
+        /// Per-sample rows.
+        pub rows: Vec<Row>,
+        /// Transient spikes: samples whose mean latency jumped >25% over
+        /// the previous non-idle sample.
+        pub spikes: u32,
+        /// Controller add/remove events.
+        pub scale_events: u64,
+        /// Steady-state latency (µs): mean over the pre-step samples.
+        pub steady_lat_us: f64,
+        /// Worst sampled mean latency (µs).
+        pub peak_lat_us: f64,
+    }
+
+    /// Runs the canonical core-acquisition scenario (seed 7, 3 staggered
+    /// clients) sampling windowed latency at fine granularity.
+    pub fn run(seed: u64, clients: usize, step: SimTime, sample: SimTime) -> Outcome {
+        // Same reduced-clock proportional server as fig14, but clients
+        // only arrive (no down-steps): build with a large stop time.
+        let (mut sim, server, client_ids) = super::fig14::build(seed, step, clients);
+        // fig14::build staggers stops; clear them (ZERO = never stop) so
+        // the load only steps up, as the paper's fig15 does.
+        let total = step * (clients as u64 + 1);
+        for &h in &client_ids {
+            sim.agent_mut::<LoadGenHost>(h).set_stop_at(SimTime::ZERO);
+        }
+        let mut rows = Vec::new();
+        let mut t = SimTime::ZERO;
+        let mut spikes = 0u32;
+        let mut prev_lat = 0.0f64;
+        let mut peak = 0.0f64;
+        while t < total {
+            t += sample;
+            sim.run_until(t);
+            let mut lat = 0.0;
+            let mut n = 0u64;
+            for &c in &client_ids {
+                let lg = sim.agent_mut::<LoadGenHost>(c);
+                if lg.window_lat_us.count() > 0 {
+                    lat += lg.window_lat_us.mean() * lg.window_lat_us.count() as f64;
+                    n += lg.window_lat_us.count();
+                }
+                lg.reset_window();
+            }
+            let mean = if n > 0 { lat / n as f64 } else { 0.0 };
+            let cores = sim.agent::<TasHost>(server).active_fp_cores();
+            if prev_lat > 0.0 && mean > prev_lat * 1.25 {
+                spikes += 1;
+            }
+            if mean > 0.0 {
+                prev_lat = mean;
+                peak = peak.max(mean);
+            }
+            rows.push(Row {
+                t_ms: t.as_millis(),
+                cores,
+                mean_lat_us: mean,
+            });
+        }
+        // Steady state: non-idle samples before the second client arrives.
+        let pre: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.t_ms < step.as_millis() && r.mean_lat_us > 0.0)
+            .map(|r| r.mean_lat_us)
+            .collect();
+        let steady = if pre.is_empty() {
+            0.0
+        } else {
+            pre.iter().sum::<f64>() / pre.len() as f64
+        };
+        let scale_events = sim
+            .agent::<TasHost>(server)
+            .registry()
+            .counter_value("host.scale_events", tas_sim::Scope::Global);
+        Outcome {
+            rows,
+            spikes,
+            scale_events,
+            steady_lat_us: steady,
+            peak_lat_us: peak,
+        }
+    }
+
+    /// The canonical sampling interval.
+    pub fn canonical_sample() -> SimTime {
+        SimTime::from_ms(scaled(10, 5))
+    }
+
+    /// The gated report for the canonical core-acquisition run.
+    pub fn report() -> Report {
+        report_from(&run(7, 3, SimTime::from_ms(300), canonical_sample()))
+    }
+
+    /// Builds the report from an already-computed canonical run.
+    pub fn report_from(o: &Outcome) -> Report {
+        let mut r = Report::new("fig15", "Request latency across fast-path core additions", 7);
+        r.param("clients", 3).param("step_ms", 300);
+        r.push(Metric::value("steady_lat_us", "us", o.steady_lat_us).with_tol(0.25));
+        // The transient peak is inherently spiky; report informationally.
+        r.push(Metric::value("peak_lat_us", "us_info", o.peak_lat_us));
+        r.push(Metric::value("spikes", "count", o.spikes as f64));
+        r.push(Metric::value("scale_events", "count", o.scale_events as f64));
+        r
+    }
+}
+
+/// Figure 4: connection scalability on a 20-core server.
+pub mod fig4 {
+    use super::*;
+
+    /// Runs the RPC echo scenario at `conns` connections; returns mOps.
+    pub fn measure(kind: Kind, conns: u32) -> f64 {
+        let mut sc = RpcScenario::echo(kind, (10, 10), conns);
+        sc.warmup = scaled(SimTime::from_ms(15), SimTime::from_ms(50));
+        sc.measure = scaled(SimTime::from_ms(10), SimTime::from_ms(50));
+        sc.seed = 42 + conns as u64;
+        crate::run_rpc(&sc).mops
+    }
+
+    /// The gated report: throughput at the low and high connection-count
+    /// corners for each stack.
+    pub fn report() -> Report {
+        let mut r = Report::new("fig4", "RPC echo throughput vs. connection count", 42);
+        r.param("cores", 20);
+        for (kname, kind) in [
+            ("tas", Kind::TasSockets),
+            ("ix", Kind::Ix),
+            ("linux", Kind::Linux),
+        ] {
+            for conns in [1_000u32, 16_000] {
+                let mops = measure(kind, conns);
+                r.push(Metric::value(&format!("{kname}_{conns}c"), "mops", mops));
+            }
+        }
+        r
+    }
+}
+
+/// Table 1: CPU cycles per request by stack module.
+pub mod table1 {
+    use super::*;
+    use tas_cpusim::Module;
+
+    /// Runs the KV cycle-accounting scenario for one stack.
+    pub fn measure(kind: Kind) -> crate::RpcResult {
+        let conns = scaled(2_000, 32_000);
+        let mut sc = RpcScenario::kv(kind, (4, 4), conns);
+        sc.warmup = scaled(SimTime::from_ms(20), SimTime::from_ms(100));
+        sc.measure = scaled(SimTime::from_ms(15), SimTime::from_ms(100));
+        crate::run_rpc(&sc)
+    }
+
+    /// The gated report: total cycles/request per stack with the
+    /// per-module breakdown.
+    pub fn report() -> Report {
+        let mut r = Report::new("table1", "Cycles per request by network stack module", 0);
+        r.param("conns", scaled(2_000, 32_000)).param("cores", 8);
+        for (kname, kind) in [
+            ("linux", Kind::Linux),
+            ("ix", Kind::Ix),
+            ("tas", Kind::TasSockets),
+        ] {
+            let res = measure(kind);
+            let p = &res.per_request;
+            let mut m = Metric::value(&format!("cycles_{kname}"), "cycles", p.total_cycles());
+            for module in [
+                Module::Driver,
+                Module::Ip,
+                Module::Tcp,
+                Module::Api,
+                Module::Other,
+                Module::App,
+            ] {
+                m = m.with_component(
+                    &format!("{module:?}").to_lowercase(),
+                    p.cycles[module as usize],
+                );
+            }
+            r.push(m);
+        }
+        r
+    }
+}
+
+/// Table 3: per-flow fast-path state.
+pub mod table3 {
+    use super::*;
+
+    /// The (static) report: per-flow state bytes and 2 MB-cache capacity.
+    pub fn report() -> Report {
+        let mut r = Report::new("table3", "Per-flow fast-path state", 0);
+        let bytes = tas::FLOW_STATE_BYTES;
+        r.push(Metric::value("flow_state", "bytes", bytes as f64));
+        r.push(Metric::value(
+            "flows_per_2mb_cache",
+            "count",
+            ((2u64 << 20) / bytes) as f64,
+        ));
+        r
+    }
+}
+
+/// A named report builder, as listed by [`gated_reports`].
+pub type ReportFn = (&'static str, fn() -> Report);
+
+/// Every gated report builder, in output order. The `bench-report`
+/// binary runs these; the comparator gates them against
+/// `crates/bench/baselines/`.
+pub fn gated_reports() -> Vec<ReportFn> {
+    #[cfg_attr(not(feature = "trace"), allow(unused_mut))]
+    let mut v: Vec<ReportFn> = vec![
+        ("fig4", fig4::report),
+        ("fig6", fig6::report),
+        ("fig7", fig7::report),
+        ("fig9", fig9::report),
+        ("fig14", fig14::report),
+        ("fig15", fig15::report),
+        ("table1", table1::report),
+        ("table3", table3::report),
+    ];
+    #[cfg(feature = "trace")]
+    v.push(("fig6spans", fig6::spans_report));
+    v
+}

@@ -1,0 +1,54 @@
+//! The CI regression gate end to end against the committed baselines:
+//! every baseline parses, schema-validates, and passes a self-compare;
+//! an injected 20% p99 latency regression trips the gate.
+
+use tas_bench::report::{self, MetricData, Report};
+
+#[test]
+fn committed_baselines_validate_and_self_compare_clean() {
+    let dir = report::baselines_dir();
+    let mut n = 0;
+    for entry in std::fs::read_dir(&dir).expect("baselines dir exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        report::validate(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let rep = Report::from_json(&text).unwrap();
+        assert_eq!(
+            rep.to_json(),
+            text,
+            "{}: baseline must round-trip byte-identically",
+            path.display()
+        );
+        assert!(
+            report::compare(&rep, &rep).is_empty(),
+            "{}: self-compare must be clean",
+            path.display()
+        );
+        n += 1;
+    }
+    assert!(n >= 8, "expected at least 8 committed baselines, found {n}");
+}
+
+#[test]
+fn injected_p99_regression_trips_the_gate() {
+    let path = report::baselines_dir().join("BENCH_fig9.json");
+    let text = std::fs::read_to_string(&path).expect("committed fig9 baseline");
+    let baseline = Report::from_json(&text).unwrap();
+    let mut current = baseline.clone();
+    let mut bumped = 0;
+    for m in &mut current.metrics {
+        if let MetricData::Quantiles(q) = &mut m.data {
+            q.p99 += q.p99 / 5 + 1; // +20%
+            bumped += 1;
+        }
+    }
+    assert!(bumped > 0, "fig9 baseline must contain latency quantiles");
+    let regs = report::compare(&current, &baseline);
+    assert!(
+        regs.iter().any(|r| r.field == "p99"),
+        "a 20% p99 bump must trip the gate, got: {regs:?}"
+    );
+}

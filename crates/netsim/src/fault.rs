@@ -140,6 +140,10 @@ impl FaultSpec {
 /// on demand by [`FaultInjector::counters`], so existing harness code
 /// keeps its plain-struct reads while the source of truth is the
 /// [`Registry`] exposed through [`FaultInjector::snapshot`].
+#[deprecated(
+    since = "0.1.0",
+    note = "read `FaultInjector::snapshot()` (the registry-backed view) instead"
+)]
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FaultCounters {
     /// Packets offered to the injector.
@@ -158,6 +162,7 @@ pub struct FaultCounters {
     pub corrupted: u64,
 }
 
+#[allow(deprecated)]
 impl FaultCounters {
     /// True when any fault actually fired (not merely was configured).
     pub fn any_faults(&self) -> bool {
@@ -235,6 +240,11 @@ impl FaultInjector {
     }
 
     /// Compat view of the registry-backed counters.
+    #[deprecated(
+        since = "0.1.0",
+        note = "read `FaultInjector::snapshot()` (the registry-backed view) instead"
+    )]
+    #[allow(deprecated)]
     pub fn counters(&self) -> FaultCounters {
         FaultCounters {
             seen: self.reg.get(self.c_seen),
@@ -412,6 +422,8 @@ impl FaultInjector {
 }
 
 #[cfg(test)]
+// The compat counter view stays covered until its removal.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use std::net::Ipv4Addr;

@@ -1,6 +1,8 @@
 //! Host NIC model: multi-queue receive with RSS, serialized transmit.
 
-use crate::fault::{FaultCounters, FaultInjector, FaultSpec};
+#[allow(deprecated)] // `FaultCounters` stays importable until its removal
+use crate::fault::FaultCounters;
+use crate::fault::{FaultInjector, FaultSpec};
 use crate::rss::{hash_tuple, RssTable};
 use crate::NetMsg;
 use std::collections::VecDeque;
@@ -21,7 +23,12 @@ pub struct NicConfig {
     /// induced loss); 0 for lossless runs.
     ///
     /// Compat shim: folded into `tx_fault` as a uniform drop model at NIC
-    /// construction. New harnesses should set `tx_fault` directly.
+    /// construction.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `tx_fault = FaultSpec::uniform_loss(p, seed)` instead; \
+                the shim will be removed with the legacy knobs"
+    )]
     pub tx_loss: f64,
     /// Fault schedule for the transmit (host → network) direction.
     pub tx_fault: FaultSpec,
@@ -29,6 +36,7 @@ pub struct NicConfig {
 
 impl NicConfig {
     /// A 40 Gbps server NIC with `rx_queues` queues and 1 µs of wire delay.
+    #[allow(deprecated)] // struct literal must still populate the shim field
     pub fn server_40g(rx_queues: usize) -> Self {
         NicConfig {
             rate_bps: 40_000_000_000,
@@ -40,6 +48,7 @@ impl NicConfig {
     }
 
     /// A 10 Gbps client NIC.
+    #[allow(deprecated)] // struct literal must still populate the shim field
     pub fn client_10g(rx_queues: usize) -> Self {
         NicConfig {
             rate_bps: 10_000_000_000,
@@ -53,6 +62,7 @@ impl NicConfig {
     /// The effective transmit fault spec: `tx_fault`, with a non-zero
     /// legacy `tx_loss` folded in as a uniform drop when the spec itself
     /// has no drop model.
+    #[allow(deprecated)] // the fold is the shim's one sanctioned reader
     pub fn effective_tx_fault(&self) -> FaultSpec {
         let mut spec = self.tx_fault;
         if self.tx_loss > 0.0 && !spec.drop.is_active() {
@@ -185,6 +195,28 @@ impl HostNic {
         self.tx_count += 1;
         self.tx_bytes += seg.wire_len() as u64;
         let arrival = depart + self.cfg.prop_delay;
+        // Span stamp at serialization completion: even a packet the wire
+        // then corrupts did occupy the TX queue and the link.
+        #[cfg(feature = "trace")]
+        if !seg.payload.is_empty() {
+            let (flow, seq, len) = (
+                seg.flow_key().reversed(),
+                seg.tcp.seq,
+                seg.payload.len() as u32,
+            );
+            let wait_ns = start.saturating_sub(ready).as_nanos();
+            tas_telemetry::emit(|| tas_telemetry::TraceRecord {
+                t: depart,
+                site: "nic",
+                ev: tas_telemetry::TraceEvent::Stage {
+                    stage: tas_telemetry::Stage::NicTx,
+                    flow,
+                    seq,
+                    len,
+                    wait_ns,
+                },
+            });
+        }
         if self.fault.is_active() {
             let before = self.fault.dropped();
             self.fault.apply(arrival, seg, &mut self.fault_out);
@@ -220,6 +252,11 @@ impl HostNic {
 
     /// Transmit-direction fault counters (compat view over the injector's
     /// registry).
+    #[deprecated(
+        since = "0.1.0",
+        note = "read `tx_fault_snapshot()` (the registry-backed view) instead"
+    )]
+    #[allow(deprecated)]
     pub fn tx_fault_counters(&self) -> FaultCounters {
         self.fault.counters()
     }
@@ -320,6 +357,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the legacy struct-literal shape
     fn tx_serializes_on_link_rate() {
         let mut sim: Sim<NetMsg> = Sim::new(1);
         let sink = sim.add_agent(Box::new(Sink {
@@ -349,6 +387,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the legacy `tx_loss` fold until it is removed
     fn loss_injection_drops_proportionally() {
         struct Blaster {
             nic: HostNic,

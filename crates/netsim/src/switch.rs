@@ -1,13 +1,15 @@
 //! Output-queued switch with drop-tail queues and DCTCP ECN marking.
 
-use crate::fault::{DropModel, FaultCounters, FaultInjector, FaultSpec};
+#[allow(deprecated)] // `FaultCounters` stays importable until its removal
+use crate::fault::FaultCounters;
+use crate::fault::{DropModel, FaultInjector, FaultSpec};
 use crate::rss::hash_tuple;
 use crate::NetMsg;
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 use tas_proto::{Ecn, Segment};
 use tas_sim::time::transmission_time;
-use tas_sim::{impl_as_any, Agent, AgentId, Ctx, Event, MeanVar, SimTime};
+use tas_sim::{impl_as_any, Agent, AgentId, Ctx, Event, MeanVar, SimTime, TimeSeries};
 
 /// Static configuration of one switch output port.
 #[derive(Clone, Copy, Debug)]
@@ -24,7 +26,12 @@ pub struct PortConfig {
     /// Independent per-packet loss probability (induced loss experiments).
     ///
     /// Compat shim: folded into `fault` as a uniform drop model when the
-    /// port is wired. New harnesses should set `fault` directly.
+    /// port is wired.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `fault = FaultSpec::uniform_loss(p, seed)` instead; \
+                the shim will be removed with the legacy knobs"
+    )]
     pub loss: f64,
     /// Fault schedule for this port's outgoing (switch → device) link.
     pub fault: FaultSpec,
@@ -32,6 +39,7 @@ pub struct PortConfig {
 
 impl PortConfig {
     /// A 10 Gbps port with the paper's ECN threshold and a deep queue.
+    #[allow(deprecated)] // struct literal must still populate the shim field
     pub fn tengig() -> PortConfig {
         PortConfig {
             rate_bps: 10_000_000_000,
@@ -106,6 +114,9 @@ pub struct Switch {
     monitor_port: Option<usize>,
     monitor_interval: SimTime,
     qlen_stats: MeanVar,
+    /// Full queue-depth time series on the monitored port (same samples
+    /// that feed [`Switch::mean_queue_depth`], kept for plotting).
+    qlen_series: TimeSeries,
 }
 
 impl Switch {
@@ -120,6 +131,7 @@ impl Switch {
             monitor_port: None,
             monitor_interval: SimTime::from_us(10),
             qlen_stats: MeanVar::new(),
+            qlen_series: TimeSeries::new(),
         }
     }
 
@@ -129,6 +141,7 @@ impl Switch {
     }
 
     /// Adds an output port towards `peer`; returns the port index.
+    #[allow(deprecated)] // the fold is the shim's one sanctioned reader
     pub fn add_port(&mut self, peer: AgentId, cfg: PortConfig) -> usize {
         // Legacy `loss` folds into the injector as a uniform drop; the
         // default stream is derived from the peer and port index so no
@@ -155,6 +168,11 @@ impl Switch {
 
     /// Fault counters for a port's outgoing link (compat view over the
     /// injector's registry).
+    #[deprecated(
+        since = "0.1.0",
+        note = "read `port_fault_snapshot()` (the registry-backed view) instead"
+    )]
+    #[allow(deprecated)]
     pub fn port_fault_counters(&self, port: usize) -> FaultCounters {
         self.ports[port].fault.counters()
     }
@@ -204,6 +222,12 @@ impl Switch {
     /// Mean sampled queue depth on the monitored port, in packets.
     pub fn mean_queue_depth(&self) -> f64 {
         self.qlen_stats.mean()
+    }
+
+    /// The monitored port's sampled queue-depth time series (fixed
+    /// cadence set by [`Switch::monitor_port`]).
+    pub fn queue_depth_series(&self) -> &TimeSeries {
+        &self.qlen_series
     }
 
     /// Total drop-tail drops across ports.
@@ -271,6 +295,26 @@ impl Switch {
         port.forwarded += 1;
         port.bytes += seg.wire_len() as u64;
         let arrival = depart + port.cfg.prop_delay;
+        #[cfg(feature = "trace")]
+        if !seg.payload.is_empty() {
+            let (flow, seq, len) = (
+                seg.flow_key().reversed(),
+                seg.tcp.seq,
+                seg.payload.len() as u32,
+            );
+            let wait_ns = start.saturating_sub(now).as_nanos();
+            tas_telemetry::emit(|| tas_telemetry::TraceRecord {
+                t: depart,
+                site: "switch",
+                ev: tas_telemetry::TraceEvent::Stage {
+                    stage: tas_telemetry::Stage::SwitchFwd,
+                    flow,
+                    seq,
+                    len,
+                    wait_ns,
+                },
+            });
+        }
         if port.fault.is_active() {
             // Wire faults strike after serialization, like the NIC's: a
             // dropped packet still occupied the queue and the wire.
@@ -302,6 +346,7 @@ impl Agent<NetMsg> for Switch {
                     let now = ctx.now();
                     let d = self.ports[p].depth(now);
                     self.qlen_stats.add(d as f64);
+                    self.qlen_series.push(now, d as f64);
                     ctx.timer(self.monitor_interval, TIMER_SAMPLE_QUEUE, 0);
                 }
             }

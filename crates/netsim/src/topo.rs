@@ -225,8 +225,7 @@ pub fn build_fattree(
         prop_delay: cfg.prop_delay,
         queue_cap_pkts: cfg.queue_cap_pkts,
         ecn_threshold_pkts: cfg.ecn_threshold_pkts,
-        loss: 0.0,
-        fault: crate::fault::FaultSpec::none(),
+        ..PortConfig::tengig()
     };
 
     // Create switch agents first so hosts can reference their edge uplink.
@@ -261,8 +260,7 @@ pub fn build_fattree(
                 rate_bps: cfg.host_rate,
                 prop_delay: cfg.prop_delay,
                 rx_queues: 1,
-                tx_loss: 0.0,
-                tx_fault: crate::fault::FaultSpec::none(),
+                ..NicConfig::client_10g(1)
             },
         };
         let host = make_host(sim, spec);

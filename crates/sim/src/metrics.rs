@@ -124,10 +124,19 @@ impl Histogram {
     }
 
     /// Value at quantile `q` in `[0, 1]` (bucket upper bound, so error is
-    /// bounded by the bucket width). Returns 0 when empty.
+    /// bounded by the bucket width). Returns 0 when empty; with a single
+    /// sample every quantile is that sample exactly (the bucket bound is
+    /// clamped to the observed `[min, max]`).
     pub fn quantile(&self, q: f64) -> u64 {
+        self.try_quantile(q).unwrap_or(0)
+    }
+
+    /// Like [`Histogram::quantile`] but distinguishes "no samples" from a
+    /// recorded zero — report writers must not print a latency of 0 for a
+    /// distribution that never saw a sample.
+    pub fn try_quantile(&self, q: f64) -> Option<u64> {
         if self.total == 0 {
-            return 0;
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
         let rank = ((q * self.total as f64).ceil() as u64).max(1);
@@ -135,10 +144,30 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_high(i).min(self.max).max(self.min);
+                return Some(bucket_high(i).min(self.max).max(self.min));
             }
         }
-        self.max
+        Some(self.max)
+    }
+
+    /// Median (0 when empty).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 90th percentile (0 when empty).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (0 when empty).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile (0 when empty).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
     }
 
     /// Merges another histogram into this one.
@@ -302,6 +331,126 @@ impl TimeSeries {
         }
         mv.mean()
     }
+
+    /// Renders the series as text, one `t_ns value` line per sample, in
+    /// insertion order. Values print via Rust's shortest-roundtrip float
+    /// formatting, so two same-seed runs render byte-identically.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for &(t, v) in &self.samples {
+            writeln!(out, "{} {}", t.as_nanos(), v).expect("string write");
+        }
+        out
+    }
+
+    /// Largest sampled value (0 when empty).
+    pub fn max_value(&self) -> f64 {
+        self.samples.iter().fold(0.0f64, |m, &(_, v)| m.max(v))
+    }
+}
+
+/// A deterministic fixed-cadence sampler bank: a set of named
+/// [`TimeSeries`] that all advance on the *simulation* clock at a fixed
+/// interval, regardless of how often (or how jittered) the driving timer
+/// fires. Hosts call [`SeriesRecorder::begin`] from any periodic hook;
+/// when it returns true they [`SeriesRecorder::record`] each gauge for
+/// that tick. Samples are stamped on the cadence grid (multiples of the
+/// interval), never at wall time or at the jittered observation time, so
+/// two same-seed runs produce byte-identical
+/// [`SeriesRecorder::render_text`] output — the property the determinism
+/// tests pin and the Fig. 14-style plots depend on.
+///
+/// # Examples
+///
+/// ```
+/// use tas_sim::{SeriesRecorder, SimTime};
+/// let mut rec = SeriesRecorder::new(SimTime::from_ms(1));
+/// // The driving timer fires late; the sample still lands on the grid.
+/// if rec.begin(SimTime::from_us(1050)) {
+///     rec.record("cores.active", 2.0);
+/// }
+/// assert_eq!(rec.series("cores.active").unwrap().samples()[0].0, SimTime::from_ms(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SeriesRecorder {
+    interval: SimTime,
+    next_due: SimTime,
+    cur_tick: SimTime,
+    series: BTreeMap<&'static str, TimeSeries>,
+}
+
+impl SeriesRecorder {
+    /// Creates a recorder sampling every `interval` of simulated time.
+    /// The first tick is at `interval` (not time zero, where gauges are
+    /// all trivially empty).
+    pub fn new(interval: SimTime) -> Self {
+        assert!(interval > SimTime::ZERO, "cadence must be positive");
+        SeriesRecorder {
+            interval,
+            next_due: interval,
+            cur_tick: SimTime::ZERO,
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// The sampling cadence.
+    pub fn interval(&self) -> SimTime {
+        self.interval
+    }
+
+    /// True when the next cadence tick has been reached.
+    pub fn due(&self, now: SimTime) -> bool {
+        now >= self.next_due
+    }
+
+    /// Starts a sample tick if one is due: aligns the tick stamp to the
+    /// largest grid point at or before `now` (ticks the driving timer
+    /// slept through are skipped, not back-filled) and returns true;
+    /// otherwise returns false.
+    pub fn begin(&mut self, now: SimTime) -> bool {
+        if !self.due(now) {
+            return false;
+        }
+        let n = now.as_ps() / self.interval.as_ps();
+        self.cur_tick = SimTime::from_ps(n * self.interval.as_ps());
+        self.next_due = self.cur_tick + self.interval;
+        true
+    }
+
+    /// Records `v` for `name` at the tick started by the last
+    /// [`SeriesRecorder::begin`].
+    pub fn record(&mut self, name: &'static str, v: f64) {
+        let t = self.cur_tick;
+        self.series.entry(name).or_default().push(t, v);
+    }
+
+    /// The recorded series for `name`, if any samples exist.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Iterates `(name, series)` in deterministic name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&&'static str, &TimeSeries)> {
+        self.series.iter()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Renders every series as text — `name t_ns value` lines, series in
+    /// name order, samples in time order — byte-identical across same-seed
+    /// runs.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, ts) in &self.series {
+            for &(t, v) in ts.samples() {
+                writeln!(out, "{name} {} {}", t.as_nanos(), v).expect("string write");
+            }
+        }
+        out
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -355,8 +504,9 @@ pub enum MetricValue {
     Counter(u64),
     /// Instantaneous level (may go down).
     Gauge(i64),
-    /// Histogram summary (count/min/p50/p99/max) — the digest the paper's
-    /// tables report; full distributions stay with the owning harness.
+    /// Histogram summary (count/min/p50/p90/p99/p999/max) — the digest the
+    /// paper's tables and the bench report schema use; full distributions
+    /// stay with the owning harness.
     Histogram {
         /// Recorded samples.
         count: u64,
@@ -364,8 +514,12 @@ pub enum MetricValue {
         min: u64,
         /// Median.
         p50: u64,
+        /// 90th percentile.
+        p90: u64,
         /// 99th percentile.
         p99: u64,
+        /// 99.9th percentile.
+        p999: u64,
         /// Largest sample.
         max: u64,
     },
@@ -573,8 +727,10 @@ impl Registry {
                     MetricValue::Histogram {
                         count: h.count(),
                         min: h.min(),
-                        p50: h.quantile(0.5),
-                        p99: h.quantile(0.99),
+                        p50: h.p50(),
+                        p90: h.p90(),
+                        p99: h.p99(),
+                        p999: h.p999(),
                         max: h.max(),
                     }
                 }
@@ -668,11 +824,13 @@ impl Snapshot {
                     count,
                     min,
                     p50,
+                    p90,
                     p99,
+                    p999,
                     max,
                 } => writeln!(
                     out,
-                    "{key} count={count} min={min} p50={p50} p99={p99} max={max}"
+                    "{key} count={count} min={min} p50={p50} p90={p90} p99={p99} p999={p999} max={max}"
                 )
                 .expect("string write"),
             }
@@ -727,6 +885,43 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert!(h.is_empty());
+        // An empty distribution has no quantiles, and the named accessors
+        // all agree on the 0 fallback.
+        assert_eq!(h.try_quantile(0.5), None);
+        assert_eq!((h.p50(), h.p90(), h.p99(), h.p999()), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn histogram_single_sample_is_exact_at_every_quantile() {
+        for v in [0u64, 1, 63, 64, 1000, 123_456_789] {
+            let mut h = Histogram::new();
+            h.record(v);
+            for q in [0.0, 0.001, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                assert_eq!(h.quantile(q), v, "q={q} v={v}");
+            }
+            assert_eq!(h.try_quantile(0.5), Some(v));
+            assert_eq!((h.p50(), h.p90(), h.p99(), h.p999()), (v, v, v, v));
+        }
+    }
+
+    #[test]
+    fn histogram_p90_p999_accurate() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (got, want) in [
+            (h.p90() as f64, 90_000.0),
+            (h.p999() as f64, 99_900.0),
+        ] {
+            assert!((got - want).abs() / want < 0.04, "got {got}, want {want}");
+        }
+        // Two samples: p50 hits the first, high quantiles the second.
+        let mut h2 = Histogram::new();
+        h2.record(10);
+        h2.record(1_000_000);
+        assert_eq!(h2.p50(), 10);
+        assert_eq!(h2.p999(), 1_000_000);
     }
 
     #[test]
@@ -783,6 +978,36 @@ mod tests {
         }
         let m = ts.mean_between(SimTime::from_us(2), SimTime::from_us(5));
         assert!((m - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_recorder_samples_on_the_fixed_grid() {
+        let mut rec = SeriesRecorder::new(SimTime::from_ms(1));
+        // Jittered driving timer: fires late, sometimes skipping ticks.
+        for (fire_us, v) in [(1_100u64, 1.0), (2_050, 2.0), (5_500, 3.0)] {
+            let now = SimTime::from_us(fire_us);
+            assert!(rec.begin(now));
+            rec.record("q.depth", v);
+        }
+        let ts = rec.series("q.depth").unwrap();
+        let stamps: Vec<u64> = ts.samples().iter().map(|&(t, _)| t.as_nanos()).collect();
+        // Stamps land on cadence ticks: 1ms, 2ms, then (after skipping
+        // 3–4ms, which the driver slept through) 5ms.
+        assert_eq!(stamps, vec![1_000_000, 2_000_000, 5_000_000]);
+        assert!(!rec.begin(SimTime::from_us(5_900)));
+        assert!(rec.due(SimTime::from_ms(6)));
+        // Deterministic render.
+        assert_eq!(rec.render_text(), rec.render_text());
+        assert!(rec.render_text().starts_with("q.depth 1000000 1\n"));
+    }
+
+    #[test]
+    fn timeseries_render_text_is_deterministic() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_us(1), 1.5);
+        ts.push(SimTime::from_us(2), 2.0);
+        assert_eq!(ts.render_text(), "1000 1.5\n2000 2\n");
+        assert_eq!(ts.max_value(), 2.0);
     }
 
     #[test]

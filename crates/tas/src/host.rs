@@ -25,9 +25,13 @@ use tas_cpusim::{Core, CorePool, CycleAccount, Module};
 use tas_netsim::app::{App, AppEvent, SockId, StackApi};
 use tas_netsim::rss::hash_tuple;
 use tas_netsim::{HostNic, NetMsg, NicConfig};
+#[cfg(feature = "trace")]
+use tas_proto::FlowKey;
 use tas_proto::{MacAddr, Segment, TcpFlags};
 use tas_shm::ByteRing;
-use tas_sim::{impl_as_any, Agent, CounterId, Ctx, Event, Registry, Scope, SimTime, TimeSeries};
+use tas_sim::{
+    impl_as_any, Agent, CounterId, Ctx, Event, Registry, Scope, SeriesRecorder, SimTime, TimeSeries,
+};
 
 /// Timer kinds used by [`TasHost`].
 pub mod timers {
@@ -69,6 +73,11 @@ struct SockState {
 
 /// Host-level counters (compat view over the metric registry; built by
 /// [`TasHost::host_stats`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "read `registry().counter_value(\"host.*\", Scope::Global)` or \
+            `telemetry_snapshot()` instead"
+)]
 #[derive(Clone, Copy, Debug, Default)]
 pub struct HostStats {
     /// Packets dropped because the owning fast-path core's backlog
@@ -84,6 +93,32 @@ pub struct HostStats {
 #[cfg(feature = "trace")]
 fn trace_host(site: &'static str, t: SimTime, ev: tas_telemetry::TraceEvent) {
     tas_telemetry::emit(|| tas_telemetry::TraceRecord { t, site, ev });
+}
+
+/// Stamps one hop of a payload range's journey for the span profiler.
+/// `flow` must be the data sender's perspective (the canonical span key);
+/// `wait` is the time the unit queued at this hop before service.
+#[cfg(feature = "trace")]
+fn trace_stage(
+    site: &'static str,
+    t: SimTime,
+    stage: tas_telemetry::Stage,
+    flow: FlowKey,
+    seq: u32,
+    len: u32,
+    wait: SimTime,
+) {
+    tas_telemetry::emit(|| tas_telemetry::TraceRecord {
+        t,
+        site,
+        ev: tas_telemetry::TraceEvent::Stage {
+            stage,
+            flow,
+            seq,
+            len,
+            wait_ns: wait.as_nanos(),
+        },
+    });
 }
 
 enum FpCmd {
@@ -138,6 +173,10 @@ struct Inner {
     c_scale_events: CounterId,
     c_app_bytes: CounterId,
     core_series: TimeSeries,
+    /// Mean fast-path utilization sampled by the proportionality monitor.
+    util_series: TimeSeries,
+    /// Fixed-cadence queue-depth/occupancy sampler (sim-clock grid).
+    series: SeriesRecorder,
     frame: Frame,
     /// Deferred app events per context (drained by APP_RUN timers). A
     /// cross-component hop must not execute at a future timestamp — that
@@ -222,6 +261,8 @@ impl TasHost {
                 c_scale_events,
                 c_app_bytes,
                 core_series: TimeSeries::new(),
+                util_series: TimeSeries::new(),
+                series: SeriesRecorder::new(SimTime::from_ms(1)),
                 frame: Frame::default(),
                 app_q: (0..cfg_app_cores)
                     .map(|_| std::collections::VecDeque::new())
@@ -262,6 +303,12 @@ impl TasHost {
     }
 
     /// Host counters (compat view rebuilt from the metric registry).
+    #[deprecated(
+        since = "0.1.0",
+        note = "read `registry().counter_value(\"host.*\", Scope::Global)` or \
+                `telemetry_snapshot()` instead"
+    )]
+    #[allow(deprecated)]
     pub fn host_stats(&self) -> HostStats {
         HostStats {
             drop_backlog: self.inner.reg.get(self.inner.c_drop_backlog),
@@ -321,6 +368,20 @@ impl TasHost {
     /// proportionality monitor (Fig. 14).
     pub fn core_series(&self) -> &TimeSeries {
         &self.inner.core_series
+    }
+
+    /// Time series of mean fast-path utilization over the active cores,
+    /// sampled by the proportionality monitor at its 1 ms cadence.
+    pub fn util_series(&self) -> &TimeSeries {
+        &self.inner.util_series
+    }
+
+    /// Fixed-cadence queue-depth/occupancy recorder: NIC RX backlog, shm
+    /// ring occupancy, slow-path queue depth, and active core count, all
+    /// stamped on a deterministic sim-clock grid (Fig. 14-style plots are
+    /// built from this, not from ad-hoc prints).
+    pub fn queue_series(&self) -> &SeriesRecorder {
+        &self.inner.series
     }
 
     /// Number of installed fast-path flows.
@@ -441,7 +502,7 @@ impl TasHost {
         ctx: &mut Ctx<'_, NetMsg>,
         extra_cycles: u64,
         f: impl FnOnce(&mut FastPath, SimTime, &mut CycleAccount) -> u64,
-    ) {
+    ) -> (SimTime, SimTime) {
         let inner = &mut self.inner;
         let core_idx = core_idx.min(inner.active_fp.saturating_sub(1));
         let mut t_eff = t;
@@ -468,7 +529,8 @@ impl TasHost {
             inner.acct.charge(Module::Other, wake_extra, wake_extra / 2);
         }
         let (_, end) = inner.fp_cores.core(core_idx).run(t_eff, cycles);
-        self.flush_fp(end, ctx);
+        self.flush_fp(end, start.saturating_sub(t), ctx);
+        (start, end)
     }
 
     /// Per-packet stall cycles from the flow-state cache model.
@@ -488,20 +550,37 @@ impl TasHost {
         model.stall_cycles(64 * inner.cfg.cache_lines_per_req, per_core) as u64
     }
 
-    fn flush_fp(&mut self, end: SimTime, ctx: &mut Ctx<'_, NetMsg>) {
+    /// Drains staged fast-path effects at completion time `end`. `wait` is
+    /// how long the triggering work queued for its core (span profiling
+    /// attributes it to the fp_tx hop); pass zero for untimed flushes.
+    #[cfg_attr(not(feature = "trace"), allow(unused_variables))]
+    fn flush_fp(&mut self, end: SimTime, wait: SimTime, ctx: &mut Ctx<'_, NetMsg>) {
         let packets = std::mem::take(&mut self.inner.fp.out.packets);
         let notices = std::mem::take(&mut self.inner.fp.out.notices);
         let exceptions = std::mem::take(&mut self.inner.fp.out.exceptions);
         let tx_timers = std::mem::take(&mut self.inner.fp.out.tx_timers);
         for pkt in packets {
             #[cfg(feature = "trace")]
-            tas_telemetry::emit(|| tas_telemetry::TraceRecord {
-                t: end,
-                site: "fp",
-                ev: tas_telemetry::TraceEvent::SegTx {
-                    seg: Box::new(pkt.clone()),
-                },
-            });
+            {
+                tas_telemetry::emit(|| tas_telemetry::TraceRecord {
+                    t: end,
+                    site: "fp",
+                    ev: tas_telemetry::TraceEvent::SegTx {
+                        seg: Box::new(pkt.clone()),
+                    },
+                });
+                if !pkt.payload.is_empty() {
+                    trace_stage(
+                        "fp",
+                        end,
+                        tas_telemetry::Stage::FpTx,
+                        pkt.flow_key().reversed(),
+                        pkt.tcp.seq,
+                        pkt.payload.len() as u32,
+                        wait,
+                    );
+                }
+            }
             self.inner.nic.tx(end, pkt, ctx);
         }
         for (fid, at) in tx_timers {
@@ -545,6 +624,8 @@ impl TasHost {
         };
         let iss = ctx.rng().next_u32();
         let start = t.max(self.inner.sp_core.busy_until());
+        #[cfg(feature = "trace")]
+        let stamp = (seg.flow_key().reversed(), seg.tcp.seq, seg.payload.len() as u32);
         let inner = &mut self.inner;
         let cycles = inner.sp.on_exception(
             start,
@@ -558,6 +639,19 @@ impl TasHost {
         #[cfg(any(test, debug_assertions, feature = "audit"))]
         crate::audit::check_fastpath(&inner.fp, start);
         let (_, end) = inner.sp_core.run(t, cycles);
+        #[cfg(feature = "trace")]
+        {
+            let (flow, seq, len) = stamp;
+            trace_stage(
+                "sp",
+                end,
+                tas_telemetry::Stage::SpRx,
+                flow,
+                seq,
+                len,
+                start.saturating_sub(t),
+            );
+        }
         // Pending incoming connections: the application's accept path runs
         // on its app core, then the slow path answers with SYN-ACK.
         if inner.sp.has_pending_accepts() {
@@ -593,13 +687,24 @@ impl TasHost {
         let events = std::mem::take(&mut self.inner.sp.out.events);
         for pkt in packets {
             #[cfg(feature = "trace")]
-            tas_telemetry::emit(|| tas_telemetry::TraceRecord {
-                t: end,
-                site: "sp",
-                ev: tas_telemetry::TraceEvent::SegTx {
-                    seg: Box::new(pkt.clone()),
-                },
-            });
+            {
+                tas_telemetry::emit(|| tas_telemetry::TraceRecord {
+                    t: end,
+                    site: "sp",
+                    ev: tas_telemetry::TraceEvent::SegTx {
+                        seg: Box::new(pkt.clone()),
+                    },
+                });
+                trace_stage(
+                    "sp",
+                    end,
+                    tas_telemetry::Stage::SpTx,
+                    pkt.flow_key().reversed(),
+                    pkt.tcp.seq,
+                    pkt.payload.len() as u32,
+                    SimTime::ZERO,
+                );
+            }
             self.inner.nic.tx(end, pkt, ctx);
         }
         for ev in events {
@@ -660,7 +765,7 @@ impl TasHost {
             || !self.inner.fp.out.tx_timers.is_empty()
             || !self.inner.fp.out.exceptions.is_empty()
         {
-            self.flush_fp(end, ctx);
+            self.flush_fp(end, SimTime::ZERO, ctx);
         }
     }
 
@@ -693,6 +798,24 @@ impl TasHost {
             return;
         }
         if notice.rx_bytes > 0 {
+            #[cfg(feature = "trace")]
+            if let Some(flow) = self.inner.socks[sock as usize]
+                .fid
+                .and_then(|fid| self.inner.fp.flows.get(fid))
+            {
+                // First newly readable byte: the RX ring already holds the
+                // payload this notice announces.
+                let off0 = flow.rx.end_offset().saturating_sub(notice.rx_bytes as u64);
+                trace_stage(
+                    "host",
+                    t,
+                    tas_telemetry::Stage::ShmDoorbell,
+                    flow.key.reversed(),
+                    flow.rcv_seq_of(off0),
+                    notice.rx_bytes,
+                    SimTime::ZERO,
+                );
+            }
             self.defer_app(t, context, AppEvent::Readable { sock }, ctx);
         }
         if notice.tx_acked > 0 && self.inner.socks[sock as usize].want_write {
@@ -816,6 +939,9 @@ impl TasHost {
         let inner = &mut self.inner;
         let utils = inner.fp_cores.sample_utilization(now);
         let active = inner.active_fp;
+        let mean_util =
+            utils.iter().take(active).sum::<f64>() / active.max(1) as f64;
+        inner.util_series.push(now, mean_util);
         let idle: f64 = utils.iter().take(active).map(|u| (1.0 - u).max(0.0)).sum();
         let mut changed = false;
         if idle < inner.cfg.idle_add_threshold && active < inner.cfg.max_fp_cores {
@@ -840,6 +966,34 @@ impl TasHost {
             inner.nic.rss_mut().rebalance(inner.active_fp);
         }
         inner.core_series.push(now, inner.active_fp as f64);
+    }
+
+    /// Samples the queue-depth gauges. Called from packet arrival and the
+    /// periodic timers; [`SeriesRecorder::begin`] floors each sample onto
+    /// the fixed grid and drops re-entries within one interval, so the
+    /// output is a deterministic fixed-cadence series regardless of which
+    /// event happened to drive it.
+    fn sample_series(&mut self, now: SimTime) {
+        let inner = &mut self.inner;
+        if !inner.series.begin(now) {
+            return;
+        }
+        inner
+            .series
+            .record("cores.active_fp", inner.active_fp as f64);
+        inner
+            .series
+            .record("nic.rx_pending", inner.nic.rx_pending() as f64);
+        let (mut tx_bytes, mut rx_bytes) = (0u64, 0u64);
+        for (_, f) in inner.fp.flows.iter() {
+            tx_bytes += f.tx.len() as u64;
+            rx_bytes += f.rx.len() as u64;
+        }
+        inner.series.record("shm.tx_bytes", tx_bytes as f64);
+        inner.series.record("shm.rx_bytes", rx_bytes as f64);
+        inner
+            .series
+            .record("sp.queue_depth", inner.sp_q.len() as f64);
     }
 
     fn ensure_started(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
@@ -938,11 +1092,23 @@ impl StackApi for Api<'_> {
             return 0;
         };
         // libTAS writes payload directly into the user-space TX ring.
+        #[cfg(feature = "trace")]
+        let off0 = flow.tx.end_offset();
         let n = flow.tx.append_partial(data);
         if n < data.len() {
             s.want_write = true;
         }
         if n > 0 {
+            #[cfg(feature = "trace")]
+            trace_stage(
+                "app",
+                self.inner.frame.now,
+                tas_telemetry::Stage::AppSend,
+                flow.key,
+                flow.seq_of(off0),
+                n as u32,
+                SimTime::ZERO,
+            );
             self.inner.frame.fp_cmds.push(FpCmd::Tx(fid));
         }
         n
@@ -964,8 +1130,20 @@ impl StackApi for Api<'_> {
         let Some(flow) = self.inner.fp.flows.get_mut(fid) else {
             return Vec::new();
         };
+        #[cfg(feature = "trace")]
+        let off0 = flow.rx.start_offset();
         let out = flow.rx.pop(max);
         if !out.is_empty() {
+            #[cfg(feature = "trace")]
+            trace_stage(
+                "app",
+                self.inner.frame.now,
+                tas_telemetry::Stage::AppDeliver,
+                flow.key.reversed(),
+                flow.rcv_seq_of(off0),
+                out.len() as u32,
+                SimTime::ZERO,
+            );
             self.inner.reg.add(self.inner.c_app_bytes, out.len() as u64);
             self.inner.frame.fp_cmds.push(FpCmd::RxBump(fid));
         }
@@ -1015,6 +1193,7 @@ impl Agent<NetMsg> for TasHost {
                 ..
             } => {
                 let now = ctx.now();
+                self.sample_series(now);
                 let q = self.inner.nic.rx_enqueue(seg);
                 let seg = self.inner.nic.rx_dequeue(q).expect("just enqueued");
                 #[cfg(feature = "trace")]
@@ -1025,6 +1204,28 @@ impl Agent<NetMsg> for TasHost {
                         seg: Box::new(seg.clone()),
                     },
                 });
+                #[cfg(feature = "trace")]
+                let stamp = if seg.payload.is_empty() {
+                    None
+                } else {
+                    Some((
+                        seg.flow_key().reversed(),
+                        seg.tcp.seq,
+                        seg.payload.len() as u32,
+                    ))
+                };
+                #[cfg(feature = "trace")]
+                if let Some((flow, seq, len)) = stamp {
+                    trace_stage(
+                        "nic",
+                        now,
+                        tas_telemetry::Stage::NicRx,
+                        flow,
+                        seq,
+                        len,
+                        SimTime::ZERO,
+                    );
+                }
                 let core_idx = q.min(self.inner.active_fp - 1);
                 // Finite RX ring: drop when the core is too far behind.
                 let backlog = self
@@ -1044,13 +1245,27 @@ impl Agent<NetMsg> for TasHost {
                     return;
                 }
                 let stall = Self::cache_stall(&self.inner);
-                self.run_fp(core_idx, now, ctx, stall, |fp, t, acct| {
+                let (start, end) = self.run_fp(core_idx, now, ctx, stall, |fp, t, acct| {
                     let c = fp.rx_segment(t, seg, acct);
                     if stall > 0 {
                         acct.charge(Module::Tcp, stall, 0);
                     }
                     c
                 });
+                #[cfg(feature = "trace")]
+                if let Some((flow, seq, len)) = stamp {
+                    trace_stage(
+                        "fp",
+                        end,
+                        tas_telemetry::Stage::FpRx,
+                        flow,
+                        seq,
+                        len,
+                        start.saturating_sub(now),
+                    );
+                }
+                #[cfg(not(feature = "trace"))]
+                let _ = (start, end);
             }
             Event::Msg {
                 msg: NetMsg::Ctl { kind, a, b },
@@ -1069,6 +1284,7 @@ impl Agent<NetMsg> for TasHost {
                         self.run_fp(core, now, ctx, 0, |fp, t, acct| fp.tx_poll(t, fid, acct));
                     }
                     timers::SP_CTRL => {
+                        self.sample_series(now);
                         self.run_sp(now, ctx, |sp, fp, t, acct| {
                             (sp.control_loop(t, fp, acct), ())
                         });
@@ -1080,6 +1296,7 @@ impl Agent<NetMsg> for TasHost {
                         ctx.timer_at(next, timers::SP_CTRL, 0);
                     }
                     timers::PROP => {
+                        self.sample_series(now);
                         self.prop_tick(now);
                         ctx.timer(SimTime::from_ms(1), timers::PROP, 0);
                     }

@@ -277,7 +277,9 @@ fn loss_recovery_via_slow_path_timeout() {
         };
         let mut nic = spec.nic;
         if spec.index == 1 {
-            nic.tx_loss = 0.02;
+            // Seed 0 derives the stream from the device id — the exact
+            // schedule the legacy `tx_loss` shim produced.
+            nic.tx_fault = tas_netsim::FaultSpec::uniform_loss(0.02, 0);
         }
         sim.add_agent(Box::new(TasHost::new(
             spec.ip,
@@ -376,13 +378,34 @@ fn fault_schedule_with_auditor_all_rpcs_complete() {
     let client = sim.agent::<TasHost>(topo.hosts[1]).app_as::<RpcClient>();
     assert_eq!(client.done, 300, "all RPCs must survive the fault schedule");
     assert!(client.finished, "close handshake must complete under faults");
-    // The injectors actually fired, in both directions.
-    let nic_ctr = sim.agent::<TasHost>(topo.hosts[1]).nic().tx_fault_counters();
-    assert!(nic_ctr.seen > 300, "client NIC injector saw traffic");
-    assert!(nic_ctr.any_faults(), "client NIC injector injected faults");
-    let port_ctr = sim.agent::<Switch>(topo.switch).port_fault_counters(1);
-    assert!(port_ctr.seen > 300, "switch port injector saw traffic");
-    assert!(port_ctr.any_faults(), "switch port injector injected faults");
+    // The injectors actually fired, in both directions (registry-backed
+    // snapshot view).
+    use tas_sim::Scope;
+    let fired = |s: &tas_sim::Snapshot| {
+        [
+            "fault.dropped",
+            "fault.duplicated",
+            "fault.reordered",
+            "fault.jittered",
+            "fault.corrupted",
+        ]
+        .iter()
+        .map(|&n| s.counter(n, Scope::Global))
+        .sum::<u64>()
+            > 0
+    };
+    let nic_snap = sim.agent::<TasHost>(topo.hosts[1]).nic().tx_fault_snapshot();
+    assert!(
+        nic_snap.counter("fault.seen", Scope::Global) > 300,
+        "client NIC injector saw traffic"
+    );
+    assert!(fired(&nic_snap), "client NIC injector injected faults");
+    let port_snap = sim.agent::<Switch>(topo.switch).port_fault_snapshot(1);
+    assert!(
+        port_snap.counter("fault.seen", Scope::Global) > 300,
+        "switch port injector saw traffic"
+    );
+    assert!(fired(&port_snap), "switch port injector injected faults");
     // The auditor ran on the operations of this workload.
     assert!(
         tas::audit::checks_performed() > audits_before,

@@ -131,7 +131,11 @@ fn controller_scales_up_under_load() {
         "sustained overload must add cores, got {}",
         srv.active_fp_cores()
     );
-    assert!(srv.host_stats().scale_events >= 2);
+    assert!(
+        srv.registry()
+            .counter_value("host.scale_events", tas_sim::Scope::Global)
+            >= 2
+    );
     // RSS follows the active set.
     assert!(sim.agent::<TasHost>(client).app_as::<Pinger>().done > 1_000);
 }
@@ -190,5 +194,9 @@ fn fixed_allocation_never_scales() {
     sim.run_until(SimTime::from_ms(100));
     let srv = sim.agent::<TasHost>(topo.hosts[0]);
     assert_eq!(srv.active_fp_cores(), 2);
-    assert_eq!(srv.host_stats().scale_events, 0);
+    assert_eq!(
+        srv.registry()
+            .counter_value("host.scale_events", tas_sim::Scope::Global),
+        0
+    );
 }

@@ -483,6 +483,12 @@ impl TcpConn {
         self.tx.free()
     }
 
+    /// Occupied bytes in the send buffer (queued + unacknowledged). The
+    /// queue-depth time series samples this per connection.
+    pub fn send_buffered(&self) -> usize {
+        self.tx.len()
+    }
+
     /// Unacknowledged payload bytes in flight.
     pub fn in_flight(&self) -> u64 {
         self.nxt_off - self.una_off

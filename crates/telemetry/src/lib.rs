@@ -37,6 +37,9 @@
 //! ```
 
 pub mod pcap;
+pub mod spans;
+
+pub use spans::Stage;
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -124,6 +127,26 @@ pub enum TraceEvent {
         flow: FlowKey,
         /// Sequence number of the marked packet.
         seq: u32,
+    },
+    /// A span hop completed: a payload range finished one stage of its
+    /// app-to-app journey (see [`spans`] for the stage taxonomy and the
+    /// assembler that turns these stamps into latency spans).
+    Stage {
+        /// The hop that completed.
+        stage: Stage,
+        /// The flow from the data *sender's* perspective — every stamp of
+        /// one journey shares this orientation, whichever host or device
+        /// recorded it.
+        flow: FlowKey,
+        /// TCP sequence number of the range's first payload byte.
+        seq: u32,
+        /// Payload bytes covered by this stamp.
+        len: u32,
+        /// Time the unit spent queued at this hop before service began
+        /// (`0` where the hop has no queue), in nanoseconds. The span
+        /// breakdown splits each stage delta into queueing (this) and
+        /// processing (the rest).
+        wait_ns: u64,
     },
 }
 
@@ -214,7 +237,8 @@ pub fn flow_of(rec: &TraceRecord) -> Option<FlowKey> {
         | TraceEvent::Retransmit { flow, .. }
         | TraceEvent::OooPlace { flow, .. }
         | TraceEvent::Fault { flow, .. }
-        | TraceEvent::EcnMark { flow, .. } => Some(*flow),
+        | TraceEvent::EcnMark { flow, .. }
+        | TraceEvent::Stage { flow, .. } => Some(*flow),
         TraceEvent::CoreScale { .. } => None,
     }
 }
@@ -325,6 +349,18 @@ pub fn render_text(records: &[TraceRecord]) -> String {
             TraceEvent::EcnMark { flow, seq } => {
                 writeln!(out, "ecn_mark {} seq={seq}", flow_str(flow))
             }
+            TraceEvent::Stage {
+                stage,
+                flow,
+                seq,
+                len,
+                wait_ns,
+            } => writeln!(
+                out,
+                "stage {} {} seq={seq} len={len} wait_ns={wait_ns}",
+                stage.name(),
+                flow_str(flow)
+            ),
         };
     }
     out
@@ -377,6 +413,18 @@ pub fn render_jsonl(records: &[TraceRecord]) -> String {
             TraceEvent::EcnMark { flow, seq } => write!(
                 out,
                 ",\"ev\":\"ecn_mark\",\"flow\":\"{}\",\"seq\":{seq}",
+                flow_str(flow)
+            ),
+            TraceEvent::Stage {
+                stage,
+                flow,
+                seq,
+                len,
+                wait_ns,
+            } => write!(
+                out,
+                ",\"ev\":\"stage\",\"stage\":\"{}\",\"flow\":\"{}\",\"seq\":{seq},\"len\":{len},\"wait_ns\":{wait_ns}",
+                stage.name(),
                 flow_str(flow)
             ),
         };

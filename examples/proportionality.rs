@@ -125,7 +125,9 @@ fn main() {
 
     let server = sim.agent::<TasHost>(topo.hosts[0]);
     let final_cores = server.active_fp_cores();
-    let scale_events = server.host_stats().scale_events;
+    let scale_events = server
+        .registry()
+        .counter_value("host.scale_events", tas_repro::sim::Scope::Global);
     println!();
     println!(
         "peak {peak_cores} fast-path cores, back to {final_cores} after the load left \

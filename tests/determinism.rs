@@ -138,25 +138,125 @@ fn faulty_fingerprint(sim_seed: u64, fault_seed: u64) -> Vec<u64> {
     }
     sim.run_until(SimTime::from_secs(2));
     let client = sim.agent::<TasHost>(topo.hosts[1]);
-    let nic_ctr = client.nic().tx_fault_counters();
-    let port_ctr = sim.agent::<Switch>(topo.switch).port_fault_counters(1);
+    let nic_snap = client.nic().tx_fault_snapshot();
+    let port_snap = sim.agent::<Switch>(topo.switch).port_fault_snapshot(1);
     let server = sim.agent::<TasHost>(topo.hosts[0]);
+    use tas_repro::sim::Scope;
     vec![
         sim.events_processed(),
         server.fp_stats().pkts_rx,
         server.fp_stats().bytes_rx,
         server.account().total_cycles(),
         client.app_as::<RpcClient>().done,
-        nic_ctr.seen,
-        nic_ctr.dropped,
-        nic_ctr.duplicated,
-        nic_ctr.reordered,
-        nic_ctr.jittered,
-        port_ctr.seen,
-        port_ctr.dropped,
-        port_ctr.duplicated,
-        port_ctr.reordered,
+        nic_snap.counter("fault.seen", Scope::Global),
+        nic_snap.counter("fault.dropped", Scope::Global),
+        nic_snap.counter("fault.duplicated", Scope::Global),
+        nic_snap.counter("fault.reordered", Scope::Global),
+        nic_snap.counter("fault.jittered", Scope::Global),
+        port_snap.counter("fault.seen", Scope::Global),
+        port_snap.counter("fault.dropped", Scope::Global),
+        port_snap.counter("fault.duplicated", Scope::Global),
+        port_snap.counter("fault.reordered", Scope::Global),
     ]
+}
+
+/// Runs the standard echo pair on either stack and returns every
+/// machine-readable artifact the observability layer derives from the
+/// run: the fixed-cadence queue-depth series, the TAS utilization
+/// series, and a bench report rendered to JSON. Two same-seed runs must
+/// agree byte for byte — this is what makes `BENCH_*.json` files
+/// diffable and the CI regression gate meaningful.
+fn run_artifacts(seed: u64, reference: bool) -> String {
+    use tas_bench::report::{Metric, Report};
+    use tas_repro::apps::echo::{EchoServer, ServerMode};
+    use tas_repro::baselines::{profiles, StackHost, StackHostConfig};
+    let mut sim: Sim<NetMsg> = Sim::new(seed);
+    let server_ip: Ipv4Addr = host_ip(0);
+    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
+        let app: Box<dyn App> = if spec.index == 0 {
+            Box::new(EchoServer::new(7, 64, ServerMode::Echo, 300))
+        } else {
+            let mut c = RpcClient::new(server_ip, 7, 2, 1, 64, Lifetime::Persistent);
+            c.max_requests = 400;
+            Box::new(c)
+        };
+        if reference {
+            sim.add_agent(Box::new(StackHost::new(
+                spec.ip,
+                spec.mac,
+                spec.nic,
+                profiles::linux(),
+                StackHostConfig::linux(2),
+                spec.uplink,
+                app,
+            )))
+        } else {
+            sim.add_agent(Box::new(TasHost::new(
+                spec.ip,
+                spec.mac,
+                spec.nic,
+                TasConfig::rpc_bench(1, 1),
+                spec.uplink,
+                app,
+            )))
+        }
+    };
+    let topo = build_star(
+        &mut sim,
+        2,
+        |_| PortConfig::tengig(),
+        |_| NicConfig::client_10g(1),
+        &mut factory,
+    );
+    for &h in &topo.hosts {
+        sim.inject_timer(SimTime::ZERO, h, 0, 0);
+    }
+    sim.run_until(SimTime::from_ms(80));
+    let (series, latency, done) = if reference {
+        let s = sim.agent::<StackHost>(topo.hosts[0]);
+        let c = sim.agent::<StackHost>(topo.hosts[1]).app_as::<RpcClient>();
+        (
+            s.queue_series().render_text(),
+            c.latency.clone(),
+            c.done,
+        )
+    } else {
+        let s = sim.agent::<TasHost>(topo.hosts[0]);
+        let c = sim.agent::<TasHost>(topo.hosts[1]).app_as::<RpcClient>();
+        (
+            format!(
+                "{}{}",
+                s.util_series().render_text(),
+                s.queue_series().render_text()
+            ),
+            c.latency.clone(),
+            c.done,
+        )
+    };
+    assert!(done > 0, "the echo workload must actually run");
+    let mut rep = Report::new("determinism-probe", "Echo RPC determinism probe", seed);
+    rep.param("reference", u64::from(reference));
+    rep.push(Metric::quantiles("rpc_latency", "ns", &latency));
+    rep.push(Metric::value("requests", "count", done as f64));
+    format!("{series}\n{}", rep.to_json())
+}
+
+#[test]
+fn same_seed_series_and_bench_reports_are_byte_identical() {
+    for reference in [false, true] {
+        let a = run_artifacts(4321, reference);
+        let b = run_artifacts(4321, reference);
+        assert_eq!(
+            a, b,
+            "series + report must be a pure function of the seed (reference={reference})"
+        );
+        assert!(a.contains("tas-bench-report-v1"), "schema header present");
+    }
+    assert_ne!(
+        run_artifacts(4321, false),
+        run_artifacts(4322, false),
+        "a different seed must actually change the artifacts"
+    );
 }
 
 #[test]

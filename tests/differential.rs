@@ -136,8 +136,8 @@ fn run_tas(which: &str, seed: u64) -> Outcome {
         faults_dropped: csnap.counter("fault.dropped", Scope::Global)
             + sim
                 .agent::<tas_repro::netsim::Switch>(topo.switch)
-                .port_fault_counters(1)
-                .dropped,
+                .port_fault_snapshot(1)
+                .counter("fault.dropped", Scope::Global),
         live: ssnap.gauge("flows.live", Scope::Global),
         established: ssnap.counter("sp.established", Scope::Global),
     }
@@ -198,8 +198,8 @@ fn run_reference(which: &str, seed: u64) -> Outcome {
         faults_dropped: csnap.counter("fault.dropped", Scope::Global)
             + sim
                 .agent::<tas_repro::netsim::Switch>(topo.switch)
-                .port_fault_counters(1)
-                .dropped,
+                .port_fault_snapshot(1)
+                .counter("fault.dropped", Scope::Global),
         live: ssnap.gauge("conns.live", Scope::Global),
         established: ssnap.counter("host.established", Scope::Global),
     }

@@ -126,7 +126,7 @@ proptest! {
             t += SimTime::from_us(3);
         }
         sim.run_until(t + SimTime::from_ms(50));
-        let _ = sim.agent::<StackHost>(host).host_stats();
+        let _ = sim.agent::<StackHost>(host).telemetry_snapshot();
     }
 
     /// A live TcpConn fed arbitrary segments never panics and keeps its
@@ -220,9 +220,12 @@ proptest! {
         sim.run_until(SimTime::from_ms(100));
         // Survival is the property; also confirm the injector was live and
         // the hosts are still coherent enough to report state.
-        let nic_ctr = sim.agent::<StackHost>(topo.hosts[1]).nic().tx_fault_counters();
-        prop_assert!(nic_ctr.seen > 0, "injector must have seen traffic");
-        let _ = sim.agent::<StackHost>(topo.hosts[0]).host_stats();
-        let _ = sim.agent::<StackHost>(topo.hosts[1]).host_stats();
+        let nic_snap = sim.agent::<StackHost>(topo.hosts[1]).nic().tx_fault_snapshot();
+        prop_assert!(
+            nic_snap.counter("fault.seen", tas_repro::sim::Scope::Global) > 0,
+            "injector must have seen traffic"
+        );
+        let _ = sim.agent::<StackHost>(topo.hosts[0]).telemetry_snapshot();
+        let _ = sim.agent::<StackHost>(topo.hosts[1]).telemetry_snapshot();
     }
 }

@@ -120,7 +120,9 @@ fn interop_survives_loss() {
             let mut c = RpcClient::new(server_ip, 7, 4, 1, 64, Lifetime::Persistent);
             c.max_requests = 200;
             let mut nic = spec.nic.clone();
-            nic.tx_loss = 0.01;
+            // Seed 0 derives the stream from the device id — the exact
+            // schedule the legacy `tx_loss` shim produced.
+            nic.tx_fault = tas_repro::netsim::FaultSpec::uniform_loss(0.01, 0);
             let spec = HostSpec { nic, ..spec };
             make(sim, spec, Kind::Linux, Box::new(c))
         }

@@ -204,6 +204,43 @@ mod trace_transparency {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(4))]
 
+        /// Truncation honesty under adversarial ring sizes: however small
+        /// the trace ring, every assembled span is either complete — with
+        /// causally ordered stamps whose deltas partition the end-to-end
+        /// time exactly — or it reports no latency at all, and is flagged
+        /// `truncated` exactly when the ring evicted records. A wrapped
+        /// ring must never masquerade as a short latency.
+        #[test]
+        fn spans_are_exact_or_flagged_under_tiny_rings(
+            seed in 1u64..10_000,
+            cap_pow in 6u32..13,
+        ) {
+            telemetry::start(1usize << cap_pow);
+            let (mut sim, _server, _client) = build_tas_pair(seed, false);
+            sim.run_until(SimTime::from_ms(60));
+            let recs = telemetry::take();
+            let evicted = telemetry::evicted();
+            telemetry::stop();
+            let spans = telemetry::spans::assemble(&recs, evicted);
+            prop_assert!(!spans.is_empty(), "the run must produce spans");
+            for sp in &spans {
+                if sp.complete {
+                    let e2e = sp.e2e_ns().expect("complete span has a latency");
+                    let sum: u64 = sp.deltas().iter().map(|d| d.delta_ns).sum();
+                    prop_assert_eq!(sum, e2e, "deltas must partition e2e exactly");
+                    prop_assert!(
+                        sp.stages.windows(2).all(|w| w[0].1 <= w[1].1),
+                        "stamps must be causally ordered: {:?}", sp.stages
+                    );
+                } else {
+                    prop_assert_eq!(sp.e2e_ns(), None,
+                        "incomplete span must not report a latency");
+                    prop_assert_eq!(sp.truncated, evicted > 0,
+                        "truncated flag must mirror ring eviction");
+                }
+            }
+        }
+
         #[test]
         fn tracing_never_perturbs_the_simulation(seed in 1u64..10_000) {
             let (ev_off, snap_off, _) = fingerprint(seed, false);
