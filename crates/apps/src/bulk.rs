@@ -1,7 +1,7 @@
 //! Bulk-transfer applications (Table 4 compatibility, Fig. 7 loss, and
 //! Fig. 13 incast).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use tas_netsim::app::{App, AppEvent, SockId, StackApi};
 use tas_sim::{impl_as_any, SimTime};
@@ -16,7 +16,7 @@ pub struct BulkSender {
     pub bytes_per_conn: u64,
     /// Write chunk size.
     pub chunk: usize,
-    sent: HashMap<SockId, u64>,
+    sent: BTreeMap<SockId, u64>,
     /// Total payload bytes accepted by the stack.
     pub total_sent: u64,
 }
@@ -30,7 +30,7 @@ impl BulkSender {
             n_conns: conns,
             bytes_per_conn: 0,
             chunk: 8192,
-            sent: HashMap::new(),
+            sent: BTreeMap::new(),
             total_sent: 0,
         }
     }
@@ -83,7 +83,7 @@ pub struct BulkReceiver {
     /// Total payload bytes received.
     pub total: u64,
     /// Per-socket byte count within the current sampling interval.
-    pub window_bytes: HashMap<SockId, u64>,
+    pub window_bytes: BTreeMap<SockId, u64>,
     /// Completed interval samples: bytes each connection received in one
     /// interval (across all connections and intervals).
     pub interval_samples: Vec<u64>,
@@ -101,7 +101,7 @@ impl BulkReceiver {
         BulkReceiver {
             port,
             total: 0,
-            window_bytes: HashMap::new(),
+            window_bytes: BTreeMap::new(),
             interval_samples: Vec::new(),
             sample_every: SimTime::ZERO,
             measure_from: SimTime::ZERO,

@@ -13,7 +13,7 @@
 //!   throughput at a latency cost.
 
 use crate::profiles::StackProfile;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use tas_cpusim::{CacheModel, CorePool, CycleAccount, Module};
 use tas_netsim::app::{App, AppEvent, SockId, StackApi};
@@ -124,25 +124,6 @@ pub mod timers {
 /// [`TcpConn::debug_state`](tas_tcp::TcpConn::debug_state) for fields.
 pub type ConnDebug = (u64, u64, u64, u32, u64, bool, u32, u64, usize, usize);
 
-/// Host counters (compat view over the metric registry; built by
-/// [`StackHost::host_stats`]).
-#[deprecated(
-    since = "0.1.0",
-    note = "read `registry().counter_value(\"host.*\", Scope::Global)` or \
-            `telemetry_snapshot()` instead"
-)]
-#[derive(Clone, Copy, Debug, Default)]
-pub struct HostStats {
-    /// Packets dropped at the RX-ring bound.
-    pub drop_backlog: u64,
-    /// Connections established.
-    pub established: u64,
-    /// Connections closed.
-    pub closed: u64,
-    /// Batches flushed (mTCP model).
-    pub batches: u64,
-}
-
 struct Slot {
     conn: TcpConn,
     accepted: bool,
@@ -187,8 +168,10 @@ struct Inner {
     cores: CorePool,
     slots: Vec<Option<Slot>>,
     free: Vec<u32>,
-    by_key: HashMap<FlowKey, u32>,
-    listeners: HashMap<u16, ()>,
+    /// Flow-key → slot lookup: point lookups only, but BTreeMap so any
+    /// future iteration (teardown sweeps, debug dumps) is deterministic.
+    by_key: BTreeMap<FlowKey, u32>,
+    listeners: BTreeMap<u16, ()>,
     next_port: u16,
     acct: CycleAccount,
     /// Per-app-core pending event batches (mTCP model).
@@ -263,8 +246,8 @@ impl StackHost {
                 cores,
                 slots: Vec::new(),
                 free: Vec::new(),
-                by_key: HashMap::new(),
-                listeners: HashMap::new(),
+                by_key: BTreeMap::new(),
+                listeners: BTreeMap::new(),
                 next_port: 40_000,
                 acct: CycleAccount::new(),
                 batches: (0..app_core_count).map(|_| Vec::new()).collect(),
@@ -309,22 +292,6 @@ impl StackHost {
     /// Mutable account access.
     pub fn account_mut(&mut self) -> &mut CycleAccount {
         &mut self.inner.acct
-    }
-
-    /// Host counters (compat view rebuilt from the metric registry).
-    #[deprecated(
-        since = "0.1.0",
-        note = "read `registry().counter_value(\"host.*\", Scope::Global)` or \
-                `telemetry_snapshot()` instead"
-    )]
-    #[allow(deprecated)]
-    pub fn host_stats(&self) -> HostStats {
-        HostStats {
-            drop_backlog: self.inner.reg.get(self.inner.c_drop_backlog),
-            established: self.inner.reg.get(self.inner.c_established),
-            closed: self.inner.reg.get(self.inner.c_closed),
-            batches: self.inner.reg.get(self.inner.c_batches),
-        }
     }
 
     /// The host's metric registry.

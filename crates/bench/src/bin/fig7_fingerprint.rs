@@ -1,0 +1,34 @@
+//! Cross-process determinism fingerprint for the fig7 loss-recovery
+//! scenario, covering both the TAS stack and the Linux baseline stack.
+//!
+//! ```text
+//! fig7-fingerprint            # print one line per (stack, loss, seed)
+//! ```
+//!
+//! Each line carries the receiver goodput both as the exact f64 bit
+//! pattern and as a human-readable Gbps figure. CI runs the binary
+//! twice in fresh processes and diffs the output: any hash-seed,
+//! iteration-order, or ambient-state leak anywhere in the simulation —
+//! slowpath retry batching, switch fan-out, fault-injector draws —
+//! shows up as a bit-level difference.
+
+use tas_bench::scenarios::fig7::{goodput, Stack};
+
+fn main() {
+    let runs = [
+        ("linux", Stack::Linux),
+        ("tas", Stack::Tas { ooo: true }),
+        ("tas_simple", Stack::Tas { ooo: false }),
+    ];
+    println!("fig7-fingerprint v1");
+    for (name, stack) in runs {
+        for (loss, seed) in [(0.0, 100u64), (0.01, 101)] {
+            let g = goodput(stack, loss, seed);
+            println!(
+                "{name} loss={loss:.2} seed={seed} goodput_bits={:#018x} gbps={:.6}",
+                g.to_bits(),
+                g / 1e9
+            );
+        }
+    }
+}

@@ -292,8 +292,7 @@ pub mod fig7 {
         };
         let mut port = PortConfig::tengig();
         if loss > 0.0 {
-            // Seeded uniform drops via the fault injector (the `loss` field
-            // survives as a compat shim; the injector is the mechanism).
+            // Seeded uniform drops via the fault injector.
             port.fault = FaultSpec::uniform_loss(loss, seed);
         }
         let topo = build_star(

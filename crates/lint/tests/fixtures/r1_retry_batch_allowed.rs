@@ -1,0 +1,21 @@
+//! The hash-map variant with justified inline pragmas: both the R2
+//! container finding and the R1 iteration finding are suppressed, and
+//! every pragma is consumed (no `allow-syntax` residue).
+
+pub struct SlowPath {
+    // lint:allow(R2): fixture for pragma mechanics; iteration result is
+    // sorted by the caller before any packet ordering depends on it.
+    retries: HashMap<FlowKey, Retry>,
+}
+
+impl SlowPath {
+    pub fn poll_retries(&mut self, now: u64, batch: &mut Vec<FlowKey>) {
+        // lint:allow(R1): fixture for pragma mechanics; the caller sorts
+        // the batch before emission, so hash order never reaches the wire.
+        for (key, retry) in self.retries.iter_mut() {
+            if retry.deadline <= now {
+                batch.push(*key);
+            }
+        }
+    }
+}

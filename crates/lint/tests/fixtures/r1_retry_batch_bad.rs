@@ -1,0 +1,18 @@
+//! Reconstruction of the PR-1 slowpath retry-batch bug: the retry scan
+//! iterated a `HashMap<FlowKey, Retry>`, so the order SYN retransmits
+//! hit the wire depended on the process's hash seed. R1 must fire here.
+
+pub struct SlowPath {
+    retries: HashMap<FlowKey, Retry>,
+}
+
+impl SlowPath {
+    pub fn poll_retries(&mut self, now: u64, batch: &mut Vec<FlowKey>) {
+        for (key, retry) in self.retries.iter_mut() {
+            if retry.deadline <= now {
+                retry.attempts += 1;
+                batch.push(*key);
+            }
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! The PR-1 fix: a `BTreeMap` keyed by `FlowKey` makes the retry batch
+//! order a pure function of the flow keys. R1 must stay silent.
+
+pub struct SlowPath {
+    retries: BTreeMap<FlowKey, Retry>,
+}
+
+impl SlowPath {
+    pub fn poll_retries(&mut self, now: u64, batch: &mut Vec<FlowKey>) {
+        for (key, retry) in self.retries.iter_mut() {
+            if retry.deadline <= now {
+                retry.attempts += 1;
+                batch.push(*key);
+            }
+        }
+    }
+}

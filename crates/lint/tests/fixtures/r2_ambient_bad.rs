@@ -1,0 +1,9 @@
+//! Ambient nondeterminism in sim code: wall-clock reads and OS
+//! randomness make replays diverge. R2 must fire on each source.
+
+pub fn sample_backoff() -> u64 {
+    let started = Instant::now();
+    let wall = SystemTime::now();
+    let mut rng = thread_rng();
+    started.elapsed().as_nanos() as u64 ^ rng.next_u64() ^ wall_nanos(wall)
+}

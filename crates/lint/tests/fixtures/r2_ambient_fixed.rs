@@ -1,0 +1,6 @@
+//! The sanctioned sources: the sim clock and the seeded Rng stream.
+//! R2 must stay silent.
+
+pub fn sample_backoff(now: SimTime, rng: &mut Rng) -> u64 {
+    now.as_ps() ^ rng.next_u64()
+}

@@ -1,0 +1,13 @@
+//! Bare arithmetic and comparisons on u32 sequence-space values: both
+//! overflow in debug builds and mis-order across the 2^32 wrap. R3 must
+//! fire on the `+` and on the `<`.
+
+impl Conn {
+    fn ack_advances(&self, seg_ack: u32) -> bool {
+        self.snd_una < seg_ack
+    }
+
+    fn next_to_send(&self) -> u32 {
+        self.snd_nxt + 1
+    }
+}

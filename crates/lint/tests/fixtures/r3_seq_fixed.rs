@@ -1,0 +1,12 @@
+//! Wrap-safe sequence handling: `seq::` compare helpers and wrapping
+//! arithmetic. R3 must stay silent.
+
+impl Conn {
+    fn ack_advances(&self, seg_ack: u32) -> bool {
+        seq::lt(self.snd_una, seg_ack)
+    }
+
+    fn next_to_send(&self) -> u32 {
+        self.snd_nxt.wrapping_add(1)
+    }
+}

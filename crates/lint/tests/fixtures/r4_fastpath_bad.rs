@@ -1,0 +1,14 @@
+//! Panicking constructs on the packet fast path: one malformed segment
+//! would take down every connection on the core. R4 must fire on the
+//! unwrap, the expect, and the panic!.
+
+impl FastPath {
+    pub fn tx_one(&mut self, fid: u32, off: u64, n: usize) {
+        let flow = self.flows.get_mut(fid).unwrap();
+        let payload = flow.tx.copy_out(off, n).expect("inside ring");
+        if payload.is_empty() {
+            panic!("empty descriptor");
+        }
+        self.push_segment(flow, payload);
+    }
+}

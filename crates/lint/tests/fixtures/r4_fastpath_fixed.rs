@@ -1,0 +1,20 @@
+//! Graceful degradation: let-else with debug_assert! keeps the
+//! invariant check in audit builds and drops the packet in release
+//! builds. R4 must stay silent (debug_assert! is sanctioned).
+
+impl FastPath {
+    pub fn tx_one(&mut self, fid: u32, off: u64, n: usize) {
+        let Some(flow) = self.flows.get_mut(fid) else {
+            debug_assert!(false, "tx for uninstalled flow {fid}");
+            return;
+        };
+        let Ok(payload) = flow.tx.copy_out(off, n) else {
+            debug_assert!(false, "tx window outside ring");
+            return;
+        };
+        if payload.is_empty() {
+            return;
+        }
+        self.push_segment(flow, payload);
+    }
+}

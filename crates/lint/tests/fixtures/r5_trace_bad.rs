@@ -1,0 +1,13 @@
+//! An ungated flight-recorder emit site: it drags tas-telemetry into
+//! default builds and breaks the trace-off zero-overhead proof. R5 must
+//! fire on `emit` and on `TraceRecord`.
+
+impl Host {
+    fn log_rx(&self, now: SimTime, seg: &Segment) {
+        tas_telemetry::emit(|| tas_telemetry::TraceRecord {
+            t: now,
+            site: "host",
+            ev: rx_event(seg),
+        });
+    }
+}

@@ -1,0 +1,13 @@
+//! The same emit site under the per-crate `trace` feature gate. R5
+//! must stay silent.
+
+impl Host {
+    #[cfg(feature = "trace")]
+    fn log_rx(&self, now: SimTime, seg: &Segment) {
+        tas_telemetry::emit(|| tas_telemetry::TraceRecord {
+            t: now,
+            site: "host",
+            ev: rx_event(seg),
+        });
+    }
+}

@@ -1,0 +1,9 @@
+//! Resurrecting the compat surfaces deleted in PR 5: the `tx_loss`
+//! probability fold and the `FaultCounters`/`HostStats` accessors. R6
+//! must fire on each banned identifier.
+
+pub fn observe(nic: &Nic, cfg: &mut NicConfig) -> u64 {
+    cfg.tx_loss = 0.05;
+    let c: FaultCounters = nic.tx_fault_counters();
+    c.dropped
+}

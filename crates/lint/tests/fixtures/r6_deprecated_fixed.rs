@@ -1,0 +1,8 @@
+//! The replacement surfaces: `FaultSpec` on the config side and the
+//! registry snapshot on the observation side. R6 must stay silent.
+
+pub fn observe(nic: &Nic, cfg: &mut NicConfig) -> u64 {
+    cfg.tx_fault = FaultSpec::uniform_loss(0.05, 0);
+    let snap = tas_sim::registry_snapshot();
+    snap.counter("fault.dropped", Scope::Global)
+}

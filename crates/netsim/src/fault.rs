@@ -134,42 +134,6 @@ impl FaultSpec {
     }
 }
 
-/// Per-injector event counters.
-///
-/// Compat view over the injector's registry-backed metrics: constructed
-/// on demand by [`FaultInjector::counters`], so existing harness code
-/// keeps its plain-struct reads while the source of truth is the
-/// [`Registry`] exposed through [`FaultInjector::snapshot`].
-#[deprecated(
-    since = "0.1.0",
-    note = "read `FaultInjector::snapshot()` (the registry-backed view) instead"
-)]
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-pub struct FaultCounters {
-    /// Packets offered to the injector.
-    pub seen: u64,
-    /// Packet instances scheduled for delivery (includes duplicates).
-    pub delivered: u64,
-    /// Packets dropped by the drop model.
-    pub dropped: u64,
-    /// Extra copies emitted.
-    pub duplicated: u64,
-    /// Packets released out of order.
-    pub reordered: u64,
-    /// Packets given non-zero extra delay.
-    pub jittered: u64,
-    /// Packets mutated in flight.
-    pub corrupted: u64,
-}
-
-#[allow(deprecated)]
-impl FaultCounters {
-    /// True when any fault actually fired (not merely was configured).
-    pub fn any_faults(&self) -> bool {
-        self.dropped + self.duplicated + self.reordered + self.jittered + self.corrupted > 0
-    }
-}
-
 /// A deterministic per-direction fault injector.
 ///
 /// [`FaultInjector::apply`] maps one offered packet (with its nominal
@@ -237,24 +201,6 @@ impl FaultInjector {
     /// The injector's spec.
     pub fn spec(&self) -> &FaultSpec {
         &self.spec
-    }
-
-    /// Compat view of the registry-backed counters.
-    #[deprecated(
-        since = "0.1.0",
-        note = "read `FaultInjector::snapshot()` (the registry-backed view) instead"
-    )]
-    #[allow(deprecated)]
-    pub fn counters(&self) -> FaultCounters {
-        FaultCounters {
-            seen: self.reg.get(self.c_seen),
-            delivered: self.reg.get(self.c_delivered),
-            dropped: self.reg.get(self.c_dropped),
-            duplicated: self.reg.get(self.c_duplicated),
-            reordered: self.reg.get(self.c_reordered),
-            jittered: self.reg.get(self.c_jittered),
-            corrupted: self.reg.get(self.c_corrupted),
-        }
     }
 
     /// Packets dropped so far (hot-path read for owner accounting).
@@ -422,12 +368,16 @@ impl FaultInjector {
 }
 
 #[cfg(test)]
-// The compat counter view stays covered until its removal.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use std::net::Ipv4Addr;
     use tas_proto::{MacAddr, TcpHeader};
+    use tas_sim::{Scope, Snapshot};
+
+    /// Counter read from an injector snapshot (the registry-backed view).
+    fn c(s: &Snapshot, name: &'static str) -> u64 {
+        s.counter(name, Scope::Global)
+    }
 
     fn seg(n: u32) -> Segment {
         Segment::tcp(
@@ -443,7 +393,7 @@ mod tests {
 
     /// Runs `n` packets through an injector, returning the delivery trace
     /// as (arrival, original sequence number) pairs.
-    fn trace(spec: FaultSpec, n: u32) -> (Vec<(SimTime, u32)>, FaultCounters) {
+    fn trace(spec: FaultSpec, n: u32) -> (Vec<(SimTime, u32)>, Snapshot) {
         let mut inj = FaultInjector::new(spec, 7);
         let mut out = Vec::new();
         for i in 0..n {
@@ -452,34 +402,40 @@ mod tests {
         inj.flush(SimTime::from_us(n as u64), &mut out);
         (
             out.into_iter().map(|(t, s)| (t, s.tcp.seq)).collect(),
-            inj.counters(),
+            inj.snapshot(),
         )
     }
 
     #[test]
     fn inert_spec_passes_through_unchanged() {
-        let (tr, c) = trace(FaultSpec::none(), 50);
+        let (tr, s) = trace(FaultSpec::none(), 50);
         assert_eq!(tr.len(), 50);
         for (i, (t, sn)) in tr.iter().enumerate() {
             assert_eq!(*t, SimTime::from_us(i as u64));
             assert_eq!(*sn, i as u32);
         }
-        assert!(!c.any_faults());
-        assert_eq!(c.delivered, 50);
+        let fired = c(&s, "fault.dropped")
+            + c(&s, "fault.duplicated")
+            + c(&s, "fault.reordered")
+            + c(&s, "fault.jittered")
+            + c(&s, "fault.corrupted");
+        assert_eq!(fired, 0, "inert spec must not fire: {s:?}");
+        assert_eq!(c(&s, "fault.delivered"), 50);
     }
 
     #[test]
     fn uniform_drop_rate_is_proportional() {
         let spec = FaultSpec::uniform_loss(0.1, 42);
-        let (tr, c) = trace(spec, 10_000);
-        assert_eq!(c.seen, 10_000);
-        assert_eq!(c.dropped + c.delivered, 10_000);
-        assert_eq!(tr.len() as u64, c.delivered);
-        assert!(
-            (800..1200).contains(&c.dropped),
-            "~10% of 10k, got {}",
-            c.dropped
+        let (tr, s) = trace(spec, 10_000);
+        let (seen, dropped, delivered) = (
+            c(&s, "fault.seen"),
+            c(&s, "fault.dropped"),
+            c(&s, "fault.delivered"),
         );
+        assert_eq!(seen, 10_000);
+        assert_eq!(dropped + delivered, 10_000);
+        assert_eq!(tr.len() as u64, delivered);
+        assert!((800..1200).contains(&dropped), "~10% of 10k, got {dropped}");
     }
 
     #[test]
@@ -531,15 +487,16 @@ mod tests {
             dup_prob: 0.5,
             ..FaultSpec::default()
         };
-        let (tr, c) = trace(spec, 1000);
-        assert!(c.duplicated > 300, "got {}", c.duplicated);
-        assert_eq!(tr.len() as u64, 1000 + c.duplicated);
+        let (tr, s) = trace(spec, 1000);
+        let duplicated = c(&s, "fault.duplicated");
+        assert!(duplicated > 300, "got {duplicated}");
+        assert_eq!(tr.len() as u64, 1000 + duplicated);
         // Copies carry the same sequence number 1ns apart.
         let mut by_seq = std::collections::HashMap::new();
         for (_, sn) in &tr {
             *by_seq.entry(*sn).or_insert(0u32) += 1;
         }
-        assert_eq!(by_seq.values().filter(|&&n| n == 2).count() as u64, c.duplicated);
+        assert_eq!(by_seq.values().filter(|&&n| n == 2).count() as u64, duplicated);
     }
 
     #[test]
@@ -550,8 +507,9 @@ mod tests {
             reorder_window: 2,
             ..FaultSpec::default()
         };
-        let (tr, c) = trace(spec, 1000);
-        assert!(c.reordered > 50, "got {}", c.reordered);
+        let (tr, s) = trace(spec, 1000);
+        let reordered = c(&s, "fault.reordered");
+        assert!(reordered > 50, "got {reordered}");
         assert_eq!(tr.len(), 1000);
         // Arrival times must be non-decreasing per the trace order of
         // emission... but reordered packets land late: verify that some
@@ -578,9 +536,9 @@ mod tests {
             jitter: SimTime::from_ns(500),
             ..FaultSpec::default()
         };
-        let (tr, c) = trace(spec, 500);
+        let (tr, s) = trace(spec, 500);
         assert_eq!(tr.len(), 500);
-        assert!(c.jittered > 400);
+        assert!(c(&s, "fault.jittered") > 400);
         for (i, (t, _)) in tr.iter().enumerate() {
             let base = SimTime::from_us(i as u64);
             assert!(*t >= base && *t <= base + SimTime::from_ns(500));
@@ -599,7 +557,7 @@ mod tests {
         for i in 0..100 {
             inj.apply(SimTime::from_us(i), seg(i as u32), &mut out);
         }
-        assert_eq!(inj.counters().corrupted, 100);
+        assert_eq!(c(&inj.snapshot(), "fault.corrupted"), 100);
         let mut changed = 0;
         for (i, (_, s)) in out.iter().enumerate() {
             assert_eq!(s.payload, vec![i as u8; 32], "payload must be intact");
@@ -662,7 +620,7 @@ mod tests {
         inj.flush(SimTime::from_us(9), &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, SimTime::from_us(9));
-        assert_eq!(inj.counters().reordered, 1);
+        assert_eq!(c(&inj.snapshot(), "fault.reordered"), 1);
     }
 
     #[test]

@@ -27,8 +27,6 @@ pub mod switch;
 pub mod topo;
 
 pub use fault::{DropModel, FaultInjector, FaultSpec};
-#[allow(deprecated)] // re-exported until the compat view is removed
-pub use fault::FaultCounters;
 pub use nic::{HostNic, NicConfig};
 pub use rss::{toeplitz_hash, RssTable, TOEPLITZ_KEY};
 pub use switch::{PortConfig, Switch};

@@ -1,7 +1,5 @@
 //! Host NIC model: multi-queue receive with RSS, serialized transmit.
 
-#[allow(deprecated)] // `FaultCounters` stays importable until its removal
-use crate::fault::FaultCounters;
 use crate::fault::{FaultInjector, FaultSpec};
 use crate::rss::{hash_tuple, RssTable};
 use crate::NetMsg;
@@ -19,56 +17,30 @@ pub struct NicConfig {
     pub prop_delay: SimTime,
     /// Number of receive queues (= maximum fast-path cores).
     pub rx_queues: usize,
-    /// Independent per-packet loss probability on transmit (Fig. 7's
-    /// induced loss); 0 for lossless runs.
-    ///
-    /// Compat shim: folded into `tx_fault` as a uniform drop model at NIC
-    /// construction.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `tx_fault = FaultSpec::uniform_loss(p, seed)` instead; \
-                the shim will be removed with the legacy knobs"
-    )]
-    pub tx_loss: f64,
     /// Fault schedule for the transmit (host → network) direction.
+    /// Fig. 7's induced loss is `FaultSpec::uniform_loss(p, seed)`.
     pub tx_fault: FaultSpec,
 }
 
 impl NicConfig {
     /// A 40 Gbps server NIC with `rx_queues` queues and 1 µs of wire delay.
-    #[allow(deprecated)] // struct literal must still populate the shim field
     pub fn server_40g(rx_queues: usize) -> Self {
         NicConfig {
             rate_bps: 40_000_000_000,
             prop_delay: SimTime::from_us(1),
             rx_queues,
-            tx_loss: 0.0,
             tx_fault: FaultSpec::none(),
         }
     }
 
     /// A 10 Gbps client NIC.
-    #[allow(deprecated)] // struct literal must still populate the shim field
     pub fn client_10g(rx_queues: usize) -> Self {
         NicConfig {
             rate_bps: 10_000_000_000,
             prop_delay: SimTime::from_us(1),
             rx_queues,
-            tx_loss: 0.0,
             tx_fault: FaultSpec::none(),
         }
-    }
-
-    /// The effective transmit fault spec: `tx_fault`, with a non-zero
-    /// legacy `tx_loss` folded in as a uniform drop when the spec itself
-    /// has no drop model.
-    #[allow(deprecated)] // the fold is the shim's one sanctioned reader
-    pub fn effective_tx_fault(&self) -> FaultSpec {
-        let mut spec = self.tx_fault;
-        if self.tx_loss > 0.0 && !spec.drop.is_active() {
-            spec.drop = crate::fault::DropModel::Uniform(self.tx_loss);
-        }
-        spec
     }
 }
 
@@ -115,7 +87,7 @@ impl HostNic {
         for b in mac.0 {
             dev = dev << 8 | b as u64;
         }
-        let fault = FaultInjector::new(cfg.effective_tx_fault(), dev);
+        let fault = FaultInjector::new(cfg.tx_fault, dev);
         HostNic {
             mac,
             cfg,
@@ -250,17 +222,6 @@ impl HostNic {
     #[inline(always)]
     fn trace_tx(_when: SimTime, _seg: &Segment) {}
 
-    /// Transmit-direction fault counters (compat view over the injector's
-    /// registry).
-    #[deprecated(
-        since = "0.1.0",
-        note = "read `tx_fault_snapshot()` (the registry-backed view) instead"
-    )]
-    #[allow(deprecated)]
-    pub fn tx_fault_counters(&self) -> FaultCounters {
-        self.fault.counters()
-    }
-
     /// Deterministic ordered dump of the transmit injector's metrics.
     pub fn tx_fault_snapshot(&self) -> tas_sim::Snapshot {
         self.fault.snapshot()
@@ -357,7 +318,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the legacy struct-literal shape
     fn tx_serializes_on_link_rate() {
         let mut sim: Sim<NetMsg> = Sim::new(1);
         let sink = sim.add_agent(Box::new(Sink {
@@ -368,7 +328,6 @@ mod tests {
             rate_bps: 10_000_000_000,
             prop_delay: SimTime::from_us(1),
             rx_queues: 1,
-            tx_loss: 0.0,
             tx_fault: FaultSpec::none(),
         };
         let nic = HostNic::new(MacAddr::for_host(1), cfg, sink);
@@ -387,7 +346,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // pins the legacy `tx_loss` fold until it is removed
     fn loss_injection_drops_proportionally() {
         struct Blaster {
             nic: HostNic,
@@ -410,8 +368,9 @@ mod tests {
             rate_bps: 40_000_000_000,
             prop_delay: SimTime::from_us(1),
             rx_queues: 1,
-            tx_loss: 0.05,
-            tx_fault: FaultSpec::none(),
+            // seed 0 derives the stream from the device identity, the
+            // same schedule the removed `tx_loss` fold produced.
+            tx_fault: FaultSpec::uniform_loss(0.05, 0),
         };
         let nic = HostNic::new(MacAddr::for_host(1), cfg, sink);
         let blaster = sim.add_agent(Box::new(Blaster { nic }));

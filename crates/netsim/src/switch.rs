@@ -1,11 +1,9 @@
 //! Output-queued switch with drop-tail queues and DCTCP ECN marking.
 
-#[allow(deprecated)] // `FaultCounters` stays importable until its removal
-use crate::fault::FaultCounters;
-use crate::fault::{DropModel, FaultInjector, FaultSpec};
+use crate::fault::{FaultInjector, FaultSpec};
 use crate::rss::hash_tuple;
 use crate::NetMsg;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::net::Ipv4Addr;
 use tas_proto::{Ecn, Segment};
 use tas_sim::time::transmission_time;
@@ -23,30 +21,19 @@ pub struct PortConfig {
     /// ECN marking threshold in packets (the paper's testbed switch marks
     /// at 65); `None` disables marking.
     pub ecn_threshold_pkts: Option<usize>,
-    /// Independent per-packet loss probability (induced loss experiments).
-    ///
-    /// Compat shim: folded into `fault` as a uniform drop model when the
-    /// port is wired.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `fault = FaultSpec::uniform_loss(p, seed)` instead; \
-                the shim will be removed with the legacy knobs"
-    )]
-    pub loss: f64,
     /// Fault schedule for this port's outgoing (switch → device) link.
+    /// Induced-loss experiments use `FaultSpec::uniform_loss(p, seed)`.
     pub fault: FaultSpec,
 }
 
 impl PortConfig {
     /// A 10 Gbps port with the paper's ECN threshold and a deep queue.
-    #[allow(deprecated)] // struct literal must still populate the shim field
     pub fn tengig() -> PortConfig {
         PortConfig {
             rate_bps: 10_000_000_000,
             prop_delay: SimTime::from_us(1),
             queue_cap_pkts: 512,
             ecn_threshold_pkts: Some(65),
-            loss: 0.0,
             fault: FaultSpec::none(),
         }
     }
@@ -107,7 +94,9 @@ pub const TIMER_SAMPLE_QUEUE: u32 = 0;
 pub struct Switch {
     label: String,
     ports: Vec<Port>,
-    routes: HashMap<Ipv4Addr, Vec<usize>>,
+    /// Route table: point lookups on forwarding; BTreeMap so any future
+    /// iteration (debug dumps, route listings) is deterministic.
+    routes: BTreeMap<Ipv4Addr, Vec<usize>>,
     default_route: Vec<usize>,
     /// Packets with no route (dropped, counted).
     pub unroutable: u64,
@@ -125,7 +114,7 @@ impl Switch {
         Switch {
             label: label.into(),
             ports: Vec::new(),
-            routes: HashMap::new(),
+            routes: BTreeMap::new(),
             default_route: Vec::new(),
             unroutable: 0,
             monitor_port: None,
@@ -140,16 +129,11 @@ impl Switch {
         &self.label
     }
 
-    /// Adds an output port towards `peer`; returns the port index.
-    #[allow(deprecated)] // the fold is the shim's one sanctioned reader
+    /// Adds an output port towards `peer`; returns the port index. The
+    /// injector's default stream is derived from the peer and port index
+    /// so no two ports share a fault schedule.
     pub fn add_port(&mut self, peer: AgentId, cfg: PortConfig) -> usize {
-        // Legacy `loss` folds into the injector as a uniform drop; the
-        // default stream is derived from the peer and port index so no
-        // two ports share a schedule.
-        let mut spec = cfg.fault;
-        if cfg.loss > 0.0 && !spec.drop.is_active() {
-            spec.drop = DropModel::Uniform(cfg.loss);
-        }
+        let spec = cfg.fault;
         let dev = (peer as u64) << 16 | self.ports.len() as u64;
         self.ports.push(Port {
             cfg,
@@ -164,17 +148,6 @@ impl Switch {
             bytes: 0,
         });
         self.ports.len() - 1
-    }
-
-    /// Fault counters for a port's outgoing link (compat view over the
-    /// injector's registry).
-    #[deprecated(
-        since = "0.1.0",
-        note = "read `port_fault_snapshot()` (the registry-backed view) instead"
-    )]
-    #[allow(deprecated)]
-    pub fn port_fault_counters(&self, port: usize) -> FaultCounters {
-        self.ports[port].fault.counters()
     }
 
     /// Deterministic ordered dump of a port injector's metrics.

@@ -62,6 +62,8 @@ impl ByteRing {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
+        // lint:allow(R4): construction-time configuration check (documented
+        // panic); rings are built at connection setup, never per packet.
         assert!(capacity > 0, "ring capacity must be positive");
         ByteRing {
             buf: vec![0u8; capacity].into_boxed_slice(),
@@ -175,9 +177,10 @@ impl ByteRing {
     /// region (the application's `recv()` path).
     pub fn pop(&mut self, max: usize) -> Vec<u8> {
         let n = max.min(self.len());
-        let out = self
-            .copy_out(self.start, n)
-            .expect("front of committed region is always valid");
+        let Ok(out) = self.copy_out(self.start, n) else {
+            debug_assert!(false, "front of committed region is always valid");
+            return Vec::new();
+        };
         self.start += n as u64;
         out
     }

@@ -34,6 +34,8 @@ impl<T> DescQueue<T> {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
+        // lint:allow(R4): construction-time configuration check (documented
+        // panic); queues are built at host setup, never per packet.
         assert!(capacity > 0, "queue capacity must be positive");
         DescQueue {
             items: VecDeque::with_capacity(capacity.min(1024)),
@@ -88,10 +90,16 @@ impl<T> DescQueue<T> {
     /// mTCP-style stacks do).
     pub fn pop_batch(&mut self, max: usize, out: &mut Vec<T>) -> usize {
         let n = max.min(self.items.len());
-        for _ in 0..n {
-            out.push(self.items.pop_front().expect("length checked"));
+        let mut popped = 0;
+        while popped < n {
+            let Some(item) = self.items.pop_front() else {
+                debug_assert!(false, "length checked above");
+                break;
+            };
+            out.push(item);
+            popped += 1;
         }
-        n
+        popped
     }
 
     /// Total successfully enqueued descriptors.

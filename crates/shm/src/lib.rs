@@ -17,6 +17,10 @@
 //! The simulator is single-threaded, so these are plain data structures;
 //! the concurrency of the real system is captured by the explicit queue
 //! discipline (nothing ever bypasses a queue) rather than by atomics.
+// Panic-freedom is a stack invariant: unwrap/expect are denied in
+// production code (tests are exempt). Packet-path code degrades
+// gracefully via let-else + debug_assert; see tas-lint rule R4.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod byte_ring;
 mod desc_queue;

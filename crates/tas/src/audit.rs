@@ -151,13 +151,11 @@ pub fn check_fastpath(fp: &FastPath, now: SimTime) {
     // Timer/flow-table agreement: staged pacing timers must reference
     // installed flows that have their timer flag set, at a sane deadline.
     for &(fid, at) in &fp.out.tx_timers {
-        let flow = fp.flows.get(fid);
-        assert!(
-            flow.is_some(),
-            "audit violation: pacing timer staged for unknown flow {fid}"
-        );
+        let Some(flow) = fp.flows.get(fid) else {
+            panic!("audit violation: pacing timer staged for unknown flow {fid}");
+        };
         audit_assert!(
-            flow.expect("checked").tx_timer_armed,
+            flow.tx_timer_armed,
             fid,
             "pacing timer staged at {at:?} but tx_timer_armed is clear"
         );

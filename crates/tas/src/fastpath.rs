@@ -142,8 +142,9 @@ impl FastPath {
         self.stats.pkts_rx += 1;
         let has_payload = !seg.payload.is_empty();
         // Timestamp echo bookkeeping.
-        if let Some((tsval, tsecr)) = seg.tcp.options.timestamp {
-            let flow = self.flows.get_mut(fid).expect("looked up");
+        if let (Some((tsval, tsecr)), Some(flow)) =
+            (seg.tcp.options.timestamp, self.flows.get_mut(fid))
+        {
             flow.ts_recent = tsval;
             if f.contains(TcpFlags::ACK) && tsecr != 0 {
                 let sample = now.as_micros().wrapping_sub(tsecr as u64).max(1) as u32;
@@ -182,7 +183,10 @@ impl FastPath {
         let mut acked_notice = 0u32;
         let mut want_tx = false;
         {
-            let flow = self.flows.get_mut(fid).expect("caller looked up");
+            let Some(flow) = self.flows.get_mut(fid) else {
+                debug_assert!(false, "process_ack: flow {fid} not installed");
+                return cycles;
+            };
             let ece = seg.tcp.flags.contains(TcpFlags::ECE);
             let una_seq = flow.seq_of(flow.tx.start_offset());
             // Accept cumulative ACKs up to the highest byte ever sent —
@@ -197,9 +201,12 @@ impl FastPath {
             flow.snd_wnd = new_wnd;
             if seq::gt(ack, una_seq) && seq::le(ack, hi_seq) {
                 let newly = seq::sub(ack, una_seq) as u64;
-                flow.tx
-                    .consume(newly)
-                    .expect("acked bytes are within the tx ring");
+                if flow.tx.consume(newly).is_err() {
+                    // ACK range validated against hi_seq above; degrade by
+                    // ignoring the ACK rather than corrupting the ring.
+                    debug_assert!(false, "acked bytes within the tx ring");
+                    return cycles;
+                }
                 flow.tx_sent = flow.tx_sent.saturating_sub(newly);
                 flow.cnt_ackb += newly;
                 if ece {
@@ -242,7 +249,10 @@ impl FastPath {
             }
         }
         if acked_notice > 0 {
-            let flow = self.flows.get(fid).expect("present");
+            let Some(flow) = self.flows.get(fid) else {
+                debug_assert!(false, "flow {fid} vanished mid-ack");
+                return cycles;
+            };
             let notice = RxNotice {
                 opaque: flow.opaque,
                 rx_bytes: 0,
@@ -266,7 +276,10 @@ impl FastPath {
         let mut cycles = self.charge(acct, Module::Tcp, self.costs.tcp_rx_data);
         let mut notify_bytes = 0u64;
         {
-            let flow = self.flows.get_mut(fid).expect("caller looked up");
+            let Some(flow) = self.flows.get_mut(fid) else {
+                debug_assert!(false, "process_data: flow {fid} not installed");
+                return cycles;
+            };
             flow.last_seg_ce = seg.is_ce_marked();
             let expected = flow.rcv_seq_of(flow.rx.end_offset());
             let mut seg_seq = seg.tcp.seq;
@@ -287,7 +300,11 @@ impl FastPath {
                 // Common case: in-order deposit directly into the
                 // user-space payload buffer.
                 if flow.rx.free() >= data.len() {
-                    flow.rx.append(data).expect("checked free space");
+                    if flow.rx.append(data).is_err() {
+                        debug_assert!(false, "append within checked free space");
+                        self.stats.drop_buf_full += 1;
+                        return cycles;
+                    }
                     notify_bytes = data.len() as u64;
                     // Merge the tracked out-of-order interval if the gap
                     // just closed ("as if one big segment arrived").
@@ -295,10 +312,11 @@ impl FastPath {
                         let int_end = flow.ooo_start + flow.ooo_len as u64;
                         let end = flow.rx.end_offset();
                         if int_end > end {
-                            flow.rx
-                                .advance_end(int_end - end)
-                                .expect("interval is within the ring");
-                            notify_bytes += int_end - end;
+                            if flow.rx.advance_end(int_end - end).is_ok() {
+                                notify_bytes += int_end - end;
+                            } else {
+                                debug_assert!(false, "ooo interval within the ring");
+                            }
                         }
                         flow.ooo_len = 0;
                     }
@@ -321,45 +339,59 @@ impl FastPath {
                 } else if !fits {
                     self.stats.drop_ooo += 1;
                 } else if flow.ooo_len == 0 {
-                    flow.rx.write_at(off, data).expect("fits by horizon check");
-                    flow.ooo_start = off;
-                    flow.ooo_len = data.len() as u32;
-                    #[cfg(feature = "trace")]
-                    trace_fp(
-                        now,
-                        tas_telemetry::TraceEvent::OooPlace {
-                            flow: flow.key,
-                            start: flow.ooo_start,
-                            len: flow.ooo_len as u64,
-                        },
-                    );
+                    if flow.rx.write_at(off, data).is_ok() {
+                        flow.ooo_start = off;
+                        flow.ooo_len = data.len() as u32;
+                        #[cfg(feature = "trace")]
+                        trace_fp(
+                            now,
+                            tas_telemetry::TraceEvent::OooPlace {
+                                flow: flow.key,
+                                start: flow.ooo_start,
+                                len: flow.ooo_len as u64,
+                            },
+                        );
+                    } else {
+                        // `fits` was checked against the horizon; degrade
+                        // by dropping rather than panicking mid-packet.
+                        debug_assert!(false, "ooo write fits by horizon check");
+                        self.stats.drop_ooo += 1;
+                    }
                 } else if off >= flow.ooo_start && off + data.len() as u64 <= int_end {
                     // Duplicate of data already staged.
                 } else if off == int_end {
-                    flow.rx.write_at(off, data).expect("fits by horizon check");
-                    flow.ooo_len += data.len() as u32;
-                    #[cfg(feature = "trace")]
-                    trace_fp(
-                        now,
-                        tas_telemetry::TraceEvent::OooPlace {
-                            flow: flow.key,
-                            start: flow.ooo_start,
-                            len: flow.ooo_len as u64,
-                        },
-                    );
+                    if flow.rx.write_at(off, data).is_ok() {
+                        flow.ooo_len += data.len() as u32;
+                        #[cfg(feature = "trace")]
+                        trace_fp(
+                            now,
+                            tas_telemetry::TraceEvent::OooPlace {
+                                flow: flow.key,
+                                start: flow.ooo_start,
+                                len: flow.ooo_len as u64,
+                            },
+                        );
+                    } else {
+                        debug_assert!(false, "ooo write fits by horizon check");
+                        self.stats.drop_ooo += 1;
+                    }
                 } else if off + data.len() as u64 == flow.ooo_start {
-                    flow.rx.write_at(off, data).expect("fits by horizon check");
-                    flow.ooo_start = off;
-                    flow.ooo_len += data.len() as u32;
-                    #[cfg(feature = "trace")]
-                    trace_fp(
-                        now,
-                        tas_telemetry::TraceEvent::OooPlace {
-                            flow: flow.key,
-                            start: flow.ooo_start,
-                            len: flow.ooo_len as u64,
-                        },
-                    );
+                    if flow.rx.write_at(off, data).is_ok() {
+                        flow.ooo_start = off;
+                        flow.ooo_len += data.len() as u32;
+                        #[cfg(feature = "trace")]
+                        trace_fp(
+                            now,
+                            tas_telemetry::TraceEvent::OooPlace {
+                                flow: flow.key,
+                                start: flow.ooo_start,
+                                len: flow.ooo_len as u64,
+                            },
+                        );
+                    } else {
+                        debug_assert!(false, "ooo write fits by horizon check");
+                        self.stats.drop_ooo += 1;
+                    }
                 } else {
                     // Not mergeable with the single interval: drop; the
                     // ACK below triggers fast retransmission at the peer.
@@ -369,7 +401,10 @@ impl FastPath {
             self.stats.bytes_rx += notify_bytes;
         }
         if notify_bytes > 0 {
-            let flow = self.flows.get(fid).expect("present");
+            let Some(flow) = self.flows.get(fid) else {
+                debug_assert!(false, "flow {fid} vanished mid-data");
+                return cycles;
+            };
             self.out.notices.push((
                 flow.context,
                 RxNotice {
@@ -389,10 +424,16 @@ impl FastPath {
             + self.charge(acct, Module::Driver, self.costs.drv_tx);
         let mss = self.mss as u64;
         {
-            let flow = self.flows.get_mut(fid).expect("caller looked up");
+            let Some(flow) = self.flows.get_mut(fid) else {
+                debug_assert!(false, "emit_ack: flow {fid} not installed");
+                return cycles;
+            };
             flow.win_closed = flow.adv_window() < mss;
         }
-        let flow = self.flows.get(fid).expect("caller looked up");
+        let Some(flow) = self.flows.get(fid) else {
+            debug_assert!(false, "emit_ack: flow {fid} not installed");
+            return cycles;
+        };
         let mut h = TcpHeader::new(
             flow.key.local_port,
             flow.key.remote_port,
@@ -506,10 +547,10 @@ impl FastPath {
                     n = n.min(flow.bucket.tokens);
                 }
                 let off = flow.nxt_off();
-                let payload = flow
-                    .tx
-                    .copy_out(off, n as usize)
-                    .expect("offset within tx ring");
+                let Ok(payload) = flow.tx.copy_out(off, n as usize) else {
+                    debug_assert!(false, "tx offset within ring");
+                    break;
+                };
                 let mut h = TcpHeader::new(
                     flow.key.local_port,
                     flow.key.remote_port,
@@ -594,10 +635,10 @@ impl FastPath {
         if n == 0 {
             return cycles;
         }
-        let payload = flow
-            .tx
-            .copy_out(off, n as usize)
-            .expect("offset within tx ring");
+        let Ok(payload) = flow.tx.copy_out(off, n as usize) else {
+            debug_assert!(false, "probe offset within tx ring");
+            return cycles;
+        };
         let mut h = TcpHeader::new(
             flow.key.local_port,
             flow.key.remote_port,

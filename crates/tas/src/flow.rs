@@ -265,6 +265,9 @@ impl FlowState {
 pub struct FlowTable {
     slots: Vec<Option<FlowState>>,
     free: Vec<u32>,
+    // lint:allow(R2): per-packet point-lookup table on the fast path
+    // (paper §3.1); never iterated — R1 polices iteration — and O(1)
+    // lookup is the point, so BTreeMap would tax every packet.
     index: HashMap<FlowKey, u32>,
 }
 
@@ -286,12 +289,11 @@ impl FlowTable {
 
     /// Installs a flow, returning its id.
     ///
-    /// # Panics
-    ///
-    /// Panics if a flow with the same key is already installed.
+    /// Installing a key twice is a slow-path bug; debug/audit builds
+    /// assert, release builds overwrite the index entry and keep going.
     pub fn insert(&mut self, flow: FlowState) -> u32 {
         let key = flow.key;
-        assert!(
+        debug_assert!(
             !self.index.contains_key(&key),
             "flow {key} already installed"
         );

@@ -19,7 +19,7 @@
 use crate::config::{ApiKind, TasConfig};
 use crate::fastpath::{FastPath, RxNotice};
 use crate::slowpath::{SlowPath, SpAppEvent};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use tas_cpusim::{Core, CorePool, CycleAccount, Module};
 use tas_netsim::app::{App, AppEvent, SockId, StackApi};
@@ -69,24 +69,6 @@ struct SockState {
     want_write: bool,
     /// Unread data handed back when the flow detached.
     spill: Option<ByteRing>,
-}
-
-/// Host-level counters (compat view over the metric registry; built by
-/// [`TasHost::host_stats`]).
-#[deprecated(
-    since = "0.1.0",
-    note = "read `registry().counter_value(\"host.*\", Scope::Global)` or \
-            `telemetry_snapshot()` instead"
-)]
-#[derive(Clone, Copy, Debug, Default)]
-pub struct HostStats {
-    /// Packets dropped because the owning fast-path core's backlog
-    /// exceeded the RX-ring bound.
-    pub drop_backlog: u64,
-    /// Fast-path core wakes from the blocked state.
-    pub fp_wakes: u64,
-    /// Core-count changes made by the proportionality controller.
-    pub scale_events: u64,
 }
 
 /// Emits a flight-recorder record.
@@ -161,12 +143,13 @@ struct Inner {
     sp_core: Core,
     app_cores: CorePool,
     socks: Vec<SockState>,
-    fid_to_sock: HashMap<u32, SockId>,
+    /// Flow-id → socket lookup: point lookups only, but BTreeMap so any
+    /// future iteration (debug dumps, teardown sweeps) is deterministic.
+    fid_to_sock: BTreeMap<u32, SockId>,
     next_context: u16,
     acct: CycleAccount,
     started: bool,
-    /// Host-level metric registry (replaces the old ad-hoc `HostStats`
-    /// struct storage; [`TasHost::host_stats`] rebuilds the compat view).
+    /// Host-level metric registry.
     reg: Registry,
     c_drop_backlog: CounterId,
     c_fp_wakes: CounterId,
@@ -251,7 +234,7 @@ impl TasHost {
                 sp_core,
                 app_cores,
                 socks: Vec::new(),
-                fid_to_sock: HashMap::new(),
+                fid_to_sock: BTreeMap::new(),
                 next_context: 0,
                 acct: CycleAccount::new(),
                 started: false,
@@ -300,21 +283,6 @@ impl TasHost {
     /// Slow-path counters.
     pub fn sp_stats(&self) -> crate::slowpath::SpStats {
         self.inner.sp.stats
-    }
-
-    /// Host counters (compat view rebuilt from the metric registry).
-    #[deprecated(
-        since = "0.1.0",
-        note = "read `registry().counter_value(\"host.*\", Scope::Global)` or \
-                `telemetry_snapshot()` instead"
-    )]
-    #[allow(deprecated)]
-    pub fn host_stats(&self) -> HostStats {
-        HostStats {
-            drop_backlog: self.inner.reg.get(self.inner.c_drop_backlog),
-            fp_wakes: self.inner.reg.get(self.inner.c_fp_wakes),
-            scale_events: self.inner.reg.get(self.inner.c_scale_events),
-        }
     }
 
     /// The host's metric registry (registry-backed host counters plus
@@ -450,12 +418,13 @@ impl TasHost {
     ///
     /// Panics if the app is not a `T`.
     pub fn app_as<T: 'static>(&self) -> &T {
-        self.app
-            .as_ref()
-            .expect("app present")
-            .as_any()
-            .downcast_ref::<T>()
-            .expect("app type mismatch")
+        let Some(app) = self.app.as_ref() else {
+            panic!("app_as: no application attached");
+        };
+        let Some(app) = app.as_any().downcast_ref::<T>() else {
+            panic!("app_as: application is not a {}", std::any::type_name::<T>());
+        };
+        app
     }
 
     /// Downcasts the application if it is a `T`.
@@ -471,12 +440,16 @@ impl TasHost {
     ///
     /// Panics if the app is not a `T`.
     pub fn app_as_mut<T: 'static>(&mut self) -> &mut T {
-        self.app
-            .as_mut()
-            .expect("app present")
-            .as_any_mut()
-            .downcast_mut::<T>()
-            .expect("app type mismatch")
+        let Some(app) = self.app.as_mut() else {
+            panic!("app_as_mut: no application attached");
+        };
+        let Some(app) = app.as_any_mut().downcast_mut::<T>() else {
+            panic!(
+                "app_as_mut: application is not a {}",
+                std::any::type_name::<T>()
+            );
+        };
+        app
     }
 
     // ------------------------------------------------------------------
@@ -859,7 +832,10 @@ impl TasHost {
             timers: Vec::new(),
             posts: Vec::new(),
         };
-        let mut app = self.app.take().expect("app present (no nested delivery)");
+        let Some(mut app) = self.app.take() else {
+            debug_assert!(false, "nested app delivery");
+            return;
+        };
         {
             let mut api = Api {
                 inner: &mut self.inner,
@@ -1019,7 +995,10 @@ impl TasHost {
             timers: Vec::new(),
             posts: Vec::new(),
         };
-        let mut app = self.app.take().expect("app present");
+        let Some(mut app) = self.app.take() else {
+            debug_assert!(false, "app missing at start");
+            return;
+        };
         {
             let mut api = Api {
                 inner: &mut self.inner,
@@ -1195,7 +1174,10 @@ impl Agent<NetMsg> for TasHost {
                 let now = ctx.now();
                 self.sample_series(now);
                 let q = self.inner.nic.rx_enqueue(seg);
-                let seg = self.inner.nic.rx_dequeue(q).expect("just enqueued");
+                let Some(seg) = self.inner.nic.rx_dequeue(q) else {
+                    debug_assert!(false, "rx_dequeue empty immediately after rx_enqueue");
+                    return;
+                };
                 #[cfg(feature = "trace")]
                 tas_telemetry::emit(|| tas_telemetry::TraceRecord {
                     t: now,

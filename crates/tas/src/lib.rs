@@ -23,6 +23,10 @@
 //!
 //! [`host::TasHost`] glues the three onto a simulated machine (NIC, fast
 //! path cores, app cores) as one network agent.
+// Panic-freedom is a stack invariant: unwrap/expect are denied in
+// production code (tests are exempt). Packet-path code degrades
+// gracefully via let-else + debug_assert; see tas-lint rule R4.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod audit;
 pub mod cc;

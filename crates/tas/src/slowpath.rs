@@ -565,18 +565,18 @@ impl SlowPath {
         }
         if f.contains(TcpFlags::SYN | TcpFlags::ACK) {
             // SYN-ACK for one of our connects.
-            let Some(hs) = self.handshakes.get_mut(&key) else {
+            let Some(mut hs) = self.handshakes.remove(&key) else {
                 self.stats.dropped += 1;
                 return cycles;
             };
             if hs.state != HsState::SynSent || seg.tcp.ack != hs.iss.wrapping_add(1) {
+                self.handshakes.insert(key, hs);
                 return cycles;
             }
             hs.irs = seg.tcp.seq;
             hs.peer_wscale = seg.tcp.options.wscale.unwrap_or(0);
             hs.peer_win = seg.tcp.window as u64; // SYN windows unscaled.
             hs.ts_recent = ts;
-            let hs = self.handshakes.remove(&key).expect("present");
             // Final ACK of the handshake.
             self.send_plain_ack(
                 now,
@@ -598,11 +598,14 @@ impl SlowPath {
         }
         // Plain ACK exceptions: final handshake ACK or teardown ACK.
         if f.contains(TcpFlags::ACK) {
-            if let Some(hs) = self.handshakes.get_mut(&key) {
-                if hs.state == HsState::SynAckSent && seg.tcp.ack == hs.iss.wrapping_add(1) {
+            let hs_done = self
+                .handshakes
+                .get(&key)
+                .is_some_and(|hs| hs.state == HsState::SynAckSent && seg.tcp.ack == hs.iss.wrapping_add(1));
+            if hs_done {
+                if let Some(mut hs) = self.handshakes.remove(&key) {
                     hs.ts_recent = ts;
                     hs.peer_win = (seg.tcp.window as u64) << hs.peer_wscale;
-                    let hs = self.handshakes.remove(&key).expect("present");
                     let fid = self.install(fp, &hs, now);
                     self.out.events.push(SpAppEvent::AcceptDone {
                         opaque: hs.opaque,
@@ -622,7 +625,10 @@ impl SlowPath {
                 if seg.tcp.ack == td.fin_seq.wrapping_add(1) {
                     td.fin_acked = true;
                     if td.peer_fin {
-                        let td = self.teardowns.remove(&key).expect("present");
+                        let Some(td) = self.teardowns.remove(&key) else {
+                            debug_assert!(false, "teardown vanished mid-ack");
+                            return cycles;
+                        };
                         self.stats.closed += 1;
                         #[cfg(feature = "trace")]
                         trace_sp(
@@ -658,14 +664,19 @@ impl SlowPath {
         let ts = seg.tcp.options.timestamp.map(|(v, _)| v).unwrap_or(0);
         // Case 1: flow still installed — peer closed first.
         if let Some(fid) = fp.flows.lookup(&key) {
-            let flow = fp.flows.get_mut(fid).expect("looked up");
+            let Some(flow) = fp.flows.get_mut(fid) else {
+                debug_assert!(false, "flow table lookup returned fid {fid} without an entry");
+                return 0;
+            };
             let expected = flow.rcv_seq_of(flow.rx.end_offset());
             // Deliver any payload carried with the FIN (rare; peers here
             // send pure FINs, but be liberal).
             let fin_seq = seg.tcp.seq.wrapping_add(seg.payload.len() as u32);
             if seq::gt(fin_seq, expected) && !seg.payload.is_empty() && seg.tcp.seq == expected {
                 let take = seg.payload.len().min(flow.rx.free());
-                flow.rx.append(&seg.payload[..take]).expect("bounded");
+                if flow.rx.append(&seg.payload[..take]).is_err() {
+                    debug_assert!(false, "append is bounded by rx.free()");
+                }
             }
             let rcv_ack = flow.rcv_seq_of(flow.rx.end_offset()).wrapping_add(1);
             let peer_mac = flow.peer_mac;
@@ -704,7 +715,10 @@ impl SlowPath {
             if fin_acked
                 || seg.tcp.flags.contains(TcpFlags::ACK) && seg.tcp.ack == fin_seq.wrapping_add(1)
             {
-                let td = self.teardowns.remove(&key).expect("present");
+                let Some(td) = self.teardowns.remove(&key) else {
+                    debug_assert!(false, "teardown vanished mid-fin");
+                    return 0;
+                };
                 self.stats.closed += 1;
                 #[cfg(feature = "trace")]
                 trace_sp(
@@ -748,10 +762,13 @@ impl SlowPath {
             .map(|(k, _)| *k)
             .collect();
         for k in &keys {
-            let hs = self.handshakes.get_mut(k).expect("present");
+            let Some(hs) = self.handshakes.get_mut(k) else {
+                debug_assert!(false, "pending handshake vanished within accept_pending");
+                continue;
+            };
             hs.state = HsState::SynAckSent;
             hs.deadline = now + RETRY_AFTER;
-            let snapshot = self.handshakes.get(k).expect("present").clone();
+            let snapshot = hs.clone();
             self.send_synack(now, &snapshot);
         }
         keys.len()
@@ -902,7 +919,10 @@ impl SlowPath {
         }
         for k in resend_syn {
             self.stats.handshake_rexmits += 1;
-            let hs = self.snapshot_hs(&k);
+            let Some(hs) = self.snapshot_hs(&k) else {
+                debug_assert!(false, "handshake vanished before SYN resend");
+                continue;
+            };
             #[cfg(feature = "trace")]
             trace_sp(
                 now,
@@ -916,7 +936,10 @@ impl SlowPath {
         }
         for k in resend_synack {
             self.stats.handshake_rexmits += 1;
-            let hs = self.snapshot_hs(&k);
+            let Some(hs) = self.snapshot_hs(&k) else {
+                debug_assert!(false, "handshake vanished before SYN-ACK resend");
+                continue;
+            };
             #[cfg(feature = "trace")]
             trace_sp(
                 now,
@@ -929,7 +952,10 @@ impl SlowPath {
             self.send_synack(now, &hs);
         }
         for k in give_up_hs {
-            let hs = self.handshakes.remove(&k).expect("present");
+            let Some(hs) = self.handshakes.remove(&k) else {
+                debug_assert!(false, "expired handshake vanished before removal");
+                continue;
+            };
             if hs.state == HsState::SynSent {
                 self.out
                     .events
@@ -951,11 +977,17 @@ impl SlowPath {
             resend_fin.push(*k);
         }
         for k in resend_fin {
-            let snapshot = self.teardowns.get(&k).expect("present").clone();
+            let Some(snapshot) = self.teardowns.get(&k).cloned() else {
+                debug_assert!(false, "teardown vanished before FIN resend");
+                continue;
+            };
             self.send_fin(now, &snapshot);
         }
         for k in drop_td {
-            let td = self.teardowns.remove(&k).expect("present");
+            let Some(td) = self.teardowns.remove(&k) else {
+                debug_assert!(false, "expired teardown vanished before removal");
+                continue;
+            };
             self.stats.closed += 1;
             #[cfg(feature = "trace")]
             trace_sp(
@@ -974,8 +1006,8 @@ impl SlowPath {
         cycles
     }
 
-    fn snapshot_hs(&self, k: &FlowKey) -> Handshake {
-        self.handshakes.get(k).expect("present").clone()
+    fn snapshot_hs(&self, k: &FlowKey) -> Option<Handshake> {
+        self.handshakes.get(k).cloned()
     }
 
     /// The control-loop interval τ.

@@ -199,7 +199,7 @@ pub struct TcpConn {
     /// SACK-style recovery sweep: next offset to retransmit on further
     /// duplicate ACKs (the receiver holds out-of-order data, so sweeping
     /// the window fills holes without waiting for an RTO).
-    recovery_cursor: u64,
+    recovery_cursor_off: u64,
 
     // RTT / timers.
     rtt: RttEstimator,
@@ -329,7 +329,7 @@ impl TcpConn {
             dupacks: 0,
             in_recovery: false,
             recover_off: 0,
-            recovery_cursor: 0,
+            recovery_cursor_off: 0,
             rtt,
             rto_deadline: None,
             time_wait_deadline: None,
@@ -752,10 +752,10 @@ impl TcpConn {
             if n == 0 {
                 break;
             }
-            let payload = self
-                .tx
-                .copy_out(self.nxt_off, n as usize)
-                .expect("nxt_off within tx ring");
+            let Ok(payload) = self.tx.copy_out(self.nxt_off, n as usize) else {
+                debug_assert!(false, "nxt_off within tx ring");
+                break;
+            };
             let mut h = self.header(TcpFlags::ACK, now);
             h.seq = self.seq_of(self.nxt_off);
             h.ack = self.ack_value();
@@ -832,10 +832,10 @@ impl TcpConn {
         let avail = self.tx.end_offset().saturating_sub(self.una_off);
         let n = avail.min(self.peer_mss.min(self.cfg.mss) as u64);
         if n > 0 {
-            let payload = self
-                .tx
-                .copy_out(self.una_off, n as usize)
-                .expect("una_off within tx ring");
+            let Ok(payload) = self.tx.copy_out(self.una_off, n as usize) else {
+                debug_assert!(false, "una_off within tx ring");
+                return;
+            };
             let mut h = self.header(TcpFlags::ACK | TcpFlags::PSH, now);
             h.seq = self.seq_of(self.una_off);
             h.ack = self.ack_value();
@@ -1049,9 +1049,9 @@ impl TcpConn {
             // The ACK may land beyond a rewound nxt: resume from there.
             self.nxt_off = self.nxt_off.max(self.una_off);
             if payload_acked > 0 {
-                self.tx
-                    .consume(payload_acked)
-                    .expect("acked bytes are in the ring");
+                if self.tx.consume(payload_acked).is_err() {
+                    debug_assert!(false, "acked bytes are in the ring");
+                }
                 self.events.push(TcpEvent::SendSpaceAvailable);
             }
             self.dupacks = 0;
@@ -1119,7 +1119,7 @@ impl TcpConn {
             if self.dupacks == 3 && !self.in_recovery {
                 self.in_recovery = true;
                 self.recover_off = self.nxt_off;
-                self.recovery_cursor = self.una_off + self.cfg.mss as u64;
+                self.recovery_cursor_off = self.una_off + self.cfg.mss as u64;
                 self.stats.fast_retransmits += 1;
                 self.trace_rexmit("fast", self.seq_of(self.una_off));
                 self.cc.on_fast_retransmit();
@@ -1134,11 +1134,11 @@ impl TcpConn {
                     }
                     None => self.recover_off,
                 };
-                self.recovery_cursor = self.recovery_cursor.max(self.una_off);
-                if self.recovery_cursor < hole_end.min(self.recover_off) {
-                    self.trace_rexmit("fast", self.seq_of(self.recovery_cursor));
-                    self.retransmit_at(now, self.recovery_cursor);
-                    self.recovery_cursor += self.cfg.mss as u64;
+                self.recovery_cursor_off = self.recovery_cursor_off.max(self.una_off);
+                if self.recovery_cursor_off < hole_end.min(self.recover_off) {
+                    self.trace_rexmit("fast", self.seq_of(self.recovery_cursor_off));
+                    self.retransmit_at(now, self.recovery_cursor_off);
+                    self.recovery_cursor_off += self.cfg.mss as u64;
                 }
             }
         }
@@ -1170,19 +1170,24 @@ impl TcpConn {
             let n = {
                 // In-order: commit to the rx ring.
                 let take = fresh.len().min(self.rx.free());
-                self.rx
-                    .append(&fresh[..take])
-                    .expect("take bounded by free space");
-                take
+                if self.rx.append(&fresh[..take]).is_ok() {
+                    take
+                } else {
+                    debug_assert!(false, "take bounded by free space");
+                    0
+                }
             };
             self.rcv_off += n as u64;
             self.stats.bytes_received += n as u64;
             // Pull any now-contiguous reassembled data.
             if let Some(run) = self.reasm.pop_ready(self.rcv_off) {
                 let take = run.len().min(self.rx.free());
-                self.rx.append(&run[..take]).expect("bounded");
-                self.rcv_off += take as u64;
-                self.stats.bytes_received += take as u64;
+                if self.rx.append(&run[..take]).is_ok() {
+                    self.rcv_off += take as u64;
+                    self.stats.bytes_received += take as u64;
+                } else {
+                    debug_assert!(false, "reassembled run bounded by rx.free()");
+                }
             }
             if n > 0 {
                 self.events.push(TcpEvent::DataAvailable);

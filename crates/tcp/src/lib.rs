@@ -20,6 +20,10 @@
 //! immediately (no delayed ACK — all stacks in the evaluation are compared
 //! with the same ACK policy, and TAS's fast path also ACKs per packet), no
 //! Nagle (datacenter stacks disable it), no urgent data, short TIME_WAIT.
+// Panic-freedom is a stack invariant: unwrap/expect are denied in
+// production code (tests are exempt). Packet-path code degrades
+// gracefully via let-else + debug_assert; see tas-lint rule R4.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod audit;
 pub mod cc;

@@ -60,7 +60,9 @@ impl RttEstimator {
                 self.srtt = Some(SimTime::from_ps((srtt.as_ps() * 7 + sample.as_ps()) / 8));
             }
         }
-        let srtt = self.srtt.expect("just set");
+        // Both match arms above set `srtt`; the fallback keeps the RTO
+        // computation sane even if that ever changes.
+        let srtt = self.srtt.unwrap_or(sample);
         let candidate = srtt + (self.rttvar * 4).max(SimTime::from_us(1));
         self.rto = candidate.clamp_rto(self.rto_min, self.rto_max);
         self.backoff = 0;

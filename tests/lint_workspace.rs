@@ -1,0 +1,36 @@
+//! Tier-1 gate: the workspace must be clean under the determinism lint
+//! (`tas-lint`, rules R1–R6, configured by the repo's `lint.toml`).
+//!
+//! This is the same scan CI's `lint` job runs via the binary; keeping
+//! it in the default test suite means a plain `cargo test` catches a
+//! reintroduced HashMap iteration or fast-path unwrap before review.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean_at_deny() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = tas_lint::run(root).expect("lint scan runs");
+    assert!(
+        report.files_scanned > 50,
+        "scan saw only {} files — exclusion globs are eating the tree",
+        report.files_scanned
+    );
+    assert!(
+        report.clean(),
+        "deny-level lint findings:\n{}",
+        tas_lint::render_text(&report)
+    );
+}
+
+#[test]
+fn workspace_report_is_deterministic_in_process() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let a = tas_lint::run(root).expect("first scan");
+    let b = tas_lint::run(root).expect("second scan");
+    assert_eq!(
+        tas_lint::render_json(&a),
+        tas_lint::render_json(&b),
+        "same tree, same config — the report must be byte-identical"
+    );
+}
