@@ -20,7 +20,9 @@ use tas_netsim::app::{App, AppEvent, SockId, StackApi};
 use tas_netsim::rss::hash_tuple;
 use tas_netsim::{HostNic, NetMsg, NicConfig};
 use tas_proto::{FlowKey, MacAddr, Segment, TcpFlags};
-use tas_sim::{impl_as_any, Agent, CounterId, Ctx, Event, Registry, Scope, SeriesRecorder, SimTime};
+use tas_sim::{
+    impl_as_any, Agent, CounterId, Ctx, Event, Registry, Scope, SeriesRecorder, SimTime, TimerId,
+};
 use tas_tcp::{EndpointInfo, TcpConfig, TcpConn, TcpEvent};
 
 /// Threading/batching architecture of the stack.
@@ -136,6 +138,10 @@ struct Slot {
     rx_notified: bool,
     armed: SimTime,
     gen: u32,
+    /// Live engine handle for the armed CONN timer; superseded timers are
+    /// cancelled in the queue (the `gen` check remains as a backstop for
+    /// same-instant fires the engine cannot retract).
+    timer_id: Option<TimerId>,
 }
 
 enum ApiOp {
@@ -510,7 +516,9 @@ impl StackHost {
         };
         if s.conn.is_closed() {
             // Drop the connection state, folding its counters into the
-            // cumulative totals first.
+            // cumulative totals first; retract any armed timer so the
+            // queue holds no ghost entry for a dead slot.
+            let stale_timer = s.timer_id.take();
             let key = FlowKey::new(
                 s.conn.local().ip,
                 s.conn.local().port,
@@ -533,6 +541,9 @@ impl StackHost {
             self.inner.free.push(slot);
             let id = self.inner.c_closed;
             self.inner.reg.inc(id);
+            if let Some(tid) = stale_timer {
+                ctx.cancel_timer(tid);
+            }
             return;
         }
         let Some(next) = s.conn.next_timer() else {
@@ -543,7 +554,10 @@ impl StackHost {
             s.gen = s.gen.wrapping_add(1);
             s.armed = next;
             let data = ((slot as u64) << 32) | s.gen as u64;
-            ctx.timer_at(next, timers::CONN, data);
+            if let Some(tid) = s.timer_id.take() {
+                ctx.cancel_timer(tid);
+            }
+            s.timer_id = Some(ctx.timer_at(next, timers::CONN, data));
         }
     }
 
@@ -845,6 +859,7 @@ impl StackHost {
             rx_notified: false,
             armed: SimTime::MAX,
             gen: 0,
+            timer_id: None,
         };
         let id = match inner.free.pop() {
             Some(id) => {
@@ -1027,6 +1042,7 @@ impl Agent<NetMsg> for StackHost {
                             .map(|s| {
                                 if s.gen == gen {
                                     s.armed = SimTime::MAX;
+                                    s.timer_id = None;
                                     false
                                 } else {
                                     true

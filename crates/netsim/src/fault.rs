@@ -273,7 +273,9 @@ impl FaultInjector {
         if self.spec.corrupt_payload && !seg.payload.is_empty() {
             let i = self.rng.below(seg.payload.len() as u64) as usize;
             let bit = self.rng.below(8) as u8;
-            seg.payload[i] ^= 1 << bit;
+            // Copy-on-write: corruption must not reach other agents'
+            // shared views of this buffer.
+            seg.payload.make_mut()[i] ^= 1 << bit;
             return;
         }
         match self.rng.below(3) {

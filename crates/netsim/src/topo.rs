@@ -352,7 +352,7 @@ mod tests {
                     std::mem::swap(&mut reply.ip.src, &mut reply.ip.dst);
                     std::mem::swap(&mut reply.tcp.src_port, &mut reply.tcp.dst_port);
                     std::mem::swap(&mut reply.eth.src, &mut reply.eth.dst);
-                    reply.payload = b"pong".to_vec();
+                    reply.payload = b"pong".into();
                     self.nic.tx(ctx.now(), reply, ctx);
                 }
                 self.got.push(seg);

@@ -17,12 +17,14 @@
 pub mod checksum;
 pub mod eth;
 pub mod ipv4;
+pub mod payload;
 pub mod segment;
 pub mod tcp;
 pub mod wire;
 
 pub use eth::{EthHeader, EtherType, MacAddr};
 pub use ipv4::{Ecn, Ipv4Header};
+pub use payload::PayloadBuf;
 pub use segment::{FlowKey, Segment};
 pub use tcp::{TcpFlags, TcpHeader, TcpOptions};
 

@@ -2,6 +2,7 @@
 
 use crate::eth::{EthHeader, MacAddr};
 use crate::ipv4::{Ecn, Ipv4Header};
+use crate::payload::PayloadBuf;
 use crate::tcp::{TcpFlags, TcpHeader};
 use std::net::Ipv4Addr;
 
@@ -18,8 +19,9 @@ pub struct Segment {
     pub ip: Ipv4Header,
     /// TCP header.
     pub tcp: TcpHeader,
-    /// TCP payload bytes.
-    pub payload: Vec<u8>,
+    /// TCP payload bytes (pooled and reference-counted; cloning a segment
+    /// shares the buffer instead of copying it).
+    pub payload: PayloadBuf,
 }
 
 impl Segment {
@@ -31,9 +33,10 @@ impl Segment {
         src_ip: Ipv4Addr,
         dst_ip: Ipv4Addr,
         tcp: TcpHeader,
-        payload: Vec<u8>,
+        payload: impl Into<PayloadBuf>,
         ecn_capable: bool,
     ) -> Segment {
+        let payload = payload.into();
         let ip = Ipv4Header::tcp(
             src_ip,
             dst_ip,

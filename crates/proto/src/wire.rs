@@ -230,7 +230,7 @@ pub fn parse(bytes: &[u8]) -> Result<Segment, ParseError> {
         eth,
         ip,
         tcp,
-        payload: t[data_off..].to_vec(),
+        payload: crate::payload::PayloadBuf::from_slice(&t[data_off..]),
     })
 }
 

@@ -156,20 +156,31 @@ impl ByteRing {
         Ok(())
     }
 
-    /// Copies `len` bytes starting at absolute offset `pos` out of the
-    /// committed region.
-    pub fn copy_out(&mut self, pos: u64, len: usize) -> Result<Vec<u8>, RingError> {
+    /// Copies `dst.len()` bytes starting at absolute offset `pos` out of
+    /// the committed region into `dst`, without allocating. This is the
+    /// packet-path read: the fast path fills a pooled payload buffer
+    /// straight from the ring.
+    pub fn read_into(&self, pos: u64, dst: &mut [u8]) -> Result<(), RingError> {
+        let len = dst.len();
         if pos < self.start || pos + len as u64 > self.end {
             return Err(RingError::OutOfRange);
         }
         let cap = self.buf.len();
         let s = self.slot(pos);
-        let mut out = Vec::with_capacity(len);
         let first = (cap - s).min(len);
-        out.extend_from_slice(&self.buf[s..s + first]);
+        dst[..first].copy_from_slice(&self.buf[s..s + first]);
         if first < len {
-            out.extend_from_slice(&self.buf[..len - first]);
+            dst[first..].copy_from_slice(&self.buf[..len - first]);
         }
+        Ok(())
+    }
+
+    /// Copies `len` bytes starting at absolute offset `pos` out of the
+    /// committed region into a fresh `Vec` (harness/app-edge convenience;
+    /// packet-path readers use [`Self::read_into`]).
+    pub fn copy_out(&mut self, pos: u64, len: usize) -> Result<Vec<u8>, RingError> {
+        let mut out = vec![0u8; len];
+        self.read_into(pos, &mut out)?;
         Ok(out)
     }
 

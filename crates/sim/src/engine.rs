@@ -2,17 +2,25 @@
 //!
 //! A simulation is a set of [`Agent`]s (hosts, switches, load generators)
 //! that exchange typed messages and set timers through a [`Ctx`] handle. The
-//! engine is single-threaded and deterministic: all effects requested while
-//! handling an event are queued and applied afterwards, and ties on
-//! timestamps dispatch in insertion order.
+//! engine is single-threaded and deterministic: effects requested while
+//! handling an event enqueue in call order (and are never observable by the
+//! requesting handler), and ties on timestamps dispatch in insertion order.
+//! Same-timestamp runs are drained from the queue in one batch.
 
-use crate::queue::EventQueue;
+use crate::queue::{EventId, EventQueue};
 use crate::rng::Rng;
 use crate::time::SimTime;
 use std::any::Any;
+use std::collections::VecDeque;
 
 /// Identifier of an agent within a [`Sim`].
 pub type AgentId = u32;
+
+/// Handle to a pending timer, returned by [`Ctx::timer`]/[`Ctx::timer_at`]
+/// and the `inject_*` methods. Pass to [`Ctx::cancel_timer`] (or
+/// [`Sim::cancel`]) to drop the timer without dispatching. Stale handles
+/// are a safe no-op.
+pub type TimerId = EventId;
 
 /// An event delivered to an agent.
 #[derive(Debug)]
@@ -77,7 +85,7 @@ pub struct Ctx<'a, M> {
     now: SimTime,
     self_id: AgentId,
     rng: &'a mut Rng,
-    pending: &'a mut Vec<(SimTime, Scheduled<M>)>,
+    queue: &'a mut EventQueue<Scheduled<M>>,
     stop: &'a mut bool,
 }
 
@@ -107,30 +115,41 @@ impl<M> Ctx<'_, M> {
     /// `at` earlier than now is clamped to now.
     pub fn send_at(&mut self, to: AgentId, at: SimTime, msg: M) {
         let from = self.self_id;
-        self.pending.push((
+        self.queue.push(
             at.max(self.now),
             Scheduled {
                 to,
                 ev: Event::Msg { from, msg },
             },
-        ));
+        );
     }
 
     /// Sets a timer on the handling agent, firing `delay` after now.
-    pub fn timer(&mut self, delay: SimTime, kind: u32, data: u64) {
-        self.timer_at(self.now + delay, kind, data);
+    pub fn timer(&mut self, delay: SimTime, kind: u32, data: u64) -> TimerId {
+        self.timer_at(self.now + delay, kind, data)
     }
 
     /// Sets a timer on the handling agent at absolute time `at`.
-    pub fn timer_at(&mut self, at: SimTime, kind: u32, data: u64) {
+    pub fn timer_at(&mut self, at: SimTime, kind: u32, data: u64) -> TimerId {
         let to = self.self_id;
-        self.pending.push((
+        self.queue.push(
             at.max(self.now),
             Scheduled {
                 to,
                 ev: Event::Timer { kind, data },
             },
-        ));
+        )
+    }
+
+    /// Cancels a pending timer: it is reclaimed without dispatching.
+    ///
+    /// Returns true if the handle was still live. Cancellation is
+    /// guaranteed for timers strictly in the future; a timer at the instant
+    /// currently dispatching may already be in flight (agents keep their
+    /// own generation/liveness guards for that case). Stale handles are a
+    /// safe no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) -> bool {
+        self.queue.cancel(id)
     }
 
     /// Requests the run to stop after this event completes.
@@ -169,7 +188,8 @@ pub struct Sim<M> {
     queue: EventQueue<Scheduled<M>>,
     agents: Vec<Option<Box<dyn Agent<M>>>>,
     rng: Rng,
-    scratch: Vec<(SimTime, Scheduled<M>)>,
+    /// Same-timestamp run drained from the queue, awaiting dispatch.
+    batch: VecDeque<(SimTime, Scheduled<M>)>,
     events_processed: u64,
     stopped: bool,
 }
@@ -182,7 +202,7 @@ impl<M: 'static> Sim<M> {
             queue: EventQueue::new(),
             agents: Vec::new(),
             rng: Rng::new(seed),
-            scratch: Vec::new(),
+            batch: VecDeque::new(),
             events_processed: 0,
             stopped: false,
         }
@@ -227,14 +247,19 @@ impl<M: 'static> Sim<M> {
     }
 
     /// Injects a timer event on agent `to` at absolute time `at`.
-    pub fn inject_timer(&mut self, at: SimTime, to: AgentId, kind: u32, data: u64) {
+    pub fn inject_timer(&mut self, at: SimTime, to: AgentId, kind: u32, data: u64) -> TimerId {
         self.queue.push(
             at,
             Scheduled {
                 to,
                 ev: Event::Timer { kind, data },
             },
-        );
+        )
+    }
+
+    /// Cancels a pending event from harness code (see [`Ctx::cancel_timer`]).
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        self.queue.cancel(id)
     }
 
     /// Immutable access to a concrete agent.
@@ -265,13 +290,31 @@ impl<M: 'static> Sim<M> {
             .expect("agent type mismatch")
     }
 
+    /// Next event to dispatch: the head of the current batch, refilled by
+    /// draining the queue's next same-timestamp run in one go.
+    fn next_event(&mut self) -> Option<(SimTime, Scheduled<M>)> {
+        if let Some(x) = self.batch.pop_front() {
+            return Some(x);
+        }
+        self.queue.pop_batch(&mut self.batch);
+        self.batch.pop_front()
+    }
+
+    /// Timestamp of the next event to dispatch, if any.
+    fn peek_next_time(&mut self) -> Option<SimTime> {
+        match self.batch.front() {
+            Some((t, _)) => Some(*t),
+            None => self.queue.peek_time(),
+        }
+    }
+
     /// Dispatches the next event. Returns `false` when the queue is empty
     /// or an agent requested a stop.
     pub fn step(&mut self) -> bool {
         if self.stopped {
             return false;
         }
-        let Some((t, sch)) = self.queue.pop() else {
+        let Some((t, sch)) = self.next_event() else {
             return false;
         };
         debug_assert!(t >= self.now, "time must be monotonic");
@@ -282,23 +325,18 @@ impl<M: 'static> Sim<M> {
             // Unknown/checked-out target: drop the event.
             return true;
         };
-        let mut pending = std::mem::take(&mut self.scratch);
         let mut stop = false;
         {
             let mut ctx = Ctx {
                 now: t,
                 self_id: sch.to,
                 rng: &mut self.rng,
-                pending: &mut pending,
+                queue: &mut self.queue,
                 stop: &mut stop,
             };
             agent.on_event(sch.ev, &mut ctx);
         }
         self.agents[idx] = Some(agent);
-        for (at, s) in pending.drain(..) {
-            self.queue.push(at, s);
-        }
-        self.scratch = pending;
         if stop {
             self.stopped = true;
         }
@@ -309,7 +347,7 @@ impl<M: 'static> Sim<M> {
     /// agent stops the run. Returns the number of events dispatched.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let start = self.events_processed;
-        while let Some(t) = self.queue.peek_time() {
+        while let Some(t) = self.peek_next_time() {
             if t > deadline || self.stopped {
                 break;
             }
@@ -446,6 +484,67 @@ mod tests {
             sim.agent::<Ping>(ping).pongs.clone()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        struct Arm {
+            fired: Vec<u32>,
+        }
+        impl Agent<Msg> for Arm {
+            fn on_event(&mut self, ev: Event<Msg>, ctx: &mut Ctx<'_, Msg>) {
+                if let Event::Timer { kind, .. } = ev {
+                    self.fired.push(kind);
+                    if kind == 0 {
+                        // Arm an RTO, then supersede it with a shorter one:
+                        // the superseded timer must be reclaimed, not fire.
+                        let rto = ctx.timer(SimTime::from_us(100), 1, 0);
+                        assert!(ctx.cancel_timer(rto));
+                        ctx.timer(SimTime::from_us(10), 2, 0);
+                        assert!(!ctx.cancel_timer(rto), "stale handle no-ops");
+                    }
+                }
+            }
+            impl_as_any!();
+        }
+        let mut sim: Sim<Msg> = Sim::new(7);
+        let a = sim.add_agent(Box::new(Arm { fired: Vec::new() }));
+        sim.inject_timer(SimTime::from_us(1), a, 0, 0);
+        let cancelled = sim.inject_timer(SimTime::from_us(2), a, 3, 0);
+        assert!(sim.cancel(cancelled));
+        sim.run_until(SimTime::from_ms(1));
+        assert_eq!(sim.agent::<Arm>(a).fired, vec![0, 2]);
+    }
+
+    #[test]
+    fn same_timestamp_batch_preserves_insertion_order() {
+        struct Rec {
+            got: Vec<u64>,
+        }
+        impl Agent<Msg> for Rec {
+            fn on_event(&mut self, ev: Event<Msg>, ctx: &mut Ctx<'_, Msg>) {
+                if let Event::Timer { data, .. } = ev {
+                    self.got.push(data);
+                    // Events pushed mid-batch at the same instant dispatch
+                    // after the already-drained run, in push order.
+                    if data < 3 {
+                        ctx.timer(SimTime::ZERO, 0, data + 100);
+                    }
+                }
+            }
+            impl_as_any!();
+        }
+        let mut sim: Sim<Msg> = Sim::new(9);
+        let a = sim.add_agent(Box::new(Rec { got: Vec::new() }));
+        let t = SimTime::from_us(4);
+        for i in 0..6 {
+            sim.inject_timer(t, a, 0, i);
+        }
+        sim.run_to_completion(u64::MAX);
+        assert_eq!(
+            sim.agent::<Rec>(a).got,
+            vec![0, 1, 2, 3, 4, 5, 100, 101, 102]
+        );
     }
 
     #[test]

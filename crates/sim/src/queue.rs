@@ -1,15 +1,715 @@
 //! The time-ordered event queue.
 //!
-//! A binary heap keyed by `(time, sequence)`: ties on time dispatch in
-//! insertion order, which is what makes the whole simulation deterministic.
+//! A hierarchical timing wheel keyed by `(time, sequence)`: ties on time
+//! dispatch in insertion order, which is what makes the whole simulation
+//! deterministic.
+//!
+//! # Structure
+//!
+//! Four wheel levels of 256 slots each cover an expanding horizon above the
+//! cursor (the end of the last drained window):
+//!
+//! | level | tick      | horizon  |
+//! |-------|-----------|----------|
+//! | 0     | 1024 ps   | ~262 ns  |
+//! | 1     | ~262 ns   | ~67 us   |
+//! | 2     | ~67 us    | ~17 ms   |
+//! | 3     | ~17 ms    | ~4.4 s   |
+//!
+//! Events beyond the top horizon park in a small overflow [`BinaryHeap`] and
+//! are pulled into the wheel as the cursor approaches them. Pushing and
+//! popping are O(1) amortised; each event cascades through at most
+//! `LEVELS - 1` slots on its way down. A drained level-0 slot is sorted by
+//! `(time, seq)` into a ready deque, which restores the exact global
+//! dispatch order of the old global binary heap (kept as [`HeapQueue`] for
+//! differential testing and before/after benchmarks).
+//!
+//! # Memory layout
+//!
+//! Entry state is split by access pattern. A dense 12-byte [`CtlSlot`]
+//! array holds generation + packed location — the only state the hot
+//! cancel → re-push cycle of a timer reset ever *loads* — while keys and
+//! payloads sit in a parallel [`Data`] array that the hot path only
+//! *stores* to (reads happen at drain time), keeping those misses off the
+//! critical path in the store buffer. Wheel slots hold bare `u32` entry
+//! indices; cancellation writes a tagged hole over the entry's cell
+//! instead of moving any other entry, and later pushes into the same slot
+//! reuse holes through an intrusive free list threaded through the hole
+//! cells, so a slot vec's length is bounded by its peak concurrent
+//! entries. The net effect is ~one dependent cache miss per timer reset,
+//! which keeps the event loop fast at terabit-sweep flow counts (100k+
+//! concurrent timers).
+//!
+//! # Cancellation
+//!
+//! [`EventQueue::push`] returns an [`EventId`]; [`EventQueue::cancel`]
+//! resolves it through the generation-checked slab, so a stale handle (the
+//! event already dispatched, or the slot recycled) is a safe no-op. The
+//! entry records where it lives: an entry still in a wheel slot is
+//! tombstoned in O(1) at cancel time (slot vecs are unsorted until drained,
+//! so this never perturbs dispatch order), while the rare entries already
+//! in the sorted ready run or the overflow heap are marked and reclaimed
+//! lazily, with a compaction sweep as backstop. A cancel-heavy workload
+//! therefore keeps the resident size O(live) without sweeping on the hot
+//! path.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
+/// log2 of the level-0 tick in picoseconds (1024 ps ~= 1 ns).
+const G0_SHIFT: u32 = 10;
+/// log2 of the slot count per level.
+const LEVEL_BITS: u32 = 8;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Number of wheel levels; beyond the top horizon events overflow to a heap.
+const LEVELS: usize = 4;
+/// Compaction slack: sweep only once cancelled entries exceed live by this.
+const COMPACT_SLACK: usize = 64;
+/// High bit tags a wheel-slot cell as a hole (cancelled entry); the low 31
+/// bits link to the slot's next hole. Slab indices stay below the tag.
+const HOLE_TAG: u32 = 1 << 31;
+/// "No next hole" in a hole cell's low 31 bits.
+const HOLE_END: u32 = HOLE_TAG - 1;
+/// "No holes" in a slot's free-list head.
+const HOLE_NONE: u32 = u32::MAX;
+
+const fn level_shift(level: usize) -> u32 {
+    G0_SHIFT + LEVEL_BITS * level as u32
+}
+
+/// Handle to a pending event, returned by [`EventQueue::push`].
+///
+/// Pass it to [`EventQueue::cancel`] to drop the event without dispatching.
+/// Handles are generation-checked: cancelling an event that already
+/// dispatched (or was cancelled) is a no-op, even if its internal slot has
+/// since been recycled for a newer event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventId {
+    slot: u32,
+    gen: u32,
+}
+
+/// Where a pending entry physically lives, so cancel can reclaim it.
+///
+/// `meta` bit layout (see [`CtlSlot`]): `[7:0]` slot idx, `[9:8]` level,
+/// `[13:12]` kind code (0 detached, 1 ready, 2 overflow, 3 wheel),
+/// `[15]` cancelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    /// Not position-tracked (slot just allocated, not yet placed).
+    Detached,
+    /// In the sorted ready deque (cancel marks lazily; reclaimed at front).
+    Ready,
+    /// In the overflow heap (cancel marks lazily; reclaimed on pull).
+    Overflow,
+    /// In wheel vec `levels[level], slot idx, position pos`.
+    Wheel { level: usize, idx: usize, pos: usize },
+}
+
+const META_KIND_SHIFT: u32 = 12;
+const META_LEVEL_SHIFT: u32 = 8;
+const META_CANCELLED: u32 = 1 << 15;
+
+/// Per-entry control word: generation plus packed location. This is the
+/// only thing the cancel → re-push cycle of a timer reset has to *load*
+/// (12 bytes per entry keeps the array mostly cache-resident); the key
+/// and payload in [`Data`] are write-only until the entry drains.
+#[derive(Clone, Copy)]
+struct CtlSlot {
+    gen: u32,
+    meta: u32,
+    pos: u32,
+}
+
+/// Per-entry dispatch key and payload, indexed by control slot. Written
+/// at push, read back only when the entry drains toward dispatch — never
+/// loaded on the cancel path, so stores to it stay off the critical path.
+struct Data<E> {
+    at: u64,
+    seq: u64,
+    event: Option<E>,
+}
+
+impl CtlSlot {
+    fn kind(&self) -> Kind {
+        match (self.meta >> META_KIND_SHIFT) & 0b11 {
+            0 => Kind::Detached,
+            1 => Kind::Ready,
+            2 => Kind::Overflow,
+            _ => Kind::Wheel {
+                level: ((self.meta >> META_LEVEL_SHIFT) & 0b11) as usize,
+                idx: (self.meta & 0xff) as usize,
+                pos: self.pos as usize,
+            },
+        }
+    }
+
+    fn cancelled(&self) -> bool {
+        self.meta & META_CANCELLED != 0
+    }
+}
+
+/// A `(time, seq, slot)` key for the sorted ready run.
+#[derive(Clone, Copy)]
+struct ReadyEnt {
+    at: u64,
+    seq: u64,
+    ctl: u32,
+}
+
+/// Overflow-heap entry, ordered earliest-first by `(time, seq)`.
+struct HeapEnt {
+    at: u64,
+    seq: u64,
+    ctl: u32,
+}
+
+impl PartialEq for HeapEnt {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEnt {}
+impl PartialOrd for HeapEnt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEnt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Level {
+    /// Slab indices of the entries in each wheel slot, unordered;
+    /// [`HOLE_TAG`]-tagged cells are holes left by cancellation, linked
+    /// into a per-slot free list and reused by later pushes.
+    slots: Vec<Vec<u32>>,
+    /// Head of each slot's hole free list ([`HOLE_NONE`] when full).
+    hole_head: [u32; SLOTS],
+    /// One bit per slot: set when the slot vec is non-empty.
+    occ: [u64; SLOTS / 64],
+}
+
+impl Level {
+    fn new() -> Self {
+        Level {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            hole_head: [HOLE_NONE; SLOTS],
+            occ: [0; SLOTS / 64],
+        }
+    }
+
+    fn mark(&mut self, idx: usize) {
+        self.occ[idx >> 6] |= 1u64 << (idx & 63);
+    }
+
+    fn clear(&mut self, idx: usize) {
+        self.occ[idx >> 6] &= !(1u64 << (idx & 63));
+    }
+
+    /// First occupied slot index in circular order starting at `start`.
+    fn first_occupied_from(&self, start: usize) -> Option<usize> {
+        let (w0, b0) = (start >> 6, start & 63);
+        let m = self.occ[w0] & (!0u64 << b0);
+        if m != 0 {
+            return Some((w0 << 6) + m.trailing_zeros() as usize);
+        }
+        for (w, &bits) in self.occ.iter().enumerate().skip(w0 + 1) {
+            if bits != 0 {
+                return Some((w << 6) + bits.trailing_zeros() as usize);
+            }
+        }
+        for (w, &bits) in self.occ.iter().enumerate().take(w0 + 1) {
+            let mm = if w == w0 { bits & !(!0u64 << b0) } else { bits };
+            if mm != 0 {
+                return Some((w << 6) + mm.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+}
+
+/// A deterministic min-queue of timestamped events.
+///
+/// # Examples
+///
+/// ```
+/// use tas_sim::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_us(2), "late");
+/// let early = q.push(SimTime::from_us(1), "early");
+/// q.cancel(early);
+/// assert_eq!(q.pop(), Some((SimTime::from_us(2), "late")));
+/// ```
+pub struct EventQueue<E> {
+    levels: Vec<Level>,
+    /// Control words, one per entry slot (see [`CtlSlot`]).
+    ctl: Vec<CtlSlot>,
+    /// Keys and payloads, parallel to `ctl` (see [`Data`]).
+    data: Vec<Data<E>>,
+    /// Recycled entry slots, LIFO.
+    free: Vec<u32>,
+    overflow: BinaryHeap<HeapEnt>,
+    /// Entries below `cursor`, sorted by `(at, seq)`, ready to pop.
+    ready: VecDeque<ReadyEnt>,
+    /// Exclusive end of the drained window; wheel entries are all `>= cursor`.
+    /// Always a multiple of the level-0 tick.
+    cursor: u64,
+    seq: u64,
+    /// Physical entries resident across ready + wheel + overflow.
+    resident: usize,
+    /// Cancelled entries still physically resident (ready/overflow only;
+    /// wheel holes are already released).
+    cancelled_live: usize,
+    /// How many of those sit in the ready run: while zero, peek/pop skip
+    /// the per-entry liveness check entirely.
+    marked_ready: usize,
+    /// Reusable drain buffer for sorting a level-0 slot.
+    scratch: Vec<ReadyEnt>,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            ctl: Vec::new(),
+            data: Vec::new(),
+            free: Vec::new(),
+            overflow: BinaryHeap::new(),
+            ready: VecDeque::new(),
+            cursor: 0,
+            seq: 0,
+            resident: 0,
+            cancelled_live: 0,
+            marked_ready: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Schedules `event` at absolute time `at`, returning a cancel handle.
+    pub fn push(&mut self, at: SimTime, event: E) -> EventId {
+        let seq = self.seq;
+        self.seq += 1;
+        let id = if let Some(slot) = self.free.pop() {
+            let c = &mut self.ctl[slot as usize];
+            c.meta = 0;
+            let gen = c.gen;
+            self.data[slot as usize] = Data {
+                at: at.as_ps(),
+                seq,
+                event: Some(event),
+            };
+            EventId { slot, gen }
+        } else {
+            let slot = self.ctl.len() as u32;
+            self.ctl.push(CtlSlot { gen: 0, meta: 0, pos: 0 });
+            self.data.push(Data {
+                at: at.as_ps(),
+                seq,
+                event: Some(event),
+            });
+            EventId { slot, gen: 0 }
+        };
+        self.resident += 1;
+        self.place(id.slot, at.as_ps(), seq);
+        id
+    }
+
+    /// Bumps an entry slot's generation and returns it to the free list.
+    fn release(&mut self, slot: u32) {
+        let c = &mut self.ctl[slot as usize];
+        c.meta = 0;
+        c.gen = c.gen.wrapping_add(1);
+        self.free.push(slot);
+    }
+
+    fn is_cancelled(&self, slot: u32) -> bool {
+        self.ctl[slot as usize].cancelled()
+    }
+
+    /// Cancels a pending event: it is dropped without dispatching.
+    ///
+    /// Returns true if the handle was still live. Stale handles (already
+    /// dispatched or cancelled) are a safe no-op. Cancellation is guaranteed
+    /// for events strictly in the future; an event at the instant currently
+    /// being dispatched may already have left the queue.
+    ///
+    /// An entry still in a wheel slot is tombstoned in O(1) (slot vecs are
+    /// unsorted until their level-0 drain sorts them, so this is invisible
+    /// to dispatch order) and its cell recycled immediately. Entries already
+    /// in the sorted ready run or the overflow heap are marked and reclaimed
+    /// lazily — the rare cases — so the resident size stays O(live) without
+    /// any sweep on the hot path.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        let kind = match self.ctl.get_mut(id.slot as usize) {
+            Some(s) if s.gen == id.gen && !s.cancelled() => {
+                s.meta |= META_CANCELLED;
+                s.kind()
+            }
+            _ => return false,
+        };
+        match kind {
+            Kind::Wheel { level, idx, pos } => {
+                let lv = &mut self.levels[level];
+                debug_assert!(pos < lv.slots[idx].len() && lv.slots[idx][pos] == id.slot);
+                // Turn the cell into a hole linked to the slot's free list;
+                // no other entry moves, so no position fixups anywhere.
+                lv.slots[idx][pos] = HOLE_TAG | (lv.hole_head[idx] & HOLE_END);
+                lv.hole_head[idx] = pos as u32;
+                // The payload is dropped now if dropping does anything;
+                // otherwise the cell's next reuse overwrites it for free.
+                if std::mem::needs_drop::<E>() {
+                    self.data[id.slot as usize].event = None;
+                }
+                self.resident -= 1;
+                self.release(id.slot);
+            }
+            Kind::Ready => {
+                self.data[id.slot as usize].event = None;
+                self.cancelled_live += 1;
+                self.marked_ready += 1;
+                if self.cancelled_live > self.live_len() + COMPACT_SLACK {
+                    self.compact();
+                }
+            }
+            Kind::Overflow => {
+                self.data[id.slot as usize].event = None;
+                self.cancelled_live += 1;
+                if self.cancelled_live > self.live_len() + COMPACT_SLACK {
+                    self.compact();
+                }
+            }
+            Kind::Detached => {
+                debug_assert!(false, "pending entry has a location");
+                self.cancelled_live += 1;
+            }
+        }
+        true
+    }
+
+    /// Removes and returns the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if !self.prepare_front() {
+            return None;
+        }
+        let r = self.ready.pop_front()?;
+        self.resident -= 1;
+        let event = self.data[r.ctl as usize].event.take();
+        self.release(r.ctl);
+        debug_assert!(event.is_some(), "live ready entry has a payload");
+        event.map(|e| (SimTime::from_ps(r.at), e))
+    }
+
+    /// Drains the maximal run of earliest events sharing one timestamp into
+    /// `out` (appending, in dispatch order). Returns the number drained.
+    pub fn pop_batch(&mut self, out: &mut VecDeque<(SimTime, E)>) -> usize {
+        if !self.prepare_front() {
+            return 0;
+        }
+        let t = self.ready.front().map(|r| r.at);
+        let mut n = 0;
+        while let Some(r) = self.ready.front() {
+            if Some(r.at) != t || (self.marked_ready > 0 && self.is_cancelled(r.ctl)) {
+                break;
+            }
+            let r = self.ready.pop_front().expect("front checked");
+            self.resident -= 1;
+            let event = self.data[r.ctl as usize].event.take();
+            self.release(r.ctl);
+            let Some(e) = event else {
+                debug_assert!(false, "live ready entry has a payload");
+                continue;
+            };
+            out.push_back((SimTime::from_ps(r.at), e));
+            n += 1;
+        }
+        n
+    }
+
+    /// Timestamp of the earliest live event.
+    ///
+    /// Takes `&mut self` because finding the earliest event may cascade
+    /// wheel slots (a pure reorganisation; no event is dispatched).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if self.prepare_front() {
+            self.ready.front().map(|r| SimTime::from_ps(r.at))
+        } else {
+            None
+        }
+    }
+
+    /// Number of physically resident entries (live + not-yet-reclaimed
+    /// cancelled). Cancellation reclaims wheel entries immediately and
+    /// ready/overflow marks are bounded by compaction, so this stays
+    /// O(live); see [`Self::live_len`].
+    pub fn len(&self) -> usize {
+        self.resident
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn live_len(&self) -> usize {
+        self.resident - self.cancelled_live
+    }
+
+    /// True when no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live_len() == 0
+    }
+
+    /// Routes an entry to the ready deque, a wheel slot, or the overflow
+    /// heap, based on its distance from the cursor, recording its location
+    /// in the slab so cancellation can find it again.
+    fn place(&mut self, slot: u32, at: u64, seq: u64) {
+        if at < self.cursor {
+            // Inside the already-drained window: merge into the ready run.
+            let r = ReadyEnt { at, seq, ctl: slot };
+            if self.ready.back().is_none_or(|b| (b.at, b.seq) < (at, seq)) {
+                self.ready.push_back(r);
+            } else {
+                let i = self.ready.partition_point(|x| (x.at, x.seq) < (at, seq));
+                self.ready.insert(i, r);
+            }
+            let c = &mut self.ctl[slot as usize];
+            c.meta = (c.meta & META_CANCELLED) | (1 << META_KIND_SHIFT);
+            return;
+        }
+        debug_assert!(slot < HOLE_TAG, "entry index fits below the hole tag");
+        for k in 0..LEVELS {
+            let shift = level_shift(k);
+            if (at >> shift) - (self.cursor >> shift) < SLOTS as u64 {
+                let idx = ((at >> shift) as usize) & (SLOTS - 1);
+                let lv = &mut self.levels[k];
+                let head = lv.hole_head[idx];
+                let pos = if head != HOLE_NONE {
+                    // Reuse a hole left by a cancel: the slot vec's length
+                    // stays bounded by its peak concurrent entries.
+                    let p = head as usize;
+                    let next = lv.slots[idx][p] & HOLE_END;
+                    lv.hole_head[idx] = if next == HOLE_END { HOLE_NONE } else { next };
+                    lv.slots[idx][p] = slot;
+                    p
+                } else {
+                    let v = &mut lv.slots[idx];
+                    let pos = v.len();
+                    v.push(slot);
+                    if pos == 0 {
+                        lv.mark(idx);
+                    }
+                    pos
+                };
+                let c = &mut self.ctl[slot as usize];
+                c.meta = (c.meta & META_CANCELLED)
+                    | (3 << META_KIND_SHIFT)
+                    | ((k as u32) << META_LEVEL_SHIFT)
+                    | idx as u32;
+                c.pos = pos as u32;
+                return;
+            }
+        }
+        self.overflow.push(HeapEnt { at, seq, ctl: slot });
+        let c = &mut self.ctl[slot as usize];
+        c.meta = (c.meta & META_CANCELLED) | (2 << META_KIND_SHIFT);
+    }
+
+    /// Ensures `ready.front()` is a live entry, cascading the wheel as
+    /// needed. Returns false when no live events remain.
+    fn prepare_front(&mut self) -> bool {
+        loop {
+            match self.ready.front() {
+                // Nothing in the ready run is marked cancelled (the common
+                // case): the front is live without touching its slab cell.
+                Some(_) if self.marked_ready == 0 => return true,
+                Some(r) if !self.is_cancelled(r.ctl) => return true,
+                Some(_) => {
+                    let r = self.ready.pop_front().expect("front checked");
+                    self.resident -= 1;
+                    self.cancelled_live -= 1;
+                    self.marked_ready -= 1;
+                    self.release(r.ctl);
+                }
+                None => {
+                    if self.resident == 0 || !self.refill_ready() {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances the cursor to the next non-empty window and drains it into
+    /// the ready deque. Returns false if the wheel and overflow are empty.
+    fn refill_ready(&mut self) -> bool {
+        loop {
+            // Earliest candidate window per level: (window start ps, level,
+            // slot idx). On equal starts prefer the highest level so coarse
+            // slots cascade before a fine slot at the same boundary drains.
+            let mut best: Option<(u64, usize, usize)> = None;
+            for k in 0..LEVELS {
+                let shift = level_shift(k);
+                let base = self.cursor >> shift;
+                let start_idx = (base as usize) & (SLOTS - 1);
+                if let Some(idx) = self.levels[k].first_occupied_from(start_idx) {
+                    let off = (idx + SLOTS - start_idx) & (SLOTS - 1);
+                    let window = (base + off as u64) << shift;
+                    if best.is_none_or(|(bs, _, _)| window <= bs) {
+                        best = Some((window, k, idx));
+                    }
+                }
+            }
+            match (best, self.overflow.peek().map(|e| e.at)) {
+                (None, None) => return false,
+                (Some((bs, _, _)), Some(ov)) if ov <= bs => self.pull_overflow(),
+                (None, Some(_)) => self.pull_overflow(),
+                (Some((bs, 0, idx)), _) => {
+                    // Drain the level-0 slot: sort by (at, seq) to restore
+                    // global dispatch order within its window, skipping
+                    // holes (their cells were released at cancel).
+                    let mut v = std::mem::take(&mut self.levels[0].slots[idx]);
+                    self.levels[0].clear(idx);
+                    self.levels[0].hole_head[idx] = HOLE_NONE;
+                    self.scratch.clear();
+                    for &slot in &v {
+                        if slot & HOLE_TAG != 0 {
+                            continue;
+                        }
+                        let d = &self.data[slot as usize];
+                        self.scratch.push(ReadyEnt {
+                            at: d.at,
+                            seq: d.seq,
+                            ctl: slot,
+                        });
+                    }
+                    v.clear();
+                    self.levels[0].slots[idx] = v;
+                    self.scratch.sort_unstable_by_key(|r| (r.at, r.seq));
+                    for r in &self.scratch {
+                        let c = &mut self.ctl[r.ctl as usize];
+                        c.meta = (c.meta & META_CANCELLED) | (1 << META_KIND_SHIFT);
+                    }
+                    self.ready.extend(self.scratch.drain(..));
+                    self.cursor = bs + (1u64 << G0_SHIFT);
+                    // Overflow entries may have drifted inside this window.
+                    while self.overflow.peek().is_some_and(|e| e.at < self.cursor) {
+                        let e = self.overflow.pop().expect("peek checked");
+                        self.overflow_entry_down(e);
+                    }
+                    return true;
+                }
+                (Some((bs, k, idx)), _) => {
+                    // Cascade: redistribute the winning coarse slot. Every
+                    // entry in it is < bs + tick(k), so each lands at a
+                    // strictly lower level relative to the advanced cursor.
+                    // Holes are dropped on the floor (already released).
+                    self.cursor = self.cursor.max(bs);
+                    let mut v = std::mem::take(&mut self.levels[k].slots[idx]);
+                    self.levels[k].clear(idx);
+                    self.levels[k].hole_head[idx] = HOLE_NONE;
+                    for &slot in &v {
+                        if slot & HOLE_TAG != 0 {
+                            continue;
+                        }
+                        let d = &self.data[slot as usize];
+                        let (at, seq) = (d.at, d.seq);
+                        self.place(slot, at, seq);
+                    }
+                    v.clear();
+                    self.levels[k].slots[idx] = v;
+                }
+            }
+        }
+    }
+
+    /// Pulls the earliest overflow entry down into the wheel.
+    fn pull_overflow(&mut self) {
+        let Some(e) = self.overflow.pop() else {
+            return;
+        };
+        if self.is_cancelled(e.ctl) {
+            self.reclaim_overflow(e.ctl);
+            return;
+        }
+        let top = level_shift(LEVELS - 1);
+        if (e.at >> top) - (self.cursor >> top) >= SLOTS as u64 {
+            // Still beyond the top horizon (wheel was empty): jump the
+            // cursor near the event so it fits. Safe: nothing is pending
+            // below it. Keep the cursor tick-aligned.
+            self.cursor = e.at & !((1u64 << G0_SHIFT) - 1);
+        }
+        self.place(e.ctl, e.at, e.seq);
+    }
+
+    /// Re-places an overflow entry that drifted into the drained window,
+    /// or reclaims it if it was cancelled while parked.
+    fn overflow_entry_down(&mut self, e: HeapEnt) {
+        if self.is_cancelled(e.ctl) {
+            self.reclaim_overflow(e.ctl);
+        } else {
+            self.place(e.ctl, e.at, e.seq);
+        }
+    }
+
+    /// Drops a cancelled overflow entry that has left the heap.
+    fn reclaim_overflow(&mut self, slot: u32) {
+        self.release(slot);
+        self.resident -= 1;
+        self.cancelled_live -= 1;
+    }
+
+    /// Physically removes marked-cancelled entries. Only the ready run and
+    /// the overflow heap can hold them (wheel cancels tombstone
+    /// immediately), and both retains preserve survivor order, so dispatch
+    /// order is unaffected.
+    fn compact(&mut self) {
+        let mut dead_ready = Vec::new();
+        self.ready.retain(|r| {
+            if self.ctl[r.ctl as usize].cancelled() {
+                dead_ready.push(r.ctl);
+                false
+            } else {
+                true
+            }
+        });
+        let heap = std::mem::take(&mut self.overflow);
+        let mut v = heap.into_vec();
+        v.retain(|e| {
+            if self.ctl[e.ctl as usize].cancelled() {
+                dead_ready.push(e.ctl);
+                false
+            } else {
+                true
+            }
+        });
+        self.overflow = BinaryHeap::from(v);
+        for slot in dead_ready {
+            self.release(slot);
+            self.resident -= 1;
+            self.cancelled_live -= 1;
+        }
+        self.marked_ready = 0;
+        debug_assert_eq!(self.cancelled_live, 0, "compaction reclaims all dead");
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Inline entry for [`HeapQueue`], ordered earliest-first by `(time, seq)`.
 struct Entry<E> {
     at: SimTime,
     seq: u64,
+    ctl: u32,
     event: E,
 }
 
@@ -36,60 +736,128 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A deterministic min-queue of timestamped events.
-///
-/// # Examples
-///
-/// ```
-/// use tas_sim::{EventQueue, SimTime};
-/// let mut q = EventQueue::new();
-/// q.push(SimTime::from_us(2), "late");
-/// q.push(SimTime::from_us(1), "early");
-/// assert_eq!(q.pop(), Some((SimTime::from_us(1), "early")));
-/// ```
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    seq: u64,
+/// Generation-checked liveness slab for [`HeapQueue`].
+#[derive(Clone, Copy, Default)]
+struct GenSlot {
+    gen: u32,
+    cancelled: bool,
 }
 
-impl<E> EventQueue<E> {
+/// The pre-wheel global binary-heap queue.
+///
+/// Kept as the reference implementation: the proptest differential harness
+/// checks the wheel dispatches identical `(time, seq)` sequences, and the
+/// `simspeed` bench reports the heap's events/sec as the "before" number.
+/// Cancellation here is lazy-only (skip on pop, no compaction), which is
+/// exactly the ghost-entry growth the wheel fixes.
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    slots: Vec<GenSlot>,
+    free: Vec<u32>,
+    cancelled_live: usize,
+}
+
+impl<E> HeapQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
+        HeapQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            cancelled_live: 0,
         }
     }
 
-    /// Schedules `event` at absolute time `at`.
-    pub fn push(&mut self, at: SimTime, event: E) {
+    /// Schedules `event` at absolute time `at`, returning a cancel handle.
+    pub fn push(&mut self, at: SimTime, event: E) -> EventId {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        let id = if let Some(slot) = self.free.pop() {
+            EventId {
+                slot,
+                gen: self.slots[slot as usize].gen,
+            }
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(GenSlot::default());
+            EventId { slot, gen: 0 }
+        };
+        self.heap.push(Entry {
+            at,
+            seq,
+            ctl: id.slot,
+            event,
+        });
+        id
     }
 
-    /// Removes and returns the earliest event.
+    /// Frees a slot; returns true if it was cancelled.
+    fn release(&mut self, slot: u32) -> bool {
+        let s = &mut self.slots[slot as usize];
+        let was = s.cancelled;
+        s.cancelled = false;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
+        was
+    }
+
+    /// Cancels a pending event (lazy: reclaimed only when popped over).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        match self.slots.get_mut(id.slot as usize) {
+            Some(s) if s.gen == id.gen && !s.cancelled => {
+                s.cancelled = true;
+                self.cancelled_live += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Removes and returns the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        while let Some(e) = self.heap.pop() {
+            if self.release(e.ctl) {
+                self.cancelled_live -= 1;
+                continue;
+            }
+            return Some((e.at, e.event));
+        }
+        None
     }
 
-    /// Timestamp of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+    /// Timestamp of the earliest live event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(e) = self.heap.peek() {
+            if self.slots[e.ctl as usize].cancelled {
+                let e = self.heap.pop().expect("peek checked");
+                self.release(e.ctl);
+                self.cancelled_live -= 1;
+                continue;
+            }
+            return Some(e.at);
+        }
+        None
     }
 
-    /// Number of pending events.
+    /// Number of physically resident entries (live + cancelled ghosts).
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
-    /// True when no events are pending.
+    /// Number of live (non-cancelled) pending events.
+    pub fn live_len(&self) -> usize {
+        self.heap.len() - self.cancelled_live
+    }
+
+    /// True when no live events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live_len() == 0
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
     fn default() -> Self {
         Self::new()
     }
@@ -98,6 +866,7 @@ impl<E> Default for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::Rng;
 
     #[test]
     fn pops_in_time_order() {
@@ -143,5 +912,183 @@ mod tests {
         q.push(SimTime::from_us(5), 5);
         assert_eq!(q.pop().unwrap().1, 5);
         assert_eq!(q.pop().unwrap().1, 10);
+    }
+
+    #[test]
+    fn spans_every_level_and_overflow() {
+        let mut q = EventQueue::new();
+        // One event per decade from 1 ns to ~100 s: exercises all four
+        // levels plus the overflow heap.
+        let times: Vec<SimTime> = (0..12).map(|d| SimTime::from_ps(10u64.pow(d + 3))).collect();
+        for (i, &t) in times.iter().enumerate().rev() {
+            q.push(t, i);
+        }
+        for (i, &t) in times.iter().enumerate() {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_skips_without_dispatch() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_us(1), "a");
+        let b = q.push(SimTime::from_us(2), "b");
+        let c = q.push(SimTime::from_us(3), "c");
+        assert!(q.cancel(b));
+        assert!(!q.cancel(b), "double cancel is a no-op");
+        assert_eq!(q.pop(), Some((SimTime::from_us(1), "a")));
+        assert!(!q.cancel(a), "cancel after dispatch is a no-op");
+        assert_eq!(q.pop(), Some((SimTime::from_us(3), "c")));
+        let _ = c;
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn stale_handle_does_not_hit_recycled_slot() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_us(1), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_us(1), 1)));
+        // The slot is recycled for a new event; the stale handle must miss.
+        let b = q.push(SimTime::from_us(2), 2);
+        assert!(!q.cancel(a));
+        assert_eq!(q.peek_time(), Some(SimTime::from_us(2)));
+        assert!(q.cancel(b));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_heavy_workload_stays_o_live() {
+        // The ghost-timer regression: 100k RTO timers, each reset (cancel +
+        // re-push) once. Resident size must track the live set, not the
+        // total ever pushed.
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for i in 0..100_000u64 {
+            ids.push(q.push(SimTime::from_us(1000 + i), i));
+        }
+        for (i, id) in ids.into_iter().enumerate() {
+            assert!(q.cancel(id));
+            q.push(SimTime::from_us(2000 + i as u64), i as u64);
+        }
+        assert_eq!(q.live_len(), 100_000);
+        assert!(
+            q.len() <= 2 * q.live_len() + COMPACT_SLACK,
+            "resident {} must stay O(live {})",
+            q.len(),
+            q.live_len()
+        );
+        // And the lazy-pop path never dispatches a cancelled entry.
+        let mut popped = 0;
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            assert!(t >= SimTime::from_us(2000), "cancelled timer dispatched");
+            last = t;
+            popped += 1;
+        }
+        assert_eq!(popped, 100_000);
+    }
+
+    #[test]
+    fn repeated_cancel_into_one_slot_stays_compact() {
+        // Hole pile-up: hammer cancel + re-push at the same far-future
+        // instant so every entry lands in one wheel slot. Hole reuse must
+        // keep the slot vec at its peak concurrent size, not grow per op.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(50);
+        let mut id = q.push(t, 0u64);
+        for i in 1..100_000u64 {
+            assert!(q.cancel(id));
+            id = q.push(t, i);
+        }
+        assert_eq!(q.live_len(), 1);
+        let resident_cells: usize = (0..LEVELS)
+            .map(|k| (0..SLOTS).map(|i| q.levels[k].slots[i].len()).sum::<usize>())
+            .sum();
+        assert!(
+            resident_cells <= 8,
+            "slot cells {resident_cells} must stay at peak concurrency"
+        );
+        assert_eq!(q.pop(), Some((t, 99_999)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn batch_drains_same_timestamp_run() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_us(7);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        q.push(SimTime::from_us(8), 99);
+        let mut out = VecDeque::new();
+        assert_eq!(q.pop_batch(&mut out), 10);
+        assert_eq!(out.len(), 10);
+        for (i, (at, v)) in out.iter().enumerate() {
+            assert_eq!(*at, t);
+            assert_eq!(*v, i as i32);
+        }
+        out.clear();
+        assert_eq!(q.pop_batch(&mut out), 1);
+        assert_eq!(out[0], (SimTime::from_us(8), 99));
+        assert_eq!(q.pop_batch(&mut out), 0);
+    }
+
+    #[test]
+    fn matches_heap_reference_on_random_schedule() {
+        // Seeded differential smoke test; the full proptest harness lives
+        // in tests/proptest_simqueue.rs at the workspace root.
+        let mut rng = Rng::new(0xF00D);
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut now = 0u64;
+        let mut wheel_ids = Vec::new();
+        let mut heap_ids = Vec::new();
+        for step in 0..20_000u64 {
+            match rng.next_u64() % 10 {
+                0..=5 => {
+                    // Mixed horizons: same-tick ties through far overflow.
+                    let d = match rng.next_u64() % 5 {
+                        0 => 0,
+                        1 => rng.next_u64() % 1_000,
+                        2 => rng.next_u64() % 1_000_000,
+                        3 => rng.next_u64() % 1_000_000_000,
+                        _ => rng.next_u64() % 10_000_000_000_000,
+                    };
+                    let at = SimTime::from_ps(now + d);
+                    wheel_ids.push(wheel.push(at, step));
+                    heap_ids.push(heap.push(at, step));
+                }
+                6 => {
+                    if !wheel_ids.is_empty() {
+                        let i = (rng.next_u64() as usize) % wheel_ids.len();
+                        assert_eq!(
+                            wheel.cancel(wheel_ids[i]),
+                            heap.cancel(heap_ids[i]),
+                        );
+                    }
+                }
+                _ => {
+                    let (w, h) = (wheel.pop(), heap.pop());
+                    match (&w, &h) {
+                        (Some((wt, wv)), Some((ht, hv))) => {
+                            assert_eq!((wt, wv), (ht, hv));
+                            now = now.max(wt.as_ps());
+                        }
+                        (None, None) => {}
+                        _ => panic!("wheel {w:?} != heap {h:?}"),
+                    }
+                }
+            }
+        }
+        loop {
+            let (w, h) = (wheel.pop(), heap.pop());
+            assert_eq!(w.is_some(), h.is_some());
+            match (w, h) {
+                (Some(a), Some(b)) => assert_eq!(a, b),
+                _ => break,
+            }
+        }
     }
 }

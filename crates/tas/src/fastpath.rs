@@ -17,7 +17,7 @@ use crate::flow::{FlowState, FlowTable};
 use std::net::Ipv4Addr;
 use tas_cpusim::{CycleAccount, Module};
 use tas_proto::tcp::seq;
-use tas_proto::{Ecn, MacAddr, Segment, TcpFlags, TcpHeader};
+use tas_proto::{Ecn, MacAddr, PayloadBuf, Segment, TcpFlags, TcpHeader};
 use tas_sim::SimTime;
 
 /// TAS's receive window scale shift (negotiated by the slow path).
@@ -453,7 +453,7 @@ impl FastPath {
             self.local_ip,
             flow.key.remote_ip,
             h,
-            Vec::new(),
+            PayloadBuf::empty(),
             false,
         );
         self.stats.acks_tx += 1;
@@ -547,10 +547,17 @@ impl FastPath {
                     n = n.min(flow.bucket.tokens);
                 }
                 let off = flow.nxt_off();
-                let Ok(payload) = flow.tx.copy_out(off, n as usize) else {
+                // Pooled buffer filled straight from the ring: the per-
+                // packet tx path never touches the allocator in steady
+                // state.
+                let mut ok = true;
+                let payload = PayloadBuf::with(n as usize, |dst| {
+                    ok = flow.tx.read_into(off, dst).is_ok();
+                });
+                if !ok {
                     debug_assert!(false, "tx offset within ring");
                     break;
-                };
+                }
                 let mut h = TcpHeader::new(
                     flow.key.local_port,
                     flow.key.remote_port,
@@ -635,10 +642,14 @@ impl FastPath {
         if n == 0 {
             return cycles;
         }
-        let Ok(payload) = flow.tx.copy_out(off, n as usize) else {
+        let mut ok = true;
+        let payload = PayloadBuf::with(n as usize, |dst| {
+            ok = flow.tx.read_into(off, dst).is_ok();
+        });
+        if !ok {
             debug_assert!(false, "probe offset within tx ring");
             return cycles;
-        };
+        }
         let mut h = TcpHeader::new(
             flow.key.local_port,
             flow.key.remote_port,

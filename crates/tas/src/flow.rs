@@ -1,6 +1,6 @@
 //! Per-flow fast-path state (paper Table 3) and the flow table.
 
-use std::collections::HashMap;
+use crate::slab::{FlowIndex, Slab};
 use tas_proto::FlowKey;
 use tas_shm::ByteRing;
 use tas_sim::SimTime;
@@ -260,15 +260,17 @@ impl FlowState {
     }
 }
 
-/// The fast path's flow table: dense storage plus a 4-tuple index.
+/// The fast path's flow table: a [`Slab`] arena of per-flow state plus a
+/// [`FlowIndex`] 4-tuple index.
+///
+/// Flow ids are dense slab slot indices — the per-packet path resolves a
+/// 4-tuple to an id once (FNV-1a open addressing, no SipHash) and all
+/// further state access is a direct slot dereference. Freed slots recycle
+/// LIFO, so id assignment is deterministic run-to-run.
 #[derive(Debug, Default)]
 pub struct FlowTable {
-    slots: Vec<Option<FlowState>>,
-    free: Vec<u32>,
-    // lint:allow(R2): per-packet point-lookup table on the fast path
-    // (paper §3.1); never iterated — R1 polices iteration — and O(1)
-    // lookup is the point, so BTreeMap would tax every packet.
-    index: HashMap<FlowKey, u32>,
+    slots: Slab<FlowState>,
+    index: FlowIndex,
 }
 
 impl FlowTable {
@@ -293,61 +295,42 @@ impl FlowTable {
     /// assert, release builds overwrite the index entry and keep going.
     pub fn insert(&mut self, flow: FlowState) -> u32 {
         let key = flow.key;
-        debug_assert!(
-            !self.index.contains_key(&key),
-            "flow {key} already installed"
-        );
-        let id = match self.free.pop() {
-            Some(id) => {
-                self.slots[id as usize] = Some(flow);
-                id
-            }
-            None => {
-                self.slots.push(Some(flow));
-                (self.slots.len() - 1) as u32
-            }
-        };
-        self.index.insert(key, id);
+        let id = self.slots.insert(flow);
+        let prev = self.index.insert(key, id);
+        debug_assert!(prev.is_none(), "flow {key} already installed");
         id
     }
 
     /// Looks up a flow id by 4-tuple.
     pub fn lookup(&self, key: &FlowKey) -> Option<u32> {
-        self.index.get(key).copied()
+        self.index.get(key)
     }
 
     /// Accesses a flow by id.
     pub fn get(&self, id: u32) -> Option<&FlowState> {
-        self.slots.get(id as usize).and_then(Option::as_ref)
+        self.slots.get(id)
     }
 
     /// Mutably accesses a flow by id.
     pub fn get_mut(&mut self, id: u32) -> Option<&mut FlowState> {
-        self.slots.get_mut(id as usize).and_then(Option::as_mut)
+        self.slots.get_mut(id)
     }
 
     /// Removes a flow, returning its state.
     pub fn remove(&mut self, id: u32) -> Option<FlowState> {
-        let flow = self.slots.get_mut(id as usize).and_then(Option::take)?;
+        let flow = self.slots.remove(id)?;
         self.index.remove(&flow.key);
-        self.free.push(id);
         Some(flow)
     }
 
     /// Iterates over (id, flow) pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &FlowState)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|f| (i as u32, f)))
+        self.slots.iter()
     }
 
     /// Iterates over (id, flow) pairs, mutably.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (u32, &mut FlowState)> {
-        self.slots
-            .iter_mut()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_mut().map(|f| (i as u32, f)))
+        self.slots.iter_mut()
     }
 }
 

@@ -30,7 +30,8 @@ use tas_proto::FlowKey;
 use tas_proto::{MacAddr, Segment, TcpFlags};
 use tas_shm::ByteRing;
 use tas_sim::{
-    impl_as_any, Agent, CounterId, Ctx, Event, Registry, Scope, SeriesRecorder, SimTime, TimeSeries,
+    impl_as_any, Agent, CounterId, Ctx, Event, Registry, Scope, SeriesRecorder, SimTime,
+    TimeSeries, TimerId,
 };
 
 /// Timer kinds used by [`TasHost`].
@@ -170,6 +171,31 @@ struct Inner {
     fp_q: std::collections::VecDeque<FpCmd>,
     /// Deferred slow-path work (drained by SP_RUN timers).
     sp_q: std::collections::VecDeque<SpWork>,
+    /// Live pacing-timer handle per flow. Cancelled on detach so a torn-
+    /// down (possibly recycled) flow id leaves no ghost FP_TX timer in
+    /// the event queue.
+    fp_tx_timers: BTreeMap<u32, TimerId>,
+    /// Recycled flush buffers: capacity survives across flushes so the
+    /// steady-state drain path never allocates.
+    scratch: FlushScratch,
+}
+
+#[derive(Default)]
+struct FlushScratch {
+    fp_packets: Vec<Segment>,
+    fp_notices: Vec<(u16, RxNotice)>,
+    fp_exceptions: Vec<Segment>,
+    fp_tx_timers: Vec<(u32, SimTime)>,
+    sp_packets: Vec<Segment>,
+    sp_events: Vec<SpAppEvent>,
+}
+
+/// Moves `src`'s contents into the recycled buffer `scratch` (which must
+/// be empty), leaving `src` empty but with its capacity intact.
+fn take_recycled<T>(src: &mut Vec<T>, scratch: &mut Vec<T>) -> Vec<T> {
+    debug_assert!(scratch.is_empty(), "scratch must be drained before reuse");
+    std::mem::swap(src, scratch);
+    std::mem::take(scratch)
 }
 
 enum SpWork {
@@ -247,6 +273,8 @@ impl TasHost {
                 util_series: TimeSeries::new(),
                 series: SeriesRecorder::new(SimTime::from_ms(1)),
                 frame: Frame::default(),
+                fp_tx_timers: BTreeMap::new(),
+                scratch: FlushScratch::default(),
                 app_q: (0..cfg_app_cores)
                     .map(|_| std::collections::VecDeque::new())
                     .collect(),
@@ -528,11 +556,19 @@ impl TasHost {
     /// attributes it to the fp_tx hop); pass zero for untimed flushes.
     #[cfg_attr(not(feature = "trace"), allow(unused_variables))]
     fn flush_fp(&mut self, end: SimTime, wait: SimTime, ctx: &mut Ctx<'_, NetMsg>) {
-        let packets = std::mem::take(&mut self.inner.fp.out.packets);
-        let notices = std::mem::take(&mut self.inner.fp.out.notices);
-        let exceptions = std::mem::take(&mut self.inner.fp.out.exceptions);
-        let tx_timers = std::mem::take(&mut self.inner.fp.out.tx_timers);
-        for pkt in packets {
+        let mut packets =
+            take_recycled(&mut self.inner.fp.out.packets, &mut self.inner.scratch.fp_packets);
+        let mut notices =
+            take_recycled(&mut self.inner.fp.out.notices, &mut self.inner.scratch.fp_notices);
+        let mut exceptions = take_recycled(
+            &mut self.inner.fp.out.exceptions,
+            &mut self.inner.scratch.fp_exceptions,
+        );
+        let mut tx_timers = take_recycled(
+            &mut self.inner.fp.out.tx_timers,
+            &mut self.inner.scratch.fp_tx_timers,
+        );
+        for pkt in packets.drain(..) {
             #[cfg(feature = "trace")]
             {
                 tas_telemetry::emit(|| tas_telemetry::TraceRecord {
@@ -556,15 +592,20 @@ impl TasHost {
             }
             self.inner.nic.tx(end, pkt, ctx);
         }
-        for (fid, at) in tx_timers {
-            ctx.timer_at(at.max(end), timers::FP_TX, fid as u64);
+        for (fid, at) in tx_timers.drain(..) {
+            let id = ctx.timer_at(at.max(end), timers::FP_TX, fid as u64);
+            self.inner.fp_tx_timers.insert(fid, id);
         }
-        for (context, notice) in notices {
+        for (context, notice) in notices.drain(..) {
             self.deliver_notice(end, context, notice, ctx);
         }
-        for seg in exceptions {
+        for seg in exceptions.drain(..) {
             self.defer_sp(end, SpWork::Exception(seg), ctx);
         }
+        self.inner.scratch.fp_packets = packets;
+        self.inner.scratch.fp_notices = notices;
+        self.inner.scratch.fp_exceptions = exceptions;
+        self.inner.scratch.fp_tx_timers = tx_timers;
     }
 
     /// Queues app-event delivery at `t` (deferred so interim work on the
@@ -656,9 +697,11 @@ impl TasHost {
     }
 
     fn flush_sp(&mut self, end: SimTime, ctx: &mut Ctx<'_, NetMsg>) {
-        let packets = std::mem::take(&mut self.inner.sp.out.packets);
-        let events = std::mem::take(&mut self.inner.sp.out.events);
-        for pkt in packets {
+        let mut packets =
+            take_recycled(&mut self.inner.sp.out.packets, &mut self.inner.scratch.sp_packets);
+        let mut events =
+            take_recycled(&mut self.inner.sp.out.events, &mut self.inner.scratch.sp_events);
+        for pkt in packets.drain(..) {
             #[cfg(feature = "trace")]
             {
                 tas_telemetry::emit(|| tas_telemetry::TraceRecord {
@@ -680,7 +723,7 @@ impl TasHost {
             }
             self.inner.nic.tx(end, pkt, ctx);
         }
-        for ev in events {
+        for ev in events.drain(..) {
             match ev {
                 SpAppEvent::ConnectDone { opaque, fid } => {
                     let sock = opaque as SockId;
@@ -724,6 +767,11 @@ impl TasHost {
                 }
                 SpAppEvent::Detached { opaque, fid } => {
                     self.inner.fid_to_sock.remove(&fid);
+                    // Reclaim any armed pacing timer: the fid may be
+                    // recycled for a new flow before the timer would fire.
+                    if let Some(id) = self.inner.fp_tx_timers.remove(&fid) {
+                        ctx.cancel_timer(id);
+                    }
                     let sock = opaque as SockId;
                     if (sock as usize) < self.inner.socks.len() {
                         self.inner.socks[sock as usize].fid = None;
@@ -731,6 +779,8 @@ impl TasHost {
                 }
             }
         }
+        self.inner.scratch.sp_packets = packets;
+        self.inner.scratch.sp_events = events;
         // Slow-path work may have staged fast-path output (rate updates
         // triggering transmissions).
         if !self.inner.fp.out.packets.is_empty()
@@ -1262,6 +1312,7 @@ impl Agent<NetMsg> for TasHost {
                     timers::INIT => {}
                     timers::FP_TX => {
                         let fid = data as u32;
+                        self.inner.fp_tx_timers.remove(&fid);
                         let core = Self::fp_core_for(&self.inner, fid);
                         self.run_fp(core, now, ctx, 0, |fp, t, acct| fp.tx_poll(t, fid, acct));
                     }

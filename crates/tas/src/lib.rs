@@ -34,6 +34,7 @@ pub mod config;
 pub mod fastpath;
 pub mod flow;
 pub mod host;
+pub mod slab;
 pub mod slowpath;
 
 pub use config::{ApiKind, CcAlgo, TasConfig, TasCosts};

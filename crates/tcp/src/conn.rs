@@ -1200,8 +1200,7 @@ impl TcpConn {
                 let horizon = self.rcv_off + self.rx.free() as u64;
                 if off < horizon {
                     let room = (horizon - off) as usize;
-                    let mut d = data.clone();
-                    d.truncate(room);
+                    let d = data[..data.len().min(room)].to_vec();
                     self.trace_ooo(off, d.len() as u64);
                     self.reasm.insert(off, d);
                 }
