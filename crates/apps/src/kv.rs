@@ -173,6 +173,10 @@ pub enum KvLoad {
         /// Aggregate request rate.
         per_sec: u64,
     },
+    /// Issue nothing (a stopped phase in the scenario suite). Switching
+    /// to `Idle` lets the open-loop timer chain lapse; the client keeps
+    /// draining responses already in flight.
+    Idle,
 }
 
 struct KvConn {
@@ -180,6 +184,7 @@ struct KvConn {
     pending: Vec<u8>,
     sent_at: Vec<SimTime>,
     connected: bool,
+    msgs_on_conn: u32,
 }
 
 /// memslap-like workload client.
@@ -207,6 +212,11 @@ pub struct KvClient {
     pub slow_log_over_ns: u64,
     /// Diagnostic log of (completion time, latency ns, sock).
     pub slow_log: Vec<(SimTime, u64, SockId)>,
+    /// Connections fully torn down (churn mode).
+    pub conns_completed: u64,
+    /// Requests per connection before teardown + re-establish (0 =
+    /// persistent connections).
+    msgs_per_conn: u32,
     next_conn_rr: usize,
     preloaded: bool,
     out: SendBuf,
@@ -239,6 +249,8 @@ impl KvClient {
             measure_from: SimTime::ZERO,
             slow_log_over_ns: u64::MAX,
             slow_log: Vec::new(),
+            conns_completed: 0,
+            msgs_per_conn: 0,
             next_conn_rr: 0,
             preloaded: false,
             out: SendBuf::default(),
@@ -250,6 +262,23 @@ impl KvClient {
         self.zipf = Zipf::new(1, 0.9);
         self.keys = 1;
         self
+    }
+
+    /// Short-lived connections: tear down and re-establish each
+    /// connection after `msgs_per_conn` completed requests (the scenario
+    /// suite's connection-churn storm; stresses slow-path handshakes and
+    /// flow-slot recycling the way Fig. 5 does for echo RPCs).
+    pub fn short_lived(mut self, msgs_per_conn: u32) -> Self {
+        self.msgs_per_conn = msgs_per_conn;
+        self
+    }
+
+    /// Replaces the load pattern mid-run (the flash-crowd phase change).
+    /// Takes effect at the next open-loop arrival; switching from
+    /// [`KvLoad::Idle`] to an active pattern does not restart a lapsed
+    /// timer chain, so only use that transition before start-up.
+    pub fn set_load(&mut self, load: KvLoad) {
+        self.load = load;
     }
 
     fn build_request(&mut self) -> Vec<u8> {
@@ -306,6 +335,7 @@ impl App for KvClient {
                 pending: Vec::new(),
                 sent_at: Vec::new(),
                 connected: false,
+                msgs_on_conn: 0,
             });
             self.sock_index.insert(sock, idx);
         }
@@ -337,7 +367,7 @@ impl App for KvClient {
                 }
                 match self.load {
                     KvLoad::Closed => self.fire_on(idx, api),
-                    KvLoad::OpenRate { .. } => {}
+                    KvLoad::OpenRate { .. } | KvLoad::Idle => {}
                 }
             }
             AppEvent::Writable { sock } => {
@@ -364,6 +394,7 @@ impl App for KvClient {
                     self.conns[idx].pending.drain(..rl);
                     self.done += 1;
                     let c = &mut self.conns[idx];
+                    c.msgs_on_conn += 1;
                     if !c.sent_at.is_empty() {
                         let t0 = c.sent_at.remove(0);
                         if now >= self.measure_from {
@@ -374,9 +405,38 @@ impl App for KvClient {
                             }
                         }
                     }
+                    if self.msgs_per_conn > 0 && self.conns[idx].msgs_on_conn >= self.msgs_per_conn
+                    {
+                        // Churn: tear the connection down; Closed re-opens.
+                        let c = &mut self.conns[idx];
+                        c.connected = false;
+                        c.msgs_on_conn = 0;
+                        c.pending.clear();
+                        c.sent_at.clear();
+                        api.close(sock);
+                        break;
+                    }
                     if matches!(self.load, KvLoad::Closed) {
                         self.fire_on(idx, api);
                     }
+                }
+            }
+            AppEvent::Closed { sock } => {
+                let Some(&idx) = self.sock_index.get(&sock) else {
+                    return;
+                };
+                self.sock_index.remove(&sock);
+                self.conns_completed += 1;
+                if self.msgs_per_conn > 0 {
+                    // Re-establish (the churn storm's steady connection
+                    // arrival rate).
+                    let new_sock = api.connect(self.server, self.port);
+                    let c = &mut self.conns[idx];
+                    c.sock = new_sock;
+                    c.pending.clear();
+                    c.sent_at.clear();
+                    c.connected = false;
+                    self.sock_index.insert(new_sock, idx);
                 }
             }
             _ => {}

@@ -16,7 +16,11 @@
 //!   app) able to hold tens of thousands of closed-loop client
 //!   connections cheaply; used where the paper uses banks of client
 //!   machines whose stacks are not under test.
+//! * [`adversary`] — misbehaving clients for the isolation scenarios: a
+//!   slow reader that pins its rx byte-ring full, an ACK-division
+//!   client, and a receive-window stuffer.
 
+pub mod adversary;
 pub mod bulk;
 pub mod echo;
 pub mod flexstorm;

@@ -212,6 +212,9 @@ struct Inner {
 pub struct StackHost {
     inner: Inner,
     app: Option<Box<dyn App>>,
+    /// Tenant identity assigned by a multi-tenant harness; `None` until
+    /// [`StackHost::set_tenant`] tags the host.
+    tenant: Option<u32>,
 }
 
 impl StackHost {
@@ -274,11 +277,24 @@ impl StackHost {
                 frame: Frame::default(),
             },
             app: Some(app),
+            tenant: None,
         }
     }
 
     // ------------------------------------------------------------------
     // Accessors.
+
+    /// Tags this host with a tenant identity (mirrors
+    /// `TasHost::set_tenant`); tenant-scoped counters are re-emitted in
+    /// [`StackHost::telemetry_snapshot`].
+    pub fn set_tenant(&mut self, tenant: u32) {
+        self.tenant = Some(tenant);
+    }
+
+    /// The tenant identity, if one was assigned.
+    pub fn tenant(&self) -> Option<u32> {
+        self.tenant
+    }
 
     /// The host's IP.
     pub fn ip(&self) -> Ipv4Addr {
@@ -325,6 +341,16 @@ impl StackHost {
             snap.insert(k.name, k.scope, *v);
         }
         snap.insert_gauge("conns.live", Scope::Global, self.inner.by_key.len() as i64);
+        if let Some(ten) = self.tenant {
+            let scope = Scope::Tenant(ten);
+            snap.insert_gauge("tenant.flows_live", scope, self.inner.by_key.len() as i64);
+            snap.insert_counter(
+                "tenant.established",
+                scope,
+                self.inner.reg.counter_value("host.established", Scope::Global),
+            );
+            snap.insert_counter("tenant.bytes_rx", scope, t.bytes_received);
+        }
         snap
     }
 

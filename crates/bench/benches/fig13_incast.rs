@@ -5,143 +5,50 @@
 //! stays within 1.6–2.8× of its median (which sits at fair share), while
 //! Linux's median fluctuates widely with starved flows. Rate-based
 //! pacing + per-flow queueing smooth bursts and avoid unfair drops.
+//!
+//! The runner lives in `tas_bench::scenarios::fig13` so this harness and
+//! the `bench-report` regression gate measure the exact same scenario
+//! (and `tas_bench::scenario::generators::incast_ecn` reuses its sender
+//! count and seed for the multi-tenant incast scenario).
 
-use tas::{CcAlgo, TasConfig, TasHost};
-use tas_apps::bulk::{BulkReceiver, BulkSender};
-use tas_baselines::{profiles, StackHost, StackHostConfig};
-use tas_bench::{scaled, section};
-use tas_netsim::app::App;
-use tas_netsim::topo::{build_star, host_ip, HostSpec};
-use tas_netsim::{NetMsg, NicConfig, PortConfig};
-use tas_sim::{AgentId, Sim, SimTime};
-
-#[derive(Clone, Copy, PartialEq)]
-enum Stack {
-    Linux,
-    Tas,
-}
-
-/// Returns (median, p99, fair-share) of per-connection bytes per interval.
-fn run(stack: Stack, conns_total: u32, seed: u64) -> (f64, f64, f64) {
-    let mut sim: Sim<NetMsg> = Sim::new(seed);
-    let senders = 4usize;
-    let per_sender = conns_total / senders as u32;
-    let recv_ip = host_ip(0);
-    let interval = SimTime::from_ms(scaled(20, 100));
-    let warmup = SimTime::from_ms(40);
-    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
-        let is_recv = spec.index == 0;
-        let app: Box<dyn App> = if is_recv {
-            Box::new(BulkReceiver::new(9).sampling(interval, warmup))
-        } else {
-            Box::new(BulkSender::new(recv_ip, 9, per_sender))
-        };
-        match stack {
-            Stack::Tas => {
-                let mut cfg = TasConfig::rpc_bench(2, 2);
-                cfg.cc = CcAlgo::DctcpRate;
-                cfg.initial_rate_bps = 200_000_000;
-                cfg.control_interval = SimTime::from_us(200);
-                cfg.rx_buf = 64 * 1024;
-                cfg.tx_buf = 64 * 1024;
-                cfg.max_core_backlog = SimTime::from_ms(50);
-                sim.add_agent(Box::new(TasHost::new(
-                    spec.ip,
-                    spec.mac,
-                    spec.nic,
-                    cfg,
-                    spec.uplink,
-                    app,
-                )))
-            }
-            Stack::Linux => {
-                let mut cfg = StackHostConfig::linux(4);
-                cfg.tcp.recv_buf = 64 * 1024;
-                cfg.tcp.send_buf = 64 * 1024;
-                cfg.max_core_backlog = SimTime::from_ms(50);
-                sim.add_agent(Box::new(StackHost::new(
-                    spec.ip,
-                    spec.mac,
-                    spec.nic,
-                    profiles::linux(),
-                    cfg,
-                    spec.uplink,
-                    app,
-                )))
-            }
-        }
-    };
-    let topo = build_star(
-        &mut sim,
-        1 + senders,
-        |_| PortConfig::tengig(),
-        |_| NicConfig::client_10g(1),
-        &mut factory,
-    );
-    for &h in &topo.hosts {
-        sim.inject_timer(SimTime::ZERO, h, 0, 0);
-    }
-    let window = scaled(SimTime::from_ms(200), SimTime::from_secs(1));
-    sim.run_until(warmup + window);
-    let recv = match stack {
-        Stack::Tas => sim.agent::<TasHost>(topo.hosts[0]).app_as::<BulkReceiver>(),
-        Stack::Linux => sim
-            .agent::<StackHost>(topo.hosts[0])
-            .app_as::<BulkReceiver>(),
-    };
-    let mut samples: Vec<u64> = recv.interval_samples.clone();
-    samples.sort_unstable();
-    if samples.is_empty() {
-        return (0.0, 0.0, 0.0);
-    }
-    let median = samples[samples.len() / 2] as f64;
-    let idx = ((samples.len() as f64 * 0.99) as usize).min(samples.len() - 1);
-    let p99 = samples[idx] as f64;
-    // Fair share: payload line rate over the interval / connections.
-    let fair = 9.4e9 / 8.0 * interval.as_secs_f64() / conns_total as f64;
-    (median, p99, fair)
-}
+use tas_bench::scenarios::fig13;
+use tas_bench::section;
 
 fn main() {
     section(
         "Figure 13: per-connection throughput distribution under incast (4 -> 1)",
         "TAS p99 within 1.6-2.8x of median; median ~ fair share; Linux fluctuates",
     );
-    let conn_counts: Vec<u32> = scaled(vec![50, 200, 1000], vec![50, 100, 200, 500, 1000, 2000]);
+    let rows = fig13::sweep();
     println!(
         "{:<8} {:>14} {:>14} {:>10} {:>14} {:>10}",
         "conns", "TAS med [B]", "TAS p99 [B]", "p99/med", "Linux med [B]", "med/fair"
     );
-    let mut rows = Vec::new();
-    for &n in &conn_counts {
-        let (tm, tp, fair) = run(Stack::Tas, n, 31);
-        let (lm, _lp, _) = run(Stack::Linux, n, 32);
+    for r in &rows {
         println!(
-            "{n:<8} {tm:>14.0} {tp:>14.0} {:>10.2} {lm:>14.0} {:>10.2}",
-            if tm > 0.0 { tp / tm } else { 0.0 },
-            if fair > 0.0 { lm / fair } else { 0.0 },
+            "{:<8} {:>14.0} {:>14.0} {:>10.2} {:>14.0} {:>10.2}",
+            r.conns,
+            r.tas_median,
+            r.tas_p99,
+            if r.tas_median > 0.0 {
+                r.tas_p99 / r.tas_median
+            } else {
+                0.0
+            },
+            r.linux_median,
+            if r.fair > 0.0 {
+                r.linux_median / r.fair
+            } else {
+                0.0
+            },
         );
-        rows.push((n, tm, tp, lm, fair));
     }
     println!();
     println!(
         "paper: TAS median ~= fair share with tight spread; Linux medians swing widely across runs"
     );
-    let mut rep =
-        tas_bench::report::Report::new("fig13", "Incast per-connection fairness (4 -> 1)", 31);
-    rep.param("senders", 4);
-    for &(n, tm, tp, lm, fair) in &rows {
-        rep.push(
-            tas_bench::report::Metric::value(&format!("tas_{n}c_median"), "bytes", tm)
-                .with_component("p99", tp)
-                .with_component("fair_share", fair),
-        );
-        rep.push(tas_bench::report::Metric::value(
-            &format!("linux_{n}c_median"),
-            "bytes",
-            lm,
-        ));
-    }
-    let path = rep.write().expect("write BENCH_fig13.json");
+    let path = fig13::report_from(&rows)
+        .write()
+        .expect("write BENCH_fig13.json");
     println!("report: {}", path.display());
 }

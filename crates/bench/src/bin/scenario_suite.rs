@@ -1,0 +1,39 @@
+//! `scenario-suite` — runs the multi-tenant "datacenter day" suite on
+//! both stacks, prints one verdict line per scenario × stack × victim,
+//! writes `BENCH_scenarios.json`, and exits non-zero if any isolation
+//! bound is violated. This is the CI isolation gate.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    println!("=== Multi-tenant datacenter day: per-tenant isolation suite ===");
+    println!(
+        "{} scenarios x {} stacks; victim bounds are per-scenario, per-stack-family",
+        tas_bench::scenario::suite().len(),
+        tas_bench::scenario::stacks().len(),
+    );
+    println!();
+    let outcome = tas_bench::scenario::run_suite();
+    for v in &outcome.verdicts {
+        println!("{}", v.render());
+    }
+    let failed = outcome.verdicts.iter().filter(|v| !v.pass).count();
+    println!();
+    println!(
+        "isolation: {}/{} checks passed",
+        outcome.verdicts.len() - failed,
+        outcome.verdicts.len()
+    );
+    match outcome.report.write() {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => {
+            eprintln!("error: failed to write report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if failed > 0 {
+        eprintln!("error: {failed} isolation verdict(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

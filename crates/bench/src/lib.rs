@@ -23,6 +23,7 @@ use tas_sim::{AgentId, Sim, SimTime};
 pub use tas_sim::Histogram;
 
 pub mod report;
+pub mod scenario;
 pub mod scenarios;
 
 /// True when `TAS_FULL=1` requests paper-scale runs.

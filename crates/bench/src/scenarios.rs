@@ -870,6 +870,176 @@ pub mod table1 {
     }
 }
 
+/// Figure 13: per-connection fairness under incast — N senders to one
+/// receiver at line rate, sweeping total connections.
+pub mod fig13 {
+    use super::*;
+    use tas::{CcAlgo, TasConfig, TasHost};
+    use tas_apps::bulk::{BulkReceiver, BulkSender};
+    use tas_baselines::{profiles, StackHost, StackHostConfig};
+
+    /// Sender hosts incasting the single receiver (the paper's 4 -> 1).
+    pub const SENDERS: usize = 4;
+    /// Canonical seed for the TAS runs (and the report).
+    pub const TAS_SEED: u64 = 31;
+    /// Canonical seed for the Linux runs.
+    pub const LINUX_SEED: u64 = 32;
+
+    /// Connection-count sweep (quick / paper scale).
+    pub fn conn_counts() -> Vec<u32> {
+        scaled(vec![50, 200, 1000], vec![50, 100, 200, 500, 1000, 2000])
+    }
+
+    /// One sweep point: (median, p99, fair share) of per-connection
+    /// bytes received per sampling interval.
+    pub fn run(kind: Kind, conns_total: u32, seed: u64) -> (f64, f64, f64) {
+        let mut sim: Sim<NetMsg> = Sim::new(seed);
+        let per_sender = conns_total / SENDERS as u32;
+        let recv_ip = host_ip(0);
+        let interval = SimTime::from_ms(scaled(20, 100));
+        let warmup = SimTime::from_ms(40);
+        let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
+            let app: Box<dyn App> = if spec.index == 0 {
+                Box::new(BulkReceiver::new(9).sampling(interval, warmup))
+            } else {
+                Box::new(BulkSender::new(recv_ip, 9, per_sender))
+            };
+            match kind {
+                Kind::TasSockets | Kind::TasLowLevel => {
+                    let mut cfg = TasConfig::rpc_bench(2, 2);
+                    cfg.cc = CcAlgo::DctcpRate;
+                    cfg.initial_rate_bps = 200_000_000;
+                    cfg.control_interval = SimTime::from_us(200);
+                    cfg.rx_buf = 64 * 1024;
+                    cfg.tx_buf = 64 * 1024;
+                    cfg.max_core_backlog = SimTime::from_ms(50);
+                    sim.add_agent(Box::new(TasHost::new(
+                        spec.ip,
+                        spec.mac,
+                        spec.nic,
+                        cfg,
+                        spec.uplink,
+                        app,
+                    )))
+                }
+                _ => {
+                    let mut cfg = StackHostConfig::linux(4);
+                    cfg.tcp.recv_buf = 64 * 1024;
+                    cfg.tcp.send_buf = 64 * 1024;
+                    cfg.max_core_backlog = SimTime::from_ms(50);
+                    sim.add_agent(Box::new(StackHost::new(
+                        spec.ip,
+                        spec.mac,
+                        spec.nic,
+                        profiles::linux(),
+                        cfg,
+                        spec.uplink,
+                        app,
+                    )))
+                }
+            }
+        };
+        let topo = build_star(
+            &mut sim,
+            1 + SENDERS,
+            |_| PortConfig::tengig(),
+            |_| NicConfig::client_10g(1),
+            &mut factory,
+        );
+        for &h in &topo.hosts {
+            sim.inject_timer(SimTime::ZERO, h, 0, 0);
+        }
+        let window = scaled(SimTime::from_ms(200), SimTime::from_secs(1));
+        sim.run_until(warmup + window);
+        let mut samples: Vec<u64> = match kind {
+            Kind::TasSockets | Kind::TasLowLevel => sim
+                .agent::<TasHost>(topo.hosts[0])
+                .app_as::<BulkReceiver>()
+                .interval_samples
+                .clone(),
+            _ => sim
+                .agent::<StackHost>(topo.hosts[0])
+                .app_as::<BulkReceiver>()
+                .interval_samples
+                .clone(),
+        };
+        samples.sort_unstable();
+        if samples.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let median = samples[samples.len() / 2] as f64;
+        let idx = ((samples.len() as f64 * 0.99) as usize).min(samples.len() - 1);
+        let p99 = samples[idx] as f64;
+        // Fair share: payload line rate over the interval / connections.
+        let fair = 9.4e9 / 8.0 * interval.as_secs_f64() / conns_total as f64;
+        (median, p99, fair)
+    }
+
+    /// One row of the sweep, for the harness table and the report.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Row {
+        /// Total connections across the senders.
+        pub conns: u32,
+        /// TAS median bytes per interval per connection.
+        pub tas_median: f64,
+        /// TAS p99 bytes per interval per connection.
+        pub tas_p99: f64,
+        /// Linux median bytes per interval per connection.
+        pub linux_median: f64,
+        /// Fair share bytes per interval per connection.
+        pub fair: f64,
+    }
+
+    /// Runs the full sweep on both stacks.
+    pub fn sweep() -> Vec<Row> {
+        conn_counts()
+            .into_iter()
+            .map(|n| {
+                let (tm, tp, fair) = run(Kind::TasSockets, n, TAS_SEED);
+                let (lm, _, _) = run(Kind::Linux, n, LINUX_SEED);
+                Row {
+                    conns: n,
+                    tas_median: tm,
+                    tas_p99: tp,
+                    linux_median: lm,
+                    fair,
+                }
+            })
+            .collect()
+    }
+
+    /// Builds the gated report from sweep rows.
+    pub fn report_from(rows: &[Row]) -> Report {
+        let mut r = Report::new(
+            "fig13",
+            "Incast per-connection fairness (4 -> 1)",
+            TAS_SEED,
+        );
+        r.param("senders", SENDERS);
+        for row in rows {
+            let n = row.conns;
+            // Components in key order so the written report round-trips
+            // byte-identically through from_json (which sorts keys).
+            r.push(
+                Metric::value(&format!("tas_{n}c_median"), "bytes", row.tas_median)
+                    .with_component("fair_share", row.fair)
+                    .with_component("p99", row.tas_p99),
+            );
+            r.push(Metric::value(
+                &format!("linux_{n}c_median"),
+                "bytes",
+                row.linux_median,
+            ));
+        }
+        r
+    }
+
+    /// The gated report: runs the sweep.
+    pub fn report() -> Report {
+        report_from(&sweep())
+    }
+}
+
 /// Table 3: per-flow fast-path state.
 pub mod table3 {
     use super::*;
@@ -901,10 +1071,12 @@ pub fn gated_reports() -> Vec<ReportFn> {
         ("fig6", fig6::report),
         ("fig7", fig7::report),
         ("fig9", fig9::report),
+        ("fig13", fig13::report),
         ("fig14", fig14::report),
         ("fig15", fig15::report),
         ("table1", table1::report),
         ("table3", table3::report),
+        ("scenarios", crate::scenario::report),
     ];
     #[cfg(feature = "trace")]
     v.push(("fig6spans", fig6::spans_report));

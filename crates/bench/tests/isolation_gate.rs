@@ -1,0 +1,80 @@
+//! The isolation gate self-test, in the spirit of `regression_gate.rs`:
+//! the gate must be demonstrably *trippable* — a deliberately unfair
+//! server configuration (fast-path rate enforcement disabled) must fail
+//! the per-tenant p99 bound on the incast scenario, while the canonical
+//! configuration passes the very same spec. Without the trip direction a
+//! bound that is accidentally vacuous (e.g. infinite) would pass CI
+//! forever.
+
+use tas_bench::scenario::{generators, isolation, ScenarioSpec};
+use tas_bench::{Kind, TasOverrides};
+use tas_sim::SimTime;
+
+/// The incast spec with a shortened measurement window: debug-mode test
+/// builds run the auditors, so the full window would dominate tier-1
+/// test time. The 3x-plus tail blowup of the unfair config is visible
+/// well inside 12 ms (the aggressors arrive at 5 ms).
+fn short_incast() -> ScenarioSpec {
+    let mut spec = generators::incast_ecn();
+    spec.measure = SimTime::from_ms(12);
+    spec
+}
+
+#[test]
+fn clean_config_passes_the_incast_isolation_bound() {
+    let spec = short_incast();
+    let verdicts = isolation::evaluate(&spec, Kind::TasSockets);
+    assert!(!verdicts.is_empty(), "incast has a victim tenant");
+    for v in &verdicts {
+        assert!(
+            v.pass,
+            "canonical config must satisfy the bound: {}",
+            v.render()
+        );
+        assert!(v.base_ops > 0, "victim made progress in the baseline");
+        assert!(v.cont_p99_ns > 0, "victim latency was measured");
+    }
+}
+
+#[test]
+fn unfair_config_trips_the_incast_isolation_bound() {
+    let spec = short_incast();
+    let verdicts = isolation::evaluate_with(&spec, Kind::TasSockets, isolation::unfair_overrides());
+    assert!(!verdicts.is_empty());
+    assert!(
+        verdicts.iter().any(|v| !v.pass),
+        "disabling fast-path rate enforcement must blow the victim's p99 \
+         bound under incast, got: {:?}",
+        verdicts.iter().map(|v| v.render()).collect::<Vec<_>>()
+    );
+    // And specifically via the latency ratio, not a goodput artifact:
+    // the victim is open-loop, so the damage shows up in its tail.
+    assert!(
+        verdicts
+            .iter()
+            .any(|v| v.p99_ratio > v.bounds.p99_ratio_max),
+        "the p99 ratio is the tripped bound"
+    );
+}
+
+#[test]
+fn baseline_spec_strips_aggressors_only() {
+    let spec = generators::churn_storm();
+    let base = isolation::baseline_spec(&spec);
+    assert_eq!(base.tenants.len(), 1, "only the victim remains");
+    assert_eq!(base.tenants[0].name, "victim");
+    // Ids, seed, and windows are untouched so runs stay comparable.
+    assert_eq!(base.tenants[0].id, spec.tenants[0].id);
+    assert_eq!(base.seed, spec.seed);
+    assert_eq!(base.measure, spec.measure);
+}
+
+#[test]
+fn unfair_overrides_only_touch_congestion_control() {
+    let ov = isolation::unfair_overrides();
+    let clean = TasOverrides::default();
+    assert!(ov.cc.is_some());
+    assert_eq!(ov.cache_lines_per_req, clean.cache_lines_per_req);
+    assert_eq!(ov.stall_intervals_for_rexmit, clean.stall_intervals_for_rexmit);
+    assert_eq!(ov.control_interval, clean.control_interval);
+}

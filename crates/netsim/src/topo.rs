@@ -25,6 +25,10 @@ pub struct HostSpec {
     pub uplink: AgentId,
     /// NIC configuration for the host's uplink.
     pub nic: NicConfig,
+    /// Tenant identity for multi-tenant scenarios (0 = untagged/default).
+    /// [`build_star_tenants`] assigns it; factories propagate it to the
+    /// host they build (e.g. `TasHost::set_tenant`).
+    pub tenant: u32,
 }
 
 /// A host factory: builds a host agent for a [`HostSpec`].
@@ -57,6 +61,20 @@ pub struct StarTopo {
 pub fn build_star(
     sim: &mut Sim<NetMsg>,
     n: usize,
+    port_cfg_for: impl FnMut(u32) -> PortConfig,
+    nic_for: impl FnMut(u32) -> NicConfig,
+    make_host: &mut HostFactory<'_>,
+) -> StarTopo {
+    build_star_tenants(sim, n, |_| 0, port_cfg_for, nic_for, make_host)
+}
+
+/// [`build_star`] with per-host tenant tags: `tenant_for(i)` labels host
+/// `i` so the factory can propagate the tenant identity into the host it
+/// builds (the multi-tenant scenario suite's attribution path).
+pub fn build_star_tenants(
+    sim: &mut Sim<NetMsg>,
+    n: usize,
+    mut tenant_for: impl FnMut(u32) -> u32,
     mut port_cfg_for: impl FnMut(u32) -> PortConfig,
     mut nic_for: impl FnMut(u32) -> NicConfig,
     make_host: &mut HostFactory<'_>,
@@ -72,6 +90,7 @@ pub fn build_star(
             mac: host_mac(i),
             uplink: switch,
             nic: nic_for(i),
+            tenant: tenant_for(i),
         };
         let host = make_host(sim, spec);
         let sw = sim.agent_mut::<Switch>(switch);
@@ -127,6 +146,7 @@ pub fn build_dumbbell(
             mac: host_mac(i),
             uplink: side,
             nic: host_nic.clone(),
+            tenant: 0,
         };
         let host = make_host(sim, spec);
         let sw = sim.agent_mut::<Switch>(side);
@@ -262,6 +282,7 @@ pub fn build_fattree(
                 rx_queues: 1,
                 ..NicConfig::client_10g(1)
             },
+            tenant: 0,
         };
         let host = make_host(sim, spec);
         let sw = sim.agent_mut::<Switch>(edge);

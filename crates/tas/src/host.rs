@@ -214,6 +214,9 @@ enum SpWork {
 pub struct TasHost {
     inner: Inner,
     app: Option<Box<dyn App>>,
+    /// Tenant identity assigned by a multi-tenant harness; `None` until
+    /// [`TasHost::set_tenant`] tags the host.
+    tenant: Option<u32>,
 }
 
 impl TasHost {
@@ -282,11 +285,24 @@ impl TasHost {
                 sp_q: std::collections::VecDeque::new(),
             },
             app: Some(app),
+            tenant: None,
         }
     }
 
     // ------------------------------------------------------------------
     // Harness accessors.
+
+    /// Tags this host with a tenant identity. Tenant-scoped counters are
+    /// re-emitted under [`Scope::Tenant`] in [`TasHost::telemetry_snapshot`]
+    /// so multi-tenant harnesses can attribute flows and work per tenant.
+    pub fn set_tenant(&mut self, tenant: u32) {
+        self.tenant = Some(tenant);
+    }
+
+    /// The tenant identity, if one was assigned.
+    pub fn tenant(&self) -> Option<u32> {
+        self.tenant
+    }
 
     /// The host's IP address.
     pub fn ip(&self) -> Ipv4Addr {
@@ -352,6 +368,14 @@ impl TasHost {
             Scope::Global,
             self.inner.active_fp as i64,
         );
+        // Tenant-tagged attribution: with one application per host, the
+        // host's flow and connection totals are the tenant's.
+        if let Some(t) = self.tenant {
+            let scope = Scope::Tenant(t);
+            snap.insert_gauge("tenant.flows_live", scope, self.inner.fp.flows.len() as i64);
+            snap.insert_counter("tenant.established", scope, sp.established);
+            snap.insert_counter("tenant.bytes_rx", scope, fp.bytes_rx);
+        }
         snap
     }
 

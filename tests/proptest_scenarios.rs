@@ -1,0 +1,112 @@
+//! Determinism properties of the multi-tenant scenario suite: the same
+//! `ScenarioSpec` (same seed) run twice must produce bit-identical
+//! per-tenant outcomes and a byte-identical report fragment, on both the
+//! TAS stack and the reference stack. Violations here mean a scenario
+//! run leaked nondeterminism (hash-order iteration, wall-clock input,
+//! unseeded randomness) and the pinned `BENCH_scenarios.json` baseline
+//! would flap in CI.
+//!
+//! The runs execute in a debug-assertions build, so the TAS invariant
+//! auditors are armed: any auditor violation panics the run, making
+//! "identical auditor outcomes on both stacks" part of the property —
+//! both stacks must come out clean for every generated composition.
+
+use proptest::prelude::*;
+use tas_bench::report::{Metric, Report};
+use tas_bench::scenario::{runner, Role, ScenarioSpec, Tenant, TrafficShape};
+use tas_bench::Kind;
+use tas_bench::scenario::Outcome;
+use tas_sim::SimTime;
+
+/// Aggressor shapes exercised by the property, all sized tiny: windows
+/// are milliseconds, so each case stays cheap even under the auditors.
+fn aggressor_shape() -> impl Strategy<Value = TrafficShape> {
+    prop_oneof![
+        (1u32..3, 1u32..4).prop_map(|(conns, msgs)| TrafficShape::KvChurn {
+            conns,
+            msgs_per_conn: msgs,
+        }),
+        (1u32..4).prop_map(|conns| TrafficShape::KvClosed { conns }),
+        (1u32..3, 4u32..32).prop_map(|(conns, burst)| TrafficShape::SlowRead { conns, burst }),
+        (1u32..3, 8u32..64).prop_map(|(conns, chunk)| TrafficShape::AckDivision { conns, chunk }),
+        (1u32..3).prop_map(|conns| TrafficShape::WindowStuff {
+            conns,
+            pattern: vec![64, 512, 1448],
+        }),
+    ]
+}
+
+fn tiny_spec() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        1u64..u64::from(u32::MAX),
+        5_000u64..20_000,
+        1u32..4,
+        aggressor_shape(),
+    )
+        .prop_map(|(seed, per_sec, conns, shape)| {
+            let mut spec = ScenarioSpec::new("prop", "generated composition", seed)
+                .tenant(Tenant::new(
+                    "victim",
+                    Role::Victim,
+                    TrafficShape::KvOpen { per_sec, conns },
+                    1,
+                ))
+                .tenant(Tenant::new("aggressor", Role::Aggressor, shape, 1));
+            spec.warmup = SimTime::from_ms(2);
+            spec.measure = SimTime::from_ms(4);
+            spec.server_cores = (1, 1);
+            spec
+        })
+}
+
+/// Renders an outcome as a report fragment the way `run_suite` does, so
+/// byte-identity covers the serialization path too.
+fn fragment(spec: &ScenarioSpec, kind: Kind, o: &Outcome) -> String {
+    let mut r = Report::new("prop", "scenario determinism property", spec.seed);
+    for (tid, m) in &o.tenants {
+        let p = format!("t{tid}_{}", kind.label().replace(' ', "_"));
+        r.push(Metric::value(&format!("{p}_ops"), "count", m.ops as f64));
+        r.push(Metric::value(&format!("{p}_p99"), "ns", m.p99_ns as f64));
+        r.push(Metric::value(
+            &format!("{p}_sent"),
+            "count",
+            m.requests_sent as f64,
+        ));
+    }
+    r.push(Metric::value("drops", "count", o.server_drops as f64));
+    r.push(Metric::value(
+        "established",
+        "count",
+        o.server_established as f64,
+    ));
+    r.to_json()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Same spec, same seed, run twice on each stack: identical
+    /// outcomes, byte-identical report fragments, and the victim made
+    /// progress (the composition is not vacuous).
+    #[test]
+    fn same_seed_scenarios_are_byte_deterministic(spec in tiny_spec()) {
+        for kind in [Kind::TasSockets, Kind::Linux] {
+            let a = runner::run(&spec, kind);
+            let b = runner::run(&spec, kind);
+            prop_assert_eq!(&a, &b, "outcome mismatch on {:?}", kind);
+            prop_assert_eq!(
+                fragment(&spec, kind, &a),
+                fragment(&spec, kind, &b),
+                "report fragment mismatch on {:?}",
+                kind
+            );
+            let victim = &a.tenants[&1];
+            prop_assert!(
+                victim.requests_sent > 0,
+                "victim idle on {:?}: {:?}",
+                kind,
+                victim
+            );
+        }
+    }
+}
