@@ -21,7 +21,8 @@ use tas_netsim::rss::hash_tuple;
 use tas_netsim::{HostNic, NetMsg, NicConfig};
 use tas_proto::{FlowKey, MacAddr, Segment, TcpFlags};
 use tas_sim::{
-    impl_as_any, Agent, CounterId, Ctx, Event, Registry, Scope, SeriesRecorder, SimTime, TimerId,
+    impl_as_any, Agent, CoreUtilSeries, CounterId, Ctx, Event, Registry, Scope, SeriesRecorder,
+    SimTime, TimerId,
 };
 use tas_tcp::{EndpointInfo, TcpConfig, TcpConn, TcpEvent};
 
@@ -205,7 +206,26 @@ struct Inner {
     /// same recorder the TAS host carries, so determinism tests can
     /// compare both stacks' series byte-for-byte.
     series: SeriesRecorder,
+    /// Per-core utilization, sampled on the same 1 ms grid.
+    core_util: CoreUtilSeries,
     frame: Frame,
+    /// True when this host's cycles are attributed by the profiler
+    /// (mirrors `TasHost`: only the host under measurement is enabled).
+    #[cfg(feature = "profile")]
+    prof: bool,
+}
+
+#[cfg(feature = "profile")]
+impl Inner {
+    /// Arms cycle attribution for one of this host's cores, or disarms
+    /// the thread-local profiler when this host is not being profiled.
+    fn prof_arm(&self, idx: u32) {
+        if self.prof {
+            tas_telemetry::profile::set_core("core", idx);
+        } else {
+            tas_telemetry::profile::disarm();
+        }
+    }
 }
 
 /// A baseline-stack host agent.
@@ -274,7 +294,10 @@ impl StackHost {
                 c_app_bytes,
                 tcp_cum: tas_tcp::ConnStats::default(),
                 series: SeriesRecorder::new(SimTime::from_ms(1)),
+                core_util: CoreUtilSeries::new(app_core_count),
                 frame: Frame::default(),
+                #[cfg(feature = "profile")]
+                prof: false,
             },
             app: Some(app),
             tenant: None,
@@ -306,9 +329,26 @@ impl StackHost {
         self.inner.profile.name
     }
 
+    /// Opts this host into cycle-attribution profiling: its core runs
+    /// arm the thread-local profiler with `core<i>` identities. Hosts
+    /// never enabled disarm the profiler before running instead, so
+    /// enabling one host on a thread profiles exactly that host.
+    #[cfg(feature = "profile")]
+    pub fn enable_profiling(&mut self) {
+        self.inner.prof = true;
+    }
+
     /// Cycle accounting (Tables 1–2).
     pub fn account(&self) -> &CycleAccount {
         &self.inner.acct
+    }
+
+    /// Exact cycles submitted per core since creation (the integer
+    /// ground truth the attribution profiler conserves against).
+    pub fn busy_cycles(&self) -> Vec<u64> {
+        (0..self.inner.cores.len())
+            .map(|i| self.inner.cores.core_ref(i).busy_cycles())
+            .collect()
     }
 
     /// Mutable account access.
@@ -483,9 +523,12 @@ impl StackHost {
     /// Runs a connection interaction on its stack core at `t`: `f` drives
     /// the engine, then staged segments are cost-charged and transmitted
     /// and events delivered. `base_cost` is the packet-type processing
-    /// cost.
+    /// cost; `label` names the operation's profile frame.
+    #[cfg_attr(not(feature = "profile"), allow(unused_variables))]
+    #[allow(clippy::too_many_arguments)] // One call site per packet class; the tuple is the cost model.
     fn run_conn(
         &mut self,
+        label: &'static str,
         slot: u32,
         t: SimTime,
         base_cost: u64,
@@ -494,6 +537,12 @@ impl StackHost {
         f: impl FnOnce(&mut TcpConn, SimTime),
     ) {
         let core_idx = Self::stack_core_of(&self.inner, slot);
+        #[cfg(feature = "profile")]
+        self.inner.prof_arm(core_idx as u32);
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard(label);
+        #[cfg(feature = "profile")]
+        tas_telemetry::profile::charge(base_cost);
         let start = t.max(self.inner.cores.core_ref(core_idx).busy_until());
         let (out, events, tx_cost) = {
             let inner = &mut self.inner;
@@ -518,6 +567,20 @@ impl StackHost {
             (out, events, tx_cost)
         };
         let total = base_cost + extra + tx_cost;
+        // Transmit and stall cycles charge through the account, not a
+        // profiled funnel; stage them under their own frames so the
+        // core-run drain attributes them.
+        #[cfg(feature = "profile")]
+        {
+            if tx_cost > 0 {
+                let _g = tas_telemetry::profile::guard("tx");
+                tas_telemetry::profile::charge(tx_cost);
+            }
+            if extra > 0 {
+                let _g = tas_telemetry::profile::guard("stalls");
+                tas_telemetry::profile::charge(extra);
+            }
+        }
         if extra > 0 {
             // Cache/contention stalls: backend-bound cycles, no retired
             // instructions.
@@ -728,6 +791,22 @@ impl StackHost {
             .acct
             .charge(Module::App, frame.app_cycles, frame.app_cycles * 120 / 100);
         let total = frame.api_cycles + frame.app_cycles;
+        // Application frames charge through the account, not a profiled
+        // funnel; stage the API/handler split explicitly so the core-run
+        // drain attributes it.
+        #[cfg(feature = "profile")]
+        {
+            self.inner.prof_arm(frame.core as u32);
+            let _g = tas_telemetry::profile::guard("app");
+            if frame.api_cycles > 0 {
+                let _g2 = tas_telemetry::profile::guard("api");
+                tas_telemetry::profile::charge(frame.api_cycles);
+            }
+            if frame.app_cycles > 0 {
+                let _g2 = tas_telemetry::profile::guard("work");
+                tas_telemetry::profile::charge(frame.app_cycles);
+            }
+        }
         let (_, end) = self.inner.cores.core(frame.core).run(t, total);
         for op in frame.ops {
             match op {
@@ -801,11 +880,22 @@ impl StackHost {
         inner.series.record("tcp.rx_readable", rx_ready as f64);
         let batched: usize = inner.batches.iter().map(Vec::len).sum();
         inner.series.record("app.batched_events", batched as f64);
+        let tick = inner.series.current_tick();
+        let busy: Vec<SimTime> = (0..inner.cores.len())
+            .map(|i| inner.cores.core_ref(i).busy_total())
+            .collect();
+        inner.core_util.sample(tick, busy);
     }
 
     /// Fixed-cadence queue-depth/occupancy time series for this host.
     pub fn queue_series(&self) -> &SeriesRecorder {
         &self.inner.series
+    }
+
+    /// Per-core utilization time series on the 1 ms sampling grid (the
+    /// utilization-attribution series the cpuprof bench digests).
+    pub fn core_util_series(&self) -> &CoreUtilSeries {
+        &self.inner.core_util
     }
 
     fn on_packet(&mut self, seg: Segment, ctx: &mut Ctx<'_, NetMsg>) {
@@ -840,7 +930,8 @@ impl StackHost {
             };
             cost.charge(&mut self.inner.acct, self.inner.profile.ipc_times_100);
             let extra = Self::cache_and_contention(&self.inner);
-            self.run_conn(slot, now, cost.total(), extra, ctx, |conn, t| {
+            let label = if is_data { "rx_data" } else { "rx_ack" };
+            self.run_conn(label, slot, now, cost.total(), extra, ctx, |conn, t| {
                 conn.on_segment(t, seg);
             });
             return;
@@ -869,7 +960,7 @@ impl StackHost {
             inner
                 .acct
                 .charge(Module::Tcp, cost, cost * inner.profile.ipc_times_100 / 100);
-            self.run_conn(slot, now, cost, 0, ctx, |_c, _t| {});
+            self.run_conn("accept", slot, now, cost, 0, ctx, |_c, _t| {});
         }
         // Else: no matching state — drop (a RST generator is not needed
         // for the experiments).
@@ -1079,7 +1170,7 @@ impl Agent<NetMsg> for StackHost {
                             // Timeout processing costs roughly a data-path
                             // traversal.
                             let cost = self.inner.profile.rx_ack.total();
-                            self.run_conn(slot, now, cost, 0, ctx, |conn, t| {
+                            self.run_conn("timer", slot, now, cost, 0, ctx, |conn, t| {
                                 conn.on_timer(t);
                             });
                         }
@@ -1106,11 +1197,11 @@ impl Agent<NetMsg> for StackHost {
                                 ConnCmd::Touch(slot) => {
                                     // Poll the connection for output the API
                                     // call produced (sends, window updates).
-                                    self.run_conn(slot, now, 0, 0, ctx, |_c, _t| {});
+                                    self.run_conn("cmd", slot, now, 0, 0, ctx, |_c, _t| {});
                                 }
                                 ConnCmd::Connect(slot) => {
                                     let cost = self.inner.profile.api_conn;
-                                    self.run_conn(slot, now, cost, 0, ctx, |_c, _t| {});
+                                    self.run_conn("connect", slot, now, cost, 0, ctx, |_c, _t| {});
                                 }
                             }
                         }

@@ -6,9 +6,9 @@
 //! model's backend-stall share — cycles charged without retired
 //! instructions — as the "backend bound" analogue.)
 
-use tas_bench::{scaled, section, Kind, RpcScenario};
+use tas_bench::scenarios::table1;
+use tas_bench::{scaled, section, Kind};
 use tas_cpusim::Module;
-use tas_sim::SimTime;
 
 fn main() {
     section(
@@ -26,10 +26,8 @@ fn main() {
         tas_bench::report::Report::new("table2", "Per-request cycles, instructions, CPI", 0);
     rep.param("conns", conns);
     for kind in [Kind::Linux, Kind::Ix, Kind::TasSockets] {
-        let mut sc = RpcScenario::kv(kind, (4, 4), conns);
-        sc.warmup = scaled(SimTime::from_ms(20), SimTime::from_ms(100));
-        sc.measure = scaled(SimTime::from_ms(15), SimTime::from_ms(100));
-        let r = tas_bench::run_rpc(&sc);
+        // Same scenario as Table 1 and cpuprof: one source of cycle truth.
+        let r = table1::measure(kind);
         let p = &r.per_request;
         let app_c = p.cycles[Module::App as usize];
         let stack_c = p.stack_cycles();

@@ -1,0 +1,164 @@
+//! Cycle-observatory harness: generates `BENCH_cpuprof.json` plus the
+//! folded flamegraph export and gates them against the pinned
+//! baselines.
+//!
+//! ```text
+//! cpuprof            # generate + check
+//! cpuprof generate   # write BENCH_cpuprof.json + BENCH_cpuprof.folded
+//! cpuprof check      # compare BENCH_cpuprof.json against baselines/
+//! cpuprof pin        # copy the current outputs into baselines/
+//! cpuprof selftest   # prove the gate trips on 1.25x cycles/request
+//! ```
+//!
+//! Both outputs are byte-deterministic: two fresh processes with the
+//! same scale mode produce identical files (CI `cmp`s them). The folded
+//! export feeds `flamegraph.pl` / speedscope directly:
+//!
+//! ```text
+//! cargo run -p tas-bench --features profile --bin cpuprof -- generate
+//! flamegraph.pl BENCH_cpuprof.folded > cycles.svg
+//! ```
+//!
+//! `UPDATE_BASELINE=1 cpuprof` (or `pin`) re-pins the baselines.
+
+use std::process::ExitCode;
+use tas_bench::report::{self, compare, MetricData, Report};
+use tas_bench::scenarios::cpuprof;
+
+fn folded_out() -> std::path::PathBuf {
+    report::repo_root().join("BENCH_cpuprof.folded")
+}
+
+fn generate() -> (Report, String) {
+    eprintln!("cpuprof: profiling ...");
+    let (r, folded) = cpuprof::report_and_folded();
+    let path = r.write().expect("write report");
+    let body = std::fs::read_to_string(&path).expect("read back");
+    report::validate(&body).expect("generated report must be schema-valid");
+    std::fs::write(folded_out(), &folded).expect("write folded export");
+    println!("wrote {}", path.display());
+    println!("wrote {}", folded_out().display());
+    (r, folded)
+}
+
+fn load_current() -> Option<(Report, String)> {
+    let body = std::fs::read_to_string(report::repo_root().join("BENCH_cpuprof.json")).ok()?;
+    let r = Report::from_json(&body).ok()?;
+    let folded = std::fs::read_to_string(folded_out()).unwrap_or_default();
+    Some((r, folded))
+}
+
+fn check(current: &Report) -> ExitCode {
+    let base_path = report::baselines_dir().join("BENCH_cpuprof.json");
+    let Ok(body) = std::fs::read_to_string(&base_path) else {
+        println!("cpuprof: no baseline at {}, skipping", base_path.display());
+        return ExitCode::SUCCESS;
+    };
+    let base = match Report::from_json(&body) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cpuprof: bad baseline {}: {e}", base_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let regs = compare(current, &base);
+    if regs.iter().any(|x| x.field == "scale") {
+        println!(
+            "cpuprof: scale mismatch (current {}, baseline {}), skipping",
+            current.scale, base.scale
+        );
+        return ExitCode::SUCCESS;
+    }
+    if regs.is_empty() {
+        println!("cpuprof: gate passed ({} metrics)", base.metrics.len());
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("REGRESSIONS ({}):", regs.len());
+    for reg in &regs {
+        eprintln!("  {reg}");
+    }
+    ExitCode::FAILURE
+}
+
+fn pin(r: &Report, folded: &str) -> ExitCode {
+    let dir = report::baselines_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cpuprof: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    std::fs::write(dir.join("BENCH_cpuprof.json"), r.to_json()).expect("pin json baseline");
+    std::fs::write(dir.join("BENCH_cpuprof.folded"), folded).expect("pin folded baseline");
+    println!("pinned {}", dir.join("BENCH_cpuprof.json").display());
+    println!("pinned {}", dir.join("BENCH_cpuprof.folded").display());
+    ExitCode::SUCCESS
+}
+
+/// Proves the regression gate actually gates: a fresh report compared
+/// against itself passes, and the same report with cycles/request
+/// inflated 1.25x (a CPU-efficiency regression no throughput metric
+/// would catch) trips the comparator.
+fn selftest() -> ExitCode {
+    let r = cpuprof::report();
+    if !compare(&r, &r).is_empty() {
+        eprintln!("cpuprof selftest: self-compare must pass");
+        return ExitCode::FAILURE;
+    }
+    let mut inflated = r.clone();
+    for m in &mut inflated.metrics {
+        if m.name.starts_with("cycles_per_req_") {
+            if let MetricData::Value(v) = &mut m.data {
+                *v *= 1.25;
+            }
+        }
+    }
+    let regs = compare(&inflated, &r);
+    let tripped = regs
+        .iter()
+        .filter(|x| x.metric.starts_with("cycles_per_req_"))
+        .count();
+    if tripped == 0 {
+        eprintln!("cpuprof selftest: injected 1.25x cycles/request NOT caught: {regs:?}");
+        return ExitCode::FAILURE;
+    }
+    println!("cpuprof selftest: injected 1.25x cycles/request caught ({tripped} regressions)");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let repin = std::env::var("UPDATE_BASELINE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    match mode.as_str() {
+        "generate" => {
+            let (r, folded) = generate();
+            if repin {
+                return pin(&r, &folded);
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => match load_current() {
+            Some((r, _)) => check(&r),
+            None => {
+                eprintln!("cpuprof: missing BENCH_cpuprof.json (run `cpuprof generate`)");
+                ExitCode::FAILURE
+            }
+        },
+        "pin" => {
+            let (r, folded) = load_current().unwrap_or_else(generate);
+            pin(&r, &folded)
+        }
+        "selftest" => selftest(),
+        "" => {
+            let (r, folded) = generate();
+            if repin {
+                return pin(&r, &folded);
+            }
+            check(&r)
+        }
+        other => {
+            eprintln!("usage: cpuprof [generate|check|pin|selftest]  (got {other:?})");
+            ExitCode::FAILURE
+        }
+    }
+}

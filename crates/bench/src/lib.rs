@@ -249,6 +249,10 @@ pub struct RpcScenario {
     pub tas_overrides: TasOverrides,
     /// RNG seed.
     pub seed: u64,
+    /// Capture a cycle-attribution profile over the measurement window
+    /// (profile builds only).
+    #[cfg(feature = "profile")]
+    pub profile: bool,
 }
 
 /// Server application selection for [`RpcScenario`].
@@ -279,6 +283,8 @@ impl RpcScenario {
             kv_contention: 0,
             tas_overrides: TasOverrides::default(),
             seed: 42,
+            #[cfg(feature = "profile")]
+            profile: false,
         }
     }
 
@@ -367,6 +373,54 @@ pub struct RpcResult {
     pub drops: u64,
     /// Per-request module breakdown over the measurement window.
     pub per_request: PerRequest,
+    /// Cycle-attribution capture (when [`RpcScenario::profile`] was set).
+    #[cfg(feature = "profile")]
+    pub profile: Option<ProfileCapture>,
+}
+
+/// A cycle-attribution profile of the server over the measurement window,
+/// with the per-core busy-cycle deltas it must account for exactly.
+#[cfg(feature = "profile")]
+#[derive(Clone, Debug)]
+pub struct ProfileCapture {
+    /// The attribution tree collected between `t0` and the end of the
+    /// measurement window.
+    pub profile: tas_telemetry::profile::Profile,
+    /// Requests the server completed inside the window.
+    pub requests: u64,
+    /// Packets (rx + tx segments) the server handled inside the window.
+    pub packets: u64,
+    /// Per-core busy-cycle deltas over the window, labelled like the
+    /// profile's core labels (`fp0`, `sp0`, `app0`, … or `core0`, …).
+    pub busy: Vec<(String, u64)>,
+    /// Per-core utilization samples (1 ms cadence) inside the window.
+    pub core_util: Vec<(String, Vec<f64>)>,
+}
+
+#[cfg(feature = "profile")]
+impl ProfileCapture {
+    /// Total busy cycles across cores over the window.
+    pub fn busy_total(&self) -> u64 {
+        self.busy.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Cycles per request over the window.
+    pub fn cycles_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.busy_total() as f64 / self.requests as f64
+        }
+    }
+
+    /// Cycles per packet over the window.
+    pub fn cycles_per_packet(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.busy_total() as f64 / self.packets as f64
+        }
+    }
 }
 
 /// Runs an RPC scenario and returns throughput/latency.
@@ -452,12 +506,60 @@ pub fn run_rpc(sc: &RpcScenario) -> RpcResult {
     // Snapshot counters, gate latency recording.
     let (messages_t0, established) = server_messages(&sim, topo.hosts[0], sc.kind);
     let acct0 = server_account(&sim, topo.hosts[0], sc.kind);
+    #[cfg(feature = "profile")]
+    let prof_t0 = if sc.profile {
+        match sc.kind {
+            Kind::TasSockets | Kind::TasLowLevel => {
+                sim.agent_mut::<TasHost>(topo.hosts[0]).enable_profiling();
+            }
+            _ => sim.agent_mut::<StackHost>(topo.hosts[0]).enable_profiling(),
+        }
+        tas_telemetry::profile::start();
+        Some((
+            server_busy(&sim, topo.hosts[0], sc.kind),
+            server_packets(&sim, topo.hosts[0], sc.kind),
+        ))
+    } else {
+        None
+    };
     for &h in &topo.hosts[1..] {
         sim.agent_mut::<LoadGenHost>(h).measure_from = t0;
     }
     sim.run_until(t0 + sc.measure);
     let (messages_t1, _) = server_messages(&sim, topo.hosts[0], sc.kind);
     let acct1 = server_account(&sim, topo.hosts[0], sc.kind);
+    #[cfg(feature = "profile")]
+    let profile = if let Some((busy0, pkts0)) = prof_t0 {
+        let tree = tas_telemetry::profile::take();
+        tas_telemetry::profile::stop();
+        let busy: Vec<(String, u64)> = server_busy(&sim, topo.hosts[0], sc.kind)
+            .into_iter()
+            .zip(busy0)
+            .map(|((label, b1), (_, b0))| (label, b1 - b0))
+            .collect();
+        let packets = server_packets(&sim, topo.hosts[0], sc.kind) - pkts0;
+        let core_util = match sc.kind {
+            Kind::TasSockets | Kind::TasLowLevel => util_window(
+                sim.agent::<TasHost>(topo.hosts[0]).fp_util_series(),
+                "fp",
+                t0,
+            ),
+            _ => util_window(
+                sim.agent::<StackHost>(topo.hosts[0]).core_util_series(),
+                "core",
+                t0,
+            ),
+        };
+        Some(ProfileCapture {
+            profile: tree,
+            requests: messages_t1 - messages_t0,
+            packets,
+            busy,
+            core_util,
+        })
+    } else {
+        None
+    };
     let mut latency = Histogram::new();
     for &h in &topo.hosts[1..] {
         latency.merge(&sim.agent::<LoadGenHost>(h).latency);
@@ -478,7 +580,79 @@ pub fn run_rpc(sc: &RpcScenario) -> RpcResult {
         established,
         drops,
         per_request: per_request(&acct0, &acct1, messages_t1 - messages_t0),
+        #[cfg(feature = "profile")]
+        profile,
     }
+}
+
+/// Per-core busy-cycle totals of the server, labelled like the profiler's
+/// core labels so captures can be checked for exact conservation.
+#[cfg(feature = "profile")]
+fn server_busy(sim: &Sim<NetMsg>, server: AgentId, kind: Kind) -> Vec<(String, u64)> {
+    match kind {
+        Kind::TasSockets | Kind::TasLowLevel => {
+            let h = sim.agent::<TasHost>(server);
+            let mut out: Vec<(String, u64)> = h
+                .fp_busy_cycles()
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (format!("fp{i}"), c))
+                .collect();
+            out.push(("sp0".to_string(), h.sp_busy_cycles()));
+            out.extend(
+                h.app_busy_cycles()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| (format!("app{i}"), c)),
+            );
+            out
+        }
+        _ => sim
+            .agent::<StackHost>(server)
+            .busy_cycles()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (format!("core{i}"), c))
+            .collect(),
+    }
+}
+
+/// Packets the server handled so far (rx + tx segments).
+#[cfg(feature = "profile")]
+fn server_packets(sim: &Sim<NetMsg>, server: AgentId, kind: Kind) -> u64 {
+    match kind {
+        Kind::TasSockets | Kind::TasLowLevel => {
+            let fp = sim.agent::<TasHost>(server).fp_stats();
+            fp.pkts_rx + fp.segs_tx + fp.acks_tx
+        }
+        _ => {
+            let t = sim.agent::<StackHost>(server).tcp_stats();
+            t.segs_in + t.segs_out
+        }
+    }
+}
+
+/// Extracts per-core utilization samples at or after `from`.
+#[cfg(feature = "profile")]
+fn util_window(
+    series: &tas_sim::CoreUtilSeries,
+    prefix: &str,
+    from: SimTime,
+) -> Vec<(String, Vec<f64>)> {
+    series
+        .all()
+        .iter()
+        .enumerate()
+        .map(|(i, ts)| {
+            let vals = ts
+                .samples()
+                .iter()
+                .filter(|&&(t, _)| t >= from)
+                .map(|&(_, v)| v)
+                .collect();
+            (format!("{prefix}{i}"), vals)
+        })
+        .collect()
 }
 
 fn server_account(sim: &Sim<NetMsg>, server: AgentId, kind: Kind) -> CycleAccount {

@@ -215,8 +215,14 @@ impl Report {
                 let _ = write!(o, ", \"tol\": {}", json_f64(t));
             }
             if !m.breakdown.is_empty() {
+                // Canonical key order: breakdowns serialize sorted so a
+                // freshly generated report and its from_json round-trip
+                // (which parses objects into a BTreeMap) are
+                // byte-identical.
+                let mut parts: Vec<&(String, f64)> = m.breakdown.iter().collect();
+                parts.sort_by(|a, b| a.0.cmp(&b.0));
                 o.push_str(", \"breakdown\": {");
-                for (j, (k, v)) in m.breakdown.iter().enumerate() {
+                for (j, (k, v)) in parts.into_iter().enumerate() {
                     if j > 0 {
                         o.push_str(", ");
                     }

@@ -65,12 +65,17 @@ pub struct Verdict {
     pub bounds: IsolationBounds,
     /// Whether both bounds held.
     pub pass: bool,
+    /// Where the aggressors' cycles went: top server frames by
+    /// contended-minus-baseline self cycles (profile builds; `None`
+    /// otherwise).
+    pub cycles_note: Option<String>,
 }
 
 impl Verdict {
-    /// One-line human rendering for the suite binary.
+    /// One-line human rendering for the suite binary (two lines when
+    /// the cycle-attribution note is present).
     pub fn render(&self) -> String {
-        format!(
+        let mut s = format!(
             "{:<14} {:<8} {:<10} p99 {:>9} -> {:>9} ns ({:>5.2}x <= {:.2}x)  ops {:>7} -> {:>7} ({:>4.2} >= {:.2})  {}",
             self.scenario,
             self.stack.label(),
@@ -84,7 +89,12 @@ impl Verdict {
             self.goodput_frac,
             self.bounds.goodput_frac_min,
             if self.pass { "PASS" } else { "FAIL" }
-        )
+        );
+        if let Some(n) = &self.cycles_note {
+            s.push_str("\n    ");
+            s.push_str(n);
+        }
+        s
     }
 }
 
@@ -100,8 +110,19 @@ pub fn baseline_spec(spec: &ScenarioSpec) -> ScenarioSpec {
 /// Evaluates the isolation contract for every victim tenant of `spec`
 /// on `kind`, with TAS server overrides (the unfair fixture).
 pub fn evaluate_with(spec: &ScenarioSpec, kind: Kind, overrides: TasOverrides) -> Vec<Verdict> {
-    let base = runner::run_with(&baseline_spec(spec), kind, overrides);
-    let cont = runner::run_with(spec, kind, overrides);
+    #[cfg(feature = "profile")]
+    let (base, cont, note) = {
+        let (base, base_prof) = runner::run_with_profile(&baseline_spec(spec), kind, overrides);
+        let (cont, cont_prof) = runner::run_with_profile(spec, kind, overrides);
+        let note = cycles_note(&base_prof, &cont_prof);
+        (base, cont, note)
+    };
+    #[cfg(not(feature = "profile"))]
+    let (base, cont, note) = (
+        runner::run_with(&baseline_spec(spec), kind, overrides),
+        runner::run_with(spec, kind, overrides),
+        None::<String>,
+    );
     let bounds = spec.bounds_for(kind);
     let mut out = Vec::new();
     for t in spec.victims() {
@@ -135,9 +156,46 @@ pub fn evaluate_with(spec: &ScenarioSpec, kind: Kind, overrides: TasOverrides) -
             goodput_frac,
             bounds,
             pass,
+            cycles_note: note.clone(),
         });
     }
     out
+}
+
+/// Renders "where the aggressors' cycles went": the top server frames
+/// by contended-minus-baseline self cycles, with the net total.
+#[cfg(feature = "profile")]
+fn cycles_note(
+    base: &tas_telemetry::profile::Profile,
+    cont: &tas_telemetry::profile::Profile,
+) -> Option<String> {
+    let b = base.flat_self();
+    let c = cont.flat_self();
+    let mut deltas: Vec<(String, i64)> = c
+        .iter()
+        .map(|(k, &v)| (k.clone(), v as i64 - b.get(k).copied().unwrap_or(0) as i64))
+        .collect();
+    for (k, &v) in &b {
+        if !c.contains_key(k) {
+            deltas.push((k.clone(), -(v as i64)));
+        }
+    }
+    let total: i64 = deltas.iter().map(|d| d.1).sum();
+    deltas.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let top: Vec<String> = deltas
+        .iter()
+        .filter(|(_, d)| *d > 0)
+        .take(3)
+        .map(|(k, d)| format!("{k} +{d}"))
+        .collect();
+    if top.is_empty() {
+        Some(format!("cycles: contention added {total} server cycles"))
+    } else {
+        Some(format!(
+            "cycles: contention added {total} server cycles; top frames: {}",
+            top.join(", ")
+        ))
+    }
 }
 
 /// Evaluates the isolation contract with the canonical server config.

@@ -355,6 +355,9 @@ fn apply_phase(sim: &mut Sim<NetMsg>, clients: &[(u32, TrafficShape, AgentId)], 
 
 /// Runs a scenario on `kind` with TAS server overrides (used by the
 /// isolation self-test's deliberately unfair configuration).
+///
+/// Under the `profile` feature the server's cycles over the measurement
+/// window are attributed; [`run_with_profile`] harvests the tree.
 pub fn run_with(spec: &ScenarioSpec, kind: Kind, overrides: TasOverrides) -> Outcome {
     let Built {
         mut sim,
@@ -365,6 +368,16 @@ pub fn run_with(spec: &ScenarioSpec, kind: Kind, overrides: TasOverrides) -> Out
     // Phase boundaries between warmup and end, in order.
     let sched = phase_schedule(spec);
     sim.run_until(spec.warmup);
+    #[cfg(feature = "profile")]
+    {
+        match kind {
+            Kind::TasSockets | Kind::TasLowLevel => {
+                sim.agent_mut::<TasHost>(server).enable_profiling();
+            }
+            _ => sim.agent_mut::<StackHost>(server).enable_profiling(),
+        }
+        tas_telemetry::profile::start();
+    }
     // Gate latency measurement to the window.
     for (_, shape, h) in &clients {
         if is_kv(shape) {
@@ -440,6 +453,20 @@ pub fn run_with(spec: &ScenarioSpec, kind: Kind, overrides: TasOverrides) -> Out
 /// Runs a scenario on `kind` with the canonical server configuration.
 pub fn run(spec: &ScenarioSpec, kind: Kind) -> Outcome {
     run_with(spec, kind, TasOverrides::default())
+}
+
+/// [`run_with`] plus the server's cycle-attribution tree over the
+/// measurement window (profiling is left disabled afterwards).
+#[cfg(feature = "profile")]
+pub fn run_with_profile(
+    spec: &ScenarioSpec,
+    kind: Kind,
+    overrides: TasOverrides,
+) -> (Outcome, tas_telemetry::profile::Profile) {
+    let out = run_with(spec, kind, overrides);
+    let prof = tas_telemetry::profile::take();
+    tas_telemetry::profile::stop();
+    (out, prof)
 }
 
 /// Metrics of one tenant from an outcome (zeros when absent).

@@ -829,13 +829,20 @@ pub mod table1 {
     use super::*;
     use tas_cpusim::Module;
 
-    /// Runs the KV cycle-accounting scenario for one stack.
-    pub fn measure(kind: Kind) -> crate::RpcResult {
+    /// The canonical cycle-accounting scenario for one stack. Table 1,
+    /// Table 2, and the `cpuprof` observatory all run exactly this
+    /// shape, so every cycles-per-request number traces to one source.
+    pub fn scenario(kind: Kind) -> RpcScenario {
         let conns = scaled(2_000, 32_000);
         let mut sc = RpcScenario::kv(kind, (4, 4), conns);
         sc.warmup = scaled(SimTime::from_ms(20), SimTime::from_ms(100));
         sc.measure = scaled(SimTime::from_ms(15), SimTime::from_ms(100));
-        crate::run_rpc(&sc)
+        sc
+    }
+
+    /// Runs the KV cycle-accounting scenario for one stack.
+    pub fn measure(kind: Kind) -> crate::RpcResult {
+        crate::run_rpc(&scenario(kind))
     }
 
     /// The gated report: total cycles/request per stack with the
@@ -1058,6 +1065,107 @@ pub mod table3 {
     }
 }
 
+/// The cycle observatory: attribution-exact per-core profiles of the
+/// Table 1 KV scenario for TAS and the Linux model. Emits the gated
+/// `BENCH_cpuprof.json` (cycles/request and cycles/packet with
+/// per-module and top-of-stack breakdowns, p50/p99 per-core
+/// utilization) plus the folded flamegraph export.
+#[cfg(feature = "profile")]
+pub mod cpuprof {
+    use super::*;
+    use crate::ProfileCapture;
+
+    /// Stacks the observatory profiles.
+    pub fn stacks() -> [(&'static str, Kind); 2] {
+        [("tas", Kind::TasSockets), ("linux", Kind::Linux)]
+    }
+
+    /// Runs the Table 1 scenario for `kind` with attribution enabled.
+    pub fn measure(kind: Kind) -> ProfileCapture {
+        let mut sc = table1::scenario(kind);
+        sc.profile = true;
+        let cap = crate::run_rpc(&sc).profile.expect("profile capture");
+        // Attribution exactness: the tree must account for every busy
+        // cycle of the measurement window.
+        assert_eq!(
+            cap.profile.total_cycles(),
+            cap.busy_total(),
+            "{}: profile must conserve busy cycles",
+            kind.label()
+        );
+        cap
+    }
+
+    /// Percentile of pre-sorted samples (nearest-rank, deterministic).
+    fn pctl(sorted: &[f64], q: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    /// The report and the folded flamegraph export from one sweep. The
+    /// folded lines are the per-stack [`tas_telemetry::profile::Profile::folded`]
+    /// outputs with the stack name prefixed onto each core label.
+    pub fn report_and_folded() -> (Report, String) {
+        let mut r = Report::new(
+            "cpuprof",
+            "Cycle observatory: per-core attribution profile (KV store)",
+            42,
+        );
+        r.param("conns", scaled(2_000, 32_000)).param("cores", 8);
+        let mut folded = String::new();
+        for (name, kind) in stacks() {
+            let cap = measure(kind);
+            let reqs = cap.requests.max(1) as f64;
+            let mut per_req = Metric::value(
+                &format!("cycles_per_req_{name}"),
+                "cycles",
+                cap.cycles_per_request(),
+            )
+            .with_tol(0.10);
+            for (module, cycles) in cap.profile.rollup_depth1() {
+                per_req = per_req.with_component(&module, cycles as f64 / reqs);
+            }
+            r.push(per_req);
+            let mut per_pkt = Metric::value(
+                &format!("cycles_per_pkt_{name}"),
+                "cycles",
+                cap.cycles_per_packet(),
+            )
+            .with_tol(0.10);
+            let mut flat: Vec<(String, u64)> = cap.profile.flat_self().into_iter().collect();
+            flat.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            for (frame, cycles) in flat.iter().take(6) {
+                per_pkt =
+                    per_pkt.with_component(frame, *cycles as f64 / cap.packets.max(1) as f64);
+            }
+            r.push(per_pkt);
+            for (label, samples) in &cap.core_util {
+                let mut s = samples.clone();
+                s.sort_by(f64::total_cmp);
+                r.push(
+                    Metric::value(&format!("util_{name}_{label}_p50"), "ratio", pctl(&s, 0.50))
+                        .with_component("p99", pctl(&s, 0.99)),
+                );
+            }
+            for line in cap.profile.folded().lines() {
+                folded.push_str(name);
+                folded.push('.');
+                folded.push_str(line);
+                folded.push('\n');
+            }
+        }
+        (r, folded)
+    }
+
+    /// The gated report builder (`bench-report` / `cpuprof` entry).
+    pub fn report() -> Report {
+        report_and_folded().0
+    }
+}
+
 /// A named report builder, as listed by [`gated_reports`].
 pub type ReportFn = (&'static str, fn() -> Report);
 
@@ -1065,7 +1173,10 @@ pub type ReportFn = (&'static str, fn() -> Report);
 /// binary runs these; the comparator gates them against
 /// `crates/bench/baselines/`.
 pub fn gated_reports() -> Vec<ReportFn> {
-    #[cfg_attr(not(feature = "trace"), allow(unused_mut))]
+    #[cfg_attr(
+        not(any(feature = "trace", feature = "profile")),
+        allow(unused_mut)
+    )]
     let mut v: Vec<ReportFn> = vec![
         ("fig4", fig4::report),
         ("fig6", fig6::report),
@@ -1080,5 +1191,7 @@ pub fn gated_reports() -> Vec<ReportFn> {
     ];
     #[cfg(feature = "trace")]
     v.push(("fig6spans", fig6::spans_report));
+    #[cfg(feature = "profile")]
+    v.push(("cpuprof", cpuprof::report));
     v
 }

@@ -23,6 +23,7 @@ pub struct Core {
     freq_hz: u64,
     busy_until: SimTime,
     busy_total: SimTime,
+    busy_cycles: u64,
     last_work: SimTime,
 }
 
@@ -38,6 +39,7 @@ impl Core {
             freq_hz,
             busy_until: SimTime::ZERO,
             busy_total: SimTime::ZERO,
+            busy_cycles: 0,
             last_work: SimTime::ZERO,
         }
     }
@@ -66,7 +68,10 @@ impl Core {
         let end = start + dur;
         self.busy_until = end;
         self.busy_total += dur;
+        self.busy_cycles += cycles;
         self.last_work = end;
+        #[cfg(feature = "profile")]
+        tas_telemetry::profile::on_core_run(cycles);
         (start, end)
     }
 
@@ -95,6 +100,13 @@ impl Core {
     /// Total busy time accumulated since creation.
     pub fn busy_total(&self) -> SimTime {
         self.busy_total
+    }
+
+    /// Exact cycle count submitted since creation (the integer ground
+    /// truth the attribution profiler's conservation property checks
+    /// against; `busy_total` rounds through the time conversion).
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
     }
 }
 

@@ -29,6 +29,8 @@ pub struct TokFlags {
     pub test_cfg: bool,
     /// Inside an item/statement gated by `#[cfg(… feature = "trace" …)]`.
     pub trace_cfg: bool,
+    /// Inside an item/statement gated by `#[cfg(… feature = "profile" …)]`.
+    pub profile_cfg: bool,
     /// Inside a `use …;` declaration.
     pub in_use: bool,
     /// Inside attribute brackets (`#[…]` / `#![…]`).
@@ -67,6 +69,11 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "R6",
         "deny-deprecated",
         "use of a removed compat surface",
+    ),
+    (
+        "R7",
+        "profile-site-hygiene",
+        "profiler call site outside the per-crate `profile` feature gate",
     ),
 ];
 
@@ -131,8 +138,9 @@ pub fn regions(lexed: &Lexed) -> Vec<TokFlags> {
         }
         let is_cfg = content.first().map(|t| t.text == "cfg").unwrap_or(false);
         let test_gate = is_cfg && cfg_mentions_test(content);
-        let trace_gate = is_cfg && cfg_mentions_trace_feature(content);
-        if test_gate || trace_gate {
+        let trace_gate = is_cfg && cfg_mentions_feature(content, "trace");
+        let profile_gate = is_cfg && cfg_mentions_feature(content, "profile");
+        if test_gate || trace_gate || profile_gate {
             let (from, to) = if inner {
                 // Inner attribute: rest of file.
                 (end + 1, toks.len())
@@ -142,6 +150,7 @@ pub fn regions(lexed: &Lexed) -> Vec<TokFlags> {
             for f in flags.iter_mut().take(to).skip(from) {
                 f.test_cfg |= test_gate;
                 f.trace_cfg |= trace_gate;
+                f.profile_cfg |= profile_gate;
             }
         }
         i = end + 1;
@@ -175,14 +184,15 @@ fn cfg_mentions_test(content: &[Tok]) -> bool {
     false
 }
 
-/// True when a `cfg(...)` token list contains `feature = "trace"`.
-fn cfg_mentions_trace_feature(content: &[Tok]) -> bool {
+/// True when a `cfg(...)` token list contains `feature = "<name>"`.
+fn cfg_mentions_feature(content: &[Tok], name: &str) -> bool {
+    let needle = format!("\"{name}\"");
     content.windows(3).any(|w| {
         w[0].kind == TokKind::Ident
             && w[0].text == "feature"
             && w[1].text == "="
             && w[2].kind == TokKind::Str
-            && w[2].text.contains("\"trace\"")
+            && w[2].text.contains(&needle)
     })
 }
 
@@ -646,6 +656,40 @@ pub fn r6(lexed: &Lexed, flags: &[TokFlags], rc: &RuleConfig) -> Vec<RawFinding>
     out
 }
 
+// ---------------------------------------------------------------------
+// R7: profile-site-hygiene.
+
+/// R7: every profiler call site (`profile::guard`, `profile::charge`,
+/// `profile::set_core`, …) must sit inside a `feature = "profile"` cfg
+/// region. Only the path form `profile::…` marks a site — fields and
+/// locals named `profile` are unrelated.
+pub fn r7(lexed: &Lexed, flags: &[TokFlags], rc: &RuleConfig) -> Vec<RawFinding> {
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "profile" {
+            continue;
+        }
+        if toks.get(i + 1).map(|n| n.text != "::").unwrap_or(true) {
+            continue;
+        }
+        if flags[i].profile_cfg || flags[i].in_use || flags[i].in_attr {
+            continue;
+        }
+        if !rc.include_test_code && flags[i].test_cfg {
+            continue;
+        }
+        out.push(finding(
+            t,
+            "R7",
+            "profiler site `profile::…` outside a `#[cfg(feature = \"profile\")]` gate; \
+             ungated sites break the profile-off zero-overhead proof"
+                .to_string(),
+        ));
+    }
+    out
+}
+
 /// Runs one rule by id.
 pub fn run_rule(
     id: &str,
@@ -660,6 +704,7 @@ pub fn run_rule(
         "R4" => r4(lexed, flags, rc),
         "R5" => r5(lexed, flags, rc),
         "R6" => r6(lexed, flags, rc),
+        "R7" => r7(lexed, flags, rc),
         _ => Vec::new(),
     }
 }
@@ -740,6 +785,20 @@ mod tests {
         assert!(run("R5", inner).is_empty());
         let stmt = "fn f() {\n#[cfg(feature = \"trace\")]\ntrace_sp(now, TraceEvent::State { f });\n}";
         assert!(run("R5", stmt).is_empty());
+    }
+
+    #[test]
+    fn r7_requires_profile_gate() {
+        let bad = "fn f() { let _g = tas_telemetry::profile::guard(\"rx\"); }";
+        assert_eq!(run("R7", bad).len(), 1);
+        let good = "fn f() {\n#[cfg(feature = \"profile\")]\nlet _g = tas_telemetry::profile::guard(\"rx\");\n}";
+        assert!(run("R7", good).is_empty());
+        let inner = "#![cfg(feature = \"profile\")]\nfn f() { tas_telemetry::profile::charge(12); }";
+        assert!(run("R7", inner).is_empty());
+        let any = "#[cfg(any(feature = \"trace\", feature = \"profile\"))]\nfn f() { tas_telemetry::profile::start(); }";
+        assert!(run("R7", any).is_empty());
+        let field = "fn f(inner: &Inner) { inner.profile.record(1); sc.profile = true; }";
+        assert!(run("R7", field).is_empty(), "fields named `profile` are unrelated");
     }
 
     #[test]

@@ -131,6 +131,27 @@ fn r5_fires_on_ungated_emit_and_accepts_the_gate() {
 }
 
 #[test]
+fn r7_fires_on_ungated_profiler_sites_and_accepts_the_gate() {
+    let bad = scan(
+        "crates/tas/src/fastpath.rs",
+        include_str!("fixtures/r7_profile_bad.rs"),
+    );
+    assert_eq!(
+        rules_of(&bad),
+        vec!["R7", "R7"],
+        "the guard and the charge each fire: {bad:?}"
+    );
+    let good = scan(
+        "crates/tas/src/fastpath.rs",
+        include_str!("fixtures/r7_profile_fixed.rs"),
+    );
+    assert!(
+        good.is_empty(),
+        "gated sites and `profile` fields must be clean: {good:?}"
+    );
+}
+
+#[test]
 fn r6_fires_on_removed_surfaces_and_accepts_replacements() {
     let bad = scan(
         "crates/netsim/src/nic.rs",

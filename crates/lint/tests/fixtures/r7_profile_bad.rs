@@ -1,0 +1,15 @@
+//! R7 bad fixture: profiler call sites with no `feature = "profile"`
+//! gate. Both the guard and the charge must fire — ungated sites either
+//! break the default build or drag the profiler into it.
+
+pub struct Fastpath {
+    cycles: u64,
+}
+
+impl Fastpath {
+    pub fn poll_rx(&mut self) {
+        let _g = tas_telemetry::profile::guard("rx");
+        self.cycles += 17;
+        tas_telemetry::profile::charge(17);
+    }
+}

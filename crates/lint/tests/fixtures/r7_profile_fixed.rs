@@ -1,0 +1,23 @@
+//! R7 fixed fixture: the same profiler sites under `feature = "profile"`
+//! cfg gates, plus a field named `profile` (path-free, always legal).
+
+pub struct Fastpath {
+    cycles: u64,
+    profile: bool,
+}
+
+impl Fastpath {
+    pub fn poll_rx(&mut self) {
+        #[cfg(feature = "profile")]
+        let _g = tas_telemetry::profile::guard("rx");
+        self.cycles += 17;
+        self.profile = true;
+        #[cfg(feature = "profile")]
+        tas_telemetry::profile::charge(17);
+    }
+
+    #[cfg(any(feature = "trace", feature = "profile"))]
+    pub fn arm(&self) {
+        tas_telemetry::profile::set_core("fp", 0);
+    }
+}

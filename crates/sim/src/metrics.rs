@@ -417,6 +417,12 @@ impl SeriesRecorder {
         true
     }
 
+    /// The grid stamp of the tick started by the last
+    /// [`SeriesRecorder::begin`] (time zero before any tick).
+    pub fn current_tick(&self) -> SimTime {
+        self.cur_tick
+    }
+
     /// Records `v` for `name` at the tick started by the last
     /// [`SeriesRecorder::begin`].
     pub fn record(&mut self, name: &'static str, v: f64) {
@@ -450,6 +456,87 @@ impl SeriesRecorder {
             }
         }
         out
+    }
+}
+
+/// Per-core utilization time series: one [`TimeSeries`] per core of a
+/// pool, each sample the fraction of the elapsed interval the core spent
+/// busy (the delta of the core's cumulative busy time over the delta of
+/// sim time). Hosts sample it from their fixed-cadence hook so the
+/// stamps land on the same grid as the [`SeriesRecorder`] gauges; unlike
+/// `CorePool::sample_utilization` it owns its own window state, so it
+/// never perturbs the proportionality controller's measurements.
+///
+/// A sample can exceed 1.0: work is charged to a core's timeline when
+/// submitted, so a burst scheduled ahead of the sampling instant books
+/// its cycles into the interval that submitted it.
+#[derive(Clone, Debug)]
+pub struct CoreUtilSeries {
+    last_busy: Vec<SimTime>,
+    last_at: SimTime,
+    series: Vec<TimeSeries>,
+}
+
+impl CoreUtilSeries {
+    /// Creates a series bank for `cores` cores, with the interval state
+    /// starting at time zero.
+    pub fn new(cores: usize) -> Self {
+        CoreUtilSeries {
+            last_busy: vec![SimTime::ZERO; cores],
+            last_at: SimTime::ZERO,
+            series: (0..cores).map(|_| TimeSeries::new()).collect(),
+        }
+    }
+
+    /// Records one utilization sample per core at `now`. `busy` yields
+    /// each core's cumulative busy time (`Core::busy_total`), in core
+    /// order. Out-of-order or zero-width intervals are skipped.
+    pub fn sample<I>(&mut self, now: SimTime, busy: I)
+    where
+        I: IntoIterator<Item = SimTime>,
+    {
+        if now <= self.last_at {
+            return;
+        }
+        let dt = now.saturating_sub(self.last_at).as_nanos() as f64;
+        for (i, b) in busy.into_iter().enumerate() {
+            if i >= self.series.len() {
+                break;
+            }
+            let db = b.saturating_sub(self.last_busy[i]).as_nanos() as f64;
+            self.series[i].push(now, db / dt);
+            self.last_busy[i] = b;
+        }
+        self.last_at = now;
+    }
+
+    /// Number of cores tracked.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when no cores are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// The utilization series for core `i`.
+    pub fn core(&self, i: usize) -> Option<&TimeSeries> {
+        self.series.get(i)
+    }
+
+    /// All per-core series, in core order.
+    pub fn all(&self) -> &[TimeSeries] {
+        &self.series
+    }
+
+    /// Every sampled value across all cores, in (core, time) order —
+    /// the flat pool the bench report's utilization quantiles digest.
+    pub fn flat_values(&self) -> Vec<f64> {
+        self.series
+            .iter()
+            .flat_map(|ts| ts.samples().iter().map(|&(_, v)| v))
+            .collect()
     }
 }
 
@@ -1004,6 +1091,33 @@ mod tests {
         // Deterministic render.
         assert_eq!(rec.render_text(), rec.render_text());
         assert!(rec.render_text().starts_with("q.depth 1000000 1\n"));
+    }
+
+    #[test]
+    fn core_util_series_tracks_busy_deltas() {
+        let mut u = CoreUtilSeries::new(2);
+        // Interval 1: core 0 busy 50% of 1 ms, core 1 idle.
+        u.sample(
+            SimTime::from_ms(1),
+            [SimTime::from_us(500), SimTime::ZERO],
+        );
+        // Interval 2: core 0 fully busy, core 1 over-committed (work
+        // scheduled ahead books > 1.0).
+        u.sample(
+            SimTime::from_ms(2),
+            [SimTime::from_us(1500), SimTime::from_us(1500)],
+        );
+        // Stale re-sample at the same instant is skipped.
+        u.sample(
+            SimTime::from_ms(2),
+            [SimTime::from_us(9999), SimTime::from_us(9999)],
+        );
+        let c0: Vec<f64> = u.core(0).unwrap().samples().iter().map(|&(_, v)| v).collect();
+        let c1: Vec<f64> = u.core(1).unwrap().samples().iter().map(|&(_, v)| v).collect();
+        assert_eq!(c0, vec![0.5, 1.0]);
+        assert_eq!(c1, vec![0.0, 1.5]);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.flat_values(), vec![0.5, 1.0, 0.0, 1.5]);
     }
 
     #[test]

@@ -116,11 +116,17 @@ impl FastPath {
     fn charge(&self, acct: &mut CycleAccount, module: Module, cycles: u64) -> u64 {
         let instr = cycles * self.costs.ipc_times_100 / 100;
         acct.charge(module, cycles, instr);
+        // Every fast-path cycle flows through this funnel, so the
+        // attribution profiler sees the exact cost the host will run.
+        #[cfg(feature = "profile")]
+        tas_telemetry::profile::charge(cycles);
         cycles
     }
 
     /// Processes one received packet. Returns the cycle cost.
     pub fn rx_segment(&mut self, now: SimTime, seg: Segment, acct: &mut CycleAccount) -> u64 {
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard("rx");
         let mut cycles = self.charge(acct, Module::Driver, self.costs.drv_rx);
         // Exception filter: connection control, unusual flags, fragments,
         // unknown flows — all slow-path work.
@@ -173,6 +179,8 @@ impl FastPath {
         has_payload: bool,
         acct: &mut CycleAccount,
     ) -> u64 {
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard("ack");
         let cost = if has_payload {
             // Piggybacked ACK: the data-path cost covers it.
             30
@@ -273,6 +281,8 @@ impl FastPath {
         seg: Segment,
         acct: &mut CycleAccount,
     ) -> u64 {
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard("data");
         let mut cycles = self.charge(acct, Module::Tcp, self.costs.tcp_rx_data);
         let mut notify_bytes = 0u64;
         {
@@ -420,6 +430,8 @@ impl FastPath {
 
     /// Stages a pure ACK for a flow.
     fn emit_ack(&mut self, now: SimTime, fid: u32, acct: &mut CycleAccount) -> u64 {
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard("ack_tx");
         let cycles = self.charge(acct, Module::Tcp, self.costs.tcp_ack_gen)
             + self.charge(acct, Module::Driver, self.costs.drv_tx);
         let mss = self.mss as u64;
@@ -465,6 +477,8 @@ impl FastPath {
     /// data to a flow's transmit buffer). Returns the cycle cost. The flow
     /// may already be gone (teardown raced the queued command).
     pub fn tx_command(&mut self, now: SimTime, fid: u32, acct: &mut CycleAccount) -> u64 {
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard("tx_cmd");
         let mut cycles = self.charge(acct, Module::Tcp, self.costs.tcp_tx_cmd);
         if self.flows.get(fid).is_some() {
             cycles += self.try_tx(now, fid, acct);
@@ -476,6 +490,8 @@ impl FastPath {
     /// pointer. If the advertised window had collapsed below one MSS, an
     /// explicit window-update ACK un-sticks a blocked sender.
     pub fn rx_bump(&mut self, now: SimTime, fid: u32, acct: &mut CycleAccount) -> u64 {
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard("rx_bump");
         let mut cycles = self.charge(acct, Module::Tcp, self.costs.rx_bump);
         let emit = match self.flows.get_mut(fid) {
             Some(flow) => flow.win_closed && flow.adv_window() >= self.mss as u64,
@@ -499,6 +515,8 @@ impl FastPath {
 
     /// Handles a pacing-timer expiration for a flow.
     pub fn tx_poll(&mut self, now: SimTime, fid: u32, acct: &mut CycleAccount) -> u64 {
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard("tx_poll");
         self.stats.tx_polls += 1;
         if let Some(flow) = self.flows.get_mut(fid) {
             flow.tx_timer_armed = false;
@@ -511,6 +529,8 @@ impl FastPath {
     /// Transmits whatever the rate bucket, congestion window, and peer
     /// window currently allow.
     fn try_tx(&mut self, now: SimTime, fid: u32, acct: &mut CycleAccount) -> u64 {
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard("tx");
         let mut cycles = 0;
         let mut arm_at: Option<SimTime> = None;
         let mut sent_segments = 0u64;
@@ -630,6 +650,8 @@ impl FastPath {
     /// data, nothing in flight, and a shut window (a lost window update
     /// would otherwise deadlock the connection).
     pub fn window_probe(&mut self, now: SimTime, fid: u32, acct: &mut CycleAccount) -> u64 {
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard("probe");
         let cycles = self.charge(acct, Module::Tcp, self.costs.tcp_tx_seg)
             + self.charge(acct, Module::Driver, self.costs.drv_tx);
         let mss = self.mss as u64;
@@ -679,6 +701,8 @@ impl FastPath {
     /// Slow-path-triggered retransmission: reset the flow's sender state
     /// and retransmit from the left window edge.
     pub fn trigger_retransmit(&mut self, now: SimTime, fid: u32, acct: &mut CycleAccount) -> u64 {
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard("rexmit");
         if let Some(flow) = self.flows.get_mut(fid) {
             #[cfg(feature = "trace")]
             trace_fp(

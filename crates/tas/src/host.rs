@@ -30,8 +30,8 @@ use tas_proto::FlowKey;
 use tas_proto::{MacAddr, Segment, TcpFlags};
 use tas_shm::ByteRing;
 use tas_sim::{
-    impl_as_any, Agent, CounterId, Ctx, Event, Registry, Scope, SeriesRecorder, SimTime,
-    TimeSeries, TimerId,
+    impl_as_any, Agent, CoreUtilSeries, CounterId, Ctx, Event, Registry, Scope, SeriesRecorder,
+    SimTime, TimeSeries, TimerId,
 };
 
 /// Timer kinds used by [`TasHost`].
@@ -150,6 +150,12 @@ struct Inner {
     next_context: u16,
     acct: CycleAccount,
     started: bool,
+    /// True when this host's cycles are attributed by the profiler. Only
+    /// the host under measurement is enabled; all others disarm the
+    /// thread-local profiler before running so their work cannot bleed
+    /// into the profiled host's tree.
+    #[cfg(feature = "profile")]
+    prof: bool,
     /// Host-level metric registry.
     reg: Registry,
     c_drop_backlog: CounterId,
@@ -161,6 +167,8 @@ struct Inner {
     util_series: TimeSeries,
     /// Fixed-cadence queue-depth/occupancy sampler (sim-clock grid).
     series: SeriesRecorder,
+    /// Per-fast-path-core utilization, sampled on the same 1 ms grid.
+    fp_util: CoreUtilSeries,
     frame: Frame,
     /// Deferred app events per context (drained by APP_RUN timers). A
     /// cross-component hop must not execute at a future timestamp — that
@@ -178,6 +186,22 @@ struct Inner {
     /// Recycled flush buffers: capacity survives across flushes so the
     /// steady-state drain path never allocates.
     scratch: FlushScratch,
+}
+
+#[cfg(feature = "profile")]
+impl Inner {
+    /// Arms cycle attribution for one of this host's cores — or disarms
+    /// the thread-local profiler when this host is not the one being
+    /// profiled, so its cycles are dropped rather than misattributed.
+    /// Arming also discards charges staged by code whose work was never
+    /// run (see `tas_telemetry::profile::set_core`).
+    fn prof_arm(&self, group: &'static str, idx: u32) {
+        if self.prof {
+            tas_telemetry::profile::set_core(group, idx);
+        } else {
+            tas_telemetry::profile::disarm();
+        }
+    }
 }
 
 #[derive(Default)]
@@ -246,6 +270,7 @@ impl TasHost {
         let sp_core = Core::new(cfg.freq_hz);
         let active_fp = cfg.initial_fp_cores.clamp(1, cfg.max_fp_cores);
         let cfg_app_cores = cfg.app_cores;
+        let cfg_max_fp = cfg.max_fp_cores;
         let mut reg = Registry::new();
         let c_drop_backlog = reg.counter("host.drop_backlog", Scope::Global);
         let c_fp_wakes = reg.counter("host.fp_wakes", Scope::Global);
@@ -267,6 +292,8 @@ impl TasHost {
                 next_context: 0,
                 acct: CycleAccount::new(),
                 started: false,
+                #[cfg(feature = "profile")]
+                prof: false,
                 reg,
                 c_drop_backlog,
                 c_fp_wakes,
@@ -275,6 +302,7 @@ impl TasHost {
                 core_series: TimeSeries::new(),
                 util_series: TimeSeries::new(),
                 series: SeriesRecorder::new(SimTime::from_ms(1)),
+                fp_util: CoreUtilSeries::new(cfg_max_fp),
                 frame: Frame::default(),
                 fp_tx_timers: BTreeMap::new(),
                 scratch: FlushScratch::default(),
@@ -307,6 +335,16 @@ impl TasHost {
     /// The host's IP address.
     pub fn ip(&self) -> Ipv4Addr {
         self.inner.ip
+    }
+
+    /// Opts this host into cycle-attribution profiling: its core runs
+    /// arm the thread-local profiler with `fp<i>`/`sp0`/`app<j>`
+    /// identities. Hosts that were never enabled disarm the profiler
+    /// before running instead, so enabling exactly one host on a thread
+    /// profiles exactly that host.
+    #[cfg(feature = "profile")]
+    pub fn enable_profiling(&mut self) {
+        self.inner.prof = true;
     }
 
     /// Cycle/instruction account (Tables 1–2).
@@ -404,6 +442,13 @@ impl TasHost {
         &self.inner.series
     }
 
+    /// Per-fast-path-core utilization time series on the 1 ms sampling
+    /// grid (the utilization-attribution series the cpuprof bench
+    /// digests into per-core quantiles).
+    pub fn fp_util_series(&self) -> &CoreUtilSeries {
+        &self.inner.fp_util
+    }
+
     /// Number of installed fast-path flows.
     pub fn flow_count(&self) -> usize {
         self.inner.fp.flows.len()
@@ -461,6 +506,26 @@ impl TasHost {
     pub fn app_busy(&self) -> Vec<tas_sim::SimTime> {
         (0..self.inner.app_cores.len())
             .map(|i| self.inner.app_cores.core_ref(i).busy_total())
+            .collect()
+    }
+
+    /// Exact cycles submitted per fast-path core since creation (the
+    /// integer ground truth the attribution profiler conserves against).
+    pub fn fp_busy_cycles(&self) -> Vec<u64> {
+        (0..self.inner.fp_cores.len())
+            .map(|i| self.inner.fp_cores.core_ref(i).busy_cycles())
+            .collect()
+    }
+
+    /// Exact cycles submitted to the slow-path core since creation.
+    pub fn sp_busy_cycles(&self) -> u64 {
+        self.inner.sp_core.busy_cycles()
+    }
+
+    /// Exact cycles submitted per app core since creation.
+    pub fn app_busy_cycles(&self) -> Vec<u64> {
+        (0..self.inner.app_cores.len())
+            .map(|i| self.inner.app_cores.core_ref(i).busy_cycles())
             .collect()
     }
 
@@ -530,6 +595,8 @@ impl TasHost {
     ) -> (SimTime, SimTime) {
         let inner = &mut self.inner;
         let core_idx = core_idx.min(inner.active_fp.saturating_sub(1));
+        #[cfg(feature = "profile")]
+        inner.prof_arm("fp", core_idx as u32);
         let mut t_eff = t;
         let mut wake_extra = 0;
         {
@@ -552,6 +619,20 @@ impl TasHost {
         cycles += extra_cycles + wake_extra;
         if wake_extra > 0 {
             inner.acct.charge(Module::Other, wake_extra, wake_extra / 2);
+        }
+        // Host-level costs bypass the fast path's charge funnel; stage
+        // them under their own frames so the core-run drain below
+        // attributes them instead of leaving an anonymous residual.
+        #[cfg(feature = "profile")]
+        {
+            if extra_cycles > 0 {
+                let _g = tas_telemetry::profile::guard("cache_stall");
+                tas_telemetry::profile::charge(extra_cycles);
+            }
+            if wake_extra > 0 {
+                let _g = tas_telemetry::profile::guard("wake");
+                tas_telemetry::profile::charge(wake_extra);
+            }
         }
         let (_, end) = inner.fp_cores.core(core_idx).run(t_eff, cycles);
         self.flush_fp(end, start.saturating_sub(t), ctx);
@@ -665,6 +746,8 @@ impl TasHost {
         #[cfg(feature = "trace")]
         let stamp = (seg.flow_key().reversed(), seg.tcp.seq, seg.payload.len() as u32);
         let inner = &mut self.inner;
+        #[cfg(feature = "profile")]
+        inner.prof_arm("sp", 0);
         let cycles = inner.sp.on_exception(
             start,
             seg,
@@ -694,9 +777,19 @@ impl TasHost {
         // on its app core, then the slow path answers with SYN-ACK.
         if inner.sp.has_pending_accepts() {
             let app_cost = inner.cfg.costs.so_conn_op + inner.cfg.costs.so_poll;
+            // Re-arming onto the app core also discards the charges the
+            // handshake-ACK's discarded fast-path estimate staged above.
+            #[cfg(feature = "profile")]
+            {
+                inner.prof_arm("app", accept_ctx as u32);
+                let _g = tas_telemetry::profile::guard("accept");
+                tas_telemetry::profile::charge(app_cost);
+            }
             let (_, app_end) = inner.app_cores.core(accept_ctx as usize).run(end, app_cost);
             inner.acct.charge(Module::Api, app_cost, app_cost);
             let start2 = app_end.max(inner.sp_core.busy_until());
+            #[cfg(feature = "profile")]
+            inner.prof_arm("sp", 0);
             inner.sp.accept_pending(start2, &mut inner.acct);
             let cost2 = inner.cfg.costs.sp_conn_op;
             inner.sp_core.run(app_end, cost2);
@@ -712,6 +805,8 @@ impl TasHost {
     ) -> T {
         let start = t.max(self.inner.sp_core.busy_until());
         let inner = &mut self.inner;
+        #[cfg(feature = "profile")]
+        inner.prof_arm("sp", 0);
         let (cycles, ret) = f(&mut inner.sp, &mut inner.fp, start, &mut inner.acct);
         #[cfg(any(test, debug_assertions, feature = "audit"))]
         crate::audit::check_fastpath(&inner.fp, start);
@@ -930,6 +1025,22 @@ impl TasHost {
         self.inner
             .acct
             .charge(Module::App, frame.app_cycles, frame.app_cycles * 120 / 100);
+        // Application frames charge through the account, not a profiled
+        // funnel; stage the API/handler split explicitly so the app-core
+        // drain attributes it.
+        #[cfg(feature = "profile")]
+        {
+            self.inner.prof_arm("app", frame.context as u32);
+            let _g = tas_telemetry::profile::guard("app");
+            if frame.api_cycles > 0 {
+                let _g2 = tas_telemetry::profile::guard("api");
+                tas_telemetry::profile::charge(frame.api_cycles);
+            }
+            if frame.app_cycles > 0 {
+                let _g2 = tas_telemetry::profile::guard("work");
+                tas_telemetry::profile::charge(frame.app_cycles);
+            }
+        }
         let (_, end) = self
             .inner
             .app_cores
@@ -1044,6 +1155,11 @@ impl TasHost {
         inner
             .series
             .record("sp.queue_depth", inner.sp_q.len() as f64);
+        let tick = inner.series.current_tick();
+        let busy: Vec<SimTime> = (0..inner.fp_cores.len())
+            .map(|i| inner.fp_cores.core_ref(i).busy_total())
+            .collect();
+        inner.fp_util.sample(tick, busy);
     }
 
     fn ensure_started(&mut self, ctx: &mut Ctx<'_, NetMsg>) {

@@ -218,6 +218,8 @@ impl SlowPath {
         // Slow-path work bills as "Other" stack cycles (it runs on its own
         // partially-used core; Table 6 counts it there).
         acct.charge(Module::Other, cycles, cycles);
+        #[cfg(feature = "profile")]
+        tas_telemetry::profile::charge(cycles);
         cycles
     }
 
@@ -250,6 +252,8 @@ impl SlowPath {
         iss: u32,
         acct: &mut CycleAccount,
     ) -> u64 {
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard("connect");
         let cycles = self.charge(acct, 900);
         let local_port = self.alloc_port();
         let key = FlowKey::new(self.local_ip, local_port, peer_ip, peer_port);
@@ -400,6 +404,8 @@ impl SlowPath {
         fp: &mut FastPath,
         acct: &mut CycleAccount,
     ) -> u64 {
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard("close");
         let cycles = self.charge(acct, 700);
         let drained = {
             let Some(flow) = fp.flows.get_mut(fid) else {
@@ -510,6 +516,8 @@ impl SlowPath {
         context_for_accept: u16,
         acct: &mut CycleAccount,
     ) -> u64 {
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard("exception");
         self.stats.exceptions += 1;
         let cycles = self.charge(acct, 900);
         let key = seg.flow_key();
@@ -754,6 +762,8 @@ impl SlowPath {
     /// connection (identified by listen port). Returns the number of
     /// handshakes answered.
     pub fn accept_pending(&mut self, now: SimTime, acct: &mut CycleAccount) -> usize {
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard("accept");
         self.charge(acct, 900);
         let keys: Vec<FlowKey> = self
             .handshakes
@@ -801,6 +811,13 @@ impl SlowPath {
         };
         self.last_loop = now;
         let interval_secs = effective.as_secs_f64();
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard("control");
+        // Fast-path work driven from this loop charges itself through
+        // `FastPath::charge`; track it so the trailing bulk charge below
+        // can profile only the loop's own cycles.
+        #[cfg(feature = "profile")]
+        let mut fp_cycles = 0u64;
         let mut cycles = self.charge(acct, 300);
         let mut rexmit: Vec<u32> = Vec::new();
         let mut probe: Vec<u32> = Vec::new();
@@ -885,14 +902,29 @@ impl SlowPath {
             fp.set_rate(fid, bps, burst, now);
             // A rate increase may unblock a paced flow immediately (the
             // armed pacing timer, if any, remains valid).
-            cycles += fp.poke_tx(now, fid, acct);
+            let c = fp.poke_tx(now, fid, acct);
+            #[cfg(feature = "profile")]
+            {
+                fp_cycles += c;
+            }
+            cycles += c;
         }
         for fid in rexmit {
             self.stats.timeout_rexmits += 1;
-            cycles += fp.trigger_retransmit(now, fid, acct);
+            let c = fp.trigger_retransmit(now, fid, acct);
+            #[cfg(feature = "profile")]
+            {
+                fp_cycles += c;
+            }
+            cycles += c;
         }
         for fid in probe {
-            cycles += fp.window_probe(now, fid, acct);
+            let c = fp.window_probe(now, fid, acct);
+            #[cfg(feature = "profile")]
+            {
+                fp_cycles += c;
+            }
+            cycles += c;
         }
         for fid in to_close {
             self.start_teardown(now, fid, fp);
@@ -1002,7 +1034,17 @@ impl SlowPath {
                 .events
                 .push(SpAppEvent::CloseDone { opaque: td.opaque });
         }
-        self.charge(acct, cycles.saturating_sub(300));
+        // The bulk charge keeps the historical account total (which
+        // double-bills fp-driven work into "Other"); the profiler sees
+        // only the loop's own cycles — the fp portion already queued
+        // itself through `FastPath::charge` under its own frames.
+        acct.charge(
+            Module::Other,
+            cycles.saturating_sub(300),
+            cycles.saturating_sub(300),
+        );
+        #[cfg(feature = "profile")]
+        tas_telemetry::profile::charge(cycles.saturating_sub(300).saturating_sub(fp_cycles));
         cycles
     }
 

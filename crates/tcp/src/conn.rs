@@ -722,6 +722,8 @@ impl TcpConn {
     /// also emits window updates after the application drained a full
     /// receive buffer. Call after `send`, `recv`, `on_segment`, `on_timer`.
     pub fn poll(&mut self, now: SimTime) {
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard("tcp_tx");
         self.trace_mark(now);
         self.trace_state_sync();
         if matches!(
@@ -858,6 +860,8 @@ impl TcpConn {
 
     /// Processes timer expirations at `now`.
     pub fn on_timer(&mut self, now: SimTime) {
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard("tcp_timer");
         self.trace_mark(now);
         if let Some(tw) = self.time_wait_deadline {
             if now >= tw {
@@ -910,7 +914,11 @@ impl TcpConn {
                     self.rtt.backoff();
                     self.stats.timeouts += 1;
                     self.trace_rexmit("timeout", self.seq_of(self.una_off));
-                    self.cc.on_timeout();
+                    {
+                        #[cfg(feature = "profile")]
+                        let _cc = tas_telemetry::profile::guard(self.cc.name());
+                        self.cc.on_timeout();
+                    }
                     self.nxt_off = self.una_off;
                     self.in_recovery = false;
                     self.dupacks = 0;
@@ -936,6 +944,8 @@ impl TcpConn {
 
     /// Processes one received segment addressed to this connection.
     pub fn on_segment(&mut self, now: SimTime, seg: Segment) {
+        #[cfg(feature = "profile")]
+        let _prof = tas_telemetry::profile::guard("tcp_rx");
         self.trace_mark(now);
         self.trace_seg(true, &seg);
         self.stats.segs_in += 1;
@@ -1076,12 +1086,16 @@ impl TcpConn {
                     }
                 }
             };
-            self.cc.on_ack(AckInfo {
-                acked: payload_acked as u32,
-                ece: cc_ece,
-                now,
-                srtt: self.rtt.srtt(),
-            });
+            {
+                #[cfg(feature = "profile")]
+                let _cc = tas_telemetry::profile::guard(self.cc.name());
+                self.cc.on_ack(AckInfo {
+                    acked: payload_acked as u32,
+                    ece: cc_ece,
+                    now,
+                    srtt: self.rtt.srtt(),
+                });
+            }
             // Recovery bookkeeping.
             if self.in_recovery {
                 if self.una_off >= self.recover_off {
@@ -1109,6 +1123,8 @@ impl TcpConn {
             self.stats.dupacks_in += 1;
             self.dupacks += 1;
             if ece {
+                #[cfg(feature = "profile")]
+                let _cc = tas_telemetry::profile::guard(self.cc.name());
                 self.cc.on_ack(AckInfo {
                     acked: 0,
                     ece,
@@ -1122,7 +1138,11 @@ impl TcpConn {
                 self.recovery_cursor_off = self.una_off + self.cfg.mss as u64;
                 self.stats.fast_retransmits += 1;
                 self.trace_rexmit("fast", self.seq_of(self.una_off));
-                self.cc.on_fast_retransmit();
+                {
+                    #[cfg(feature = "profile")]
+                    let _cc = tas_telemetry::profile::guard(self.cc.name());
+                    self.cc.on_fast_retransmit();
+                }
                 self.retransmit_head(now);
             } else if self.in_recovery && self.dupacks > 3 && self.cfg.keep_ooo {
                 // SACK-guided recovery: retransmit only the hole between

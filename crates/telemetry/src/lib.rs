@@ -37,6 +37,7 @@
 //! ```
 
 pub mod pcap;
+pub mod profile;
 pub mod spans;
 
 pub use spans::Stage;
