@@ -11,11 +11,19 @@
 //! * [`ThreadModel::SplitBatched`] (mTCP): dedicated stack cores; events
 //!   cross to app cores in batches (flushed on size or timeout), buying
 //!   throughput at a latency cost.
+//! * [`ThreadModel::MpkDataplane`] (MPK-protected dataplane): Linux-grade
+//!   packet processing runs to completion on the app's cores inside an
+//!   intra-process protection domain; every app↔stack interaction pays a
+//!   WRPKRU-scale crossing instead of a syscall.
+//! * [`ThreadModel::OffPathNic`] (PnO-style SmartNIC): the whole TCP
+//!   stack runs on wimpy NIC-resident cores ([`CoreClass::Nic`]); host
+//!   cores only run the app and a descriptor shim, and every app↔NIC
+//!   interaction crosses the modeled PCIe/DMA boundary.
 
 use crate::profiles::StackProfile;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
-use tas_cpusim::{CacheModel, CorePool, CycleAccount, Module};
+use tas_cpusim::{CacheModel, CoreClass, CorePool, Crossing, CycleAccount, Module, PcieModel};
 use tas_netsim::app::{App, AppEvent, SockId, StackApi};
 use tas_netsim::rss::hash_tuple;
 use tas_netsim::{HostNic, NetMsg, NicConfig};
@@ -41,6 +49,28 @@ pub enum ThreadModel {
         batch: usize,
         /// Maximum time events wait before a flush.
         flush: SimTime,
+    },
+    /// Intra-process MPK-protected dataplane: run-to-completion on app
+    /// cores with per-core partitioned state, but every app↔stack
+    /// boundary interaction pays `crossing` (a WRPKRU pair) instead of
+    /// the syscall cost baked into the Linux API constants.
+    MpkDataplane {
+        /// Cost of one protected-domain crossing.
+        crossing: Crossing,
+    },
+    /// Off-path SmartNIC (PnO-style): cores `0..nic_cores` are wimpy
+    /// NIC-class cores running the entire TCP stack; the remaining
+    /// cores are host-class and run only the app plus a descriptor
+    /// shim. Every app↔NIC interaction pays the PCIe/DMA boundary
+    /// (one-way descriptor latency, payload serialization, amortized
+    /// doorbells).
+    OffPathNic {
+        /// Cores dedicated to the on-NIC stack (out of the host total).
+        nic_cores: usize,
+        /// NIC core clock; host cores keep the config's `freq_hz`.
+        nic_freq_hz: u64,
+        /// The modeled PCIe/DMA boundary.
+        pcie: PcieModel,
     },
 }
 
@@ -105,6 +135,32 @@ impl StackHostConfig {
         cfg.tcp.rto_min = SimTime::from_ms(10);
         cfg
     }
+
+    /// An MPK-protected-dataplane host: Linux-grade packet processing in
+    /// an intra-process protection domain, crossed via WRPKRU.
+    pub fn mpk(cores: usize) -> Self {
+        let mut cfg = StackHostConfig::linux(cores);
+        cfg.model = ThreadModel::MpkDataplane {
+            crossing: Crossing::wrpkru(),
+        };
+        cfg
+    }
+
+    /// A PnO-style off-path SmartNIC host: `nic_cores` wimpy 800 MHz
+    /// NIC cores run the stack behind a PCIe Gen3 x8 boundary;
+    /// `host_cores` host cores run the app. The effective cache is the
+    /// SmartNIC's small last-level cache (BlueField-class, ~6 MB),
+    /// partitioned across the NIC cores.
+    pub fn pno(host_cores: usize, nic_cores: usize) -> Self {
+        let mut cfg = StackHostConfig::linux(host_cores + nic_cores);
+        cfg.model = ThreadModel::OffPathNic {
+            nic_cores,
+            nic_freq_hz: 800_000_000,
+            pcie: PcieModel::gen3_x8(),
+        };
+        cfg.cache_bytes = 6 << 20;
+        cfg
+    }
 }
 
 /// Timer kinds.
@@ -126,6 +182,10 @@ pub mod timers {
 /// Diagnostic snapshot row from [`StackHost::dump_conns`]; see
 /// [`TcpConn::debug_state`](tas_tcp::TcpConn::debug_state) for fields.
 pub type ConnDebug = (u64, u64, u64, u32, u64, bool, u32, u64, usize, usize);
+
+/// Descriptor size DMA'd per app↔NIC notification/command (a cache line,
+/// as real NIC descriptor rings use).
+const EVENT_DESC_BYTES: u64 = 64;
 
 struct Slot {
     conn: TcpConn,
@@ -163,6 +223,12 @@ struct Frame {
     now: SimTime,
     api_cycles: u64,
     app_cycles: u64,
+    /// Domain crossings this frame performed (activation entry plus one
+    /// per API call); priced by the thread model's boundary primitive.
+    crossings: u64,
+    /// Payload bytes the frame moved across the app↔stack boundary
+    /// (DMA-serialized for the off-path model).
+    dma_bytes: u64,
     ops: Vec<ApiOp>,
 }
 
@@ -199,6 +265,11 @@ struct Inner {
     c_closed: CounterId,
     c_batches: CounterId,
     c_app_bytes: CounterId,
+    /// Domain crossings charged at the boundary primitive's cost (only
+    /// advances for the MPK/off-path models; zero elsewhere).
+    c_crossings: CounterId,
+    /// Payload bytes serialized across the PCIe/DMA boundary.
+    c_dma_bytes: CounterId,
     /// TCP counters folded in from connections whose slots were dropped
     /// (so telemetry keeps the full-run totals, not just live conns).
     tcp_cum: tas_tcp::ConnStats,
@@ -255,9 +326,25 @@ impl StackHost {
                 "mTCP model needs 1..cores stack cores"
             );
         }
+        if let ThreadModel::OffPathNic { nic_cores, .. } = cfg.model {
+            assert!(
+                nic_cores >= 1 && nic_cores < cfg.cores,
+                "off-path model needs 1..cores NIC cores"
+            );
+        }
         nic_cfg.rx_queues = cfg.cores;
         let nic = HostNic::new(mac, nic_cfg, uplink);
-        let cores = CorePool::new(cfg.cores, cfg.freq_hz);
+        let cores = match cfg.model {
+            ThreadModel::OffPathNic {
+                nic_cores,
+                nic_freq_hz,
+                ..
+            } => CorePool::heterogeneous(&[
+                (CoreClass::Nic, nic_cores, nic_freq_hz),
+                (CoreClass::Host, cfg.cores - nic_cores, cfg.freq_hz),
+            ]),
+            _ => CorePool::new(cfg.cores, cfg.freq_hz),
+        };
         let app_core_count = cfg.cores;
         let mut reg = Registry::new();
         let c_drop_backlog = reg.counter("host.drop_backlog", Scope::Global);
@@ -265,6 +352,8 @@ impl StackHost {
         let c_closed = reg.counter("host.closed", Scope::Global);
         let c_batches = reg.counter("host.batches", Scope::Global);
         let c_app_bytes = reg.counter("app.bytes_delivered", Scope::Global);
+        let c_crossings = reg.counter("boundary.crossings", Scope::Global);
+        let c_dma_bytes = reg.counter("boundary.dma_bytes", Scope::Global);
         StackHost {
             inner: Inner {
                 profile,
@@ -292,6 +381,8 @@ impl StackHost {
                 c_closed,
                 c_batches,
                 c_app_bytes,
+                c_crossings,
+                c_dma_bytes,
                 tcp_cum: tas_tcp::ConnStats::default(),
                 series: SeriesRecorder::new(SimTime::from_ms(1)),
                 core_util: CoreUtilSeries::new(app_core_count),
@@ -349,6 +440,21 @@ impl StackHost {
         (0..self.inner.cores.len())
             .map(|i| self.inner.cores.core_ref(i).busy_cycles())
             .collect()
+    }
+
+    /// Silicon class of each core, in core order (all host-class except
+    /// under the off-path model, whose NIC cores come first).
+    pub fn core_classes(&self) -> Vec<CoreClass> {
+        (0..self.inner.cores.len())
+            .map(|i| self.inner.cores.class(i))
+            .collect()
+    }
+
+    /// Total cycles submitted to cores of `class` — the off-path
+    /// model's headline currency is *host*-class cycles per request
+    /// (NIC-core cycles are the SmartNIC's, not the server's).
+    pub fn busy_cycles_by_class(&self, class: CoreClass) -> u64 {
+        self.inner.cores.busy_cycles_by_class(class)
     }
 
     /// Mutable account access.
@@ -476,7 +582,37 @@ impl StackHost {
     fn stack_core_count(inner: &Inner) -> usize {
         match inner.cfg.model {
             ThreadModel::SplitBatched { stack_cores, .. } => stack_cores,
+            ThreadModel::OffPathNic { nic_cores, .. } => nic_cores,
             _ => inner.cfg.cores,
+        }
+    }
+
+    /// First core the application may run on (app cores sit above the
+    /// NIC cores in the off-path layout; elsewhere core 0 is fine).
+    fn first_app_core(inner: &Inner) -> usize {
+        match inner.cfg.model {
+            ThreadModel::OffPathNic { nic_cores, .. } => nic_cores,
+            _ => 0,
+        }
+    }
+
+    /// Cycles one app↔stack boundary crossing costs under this thread
+    /// model (zero where the cost is already folded into API constants).
+    fn crossing_cycles(inner: &Inner) -> u64 {
+        match inner.cfg.model {
+            ThreadModel::MpkDataplane { crossing } => crossing.cycles,
+            ThreadModel::OffPathNic { pcie, .. } => pcie.doorbell_amortized(),
+            _ => 0,
+        }
+    }
+
+    /// Profiler frame name for this model's boundary primitive.
+    #[cfg(feature = "profile")]
+    fn crossing_label(inner: &Inner) -> &'static str {
+        match inner.cfg.model {
+            ThreadModel::MpkDataplane { crossing } => crossing.kind.label(),
+            ThreadModel::OffPathNic { pcie, .. } => pcie.doorbell.kind.label(),
+            _ => "ctxsw",
         }
     }
 
@@ -484,6 +620,9 @@ impl StackHost {
         match inner.cfg.model {
             ThreadModel::SplitBatched { stack_cores, .. } => {
                 stack_cores + (slot as usize % (inner.cfg.cores - stack_cores))
+            }
+            ThreadModel::OffPathNic { nic_cores, .. } => {
+                nic_cores + (slot as usize % (inner.cfg.cores - nic_cores))
             }
             _ => Self::stack_core_of(inner, slot),
         }
@@ -732,6 +871,12 @@ impl StackHost {
                     ctx.timer_at(t + flush, timers::BATCH, app_core as u64);
                 }
             }
+            ThreadModel::OffPathNic { pcie, .. } => {
+                // NIC→host notification: the event descriptor DMAs
+                // across the PCIe boundary before the app can see it.
+                let core = Self::app_core_of(&self.inner, slot);
+                self.defer_app(t + pcie.one_way(EVENT_DESC_BYTES), core, ev, ctx);
+            }
             _ => {
                 let core = Self::app_core_of(&self.inner, slot);
                 self.defer_app(t, core, ev, ctx);
@@ -767,6 +912,9 @@ impl StackHost {
             now: t,
             api_cycles: self.inner.profile.api_poll,
             app_cycles: 0,
+            // The activation itself enters the app's domain once.
+            crossings: 1,
+            dma_bytes: 0,
             ops: Vec::new(),
         };
         let mut app = self.app.take().expect("app present (no nested delivery)");
@@ -790,33 +938,64 @@ impl StackHost {
         self.inner
             .acct
             .charge(Module::App, frame.app_cycles, frame.app_cycles * 120 / 100);
-        let total = frame.api_cycles + frame.app_cycles;
+        // Boundary crossings: WRPKRU flips or amortized doorbells, paid
+        // on the app core. Pipeline-serializing, so no retired
+        // instructions — the same convention as cache/contention stalls.
+        let boundary = frame.crossings * Self::crossing_cycles(&self.inner);
+        if boundary > 0 {
+            self.inner.acct.charge(Module::Api, boundary, 0);
+            let id = self.inner.c_crossings;
+            self.inner.reg.add(id, frame.crossings);
+        }
+        if frame.dma_bytes > 0 {
+            if let ThreadModel::OffPathNic { .. } = self.inner.cfg.model {
+                let id = self.inner.c_dma_bytes;
+                self.inner.reg.add(id, frame.dma_bytes);
+            }
+        }
+        let total = frame.api_cycles + frame.app_cycles + boundary;
         // Application frames charge through the account, not a profiled
-        // funnel; stage the API/handler split explicitly so the core-run
-        // drain attributes it.
+        // funnel; stage the API/handler/boundary split explicitly so the
+        // core-run drain attributes it.
         #[cfg(feature = "profile")]
         {
             self.inner.prof_arm(frame.core as u32);
-            let _g = tas_telemetry::profile::guard("app");
-            if frame.api_cycles > 0 {
-                let _g2 = tas_telemetry::profile::guard("api");
-                tas_telemetry::profile::charge(frame.api_cycles);
+            {
+                let _g = tas_telemetry::profile::guard("app");
+                if frame.api_cycles > 0 {
+                    let _g2 = tas_telemetry::profile::guard("api");
+                    tas_telemetry::profile::charge(frame.api_cycles);
+                }
+                if frame.app_cycles > 0 {
+                    let _g2 = tas_telemetry::profile::guard("work");
+                    tas_telemetry::profile::charge(frame.app_cycles);
+                }
             }
-            if frame.app_cycles > 0 {
-                let _g2 = tas_telemetry::profile::guard("work");
-                tas_telemetry::profile::charge(frame.app_cycles);
+            if boundary > 0 {
+                let _g = tas_telemetry::profile::guard("boundary");
+                let _g2 = tas_telemetry::profile::guard(Self::crossing_label(&self.inner));
+                tas_telemetry::profile::charge(boundary);
             }
         }
         let (_, end) = self.inner.cores.core(frame.core).run(t, total);
+        // Host→stack commands: under the off-path model the command
+        // descriptor (plus any payload the frame staged) must DMA across
+        // the PCIe boundary before the NIC-side stack can act on it.
+        let cmd_at = match self.inner.cfg.model {
+            ThreadModel::OffPathNic { pcie, .. } => {
+                end + pcie.one_way(EVENT_DESC_BYTES + frame.dma_bytes)
+            }
+            _ => end,
+        };
         for op in frame.ops {
             match op {
                 ApiOp::Touch(slot) => {
                     self.inner.cmd_q.push_back(ConnCmd::Touch(slot));
-                    ctx.timer_at(end, timers::CONN_CMD, 0);
+                    ctx.timer_at(cmd_at, timers::CONN_CMD, 0);
                 }
                 ApiOp::Connect { slot } => {
                     self.inner.cmd_q.push_back(ConnCmd::Connect(slot));
-                    ctx.timer_at(end, timers::CONN_CMD, 0);
+                    ctx.timer_at(cmd_at, timers::CONN_CMD, 0);
                 }
                 ApiOp::Timer { delay, token } => {
                     let data = ((frame.core as u64) << 48) | (token & 0xFFFF_FFFF_FFFF);
@@ -837,10 +1016,12 @@ impl StackHost {
         self.inner.started = true;
         let t = ctx.now();
         self.inner.frame = Frame {
-            core: 0,
+            core: Self::first_app_core(&self.inner),
             now: t,
             api_cycles: 0,
             app_cycles: 0,
+            crossings: 1,
+            dma_bytes: 0,
             ops: Vec::new(),
         };
         let mut app = self.app.take().expect("app present");
@@ -1018,11 +1199,13 @@ impl StackApi for Api<'_, '_> {
 
     fn listen(&mut self, port: u16) {
         self.inner.frame.api_cycles += self.inner.profile.api_conn;
+        self.inner.frame.crossings += 1;
         self.inner.listeners.insert(port, ());
     }
 
     fn connect(&mut self, ip: Ipv4Addr, port: u16) -> SockId {
         self.inner.frame.api_cycles += self.inner.profile.api_conn;
+        self.inner.frame.crossings += 1;
         let local_port = self.inner.next_port;
         self.inner.next_port = self.inner.next_port.checked_add(1).unwrap_or(40_000);
         let local = EndpointInfo {
@@ -1051,6 +1234,7 @@ impl StackApi for Api<'_, '_> {
 
     fn send(&mut self, sock: SockId, data: &[u8]) -> usize {
         self.inner.frame.api_cycles += self.inner.profile.api_send;
+        self.inner.frame.crossings += 1;
         let Some(s) = self
             .inner
             .slots
@@ -1064,6 +1248,7 @@ impl StackApi for Api<'_, '_> {
             s.want_write = true;
         }
         if n > 0 {
+            self.inner.frame.dma_bytes += n as u64;
             self.inner.frame.ops.push(ApiOp::Touch(sock));
         }
         n
@@ -1071,6 +1256,7 @@ impl StackApi for Api<'_, '_> {
 
     fn recv(&mut self, sock: SockId, max: usize) -> Vec<u8> {
         self.inner.frame.api_cycles += self.inner.profile.api_recv;
+        self.inner.frame.crossings += 1;
         let Some(s) = self
             .inner
             .slots
@@ -1083,6 +1269,7 @@ impl StackApi for Api<'_, '_> {
         s.rx_notified = false;
         if !out.is_empty() {
             self.inner.reg.add(self.inner.c_app_bytes, out.len() as u64);
+            self.inner.frame.dma_bytes += out.len() as u64;
             self.inner.frame.ops.push(ApiOp::Touch(sock));
         }
         out
@@ -1099,6 +1286,7 @@ impl StackApi for Api<'_, '_> {
 
     fn close(&mut self, sock: SockId) {
         self.inner.frame.api_cycles += self.inner.profile.api_conn;
+        self.inner.frame.crossings += 1;
         if let Some(s) = self
             .inner
             .slots
@@ -1119,9 +1307,16 @@ impl StackApi for Api<'_, '_> {
     }
 
     fn post(&mut self, context: u16, token: u64) {
-        // Inter-thread queue hop (pthread queue + wakeup).
+        // Inter-thread queue hop (pthread queue + wakeup). App threads
+        // only exist on app cores, so off-path hosts map the context
+        // into the host-core range above the NIC cores.
         self.inner.frame.api_cycles += 180;
-        let context = (context as usize % self.inner.cfg.cores) as u16;
+        let context = match self.inner.cfg.model {
+            ThreadModel::OffPathNic { nic_cores, .. } => {
+                (nic_cores + context as usize % (self.inner.cfg.cores - nic_cores)) as u16
+            }
+            _ => (context as usize % self.inner.cfg.cores) as u16,
+        };
         self.inner.frame.ops.push(ApiOp::Post { context, token });
     }
 }
@@ -1142,7 +1337,8 @@ impl Agent<NetMsg> for StackHost {
                 ..
             } => {
                 let now = ctx.now();
-                self.deliver_app(now, 0, AppEvent::Ctl { kind, a, b }, ctx);
+                let core = Self::first_app_core(&self.inner);
+                self.deliver_app(now, core, AppEvent::Ctl { kind, a, b }, ctx);
             }
             Event::Timer { kind, data } => {
                 let now = ctx.now();

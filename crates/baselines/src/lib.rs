@@ -17,6 +17,19 @@
 //!   cores; batching amortizes per-event cost at a latency price (the
 //!   effect behind Fig. 6, Fig. 10 and Table 8).
 //!
+//! Two design-space models extend the comparison beyond the paper's
+//! contemporaries (ROADMAP item 5):
+//!
+//! * **MPK dataplane** ([`profiles::mpk`]): Linux-grade packet
+//!   processing in an intra-process protection domain — syscall-class
+//!   API crossings become WRPKRU-scale lightweight activations
+//!   ([`tas_cpusim::Crossing`]), state is partitioned per core.
+//! * **PnO off-path SmartNIC** ([`profiles::pno`]): the whole TCP stack
+//!   on wimpy NIC-class cores ([`tas_cpusim::CoreClass::Nic`]); host
+//!   cores run only the app and a descriptor shim, and every app↔NIC
+//!   interaction pays the modeled PCIe/DMA boundary
+//!   ([`tas_cpusim::PcieModel`]).
+//!
 //! All three run the same [`App`](tas_netsim::app::App) implementations as
 //! TAS, and the per-module cycle costs are calibrated against the paper's
 //! Tables 1–2 (the *shape* of every scaling curve then comes from the

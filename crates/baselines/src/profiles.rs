@@ -193,6 +193,58 @@ pub fn mtcp() -> StackProfile {
     }
 }
 
+/// The MPK-protected dataplane model ("Protected Data Plane OS Using
+/// Memory Protection Keys"): the packet-processing code is Linux-grade —
+/// same per-packet module costs, same kilobyte-scale connection state —
+/// but it runs inside an intra-process protection domain, so the
+/// syscall-entry component (~a [`tas_cpusim::Crossing::context_switch`]
+/// per call) drops out of every API constant and is replaced by the
+/// WRPKRU crossing the thread model charges explicitly. State is
+/// partitioned per core, leaving only an atomic-handoff residue of the
+/// Linux contention cost.
+pub fn mpk() -> StackProfile {
+    let l = linux();
+    let ctxsw = tas_cpusim::Crossing::context_switch().cycles;
+    StackProfile {
+        name: "mpk",
+        api_poll: l.api_poll - ctxsw,
+        api_recv: l.api_recv - ctxsw,
+        api_send: l.api_send - ctxsw,
+        api_conn: l.api_conn - 2 * ctxsw, // connect/accept enter twice
+        partitioned_state: true,
+        contention: ContentionModel::new(60.0, 30.0),
+        ..l
+    }
+}
+
+/// The PnO-style off-path SmartNIC model ("Plug & Offload"): a lean
+/// user-level TCP stack (mTCP-class per-packet costs) runs entirely on
+/// the NIC's wimpy cores, so host-side API constants shrink to a
+/// descriptor shim (post/poll a DMA ring, copy payload). The price is
+/// paid elsewhere: NIC cores clock ~2.6x slower and every interaction
+/// crosses the PCIe boundary the thread model charges.
+pub fn pno() -> StackProfile {
+    let m = mtcp();
+    StackProfile {
+        name: "pno",
+        // Slightly above mTCP's TCP costs: the offload firmware carries
+        // extra descriptor/DMA bookkeeping per segment.
+        rx_data: PktCost { tcp: 620, ..m.rx_data },
+        rx_ack: PktCost { tcp: 270, ..m.rx_ack },
+        tx_data: PktCost { tcp: 560, ..m.tx_data },
+        tx_ack: PktCost { tcp: 290, ..m.tx_ack },
+        api_poll: 150,
+        api_recv: 250,
+        api_send: 300,
+        api_conn: 1200,
+        ipc_times_100: 95, // in-order-ish ARM cores.
+        miss_penalty: 300.0, // NIC DRAM is slower than host DDR.
+        partitioned_state: true,
+        contention: ContentionModel::none(),
+        ..m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +294,38 @@ mod tests {
         };
         assert!(per_req(&l) > per_req(&m), "linux > mtcp");
         assert!(per_req(&m) > per_req(&i), "mtcp > ix");
+    }
+
+    #[test]
+    fn mpk_is_linux_minus_the_kernel_entry() {
+        let l = linux();
+        let m = mpk();
+        // Identical packet-processing costs (the dataplane code is the
+        // same); only the API boundary got cheaper.
+        assert_eq!(m.rx_data.total(), l.rx_data.total());
+        assert_eq!(m.tx_data.total(), l.tx_data.total());
+        assert_eq!(m.conn_state_bytes, l.conn_state_bytes);
+        assert!(m.api_recv < l.api_recv);
+        assert!(m.api_send < l.api_send);
+        assert!(m.partitioned_state);
+        // Even with the explicit WRPKRU crossing added back, an API
+        // call stays far below the syscall version.
+        let wrpkru = tas_cpusim::Crossing::wrpkru().cycles;
+        assert!(m.api_send + wrpkru < l.api_send);
+    }
+
+    #[test]
+    fn pno_host_api_is_a_thin_shim() {
+        let p = pno();
+        let l = linux();
+        // Host-side per-request API work is an order below Linux.
+        let shim = p.api_poll + p.api_recv + p.api_send;
+        let sockets = l.api_poll + l.api_recv + l.api_send;
+        assert!(shim * 10 < sockets, "{shim} vs {sockets}");
+        // NIC-side packet costs are lean (user-level stack class), not
+        // Linux class.
+        assert!(p.rx_data.total() < l.rx_data.total() / 2);
+        assert!(p.partitioned_state);
     }
 
     #[test]

@@ -3,95 +3,13 @@
 //! 100 bulk-transfer flows from one sending machine to one receiving
 //! machine over a 10G link, for every sender/receiver stack combination.
 //! Paper: 9.4 Gbps line rate in all four cells.
+//!
+//! The runner lives in `tas_bench::scenarios::table4` (it is on the CI
+//! regression gate); this harness prints the human-readable table and
+//! writes the same report the gate pins.
 
-use tas::{CcAlgo, TasConfig, TasHost};
-use tas_apps::bulk::{BulkReceiver, BulkSender};
-use tas_baselines::{profiles, StackHost, StackHostConfig};
-use tas_bench::{scaled, section, Kind};
-use tas_netsim::app::App;
-use tas_netsim::topo::{build_star, host_ip, HostSpec};
-use tas_netsim::{NetMsg, NicConfig, PortConfig};
-use tas_sim::{AgentId, Sim, SimTime};
-
-fn goodput_gbps(sender: Kind, receiver: Kind, seed: u64) -> f64 {
-    let mut sim: Sim<NetMsg> = Sim::new(seed);
-    let recv_ip = host_ip(0);
-    let flows = scaled(50, 100);
-    let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
-        let is_recv = spec.index == 0;
-        let kind = if is_recv { receiver } else { sender };
-        let app: Box<dyn App> = if is_recv {
-            Box::new(BulkReceiver::new(9))
-        } else {
-            Box::new(BulkSender::new(recv_ip, 9, flows))
-        };
-        // Both stacks run DCTCP, as the paper's testbed does.
-        match kind {
-            Kind::TasSockets | Kind::TasLowLevel => {
-                let mut cfg = TasConfig::rpc_bench(2, 2);
-                cfg.rx_buf = 256 * 1024;
-                cfg.tx_buf = 256 * 1024;
-                cfg.cc = CcAlgo::DctcpRate;
-                cfg.initial_rate_bps = 500_000_000;
-                cfg.control_interval = SimTime::from_us(200);
-                cfg.max_core_backlog = SimTime::from_ms(50);
-                sim.add_agent(Box::new(TasHost::new(
-                    spec.ip,
-                    spec.mac,
-                    spec.nic,
-                    cfg,
-                    spec.uplink,
-                    app,
-                )))
-            }
-            _ => {
-                let mut cfg = StackHostConfig::linux(4);
-                cfg.tcp.recv_buf = 256 * 1024;
-                cfg.tcp.send_buf = 256 * 1024;
-                cfg.max_core_backlog = SimTime::from_ms(50);
-                sim.add_agent(Box::new(StackHost::new(
-                    spec.ip,
-                    spec.mac,
-                    spec.nic,
-                    profiles::linux(),
-                    cfg,
-                    spec.uplink,
-                    app,
-                )))
-            }
-        }
-    };
-    let topo = build_star(
-        &mut sim,
-        2,
-        |_| PortConfig::tengig(),
-        |_| NicConfig::client_10g(1),
-        &mut factory,
-    );
-    for &h in &topo.hosts {
-        sim.inject_timer(SimTime::ZERO, h, 0, 0);
-    }
-    let warmup = SimTime::from_ms(20);
-    let window = scaled(SimTime::from_ms(30), SimTime::from_ms(100));
-    sim.run_until(warmup);
-    let b0 = receiver_bytes(&sim, topo.hosts[0], receiver);
-    sim.run_until(warmup + window);
-    let b1 = receiver_bytes(&sim, topo.hosts[0], receiver);
-    (b1 - b0) as f64 * 8.0 / window.as_secs_f64()
-}
-
-fn receiver_bytes(sim: &Sim<NetMsg>, id: AgentId, kind: Kind) -> u64 {
-    match kind {
-        Kind::TasSockets | Kind::TasLowLevel => {
-            sim.agent::<tas::TasHost>(id).app_as::<BulkReceiver>().total
-        }
-        _ => {
-            sim.agent::<tas_baselines::StackHost>(id)
-                .app_as::<BulkReceiver>()
-                .total
-        }
-    }
-}
+use tas_bench::scenarios::table4;
+use tas_bench::section;
 
 fn main() {
     section(
@@ -100,35 +18,16 @@ fn main() {
     );
     println!("{:<22} {:>12}", "sender -> receiver", "goodput Gbps");
     let mut all_ok = true;
-    let mut rep =
-        tas_bench::report::Report::new("table4", "Linux/TAS sender-receiver compatibility", 1);
-    rep.param("flows", scaled(50, 100));
-    for (s, r, seed) in [
-        (Kind::Linux, Kind::Linux, 1u64),
-        (Kind::Linux, Kind::TasSockets, 2),
-        (Kind::TasSockets, Kind::Linux, 3),
-        (Kind::TasSockets, Kind::TasSockets, 4),
-    ] {
-        let g = goodput_gbps(s, r, seed);
-        println!(
-            "{:<22} {:>12.2}",
-            format!("{} -> {}", s.label(), r.label()),
-            g / 1e9
-        );
+    for (sn, s, rn, r, seed) in table4::cells() {
+        let g = table4::goodput_gbps(s, r, seed);
+        println!("{:<22} {:>12.2}", format!("{sn} -> {rn}"), g / 1e9);
         // Payload goodput on a 10G wire with TCP/IP/Ethernet overhead
         // tops out around 9.4 Gbps.
         if g < 8.5e9 {
             all_ok = false;
         }
-        let sn = if s == Kind::Linux { "linux" } else { "tas" };
-        let rn = if r == Kind::Linux { "linux" } else { "tas" };
-        rep.push(tas_bench::report::Metric::value(
-            &format!("{sn}_to_{rn}"),
-            "gbps",
-            g / 1e9,
-        ));
     }
-    let path = rep.write().expect("write BENCH_table4.json");
+    let path = table4::report().write().expect("write BENCH_table4.json");
     println!("report: {}", path.display());
     println!();
     println!(

@@ -1,0 +1,221 @@
+//! Design-space harness: generates `BENCH_designspace.json` (five stack
+//! architectures vs TAS: Fig. 9-shape latency, Table 1-shape
+//! cycles/request with the host-core share, and the WRPKRU / PCIe
+//! boundary-cost sweeps) and gates it against the pinned baseline.
+//!
+//! ```text
+//! designspace            # generate + orderings + check
+//! designspace generate   # write BENCH_designspace.json
+//! designspace check      # compare BENCH_designspace.json against baselines/
+//! designspace pin        # copy the current output into baselines/
+//! designspace selftest   # prove the gate trips on inflated boundary costs
+//! ```
+//!
+//! The output is byte-deterministic: two fresh processes with the same
+//! scale mode produce identical files (CI `cmp`s them).
+//! `UPDATE_BASELINE=1 designspace` (or `pin`) re-pins the baseline.
+
+use std::process::ExitCode;
+use tas_bench::report::{self, compare, Metric, MetricData, Report};
+use tas_bench::scenarios::designspace;
+
+fn generate() -> Report {
+    eprintln!("designspace: running the head-to-head ...");
+    let r = designspace::report();
+    let path = r.write().expect("write report");
+    let body = std::fs::read_to_string(&path).expect("read back");
+    report::validate(&body).expect("generated report must be schema-valid");
+    println!("wrote {}", path.display());
+    r
+}
+
+fn load_current() -> Option<Report> {
+    let body = std::fs::read_to_string(report::repo_root().join("BENCH_designspace.json")).ok()?;
+    Report::from_json(&body).ok()
+}
+
+fn metric<'a>(r: &'a Report, name: &str) -> Option<&'a Metric> {
+    r.metrics.iter().find(|m| m.name == name)
+}
+
+fn p99(r: &Report, name: &str) -> u64 {
+    match metric(r, name).map(|m| &m.data) {
+        Some(MetricData::Quantiles(q)) => q.p99,
+        _ => 0,
+    }
+}
+
+fn p50(r: &Report, name: &str) -> u64 {
+    match metric(r, name).map(|m| &m.data) {
+        Some(MetricData::Quantiles(q)) => q.p50,
+        _ => 0,
+    }
+}
+
+fn component(r: &Report, name: &str, comp: &str) -> f64 {
+    metric(r, name)
+        .and_then(|m| m.breakdown.iter().find(|(n, _)| n == comp))
+        .map(|&(_, v)| v)
+        .unwrap_or(0.0)
+}
+
+/// The paper-shaped invariants the head-to-head must reproduce:
+/// protection cost orders Linux > MPK dataplane > TAS at the tail, the
+/// off-path stack pays PCIe latency TAS does not, and in exchange its
+/// host-CPU cycles/request undercut Linux by a wide margin.
+fn orderings(r: &Report) -> ExitCode {
+    let checks: [(&str, bool); 4] = [
+        (
+            "p99 latency: linux > mpk",
+            p99(r, "lat_linux") > p99(r, "lat_mpk"),
+        ),
+        (
+            "p99 latency: mpk > tas",
+            p99(r, "lat_mpk") > p99(r, "lat_tas"),
+        ),
+        (
+            "median latency: pno > tas (PCIe boundary)",
+            p50(r, "lat_pno") > p50(r, "lat_tas"),
+        ),
+        (
+            "host cycles/req: pno < linux / 2",
+            component(r, "cycles_pno", "host_per_req")
+                < component(r, "cycles_linux", "host_per_req") / 2.0,
+        ),
+    ];
+    let mut ok = true;
+    for (what, pass) in checks {
+        println!(
+            "designspace ordering: {what}: {}",
+            if pass { "ok" } else { "VIOLATED" }
+        );
+        ok &= pass;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn check(current: &Report) -> ExitCode {
+    let base_path = report::baselines_dir().join("BENCH_designspace.json");
+    let Ok(body) = std::fs::read_to_string(&base_path) else {
+        println!("designspace: no baseline at {}, skipping", base_path.display());
+        return ExitCode::SUCCESS;
+    };
+    let base = match Report::from_json(&body) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("designspace: bad baseline {}: {e}", base_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let regs = compare(current, &base);
+    if regs.iter().any(|x| x.field == "scale") {
+        println!(
+            "designspace: scale mismatch (current {}, baseline {}), skipping",
+            current.scale, base.scale
+        );
+        return ExitCode::SUCCESS;
+    }
+    if regs.is_empty() {
+        println!("designspace: gate passed ({} metrics)", base.metrics.len());
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("REGRESSIONS ({}):", regs.len());
+    for reg in &regs {
+        eprintln!("  {reg}");
+    }
+    ExitCode::FAILURE
+}
+
+fn pin(r: &Report) -> ExitCode {
+    let dir = report::baselines_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("designspace: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    std::fs::write(dir.join("BENCH_designspace.json"), r.to_json()).expect("pin baseline");
+    println!("pinned {}", dir.join("BENCH_designspace.json").display());
+    ExitCode::SUCCESS
+}
+
+/// Proves the gate actually gates: a fresh report compared against
+/// itself passes, and the same report with every boundary-cost sweep
+/// latency inflated 1.30x (the regression an MPK/PCIe model bug would
+/// produce) trips the comparator.
+fn selftest() -> ExitCode {
+    let r = designspace::report();
+    if !compare(&r, &r).is_empty() {
+        eprintln!("designspace selftest: self-compare must pass");
+        return ExitCode::FAILURE;
+    }
+    let mut inflated = r.clone();
+    for m in &mut inflated.metrics {
+        if m.name.starts_with("mpk_xcost_") || m.name.starts_with("pno_pcie_") {
+            if let MetricData::Value(v) = &mut m.data {
+                *v *= 1.30;
+            }
+        }
+    }
+    let regs = compare(&inflated, &r);
+    let tripped = regs
+        .iter()
+        .filter(|x| x.metric.starts_with("mpk_xcost_") || x.metric.starts_with("pno_pcie_"))
+        .count();
+    if tripped == 0 {
+        eprintln!("designspace selftest: injected 1.30x boundary-cost latency NOT caught: {regs:?}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "designspace selftest: injected 1.30x boundary-cost latency caught ({tripped} regressions)"
+    );
+    if orderings(&r) != ExitCode::SUCCESS {
+        eprintln!("designspace selftest: orderings must hold on a fresh report");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let repin = std::env::var("UPDATE_BASELINE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    match mode.as_str() {
+        "generate" => {
+            let r = generate();
+            if repin {
+                return pin(&r);
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => match load_current() {
+            Some(r) => check(&r),
+            None => {
+                eprintln!("designspace: missing BENCH_designspace.json (run `designspace generate`)");
+                ExitCode::FAILURE
+            }
+        },
+        "pin" => {
+            let r = load_current().unwrap_or_else(generate);
+            pin(&r)
+        }
+        "selftest" => selftest(),
+        "" => {
+            let r = generate();
+            if repin {
+                return pin(&r);
+            }
+            if orderings(&r) != ExitCode::SUCCESS {
+                return ExitCode::FAILURE;
+            }
+            check(&r)
+        }
+        other => {
+            eprintln!("usage: designspace [generate|check|pin|selftest]  (got {other:?})");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -14,7 +14,7 @@ use tas_apps::echo::{EchoServer, ServerMode};
 use tas_apps::kv::KvServer;
 use tas_apps::loadgen::{LoadGenConfig, LoadGenHost};
 use tas_baselines::{profiles, StackHost, StackHostConfig};
-use tas_cpusim::{CycleAccount, Module, MODULE_COUNT};
+use tas_cpusim::{CoreClass, CycleAccount, Module, MODULE_COUNT};
 use tas_netsim::app::App;
 use tas_netsim::topo::{build_star, host_ip, HostSpec};
 use tas_netsim::{NetMsg, NicConfig, PortConfig};
@@ -60,6 +60,10 @@ pub enum Kind {
     Ix,
     /// mTCP model.
     Mtcp,
+    /// MPK-protected dataplane model (WRPKRU crossings).
+    Mpk,
+    /// PnO-style off-path SmartNIC model (PCIe/DMA boundary).
+    Pno,
 }
 
 impl Kind {
@@ -71,6 +75,8 @@ impl Kind {
             Kind::Linux => "Linux",
             Kind::Ix => "IX",
             Kind::Mtcp => "mTCP",
+            Kind::Mpk => "MPK",
+            Kind::Pno => "PnO",
         }
     }
 }
@@ -187,7 +193,7 @@ pub fn make_server_with(
                 app,
             )))
         }
-        Kind::Linux | Kind::Ix | Kind::Mtcp => {
+        Kind::Linux | Kind::Ix | Kind::Mtcp | Kind::Mpk | Kind::Pno => {
             let total = cores.0 + cores.1;
             let (profile, mut cfg) = match kind {
                 Kind::Linux => (profiles::linux(), StackHostConfig::linux(total)),
@@ -195,6 +201,14 @@ pub fn make_server_with(
                 Kind::Mtcp => {
                     let stack = (total / 3).max(1).min(total.saturating_sub(1)).max(1);
                     (profiles::mtcp(), StackHostConfig::mtcp(total.max(2), stack))
+                }
+                Kind::Mpk => (profiles::mpk(), StackHostConfig::mpk(total)),
+                Kind::Pno => {
+                    // cores.0 maps to the on-NIC stack cores, cores.1 to
+                    // host app cores (mirroring TAS's fastpath/app split).
+                    let nic = cores.0.max(1);
+                    let host = cores.1.max(1);
+                    (profiles::pno(), StackHostConfig::pno(host, nic))
                 }
                 _ => unreachable!(),
             };
@@ -373,6 +387,12 @@ pub struct RpcResult {
     pub drops: u64,
     /// Per-request module breakdown over the measurement window.
     pub per_request: PerRequest,
+    /// Busy cycles burned on *host-class* server cores over the window.
+    /// For the off-path SmartNIC model this excludes the NIC cores that
+    /// run the TCP stack; for every on-host stack it equals all server
+    /// busy cycles, so `host_cycles / per_request.requests` is directly
+    /// comparable across stacks (the paper's "host CPU per request").
+    pub host_cycles: u64,
     /// Cycle-attribution capture (when [`RpcScenario::profile`] was set).
     #[cfg(feature = "profile")]
     pub profile: Option<ProfileCapture>,
@@ -506,6 +526,7 @@ pub fn run_rpc(sc: &RpcScenario) -> RpcResult {
     // Snapshot counters, gate latency recording.
     let (messages_t0, established) = server_messages(&sim, topo.hosts[0], sc.kind);
     let acct0 = server_account(&sim, topo.hosts[0], sc.kind);
+    let host0 = server_host_cycles(&sim, topo.hosts[0], sc.kind);
     #[cfg(feature = "profile")]
     let prof_t0 = if sc.profile {
         match sc.kind {
@@ -580,8 +601,27 @@ pub fn run_rpc(sc: &RpcScenario) -> RpcResult {
         established,
         drops,
         per_request: per_request(&acct0, &acct1, messages_t1 - messages_t0),
+        host_cycles: server_host_cycles(&sim, topo.hosts[0], sc.kind) - host0,
         #[cfg(feature = "profile")]
         profile,
+    }
+}
+
+/// Busy cycles the server has burned on host-class cores so far. TAS
+/// hosts are all-host (fastpath + slowpath + app cores); `StackHost`
+/// splits by [`CoreClass`], which only differs from the total for the
+/// off-path SmartNIC thread model.
+fn server_host_cycles(sim: &Sim<NetMsg>, server: AgentId, kind: Kind) -> u64 {
+    match kind {
+        Kind::TasSockets | Kind::TasLowLevel => {
+            let h = sim.agent::<TasHost>(server);
+            h.fp_busy_cycles().iter().sum::<u64>()
+                + h.sp_busy_cycles()
+                + h.app_busy_cycles().iter().sum::<u64>()
+        }
+        _ => sim
+            .agent::<StackHost>(server)
+            .busy_cycles_by_class(CoreClass::Host),
     }
 }
 

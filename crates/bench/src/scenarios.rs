@@ -1075,9 +1075,17 @@ pub mod cpuprof {
     use super::*;
     use crate::ProfileCapture;
 
-    /// Stacks the observatory profiles.
-    pub fn stacks() -> [(&'static str, Kind); 2] {
-        [("tas", Kind::TasSockets), ("linux", Kind::Linux)]
+    /// Stacks the observatory profiles. The two design-space models ride
+    /// along so their `boundary/*` frames (WRPKRU activations, PCIe
+    /// doorbells) show up in the flamegraphs next to the stacks they
+    /// interpolate between.
+    pub fn stacks() -> [(&'static str, Kind); 4] {
+        [
+            ("tas", Kind::TasSockets),
+            ("linux", Kind::Linux),
+            ("mpk", Kind::Mpk),
+            ("pno", Kind::Pno),
+        ]
     }
 
     /// Runs the Table 1 scenario for `kind` with attribution enabled.
@@ -1166,6 +1174,316 @@ pub mod cpuprof {
     }
 }
 
+/// Table 4: sender/receiver compatibility — 100 bulk flows over a 10G
+/// link for every Linux/TAS combination (paper: 9.4 Gbps in all four).
+pub mod table4 {
+    use super::*;
+    use tas::{CcAlgo, TasConfig, TasHost};
+    use tas_apps::bulk::{BulkReceiver, BulkSender};
+    use tas_baselines::{profiles, StackHost, StackHostConfig};
+
+    /// The four sender/receiver cells with their pinned seeds.
+    pub fn cells() -> [(&'static str, Kind, &'static str, Kind, u64); 4] {
+        [
+            ("linux", Kind::Linux, "linux", Kind::Linux, 1),
+            ("linux", Kind::Linux, "tas", Kind::TasSockets, 2),
+            ("tas", Kind::TasSockets, "linux", Kind::Linux, 3),
+            ("tas", Kind::TasSockets, "tas", Kind::TasSockets, 4),
+        ]
+    }
+
+    /// Goodput of the bulk-transfer scenario: `scaled(50,100)` flows from
+    /// one sending machine to one receiving machine, both on 10G.
+    pub fn goodput_gbps(sender: Kind, receiver: Kind, seed: u64) -> f64 {
+        let mut sim: Sim<NetMsg> = Sim::new(seed);
+        let recv_ip = host_ip(0);
+        let flows = scaled(50, 100);
+        let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
+            let is_recv = spec.index == 0;
+            let kind = if is_recv { receiver } else { sender };
+            let app: Box<dyn App> = if is_recv {
+                Box::new(BulkReceiver::new(9))
+            } else {
+                Box::new(BulkSender::new(recv_ip, 9, flows))
+            };
+            // Both stacks run DCTCP, as the paper's testbed does.
+            match kind {
+                Kind::TasSockets | Kind::TasLowLevel => {
+                    let mut cfg = TasConfig::rpc_bench(2, 2);
+                    cfg.rx_buf = 256 * 1024;
+                    cfg.tx_buf = 256 * 1024;
+                    cfg.cc = CcAlgo::DctcpRate;
+                    cfg.initial_rate_bps = 500_000_000;
+                    cfg.control_interval = SimTime::from_us(200);
+                    cfg.max_core_backlog = SimTime::from_ms(50);
+                    sim.add_agent(Box::new(TasHost::new(
+                        spec.ip,
+                        spec.mac,
+                        spec.nic,
+                        cfg,
+                        spec.uplink,
+                        app,
+                    )))
+                }
+                _ => {
+                    let mut cfg = StackHostConfig::linux(4);
+                    cfg.tcp.recv_buf = 256 * 1024;
+                    cfg.tcp.send_buf = 256 * 1024;
+                    cfg.max_core_backlog = SimTime::from_ms(50);
+                    sim.add_agent(Box::new(StackHost::new(
+                        spec.ip,
+                        spec.mac,
+                        spec.nic,
+                        profiles::linux(),
+                        cfg,
+                        spec.uplink,
+                        app,
+                    )))
+                }
+            }
+        };
+        let topo = build_star(
+            &mut sim,
+            2,
+            |_| PortConfig::tengig(),
+            |_| NicConfig::client_10g(1),
+            &mut factory,
+        );
+        for &h in &topo.hosts {
+            sim.inject_timer(SimTime::ZERO, h, 0, 0);
+        }
+        let warmup = SimTime::from_ms(20);
+        let window = scaled(SimTime::from_ms(30), SimTime::from_ms(100));
+        sim.run_until(warmup);
+        let b0 = receiver_bytes(&sim, topo.hosts[0], receiver);
+        sim.run_until(warmup + window);
+        let b1 = receiver_bytes(&sim, topo.hosts[0], receiver);
+        (b1 - b0) as f64 * 8.0 / window.as_secs_f64()
+    }
+
+    fn receiver_bytes(sim: &Sim<NetMsg>, id: AgentId, kind: Kind) -> u64 {
+        match kind {
+            Kind::TasSockets | Kind::TasLowLevel => {
+                sim.agent::<TasHost>(id).app_as::<BulkReceiver>().total
+            }
+            _ => sim.agent::<StackHost>(id).app_as::<BulkReceiver>().total,
+        }
+    }
+
+    /// The gated report: goodput for all four cells.
+    pub fn report() -> Report {
+        let mut r = Report::new("table4", "Linux/TAS sender-receiver compatibility", 1);
+        r.param("flows", scaled(50, 100));
+        for (sn, s, rn, rcv, seed) in cells() {
+            r.push(Metric::value(
+                &format!("{sn}_to_{rn}"),
+                "gbps",
+                goodput_gbps(s, rcv, seed) / 1e9,
+            ));
+        }
+        r
+    }
+}
+
+/// Design-space head-to-head (ROADMAP item 5): the five stack
+/// architectures — in-kernel (Linux), protected kernel bypass (IX),
+/// user-level split (mTCP), MPK-protected dataplane, and off-path
+/// SmartNIC (PnO) — against TAS on identical latency and
+/// cycle-accounting scenarios, plus sweeps over the two boundary costs
+/// that define the new models (WRPKRU crossing cycles, PCIe one-way
+/// latency).
+pub mod designspace {
+    use super::*;
+    use tas_apps::kv::{KvClient, KvLoad, KvServer};
+    use tas_baselines::{profiles, StackHost, StackHostConfig, StackProfile, ThreadModel};
+    use tas_cpusim::{Crossing, CrossingKind, Module};
+
+    /// Seed shared by every per-stack run, so cross-stack differences
+    /// come from the stack model alone.
+    pub const SEED: u64 = 17;
+
+    /// WRPKRU crossing-cost sweep points (cycles). 80 is the measured
+    /// hardware cost; 1400 degrades the MPK dataplane back to a
+    /// syscall-class boundary.
+    pub const MPK_SWEEP: [u64; 4] = [40, 80, 400, 1400];
+
+    /// PCIe one-way latency sweep points (ns). 900 is gen3 x8 class;
+    /// 5000 models a congested or switch-attached fabric.
+    pub const PNO_SWEEP: [u64; 4] = [300, 900, 2000, 5000];
+
+    /// The head-to-head stacks, in report order.
+    pub fn stacks() -> [(&'static str, Kind); 6] {
+        [
+            ("linux", Kind::Linux),
+            ("ix", Kind::Ix),
+            ("mtcp", Kind::Mtcp),
+            ("mpk", Kind::Mpk),
+            ("pno", Kind::Pno),
+            ("tas", Kind::TasSockets),
+        ]
+    }
+
+    /// Fig. 9-shape latency distribution for one stack (ns), same seed
+    /// and same TAS clients for every server stack.
+    pub fn latency(kind: Kind) -> Histogram {
+        fig9::run(kind, Kind::TasSockets, SEED)
+    }
+
+    /// Table 1-shape cycle accounting for one stack.
+    pub fn cycles(kind: Kind) -> crate::RpcResult {
+        table1::measure(kind)
+    }
+
+    /// An MPK-dataplane server with an explicit crossing cost (sweep
+    /// point). Cores match the Fig. 9 server shape.
+    pub fn mpk_host(crossing_cycles: u64) -> (StackProfile, StackHostConfig) {
+        let mut cfg = StackHostConfig::mpk(2);
+        cfg.model = ThreadModel::MpkDataplane {
+            crossing: Crossing::new(CrossingKind::Wrpkru, crossing_cycles),
+        };
+        (profiles::mpk(), cfg)
+    }
+
+    /// An off-path-NIC server with an explicit PCIe one-way latency
+    /// (sweep point).
+    pub fn pno_host(latency: SimTime) -> (StackProfile, StackHostConfig) {
+        let mut cfg = StackHostConfig::pno(1, 1);
+        if let ThreadModel::OffPathNic { pcie, .. } = &mut cfg.model {
+            *pcie = pcie.with_latency(latency);
+        }
+        (profiles::pno(), cfg)
+    }
+
+    /// Runs the Fig. 9-shape KV latency scenario against a custom-built
+    /// [`StackHost`] server. This is the sweep entry point and the
+    /// determinism probe used by `tests/proptest_designspace.rs`.
+    pub fn run_custom(profile: StackProfile, cfg: StackHostConfig, seed: u64) -> Histogram {
+        let mut sim: Sim<NetMsg> = Sim::new(seed);
+        let server_ip = host_ip(0);
+        let clients = 2usize;
+        let rate_per_client = scaled(60_000, 110_000);
+        let conns_per_client = scaled(32, 128);
+        let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
+            if spec.index == 0 {
+                let app: Box<dyn App> = Box::new(KvServer::new(7));
+                sim.add_agent(Box::new(StackHost::new(
+                    spec.ip,
+                    spec.mac,
+                    spec.nic,
+                    profile,
+                    cfg.clone(),
+                    spec.uplink,
+                    app,
+                )))
+            } else {
+                let app: Box<dyn App> = Box::new(KvClient::new(
+                    server_ip,
+                    7,
+                    conns_per_client,
+                    100_000,
+                    KvLoad::OpenRate {
+                        per_sec: rate_per_client,
+                    },
+                    seed + spec.index as u64,
+                ));
+                make_server(sim, spec, Kind::TasSockets, (2, 2), Bufs::small(), app)
+            }
+        };
+        let topo = build_star(
+            &mut sim,
+            1 + clients,
+            |i| {
+                if i == 0 {
+                    PortConfig::fortygig()
+                } else {
+                    PortConfig::tengig()
+                }
+            },
+            |i| {
+                if i == 0 {
+                    NicConfig::server_40g(1)
+                } else {
+                    NicConfig::client_10g(1)
+                }
+            },
+            &mut factory,
+        );
+        for &h in &topo.hosts {
+            sim.inject_timer(SimTime::ZERO, h, 0, 0);
+        }
+        let warmup = SimTime::from_ms(20);
+        let window = scaled(SimTime::from_ms(60), SimTime::from_ms(300));
+        sim.run_until(warmup);
+        for &h in &topo.hosts[1..] {
+            fig9::set_gate(&mut sim, h, Kind::TasSockets, warmup);
+        }
+        sim.run_until(warmup + window);
+        let mut hist = Histogram::new();
+        for &h in &topo.hosts[1..] {
+            hist.merge(fig9::client_hist(&sim, h, Kind::TasSockets));
+        }
+        hist
+    }
+
+    /// The gated report: per-stack latency quantiles (Fig. 9 shape),
+    /// per-stack cycles/request with module breakdown and the host-core
+    /// share (Table 1 shape), and the two boundary-cost sweeps.
+    pub fn report() -> Report {
+        let mut r = Report::new(
+            "designspace",
+            "Design-space head-to-head: five stack architectures vs TAS",
+            SEED,
+        );
+        r.param("conns", scaled(2_000, 32_000))
+            .param("mpk_sweep", format!("{MPK_SWEEP:?}"))
+            .param("pno_sweep_ns", format!("{PNO_SWEEP:?}"));
+        for (name, kind) in stacks() {
+            let hist = latency(kind);
+            r.push(Metric::quantiles(&format!("lat_{name}"), "ns", &hist));
+        }
+        for (name, kind) in stacks() {
+            let res = cycles(kind);
+            let p = &res.per_request;
+            let mut m = Metric::value(&format!("cycles_{name}"), "cycles", p.total_cycles());
+            for module in [
+                Module::Driver,
+                Module::Ip,
+                Module::Tcp,
+                Module::Api,
+                Module::Other,
+                Module::App,
+            ] {
+                m = m.with_component(
+                    &format!("{module:?}").to_lowercase(),
+                    p.cycles[module as usize],
+                );
+            }
+            m = m.with_component(
+                "host_per_req",
+                res.host_cycles as f64 / p.requests.max(1) as f64,
+            );
+            r.push(m);
+        }
+        for c in MPK_SWEEP {
+            let (p, cfg) = mpk_host(c);
+            let h = run_custom(p, cfg, SEED);
+            r.push(
+                Metric::value(&format!("mpk_xcost_{c}"), "ns", h.quantile(0.5) as f64)
+                    .with_component("p99", h.quantile(0.99) as f64),
+            );
+        }
+        for l in PNO_SWEEP {
+            let (p, cfg) = pno_host(SimTime::from_ns(l));
+            let h = run_custom(p, cfg, SEED);
+            r.push(
+                Metric::value(&format!("pno_pcie_{l}ns"), "ns", h.quantile(0.5) as f64)
+                    .with_component("p99", h.quantile(0.99) as f64),
+            );
+        }
+        r
+    }
+}
+
 /// A named report builder, as listed by [`gated_reports`].
 pub type ReportFn = (&'static str, fn() -> Report);
 
@@ -1187,6 +1505,8 @@ pub fn gated_reports() -> Vec<ReportFn> {
         ("fig15", fig15::report),
         ("table1", table1::report),
         ("table3", table3::report),
+        ("table4", table4::report),
+        ("designspace", designspace::report),
         ("scenarios", crate::scenario::report),
     ];
     #[cfg(feature = "trace")]

@@ -78,3 +78,42 @@ fn unfair_overrides_only_touch_congestion_control() {
     assert_eq!(ov.stall_intervals_for_rexmit, clean.stall_intervals_for_rexmit);
     assert_eq!(ov.control_interval, clean.control_interval);
 }
+
+/// Acceptance for the design-space models: both new stacks run the
+/// entire multi-tenant suite end to end — every scenario produces a
+/// verdict for every victim with measured latency and progress, and no
+/// run panics. (Whether a given scenario *passes* its reference bound
+/// is a property of the pinned suite report, not of this smoke gate.)
+#[test]
+fn design_space_stacks_run_the_suite() {
+    for kind in [Kind::Mpk, Kind::Pno] {
+        for mut spec in tas_bench::scenario::suite() {
+            // Debug builds arm the auditors; cap the windows so the
+            // whole suite stays inside tier-1 test time.
+            spec.measure = spec.measure.min(SimTime::from_ms(10));
+            let verdicts = isolation::evaluate(&spec, kind);
+            assert!(
+                !verdicts.is_empty(),
+                "{}: {spec:?} has a victim tenant",
+                kind.label()
+            );
+            for v in &verdicts {
+                assert!(
+                    v.base_ops > 0,
+                    "{} victim made no progress on {}: {}",
+                    kind.label(),
+                    v.scenario,
+                    v.render()
+                );
+                assert!(
+                    v.cont_p99_ns > 0,
+                    "{} victim latency unmeasured on {}: {}",
+                    kind.label(),
+                    v.scenario,
+                    v.render()
+                );
+                assert!(v.p99_ratio.is_finite(), "{}", v.render());
+            }
+        }
+    }
+}

@@ -2,6 +2,30 @@
 
 use tas_sim::SimTime;
 
+/// The class of silicon a core belongs to.
+///
+/// Off-path SmartNIC stacks (PnO-style) split work between fast host
+/// cores and the NIC's slower wimpy cores; accounting and reports need
+/// to tell the two apart (host-CPU cycles/request is the paper's
+/// efficiency currency — cycles burned on the NIC are "free" host CPU).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CoreClass {
+    /// A server-class host core (the default everywhere).
+    Host,
+    /// A wimpy NIC-resident core (ARM-class, slower clock).
+    Nic,
+}
+
+impl CoreClass {
+    /// Stable lower-case label used in telemetry and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CoreClass::Host => "host",
+            CoreClass::Nic => "nic",
+        }
+    }
+}
+
 /// A simulated processor core.
 ///
 /// Work items serialize on the core: an item submitted at `now` with cost
@@ -21,6 +45,7 @@ use tas_sim::SimTime;
 #[derive(Clone, Debug)]
 pub struct Core {
     freq_hz: u64,
+    class: CoreClass,
     busy_until: SimTime,
     busy_total: SimTime,
     busy_cycles: u64,
@@ -28,15 +53,26 @@ pub struct Core {
 }
 
 impl Core {
-    /// Creates a core with the given clock frequency.
+    /// Creates a host-class core with the given clock frequency.
     ///
     /// # Panics
     ///
     /// Panics if `freq_hz` is zero.
     pub fn new(freq_hz: u64) -> Self {
+        Core::with_class(freq_hz, CoreClass::Host)
+    }
+
+    /// Creates a core of an explicit class (NIC cores for off-path
+    /// stacks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is zero.
+    pub fn with_class(freq_hz: u64, class: CoreClass) -> Self {
         assert!(freq_hz > 0, "core frequency must be positive");
         Core {
             freq_hz,
+            class,
             busy_until: SimTime::ZERO,
             busy_total: SimTime::ZERO,
             busy_cycles: 0,
@@ -47,6 +83,11 @@ impl Core {
     /// Clock frequency in Hz.
     pub fn freq_hz(&self) -> u64 {
         self.freq_hz
+    }
+
+    /// The silicon class of this core.
+    pub fn class(&self) -> CoreClass {
+        self.class
     }
 
     /// Converts a cycle count to wall time on this core.
@@ -120,13 +161,39 @@ pub struct CorePool {
 }
 
 impl CorePool {
-    /// Creates `n` cores at `freq_hz`.
+    /// Creates `n` host-class cores at `freq_hz`.
     pub fn new(n: usize, freq_hz: u64) -> Self {
+        CorePool::heterogeneous(&[(CoreClass::Host, n, freq_hz)])
+    }
+
+    /// Creates a pool from `(class, count, freq_hz)` groups in order —
+    /// e.g. NIC cores 0..k followed by host cores k..n for an off-path
+    /// SmartNIC stack.
+    pub fn heterogeneous(groups: &[(CoreClass, usize, u64)]) -> Self {
+        let cores: Vec<Core> = groups
+            .iter()
+            .flat_map(|&(class, n, freq)| (0..n).map(move |_| Core::with_class(freq, class)))
+            .collect();
+        let n = cores.len();
         CorePool {
-            cores: (0..n).map(|_| Core::new(freq_hz)).collect(),
+            cores,
             last_sample_busy: vec![SimTime::ZERO; n],
             last_sample_at: SimTime::ZERO,
         }
+    }
+
+    /// The silicon class of core `i`.
+    pub fn class(&self, i: usize) -> CoreClass {
+        self.cores[i].class()
+    }
+
+    /// Total cycles submitted to cores of `class` since creation.
+    pub fn busy_cycles_by_class(&self, class: CoreClass) -> u64 {
+        self.cores
+            .iter()
+            .filter(|c| c.class() == class)
+            .map(|c| c.busy_cycles())
+            .sum()
     }
 
     /// Number of cores.

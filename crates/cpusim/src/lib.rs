@@ -17,14 +17,20 @@
 //!   and the baselines' scattered kilobyte state.
 //! * [`ContentionModel`] — coherence/locking penalty for stacks that share
 //!   connection state across cores (the monolithic in-kernel design).
+//! * [`boundary`] — domain-crossing primitives (context switch, WRPKRU,
+//!   PCIe/DMA with doorbell batching) as first-class cycle costs, plus
+//!   [`CoreClass`] to distinguish host cores from wimpy NIC cores; the
+//!   MPK-dataplane and off-path SmartNIC baseline models charge these.
 //!
 //! Cost *constants* for each stack live with that stack's implementation;
 //! this crate provides the machinery.
 
 mod account;
+pub mod boundary;
 mod cache;
 mod core_model;
 
 pub use account::{CycleAccount, Module, MODULE_COUNT};
+pub use boundary::{Crossing, CrossingKind, PcieModel};
 pub use cache::{CacheModel, ContentionModel};
-pub use core_model::{Core, CorePool};
+pub use core_model::{Core, CoreClass, CorePool};
