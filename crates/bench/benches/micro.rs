@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::net::Ipv4Addr;
-use tas::flow::{FlowState, FlowTable, RateBucket};
+use tas::flow::{
+    FlowState, FlowTable, FpCongCtrl, FpConnMgmt, FpFlowCtrl, FpRecvRel, FpSendRel, RateBucket,
+};
 use tas_netsim::rss::{hash_tuple, RssTable};
 use tas_proto::{wire, FlowKey, MacAddr, Segment, TcpFlags, TcpHeader};
 use tas_shm::{ByteRing, DescQueue};
@@ -27,43 +29,22 @@ fn sample_segment(payload: usize) -> Segment {
 
 fn make_flow(port: u16) -> FlowState {
     FlowState {
-        opaque: port as u64,
-        context: 0,
-        bucket: RateBucket::unlimited(),
-        key: FlowKey::new(
-            Ipv4Addr::new(10, 0, 0, 1),
-            80,
-            Ipv4Addr::new(10, 0, 0, 2),
-            port,
+        conn: FpConnMgmt::new(
+            port as u64,
+            0,
+            FlowKey::new(
+                Ipv4Addr::new(10, 0, 0, 1),
+                80,
+                Ipv4Addr::new(10, 0, 0, 2),
+                port,
+            ),
+            MacAddr::for_host(2),
+            0,
         ),
-        peer_mac: MacAddr::for_host(2),
-        rx: ByteRing::new(4096),
-        tx: ByteRing::new(4096),
-        tx_sent: 0,
-        max_sent_off: 0,
-        iss: 1,
-        irs: 2,
-        snd_wnd: 65535,
-        peer_wscale: 7,
-        dupack_cnt: 0,
-        ooo_start: 0,
-        ooo_len: 0,
-        cnt_ackb: 0,
-        cnt_ecnb: 0,
-        cnt_frexmits: 0,
-        rtt_est_us: 0,
-        ts_recent: 0,
-        cwnd: u64::MAX,
-        last_seg_ce: false,
-        tx_timer_armed: false,
-        win_closed: false,
-        last_una_off: 0,
-        stall_intervals: 0,
-        cc_alpha: 1.0,
-        cc_rate_ewma: 0.0,
-        cc_slow_start: true,
-        cc_prev_rtt_us: 0,
-        closing: false,
+        snd: FpSendRel::new(ByteRing::new(4096), 1),
+        rcv: FpRecvRel::new(ByteRing::new(4096), 2),
+        fc: FpFlowCtrl::new(65535, 7),
+        cc: FpCongCtrl::new(RateBucket::unlimited()),
     }
 }
 
@@ -72,7 +53,7 @@ fn bench_flow_table(c: &mut Criterion) {
     let mut keys = Vec::new();
     for p in 0..20_000u16 {
         let f = make_flow(p);
-        keys.push(f.key);
+        keys.push(f.conn.key);
         table.insert(f);
     }
     let mut i = 0usize;

@@ -37,7 +37,9 @@ use tas_proto::{FlowKey, MacAddr, Segment, TcpFlags, TcpHeader};
 use tas_shm::ByteRing;
 use tas_sim::{EventId, EventQueue, HeapQueue, Rng, SimTime};
 use tas::fastpath::FastPath;
-use tas::flow::{FlowState, RateBucket};
+use tas::flow::{
+    FlowState, FpCongCtrl, FpConnMgmt, FpFlowCtrl, FpRecvRel, FpSendRel, RateBucket,
+};
 use tas::TasCosts;
 
 /// Minimum wheel-over-heap events/sec ratio at the 100k-flow point.
@@ -191,38 +193,11 @@ fn flow_key(i: usize) -> FlowKey {
 
 fn install(fp: &mut FastPath, i: usize) -> u32 {
     fp.install_flow(FlowState {
-        opaque: i as u64,
-        context: 0,
-        bucket: RateBucket::unlimited(),
-        key: flow_key(i),
-        peer_mac: MacAddr::for_host(2),
-        rx: ByteRing::new(4096),
-        tx: ByteRing::new(16),
-        tx_sent: 0,
-        max_sent_off: 0,
-        iss: 100,
-        irs: 1_000,
-        snd_wnd: 65_535,
-        peer_wscale: 0,
-        dupack_cnt: 0,
-        ooo_start: 0,
-        ooo_len: 0,
-        cnt_ackb: 0,
-        cnt_ecnb: 0,
-        cnt_frexmits: 0,
-        rtt_est_us: 0,
-        ts_recent: 0,
-        cwnd: u64::MAX,
-        last_seg_ce: false,
-        tx_timer_armed: false,
-        win_closed: false,
-        last_una_off: 0,
-        stall_intervals: 0,
-        cc_alpha: 1.0,
-        cc_rate_ewma: 0.0,
-        cc_slow_start: true,
-        cc_prev_rtt_us: 0,
-        closing: false,
+        conn: FpConnMgmt::new(i as u64, 0, flow_key(i), MacAddr::for_host(2), 0),
+        snd: FpSendRel::new(ByteRing::new(16), 100),
+        rcv: FpRecvRel::new(ByteRing::new(4096), 1_000),
+        fc: FpFlowCtrl::new(65_535, 0),
+        cc: FpCongCtrl::new(RateBucket::unlimited()),
     })
 }
 
@@ -274,9 +249,9 @@ fn packet_churn(flows: usize, ops: u64) -> (u64, f64, u64) {
         let Some(flow) = fp.flows.get_mut(fids[i]) else {
             continue;
         };
-        let n = flow.rx.len() as u64;
+        let n = flow.rcv.rx.len() as u64;
         fnv(&mut hash, n);
-        let _ = flow.rx.consume(n);
+        let _ = flow.rcv.rx.consume(n);
     }
     (hash, start.elapsed().as_secs_f64().max(1e-9), done)
 }

@@ -1,0 +1,338 @@
+//! Unified congestion control for both stacks.
+//!
+//! One trait, three algorithms. [`CongCtrl`] carries the two facets a
+//! congestion-control algorithm needs in this workspace:
+//!
+//! * the **window facet** (`on_ack` / `on_timeout` / `on_fast_retransmit`
+//!   / `cwnd`), used per-connection by the reference TCP engine
+//!   (`tas-tcp`) and the baseline stacks — algorithm state lives inside
+//!   the boxed object;
+//! * the **rate facet** (`rate_iteration`), used per-flow by the TAS slow
+//!   path's control loop (§3.2) — per-flow state lives *outside* the
+//!   algorithm in a [`CcState`] (the flow table owns it; the paper's
+//!   Table 3 `cc_*` fields), so one algorithm object can police thousands
+//!   of flows.
+//!
+//! [`NewReno`], [`Dctcp`], and [`Timely`] are the three impls. The
+//! arithmetic is the exact code that previously lived duplicated across
+//! `crates/tcp/src/cc.rs` (window NewReno/DCTCP) and `crates/tas/src/cc.rs`
+//! (rate DCTCP/TIMELY); `tests/cc_bitidentity.rs` pins pre-unification
+//! trajectories bit-for-bit to prove the move changed no behavior.
+// Panic-freedom is a stack invariant: unwrap/expect are denied in
+// production code (tests are exempt); see tas-lint rule R4.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use tas_sim::SimTime;
+
+mod dctcp;
+mod newreno;
+mod timely;
+
+pub use dctcp::{Dctcp, DctcpRateParams};
+pub use newreno::NewReno;
+pub use timely::{Timely, TimelyParams};
+
+/// Which congestion-control algorithm a connection runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CcKind {
+    /// Loss-based NewReno (the "TCP" lines in the paper's figures).
+    NewReno,
+    /// DCTCP (ECN-proportional backoff; window- or rate-mode).
+    Dctcp,
+    /// TIMELY (RTT-gradient control; window- or rate-mode).
+    Timely,
+}
+
+/// Feedback for one ACK arrival (window facet).
+#[derive(Clone, Copy, Debug)]
+pub struct AckInfo {
+    /// Newly acknowledged bytes.
+    pub acked: u32,
+    /// The ACK carried an ECN echo.
+    pub ece: bool,
+    /// Arrival time.
+    pub now: SimTime,
+    /// RTT estimate at this point, if known.
+    pub srtt: Option<SimTime>,
+}
+
+/// Per-flow congestion-control state for the rate facet: the Table-3
+/// `cc_*` fields. Owned by the flow (the TAS flow table), mutated only by
+/// [`CongCtrl::rate_iteration`].
+#[derive(Clone, Copy, Debug)]
+pub struct CcState {
+    /// EWMA of the ECN-marked byte fraction (DCTCP alpha).
+    pub alpha: f64,
+    /// EWMA of the measured send rate in bits/second.
+    pub rate_ewma: f64,
+    /// Still in slow start (no congestion seen yet).
+    pub slow_start: bool,
+    /// Previous control-interval RTT sample in µs (TIMELY gradient).
+    pub prev_rtt_us: u32,
+}
+
+impl CcState {
+    /// Fresh-flow state: conservative alpha = 1.0, slow start on.
+    pub fn new() -> Self {
+        CcState {
+            alpha: 1.0,
+            rate_ewma: 0.0,
+            slow_start: true,
+            prev_rtt_us: 0,
+        }
+    }
+}
+
+impl Default for CcState {
+    fn default() -> Self {
+        CcState::new()
+    }
+}
+
+/// One control interval's accumulated fast-path feedback (rate facet).
+/// The caller (flow owner) reads-and-resets its counters into this.
+#[derive(Clone, Copy, Debug)]
+pub struct RateFeedback {
+    /// Bytes newly acknowledged this interval.
+    pub ackb: u64,
+    /// Of those, bytes whose ACKs carried ECN echoes.
+    pub ecnb: u64,
+    /// Fast retransmits triggered this interval.
+    pub frexmits: u8,
+    /// Current smoothed RTT estimate in µs (0 = no sample yet).
+    pub rtt_est_us: u32,
+}
+
+/// A congestion-control algorithm: window facet for the per-connection
+/// engines, rate facet for the TAS slow path.
+pub trait CongCtrl: std::fmt::Debug {
+    /// Processes one (possibly ECN-echoing) ACK.
+    fn on_ack(&mut self, info: AckInfo);
+    /// Reacts to a retransmission timeout.
+    fn on_timeout(&mut self);
+    /// Reacts to entering fast recovery (triple duplicate ACK).
+    fn on_fast_retransmit(&mut self);
+    /// Current congestion window in bytes.
+    fn cwnd(&self) -> u32;
+    /// Slow-start threshold in bytes (for inspection/tests).
+    fn ssthresh(&self) -> u32;
+    /// One rate-mode control iteration over external per-flow state:
+    /// consumes this interval's feedback and returns the new rate in
+    /// bits/second.
+    fn rate_iteration(
+        &self,
+        st: &mut CcState,
+        fb: RateFeedback,
+        current_bps: u64,
+        interval_secs: f64,
+    ) -> u64;
+    /// Algorithm name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Initial window: 10 segments (RFC 6928, what Linux uses).
+pub(crate) const INIT_WINDOW_SEGS: u32 = 10;
+
+/// Creates the window-facet algorithm for `kind` with the given MSS.
+pub fn make_cc(kind: CcKind, mss: u32) -> Box<dyn CongCtrl> {
+    match kind {
+        CcKind::NewReno => Box::new(NewReno::new(mss)),
+        CcKind::Dctcp => Box::new(Dctcp::new(mss)),
+        CcKind::Timely => Box::new(Timely::new(mss)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u32 = 1448;
+
+    fn ack(acked: u32, ece: bool, t_us: u64) -> AckInfo {
+        AckInfo {
+            acked,
+            ece,
+            now: SimTime::from_us(t_us),
+            srtt: Some(SimTime::from_us(100)),
+        }
+    }
+
+    #[test]
+    fn newreno_slow_start_doubles_per_rtt() {
+        let mut cc = NewReno::new(MSS);
+        let start = cc.cwnd();
+        // Ack a full window: cwnd should double in slow start.
+        let mut acked = 0;
+        while acked < start {
+            cc.on_ack(ack(MSS, false, 1));
+            acked += MSS;
+        }
+        assert!(
+            cc.cwnd() >= 2 * start - MSS,
+            "cwnd {} vs {}",
+            cc.cwnd(),
+            start
+        );
+    }
+
+    #[test]
+    fn newreno_congestion_avoidance_linear() {
+        let mut cc = NewReno::new(MSS);
+        cc.on_timeout();
+        // ssthresh is now low; grow past it into CA.
+        while cc.cwnd() < cc.ssthresh() {
+            cc.on_ack(ack(MSS, false, 1));
+        }
+        let w = cc.cwnd();
+        // One full window of ACKs adds exactly one MSS.
+        let mut acked = 0;
+        while acked < w {
+            cc.on_ack(ack(MSS, false, 2));
+            acked += MSS;
+        }
+        assert_eq!(cc.cwnd(), w + MSS);
+    }
+
+    #[test]
+    fn newreno_loss_responses() {
+        let mut cc = NewReno::new(MSS);
+        let w0 = cc.cwnd();
+        cc.on_fast_retransmit();
+        assert_eq!(cc.cwnd(), w0 / 2);
+        cc.on_timeout();
+        assert_eq!(cc.cwnd(), MSS);
+        assert_eq!(cc.ssthresh(), (w0 / 2 / 2).max(2 * MSS));
+    }
+
+    #[test]
+    fn newreno_ece_acts_like_loss() {
+        let mut cc = NewReno::new(MSS);
+        let w0 = cc.cwnd();
+        cc.on_ack(ack(MSS, true, 1));
+        assert_eq!(cc.cwnd(), w0 / 2);
+    }
+
+    #[test]
+    fn newreno_rate_facet_holds() {
+        // NewReno is window-only: its rate facet holds the configured
+        // rate (the slow path's CcAlgo::None semantics).
+        let cc = NewReno::new(MSS);
+        let mut st = CcState::new();
+        let fb = RateFeedback {
+            ackb: 10_000,
+            ecnb: 10_000,
+            frexmits: 3,
+            rtt_est_us: 900,
+        };
+        assert_eq!(cc.rate_iteration(&mut st, fb, 250_000_000, 2e-4), 250_000_000);
+    }
+
+    #[test]
+    fn dctcp_alpha_tracks_mark_fraction() {
+        let mut cc = Dctcp::new(MSS);
+        // Feed many windows with ~50% marked bytes.
+        let mut t = 0;
+        for _ in 0..300 {
+            t += 200; // 2 windows of 100us RTT.
+            cc.on_ack(AckInfo {
+                acked: MSS,
+                ece: t % 400 == 0,
+                now: SimTime::from_us(t),
+                srtt: Some(SimTime::from_us(100)),
+            });
+        }
+        assert!(
+            (cc.alpha() - 0.5).abs() < 0.15,
+            "alpha {} should approach 0.5",
+            cc.alpha()
+        );
+    }
+
+    #[test]
+    fn dctcp_gentle_reduction_scales_with_alpha() {
+        let mut cc = Dctcp::new(MSS);
+        // Converge alpha near zero first (no marks).
+        for i in 0..2000 {
+            cc.on_ack(ack(MSS, false, 1 + i * 10));
+        }
+        let w = cc.cwnd();
+        let alpha = cc.alpha();
+        assert!(alpha < 0.05, "alpha {alpha}");
+        // A single mark now barely dents the window.
+        cc.on_ack(ack(MSS, true, 1_000_000));
+        let reduce = w - cc.cwnd();
+        assert!(
+            (reduce as f64) <= w as f64 * 0.05,
+            "gentle: reduced {reduce} of {w}"
+        );
+    }
+
+    #[test]
+    fn dctcp_reduces_once_per_window() {
+        let mut cc = Dctcp::new(MSS);
+        let w0 = cc.cwnd();
+        cc.on_ack(ack(MSS, true, 100));
+        let w1 = cc.cwnd();
+        assert!(w1 < w0);
+        // Same observation window: second mark must not reduce again.
+        cc.on_ack(ack(MSS, true, 110));
+        assert!(cc.cwnd() >= w1, "no double reduction within a window");
+    }
+
+    #[test]
+    fn dctcp_timeout_collapses_window() {
+        let mut cc = Dctcp::new(MSS);
+        cc.on_timeout();
+        assert_eq!(cc.cwnd(), MSS);
+    }
+
+    #[test]
+    fn timely_window_gradient_responds() {
+        let mut cc = Timely::new(MSS);
+        // RTT above t_high: multiplicative decrease out of slow start.
+        cc.on_ack(AckInfo {
+            acked: MSS,
+            ece: false,
+            now: SimTime::from_us(100),
+            srtt: Some(SimTime::from_us(1000)),
+        });
+        let w = cc.cwnd();
+        assert!(w < INIT_WINDOW_SEGS * MSS, "high RTT must shrink: {w}");
+        // RTT below t_low: additive growth.
+        cc.on_ack(AckInfo {
+            acked: MSS,
+            ece: false,
+            now: SimTime::from_us(200),
+            srtt: Some(SimTime::from_us(30)),
+        });
+        assert!(cc.cwnd() > w);
+        cc.on_timeout();
+        assert_eq!(cc.cwnd(), MSS);
+    }
+
+    #[test]
+    fn timely_window_trajectory_is_deterministic() {
+        let drive = || {
+            let mut cc = Timely::new(MSS);
+            let mut traj = Vec::new();
+            for i in 0u64..50 {
+                cc.on_ack(AckInfo {
+                    acked: MSS,
+                    ece: false,
+                    now: SimTime::from_us(i * 100),
+                    srtt: Some(SimTime::from_us(40 + (i * 37) % 600)),
+                });
+                traj.push(cc.cwnd());
+            }
+            traj
+        };
+        assert_eq!(drive(), drive());
+    }
+
+    #[test]
+    fn factory_dispatches() {
+        assert_eq!(make_cc(CcKind::NewReno, MSS).name(), "newreno");
+        assert_eq!(make_cc(CcKind::Dctcp, MSS).name(), "dctcp");
+        assert_eq!(make_cc(CcKind::Timely, MSS).name(), "timely");
+    }
+}

@@ -170,7 +170,7 @@ pub fn scan_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
             continue;
         }
         let rc = cfg.rule(id);
-        raw.extend(run_rule(id, &lexed, &flags, &rc));
+        raw.extend(run_rule(id, &lexed, &flags, &rc, rel, cfg));
     }
 
     let mut out = Vec::new();

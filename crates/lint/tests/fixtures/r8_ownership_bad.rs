@@ -1,0 +1,30 @@
+//! R8 fixture (violating): cross-component writes and ownership-map
+//! drift. Scanned as `crates/tas/src/slowpath.rs`, so the `tas_flow`
+//! component map applies. Expected findings:
+//!   1. `flow.snd.tx_sent = 0`       — plain write across `snd`
+//!   2. `flow.cc.cnt_ackb += 1448`   — compound write across `cc`
+//!   3. `&mut flow.rcv.rx`           — exclusive borrow across `rcv`
+//!   4. `FpRecvRel::probe_hint`      — field missing from the map (drift)
+
+/// A drifted component struct: `probe_hint` exists here but has no
+/// owner in `[components.tas_flow.rcv].fields`.
+pub struct FpRecvRel {
+    pub rx: ByteRing,
+    pub irs: u32,
+    pub ooo_start: u64,
+    pub ooo_len: u32,
+    pub probe_hint: u64,
+}
+
+pub struct SlowPath {
+    flows: FlowTable,
+}
+
+impl SlowPath {
+    fn poke(&mut self, flow: &mut FlowState) {
+        flow.snd.tx_sent = 0;
+        flow.cc.cnt_ackb += 1448;
+        let ring = &mut flow.rcv.rx;
+        ring.advance_end(1);
+    }
+}

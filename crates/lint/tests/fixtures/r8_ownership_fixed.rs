@@ -1,0 +1,35 @@
+//! R8 fixture (clean): the same mutations routed through the owning
+//! components' methods, and a component struct that matches its
+//! ownership-map entry exactly. Scanned as `crates/tas/src/slowpath.rs`.
+
+pub struct FpRecvRel {
+    pub rx: ByteRing,
+    pub irs: u32,
+    pub ooo_start: u64,
+    pub ooo_len: u32,
+}
+
+impl FpRecvRel {
+    /// Writes to owned fields inside the owner's impl are the sanctioned
+    /// mutation path.
+    pub fn clear_ooo(&mut self) {
+        self.ooo_len = 0;
+        self.ooo_start = 0;
+    }
+}
+
+pub struct SlowPath {
+    flows: FlowTable,
+}
+
+impl SlowPath {
+    fn poke(&mut self, flow: &mut FlowState) {
+        // Mutations dispatch to the owning component.
+        flow.snd.rewind_for_retransmit();
+        flow.cc.count_nominal_mark(1448);
+        flow.rcv.clear_ooo();
+        // Reads of any component's state stay legal everywhere.
+        let backlog = flow.cc.cnt_ackb;
+        let _ = backlog;
+    }
+}

@@ -43,7 +43,7 @@ macro_rules! audit_assert {
 pub fn check_flow(fid: u32, f: &FlowState) {
     // ByteRing accounting: offsets and occupancy must agree with the
     // capacity on both payload buffers.
-    for (name, ring) in [("rx", &f.rx), ("tx", &f.tx)] {
+    for (name, ring) in [("rx", &f.rcv.rx), ("tx", &f.snd.tx)] {
         audit_assert!(
             ring.len() + ring.free() == ring.capacity(),
             fid,
@@ -65,57 +65,57 @@ pub fn check_flow(fid: u32, f: &FlowState) {
     // buffered unacked window, and stay far below the 2^31 wraparound
     // horizon that seq comparison arithmetic needs.
     audit_assert!(
-        f.tx_sent <= f.tx.len() as u64,
+        f.snd.tx_sent <= f.snd.tx.len() as u64,
         fid,
         "tx_sent {} exceeds buffered unacked bytes {}",
-        f.tx_sent,
-        f.tx.len()
+        f.snd.tx_sent,
+        f.snd.tx.len()
     );
     audit_assert!(
-        f.tx_sent < 1 << 31,
+        f.snd.tx_sent < 1 << 31,
         fid,
         "tx_sent {} crosses the sequence-comparison horizon",
-        f.tx_sent
+        f.snd.tx_sent
     );
     audit_assert!(
-        f.max_sent_off >= f.nxt_off(),
+        f.snd.max_sent_off >= f.nxt_off(),
         fid,
         "max_sent_off {} behind next-to-send offset {}",
-        f.max_sent_off,
+        f.snd.max_sent_off,
         f.nxt_off()
     );
     // Duplicate-ACK counter: fast recovery resets at 3, so the counter
     // can never be observed above it between operations.
-    audit_assert!(f.dupack_cnt <= 3, fid, "dupack_cnt {} ran away", f.dupack_cnt);
+    audit_assert!(f.snd.dupack_cnt <= 3, fid, "dupack_cnt {} ran away", f.snd.dupack_cnt);
     // Single out-of-order interval: when tracked, it must sit strictly
     // beyond the in-order frontier (a closed gap merges immediately) and
     // within the receive-buffer horizon.
-    if f.ooo_len > 0 {
+    if f.rcv.ooo_len > 0 {
         audit_assert!(
-            f.ooo_start > f.rx.end_offset(),
+            f.rcv.ooo_start > f.rcv.rx.end_offset(),
             fid,
             "ooo interval start {} not beyond in-order frontier {}",
-            f.ooo_start,
-            f.rx.end_offset()
+            f.rcv.ooo_start,
+            f.rcv.rx.end_offset()
         );
         audit_assert!(
-            f.ooo_start + f.ooo_len as u64 <= f.rx.start_offset() + f.rx.capacity() as u64,
+            f.rcv.ooo_start + f.rcv.ooo_len as u64 <= f.rcv.rx.start_offset() + f.rcv.rx.capacity() as u64,
             fid,
             "ooo interval [{}, {}) exceeds rx horizon {}",
-            f.ooo_start,
-            f.ooo_start + f.ooo_len as u64,
-            f.rx.start_offset() + f.rx.capacity() as u64
+            f.rcv.ooo_start,
+            f.rcv.ooo_start + f.rcv.ooo_len as u64,
+            f.rcv.rx.start_offset() + f.rcv.rx.capacity() as u64
         );
     }
     // Rate-bucket credit conservation: credit never exceeds the burst
     // cap, whatever sequence of refill/set_rate_bps/consume ran.
-    if !f.bucket.is_unlimited() {
+    if !f.cc.bucket.is_unlimited() {
         audit_assert!(
-            f.bucket.tokens <= f.bucket.burst,
+            f.cc.bucket.tokens <= f.cc.bucket.burst,
             fid,
             "rate bucket tokens {} exceed burst {}",
-            f.bucket.tokens,
-            f.bucket.burst
+            f.cc.bucket.tokens,
+            f.cc.bucket.burst
         );
     }
 }
@@ -135,10 +135,10 @@ pub fn check_fastpath(fp: &FastPath, now: SimTime) {
         check_flow(fid, flow);
         // Table agreement: the 4-tuple index must point back at this slot.
         audit_assert!(
-            fp.flows.lookup(&flow.key) == Some(fid),
+            fp.flows.lookup(&flow.conn.key) == Some(fid),
             fid,
             "flow-table index diverged for key {}",
-            flow.key
+            flow.conn.key
         );
         seen += 1;
     }
@@ -155,7 +155,7 @@ pub fn check_fastpath(fp: &FastPath, now: SimTime) {
             panic!("audit violation: pacing timer staged for unknown flow {fid}");
         };
         audit_assert!(
-            flow.tx_timer_armed,
+            flow.snd.tx_timer_armed,
             fid,
             "pacing timer staged at {at:?} but tx_timer_armed is clear"
         );
@@ -165,50 +165,31 @@ pub fn check_fastpath(fp: &FastPath, now: SimTime) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flow::{FlowTable, RateBucket};
+    use crate::flow::{
+        FlowTable, FpCongCtrl, FpConnMgmt, FpFlowCtrl, FpRecvRel, FpSendRel, RateBucket,
+    };
     use std::net::Ipv4Addr;
     use tas_proto::FlowKey;
     use tas_shm::ByteRing;
 
     fn flow(port: u16) -> FlowState {
         FlowState {
-            opaque: 0,
-            context: 0,
-            bucket: RateBucket::unlimited(),
-            key: FlowKey::new(
-                Ipv4Addr::new(10, 0, 0, 1),
-                80,
-                Ipv4Addr::new(10, 0, 0, 2),
-                port,
+            conn: FpConnMgmt::new(
+                0,
+                0,
+                FlowKey::new(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    80,
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    port,
+                ),
+                tas_proto::MacAddr::for_host(2),
+                0,
             ),
-            peer_mac: tas_proto::MacAddr::for_host(2),
-            rx: ByteRing::new(1024),
-            tx: ByteRing::new(1024),
-            tx_sent: 0,
-            max_sent_off: 0,
-            iss: 1,
-            irs: 2,
-            snd_wnd: 1024,
-            peer_wscale: 0,
-            dupack_cnt: 0,
-            ooo_start: 0,
-            ooo_len: 0,
-            cnt_ackb: 0,
-            cnt_ecnb: 0,
-            cnt_frexmits: 0,
-            rtt_est_us: 0,
-            ts_recent: 0,
-            cwnd: u64::MAX,
-            last_seg_ce: false,
-            tx_timer_armed: false,
-            win_closed: false,
-            last_una_off: 0,
-            stall_intervals: 0,
-            cc_alpha: 1.0,
-            cc_rate_ewma: 0.0,
-            cc_slow_start: true,
-            cc_prev_rtt_us: 0,
-            closing: false,
+            snd: FpSendRel::new(ByteRing::new(1024), 1),
+            rcv: FpRecvRel::new(ByteRing::new(1024), 2),
+            fc: FpFlowCtrl::new(1024, 0),
+            cc: FpCongCtrl::new(RateBucket::unlimited()),
         }
     }
 
@@ -223,7 +204,7 @@ mod tests {
     #[should_panic(expected = "tx_sent")]
     fn tx_sent_beyond_buffer_caught() {
         let mut f = flow(1);
-        f.tx_sent = 10; // Nothing buffered.
+        f.snd.tx_sent = 10; // Nothing buffered.
         check_flow(0, &f);
     }
 
@@ -231,8 +212,8 @@ mod tests {
     #[should_panic(expected = "ooo interval start")]
     fn ooo_interval_at_frontier_caught() {
         let mut f = flow(1);
-        f.ooo_len = 5;
-        f.ooo_start = f.rx.end_offset(); // No gap: should have merged.
+        f.rcv.ooo_len = 5;
+        f.rcv.ooo_start = f.rcv.rx.end_offset(); // No gap: should have merged.
         check_flow(0, &f);
     }
 
@@ -240,8 +221,8 @@ mod tests {
     #[should_panic(expected = "exceed burst")]
     fn bucket_over_burst_caught() {
         let mut f = flow(1);
-        f.bucket = RateBucket::limited(8_000_000, 1_000, tas_sim::SimTime::ZERO);
-        f.bucket.tokens = 2_000;
+        f.cc.bucket = RateBucket::limited(8_000_000, 1_000, tas_sim::SimTime::ZERO);
+        f.cc.bucket.tokens = 2_000;
         check_flow(0, &f);
     }
 

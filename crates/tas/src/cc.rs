@@ -3,39 +3,23 @@
 //! The slow path runs one control iteration per flow every control
 //! interval τ (§3.2): it reads the congestion feedback the fast path
 //! accumulated (`cnt_ackb`, `cnt_ecnb`, `cnt_frexmits`, `rtt_est`),
-//! computes a new rate, and writes it back into the flow's bucket. The
-//! control *law* here is pure (flow state in, rate out) so it is unit-
-//! testable without a network.
+//! computes a new rate, and writes it back into the flow's bucket.
+//!
+//! The control *laws* live in the shared `tas-cc` crate (the rate facet
+//! of [`tas_cc::CongCtrl`]) so the reference TCP engine and the TAS
+//! slow path exercise one implementation; this module is the façade
+//! that drains a flow's feedback counters into a [`tas_cc::RateFeedback`]
+//! and runs the iteration over the flow's persistent `CcState`.
 
 use crate::flow::FlowState;
+use tas_cc::{Dctcp, Timely};
 
-/// Parameters for the rate-based DCTCP control law.
-#[derive(Clone, Copy, Debug)]
-pub struct DctcpRateParams {
-    /// EWMA gain `g` for alpha.
-    pub gain: f64,
-    /// Additive-increase step in bits/second (paper: 10 Mbps).
-    pub ai_bps: u64,
-    /// Minimum rate floor.
-    pub min_bps: u64,
-    /// Maximum rate (link speed).
-    pub max_bps: u64,
-    /// Headroom factor over the measured send rate (paper: rate may not
-    /// exceed 1.2× the flow's achieved rate).
-    pub cap_factor: f64,
-}
+pub use tas_cc::{DctcpRateParams, TimelyParams};
 
-impl Default for DctcpRateParams {
-    fn default() -> Self {
-        DctcpRateParams {
-            gain: 1.0 / 16.0,
-            ai_bps: 10_000_000,
-            min_bps: 1_000_000,
-            max_bps: 10_000_000_000,
-            cap_factor: 1.2,
-        }
-    }
-}
+/// MSS handed to the shared algorithm constructors. The rate facet never
+/// reads it (it sizes the window facet's cwnd only), so any value works;
+/// use the stack default for clarity.
+const RATE_FACADE_MSS: u32 = 1448;
 
 /// One rate-based DCTCP control iteration (paper §3.2 and §5.5).
 ///
@@ -47,170 +31,46 @@ pub fn dctcp_rate_iteration(
     interval_secs: f64,
     p: &DctcpRateParams,
 ) -> u64 {
-    let ackb = flow.cnt_ackb;
-    let ecnb = flow.cnt_ecnb;
-    let frexmits = flow.cnt_frexmits;
-    flow.cnt_ackb = 0;
-    flow.cnt_ecnb = 0;
-    flow.cnt_frexmits = 0;
-
-    let mut rate = current_bps as f64;
-    // "We ensure at the beginning of the control loop that the rate is no
-    // more than 20% higher than the flow's send rate" — prevents unbounded
-    // growth without congestion. The send rate is smoothed over intervals:
-    // with sub-millisecond intervals a single flow delivers only a couple
-    // of segments per interval and the raw sample is quantization noise.
-    if ackb > 0 {
-        let measured = ackb as f64 * 8.0 / interval_secs;
-        flow.cc_rate_ewma = if flow.cc_rate_ewma == 0.0 {
-            measured
-        } else {
-            0.8 * flow.cc_rate_ewma + 0.2 * measured
-        };
-        rate = rate.min(flow.cc_rate_ewma.max(measured) * p.cap_factor);
-    }
-    // Update alpha from the marked fraction.
-    if ackb > 0 {
-        let f = (ecnb as f64 / ackb as f64).min(1.0);
-        flow.cc_alpha = (1.0 - p.gain) * flow.cc_alpha + p.gain * f;
-    }
-    let congested = ecnb > 0 || frexmits > 0;
-    if congested {
-        flow.cc_slow_start = false;
-    }
-    if frexmits > 0 {
-        // Loss: halve (the DCTCP response to loss is NewReno's).
-        rate /= 2.0;
-    } else if ecnb > 0 {
-        // DCTCP control law on rates: decrease proportional to the marked
-        // fraction.
-        rate *= 1.0 - flow.cc_alpha / 2.0;
-    } else if flow.cc_slow_start {
-        // Slow start: double every control interval.
-        rate *= 2.0;
-    } else if ackb > 0 {
-        // Additive increase.
-        rate += p.ai_bps as f64;
-    }
-    (rate as u64).clamp(p.min_bps, p.max_bps)
-}
-
-/// Parameters for TIMELY (Mittal et al., SIGCOMM 2015), adapted for TCP
-/// by adding slow start (paper §2).
-#[derive(Clone, Copy, Debug)]
-pub struct TimelyParams {
-    /// Low RTT threshold: below it, increase additively.
-    pub t_low_us: u32,
-    /// High RTT threshold: above it, decrease multiplicatively.
-    pub t_high_us: u32,
-    /// Multiplicative decrease factor β.
-    pub beta: f64,
-    /// Additive increase step in bits/second.
-    pub delta_bps: u64,
-    /// Minimum RTT for gradient normalization.
-    pub min_rtt_us: u32,
-    /// Rate floor.
-    pub min_bps: u64,
-    /// Rate ceiling.
-    pub max_bps: u64,
-}
-
-impl Default for TimelyParams {
-    fn default() -> Self {
-        TimelyParams {
-            t_low_us: 50,
-            t_high_us: 500,
-            beta: 0.8,
-            delta_bps: 10_000_000,
-            min_rtt_us: 20,
-            min_bps: 1_000_000,
-            max_bps: 10_000_000_000,
-        }
-    }
+    let rtt = flow.conn.rtt_est_us;
+    let fb = flow.cc.take_feedback(rtt);
+    let algo = Dctcp::with_rate_params(RATE_FACADE_MSS, *p);
+    flow.cc.rate_iteration(&algo, fb, current_bps, interval_secs)
 }
 
 /// One TIMELY control iteration.
 pub fn timely_iteration(flow: &mut FlowState, current_bps: u64, p: &TimelyParams) -> u64 {
-    let ackb = flow.cnt_ackb;
-    flow.cnt_ackb = 0;
-    flow.cnt_ecnb = 0;
-    flow.cnt_frexmits = 0;
-    if ackb == 0 {
-        // No feedback this interval: hold.
-        return current_bps;
-    }
-    let rtt = flow.rtt_est_us.max(1);
-    let prev = if flow.cc_prev_rtt_us == 0 {
-        rtt
-    } else {
-        flow.cc_prev_rtt_us
-    };
-    flow.cc_prev_rtt_us = rtt;
-    let mut rate = current_bps as f64;
-    if flow.cc_slow_start {
-        if rtt > p.t_low_us {
-            flow.cc_slow_start = false;
-        } else {
-            return ((rate * 2.0) as u64).clamp(p.min_bps, p.max_bps);
-        }
-    }
-    if rtt < p.t_low_us {
-        rate += p.delta_bps as f64;
-    } else if rtt > p.t_high_us {
-        rate *= 1.0 - p.beta * (1.0 - p.t_high_us as f64 / rtt as f64);
-    } else {
-        let gradient = (rtt as f64 - prev as f64) / p.min_rtt_us as f64;
-        if gradient <= 0.0 {
-            rate += p.delta_bps as f64;
-        } else {
-            rate *= 1.0 - p.beta * gradient.min(1.0);
-        }
-    }
-    (rate as u64).clamp(p.min_bps, p.max_bps)
+    let rtt = flow.conn.rtt_est_us;
+    let fb = flow.cc.take_feedback(rtt);
+    let algo = Timely::with_params(RATE_FACADE_MSS, *p);
+    // TIMELY is interval-free: the gradient normalizes by RTT, not τ.
+    flow.cc.rate_iteration(&algo, fb, current_bps, 0.0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flow::{FlowState, RateBucket};
+    use crate::flow::{
+        FlowState, FpCongCtrl, FpConnMgmt, FpFlowCtrl, FpRecvRel, FpSendRel, RateBucket,
+    };
     use std::net::Ipv4Addr;
     use tas_proto::FlowKey;
     use tas_shm::ByteRing;
 
     fn flow() -> FlowState {
+        let mut conn = FpConnMgmt::new(
+            0,
+            0,
+            FlowKey::new(Ipv4Addr::UNSPECIFIED, 1, Ipv4Addr::UNSPECIFIED, 2),
+            tas_proto::MacAddr::for_host(1),
+            0,
+        );
+        conn.rtt_est_us = 100;
         FlowState {
-            opaque: 0,
-            context: 0,
-            bucket: RateBucket::unlimited(),
-            key: FlowKey::new(Ipv4Addr::UNSPECIFIED, 1, Ipv4Addr::UNSPECIFIED, 2),
-            peer_mac: tas_proto::MacAddr::for_host(1),
-            rx: ByteRing::new(64),
-            tx: ByteRing::new(64),
-            tx_sent: 0,
-            max_sent_off: 0,
-            iss: 0,
-            irs: 0,
-            snd_wnd: 0,
-            peer_wscale: 0,
-            dupack_cnt: 0,
-            ooo_start: 0,
-            ooo_len: 0,
-            cnt_ackb: 0,
-            cnt_ecnb: 0,
-            cnt_frexmits: 0,
-            rtt_est_us: 100,
-            ts_recent: 0,
-            cwnd: u64::MAX,
-            last_seg_ce: false,
-            tx_timer_armed: false,
-            win_closed: false,
-            last_una_off: 0,
-            stall_intervals: 0,
-            cc_alpha: 1.0,
-            cc_rate_ewma: 0.0,
-            cc_slow_start: true,
-            cc_prev_rtt_us: 0,
-            closing: false,
+            conn,
+            snd: FpSendRel::new(ByteRing::new(64), 0),
+            rcv: FpRecvRel::new(ByteRing::new(64), 0),
+            fc: FpFlowCtrl::new(0, 0),
+            cc: FpCongCtrl::new(RateBucket::unlimited()),
         }
     }
 
@@ -221,21 +81,21 @@ mod tests {
         let mut f = flow();
         let p = DctcpRateParams::default();
         // Sending flat out: measured rate matches current.
-        f.cnt_ackb = (1e9 * INTERVAL / 8.0) as u64;
+        f.cc.cnt_ackb = (1e9 * INTERVAL / 8.0) as u64;
         let r = dctcp_rate_iteration(&mut f, 1_000_000_000, INTERVAL, &p);
         assert_eq!(r, 2_000_000_000);
-        assert!(f.cc_slow_start);
+        assert!(f.cc.state.slow_start);
     }
 
     #[test]
     fn dctcp_congestion_exits_slow_start_and_reduces() {
         let mut f = flow();
         let p = DctcpRateParams::default();
-        f.cc_alpha = 1.0;
-        f.cnt_ackb = (1e9 * INTERVAL / 8.0) as u64;
-        f.cnt_ecnb = f.cnt_ackb; // Fully marked.
+        f.cc.state.alpha = 1.0;
+        f.cc.cnt_ackb = (1e9 * INTERVAL / 8.0) as u64;
+        f.cc.cnt_ecnb = f.cc.cnt_ackb; // Fully marked.
         let r = dctcp_rate_iteration(&mut f, 1_000_000_000, INTERVAL, &p);
-        assert!(!f.cc_slow_start);
+        assert!(!f.cc.state.slow_start);
         // alpha stays 1.0 (fully marked) -> rate halves.
         assert!((r as f64 - 0.5e9).abs() / 0.5e9 < 0.01, "rate {r}");
     }
@@ -244,11 +104,11 @@ mod tests {
     fn dctcp_reduction_proportional_to_alpha() {
         let mut f = flow();
         let p = DctcpRateParams::default();
-        f.cc_slow_start = false;
-        f.cc_alpha = 0.0;
+        f.cc.state.slow_start = false;
+        f.cc.state.alpha = 0.0;
         // 10% of bytes marked: alpha moves to g*0.1, reduction tiny.
-        f.cnt_ackb = 1_000_000;
-        f.cnt_ecnb = 100_000;
+        f.cc.cnt_ackb = 1_000_000;
+        f.cc.cnt_ecnb = 100_000;
         let r = dctcp_rate_iteration(&mut f, 1_000_000_000, INTERVAL, &p);
         // Measured = 1e6*8/200us = 40 Gbps, no cap. Reduction by alpha/2
         // where alpha = 0.1/16.
@@ -263,8 +123,8 @@ mod tests {
     fn dctcp_additive_increase_when_clean() {
         let mut f = flow();
         let p = DctcpRateParams::default();
-        f.cc_slow_start = false;
-        f.cnt_ackb = (1e9 * INTERVAL / 8.0) as u64;
+        f.cc.state.slow_start = false;
+        f.cc.cnt_ackb = (1e9 * INTERVAL / 8.0) as u64;
         let r = dctcp_rate_iteration(&mut f, 1_000_000_000, INTERVAL, &p);
         assert_eq!(r, 1_000_000_000 + 10_000_000);
     }
@@ -273,9 +133,9 @@ mod tests {
     fn dctcp_caps_at_measured_rate() {
         let mut f = flow();
         let p = DctcpRateParams::default();
-        f.cc_slow_start = false;
+        f.cc.state.slow_start = false;
         // Flow only achieved 100 Mbps although the rate allows 1 Gbps.
-        f.cnt_ackb = (100e6 * INTERVAL / 8.0) as u64;
+        f.cc.cnt_ackb = (100e6 * INTERVAL / 8.0) as u64;
         let r = dctcp_rate_iteration(&mut f, 1_000_000_000, INTERVAL, &p);
         // Capped to 1.2 * 100 Mbps, then additive increase.
         assert!(r <= 130_000_000, "rate {r} must be capped near 120 Mbps");
@@ -285,9 +145,9 @@ mod tests {
     fn dctcp_loss_halves() {
         let mut f = flow();
         let p = DctcpRateParams::default();
-        f.cc_slow_start = false;
-        f.cnt_ackb = (1e9 * INTERVAL / 8.0) as u64;
-        f.cnt_frexmits = 2;
+        f.cc.state.slow_start = false;
+        f.cc.cnt_ackb = (1e9 * INTERVAL / 8.0) as u64;
+        f.cc.cnt_frexmits = 2;
         let r = dctcp_rate_iteration(&mut f, 1_000_000_000, INTERVAL, &p);
         assert_eq!(r, 500_000_000);
     }
@@ -296,7 +156,7 @@ mod tests {
     fn dctcp_idle_flow_holds_rate_via_clamp() {
         let mut f = flow();
         let p = DctcpRateParams::default();
-        f.cc_slow_start = false;
+        f.cc.state.slow_start = false;
         // No feedback at all: no measured rate, no increase.
         let r = dctcp_rate_iteration(&mut f, 500_000_000, INTERVAL, &p);
         assert_eq!(r, 500_000_000);
@@ -306,9 +166,9 @@ mod tests {
     fn timely_low_rtt_additive_increase() {
         let mut f = flow();
         let p = TimelyParams::default();
-        f.cc_slow_start = false;
-        f.rtt_est_us = 30; // Below t_low.
-        f.cnt_ackb = 1000;
+        f.cc.state.slow_start = false;
+        f.conn.rtt_est_us = 30; // Below t_low.
+        f.cc.cnt_ackb = 1000;
         let r = timely_iteration(&mut f, 1_000_000_000, &p);
         assert_eq!(r, 1_010_000_000);
     }
@@ -317,9 +177,9 @@ mod tests {
     fn timely_high_rtt_multiplicative_decrease() {
         let mut f = flow();
         let p = TimelyParams::default();
-        f.cc_slow_start = false;
-        f.rtt_est_us = 1000; // Above t_high.
-        f.cnt_ackb = 1000;
+        f.cc.state.slow_start = false;
+        f.conn.rtt_est_us = 1000; // Above t_high.
+        f.cc.cnt_ackb = 1000;
         let r = timely_iteration(&mut f, 1_000_000_000, &p);
         let want = 1e9 * (1.0 - 0.8 * (1.0 - 0.5));
         assert!((r as f64 - want).abs() / want < 0.01, "rate {r}");
@@ -329,16 +189,16 @@ mod tests {
     fn timely_gradient_response() {
         let mut f = flow();
         let p = TimelyParams::default();
-        f.cc_slow_start = false;
-        f.cc_prev_rtt_us = 100;
-        f.rtt_est_us = 120; // Rising RTT between thresholds.
-        f.cnt_ackb = 1000;
+        f.cc.state.slow_start = false;
+        f.cc.state.prev_rtt_us = 100;
+        f.conn.rtt_est_us = 120; // Rising RTT between thresholds.
+        f.cc.cnt_ackb = 1000;
         let r = timely_iteration(&mut f, 1_000_000_000, &p);
         assert!(r < 1_000_000_000, "rising gradient must decrease: {r}");
         // Falling RTT: increase.
-        f.cc_prev_rtt_us = 120;
-        f.rtt_est_us = 100;
-        f.cnt_ackb = 1000;
+        f.cc.state.prev_rtt_us = 120;
+        f.conn.rtt_est_us = 100;
+        f.cc.cnt_ackb = 1000;
         let r2 = timely_iteration(&mut f, r, &p);
         assert!(r2 > r);
     }
@@ -347,14 +207,14 @@ mod tests {
     fn timely_slow_start_until_rtt_rises() {
         let mut f = flow();
         let p = TimelyParams::default();
-        f.rtt_est_us = 30;
-        f.cnt_ackb = 1000;
+        f.conn.rtt_est_us = 30;
+        f.cc.cnt_ackb = 1000;
         let r = timely_iteration(&mut f, 100_000_000, &p);
         assert_eq!(r, 200_000_000);
-        assert!(f.cc_slow_start);
-        f.rtt_est_us = 80; // Above t_low: exit slow start.
-        f.cnt_ackb = 1000;
+        assert!(f.cc.state.slow_start);
+        f.conn.rtt_est_us = 80; // Above t_low: exit slow start.
+        f.cc.cnt_ackb = 1000;
         timely_iteration(&mut f, r, &p);
-        assert!(!f.cc_slow_start);
+        assert!(!f.cc.state.slow_start);
     }
 }

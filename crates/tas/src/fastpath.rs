@@ -151,15 +151,11 @@ impl FastPath {
         if let (Some((tsval, tsecr)), Some(flow)) =
             (seg.tcp.options.timestamp, self.flows.get_mut(fid))
         {
-            flow.ts_recent = tsval;
+            flow.conn.note_ts(tsval);
             if f.contains(TcpFlags::ACK) && tsecr != 0 {
                 let sample = now.as_micros().wrapping_sub(tsecr as u64).max(1) as u32;
-                flow.rtt_est_us = if flow.rtt_est_us == 0 {
-                    sample
-                } else {
-                    // EWMA 7/8, like the kernel's SRTT.
-                    (flow.rtt_est_us * 7 + sample) / 8
-                };
+                // EWMA 7/8, like the kernel's SRTT.
+                flow.conn.rtt_sample(sample);
             }
         }
         if f.contains(TcpFlags::ACK) {
@@ -196,57 +192,51 @@ impl FastPath {
                 return cycles;
             };
             let ece = seg.tcp.flags.contains(TcpFlags::ECE);
-            let una_seq = flow.seq_of(flow.tx.start_offset());
+            let una_seq = flow.seq_of(flow.snd.tx.start_offset());
             // Accept cumulative ACKs up to the highest byte ever sent —
             // recovery may have rewound `tx_sent` below data the peer has.
-            let hi_seq = flow.seq_of(flow.max_sent_off.max(flow.nxt_off()));
+            let hi_seq = flow.seq_of(flow.snd.max_sent_off.max(flow.nxt_off()));
             let ack = seg.tcp.ack;
-            let new_wnd = (seg.tcp.window as u64) << flow.peer_wscale;
+            let new_wnd = (seg.tcp.window as u64) << flow.fc.peer_wscale;
             // Window growth marks a window update, not a duplicate; a
             // shrinking window accompanies held out-of-order data and is
             // a genuine loss signal.
-            let wnd_unchanged = new_wnd <= flow.snd_wnd;
-            flow.snd_wnd = new_wnd;
+            let wnd_unchanged = new_wnd <= flow.fc.snd_wnd;
+            flow.fc.update_wnd(new_wnd);
             if seq::gt(ack, una_seq) && seq::le(ack, hi_seq) {
                 let newly = seq::sub(ack, una_seq) as u64;
-                if flow.tx.consume(newly).is_err() {
+                if !flow.snd.consume_acked(newly) {
                     // ACK range validated against hi_seq above; degrade by
                     // ignoring the ACK rather than corrupting the ring.
                     debug_assert!(false, "acked bytes within the tx ring");
                     return cycles;
                 }
-                flow.tx_sent = flow.tx_sent.saturating_sub(newly);
-                flow.cnt_ackb += newly;
-                if ece {
-                    flow.cnt_ecnb += newly;
-                }
-                flow.dupack_cnt = 0;
+                flow.cc.count_acked(newly, ece);
+                flow.snd.reset_dupacks();
                 acked_notice = newly as u32;
                 want_tx = true;
-            } else if ack == una_seq && !has_payload && flow.tx_sent > 0 && wnd_unchanged {
+            } else if ack == una_seq && !has_payload && flow.snd.tx_sent > 0 && wnd_unchanged {
                 // Fast-path exception #1: duplicate ACK counting and fast
                 // recovery — reset the sender as if unacked segments were
                 // never sent (§3.1). Window updates are not duplicates
                 // (RFC 5681's "no window change" condition).
-                flow.dupack_cnt = flow.dupack_cnt.saturating_add(1);
+                let dupacks = flow.snd.count_dupack();
                 if ece {
                     // Count a nominal MSS of marked bytes so the slow path
                     // sees congestion feedback even without progress.
-                    flow.cnt_ecnb += self.mss as u64;
-                    flow.cnt_ackb += self.mss as u64;
+                    flow.cc.count_nominal_mark(self.mss as u64);
                 }
-                if flow.dupack_cnt >= 3 {
-                    flow.dupack_cnt = 0;
-                    flow.tx_sent = 0;
-                    flow.cnt_frexmits = flow.cnt_frexmits.saturating_add(1);
+                if dupacks >= 3 {
+                    flow.snd.reset_for_fast_rexmit();
+                    flow.cc.count_fast_rexmit();
                     self.stats.fast_rexmits += 1;
                     #[cfg(feature = "trace")]
                     trace_fp(
                         now,
                         tas_telemetry::TraceEvent::Retransmit {
-                            flow: flow.key,
+                            flow: flow.conn.key,
                             kind: "fast",
-                            seq: flow.seq_of(flow.tx.start_offset()),
+                            seq: flow.seq_of(flow.snd.tx.start_offset()),
                         },
                     );
                     want_tx = true;
@@ -262,11 +252,11 @@ impl FastPath {
                 return cycles;
             };
             let notice = RxNotice {
-                opaque: flow.opaque,
+                opaque: flow.conn.opaque,
                 rx_bytes: 0,
                 tx_acked: acked_notice,
             };
-            self.out.notices.push((flow.context, notice));
+            self.out.notices.push((flow.conn.context, notice));
         }
         if want_tx {
             cycles += self.try_tx(now, fid, acct);
@@ -290,8 +280,8 @@ impl FastPath {
                 debug_assert!(false, "process_data: flow {fid} not installed");
                 return cycles;
             };
-            flow.last_seg_ce = seg.is_ce_marked();
-            let expected = flow.rcv_seq_of(flow.rx.end_offset());
+            flow.cc.note_ce(seg.is_ce_marked());
+            let expected = flow.rcv_seq_of(flow.rcv.rx.end_offset());
             let mut seg_seq = seg.tcp.seq;
             let mut data: &[u8] = &seg.payload;
             // Trim a partially-old segment.
@@ -309,8 +299,8 @@ impl FastPath {
             } else if seg_seq == expected {
                 // Common case: in-order deposit directly into the
                 // user-space payload buffer.
-                if flow.rx.free() >= data.len() {
-                    if flow.rx.append(data).is_err() {
+                if flow.rcv.rx.free() >= data.len() {
+                    if flow.rcv.rx.append(data).is_err() {
                         debug_assert!(false, "append within checked free space");
                         self.stats.drop_buf_full += 1;
                         return cycles;
@@ -318,17 +308,17 @@ impl FastPath {
                     notify_bytes = data.len() as u64;
                     // Merge the tracked out-of-order interval if the gap
                     // just closed ("as if one big segment arrived").
-                    if flow.ooo_len > 0 && flow.ooo_start <= flow.rx.end_offset() {
-                        let int_end = flow.ooo_start + flow.ooo_len as u64;
-                        let end = flow.rx.end_offset();
+                    if flow.rcv.ooo_len > 0 && flow.rcv.ooo_start <= flow.rcv.rx.end_offset() {
+                        let int_end = flow.rcv.ooo_start + flow.rcv.ooo_len as u64;
+                        let end = flow.rcv.rx.end_offset();
                         if int_end > end {
-                            if flow.rx.advance_end(int_end - end).is_ok() {
+                            if flow.rcv.rx.advance_end(int_end - end).is_ok() {
                                 notify_bytes += int_end - end;
                             } else {
                                 debug_assert!(false, "ooo interval within the ring");
                             }
                         }
-                        flow.ooo_len = 0;
+                        flow.rcv.clear_ooo();
                     }
                 } else {
                     // Payload buffer full: drop the packet (§3.1) — TCP
@@ -339,26 +329,25 @@ impl FastPath {
             } else {
                 // Fast-path exception #2: one tracked out-of-order
                 // interval within the receive buffer.
-                let off = flow.rx.end_offset() + seq::sub(seg_seq, expected) as u64;
-                let horizon = flow.rx.start_offset() + flow.rx.capacity() as u64;
+                let off = flow.rcv.rx.end_offset() + seq::sub(seg_seq, expected) as u64;
+                let horizon = flow.rcv.rx.start_offset() + flow.rcv.rx.capacity() as u64;
                 let fits = off + data.len() as u64 <= horizon;
-                let int_end = flow.ooo_start + flow.ooo_len as u64;
+                let int_end = flow.rcv.ooo_start + flow.rcv.ooo_len as u64;
                 if !self.ooo_rx {
                     // Go-back-N mode: drop everything out of order.
                     self.stats.drop_ooo += 1;
                 } else if !fits {
                     self.stats.drop_ooo += 1;
-                } else if flow.ooo_len == 0 {
-                    if flow.rx.write_at(off, data).is_ok() {
-                        flow.ooo_start = off;
-                        flow.ooo_len = data.len() as u32;
+                } else if flow.rcv.ooo_len == 0 {
+                    if flow.rcv.rx.write_at(off, data).is_ok() {
+                        flow.rcv.set_ooo(off, data.len() as u32);
                         #[cfg(feature = "trace")]
                         trace_fp(
                             now,
                             tas_telemetry::TraceEvent::OooPlace {
-                                flow: flow.key,
-                                start: flow.ooo_start,
-                                len: flow.ooo_len as u64,
+                                flow: flow.conn.key,
+                                start: flow.rcv.ooo_start,
+                                len: flow.rcv.ooo_len as u64,
                             },
                         );
                     } else {
@@ -367,35 +356,34 @@ impl FastPath {
                         debug_assert!(false, "ooo write fits by horizon check");
                         self.stats.drop_ooo += 1;
                     }
-                } else if off >= flow.ooo_start && off + data.len() as u64 <= int_end {
+                } else if off >= flow.rcv.ooo_start && off + data.len() as u64 <= int_end {
                     // Duplicate of data already staged.
                 } else if off == int_end {
-                    if flow.rx.write_at(off, data).is_ok() {
-                        flow.ooo_len += data.len() as u32;
+                    if flow.rcv.rx.write_at(off, data).is_ok() {
+                        flow.rcv.grow_ooo_tail(data.len() as u32);
                         #[cfg(feature = "trace")]
                         trace_fp(
                             now,
                             tas_telemetry::TraceEvent::OooPlace {
-                                flow: flow.key,
-                                start: flow.ooo_start,
-                                len: flow.ooo_len as u64,
+                                flow: flow.conn.key,
+                                start: flow.rcv.ooo_start,
+                                len: flow.rcv.ooo_len as u64,
                             },
                         );
                     } else {
                         debug_assert!(false, "ooo write fits by horizon check");
                         self.stats.drop_ooo += 1;
                     }
-                } else if off + data.len() as u64 == flow.ooo_start {
-                    if flow.rx.write_at(off, data).is_ok() {
-                        flow.ooo_start = off;
-                        flow.ooo_len += data.len() as u32;
+                } else if off + data.len() as u64 == flow.rcv.ooo_start {
+                    if flow.rcv.rx.write_at(off, data).is_ok() {
+                        flow.rcv.grow_ooo_head(off, data.len() as u32);
                         #[cfg(feature = "trace")]
                         trace_fp(
                             now,
                             tas_telemetry::TraceEvent::OooPlace {
-                                flow: flow.key,
-                                start: flow.ooo_start,
-                                len: flow.ooo_len as u64,
+                                flow: flow.conn.key,
+                                start: flow.rcv.ooo_start,
+                                len: flow.rcv.ooo_len as u64,
                             },
                         );
                     } else {
@@ -416,9 +404,9 @@ impl FastPath {
                 return cycles;
             };
             self.out.notices.push((
-                flow.context,
+                flow.conn.context,
                 RxNotice {
-                    opaque: flow.opaque,
+                    opaque: flow.conn.opaque,
                     rx_bytes: notify_bytes as u32,
                     tx_acked: 0,
                 },
@@ -440,30 +428,31 @@ impl FastPath {
                 debug_assert!(false, "emit_ack: flow {fid} not installed");
                 return cycles;
             };
-            flow.win_closed = flow.adv_window() < mss;
+            let closed = flow.adv_window() < mss;
+            flow.fc.set_win_closed(closed);
         }
         let Some(flow) = self.flows.get(fid) else {
             debug_assert!(false, "emit_ack: flow {fid} not installed");
             return cycles;
         };
         let mut h = TcpHeader::new(
-            flow.key.local_port,
-            flow.key.remote_port,
+            flow.conn.key.local_port,
+            flow.conn.key.remote_port,
             flow.seq_of(flow.nxt_off()),
-            flow.rcv_seq_of(flow.rx.end_offset()),
+            flow.rcv_seq_of(flow.rcv.rx.end_offset()),
             TcpFlags::ACK,
         );
-        if flow.last_seg_ce {
+        if flow.cc.last_seg_ce {
             // DCTCP-accurate per-packet ECN echo.
             h.flags |= TcpFlags::ECE;
         }
         h.window = (flow.adv_window() >> TAS_WSCALE).min(u16::MAX as u64) as u16;
-        h.options.timestamp = Some((now.as_micros() as u32, flow.ts_recent));
+        h.options.timestamp = Some((now.as_micros() as u32, flow.conn.ts_recent));
         let seg = Segment::tcp(
             self.local_mac,
-            flow.peer_mac,
+            flow.conn.peer_mac,
             self.local_ip,
-            flow.key.remote_ip,
+            flow.conn.key.remote_ip,
             h,
             PayloadBuf::empty(),
             false,
@@ -494,7 +483,7 @@ impl FastPath {
         let _prof = tas_telemetry::profile::guard("rx_bump");
         let mut cycles = self.charge(acct, Module::Tcp, self.costs.rx_bump);
         let emit = match self.flows.get_mut(fid) {
-            Some(flow) => flow.win_closed && flow.adv_window() >= self.mss as u64,
+            Some(flow) => flow.fc.win_closed && flow.adv_window() >= self.mss as u64,
             None => false,
         };
         if emit {
@@ -519,7 +508,7 @@ impl FastPath {
         let _prof = tas_telemetry::profile::guard("tx_poll");
         self.stats.tx_polls += 1;
         if let Some(flow) = self.flows.get_mut(fid) {
-            flow.tx_timer_armed = false;
+            flow.snd.clear_tx_timer();
         } else {
             return 0;
         }
@@ -541,30 +530,30 @@ impl FastPath {
             let Some(flow) = self.flows.get_mut(fid) else {
                 return 0;
             };
-            flow.bucket.refill(now);
+            flow.cc.bucket.refill(now);
             loop {
-                let avail = flow.tx.end_offset().saturating_sub(flow.nxt_off());
-                let wnd = flow.snd_wnd.min(flow.cwnd);
-                let budget = wnd.saturating_sub(flow.tx_sent);
+                let avail = flow.snd.tx.end_offset().saturating_sub(flow.nxt_off());
+                let wnd = flow.fc.snd_wnd.min(flow.cc.cwnd);
+                let budget = wnd.saturating_sub(flow.snd.tx_sent);
                 let mut n = avail.min(budget).min(mss);
                 if n == 0 {
                     break;
                 }
-                if !flow.bucket.is_unlimited() {
-                    if flow.bucket.tokens == 0
-                        || (flow.bucket.tokens < n && flow.bucket.tokens < mss)
+                if !flow.cc.bucket.is_unlimited() {
+                    if flow.cc.bucket.tokens == 0
+                        || (flow.cc.bucket.tokens < n && flow.cc.bucket.tokens < mss)
                     {
                         // Paced out: arm a timer for when one segment's
                         // credit accrues.
                         let need = n.min(mss);
-                        let wait = flow.bucket.time_until(need, now);
-                        if wait < SimTime::MAX && !flow.tx_timer_armed {
-                            flow.tx_timer_armed = true;
+                        let wait = flow.cc.bucket.time_until(need, now);
+                        if wait < SimTime::MAX && !flow.snd.tx_timer_armed {
+                            flow.snd.arm_tx_timer();
                             arm_at = Some(now + wait.max(SimTime::from_ns(500)));
                         }
                         break;
                     }
-                    n = n.min(flow.bucket.tokens);
+                    n = n.min(flow.cc.bucket.tokens);
                 }
                 let off = flow.nxt_off();
                 // Pooled buffer filled straight from the ring: the per-
@@ -572,37 +561,36 @@ impl FastPath {
                 // state.
                 let mut ok = true;
                 let payload = PayloadBuf::with(n as usize, |dst| {
-                    ok = flow.tx.read_into(off, dst).is_ok();
+                    ok = flow.snd.tx.read_into(off, dst).is_ok();
                 });
                 if !ok {
                     debug_assert!(false, "tx offset within ring");
                     break;
                 }
                 let mut h = TcpHeader::new(
-                    flow.key.local_port,
-                    flow.key.remote_port,
+                    flow.conn.key.local_port,
+                    flow.conn.key.remote_port,
                     flow.seq_of(off),
-                    flow.rcv_seq_of(flow.rx.end_offset()),
+                    flow.rcv_seq_of(flow.rcv.rx.end_offset()),
                     TcpFlags::ACK | TcpFlags::PSH,
                 );
-                if flow.last_seg_ce {
+                if flow.cc.last_seg_ce {
                     h.flags |= TcpFlags::ECE;
                 }
                 h.window = (flow.adv_window() >> TAS_WSCALE).min(u16::MAX as u64) as u16;
-                h.options.timestamp = Some((now.as_micros() as u32, flow.ts_recent));
+                h.options.timestamp = Some((now.as_micros() as u32, flow.conn.ts_recent));
                 let mut seg = Segment::tcp(
                     self.local_mac,
-                    flow.peer_mac,
+                    flow.conn.peer_mac,
                     self.local_ip,
-                    flow.key.remote_ip,
+                    flow.conn.key.remote_ip,
                     h,
                     payload,
                     false,
                 );
                 seg.ip.ecn = Ecn::Ect0;
-                flow.tx_sent += n;
-                flow.max_sent_off = flow.max_sent_off.max(flow.nxt_off());
-                flow.bucket.consume(n);
+                flow.snd.note_sent(n);
+                flow.cc.bucket.consume(n);
                 sent_segments += 1;
                 self.out.packets.push(seg);
                 self.stats.segs_tx += 1;
@@ -636,12 +624,7 @@ impl FastPath {
     /// Updates a flow's rate limit (slow-path congestion control).
     pub fn set_rate(&mut self, fid: u32, bits_per_sec: u64, burst: u64, now: SimTime) {
         if let Some(flow) = self.flows.get_mut(fid) {
-            if flow.bucket.is_unlimited() {
-                flow.bucket = crate::flow::RateBucket::limited(bits_per_sec, burst, now);
-            } else {
-                flow.bucket.burst = burst;
-                flow.bucket.set_rate_bps(bits_per_sec, now);
-            }
+            flow.cc.apply_rate(bits_per_sec, burst, now);
         }
     }
 
@@ -659,40 +642,39 @@ impl FastPath {
             return 0;
         };
         let off = flow.nxt_off();
-        let avail = flow.tx.end_offset().saturating_sub(off);
+        let avail = flow.snd.tx.end_offset().saturating_sub(off);
         let n = avail.min(mss);
         if n == 0 {
             return cycles;
         }
         let mut ok = true;
         let payload = PayloadBuf::with(n as usize, |dst| {
-            ok = flow.tx.read_into(off, dst).is_ok();
+            ok = flow.snd.tx.read_into(off, dst).is_ok();
         });
         if !ok {
             debug_assert!(false, "probe offset within tx ring");
             return cycles;
         }
         let mut h = TcpHeader::new(
-            flow.key.local_port,
-            flow.key.remote_port,
+            flow.conn.key.local_port,
+            flow.conn.key.remote_port,
             flow.seq_of(off),
-            flow.rcv_seq_of(flow.rx.end_offset()),
+            flow.rcv_seq_of(flow.rcv.rx.end_offset()),
             TcpFlags::ACK | TcpFlags::PSH,
         );
         h.window = (flow.adv_window() >> TAS_WSCALE).min(u16::MAX as u64) as u16;
-        h.options.timestamp = Some((now.as_micros() as u32, flow.ts_recent));
+        h.options.timestamp = Some((now.as_micros() as u32, flow.conn.ts_recent));
         let mut seg = Segment::tcp(
             self.local_mac,
-            flow.peer_mac,
+            flow.conn.peer_mac,
             self.local_ip,
-            flow.key.remote_ip,
+            flow.conn.key.remote_ip,
             h,
             payload,
             false,
         );
         seg.ip.ecn = Ecn::Ect0;
-        flow.tx_sent += n;
-        flow.max_sent_off = flow.max_sent_off.max(flow.nxt_off());
+        flow.snd.note_sent(n);
         self.stats.segs_tx += 1;
         self.out.packets.push(seg);
         cycles
@@ -708,13 +690,12 @@ impl FastPath {
             trace_fp(
                 now,
                 tas_telemetry::TraceEvent::Retransmit {
-                    flow: flow.key,
+                    flow: flow.conn.key,
                     kind: "timeout",
-                    seq: flow.seq_of(flow.tx.start_offset()),
+                    seq: flow.seq_of(flow.snd.tx.start_offset()),
                 },
             );
-            flow.tx_sent = 0;
-            flow.dupack_cnt = 0;
+            flow.snd.rewind_for_retransmit();
             self.try_tx(now, fid, acct)
         } else {
             0
@@ -725,7 +706,7 @@ impl FastPath {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flow::RateBucket;
+    use crate::flow::{FpCongCtrl, FpConnMgmt, FpFlowCtrl, FpRecvRel, FpSendRel, RateBucket};
     use tas_proto::FlowKey;
     use tas_shm::ByteRing;
 
@@ -742,43 +723,22 @@ mod tests {
 
     fn install(fp: &mut FastPath) -> u32 {
         let flow = FlowState {
-            opaque: 42,
-            context: 3,
-            bucket: RateBucket::unlimited(),
-            key: FlowKey::new(
-                Ipv4Addr::new(10, 0, 0, 1),
-                80,
-                Ipv4Addr::new(10, 0, 0, 2),
-                5000,
+            conn: FpConnMgmt::new(
+                42,
+                3,
+                FlowKey::new(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    80,
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    5000,
+                ),
+                MacAddr::for_host(2),
+                0,
             ),
-            peer_mac: MacAddr::for_host(2),
-            rx: ByteRing::new(8192),
-            tx: ByteRing::new(8192),
-            tx_sent: 0,
-            max_sent_off: 0,
-            iss: 10_000,
-            irs: 20_000,
-            snd_wnd: 64 * 1024,
-            peer_wscale: 0,
-            dupack_cnt: 0,
-            ooo_start: 0,
-            ooo_len: 0,
-            cnt_ackb: 0,
-            cnt_ecnb: 0,
-            cnt_frexmits: 0,
-            rtt_est_us: 0,
-            ts_recent: 0,
-            cwnd: u64::MAX,
-            last_seg_ce: false,
-            tx_timer_armed: false,
-            win_closed: false,
-            last_una_off: 0,
-            stall_intervals: 0,
-            cc_alpha: 1.0,
-            cc_rate_ewma: 0.0,
-            cc_slow_start: true,
-            cc_prev_rtt_us: 0,
-            closing: false,
+            snd: FpSendRel::new(ByteRing::new(8192), 10_000),
+            rcv: FpRecvRel::new(ByteRing::new(8192), 20_000),
+            fc: FpFlowCtrl::new(64 * 1024, 0),
+            cc: FpCongCtrl::new(RateBucket::unlimited()),
         };
         fp.install_flow(flow)
     }
@@ -830,7 +790,7 @@ mod tests {
         fp.rx_segment(t, data_seg(20_001, b"hello", false), &mut acct);
         // Payload is in the flow's rx ring.
         let flow = fp.flows.get_mut(fid).unwrap();
-        assert_eq!(flow.rx.pop(16), b"hello");
+        assert_eq!(flow.rcv.rx.pop(16), b"hello");
         // One ACK staged, acking 20_006.
         assert_eq!(fp.out.packets.len(), 1);
         let ack = &fp.out.packets[0];
@@ -900,16 +860,16 @@ mod tests {
         fp.rx_segment(SimTime::ZERO, data_seg(20_006, b"WORLD", false), &mut acct);
         {
             let flow = fp.flows.get(fid).unwrap();
-            assert_eq!(flow.ooo_len, 5);
-            assert_eq!(flow.ooo_start, 5);
+            assert_eq!(flow.rcv.ooo_len, 5);
+            assert_eq!(flow.rcv.ooo_start, 5);
         }
         // The dup-ACK still asks for 20_001.
         assert_eq!(fp.out.packets[0].tcp.ack, 20_001);
         // Gap fills: both chunks delivered, one merged notice.
         fp.rx_segment(SimTime::ZERO, data_seg(20_001, b"HELLO", false), &mut acct);
         let flow = fp.flows.get_mut(fid).unwrap();
-        assert_eq!(flow.ooo_len, 0);
-        assert_eq!(flow.rx.pop(16), b"HELLOWORLD");
+        assert_eq!(flow.rcv.ooo_len, 0);
+        assert_eq!(flow.rcv.rx.pop(16), b"HELLOWORLD");
         assert_eq!(fp.out.packets[1].tcp.ack, 20_011);
         let last = fp.out.notices.last().unwrap();
         assert_eq!(
@@ -930,7 +890,7 @@ mod tests {
         fp.rx_segment(SimTime::ZERO, data_seg(20_009, b"bb", false), &mut acct);
         {
             let flow = fp.flows.get(fid).unwrap();
-            assert_eq!((flow.ooo_start, flow.ooo_len), (8, 6));
+            assert_eq!((flow.rcv.ooo_start, flow.rcv.ooo_len), (8, 6));
         }
         // A second, disjoint interval is dropped.
         fp.rx_segment(SimTime::ZERO, data_seg(20_050, b"zz", false), &mut acct);
@@ -942,14 +902,14 @@ mod tests {
             &mut acct,
         );
         let flow = fp.flows.get_mut(fid).unwrap();
-        assert_eq!(flow.rx.pop(32), b"aaaaaaaabbccdd");
+        assert_eq!(flow.rcv.rx.pop(32), b"aaaaaaaabbccdd");
     }
 
     #[test]
     fn rx_buffer_full_drops_packet() {
         let mut fp = fp();
         let fid = install(&mut fp);
-        fp.flows.get_mut(fid).unwrap().rx = ByteRing::new(4);
+        fp.flows.get_mut(fid).unwrap().rcv.rx = ByteRing::new(4);
         let mut acct = CycleAccount::new();
         fp.rx_segment(
             SimTime::ZERO,
@@ -971,6 +931,7 @@ mod tests {
         fp.flows
             .get_mut(fid)
             .unwrap()
+            .snd
             .tx
             .append(&[9u8; 3000])
             .unwrap();
@@ -982,7 +943,7 @@ mod tests {
         assert_eq!(fp.out.packets[2].payload.len(), 3000 - 2 * MSS as usize);
         assert_eq!(fp.out.packets[0].ip.ecn, Ecn::Ect0, "data is ECT(0)");
         let flow = fp.flows.get(fid).unwrap();
-        assert_eq!(flow.tx_sent, 3000);
+        assert_eq!(flow.snd.tx_sent, 3000);
         // Peer acks the first 1448: buffer space freed, notice posted.
         fp.rx_segment(
             t + SimTime::from_us(50),
@@ -990,12 +951,12 @@ mod tests {
             &mut acct,
         );
         let flow = fp.flows.get(fid).unwrap();
-        assert_eq!(flow.tx_sent, 3000 - MSS as u64);
-        assert_eq!(flow.tx.len(), 3000 - MSS as usize);
+        assert_eq!(flow.snd.tx_sent, 3000 - MSS as u64);
+        assert_eq!(flow.snd.tx.len(), 3000 - MSS as usize);
         let last = fp.out.notices.last().unwrap();
         assert_eq!(last.1.tx_acked, MSS);
         // RTT estimated from the timestamp echo (tsecr=5 -> 55us).
-        assert_eq!(flow.rtt_est_us, 55);
+        assert_eq!(flow.conn.rtt_est_us, 55);
     }
 
     #[test]
@@ -1006,6 +967,7 @@ mod tests {
         fp.flows
             .get_mut(fid)
             .unwrap()
+            .snd
             .tx
             .append(&[9u8; 2000])
             .unwrap();
@@ -1016,8 +978,8 @@ mod tests {
             &mut acct,
         );
         let flow = fp.flows.get(fid).unwrap();
-        assert_eq!(flow.cnt_ackb, 1448);
-        assert_eq!(flow.cnt_ecnb, 1448);
+        assert_eq!(flow.cc.cnt_ackb, 1448);
+        assert_eq!(flow.cc.cnt_ecnb, 1448);
     }
 
     #[test]
@@ -1027,10 +989,11 @@ mod tests {
         let mut acct = CycleAccount::new();
         // Duplicate-ACK counting requires an unchanged window (RFC 5681);
         // make the flow's view match the ACKs the test sends.
-        fp.flows.get_mut(fid).unwrap().snd_wnd = 60_000;
+        fp.flows.get_mut(fid).unwrap().fc.snd_wnd = 60_000;
         fp.flows
             .get_mut(fid)
             .unwrap()
+            .snd
             .tx
             .append(&[7u8; 4000])
             .unwrap();
@@ -1047,7 +1010,7 @@ mod tests {
         }
         assert_eq!(fp.stats.fast_rexmits, 1);
         let flow = fp.flows.get(fid).unwrap();
-        assert_eq!(flow.cnt_frexmits, 1);
+        assert_eq!(flow.cc.cnt_frexmits, 1);
         // Retransmission resent everything from the left edge.
         assert!(fp.out.packets.len() > first_sent);
         assert_eq!(fp.out.packets[first_sent].tcp.seq, 10_001);
@@ -1057,17 +1020,18 @@ mod tests {
     fn peer_window_limits_tx() {
         let mut fp = fp();
         let fid = install(&mut fp);
-        fp.flows.get_mut(fid).unwrap().snd_wnd = 2000;
+        fp.flows.get_mut(fid).unwrap().fc.snd_wnd = 2000;
         let mut acct = CycleAccount::new();
         fp.flows
             .get_mut(fid)
             .unwrap()
+            .snd
             .tx
             .append(&[1u8; 8000])
             .unwrap();
         fp.tx_command(SimTime::ZERO, fid, &mut acct);
         let flow = fp.flows.get(fid).unwrap();
-        assert_eq!(flow.tx_sent, 2000, "limited by peer window");
+        assert_eq!(flow.snd.tx_sent, 2000, "limited by peer window");
         assert_eq!(fp.out.packets.len(), 2);
     }
 
@@ -1079,9 +1043,9 @@ mod tests {
         {
             let flow = fp.flows.get_mut(fid).unwrap();
             // 8 Mbps = 1 MB/s; bucket starts with exactly one MSS credit.
-            flow.bucket = RateBucket::limited(8_000_000, 1 << 20, t0);
-            flow.bucket.tokens = MSS as u64;
-            flow.tx.append(&[2u8; 5000]).unwrap();
+            flow.cc.bucket = RateBucket::limited(8_000_000, 1 << 20, t0);
+            flow.cc.bucket.tokens = MSS as u64;
+            flow.snd.tx.append(&[2u8; 5000]).unwrap();
         }
         let mut acct = CycleAccount::new();
         fp.tx_command(t0, fid, &mut acct);
@@ -1109,6 +1073,7 @@ mod tests {
         fp.flows
             .get_mut(fid)
             .unwrap()
+            .snd
             .tx
             .append(&[3u8; 1000])
             .unwrap();
@@ -1126,7 +1091,7 @@ mod tests {
         let fid = install(&mut fp);
         fp.set_rate(fid, 100_000_000, 1 << 16, SimTime::ZERO);
         let flow = fp.flows.get(fid).unwrap();
-        assert!(!flow.bucket.is_unlimited());
-        assert_eq!(flow.bucket.rate_bps, 12_500_000);
+        assert!(!flow.cc.bucket.is_unlimited());
+        assert_eq!(flow.cc.bucket.rate_bps, 12_500_000);
     }
 }

@@ -1,6 +1,16 @@
 //! Per-flow fast-path state (paper Table 3) and the flow table.
+//!
+//! The state is decomposed into the same five components as the
+//! reference TCP engine (DESIGN.md §16): [`FpConnMgmt`] (`conn`),
+//! [`FpSendRel`] (`snd`), [`FpRecvRel`] (`rcv`), [`FpFlowCtrl`] (`fc`)
+//! and [`FpCongCtrl`] (`cc`). Fields stay `pub` — the fast path is a
+//! flat, cache-line-counted struct and external harnesses construct it
+//! literally — but every *mutation* inside the `tas` crate goes through
+//! the owning component's `&mut self` methods, enforced by tas-lint
+//! rule R8's `[components]` ownership map.
 
 use crate::slab::{FlowIndex, Slab};
+use tas_cc::{CcState, CongCtrl, RateFeedback};
 use tas_proto::FlowKey;
 use tas_shm::ByteRing;
 use tas_sim::SimTime;
@@ -33,30 +43,73 @@ pub const FLOW_STATE_BYTES: u64 = {
     bits / 8
 };
 
-/// Operational per-flow state.
-///
-/// The protocol fields correspond 1:1 to Table 3; the payload rings own
-/// the `rx|tx_start/size/head/tail` geometry (a [`ByteRing`] *is* that
-/// buffer — its `start_offset`/`end_offset` are the head/tail fields), and
-/// a few simulation-only fields (timer arming, slow-path stall tracking)
-/// are kept outside the architectural byte count.
+/// Connection-management component: identity, timestamps, RTT tracking,
+/// and lifecycle (slow-path teardown coordination).
 #[derive(Debug)]
-pub struct FlowState {
+pub struct FpConnMgmt {
     /// Application-defined flow identifier, relayed in notifications.
     pub opaque: u64,
     /// RX/TX context queue number.
     pub context: u16,
-    /// Rate bucket (inlined; the paper stores an index into a bucket table).
-    pub bucket: RateBucket,
     /// The flow's 4-tuple (local_port + peer ip|port; peer MAC is carried
     /// in `peer_mac` for segmentation).
     pub key: FlowKey,
     /// Peer MAC for header construction.
     pub peer_mac: tas_proto::MacAddr,
-    /// Per-flow receive payload buffer in user-space memory
-    /// (rx_start|size|head|tail). `end_offset` is the in-order frontier;
-    /// `start_offset` advances as the application reads.
-    pub rx: ByteRing,
+    /// Most recent peer timestamp value, echoed in TSecr.
+    pub ts_recent: u32,
+    /// RTT estimate in microseconds (rtt_est), EWMA from timestamps.
+    pub rtt_est_us: u32,
+    /// The application closed this flow; the slow path is draining it.
+    pub closing: bool,
+}
+
+impl FpConnMgmt {
+    /// Component state at flow installation.
+    pub fn new(
+        opaque: u64,
+        context: u16,
+        key: FlowKey,
+        peer_mac: tas_proto::MacAddr,
+        ts_recent: u32,
+    ) -> FpConnMgmt {
+        FpConnMgmt {
+            opaque,
+            context,
+            key,
+            peer_mac,
+            ts_recent,
+            rtt_est_us: 0,
+            closing: false,
+        }
+    }
+
+    /// Records the peer's latest timestamp value for echo.
+    pub fn note_ts(&mut self, tsval: u32) {
+        self.ts_recent = tsval;
+    }
+
+    /// Folds one RTT sample (µs) into the estimate (EWMA 7/8, like the
+    /// kernel's SRTT).
+    pub fn rtt_sample(&mut self, sample_us: u32) {
+        self.rtt_est_us = if self.rtt_est_us == 0 {
+            sample_us
+        } else {
+            (self.rtt_est_us * 7 + sample_us) / 8
+        };
+    }
+
+    /// The application closed the flow; teardown is deferred until the
+    /// transmit buffer drains.
+    pub fn mark_closing(&mut self) {
+        self.closing = true;
+    }
+}
+
+/// Send-reliability component: the transmit ring, in-flight accounting,
+/// duplicate-ACK recovery, pacing-timer arming, and stall detection.
+#[derive(Debug)]
+pub struct FpSendRel {
     /// Per-flow transmit payload buffer (tx_start|size|head|tail).
     /// `start_offset` is the unacknowledged base; the application appends
     /// at `end_offset`.
@@ -69,19 +122,200 @@ pub struct FlowState {
     pub max_sent_off: u64,
     /// Local initial sequence number; local seq = iss + 1 + tx offset.
     pub iss: u32,
-    /// Peer initial sequence number; peer seq = irs + 1 + rx offset.
-    pub irs: u32,
-    /// Remote receive window in bytes, already scaled (window field).
-    pub snd_wnd: u64,
-    /// Peer window scale shift (negotiated by the slow path).
-    pub peer_wscale: u8,
     /// Duplicate ACK count (dupack_cnt).
     pub dupack_cnt: u8,
+    /// A TX-poll timer is armed for this flow (rate pacing).
+    pub tx_timer_armed: bool,
+    /// Slow-path stall detection: `seq` sampled at the last control loop.
+    pub last_una_off: u64,
+    /// Control intervals the left edge has been stalled with data out.
+    pub stall_intervals: u32,
+}
+
+impl FpSendRel {
+    /// Component state at flow installation.
+    pub fn new(tx: ByteRing, iss: u32) -> FpSendRel {
+        FpSendRel {
+            tx,
+            tx_sent: 0,
+            max_sent_off: 0,
+            iss,
+            dupack_cnt: 0,
+            tx_timer_armed: false,
+            last_una_off: 0,
+            stall_intervals: 0,
+        }
+    }
+
+    /// Absolute TX offset of the next unsent byte.
+    pub fn nxt_off(&self) -> u64 {
+        self.tx.start_offset() + self.tx_sent
+    }
+
+    /// Releases `newly` cumulatively acknowledged bytes from the ring and
+    /// the in-flight count; false on ring-accounting failure (the caller
+    /// degrades by ignoring the ACK).
+    pub fn consume_acked(&mut self, newly: u64) -> bool {
+        if self.tx.consume(newly).is_err() {
+            return false;
+        }
+        self.tx_sent = self.tx_sent.saturating_sub(newly);
+        true
+    }
+
+    /// Progress at the left edge: restart duplicate-ACK counting.
+    pub fn reset_dupacks(&mut self) {
+        self.dupack_cnt = 0;
+    }
+
+    /// Counts one duplicate ACK; returns the new count.
+    pub fn count_dupack(&mut self) -> u8 {
+        self.dupack_cnt = self.dupack_cnt.saturating_add(1);
+        self.dupack_cnt
+    }
+
+    /// Fast recovery: reset the sender as if unacked segments were never
+    /// sent (§3.1).
+    pub fn reset_for_fast_rexmit(&mut self) {
+        self.dupack_cnt = 0;
+        self.tx_sent = 0;
+    }
+
+    /// Slow-path-triggered go-back-N: rewind everything in flight.
+    pub fn rewind_for_retransmit(&mut self) {
+        self.tx_sent = 0;
+        self.dupack_cnt = 0;
+    }
+
+    /// Records `n` freshly transmitted bytes.
+    pub fn note_sent(&mut self, n: u64) {
+        self.tx_sent += n;
+        self.max_sent_off = self.max_sent_off.max(self.nxt_off());
+    }
+
+    /// A pacing timer was armed for this flow.
+    pub fn arm_tx_timer(&mut self) {
+        self.tx_timer_armed = true;
+    }
+
+    /// The pacing timer fired (or was consumed).
+    pub fn clear_tx_timer(&mut self) {
+        self.tx_timer_armed = false;
+    }
+
+    /// Counts one stalled control interval; returns the new count.
+    pub fn bump_stall(&mut self) -> u32 {
+        self.stall_intervals += 1;
+        self.stall_intervals
+    }
+
+    /// The left edge moved (or nothing is outstanding): clear the stall.
+    pub fn clear_stall(&mut self) {
+        self.stall_intervals = 0;
+    }
+
+    /// Samples the left edge for the next control-loop stall check.
+    pub fn sample_una(&mut self) {
+        self.last_una_off = self.tx.start_offset();
+    }
+}
+
+/// Receive-reliability component: the receive ring and the single
+/// tracked out-of-order interval.
+#[derive(Debug)]
+pub struct FpRecvRel {
+    /// Per-flow receive payload buffer in user-space memory
+    /// (rx_start|size|head|tail). `end_offset` is the in-order frontier;
+    /// `start_offset` advances as the application reads.
+    pub rx: ByteRing,
+    /// Peer initial sequence number; peer seq = irs + 1 + rx offset.
+    pub irs: u32,
     /// Out-of-order interval start as an absolute RX stream offset
     /// (ooo_start); meaningful when `ooo_len > 0`.
     pub ooo_start: u64,
     /// Out-of-order interval length (ooo_len).
     pub ooo_len: u32,
+}
+
+impl FpRecvRel {
+    /// Component state at flow installation.
+    pub fn new(rx: ByteRing, irs: u32) -> FpRecvRel {
+        FpRecvRel {
+            rx,
+            irs,
+            ooo_start: 0,
+            ooo_len: 0,
+        }
+    }
+
+    /// The gap closed (or the interval merged): drop the interval.
+    pub fn clear_ooo(&mut self) {
+        self.ooo_len = 0;
+    }
+
+    /// Starts tracking a fresh out-of-order interval.
+    pub fn set_ooo(&mut self, start: u64, len: u32) {
+        self.ooo_start = start;
+        self.ooo_len = len;
+    }
+
+    /// Extends the tracked interval at its tail.
+    pub fn grow_ooo_tail(&mut self, n: u32) {
+        self.ooo_len += n;
+    }
+
+    /// Extends the tracked interval at its head (new start, longer run).
+    pub fn grow_ooo_head(&mut self, new_start: u64, n: u32) {
+        self.ooo_start = new_start;
+        self.ooo_len += n;
+    }
+}
+
+/// Flow-control component: the peer's advertised window and our own
+/// window-update bookkeeping.
+#[derive(Debug)]
+pub struct FpFlowCtrl {
+    /// Remote receive window in bytes, already scaled (window field).
+    pub snd_wnd: u64,
+    /// Peer window scale shift (negotiated by the slow path).
+    pub peer_wscale: u8,
+    /// The last advertised window was below one MSS; an RX-bump (the
+    /// application reading) should then emit an explicit window update.
+    pub win_closed: bool,
+}
+
+impl FpFlowCtrl {
+    /// Component state at flow installation.
+    pub fn new(snd_wnd: u64, peer_wscale: u8) -> FpFlowCtrl {
+        FpFlowCtrl {
+            snd_wnd,
+            peer_wscale,
+            win_closed: false,
+        }
+    }
+
+    /// Updates the peer window (already scaled by the caller, which reads
+    /// `peer_wscale` from this component).
+    pub fn update_wnd(&mut self, scaled: u64) {
+        self.snd_wnd = scaled;
+    }
+
+    /// Records whether the advertised window has collapsed below one MSS.
+    pub fn set_win_closed(&mut self, closed: bool) {
+        self.win_closed = closed;
+    }
+}
+
+/// Congestion-control component: the rate bucket, the feedback counters
+/// the fast path accumulates for the slow path, and the slow-path control
+/// law's persistent state.
+#[derive(Debug)]
+pub struct FpCongCtrl {
+    /// Congestion window in bytes when the slow path runs a window-based
+    /// algorithm; `u64::MAX` under pure rate control.
+    pub cwnd: u64,
+    /// Rate bucket (inlined; the paper stores an index into a bucket table).
+    pub bucket: RateBucket,
     /// Acknowledged bytes since the last slow-path control iteration
     /// (cnt_ackb).
     pub cnt_ackb: u64,
@@ -89,36 +323,110 @@ pub struct FlowState {
     pub cnt_ecnb: u64,
     /// Fast retransmits since the last control iteration (cnt_frexmits).
     pub cnt_frexmits: u8,
-    /// RTT estimate in microseconds (rtt_est), EWMA from timestamps.
-    pub rtt_est_us: u32,
-    /// Most recent peer timestamp value, echoed in TSecr.
-    pub ts_recent: u32,
-    /// Congestion window in bytes when the slow path runs a window-based
-    /// algorithm; `u64::MAX` under pure rate control.
-    pub cwnd: u64,
     /// The last data segment received was CE-marked (drives the DCTCP
     /// per-packet ECN echo).
     pub last_seg_ce: bool,
-    /// A TX-poll timer is armed for this flow (rate pacing).
-    pub tx_timer_armed: bool,
-    /// The last advertised window was below one MSS; an RX-bump (the
-    /// application reading) should then emit an explicit window update.
-    pub win_closed: bool,
-    /// Slow-path stall detection: `seq` sampled at the last control loop.
-    pub last_una_off: u64,
-    /// Control intervals the left edge has been stalled with data out.
-    pub stall_intervals: u32,
-    /// Slow-path CC state: DCTCP alpha (EWMA of mark fraction).
-    pub cc_alpha: f64,
-    /// Slow-path CC state: EWMA of the measured send rate in bits/second
-    /// (smooths per-interval quantization noise for the 1.2× growth cap).
-    pub cc_rate_ewma: f64,
-    /// Slow-path CC state: flow still in slow start.
-    pub cc_slow_start: bool,
-    /// Slow-path CC state: TIMELY previous RTT sample (µs).
-    pub cc_prev_rtt_us: u32,
-    /// The application closed this flow; the slow path is draining it.
-    pub closing: bool,
+    /// Persistent control-law state (shared `tas-cc` rate facet).
+    pub state: CcState,
+}
+
+impl FpCongCtrl {
+    /// Component state at flow installation.
+    pub fn new(bucket: RateBucket) -> FpCongCtrl {
+        FpCongCtrl {
+            cwnd: u64::MAX,
+            bucket,
+            cnt_ackb: 0,
+            cnt_ecnb: 0,
+            cnt_frexmits: 0,
+            last_seg_ce: false,
+            state: CcState::new(),
+        }
+    }
+
+    /// Records the CE mark state of the data segment just received.
+    pub fn note_ce(&mut self, ce: bool) {
+        self.last_seg_ce = ce;
+    }
+
+    /// Counts cumulatively acknowledged bytes (and their ECN echo) for
+    /// the next control iteration.
+    pub fn count_acked(&mut self, newly: u64, ece: bool) {
+        self.cnt_ackb += newly;
+        if ece {
+            self.cnt_ecnb += newly;
+        }
+    }
+
+    /// A duplicate ACK carried ECE: count a nominal MSS of marked bytes
+    /// so the slow path sees congestion feedback even without progress.
+    pub fn count_nominal_mark(&mut self, mss: u64) {
+        self.cnt_ecnb += mss;
+        self.cnt_ackb += mss;
+    }
+
+    /// Counts one fast retransmission (loss signal for the control loop).
+    pub fn count_fast_rexmit(&mut self) {
+        self.cnt_frexmits = self.cnt_frexmits.saturating_add(1);
+    }
+
+    /// Slow-path rate update: converts an unlimited bucket or retunes the
+    /// existing one (preserving accrued credit).
+    pub fn apply_rate(&mut self, bits_per_sec: u64, burst: u64, now: SimTime) {
+        if self.bucket.is_unlimited() {
+            self.bucket = RateBucket::limited(bits_per_sec, burst, now);
+        } else {
+            self.bucket.burst = burst;
+            self.bucket.set_rate_bps(bits_per_sec, now);
+        }
+    }
+
+    /// Drains the accumulated feedback counters into a control-law input.
+    pub fn take_feedback(&mut self, rtt_est_us: u32) -> RateFeedback {
+        let fb = RateFeedback {
+            ackb: self.cnt_ackb,
+            ecnb: self.cnt_ecnb,
+            frexmits: self.cnt_frexmits,
+            rtt_est_us,
+        };
+        self.cnt_ackb = 0;
+        self.cnt_ecnb = 0;
+        self.cnt_frexmits = 0;
+        fb
+    }
+
+    /// Runs one control-law iteration over this flow's persistent state.
+    pub fn rate_iteration(
+        &mut self,
+        algo: &dyn CongCtrl,
+        fb: RateFeedback,
+        current_bps: u64,
+        interval_secs: f64,
+    ) -> u64 {
+        algo.rate_iteration(&mut self.state, fb, current_bps, interval_secs)
+    }
+}
+
+/// Operational per-flow state.
+///
+/// The protocol fields correspond 1:1 to Table 3, grouped by owning
+/// component; the payload rings own the `rx|tx_start/size/head/tail`
+/// geometry (a [`ByteRing`] *is* that buffer — its
+/// `start_offset`/`end_offset` are the head/tail fields), and a few
+/// simulation-only fields (timer arming, slow-path stall tracking) are
+/// kept outside the architectural byte count.
+#[derive(Debug)]
+pub struct FlowState {
+    /// Connection management (identity, timestamps, lifecycle).
+    pub conn: FpConnMgmt,
+    /// Send reliability (tx ring, in-flight, recovery, stalls).
+    pub snd: FpSendRel,
+    /// Receive reliability (rx ring, out-of-order interval).
+    pub rcv: FpRecvRel,
+    /// Flow control (peer window, window updates).
+    pub fc: FpFlowCtrl,
+    /// Congestion control (bucket, feedback counters, law state).
+    pub cc: FpCongCtrl,
 }
 
 /// Token-bucket rate limiter enforced by the fast path, configured by the
@@ -240,23 +548,23 @@ impl RateBucket {
 impl FlowState {
     /// Local sequence number for an absolute TX stream offset.
     pub fn seq_of(&self, off: u64) -> u32 {
-        self.iss.wrapping_add(1).wrapping_add(off as u32)
+        self.snd.iss.wrapping_add(1).wrapping_add(off as u32)
     }
 
     /// Peer sequence number for an absolute RX stream offset.
     pub fn rcv_seq_of(&self, off: u64) -> u32 {
-        self.irs.wrapping_add(1).wrapping_add(off as u32)
+        self.rcv.irs.wrapping_add(1).wrapping_add(off as u32)
     }
 
     /// Absolute TX offset of the next unsent byte.
     pub fn nxt_off(&self) -> u64 {
-        self.tx.start_offset() + self.tx_sent
+        self.snd.nxt_off()
     }
 
     /// Receive window to advertise (free in-order buffer space).
     pub fn adv_window(&self) -> u64 {
         // Space past the committed frontier, minus the staged OOO interval.
-        (self.rx.free() as u64).saturating_sub(self.ooo_len as u64)
+        (self.rcv.rx.free() as u64).saturating_sub(self.rcv.ooo_len as u64)
     }
 }
 
@@ -294,7 +602,7 @@ impl FlowTable {
     /// Installing a key twice is a slow-path bug; debug/audit builds
     /// assert, release builds overwrite the index entry and keep going.
     pub fn insert(&mut self, flow: FlowState) -> u32 {
-        let key = flow.key;
+        let key = flow.conn.key;
         let id = self.slots.insert(flow);
         let prev = self.index.insert(key, id);
         debug_assert!(prev.is_none(), "flow {key} already installed");
@@ -319,7 +627,7 @@ impl FlowTable {
     /// Removes a flow, returning its state.
     pub fn remove(&mut self, id: u32) -> Option<FlowState> {
         let flow = self.slots.remove(id)?;
-        self.index.remove(&flow.key);
+        self.index.remove(&flow.conn.key);
         Some(flow)
     }
 
@@ -399,43 +707,22 @@ mod tests {
 
     fn dummy_flow(port: u16) -> FlowState {
         FlowState {
-            opaque: port as u64,
-            context: 0,
-            bucket: RateBucket::unlimited(),
-            key: FlowKey::new(
-                Ipv4Addr::new(10, 0, 0, 1),
-                80,
-                Ipv4Addr::new(10, 0, 0, 2),
-                port,
+            conn: FpConnMgmt::new(
+                port as u64,
+                0,
+                FlowKey::new(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    80,
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    port,
+                ),
+                tas_proto::MacAddr::for_host(2),
+                0,
             ),
-            peer_mac: tas_proto::MacAddr::for_host(2),
-            rx: ByteRing::new(1024),
-            tx: ByteRing::new(1024),
-            tx_sent: 0,
-            max_sent_off: 0,
-            iss: 100,
-            irs: 200,
-            snd_wnd: 1024,
-            peer_wscale: 0,
-            dupack_cnt: 0,
-            ooo_start: 0,
-            ooo_len: 0,
-            cnt_ackb: 0,
-            cnt_ecnb: 0,
-            cnt_frexmits: 0,
-            rtt_est_us: 0,
-            ts_recent: 0,
-            cwnd: u64::MAX,
-            last_seg_ce: false,
-            tx_timer_armed: false,
-            win_closed: false,
-            last_una_off: 0,
-            stall_intervals: 0,
-            cc_alpha: 1.0,
-            cc_rate_ewma: 0.0,
-            cc_slow_start: true,
-            cc_prev_rtt_us: 0,
-            closing: false,
+            snd: FpSendRel::new(ByteRing::new(1024), 100),
+            rcv: FpRecvRel::new(ByteRing::new(1024), 200),
+            fc: FpFlowCtrl::new(1024, 0),
+            cc: FpCongCtrl::new(RateBucket::unlimited()),
         }
     }
 
@@ -446,7 +733,7 @@ mod tests {
         let id2 = t.insert(dummy_flow(1001));
         assert_ne!(id1, id2);
         assert_eq!(t.len(), 2);
-        let k = t.get(id1).unwrap().key;
+        let k = t.get(id1).unwrap().conn.key;
         assert_eq!(t.lookup(&k), Some(id1));
         t.remove(id1);
         assert_eq!(t.lookup(&k), None);
@@ -466,7 +753,7 @@ mod tests {
     fn adv_window_excludes_ooo_interval() {
         let mut f = dummy_flow(7);
         assert_eq!(f.adv_window(), 1024);
-        f.ooo_len = 100;
+        f.rcv.ooo_len = 100;
         assert_eq!(f.adv_window(), 924);
     }
 }

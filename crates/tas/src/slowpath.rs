@@ -14,7 +14,9 @@
 use crate::cc::{dctcp_rate_iteration, timely_iteration, DctcpRateParams, TimelyParams};
 use crate::config::{CcAlgo, TasConfig};
 use crate::fastpath::{FastPath, TAS_WSCALE};
-use crate::flow::{FlowState, RateBucket};
+use crate::flow::{
+    FlowState, FpCongCtrl, FpConnMgmt, FpFlowCtrl, FpRecvRel, FpSendRel, RateBucket,
+};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use tas_cpusim::{CycleAccount, Module};
@@ -337,38 +339,11 @@ impl SlowPath {
             ),
         };
         let flow = FlowState {
-            opaque: hs.opaque,
-            context: hs.context,
-            bucket,
-            key: hs.key,
-            peer_mac: hs.peer_mac,
-            rx: ByteRing::new(self.rx_buf),
-            tx: ByteRing::new(self.tx_buf),
-            tx_sent: 0,
-            max_sent_off: 0,
-            iss: hs.iss,
-            irs: hs.irs,
-            snd_wnd: hs.peer_win,
-            peer_wscale: hs.peer_wscale,
-            dupack_cnt: 0,
-            ooo_start: 0,
-            ooo_len: 0,
-            cnt_ackb: 0,
-            cnt_ecnb: 0,
-            cnt_frexmits: 0,
-            rtt_est_us: 0,
-            ts_recent: hs.ts_recent,
-            cwnd: u64::MAX,
-            last_seg_ce: false,
-            tx_timer_armed: false,
-            win_closed: false,
-            last_una_off: 0,
-            stall_intervals: 0,
-            cc_alpha: 1.0,
-            cc_rate_ewma: 0.0,
-            cc_slow_start: true,
-            cc_prev_rtt_us: 0,
-            closing: false,
+            conn: FpConnMgmt::new(hs.opaque, hs.context, hs.key, hs.peer_mac, hs.ts_recent),
+            snd: FpSendRel::new(ByteRing::new(self.tx_buf), hs.iss),
+            rcv: FpRecvRel::new(ByteRing::new(self.rx_buf), hs.irs),
+            fc: FpFlowCtrl::new(hs.peer_win, hs.peer_wscale),
+            cc: FpCongCtrl::new(bucket),
         };
         self.stats.established += 1;
         #[cfg(feature = "trace")]
@@ -411,8 +386,8 @@ impl SlowPath {
             let Some(flow) = fp.flows.get_mut(fid) else {
                 return cycles;
             };
-            flow.closing = true;
-            flow.tx.is_empty()
+            flow.conn.mark_closing();
+            flow.snd.tx.is_empty()
         };
         if drained {
             self.start_teardown(now, fid, fp);
@@ -425,35 +400,35 @@ impl SlowPath {
     fn start_teardown(&mut self, now: SimTime, fid: u32, fp: &mut FastPath) -> Option<ByteRing> {
         let flow = fp.remove_flow(fid)?;
         self.out.events.push(SpAppEvent::Detached {
-            opaque: flow.opaque,
+            opaque: flow.conn.opaque,
             fid,
         });
         // Existing peer-FIN state (remote closed first)?
         let peer_fin = self
             .teardowns
-            .get(&flow.key)
+            .get(&flow.conn.key)
             .map(|t| t.peer_fin)
             .unwrap_or(false);
         let fin_seq = flow.seq_of(flow.nxt_off());
-        let mut rcv_ack = flow.rcv_seq_of(flow.rx.end_offset());
+        let mut rcv_ack = flow.rcv_seq_of(flow.rcv.rx.end_offset());
         if peer_fin {
             rcv_ack = rcv_ack.wrapping_add(1);
         }
         let td = Teardown {
-            key: flow.key,
-            peer_mac: flow.peer_mac,
-            opaque: flow.opaque,
+            key: flow.conn.key,
+            peer_mac: flow.conn.peer_mac,
+            opaque: flow.conn.opaque,
             fin_seq,
             rcv_ack,
-            ts_recent: flow.ts_recent,
+            ts_recent: flow.conn.ts_recent,
             fin_acked: false,
             peer_fin,
             deadline: now + RETRY_AFTER,
             attempts: 0,
         };
         self.send_fin(now, &td);
-        self.teardowns.insert(flow.key, td);
-        Some(flow.rx)
+        self.teardowns.insert(flow.conn.key, td);
+        Some(flow.rcv.rx)
     }
 
     fn send_fin(&mut self, now: SimTime, td: &Teardown) {
@@ -676,24 +651,24 @@ impl SlowPath {
                 debug_assert!(false, "flow table lookup returned fid {fid} without an entry");
                 return 0;
             };
-            let expected = flow.rcv_seq_of(flow.rx.end_offset());
+            let expected = flow.rcv_seq_of(flow.rcv.rx.end_offset());
             // Deliver any payload carried with the FIN (rare; peers here
             // send pure FINs, but be liberal).
             let fin_seq = seg.tcp.seq.wrapping_add(seg.payload.len() as u32);
             if seq::gt(fin_seq, expected) && !seg.payload.is_empty() && seg.tcp.seq == expected {
-                let take = seg.payload.len().min(flow.rx.free());
-                if flow.rx.append(&seg.payload[..take]).is_err() {
+                let take = seg.payload.len().min(flow.rcv.rx.free());
+                if flow.rcv.rx.append(&seg.payload[..take]).is_err() {
                     debug_assert!(false, "append is bounded by rx.free()");
                 }
             }
-            let rcv_ack = flow.rcv_seq_of(flow.rx.end_offset()).wrapping_add(1);
-            let peer_mac = flow.peer_mac;
+            let rcv_ack = flow.rcv_seq_of(flow.rcv.rx.end_offset()).wrapping_add(1);
+            let peer_mac = flow.conn.peer_mac;
             let seq_no = flow.seq_of(flow.nxt_off());
             // Record the peer FIN so a later local close skips its wait.
             let td = Teardown {
                 key,
                 peer_mac,
-                opaque: flow.opaque,
+                opaque: flow.conn.opaque,
                 fin_seq: 0,
                 rcv_ack,
                 ts_recent: ts,
@@ -827,55 +802,52 @@ impl SlowPath {
             cycles += 60; // Per-flow control work.
                           // Stall detection (paper: unacked data with constant sequence
                           // number for 2 control intervals → retransmit).
-            if flow.tx_sent > 0 {
-                if flow.tx.start_offset() == flow.last_una_off {
-                    flow.stall_intervals += 1;
+            if flow.snd.tx_sent > 0 {
+                if flow.snd.tx.start_offset() == flow.snd.last_una_off {
+                    let stalls = flow.snd.bump_stall();
                     // Retransmit after the configured number of intervals,
                     // but never before several RTTs have elapsed (the flow's
                     // own timescale; avoids spurious go-back-N when RTTs
                     // inflate under load).
-                    let stalled_for = effective
-                        .as_ps()
-                        .saturating_mul(flow.stall_intervals as u64);
-                    let rtt_floor = (flow.rtt_est_us as u64)
+                    let stalled_for = effective.as_ps().saturating_mul(stalls as u64);
+                    let rtt_floor = (flow.conn.rtt_est_us as u64)
                         .saturating_mul(3_000_000) // 3 RTTs in ps.
                         .max(effective.as_ps());
-                    if flow.stall_intervals >= self.stall_intervals_for_rexmit
-                        && stalled_for >= rtt_floor
-                    {
-                        flow.stall_intervals = 0;
+                    if stalls >= self.stall_intervals_for_rexmit && stalled_for >= rtt_floor {
+                        flow.snd.clear_stall();
                         // Count as loss for the next CC iteration.
-                        flow.cnt_frexmits = flow.cnt_frexmits.saturating_add(1);
+                        flow.cc.count_fast_rexmit();
                         rexmit.push(fid);
                     }
                 } else {
-                    flow.stall_intervals = 0;
+                    flow.snd.clear_stall();
                 }
-            } else if flow.tx.len() > flow.tx_sent as usize && flow.snd_wnd < self.mss as u64 {
+            } else if flow.snd.tx.len() > flow.snd.tx_sent as usize
+                && flow.fc.snd_wnd < self.mss as u64
+            {
                 // Zero-window persist: pending data, nothing in flight,
                 // shut window — probe so a lost window update cannot
                 // deadlock the flow.
-                flow.stall_intervals += 1;
-                if flow.stall_intervals >= self.stall_intervals_for_rexmit {
-                    flow.stall_intervals = 0;
+                if flow.snd.bump_stall() >= self.stall_intervals_for_rexmit {
+                    flow.snd.clear_stall();
                     probe.push(fid);
                 }
             } else {
-                flow.stall_intervals = 0;
+                flow.snd.clear_stall();
             }
-            flow.last_una_off = flow.tx.start_offset();
+            flow.snd.sample_una();
             // Congestion control.
             match self.cc {
                 CcAlgo::None => {}
                 CcAlgo::DctcpRate => {
-                    let cur = flow.bucket.rate_bps.saturating_mul(8);
+                    let cur = flow.cc.bucket.rate_bps.saturating_mul(8);
                     let newr = dctcp_rate_iteration(flow, cur, interval_secs, &self.dctcp);
                     if newr != cur {
                         rate_updates.push((fid, newr));
                     }
                 }
                 CcAlgo::Timely => {
-                    let cur = flow.bucket.rate_bps.saturating_mul(8);
+                    let cur = flow.cc.bucket.rate_bps.saturating_mul(8);
                     let newr = timely_iteration(flow, cur, &self.timely);
                     if newr != cur {
                         rate_updates.push((fid, newr));
@@ -883,7 +855,7 @@ impl SlowPath {
                 }
             }
             // Deferred close once drained.
-            if flow.closing && flow.tx.is_empty() {
+            if flow.conn.closing && flow.snd.tx.is_empty() {
                 to_close.push(fid);
             }
         }
@@ -894,7 +866,7 @@ impl SlowPath {
                 trace_sp(
                     now,
                     tas_telemetry::TraceEvent::CcRate {
-                        flow: flow.key,
+                        flow: flow.conn.key,
                         rate: bps,
                     },
                 );

@@ -1,377 +1,11 @@
-//! Pluggable congestion control: NewReno and window-based DCTCP.
+//! Congestion-control façade for the reference TCP engine.
 //!
-//! These are the *window-based* algorithms run by the baseline stacks and
-//! by the "DCTCP" / "TCP" lines of Figures 11–13. TAS's own *rate-based*
-//! DCTCP (the paper's contribution, enforced by the fast path and computed
-//! by the slow path) lives in the `tas` crate.
+//! The algorithms themselves live in the shared `tas-cc` crate — one
+//! source of truth consumed by both this per-connection engine (window
+//! facet) and the TAS slow path (rate facet). This module re-exports the
+//! shared surface under the names the engine and its callers have always
+//! used; `CongestionControl` is the historical local name for
+//! [`tas_cc::CongCtrl`].
 
-use tas_sim::SimTime;
-
-/// Which congestion-control algorithm a connection runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum CcKind {
-    /// Loss-based NewReno (the "TCP" lines in the paper's figures).
-    NewReno,
-    /// Window-based DCTCP (ECN-proportional backoff).
-    Dctcp,
-}
-
-/// Feedback for one ACK arrival.
-#[derive(Clone, Copy, Debug)]
-pub struct AckInfo {
-    /// Newly acknowledged bytes.
-    pub acked: u32,
-    /// The ACK carried an ECN echo.
-    pub ece: bool,
-    /// Arrival time.
-    pub now: SimTime,
-    /// RTT estimate at this point, if known.
-    pub srtt: Option<SimTime>,
-}
-
-/// A congestion-control algorithm producing a congestion window in bytes.
-pub trait CongestionControl: std::fmt::Debug {
-    /// Processes one (possibly ECN-echoing) ACK.
-    fn on_ack(&mut self, info: AckInfo);
-    /// Reacts to a retransmission timeout.
-    fn on_timeout(&mut self);
-    /// Reacts to entering fast recovery (triple duplicate ACK).
-    fn on_fast_retransmit(&mut self);
-    /// Current congestion window in bytes.
-    fn cwnd(&self) -> u32;
-    /// Slow-start threshold in bytes (for inspection/tests).
-    fn ssthresh(&self) -> u32;
-    /// Algorithm name for experiment output.
-    fn name(&self) -> &'static str;
-}
-
-/// Creates the algorithm for `kind` with the given MSS.
-pub fn make_cc(kind: CcKind, mss: u32) -> Box<dyn CongestionControl> {
-    match kind {
-        CcKind::NewReno => Box::new(NewReno::new(mss)),
-        CcKind::Dctcp => Box::new(Dctcp::new(mss)),
-    }
-}
-
-/// Classic NewReno: slow start, congestion avoidance, multiplicative
-/// decrease on loss; RFC 3168 response to ECE (treat as loss, once per
-/// window — the window-limiting is handled by the caller latching ECE).
-#[derive(Debug)]
-pub struct NewReno {
-    mss: u32,
-    cwnd: u32,
-    ssthresh: u32,
-    acked_accum: u32,
-}
-
-/// Initial window: 10 segments (RFC 6928, what Linux uses).
-const INIT_WINDOW_SEGS: u32 = 10;
-
-impl NewReno {
-    /// Creates NewReno state with the standard initial window.
-    pub fn new(mss: u32) -> Self {
-        NewReno {
-            mss,
-            cwnd: INIT_WINDOW_SEGS * mss,
-            ssthresh: u32::MAX,
-            acked_accum: 0,
-        }
-    }
-
-    fn halve(&mut self) {
-        self.ssthresh = (self.cwnd / 2).max(2 * self.mss);
-        self.cwnd = self.ssthresh;
-    }
-}
-
-impl CongestionControl for NewReno {
-    fn on_ack(&mut self, info: AckInfo) {
-        if info.ece {
-            // RFC 3168: same response as packet loss.
-            self.halve();
-            return;
-        }
-        if self.cwnd < self.ssthresh {
-            // Slow start: one MSS per acked MSS.
-            self.cwnd = self.cwnd.saturating_add(info.acked.min(self.mss));
-        } else {
-            // Congestion avoidance: one MSS per window.
-            self.acked_accum += info.acked;
-            if self.acked_accum >= self.cwnd {
-                self.acked_accum -= self.cwnd;
-                self.cwnd = self.cwnd.saturating_add(self.mss);
-            }
-        }
-    }
-
-    fn on_timeout(&mut self) {
-        self.ssthresh = (self.cwnd / 2).max(2 * self.mss);
-        self.cwnd = self.mss;
-    }
-
-    fn on_fast_retransmit(&mut self) {
-        self.halve();
-    }
-
-    fn cwnd(&self) -> u32 {
-        self.cwnd
-    }
-
-    fn ssthresh(&self) -> u32 {
-        self.ssthresh
-    }
-
-    fn name(&self) -> &'static str {
-        "newreno"
-    }
-}
-
-/// Window-based DCTCP (Alizadeh et al., SIGCOMM 2010).
-///
-/// Tracks the fraction `F` of ECN-marked bytes per observation window
-/// (~1 RTT), smooths it into `alpha`, and on marks reduces the window by
-/// `alpha/2` — gentle under mild congestion, as aggressive as NewReno when
-/// everything is marked. Slow start is unchanged.
-#[derive(Debug)]
-pub struct Dctcp {
-    mss: u32,
-    cwnd: u32,
-    ssthresh: u32,
-    acked_accum: u32,
-    /// EWMA of the marked fraction.
-    alpha: f64,
-    /// Smoothing gain `g`.
-    gain: f64,
-    bytes_acked_win: u64,
-    bytes_marked_win: u64,
-    window_end: Option<SimTime>,
-    reduced_this_window: bool,
-}
-
-impl Dctcp {
-    /// Creates DCTCP state with the standard `g = 1/16`.
-    pub fn new(mss: u32) -> Self {
-        Dctcp {
-            mss,
-            cwnd: INIT_WINDOW_SEGS * mss,
-            ssthresh: u32::MAX,
-            acked_accum: 0,
-            alpha: 1.0, // Conservative start, per the DCTCP paper.
-            gain: 1.0 / 16.0,
-            bytes_acked_win: 0,
-            bytes_marked_win: 0,
-            window_end: None,
-            reduced_this_window: false,
-        }
-    }
-
-    /// Current smoothed mark fraction (for tests and experiment output).
-    pub fn alpha(&self) -> f64 {
-        self.alpha
-    }
-
-    fn roll_window(&mut self, info: &AckInfo) {
-        let rtt = info.srtt.unwrap_or(SimTime::from_us(100));
-        match self.window_end {
-            Some(end) if info.now < end => {}
-            _ => {
-                if self.bytes_acked_win > 0 {
-                    let f = self.bytes_marked_win as f64 / self.bytes_acked_win as f64;
-                    self.alpha = (1.0 - self.gain) * self.alpha + self.gain * f;
-                }
-                self.bytes_acked_win = 0;
-                self.bytes_marked_win = 0;
-                self.window_end = Some(info.now + rtt);
-                self.reduced_this_window = false;
-            }
-        }
-    }
-}
-
-impl CongestionControl for Dctcp {
-    fn on_ack(&mut self, info: AckInfo) {
-        self.roll_window(&info);
-        self.bytes_acked_win += info.acked as u64;
-        if info.ece {
-            self.bytes_marked_win += info.acked as u64;
-            // Leave slow start on first congestion signal.
-            if self.cwnd < self.ssthresh {
-                self.ssthresh = self.cwnd;
-            }
-            if !self.reduced_this_window {
-                self.reduced_this_window = true;
-                let reduce = (self.cwnd as f64 * self.alpha / 2.0) as u32;
-                self.cwnd = self.cwnd.saturating_sub(reduce).max(2 * self.mss);
-                self.ssthresh = self.cwnd;
-                return;
-            }
-        }
-        if self.cwnd < self.ssthresh {
-            self.cwnd = self.cwnd.saturating_add(info.acked.min(self.mss));
-        } else {
-            self.acked_accum += info.acked;
-            if self.acked_accum >= self.cwnd {
-                self.acked_accum -= self.cwnd;
-                self.cwnd = self.cwnd.saturating_add(self.mss);
-            }
-        }
-    }
-
-    fn on_timeout(&mut self) {
-        self.ssthresh = (self.cwnd / 2).max(2 * self.mss);
-        self.cwnd = self.mss;
-    }
-
-    fn on_fast_retransmit(&mut self) {
-        self.ssthresh = (self.cwnd / 2).max(2 * self.mss);
-        self.cwnd = self.ssthresh;
-    }
-
-    fn cwnd(&self) -> u32 {
-        self.cwnd
-    }
-
-    fn ssthresh(&self) -> u32 {
-        self.ssthresh
-    }
-
-    fn name(&self) -> &'static str {
-        "dctcp"
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    const MSS: u32 = 1448;
-
-    fn ack(acked: u32, ece: bool, t_us: u64) -> AckInfo {
-        AckInfo {
-            acked,
-            ece,
-            now: SimTime::from_us(t_us),
-            srtt: Some(SimTime::from_us(100)),
-        }
-    }
-
-    #[test]
-    fn newreno_slow_start_doubles_per_rtt() {
-        let mut cc = NewReno::new(MSS);
-        let start = cc.cwnd();
-        // Ack a full window: cwnd should double in slow start.
-        let mut acked = 0;
-        while acked < start {
-            cc.on_ack(ack(MSS, false, 1));
-            acked += MSS;
-        }
-        assert!(
-            cc.cwnd() >= 2 * start - MSS,
-            "cwnd {} vs {}",
-            cc.cwnd(),
-            start
-        );
-    }
-
-    #[test]
-    fn newreno_congestion_avoidance_linear() {
-        let mut cc = NewReno::new(MSS);
-        cc.on_timeout();
-        // ssthresh is now low; grow past it into CA.
-        while cc.cwnd() < cc.ssthresh() {
-            cc.on_ack(ack(MSS, false, 1));
-        }
-        let w = cc.cwnd();
-        // One full window of ACKs adds exactly one MSS.
-        let mut acked = 0;
-        while acked < w {
-            cc.on_ack(ack(MSS, false, 2));
-            acked += MSS;
-        }
-        assert_eq!(cc.cwnd(), w + MSS);
-    }
-
-    #[test]
-    fn newreno_loss_responses() {
-        let mut cc = NewReno::new(MSS);
-        let w0 = cc.cwnd();
-        cc.on_fast_retransmit();
-        assert_eq!(cc.cwnd(), w0 / 2);
-        cc.on_timeout();
-        assert_eq!(cc.cwnd(), MSS);
-        assert_eq!(cc.ssthresh(), (w0 / 2 / 2).max(2 * MSS));
-    }
-
-    #[test]
-    fn newreno_ece_acts_like_loss() {
-        let mut cc = NewReno::new(MSS);
-        let w0 = cc.cwnd();
-        cc.on_ack(ack(MSS, true, 1));
-        assert_eq!(cc.cwnd(), w0 / 2);
-    }
-
-    #[test]
-    fn dctcp_alpha_tracks_mark_fraction() {
-        let mut cc = Dctcp::new(MSS);
-        // Feed many windows with ~50% marked bytes.
-        let mut t = 0;
-        for _ in 0..300 {
-            t += 200; // 2 windows of 100us RTT.
-            cc.on_ack(AckInfo {
-                acked: MSS,
-                ece: t % 400 == 0,
-                now: SimTime::from_us(t),
-                srtt: Some(SimTime::from_us(100)),
-            });
-        }
-        assert!(
-            (cc.alpha() - 0.5).abs() < 0.15,
-            "alpha {} should approach 0.5",
-            cc.alpha()
-        );
-    }
-
-    #[test]
-    fn dctcp_gentle_reduction_scales_with_alpha() {
-        let mut cc = Dctcp::new(MSS);
-        // Converge alpha near zero first (no marks).
-        for i in 0..2000 {
-            cc.on_ack(ack(MSS, false, 1 + i * 10));
-        }
-        let w = cc.cwnd();
-        let alpha = cc.alpha();
-        assert!(alpha < 0.05, "alpha {alpha}");
-        // A single mark now barely dents the window.
-        cc.on_ack(ack(MSS, true, 1_000_000));
-        let reduce = w - cc.cwnd();
-        assert!(
-            (reduce as f64) <= w as f64 * 0.05,
-            "gentle: reduced {reduce} of {w}"
-        );
-    }
-
-    #[test]
-    fn dctcp_reduces_once_per_window() {
-        let mut cc = Dctcp::new(MSS);
-        let w0 = cc.cwnd();
-        cc.on_ack(ack(MSS, true, 100));
-        let w1 = cc.cwnd();
-        assert!(w1 < w0);
-        // Same observation window: second mark must not reduce again.
-        cc.on_ack(ack(MSS, true, 110));
-        assert!(cc.cwnd() >= w1, "no double reduction within a window");
-    }
-
-    #[test]
-    fn dctcp_timeout_collapses_window() {
-        let mut cc = Dctcp::new(MSS);
-        cc.on_timeout();
-        assert_eq!(cc.cwnd(), MSS);
-    }
-
-    #[test]
-    fn factory_dispatches() {
-        assert_eq!(make_cc(CcKind::NewReno, MSS).name(), "newreno");
-        assert_eq!(make_cc(CcKind::Dctcp, MSS).name(), "dctcp");
-    }
-}
+pub use tas_cc::CongCtrl as CongestionControl;
+pub use tas_cc::{make_cc, AckInfo, CcKind, Dctcp, NewReno, Timely};

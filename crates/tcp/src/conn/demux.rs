@@ -1,0 +1,50 @@
+//! `Demux`: stateless segment steering. Owns no fields by construction —
+//! it maps a received segment to a connection key and classifies what a
+//! host should do with it. Both the baseline stack hosts and tests use
+//! this one implementation so steering decisions cannot drift between
+//! hosts.
+
+use tas_proto::{FlowKey, Segment, TcpFlags};
+
+/// What a host should do with a received segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DemuxDecision {
+    /// A connection matches the key: deliver to it.
+    Deliver,
+    /// No connection, but a listener on the local port should accept
+    /// this bare SYN.
+    Accept,
+    /// No matching state: drop (a RST generator is not needed for the
+    /// experiments).
+    Drop,
+}
+
+/// Stateless demultiplexer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Demux;
+
+impl Demux {
+    /// The connection key for a received segment, from the receiver's
+    /// perspective.
+    pub fn key(seg: &Segment) -> FlowKey {
+        seg.flow_key()
+    }
+
+    /// True for a connection-opening SYN (SYN without ACK).
+    pub fn is_bare_syn(seg: &Segment) -> bool {
+        seg.tcp.flags.contains(TcpFlags::SYN) && !seg.tcp.flags.contains(TcpFlags::ACK)
+    }
+
+    /// Steers a segment: `has_conn` is whether connection state exists
+    /// for [`Demux::key`], `has_listener` whether the local port has a
+    /// listening socket.
+    pub fn classify(seg: &Segment, has_conn: bool, has_listener: bool) -> DemuxDecision {
+        if has_conn {
+            DemuxDecision::Deliver
+        } else if Self::is_bare_syn(seg) && has_listener {
+            DemuxDecision::Accept
+        } else {
+            DemuxDecision::Drop
+        }
+    }
+}

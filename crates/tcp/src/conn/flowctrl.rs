@@ -1,0 +1,50 @@
+//! `FlowCtrl`: flow control — the peer's advertised send window (with
+//! its negotiated scale and MSS) and our own advertised-window
+//! bookkeeping for window-update ACKs. All mutation goes through
+//! `&mut self` methods here (lint rule R8).
+
+/// Flow-control component: owns both directions' window accounting.
+#[derive(Debug)]
+pub struct FlowCtrl {
+    /// Peer's advertised window in bytes (already scaled).
+    pub(crate) snd_wnd: u64,
+    /// Peer's window-scale shift from the SYN.
+    pub(crate) peer_wscale: u8,
+    /// Peer's MSS from the SYN.
+    pub(crate) peer_mss: u32,
+    /// The advertised window we last put on the wire; a window update is
+    /// emitted when the application reopens a previously-tight window.
+    pub(crate) last_adv_window: u64,
+}
+
+impl FlowCtrl {
+    pub(crate) fn new(mss: u32, recv_buf: usize) -> FlowCtrl {
+        FlowCtrl {
+            snd_wnd: mss as u64 * 10,
+            peer_wscale: 0,
+            peer_mss: mss,
+            last_adv_window: recv_buf as u64,
+        }
+    }
+
+    /// Applies the peer's SYN options: MSS, window scale, and the
+    /// (unscaled) SYN window.
+    pub(crate) fn apply_syn(&mut self, mss: Option<u32>, wscale: u8, syn_window: u64) {
+        if let Some(m) = mss {
+            self.peer_mss = m;
+        }
+        self.peer_wscale = wscale;
+        // SYN window is unscaled.
+        self.snd_wnd = syn_window;
+    }
+
+    /// Updates the peer window from a segment's raw (unscaled) field.
+    pub(crate) fn update_wnd(&mut self, raw_window: u16) {
+        self.snd_wnd = (raw_window as u64) << self.peer_wscale;
+    }
+
+    /// Records the advertised window just placed on the wire.
+    pub(crate) fn note_advertised(&mut self, adv: u64) {
+        self.last_adv_window = adv;
+    }
+}

@@ -1,12 +1,43 @@
-//! The TCP connection state machine.
+//! The TCP connection state machine, decomposed into five components
+//! with disjoint write scopes (DESIGN.md §16):
+//!
+//! * [`ConnMgmt`](mgmt::ConnMgmt) — lifecycle: RFC 793 states,
+//!   open/close, TIME_WAIT, timestamp echo;
+//! * [`SendRel`](send::SendRel) — send reliability: transmit ring,
+//!   una/nxt/max-sent offsets, recovery, RTT, the RTO;
+//! * [`RecvRel`](recv::RecvRel) — receive reliability: in-order ring,
+//!   reassembler, receive frontier;
+//! * [`FlowCtrl`](flowctrl::FlowCtrl) — both directions' window
+//!   accounting;
+//! * [`CongCtrl`](congctrl::CongCtrl) — the pluggable algorithm
+//!   (shared `tas-cc`) plus ECN state;
+//!
+//! plus the stateless [`Demux`](demux::Demux). [`TcpConn`] is the
+//! orchestrator: it owns one instance of each component and drives the
+//! protocol, reading across components freely but mutating each
+//! component's fields only through that component's `&mut self` methods.
+//! The boundary is enforced two ways: `pub(crate)` fields keep external
+//! crates out, and tas-lint rule R8 (the `[components]` ownership map in
+//! `lint.toml`) keeps in-crate code honest.
 
-use crate::cc::{make_cc, AckInfo, CcKind, CongestionControl};
-use crate::reasm::Reassembler;
-use crate::rtt::RttEstimator;
+pub mod congctrl;
+pub mod demux;
+pub mod flowctrl;
+pub mod mgmt;
+pub mod recv;
+pub mod send;
+
+pub use congctrl::CongCtrl;
+pub use demux::{Demux, DemuxDecision};
+pub use flowctrl::FlowCtrl;
+pub use mgmt::ConnMgmt;
+pub use recv::RecvRel;
+pub use send::SendRel;
+
+use crate::cc::{AckInfo, CcKind};
 use std::net::Ipv4Addr;
 use tas_proto::tcp::seq;
 use tas_proto::{Ecn, FlowKey, MacAddr, Segment, TcpFlags, TcpHeader};
-use tas_shm::ByteRing;
 use tas_sim::SimTime;
 
 /// TCP connection states (RFC 793), minus LISTEN which is a host-level
@@ -163,64 +194,16 @@ pub struct ConnStats {
 #[derive(Debug)]
 pub struct TcpConn {
     cfg: TcpConfig,
-    state: TcpState,
-    local: EndpointInfo,
-    remote: EndpointInfo,
-
-    // Send side. Stream offset 0 is the first payload byte; `una_off` is
-    // the offset corresponding to sequence `snd_una`.
-    iss: u32,
-    una_off: u64,
-    nxt_off: u64,
-    /// Highest offset ever transmitted; go-back-N rewinds `nxt_off`, but
-    /// cumulative ACKs up to this mark must still be accepted.
-    max_sent_off: u64,
-    tx: ByteRing,
-    snd_wnd: u64,
-    peer_wscale: u8,
-    peer_mss: u32,
-    fin_queued: bool,
-    fin_sent: bool,
-    fin_acked: bool,
-
-    // Receive side.
-    irs: u32,
-    rcv_off: u64,
-    rx: ByteRing,
-    reasm: Reassembler,
-    peer_fin_off: Option<u64>,
-    peer_fin_done: bool,
-
-    // Congestion control and recovery.
-    cc: Box<dyn CongestionControl>,
-    dupacks: u32,
-    in_recovery: bool,
-    recover_off: u64,
-    /// SACK-style recovery sweep: next offset to retransmit on further
-    /// duplicate ACKs (the receiver holds out-of-order data, so sweeping
-    /// the window fills holes without waiting for an RTO).
-    recovery_cursor_off: u64,
-
-    // RTT / timers.
-    rtt: RttEstimator,
-    rto_deadline: Option<SimTime>,
-    time_wait_deadline: Option<SimTime>,
-    ts_recent: u32,
-
-    // ECN.
-    ecn_active: bool,
-    /// RFC 3168 latched receiver echo (NewReno); cleared by sender CWR.
-    ece_latched: bool,
-    /// DCTCP-style per-packet echo: the last data segment was CE-marked.
-    last_seg_ce: bool,
-    /// Set CWR on the next outgoing data segment.
-    cwr_pending: bool,
-    /// NewReno ECE guard: ignore further ECE until `una_off` passes this
-    /// offset (at most one window reduction per RTT, RFC 3168 §6.1.2).
-    ece_guard_off: u64,
-
-    // Window-update bookkeeping.
-    last_adv_window: u64,
+    /// Lifecycle component.
+    pub(crate) mgmt: ConnMgmt,
+    /// Send-reliability component.
+    pub(crate) snd: SendRel,
+    /// Receive-reliability component.
+    pub(crate) rcv: RecvRel,
+    /// Flow-control component.
+    pub(crate) fc: FlowCtrl,
+    /// Congestion-control + ECN component.
+    pub(crate) cc: CongCtrl,
 
     out: Vec<Segment>,
     events: Vec<TcpEvent>,
@@ -251,7 +234,7 @@ impl TcpConn {
     ) -> TcpConn {
         let mut conn = TcpConn::new_common(cfg, local, remote, iss);
         conn.trace_mark(now);
-        conn.state = TcpState::SynSent;
+        conn.mgmt.set_state(TcpState::SynSent);
         let mut h = conn.header(TcpFlags::SYN, now);
         h.seq = iss;
         h.ack = 0;
@@ -261,7 +244,8 @@ impl TcpConn {
         conn.set_syn_options(&mut h);
         conn.trace_state_sync();
         conn.push_segment(h, Vec::new(), false);
-        conn.rto_deadline = Some(now + conn.rtt.rto());
+        let rto = now + conn.snd.rtt.rto();
+        conn.snd.arm_rto(rto);
         conn
     }
 
@@ -278,68 +262,34 @@ impl TcpConn {
         let mut conn = TcpConn::new_common(cfg, local, remote, iss);
         conn.trace_mark(now);
         conn.trace_seg(true, syn);
-        conn.state = TcpState::SynRcvd;
-        conn.irs = syn.tcp.seq;
-        conn.rcv_off = 0;
+        conn.mgmt.set_state(TcpState::SynRcvd);
+        conn.rcv.init_irs(syn.tcp.seq);
         conn.apply_syn_options(syn);
         // ECN negotiation: peer requested with ECE|CWR on the SYN.
         let peer_wants_ecn = syn.tcp.flags.contains(TcpFlags::ECE | TcpFlags::CWR);
-        conn.ecn_active = conn.cfg.ecn && peer_wants_ecn;
+        let active = conn.cfg.ecn && peer_wants_ecn;
+        conn.cc.set_active(active);
         let mut h = conn.header(TcpFlags::SYN | TcpFlags::ACK, now);
         h.seq = iss;
         h.ack = syn.tcp.seq.wrapping_add(1);
-        if conn.ecn_active {
+        if conn.cc.ecn_active {
             h.flags |= TcpFlags::ECE;
         }
         conn.set_syn_options(&mut h);
         conn.trace_state_sync();
         conn.push_segment(h, Vec::new(), false);
-        conn.rto_deadline = Some(now + conn.rtt.rto());
+        let rto = now + conn.snd.rtt.rto();
+        conn.snd.arm_rto(rto);
         conn
     }
 
     fn new_common(cfg: TcpConfig, local: EndpointInfo, remote: EndpointInfo, iss: u32) -> TcpConn {
-        let tx = ByteRing::new(cfg.send_buf);
-        let rx = ByteRing::new(cfg.recv_buf);
-        let reasm = Reassembler::new(if cfg.keep_ooo { cfg.recv_buf } else { 0 });
-        let cc = make_cc(cfg.cc, cfg.mss);
-        let rtt = RttEstimator::new(cfg.rto_min, cfg.rto_max);
         TcpConn {
-            state: TcpState::Closed,
-            local,
-            remote,
-            iss,
-            una_off: 0,
-            nxt_off: 0,
-            max_sent_off: 0,
-            tx,
-            snd_wnd: cfg.mss as u64 * 10,
-            peer_wscale: 0,
-            peer_mss: cfg.mss,
-            fin_queued: false,
-            fin_sent: false,
-            fin_acked: false,
-            irs: 0,
-            rcv_off: 0,
-            rx,
-            reasm,
-            peer_fin_off: None,
-            peer_fin_done: false,
-            cc,
-            dupacks: 0,
-            in_recovery: false,
-            recover_off: 0,
-            recovery_cursor_off: 0,
-            rtt,
-            rto_deadline: None,
-            time_wait_deadline: None,
-            ts_recent: 0,
-            ecn_active: false,
-            ece_latched: false,
-            last_seg_ce: false,
-            cwr_pending: false,
-            ece_guard_off: 0,
-            last_adv_window: cfg.recv_buf as u64,
+            mgmt: ConnMgmt::new(local, remote),
+            snd: SendRel::new(iss, cfg.send_buf, cfg.rto_min, cfg.rto_max),
+            rcv: RecvRel::new(cfg.recv_buf, cfg.keep_ooo),
+            fc: FlowCtrl::new(cfg.mss, cfg.recv_buf),
+            cc: CongCtrl::new(cfg.cc, cfg.mss),
             out: Vec::new(),
             events: Vec::new(),
             stats: ConnStats::default(),
@@ -356,7 +306,12 @@ impl TcpConn {
 
     /// The connection's flow key (local perspective).
     pub fn flow_key(&self) -> FlowKey {
-        FlowKey::new(self.local.ip, self.local.port, self.remote.ip, self.remote.port)
+        FlowKey::new(
+            self.mgmt.local.ip,
+            self.mgmt.local.port,
+            self.mgmt.remote.ip,
+            self.mgmt.remote.port,
+        )
     }
 
     #[cfg(feature = "trace")]
@@ -371,15 +326,15 @@ impl TcpConn {
     /// Emits one State record if the state changed since last sync.
     #[cfg(feature = "trace")]
     fn trace_state_sync(&mut self) {
-        if self.traced_state != self.state {
+        if self.traced_state != self.mgmt.state {
             let (t, flow) = (self.trace_now, self.flow_key());
-            let (from, to) = (self.traced_state.name(), self.state.name());
+            let (from, to) = (self.traced_state.name(), self.mgmt.state.name());
             tas_telemetry::emit(|| tas_telemetry::TraceRecord {
                 t,
                 site: "conn",
                 ev: tas_telemetry::TraceEvent::State { flow, from, to },
             });
-            self.traced_state = self.state;
+            self.traced_state = self.mgmt.state;
         }
     }
 
@@ -445,58 +400,58 @@ impl TcpConn {
 
     /// Current state.
     pub fn state(&self) -> TcpState {
-        self.state
+        self.mgmt.state
     }
 
     /// Local endpoint.
     pub fn local(&self) -> EndpointInfo {
-        self.local
+        self.mgmt.local
     }
 
     /// Remote endpoint.
     pub fn remote(&self) -> EndpointInfo {
-        self.remote
+        self.mgmt.remote
     }
 
     /// Whether ECN was negotiated.
     pub fn ecn_active(&self) -> bool {
-        self.ecn_active
+        self.cc.ecn_active
     }
 
     /// Current congestion window in bytes.
     pub fn cwnd(&self) -> u32 {
-        self.cc.cwnd()
+        self.cc.algo.cwnd()
     }
 
     /// Smoothed RTT, if measured.
     pub fn srtt(&self) -> Option<SimTime> {
-        self.rtt.srtt()
+        self.snd.rtt.srtt()
     }
 
     /// Bytes readable by the application.
     pub fn readable(&self) -> usize {
-        self.rx.len()
+        self.rcv.rx.len()
     }
 
     /// Free space in the send buffer.
     pub fn send_space(&self) -> usize {
-        self.tx.free()
+        self.snd.tx.free()
     }
 
     /// Occupied bytes in the send buffer (queued + unacknowledged). The
     /// queue-depth time series samples this per connection.
     pub fn send_buffered(&self) -> usize {
-        self.tx.len()
+        self.snd.tx.len()
     }
 
     /// Unacknowledged payload bytes in flight.
     pub fn in_flight(&self) -> u64 {
-        self.nxt_off - self.una_off
+        self.snd.nxt_off - self.snd.una_off
     }
 
     /// The connection is fully closed and its state can be dropped.
     pub fn is_closed(&self) -> bool {
-        self.state == TcpState::Closed
+        self.mgmt.state == TcpState::Closed
     }
 
     /// Diagnostic snapshot: (una_off, nxt_off, tx_end, cwnd, snd_wnd,
@@ -504,22 +459,22 @@ impl TcpConn {
     #[allow(clippy::type_complexity)] // A flat diagnostic tuple.
     pub fn debug_state(&self) -> (u64, u64, u64, u32, u64, bool, u32, u64, usize, usize) {
         (
-            self.una_off,
-            self.nxt_off,
-            self.tx.end_offset(),
-            self.cc.cwnd(),
-            self.snd_wnd,
-            self.in_recovery,
-            self.dupacks,
-            self.rto_deadline.map(|t| t.as_ps()).unwrap_or(0),
-            self.rx.len(),
-            self.reasm.held(),
+            self.snd.una_off,
+            self.snd.nxt_off,
+            self.snd.tx.end_offset(),
+            self.cc.algo.cwnd(),
+            self.fc.snd_wnd,
+            self.snd.in_recovery,
+            self.snd.dupacks,
+            self.snd.rto_deadline.map(|t| t.as_ps()).unwrap_or(0),
+            self.rcv.rx.len(),
+            self.rcv.reasm.held(),
         )
     }
 
     /// When [`TcpConn::on_timer`] next needs to run, if ever.
     pub fn next_timer(&self) -> Option<SimTime> {
-        match (self.rto_deadline, self.time_wait_deadline) {
+        match (self.snd.rto_deadline, self.mgmt.time_wait_deadline) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (Some(a), None) => Some(a),
             (None, b) => b,
@@ -547,26 +502,29 @@ impl TcpConn {
     /// Buffers application data for transmission; returns bytes accepted
     /// (bounded by send-buffer space). Call [`TcpConn::poll`] afterwards.
     pub fn send(&mut self, data: &[u8]) -> usize {
-        if self.fin_queued || matches!(self.state, TcpState::Closed | TcpState::TimeWait) {
+        if self.mgmt.fin_queued
+            || matches!(self.mgmt.state, TcpState::Closed | TcpState::TimeWait)
+        {
             return 0;
         }
-        self.tx.append_partial(data)
+        self.snd.buffer(data)
     }
 
     /// Reads up to `max` bytes of in-order received data.
     pub fn recv(&mut self, max: usize) -> Vec<u8> {
-        self.rx.pop(max)
+        self.rcv.read(max)
     }
 
     /// Initiates close: a FIN is sent once buffered data drains.
     pub fn close(&mut self) {
-        if self.fin_queued {
+        if !self.mgmt.queue_fin() {
             return;
         }
-        self.fin_queued = true;
-        match self.state {
-            TcpState::Established | TcpState::SynRcvd => self.state = TcpState::FinWait1,
-            TcpState::CloseWait => self.state = TcpState::LastAck,
+        match self.mgmt.state {
+            TcpState::Established | TcpState::SynRcvd => {
+                self.mgmt.set_state(TcpState::FinWait1);
+            }
+            TcpState::CloseWait => self.mgmt.set_state(TcpState::LastAck),
             _ => {}
         }
     }
@@ -574,9 +532,9 @@ impl TcpConn {
     /// Aborts: stages an RST and closes immediately.
     pub fn abort(&mut self, now: SimTime) {
         self.trace_mark(now);
-        if !matches!(self.state, TcpState::Closed) {
+        if !matches!(self.mgmt.state, TcpState::Closed) {
             let mut h = self.header(TcpFlags::RST | TcpFlags::ACK, now);
-            h.seq = self.seq_of(self.nxt_off);
+            h.seq = self.seq_of(self.snd.nxt_off);
             h.ack = self.ack_value();
             self.push_segment(h, Vec::new(), false);
             self.enter_closed();
@@ -588,18 +546,18 @@ impl TcpConn {
     // Sequence/offset mapping.
 
     fn seq_of(&self, off: u64) -> u32 {
-        self.iss.wrapping_add(1).wrapping_add(off as u32)
+        self.snd.iss.wrapping_add(1).wrapping_add(off as u32)
     }
 
     fn rcv_seq_of(&self, off: u64) -> u32 {
-        self.irs.wrapping_add(1).wrapping_add(off as u32)
+        self.rcv.irs.wrapping_add(1).wrapping_add(off as u32)
     }
 
     fn ack_value(&self) -> u32 {
         // ACK covers the peer FIN once all data before it is consumed.
-        let mut a = self.rcv_seq_of(self.rcv_off);
-        if let Some(fo) = self.peer_fin_off {
-            if self.rcv_off >= fo {
+        let mut a = self.rcv_seq_of(self.rcv.rcv_off);
+        if let Some(fo) = self.mgmt.peer_fin_off {
+            if self.rcv.rcv_off >= fo {
                 a = a.wrapping_add(1);
             }
         }
@@ -610,9 +568,9 @@ impl TcpConn {
     // Segment construction.
 
     fn header(&self, flags: TcpFlags, now: SimTime) -> TcpHeader {
-        let mut h = TcpHeader::new(self.local.port, self.remote.port, 0, 0, flags);
+        let mut h = TcpHeader::new(self.mgmt.local.port, self.mgmt.remote.port, 0, 0, flags);
         if self.cfg.timestamps {
-            h.options.timestamp = Some((now.as_micros() as u32, self.ts_recent));
+            h.options.timestamp = Some((now.as_micros() as u32, self.mgmt.ts_recent));
         }
         let adv = self.adv_window();
         h.window = (adv >> self.cfg.window_scale).min(u16::MAX as u64) as u16;
@@ -621,7 +579,7 @@ impl TcpConn {
 
     fn adv_window(&self) -> u64 {
         // Conservative: space that in-order data can always use.
-        self.rx.free().saturating_sub(self.reasm.held()) as u64
+        self.rcv.rx.free().saturating_sub(self.rcv.reasm.held()) as u64
     }
 
     fn set_syn_options(&self, h: &mut TcpHeader) {
@@ -633,29 +591,28 @@ impl TcpConn {
     }
 
     fn apply_syn_options(&mut self, syn: &Segment) {
-        if let Some(m) = syn.tcp.options.mss {
-            self.peer_mss = m as u32;
-        }
-        self.peer_wscale = syn.tcp.options.wscale.unwrap_or(0);
+        self.fc.apply_syn(
+            syn.tcp.options.mss.map(|m| m as u32),
+            syn.tcp.options.wscale.unwrap_or(0),
+            syn.tcp.window as u64,
+        );
         if let Some((tsval, _)) = syn.tcp.options.timestamp {
-            self.ts_recent = tsval;
+            self.mgmt.note_ts(tsval);
         }
-        // SYN window is unscaled.
-        self.snd_wnd = syn.tcp.window as u64;
     }
 
     fn push_segment(&mut self, tcp: TcpHeader, payload: Vec<u8>, data_ect: bool) {
         let mut seg = Segment::tcp(
-            self.local.mac,
-            self.remote.mac,
-            self.local.ip,
-            self.remote.ip,
+            self.mgmt.local.mac,
+            self.mgmt.remote.mac,
+            self.mgmt.local.ip,
+            self.mgmt.remote.ip,
             tcp,
             payload,
             false,
         );
         // ECT(0) only on data segments of ECN connections.
-        if data_ect && self.ecn_active {
+        if data_ect && self.cc.ecn_active {
             seg.ip.ecn = Ecn::Ect0;
         }
         self.stats.segs_out += 1;
@@ -666,17 +623,18 @@ impl TcpConn {
     /// Stages a pure ACK reflecting current receive state.
     fn emit_ack(&mut self, now: SimTime) {
         let mut h = self.header(TcpFlags::ACK, now);
-        h.seq = self.seq_of(self.nxt_off.min(self.fin_off_or_max()));
+        h.seq = self.seq_of(self.snd.nxt_off.min(self.fin_off_or_max()));
         h.ack = self.ack_value();
         if self.cfg.keep_ooo {
-            if let Some((off, len)) = self.reasm.first_range() {
+            if let Some((off, len)) = self.rcv.reasm.first_range() {
                 h.options.sack_block = Some((self.rcv_seq_of(off), self.rcv_seq_of(off + len)));
             }
         }
         if self.echo_ece() {
             h.flags |= TcpFlags::ECE;
         }
-        self.last_adv_window = self.adv_window();
+        let adv = self.adv_window();
+        self.fc.note_advertised(adv);
         self.push_segment(h, Vec::new(), false);
     }
 
@@ -685,14 +643,14 @@ impl TcpConn {
     }
 
     fn echo_ece(&self) -> bool {
-        if !self.ecn_active {
+        if !self.cc.ecn_active {
             return false;
         }
         match self.cfg.cc {
             // DCTCP: accurate per-packet echo.
-            CcKind::Dctcp => self.last_seg_ce,
-            // Classic: latched until CWR.
-            CcKind::NewReno => self.ece_latched,
+            CcKind::Dctcp => self.cc.last_seg_ce,
+            // Classic (and delay-based TIMELY): latched until CWR.
+            CcKind::NewReno | CcKind::Timely => self.cc.ece_latched,
         }
     }
 
@@ -701,13 +659,13 @@ impl TcpConn {
     #[cfg(any(test, debug_assertions, feature = "audit"))]
     fn audit_invariants(&self) {
         crate::audit::check_conn(&crate::audit::ConnView {
-            una_off: self.una_off,
-            nxt_off: self.nxt_off,
-            max_sent_off: self.max_sent_off,
-            tx: &self.tx,
-            rcv_off: self.rcv_off,
-            rx: &self.rx,
-            reasm: &self.reasm,
+            una_off: self.snd.una_off,
+            nxt_off: self.snd.nxt_off,
+            max_sent_off: self.snd.max_sent_off,
+            tx: &self.snd.tx,
+            rcv_off: self.rcv.rcv_off,
+            rx: &self.rcv.rx,
+            reasm: &self.rcv.reasm,
         });
     }
 
@@ -727,85 +685,82 @@ impl TcpConn {
         self.trace_mark(now);
         self.trace_state_sync();
         if matches!(
-            self.state,
+            self.mgmt.state,
             TcpState::SynSent | TcpState::SynRcvd | TcpState::Closed
         ) {
             return;
         }
         // Window update after the app freed a previously-tight window.
         let adv = self.adv_window();
-        if self.last_adv_window < self.cfg.mss as u64 && adv >= 2 * self.cfg.mss as u64 {
+        if self.fc.last_adv_window < self.cfg.mss as u64 && adv >= 2 * self.cfg.mss as u64 {
             self.emit_ack(now);
         }
-        let mut wnd = self.snd_wnd.min(self.cc.cwnd() as u64);
-        if self.in_recovery {
+        let mut wnd = self.fc.snd_wnd.min(self.cc.algo.cwnd() as u64);
+        if self.snd.in_recovery {
             // NewReno window inflation: each duplicate ACK signals a
             // departed segment; sending new data keeps the ACK clock
             // alive through recovery.
-            wnd = wnd.saturating_add(self.dupacks as u64 * self.cfg.mss as u64);
+            wnd = wnd.saturating_add(self.snd.dupacks as u64 * self.cfg.mss as u64);
         }
         loop {
-            let avail = self.tx.end_offset().saturating_sub(self.nxt_off);
-            let in_flight = self.nxt_off - self.una_off;
+            let avail = self.snd.tx.end_offset().saturating_sub(self.snd.nxt_off);
+            let in_flight = self.snd.nxt_off - self.snd.una_off;
             let budget = wnd.saturating_sub(in_flight);
             let n = avail
                 .min(budget)
-                .min(self.peer_mss.min(self.cfg.mss) as u64);
+                .min(self.fc.peer_mss.min(self.cfg.mss) as u64);
             if n == 0 {
                 break;
             }
-            let Ok(payload) = self.tx.copy_out(self.nxt_off, n as usize) else {
+            let Ok(payload) = self.snd.tx.copy_out(self.snd.nxt_off, n as usize) else {
                 debug_assert!(false, "nxt_off within tx ring");
                 break;
             };
             let mut h = self.header(TcpFlags::ACK, now);
-            h.seq = self.seq_of(self.nxt_off);
+            h.seq = self.seq_of(self.snd.nxt_off);
             h.ack = self.ack_value();
             if avail == n {
                 h.flags |= TcpFlags::PSH;
             }
-            if self.cwr_pending {
+            if self.cc.take_cwr_pending() {
                 h.flags |= TcpFlags::CWR;
-                self.cwr_pending = false;
             }
             if self.echo_ece() {
                 h.flags |= TcpFlags::ECE;
             }
-            self.nxt_off += n;
-            self.max_sent_off = self.max_sent_off.max(self.nxt_off);
+            self.snd.note_sent(n);
             self.stats.bytes_sent += n;
             self.push_segment(h, payload, true);
-            if self.rto_deadline.is_none() {
-                self.rto_deadline = Some(now + self.rtt.rto());
-            }
+            let rto = now + self.snd.rtt.rto();
+            self.snd.arm_rto_if_unarmed(rto);
         }
         // Zero-window persist: data is waiting but the advertised window
         // is shut and nothing is in flight — without a probe, a lost
         // window update deadlocks the connection. Arm the RTO as a
         // persist timer; on_timer sends a probe segment.
-        if self.tx.end_offset() > self.nxt_off
+        if self.snd.tx.end_offset() > self.snd.nxt_off
             && self.in_flight() == 0
-            && self.rto_deadline.is_none()
+            && self.snd.rto_deadline.is_none()
         {
-            self.rto_deadline = Some(now + self.rtt.rto());
+            let rto = now + self.snd.rtt.rto();
+            self.snd.arm_rto(rto);
         }
         // FIN once everything buffered has been transmitted.
-        if self.fin_queued
-            && !self.fin_sent
-            && self.nxt_off == self.tx.end_offset()
+        if self.mgmt.fin_queued
+            && !self.mgmt.fin_sent
+            && self.snd.nxt_off == self.snd.tx.end_offset()
             && matches!(
-                self.state,
+                self.mgmt.state,
                 TcpState::FinWait1 | TcpState::LastAck | TcpState::Closing
             )
         {
             let mut h = self.header(TcpFlags::FIN | TcpFlags::ACK, now);
-            h.seq = self.seq_of(self.nxt_off);
+            h.seq = self.seq_of(self.snd.nxt_off);
             h.ack = self.ack_value();
-            self.fin_sent = true;
+            self.mgmt.set_fin_sent(true);
             self.push_segment(h, Vec::new(), false);
-            if self.rto_deadline.is_none() {
-                self.rto_deadline = Some(now + self.rtt.rto());
-            }
+            let rto = now + self.snd.rtt.rto();
+            self.snd.arm_rto_if_unarmed(rto);
         }
         self.trace_state_sync();
         self.audit_invariants();
@@ -813,12 +768,12 @@ impl TcpConn {
 
     /// Retransmits one MSS of payload starting at stream offset `off`.
     fn retransmit_at(&mut self, now: SimTime, off: u64) {
-        let end = self.tx.end_offset();
+        let end = self.snd.tx.end_offset();
         if off >= end {
             return;
         }
-        let n = (end - off).min(self.peer_mss.min(self.cfg.mss) as u64);
-        let Ok(payload) = self.tx.copy_out(off, n as usize) else {
+        let n = (end - off).min(self.fc.peer_mss.min(self.cfg.mss) as u64);
+        let Ok(payload) = self.snd.tx.copy_out(off, n as usize) else {
             return;
         };
         let mut h = self.header(TcpFlags::ACK | TcpFlags::PSH, now);
@@ -831,28 +786,27 @@ impl TcpConn {
     /// Retransmits one segment from the left window edge (fast retransmit
     /// or RTO-driven go-back-N start).
     fn retransmit_head(&mut self, now: SimTime) {
-        let avail = self.tx.end_offset().saturating_sub(self.una_off);
-        let n = avail.min(self.peer_mss.min(self.cfg.mss) as u64);
+        let avail = self.snd.tx.end_offset().saturating_sub(self.snd.una_off);
+        let n = avail.min(self.fc.peer_mss.min(self.cfg.mss) as u64);
         if n > 0 {
-            let Ok(payload) = self.tx.copy_out(self.una_off, n as usize) else {
+            let Ok(payload) = self.snd.tx.copy_out(self.snd.una_off, n as usize) else {
                 debug_assert!(false, "una_off within tx ring");
                 return;
             };
             let mut h = self.header(TcpFlags::ACK | TcpFlags::PSH, now);
-            h.seq = self.seq_of(self.una_off);
+            h.seq = self.seq_of(self.snd.una_off);
             h.ack = self.ack_value();
             self.stats.retransmits += 1;
             self.push_segment(h, payload, true);
-        } else if self.fin_sent && !self.fin_acked {
+        } else if self.mgmt.fin_sent && !self.mgmt.fin_acked {
             let mut h = self.header(TcpFlags::FIN | TcpFlags::ACK, now);
-            h.seq = self.seq_of(self.una_off);
+            h.seq = self.seq_of(self.snd.una_off);
             h.ack = self.ack_value();
             self.stats.retransmits += 1;
             self.push_segment(h, Vec::new(), false);
         }
-        if self.rto_deadline.is_none() {
-            self.rto_deadline = Some(now + self.rtt.rto());
-        }
+        let rto = now + self.snd.rtt.rto();
+        self.snd.arm_rto_if_unarmed(rto);
     }
 
     // ------------------------------------------------------------------
@@ -863,26 +817,26 @@ impl TcpConn {
         #[cfg(feature = "profile")]
         let _prof = tas_telemetry::profile::guard("tcp_timer");
         self.trace_mark(now);
-        if let Some(tw) = self.time_wait_deadline {
+        if let Some(tw) = self.mgmt.time_wait_deadline {
             if now >= tw {
                 self.enter_closed();
                 self.trace_state_sync();
                 return;
             }
         }
-        let Some(deadline) = self.rto_deadline else {
+        let Some(deadline) = self.snd.rto_deadline else {
             return;
         };
         if now < deadline {
             return;
         }
-        self.rto_deadline = None;
-        match self.state {
+        self.snd.disarm_rto();
+        match self.mgmt.state {
             TcpState::SynSent | TcpState::SynRcvd => {
                 // Retransmit the handshake segment.
-                self.rtt.backoff();
+                self.snd.rtt_backoff();
                 self.stats.timeouts += 1;
-                let flags = if self.state == TcpState::SynSent {
+                let flags = if self.mgmt.state == TcpState::SynSent {
                     let mut f = TcpFlags::SYN;
                     if self.cfg.ecn {
                         f |= TcpFlags::ECE | TcpFlags::CWR;
@@ -892,45 +846,43 @@ impl TcpConn {
                     TcpFlags::SYN | TcpFlags::ACK
                 };
                 let mut h = self.header(flags, now);
-                h.seq = self.iss;
-                h.ack = if self.state == TcpState::SynRcvd {
-                    self.irs.wrapping_add(1)
+                h.seq = self.snd.iss;
+                h.ack = if self.mgmt.state == TcpState::SynRcvd {
+                    self.rcv.irs.wrapping_add(1)
                 } else {
                     0
                 };
                 self.set_syn_options(&mut h);
                 self.stats.retransmits += 1;
-                self.trace_rexmit("handshake", self.iss);
+                self.trace_rexmit("handshake", self.snd.iss);
                 self.push_segment(h, Vec::new(), false);
-                self.rto_deadline = Some(now + self.rtt.rto());
+                let rto = now + self.snd.rtt.rto();
+                self.snd.arm_rto(rto);
             }
             TcpState::Closed => {}
             _ => {
                 let outstanding = self.in_flight() > 0
-                    || (self.fin_sent && !self.fin_acked)
-                    || self.tx.end_offset() > self.nxt_off;
+                    || (self.mgmt.fin_sent && !self.mgmt.fin_acked)
+                    || self.snd.tx.end_offset() > self.snd.nxt_off;
                 if outstanding {
                     // Go-back-N: rewind to the left edge.
-                    self.rtt.backoff();
+                    self.snd.rtt_backoff();
                     self.stats.timeouts += 1;
-                    self.trace_rexmit("timeout", self.seq_of(self.una_off));
-                    {
-                        #[cfg(feature = "profile")]
-                        let _cc = tas_telemetry::profile::guard(self.cc.name());
-                        self.cc.on_timeout();
-                    }
-                    self.nxt_off = self.una_off;
-                    self.in_recovery = false;
-                    self.dupacks = 0;
-                    if self.fin_sent && self.nxt_off == self.tx.end_offset() {
+                    self.trace_rexmit("timeout", self.seq_of(self.snd.una_off));
+                    self.cc.on_timeout();
+                    self.snd.rewind_to_una();
+                    self.snd.exit_recovery();
+                    self.snd.reset_dupacks();
+                    if self.mgmt.fin_sent && self.snd.nxt_off == self.snd.tx.end_offset() {
                         // Only the FIN is outstanding.
-                        self.fin_sent = true;
+                        self.mgmt.set_fin_sent(true);
                         self.retransmit_head(now);
                     } else {
-                        self.fin_sent = false;
+                        self.mgmt.set_fin_sent(false);
                         self.retransmit_head(now);
                     }
-                    self.rto_deadline = Some(now + self.rtt.rto());
+                    let rto = now + self.snd.rtt.rto();
+                    self.snd.arm_rto(rto);
                     self.poll(now);
                 }
             }
@@ -958,9 +910,9 @@ impl TcpConn {
         if let Some((tsval, _)) = seg.tcp.options.timestamp {
             // PAWS is not needed (no wrap within experiments); keep the
             // most recent value for echo.
-            self.ts_recent = tsval;
+            self.mgmt.note_ts(tsval);
         }
-        match self.state {
+        match self.mgmt.state {
             TcpState::SynSent => self.on_segment_syn_sent(now, seg),
             TcpState::SynRcvd => self.on_segment_syn_rcvd(now, seg),
             TcpState::Closed => {}
@@ -975,20 +927,20 @@ impl TcpConn {
         if !f.contains(TcpFlags::SYN | TcpFlags::ACK) {
             return;
         }
-        if seg.tcp.ack != self.iss.wrapping_add(1) {
+        if seg.tcp.ack != self.snd.iss.wrapping_add(1) {
             return;
         }
-        self.irs = seg.tcp.seq;
-        self.rcv_off = 0;
+        self.rcv.init_irs(seg.tcp.seq);
         self.apply_syn_options(&seg);
-        self.ecn_active = self.cfg.ecn && f.contains(TcpFlags::ECE);
-        self.state = TcpState::Established;
-        self.rto_deadline = None;
+        let active = self.cfg.ecn && f.contains(TcpFlags::ECE);
+        self.cc.set_active(active);
+        self.mgmt.set_state(TcpState::Established);
+        self.snd.disarm_rto();
         // RTT from the handshake echo.
         if let Some((_, tsecr)) = seg.tcp.options.timestamp {
             if tsecr != 0 {
                 let sample = now.as_micros().wrapping_sub(tsecr as u64);
-                self.rtt.update(SimTime::from_us(sample.max(1)));
+                self.snd.rtt_update(SimTime::from_us(sample.max(1)));
             }
         }
         self.events.push(TcpEvent::Connected);
@@ -1001,14 +953,14 @@ impl TcpConn {
             // Duplicate SYN: retransmit SYN-ACK via timer path; ignore here.
             return;
         }
-        if f.contains(TcpFlags::ACK) && seg.tcp.ack == self.iss.wrapping_add(1) {
-            self.state = TcpState::Established;
-            self.rto_deadline = None;
-            self.snd_wnd = (seg.tcp.window as u64) << self.peer_wscale;
+        if f.contains(TcpFlags::ACK) && seg.tcp.ack == self.snd.iss.wrapping_add(1) {
+            self.mgmt.set_state(TcpState::Established);
+            self.snd.disarm_rto();
+            self.fc.update_wnd(seg.tcp.window);
             if let Some((_, tsecr)) = seg.tcp.options.timestamp {
                 if tsecr != 0 {
                     let sample = now.as_micros().wrapping_sub(tsecr as u64);
-                    self.rtt.update(SimTime::from_us(sample.max(1)));
+                    self.snd.rtt_update(SimTime::from_us(sample.max(1)));
                 }
             }
             self.events.push(TcpEvent::Connected);
@@ -1036,145 +988,124 @@ impl TcpConn {
 
     fn process_ack(&mut self, now: SimTime, seg: &Segment) {
         let ack = seg.tcp.ack;
-        let una_seq = self.seq_of(self.una_off);
+        let una_seq = self.seq_of(self.snd.una_off);
         // Highest valid ack: the highest byte ever sent (+1 if FIN sent) —
         // recovery may have rewound nxt below data the peer holds.
-        let mut max_seq = self.seq_of(self.max_sent_off.max(self.nxt_off));
-        if self.fin_sent {
+        let mut max_seq = self.seq_of(self.snd.max_sent_off.max(self.snd.nxt_off));
+        if self.mgmt.fin_sent {
             max_seq = max_seq.wrapping_add(1);
         }
-        let ece = self.ecn_active && seg.tcp.flags.contains(TcpFlags::ECE);
+        let ece = self.cc.ecn_active && seg.tcp.flags.contains(TcpFlags::ECE);
         if ece {
             self.stats.ece_in += 1;
         }
         if seq::gt(ack, una_seq) && seq::le(ack, max_seq) {
             let mut newly = seq::sub(ack, una_seq) as u64;
             // Does the ack cover our FIN?
-            if self.fin_sent && ack == max_seq {
-                self.fin_acked = true;
+            if self.mgmt.fin_sent && ack == max_seq {
+                self.mgmt.mark_fin_acked();
                 newly -= 1;
             }
-            let payload_acked = newly.min(self.tx.len() as u64);
-            self.una_off += newly;
-            // The ACK may land beyond a rewound nxt: resume from there.
-            self.nxt_off = self.nxt_off.max(self.una_off);
+            let payload_acked = newly.min(self.snd.tx.len() as u64);
+            if !self.snd.advance_una(newly, payload_acked) {
+                debug_assert!(false, "acked bytes are in the ring");
+            }
             if payload_acked > 0 {
-                if self.tx.consume(payload_acked).is_err() {
-                    debug_assert!(false, "acked bytes are in the ring");
-                }
                 self.events.push(TcpEvent::SendSpaceAvailable);
             }
-            self.dupacks = 0;
+            self.snd.reset_dupacks();
             // RTT sample from the timestamp echo.
             if let Some((_, tsecr)) = seg.tcp.options.timestamp {
                 if tsecr != 0 {
                     let sample = now.as_micros().wrapping_sub(tsecr as u64);
-                    self.rtt.update(SimTime::from_us(sample.max(1)));
+                    self.snd.rtt_update(SimTime::from_us(sample.max(1)));
                 }
             }
             // Congestion response. NewReno reduces at most once per window
             // in flight; DCTCP consumes every echo for its mark fraction.
             let cc_ece = match self.cfg.cc {
                 CcKind::Dctcp => ece,
-                CcKind::NewReno => {
-                    if ece && self.una_off >= self.ece_guard_off {
-                        self.cwr_pending = true;
-                        self.ece_guard_off = self.nxt_off;
-                        true
-                    } else {
-                        false
-                    }
+                CcKind::NewReno | CcKind::Timely => {
+                    self.cc
+                        .classic_ece_gate(ece, self.snd.una_off, self.snd.nxt_off)
                 }
             };
-            {
-                #[cfg(feature = "profile")]
-                let _cc = tas_telemetry::profile::guard(self.cc.name());
-                self.cc.on_ack(AckInfo {
-                    acked: payload_acked as u32,
-                    ece: cc_ece,
-                    now,
-                    srtt: self.rtt.srtt(),
-                });
-            }
+            self.cc.on_ack(AckInfo {
+                acked: payload_acked as u32,
+                ece: cc_ece,
+                now,
+                srtt: self.snd.rtt.srtt(),
+            });
             // Recovery bookkeeping.
-            if self.in_recovery {
-                if self.una_off >= self.recover_off {
-                    self.in_recovery = false;
+            if self.snd.in_recovery {
+                if self.snd.una_off >= self.snd.recover_off {
+                    self.snd.exit_recovery();
                 } else {
                     // NewReno partial ack: retransmit the next hole.
                     self.retransmit_head(now);
                 }
             }
             // Rearm or disarm the RTO.
-            let outstanding = self.in_flight() > 0 || (self.fin_sent && !self.fin_acked);
-            self.rto_deadline = if outstanding {
-                Some(now + self.rtt.rto())
+            let outstanding =
+                self.in_flight() > 0 || (self.mgmt.fin_sent && !self.mgmt.fin_acked);
+            if outstanding {
+                let rto = now + self.snd.rtt.rto();
+                self.snd.arm_rto(rto);
             } else {
-                None
-            };
+                self.snd.disarm_rto();
+            }
             self.advance_close_states(now);
         } else if ack == una_seq
             && seg.payload.is_empty()
             && !seg.tcp.flags.contains(TcpFlags::FIN)
             && self.in_flight() > 0
-            && (seg.tcp.window as u64) << self.peer_wscale <= self.snd_wnd
+            && (seg.tcp.window as u64) << self.fc.peer_wscale <= self.fc.snd_wnd
         {
             // Duplicate ACK.
             self.stats.dupacks_in += 1;
-            self.dupacks += 1;
+            let dups = self.snd.count_dupack();
             if ece {
-                #[cfg(feature = "profile")]
-                let _cc = tas_telemetry::profile::guard(self.cc.name());
                 self.cc.on_ack(AckInfo {
                     acked: 0,
                     ece,
                     now,
-                    srtt: self.rtt.srtt(),
+                    srtt: self.snd.rtt.srtt(),
                 });
             }
-            if self.dupacks == 3 && !self.in_recovery {
-                self.in_recovery = true;
-                self.recover_off = self.nxt_off;
-                self.recovery_cursor_off = self.una_off + self.cfg.mss as u64;
+            if dups == 3 && !self.snd.in_recovery {
+                self.snd.enter_recovery(self.cfg.mss);
                 self.stats.fast_retransmits += 1;
-                self.trace_rexmit("fast", self.seq_of(self.una_off));
-                {
-                    #[cfg(feature = "profile")]
-                    let _cc = tas_telemetry::profile::guard(self.cc.name());
-                    self.cc.on_fast_retransmit();
-                }
+                self.trace_rexmit("fast", self.seq_of(self.snd.una_off));
+                self.cc.on_fast_retransmit();
                 self.retransmit_head(now);
-            } else if self.in_recovery && self.dupacks > 3 && self.cfg.keep_ooo {
+            } else if self.snd.in_recovery && dups > 3 && self.cfg.keep_ooo {
                 // SACK-guided recovery: retransmit only the hole between
                 // the cumulative ACK and the receiver's first held block.
                 let hole_end = match seg.tcp.options.sack_block {
                     Some((l, _)) => {
-                        let una = self.seq_of(self.una_off);
-                        self.una_off + seq::sub(l, una) as u64
+                        let una = self.seq_of(self.snd.una_off);
+                        self.snd.una_off + seq::sub(l, una) as u64
                     }
-                    None => self.recover_off,
+                    None => self.snd.recover_off,
                 };
-                self.recovery_cursor_off = self.recovery_cursor_off.max(self.una_off);
-                if self.recovery_cursor_off < hole_end.min(self.recover_off) {
-                    self.trace_rexmit("fast", self.seq_of(self.recovery_cursor_off));
-                    self.retransmit_at(now, self.recovery_cursor_off);
-                    self.recovery_cursor_off += self.cfg.mss as u64;
+                self.snd.clamp_cursor_to_una();
+                if self.snd.recovery_cursor_off < hole_end.min(self.snd.recover_off) {
+                    self.trace_rexmit("fast", self.seq_of(self.snd.recovery_cursor_off));
+                    self.retransmit_at(now, self.snd.recovery_cursor_off);
+                    self.snd.advance_cursor(self.cfg.mss);
                 }
             }
         }
         // Window update (simplified: latest segment wins).
-        self.snd_wnd = (seg.tcp.window as u64) << self.peer_wscale;
+        self.fc.update_wnd(seg.tcp.window);
     }
 
     fn process_data(&mut self, now: SimTime, seg: &Segment) {
-        let rcv_nxt = self.rcv_seq_of(self.rcv_off);
+        let rcv_nxt = self.rcv_seq_of(self.rcv.rcv_off);
         let seg_seq = seg.tcp.seq;
-        self.last_seg_ce = seg.is_ce_marked();
-        if seg.is_ce_marked() {
-            self.ece_latched = true;
-        }
+        self.cc.note_ce(seg.is_ce_marked());
         if seg.tcp.flags.contains(TcpFlags::CWR) {
-            self.ece_latched = false;
+            self.cc.clear_latch_on_cwr();
         }
         // Offset of the segment start relative to rcv_nxt.
         let data = &seg.payload;
@@ -1187,42 +1118,26 @@ impl TcpConn {
                 return;
             }
             let fresh = &data[skip..];
-            let n = {
-                // In-order: commit to the rx ring.
-                let take = fresh.len().min(self.rx.free());
-                if self.rx.append(&fresh[..take]).is_ok() {
-                    take
-                } else {
-                    debug_assert!(false, "take bounded by free space");
-                    0
-                }
-            };
-            self.rcv_off += n as u64;
+            // In-order: commit to the rx ring.
+            let n = self.rcv.commit_in_order(fresh);
             self.stats.bytes_received += n as u64;
             // Pull any now-contiguous reassembled data.
-            if let Some(run) = self.reasm.pop_ready(self.rcv_off) {
-                let take = run.len().min(self.rx.free());
-                if self.rx.append(&run[..take]).is_ok() {
-                    self.rcv_off += take as u64;
-                    self.stats.bytes_received += take as u64;
-                } else {
-                    debug_assert!(false, "reassembled run bounded by rx.free()");
-                }
-            }
+            let drained = self.rcv.drain_reassembled();
+            self.stats.bytes_received += drained as u64;
             if n > 0 {
                 self.events.push(TcpEvent::DataAvailable);
             }
         } else {
             // Out of order: ahead of rcv_nxt.
-            let off = self.rcv_off + seq::sub(seg_seq, rcv_nxt) as u64;
+            let off = self.rcv.rcv_off + seq::sub(seg_seq, rcv_nxt) as u64;
             if self.cfg.keep_ooo {
                 // Bound by the receive window horizon.
-                let horizon = self.rcv_off + self.rx.free() as u64;
+                let horizon = self.rcv.rcv_off + self.rcv.rx.free() as u64;
                 if off < horizon {
                     let room = (horizon - off) as usize;
                     let d = data[..data.len().min(room)].to_vec();
                     self.trace_ooo(off, d.len() as u64);
-                    self.reasm.insert(off, d);
+                    self.rcv.insert_ooo(off, d);
                 }
             }
             // Duplicate ACK to trigger peer fast retransmit.
@@ -1231,33 +1146,34 @@ impl TcpConn {
     }
 
     fn process_fin(&mut self, now: SimTime, seg: &Segment) {
-        let rcv_nxt = self.rcv_seq_of(self.rcv_off);
+        let rcv_nxt = self.rcv_seq_of(self.rcv.rcv_off);
         let fin_seq = seg.tcp.seq.wrapping_add(seg.payload.len() as u32);
-        let fin_off = self.rcv_off + seq::sub(fin_seq, rcv_nxt) as u64;
+        let fin_off = self.rcv.rcv_off + seq::sub(fin_seq, rcv_nxt) as u64;
         if seq::gt(fin_seq, rcv_nxt) {
             // FIN beyond in-order data we hold: remember and ack what we
             // have (the gap will be retransmitted).
-            self.peer_fin_off = Some(fin_off);
+            self.mgmt.set_peer_fin(fin_off);
             self.emit_ack(now);
             return;
         }
-        self.peer_fin_off = Some(self.rcv_off);
-        if !self.peer_fin_done {
-            self.peer_fin_done = true;
+        self.mgmt.set_peer_fin(self.rcv.rcv_off);
+        if self.mgmt.mark_peer_fin_done() {
             self.events.push(TcpEvent::PeerFin);
-            match self.state {
-                TcpState::Established | TcpState::SynRcvd => self.state = TcpState::CloseWait,
+            match self.mgmt.state {
+                TcpState::Established | TcpState::SynRcvd => {
+                    self.mgmt.set_state(TcpState::CloseWait);
+                }
                 TcpState::FinWait1 => {
-                    self.state = if self.fin_acked {
+                    if self.mgmt.fin_acked {
                         self.enter_time_wait(now);
-                        TcpState::TimeWait
+                        self.mgmt.set_state(TcpState::TimeWait);
                     } else {
-                        TcpState::Closing
+                        self.mgmt.set_state(TcpState::Closing);
                     }
                 }
                 TcpState::FinWait2 => {
                     self.enter_time_wait(now);
-                    self.state = TcpState::TimeWait;
+                    self.mgmt.set_state(TcpState::TimeWait);
                 }
                 _ => {}
             }
@@ -1267,12 +1183,12 @@ impl TcpConn {
     }
 
     fn advance_close_states(&mut self, now: SimTime) {
-        if self.fin_acked {
-            match self.state {
-                TcpState::FinWait1 => self.state = TcpState::FinWait2,
+        if self.mgmt.fin_acked {
+            match self.mgmt.state {
+                TcpState::FinWait1 => self.mgmt.set_state(TcpState::FinWait2),
                 TcpState::Closing => {
                     self.enter_time_wait(now);
-                    self.state = TcpState::TimeWait;
+                    self.mgmt.set_state(TcpState::TimeWait);
                 }
                 TcpState::LastAck => self.enter_closed(),
                 _ => {}
@@ -1281,15 +1197,13 @@ impl TcpConn {
     }
 
     fn enter_time_wait(&mut self, now: SimTime) {
-        self.time_wait_deadline = Some(now + self.cfg.time_wait);
-        self.rto_deadline = None;
+        self.mgmt.arm_time_wait(now + self.cfg.time_wait);
+        self.snd.disarm_rto();
     }
 
     fn enter_closed(&mut self) {
-        if self.state != TcpState::Closed {
-            self.state = TcpState::Closed;
-            self.rto_deadline = None;
-            self.time_wait_deadline = None;
+        if self.mgmt.enter_closed() {
+            self.snd.disarm_rto();
             self.events.push(TcpEvent::Closed);
         }
     }

@@ -1,0 +1,82 @@
+//! `RecvRel`: receive-side reliability and ordered delivery — the
+//! in-order receive ring, the out-of-order reassembler, and the receive
+//! frontier (`rcv_nxt` as a stream offset). All mutation goes through
+//! `&mut self` methods here (lint rule R8).
+
+use crate::reasm::Reassembler;
+use tas_shm::ByteRing;
+
+/// Receive-reliability component: owns ordered delivery to the
+/// application.
+#[derive(Debug)]
+pub struct RecvRel {
+    /// Initial receive sequence number (peer's ISS).
+    pub(crate) irs: u32,
+    /// Stream offset of the next in-order byte expected (`rcv_nxt`).
+    pub(crate) rcv_off: u64,
+    /// In-order receive buffer the application reads from.
+    pub(crate) rx: ByteRing,
+    /// Out-of-order segment store (SACK-style receiver).
+    pub(crate) reasm: Reassembler,
+}
+
+impl RecvRel {
+    pub(crate) fn new(recv_buf: usize, keep_ooo: bool) -> RecvRel {
+        RecvRel {
+            irs: 0,
+            rcv_off: 0,
+            rx: ByteRing::new(recv_buf),
+            reasm: Reassembler::new(if keep_ooo { recv_buf } else { 0 }),
+        }
+    }
+
+    /// Latches the peer's ISS and resets the frontier (handshake).
+    pub(crate) fn init_irs(&mut self, irs: u32) {
+        self.irs = irs;
+        self.rcv_off = 0;
+    }
+
+    /// Commits in-order payload to the receive ring, bounded by free
+    /// space; advances the frontier and returns the bytes taken.
+    pub(crate) fn commit_in_order(&mut self, fresh: &[u8]) -> usize {
+        let take = fresh.len().min(self.rx.free());
+        let n = if self.rx.append(&fresh[..take]).is_ok() {
+            take
+        } else {
+            debug_assert!(false, "take bounded by free space");
+            0
+        };
+        self.rcv_off += n as u64;
+        // A retransmission can carry bytes we already buffered out of
+        // order; tell the reassembler the frontier moved past them so
+        // overlapped chunks are trimmed, not stranded.
+        self.reasm.advance_frontier(self.rcv_off);
+        n
+    }
+
+    /// Pulls any now-contiguous reassembled run into the ring; returns
+    /// the bytes delivered.
+    pub(crate) fn drain_reassembled(&mut self) -> usize {
+        let Some(run) = self.reasm.pop_ready(self.rcv_off) else {
+            return 0;
+        };
+        let take = run.len().min(self.rx.free());
+        if self.rx.append(&run[..take]).is_ok() {
+            self.rcv_off += take as u64;
+            take
+        } else {
+            debug_assert!(false, "reassembled run bounded by rx.free()");
+            0
+        }
+    }
+
+    /// Stores an out-of-order chunk at stream offset `off`.
+    pub(crate) fn insert_ooo(&mut self, off: u64, data: Vec<u8>) {
+        self.reasm.insert(off, data);
+    }
+
+    /// Reads up to `max` in-order bytes for the application.
+    pub(crate) fn read(&mut self, max: usize) -> Vec<u8> {
+        self.rx.pop(max)
+    }
+}

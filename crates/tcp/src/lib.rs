@@ -31,7 +31,7 @@ pub mod conn;
 pub mod reasm;
 pub mod rtt;
 
-pub use cc::{CcKind, CongestionControl, Dctcp, NewReno};
+pub use cc::{CcKind, CongestionControl, Dctcp, NewReno, Timely};
 pub use conn::{ConnStats, EndpointInfo, TcpConfig, TcpConn, TcpEvent, TcpState};
 pub use reasm::Reassembler;
 pub use rtt::RttEstimator;

@@ -167,6 +167,33 @@ impl Reassembler {
         }
     }
 
+    /// Advances the delivered frontier to `frontier` when bytes up to it
+    /// arrived in order, bypassing the reassembler (a retransmission can
+    /// overrun data already buffered out of order). Chunks entirely below
+    /// the frontier are dropped; a chunk straddling it is trimmed so its
+    /// tail stays poppable at the new frontier instead of being stranded
+    /// where no `pop_ready` cursor will ever reach it.
+    pub fn advance_frontier(&mut self, frontier: u64) {
+        while let Some((&o, d)) = self.chunks.range(..frontier).next() {
+            let end = o + d.len() as u64;
+            let Some(d) = self.chunks.remove(&o) else {
+                debug_assert!(false, "ranged key present in map");
+                break;
+            };
+            if end <= frontier {
+                self.held -= d.len();
+            } else {
+                let stale = (frontier - o) as usize;
+                let mut d = d;
+                d.drain(..stale);
+                self.held -= stale;
+                self.chunks.insert(frontier, d);
+                break;
+            }
+        }
+        self.delivered = self.delivered.max(frontier);
+    }
+
     /// The first buffered chunk as (offset, length), if any — the first
     /// SACK block.
     pub fn first_range(&self) -> Option<(u64, u64)> {
@@ -208,6 +235,24 @@ mod tests {
         assert!(r.pop_ready(0).is_none());
         r.insert(0, b"abc".to_vec());
         assert_eq!(r.pop_ready(0).unwrap(), b"abcdef");
+    }
+
+    #[test]
+    fn advance_frontier_trims_overrun_chunks() {
+        // An in-order retransmission overruns buffered ooo data: the
+        // covered prefix is discarded, the tail re-keys to the frontier.
+        let mut r = Reassembler::new(100);
+        r.insert(5, b"fghij".to_vec());
+        r.insert(12, b"mn".to_vec());
+        r.advance_frontier(8);
+        assert_eq!(r.held(), 4, "f/g/h trimmed");
+        assert_eq!(r.first_range(), Some((8, 2)));
+        assert_eq!(r.pop_ready(8).unwrap(), b"ij");
+        r.advance_frontier(14);
+        assert_eq!(r.held(), 0, "fully covered chunk dropped");
+        assert!(r.pop_ready(14).is_none());
+        // Stale duplicates after the advance leave no residue.
+        assert_eq!(r.insert(6, b"ghijklm".to_vec()), 0);
     }
 
     #[test]

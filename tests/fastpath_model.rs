@@ -12,7 +12,9 @@ use tas_repro::proto::{FlowKey, MacAddr, Segment, TcpFlags, TcpHeader};
 use tas_repro::shm::ByteRing;
 use tas_repro::sim::SimTime;
 use tas_repro::tas::fastpath::FastPath;
-use tas_repro::tas::flow::{FlowState, RateBucket};
+use tas_repro::tas::flow::{
+    FlowState, FpCongCtrl, FpConnMgmt, FpFlowCtrl, FpRecvRel, FpSendRel, RateBucket,
+};
 use tas_repro::tas::{TasCosts, FLOW_STATE_BYTES};
 
 /// Counts heap allocations made by the current thread. The counter is
@@ -51,43 +53,22 @@ fn thread_allocs() -> u64 {
 
 fn install(fp: &mut FastPath, rx_cap: usize) -> u32 {
     fp.install_flow(FlowState {
-        opaque: 1,
-        context: 0,
-        bucket: RateBucket::unlimited(),
-        key: FlowKey::new(
-            Ipv4Addr::new(10, 0, 0, 1),
-            80,
-            Ipv4Addr::new(10, 0, 0, 2),
-            7777,
+        conn: FpConnMgmt::new(
+            1,
+            0,
+            FlowKey::new(
+                Ipv4Addr::new(10, 0, 0, 1),
+                80,
+                Ipv4Addr::new(10, 0, 0, 2),
+                7777,
+            ),
+            MacAddr::for_host(2),
+            0,
         ),
-        peer_mac: MacAddr::for_host(2),
-        rx: ByteRing::new(rx_cap),
-        tx: ByteRing::new(1024),
-        tx_sent: 0,
-        max_sent_off: 0,
-        iss: 100,
-        irs: 1_000,
-        snd_wnd: 65_535,
-        peer_wscale: 0,
-        dupack_cnt: 0,
-        ooo_start: 0,
-        ooo_len: 0,
-        cnt_ackb: 0,
-        cnt_ecnb: 0,
-        cnt_frexmits: 0,
-        rtt_est_us: 0,
-        ts_recent: 0,
-        cwnd: u64::MAX,
-        last_seg_ce: false,
-        tx_timer_armed: false,
-        win_closed: false,
-        last_una_off: 0,
-        stall_intervals: 0,
-        cc_alpha: 1.0,
-        cc_rate_ewma: 0.0,
-        cc_slow_start: true,
-        cc_prev_rtt_us: 0,
-        closing: false,
+        snd: FpSendRel::new(ByteRing::new(1024), 100),
+        rcv: FpRecvRel::new(ByteRing::new(rx_cap), 1_000),
+        fc: FpFlowCtrl::new(65_535, 0),
+        cc: FpCongCtrl::new(RateBucket::unlimited()),
     })
 }
 
@@ -162,8 +143,8 @@ proptest! {
         // Whatever was committed must be a prefix of the stream.
         {
             let flow = fp.flows.get_mut(fid).expect("installed");
-            let n = flow.rx.len();
-            let got = flow.rx.copy_out(0, n).expect("committed prefix");
+            let n = flow.rcv.rx.len();
+            let got = flow.rcv.rx.copy_out(0, n).expect("committed prefix");
             prop_assert_eq!(&got[..], &stream[..n], "committed data is a prefix");
         }
         // Final sweep: resend the whole stream in order (go-back-N after a
@@ -180,8 +161,8 @@ proptest! {
             fp.out.packets.clear();
         }
         let flow = fp.flows.get_mut(fid).expect("installed");
-        prop_assert_eq!(flow.rx.pop(usize::MAX - 1), stream);
-        prop_assert_eq!(flow.ooo_len, 0, "interval fully merged");
+        prop_assert_eq!(flow.rcv.rx.pop(usize::MAX - 1), stream);
+        prop_assert_eq!(flow.rcv.ooo_len, 0, "interval fully merged");
     }
 
     /// The architectural state constant matches the paper regardless of
@@ -228,8 +209,8 @@ fn steady_state_rx_does_not_allocate() {
         // The app keeps up: consume the committed bytes so the ring and
         // the advertised window stay in steady state.
         let flow = fp.flows.get_mut(fid).expect("installed");
-        let n = flow.rx.len() as u64;
-        flow.rx.consume(n).expect("consume committed prefix");
+        let n = flow.rcv.rx.len() as u64;
+        flow.rcv.rx.consume(n).expect("consume committed prefix");
     };
 
     for _ in 0..WARMUP {

@@ -17,6 +17,9 @@ enum Kind {
     Linux,
     Ix,
     Mtcp,
+    /// MPK dataplane (design-space baseline, DESIGN.md §15): exercised
+    /// as a smoke cell against TAS, not in the full 16-pair sweep.
+    Mpk,
 }
 
 const ALL: [Kind; 4] = [Kind::Tas, Kind::Linux, Kind::Ix, Kind::Mtcp];
@@ -55,6 +58,15 @@ fn make(sim: &mut Sim<NetMsg>, spec: HostSpec, kind: Kind, app: Box<dyn App>) ->
             spec.nic,
             profiles::mtcp(),
             StackHostConfig::mtcp(3, 1),
+            spec.uplink,
+            app,
+        ))),
+        Kind::Mpk => sim.add_agent(Box::new(StackHost::new(
+            spec.ip,
+            spec.mac,
+            spec.nic,
+            profiles::mpk(),
+            StackHostConfig::mpk(2),
             spec.uplink,
             app,
         ))),
@@ -143,4 +155,42 @@ fn interop_survives_loss() {
         200,
         "lossy interop must still complete all RPCs"
     );
+}
+
+#[test]
+fn mpk_and_tas_smoke_cell_interoperates_both_directions() {
+    // The MPK-dataplane baseline (DESIGN.md §15) rides the same wire
+    // format; a smoke cell in each direction keeps the design-space
+    // models honest against the real stack without quintupling the
+    // full matrix sweep.
+    for (seed, server, client) in [(21u64, Kind::Mpk, Kind::Tas), (22, Kind::Tas, Kind::Mpk)] {
+        let mut sim: Sim<NetMsg> = Sim::new(seed);
+        let server_ip: Ipv4Addr = host_ip(0);
+        let mut factory = move |sim: &mut Sim<NetMsg>, spec: HostSpec| -> AgentId {
+            if spec.index == 0 {
+                let app: Box<dyn App> = Box::new(EchoServer::new(7, 128, ServerMode::Echo, 200));
+                make(sim, spec, server, app)
+            } else {
+                let mut c = RpcClient::new(server_ip, 7, 2, 1, 128, Lifetime::Persistent);
+                c.max_requests = 60;
+                make(sim, spec, client, Box::new(c))
+            }
+        };
+        let topo = build_star(
+            &mut sim,
+            2,
+            |_| PortConfig::tengig(),
+            |_| NicConfig::client_10g(1),
+            &mut factory,
+        );
+        for &h in &topo.hosts {
+            sim.inject_timer(SimTime::ZERO, h, 0, 0);
+        }
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            client_done(&sim, topo.hosts[1], client),
+            60,
+            "{server:?} server with {client:?} client failed"
+        );
+    }
 }
